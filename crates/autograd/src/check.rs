@@ -1,0 +1,246 @@
+//! Finite-difference gradient checking.
+//!
+//! Used pervasively by this crate's own tests and available to downstream
+//! crates (the MGBR model tests re-verify the full composite loss) to make
+//! sure training dynamics — not just forward values — are faithful.
+
+use mgbr_tensor::Tensor;
+
+use crate::{Tape, Var};
+
+/// Compares the tape's analytic gradients against central finite
+/// differences for a scalar-valued function of `inputs`.
+///
+/// `build` must construct the computation on the given tape from leaves
+/// created for each input (in order) and return the scalar output var.
+///
+/// Returns the maximum relative error observed across all input elements.
+///
+/// # Panics
+///
+/// Panics (with a diagnostic) if any element's relative error exceeds
+/// `tol`. Uses `f32` arithmetic, so `eps` around `1e-2`..`1e-3` and `tol`
+/// around `2e-2` are appropriate.
+pub fn check_gradients(
+    inputs: &[Tensor],
+    eps: f32,
+    tol: f32,
+    build: impl Fn(&Tape, &[Var]) -> Var,
+) -> f32 {
+    // Analytic pass.
+    let tape = Tape::new();
+    let leaves: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let out = build(&tape, &leaves);
+    let grads = tape.backward(&out);
+    let analytic: Vec<Tensor> = leaves
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            grads
+                .get(l)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(inputs[i].rows(), inputs[i].cols()))
+        })
+        .collect();
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let tape = Tape::new();
+        let leaves: Vec<Var> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        build(&tape, &leaves).value().scalar()
+    };
+
+    let mut max_rel = 0.0f32;
+    let mut work: Vec<Tensor> = inputs.to_vec();
+    for (i, input) in inputs.iter().enumerate() {
+        for k in 0..input.len() {
+            let orig = input.as_slice()[k];
+            work[i].as_mut_slice()[k] = orig + eps;
+            let f_plus = eval(&work);
+            work[i].as_mut_slice()[k] = orig - eps;
+            let f_minus = eval(&work);
+            work[i].as_mut_slice()[k] = orig;
+
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let exact = analytic[i].as_slice()[k];
+            let denom = 1.0f32.max(numeric.abs()).max(exact.abs());
+            let rel = (numeric - exact).abs() / denom;
+            assert!(
+                rel <= tol,
+                "gradient mismatch at input {i} element {k}: analytic {exact}, numeric {numeric} (rel err {rel} > {tol})"
+            );
+            max_rel = max_rel.max(rel);
+        }
+    }
+    max_rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_tensor::Pcg32;
+
+    fn rand(rng: &mut Pcg32, r: usize, c: usize) -> Tensor {
+        rng.normal_tensor(r, c, 0.0, 0.5)
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let inputs = vec![rand(&mut rng, 3, 4), rand(&mut rng, 4, 2)];
+        check_gradients(&inputs, 1e-2, 2e-2, |_t, vars| {
+            vars[0].matmul(&vars[1]).sigmoid().mean_all()
+        });
+    }
+
+    #[test]
+    fn grad_elementwise_mix() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let inputs = vec![rand(&mut rng, 2, 3), rand(&mut rng, 2, 3)];
+        check_gradients(&inputs, 1e-2, 2e-2, |_t, v| {
+            v[0].mul(&v[1]).add(&v[0].scale(0.5)).sub(&v[1]).tanh().sum_all().scale(0.1)
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        // Keep away from the ReLU kink at 0 for a clean numeric check.
+        let mut x = rand(&mut rng, 3, 3);
+        x.map_inplace(|v| if v.abs() < 0.15 { v + 0.3 } else { v });
+        check_gradients(&[x.clone()], 1e-2, 2e-2, |_t, v| v[0].relu().mean_all());
+        check_gradients(&[x.clone()], 1e-2, 2e-2, |_t, v| v[0].leaky_relu(0.2).mean_all());
+        check_gradients(&[x.clone()], 1e-2, 2e-2, |_t, v| v[0].sigmoid().mean_all());
+        check_gradients(&[x], 1e-2, 2e-2, |_t, v| v[0].log_sigmoid().mean_all());
+    }
+
+    #[test]
+    fn grad_log_softmax() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let x = rand(&mut rng, 3, 5);
+        check_gradients(&[x], 1e-2, 2e-2, |_t, v| {
+            v[0].log_softmax_rows().slice_cols(0, 1).mean_all()
+        });
+    }
+
+    #[test]
+    fn grad_concat_slice_gather() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let a = rand(&mut rng, 4, 2);
+        let b = rand(&mut rng, 4, 3);
+        check_gradients(&[a, b], 1e-2, 2e-2, |_t, v| {
+            let c = Var::concat_cols(&[&v[0], &v[1]]);
+            let g = c.gather_rows(std::rc::Rc::new(vec![1, 1, 3]));
+            g.slice_cols(1, 3).sigmoid().sum_all().scale(0.2)
+        });
+    }
+
+    #[test]
+    fn grad_broadcasts() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let m = rand(&mut rng, 3, 4);
+        let row = rand(&mut rng, 1, 4);
+        let col = rand(&mut rng, 3, 1);
+        check_gradients(&[m, row, col], 1e-2, 2e-2, |_t, v| {
+            v[0].add_row_broadcast(&v[1]).mul_col_broadcast(&v[2]).tanh().mean_all()
+        });
+    }
+
+    #[test]
+    fn grad_mix_experts() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        let w = rand(&mut rng, 3, 2);
+        let e0 = rand(&mut rng, 3, 4);
+        let e1 = rand(&mut rng, 3, 4);
+        check_gradients(&[w, e0, e1], 1e-2, 2e-2, |_t, v| {
+            Var::mix_experts(&v[0], &[&v[1], &v[2]]).sigmoid().mean_all()
+        });
+    }
+
+    #[test]
+    fn grad_rowwise_dot_and_mean_rows() {
+        let mut rng = Pcg32::seed_from_u64(8);
+        let a = rand(&mut rng, 4, 3);
+        let b = rand(&mut rng, 4, 3);
+        check_gradients(&[a.clone(), b], 1e-2, 2e-2, |_t, v| {
+            v[0].rowwise_dot(&v[1]).log_sigmoid().mean_all()
+        });
+        check_gradients(&[a], 1e-2, 2e-2, |_t, v| v[0].mean_rows().sigmoid().sum_all());
+    }
+
+    #[test]
+    fn grad_spmm_sym() {
+        use mgbr_graph::Csr;
+        let mut rng = Pcg32::seed_from_u64(9);
+        let adj = std::rc::Rc::new(
+            Csr::undirected_adjacency(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).sym_normalized(),
+        );
+        let x = rand(&mut rng, 4, 3);
+        check_gradients(&[x], 1e-2, 2e-2, move |_t, v| {
+            v[0].spmm_sym(&adj).sigmoid().mean_all()
+        });
+    }
+
+    #[test]
+    fn grad_two_layer_mlp_shape() {
+        let mut rng = Pcg32::seed_from_u64(10);
+        let x = rand(&mut rng, 2, 3);
+        let w1 = rand(&mut rng, 3, 4);
+        let b1 = rand(&mut rng, 1, 4);
+        let w2 = rand(&mut rng, 4, 1);
+        check_gradients(&[x, w1, b1, w2], 1e-2, 2.5e-2, |_t, v| {
+            v[0].matmul(&v[1]).add_row_broadcast(&v[2]).relu().matmul(&v[3]).sigmoid().mean_all()
+        });
+    }
+}
+
+#[cfg(test)]
+mod reshape_tests {
+    use super::check_gradients;
+    use mgbr_tensor::Pcg32;
+
+    #[test]
+    fn grad_reshape_roundtrips() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let x = rng.normal_tensor(2, 6, 0.0, 0.5);
+        check_gradients(&[x], 1e-2, 2e-2, |_t, v| {
+            v[0].reshape(3, 4).log_softmax_rows().slice_cols(0, 1).mean_all()
+        });
+    }
+}
+
+#[cfg(test)]
+mod softmax_tests {
+    use super::check_gradients;
+
+    #[test]
+    fn grad_softmax_rows() {
+        let mut rng = mgbr_tensor::Pcg32::seed_from_u64(12);
+        let x = rng.normal_tensor(3, 4, 0.0, 0.5);
+        let w = rng.normal_tensor(3, 4, 0.0, 0.5);
+        check_gradients(&[x, w], 1e-2, 2e-2, |_t, v| {
+            v[0].softmax_rows().mul(&v[1]).sum_all()
+        });
+    }
+}
+
+#[cfg(test)]
+mod spmm_general_tests {
+    use super::check_gradients;
+    use mgbr_graph::Csr;
+    use std::rc::Rc;
+
+    #[test]
+    fn grad_general_spmm() {
+        let mut rng = mgbr_tensor::Pcg32::seed_from_u64(13);
+        // Deliberately non-symmetric rectangular matrix.
+        let adj = Rc::new(Csr::from_triplets(
+            3,
+            4,
+            &[(0, 1, 2.0), (1, 3, -1.0), (2, 0, 0.5), (0, 2, 1.0)],
+        ));
+        let x = rng.normal_tensor(4, 2, 0.0, 0.5);
+        check_gradients(&[x], 1e-2, 2e-2, move |_t, v| {
+            v[0].spmm(&adj).tanh().mean_all()
+        });
+    }
+}

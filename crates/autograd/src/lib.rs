@@ -1,0 +1,40 @@
+//! # mgbr-autograd
+//!
+//! Reverse-mode automatic differentiation over [`mgbr_tensor::Tensor`],
+//! purpose-built for the MGBR reproduction's training loops.
+//!
+//! The design is a classic *tape*: every operation appends a node holding
+//! its output value and enough metadata to run the chain rule backwards.
+//! A fresh [`Tape`] is built for every training step (define-by-run), so
+//! there is no graph caching or shape polymorphism to reason about — the
+//! paper's model is a fixed dataflow per minibatch.
+//!
+//! ```
+//! use mgbr_autograd::Tape;
+//! use mgbr_tensor::Tensor;
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap());
+//! let w = tape.leaf(Tensor::from_vec(2, 1, vec![3.0, 4.0]).unwrap());
+//! let y = x.matmul(&w).sigmoid().sum_all();
+//! let grads = tape.backward(&y);
+//! let dw = grads.get(&w).unwrap();
+//! assert_eq!(dw.rows(), 2);
+//! ```
+//!
+//! Supported operations cover exactly what the paper needs: GEMM, sparse
+//! propagation ([`Var::spmm_sym`] for GCN layers), concatenation (the
+//! paper's `‖`), row gathering (embedding lookup with scatter-add
+//! backward), the sigmoid/tanh/ReLU activations, numerically stable
+//! `log σ` (BPR) and row-wise `log softmax` (ListNet), reductions, and the
+//! expert-mixture primitive [`Var::mix_experts`] used by the gated units.
+//!
+//! Every operation's gradient is verified against central finite
+//! differences in this crate's test suite (see [`check`]).
+
+pub mod check;
+mod tape;
+mod var;
+
+pub use tape::{Grads, NodeId, Tape};
+pub use var::Var;

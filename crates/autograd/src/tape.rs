@@ -1,0 +1,465 @@
+//! The autodiff tape: node storage and the backward pass.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mgbr_graph::Csr;
+use mgbr_tensor::{matmul_nt, matmul_tn, Tensor};
+
+use crate::Var;
+
+/// Index of a node on a [`Tape`].
+pub type NodeId = usize;
+
+/// One recorded operation: its output value plus the metadata the chain
+/// rule needs.
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub op: Op,
+    /// Whether any gradient flows into this node (leaf flag or inherited
+    /// from parents). Backward skips non-requiring branches entirely.
+    pub requires_grad: bool,
+}
+
+/// The operation that produced a node. Parent fields are [`NodeId`]s.
+pub(crate) enum Op {
+    /// Input node (parameter or constant); no parents.
+    Leaf,
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    Scale(NodeId, f32),
+    /// The scalar offset is not needed by the chain rule (d/dx (x+c) = 1),
+    /// so the variant stores only the parent.
+    AddScalar(NodeId),
+    /// `matrix + row-vector` broadcast (bias addition).
+    AddRowBroadcast(NodeId, NodeId),
+    /// Row `r` of the matrix scaled by element `r` of a column vector.
+    MulColBroadcast(NodeId, NodeId),
+    Matmul(NodeId, NodeId),
+    /// Sparse propagation by a *symmetric* CSR matrix (GCN step).
+    SpmmSym(Rc<Csr>, NodeId),
+    /// General sparse propagation; stores the transpose for backward.
+    Spmm { adj_t: Rc<Csr>, x: NodeId },
+    ConcatCols(Vec<NodeId>),
+    SliceCols { parent: NodeId, start: usize },
+    GatherRows { parent: NodeId, indices: Rc<Vec<usize>> },
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Relu(NodeId),
+    LeakyRelu(NodeId, f32),
+    LogSigmoid(NodeId),
+    LogSoftmaxRows(NodeId),
+    SoftmaxRows(NodeId),
+    /// Row-major shape reinterpretation (same element count).
+    Reshape(NodeId),
+    SumAll(NodeId),
+    MeanAll(NodeId),
+    MeanRows(NodeId),
+    RowwiseDot(NodeId, NodeId),
+    /// Attentive expert mixture: `out = Σ_k diag(w[:,k]) · E_k`, the core
+    /// primitive of the paper's gated units (Eq. 10-14).
+    MixExperts { weights: NodeId, experts: Vec<NodeId> },
+}
+
+#[derive(Default)]
+pub(crate) struct TapeInner {
+    pub nodes: Vec<Node>,
+}
+
+/// A define-by-run autodiff tape.
+///
+/// Cheap to clone (shared handle); build one per training step.
+#[derive(Clone, Default)]
+pub struct Tape {
+    pub(crate) inner: Rc<RefCell<TapeInner>>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a differentiable input (model parameter) node.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Registers a non-differentiable input; backward will not propagate
+    /// into subgraphs that depend only on constants.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Number of nodes currently recorded.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node { value, op, requires_grad });
+        Var { tape: self.clone(), id }
+    }
+
+    pub(crate) fn value_of(&self, id: NodeId) -> Tensor {
+        self.inner.borrow().nodes[id].value.clone()
+    }
+
+    pub(crate) fn requires_grad_of(&self, id: NodeId) -> bool {
+        self.inner.borrow().nodes[id].requires_grad
+    }
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` lives on another tape or is not `1×1`.
+    pub fn backward(&self, loss: &Var) -> Grads {
+        assert!(
+            Rc::ptr_eq(&self.inner, &loss.tape.inner),
+            "backward: loss var belongs to a different tape"
+        );
+        let inner = self.inner.borrow();
+        let nodes = &inner.nodes;
+        let shape = nodes[loss.id].value.shape();
+        assert!(shape.rows == 1 && shape.cols == 1, "backward target must be 1x1, got {shape}");
+
+        let mut grads: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
+        grads[loss.id] = Some(Tensor::ones(1, 1));
+
+        for id in (0..=loss.id).rev() {
+            let g = match grads[id].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            if !nodes[id].requires_grad {
+                continue;
+            }
+            let mut sink = GradSink { nodes, grads: &mut grads };
+            backprop_node(&nodes[id], &g, &mut sink);
+            // Keep leaf gradients so callers can read them.
+            if matches!(nodes[id].op, Op::Leaf) {
+                grads[id] = Some(g);
+            }
+        }
+        Grads { grads }
+    }
+}
+
+/// Accumulates a gradient contribution into a parent slot, respecting the
+/// parent's `requires_grad` flag.
+struct GradSink<'a> {
+    nodes: &'a [Node],
+    grads: &'a mut Vec<Option<Tensor>>,
+}
+
+impl GradSink<'_> {
+    fn wants(&self, id: NodeId) -> bool {
+        self.nodes[id].requires_grad
+    }
+
+    fn add(&mut self, id: NodeId, contribution: Tensor) {
+        if !self.wants(id) {
+            return;
+        }
+        match &mut self.grads[id] {
+            Some(acc) => acc.add_assign(&contribution),
+            slot @ None => *slot = Some(contribution),
+        }
+    }
+
+    fn value(&self, id: NodeId) -> &Tensor {
+        &self.nodes[id].value
+    }
+}
+
+fn backprop_node(node: &Node, g: &Tensor, sink: &mut GradSink<'_>) {
+    let y = &node.value;
+    match &node.op {
+        Op::Leaf => {}
+        Op::Add(a, b) => {
+            sink.add(*a, g.clone());
+            sink.add(*b, g.clone());
+        }
+        Op::Sub(a, b) => {
+            sink.add(*a, g.clone());
+            sink.add(*b, g.scale(-1.0));
+        }
+        Op::Mul(a, b) => {
+            if sink.wants(*a) {
+                let da = g.mul(sink.value(*b));
+                sink.add(*a, da);
+            }
+            if sink.wants(*b) {
+                let db = g.mul(sink.value(*a));
+                sink.add(*b, db);
+            }
+        }
+        Op::Scale(a, alpha) => sink.add(*a, g.scale(*alpha)),
+        Op::AddScalar(a) => sink.add(*a, g.clone()),
+        Op::AddRowBroadcast(a, row) => {
+            sink.add(*a, g.clone());
+            sink.add(*row, g.sum_rows());
+        }
+        Op::MulColBroadcast(a, col) => {
+            if sink.wants(*a) {
+                let da = g.mul_col_broadcast(sink.value(*col));
+                sink.add(*a, da);
+            }
+            if sink.wants(*col) {
+                let dcol = g.mul(sink.value(*a)).sum_cols();
+                sink.add(*col, dcol);
+            }
+        }
+        Op::Matmul(a, b) => {
+            if sink.wants(*a) {
+                let da = matmul_nt(g, sink.value(*b));
+                sink.add(*a, da);
+            }
+            if sink.wants(*b) {
+                let db = matmul_tn(sink.value(*a), g);
+                sink.add(*b, db);
+            }
+        }
+        Op::SpmmSym(adj, x) => {
+            // dX = Âᵀ·G = Â·G for symmetric Â.
+            let dx = mgbr_graph::spmm(adj, g);
+            sink.add(*x, dx);
+        }
+        Op::Spmm { adj_t, x } => {
+            let dx = mgbr_graph::spmm(adj_t, g);
+            sink.add(*x, dx);
+        }
+        Op::ConcatCols(parents) => {
+            let mut off = 0;
+            for &p in parents {
+                let w = sink.value(p).cols();
+                if sink.wants(p) {
+                    let dp = g.slice_cols(off, w);
+                    sink.add(p, dp);
+                }
+                off += w;
+            }
+        }
+        Op::SliceCols { parent, start } => {
+            let pv = sink.value(*parent);
+            let mut dp = Tensor::zeros(pv.rows(), pv.cols());
+            for r in 0..g.rows() {
+                dp.row_mut(r)[*start..start + g.cols()].copy_from_slice(g.row(r));
+            }
+            sink.add(*parent, dp);
+        }
+        Op::GatherRows { parent, indices } => {
+            let pv = sink.value(*parent);
+            let mut dp = Tensor::zeros(pv.rows(), pv.cols());
+            dp.scatter_add_rows(indices, g);
+            sink.add(*parent, dp);
+        }
+        Op::Sigmoid(a) => {
+            let da = g.zip(y, |gv, yv| gv * yv * (1.0 - yv));
+            sink.add(*a, da);
+        }
+        Op::Tanh(a) => {
+            let da = g.zip(y, |gv, yv| gv * (1.0 - yv * yv));
+            sink.add(*a, da);
+        }
+        Op::Relu(a) => {
+            let da = g.zip(sink.value(*a), |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+            sink.add(*a, da);
+        }
+        Op::LeakyRelu(a, slope) => {
+            let s = *slope;
+            let da = g.zip(sink.value(*a), |gv, xv| if xv >= 0.0 { gv } else { s * gv });
+            sink.add(*a, da);
+        }
+        Op::LogSigmoid(a) => {
+            // d/dx log σ(x) = 1 - σ(x) = 1 - e^y.
+            let da = g.zip(y, |gv, yv| gv * (1.0 - yv.exp()));
+            sink.add(*a, da);
+        }
+        Op::LogSoftmaxRows(a) => {
+            // dx = g - softmax(x) * rowsum(g); softmax(x) = exp(y).
+            let mut da = g.clone();
+            for r in 0..da.rows() {
+                let gsum: f32 = g.row(r).iter().sum();
+                let yr = y.row(r);
+                for (d, &yv) in da.row_mut(r).iter_mut().zip(yr) {
+                    *d -= yv.exp() * gsum;
+                }
+            }
+            sink.add(*a, da);
+        }
+        Op::Reshape(a) => {
+            let pv = sink.value(*a);
+            let (r, c) = (pv.rows(), pv.cols());
+            let dp = Tensor::from_vec(r, c, g.clone().into_vec())
+                .expect("reshape backward: element count preserved by construction");
+            sink.add(*a, dp);
+        }
+        Op::SoftmaxRows(a) => {
+            // dx = y ⊙ (g - rowsum(g ⊙ y)).
+            let mut da = g.clone();
+            for r in 0..da.rows() {
+                let yr = y.row(r);
+                let dot: f32 = g.row(r).iter().zip(yr).map(|(&gv, &yv)| gv * yv).sum();
+                for (d, &yv) in da.row_mut(r).iter_mut().zip(yr) {
+                    *d = yv * (*d - dot);
+                }
+            }
+            sink.add(*a, da);
+        }
+        Op::SumAll(a) => {
+            let pv = sink.value(*a);
+            sink.add(*a, Tensor::full(pv.rows(), pv.cols(), g.scalar()));
+        }
+        Op::MeanAll(a) => {
+            let pv = sink.value(*a);
+            let scale = g.scalar() / pv.len().max(1) as f32;
+            sink.add(*a, Tensor::full(pv.rows(), pv.cols(), scale));
+        }
+        Op::MeanRows(a) => {
+            let pv = sink.value(*a);
+            let inv = 1.0 / pv.rows().max(1) as f32;
+            let mut da = Tensor::zeros(pv.rows(), pv.cols());
+            let grow = g.row(0);
+            for r in 0..pv.rows() {
+                for (d, &gv) in da.row_mut(r).iter_mut().zip(grow) {
+                    *d = gv * inv;
+                }
+            }
+            sink.add(*a, da);
+        }
+        Op::RowwiseDot(a, b) => {
+            // y (B×1); da = g ⊙_colbcast b, db symmetric.
+            if sink.wants(*a) {
+                let da = sink.value(*b).mul_col_broadcast(g);
+                sink.add(*a, da);
+            }
+            if sink.wants(*b) {
+                let db = sink.value(*a).mul_col_broadcast(g);
+                sink.add(*b, db);
+            }
+        }
+        Op::MixExperts { weights, experts } => {
+            // y = Σ_k diag(w[:,k]) E_k.
+            // dW[:,k] = rowsum(g ⊙ E_k);  dE_k = diag(w[:,k]) g.
+            if sink.wants(*weights) {
+                let mut dw = Tensor::zeros(g.rows(), experts.len());
+                for (k, &e) in experts.iter().enumerate() {
+                    let ev = sink.value(e);
+                    for r in 0..g.rows() {
+                        let dot: f32 =
+                            g.row(r).iter().zip(ev.row(r)).map(|(&gv, &xv)| gv * xv).sum();
+                        dw.set(r, k, dot);
+                    }
+                }
+                sink.add(*weights, dw);
+            }
+            let w = sink.value(*weights).clone();
+            for (k, &e) in experts.iter().enumerate() {
+                if !sink.wants(e) {
+                    continue;
+                }
+                let mut de = g.clone();
+                for r in 0..de.rows() {
+                    let wv = w.get(r, k);
+                    de.row_mut(r).iter_mut().for_each(|x| *x *= wv);
+                }
+                sink.add(e, de);
+            }
+        }
+    }
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by the [`Var`]s whose
+/// leaves they belong to.
+pub struct Grads {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// The gradient of the backward target with respect to `var`.
+    ///
+    /// Returns `None` for constants, for vars the loss does not depend on,
+    /// and for non-leaf intermediates (whose gradients are consumed during
+    /// the pass).
+    pub fn get(&self, var: &Var) -> Option<&Tensor> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// Removes and returns the gradient for `var`, avoiding a copy.
+    pub fn take(&mut self, var: &Var) -> Option<Tensor> {
+        self.grads.get_mut(var.id).and_then(|g| g.take())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_constant_flags() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(1, 1));
+        let c = tape.constant(Tensor::ones(1, 1));
+        assert!(tape.requires_grad_of(a.id));
+        assert!(!tape.requires_grad_of(c.id));
+        assert_eq!(tape.len(), 2);
+    }
+
+    #[test]
+    fn backward_of_identity_sum() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(2, 3));
+        let loss = a.sum_all();
+        let grads = tape.backward(&loss);
+        let da = grads.get(&a).unwrap();
+        assert_eq!(da, &Tensor::ones(2, 3));
+    }
+
+    #[test]
+    fn constants_get_no_gradient() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(1, 2));
+        let c = tape.constant(Tensor::ones(1, 2));
+        let loss = a.mul(&c).sum_all();
+        let grads = tape.backward(&loss);
+        assert!(grads.get(&a).is_some());
+        assert!(grads.get(&c).is_none());
+    }
+
+    #[test]
+    fn gradient_accumulates_over_reuse() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::full(1, 1, 3.0));
+        // loss = a + a => d/da = 2.
+        let loss = a.add(&a).sum_all();
+        let grads = tape.backward(&loss);
+        assert_eq!(grads.get(&a).unwrap().scalar(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 1x1")]
+    fn backward_on_matrix_panics() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(2, 2));
+        let _ = tape.backward(&a);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tape")]
+    fn cross_tape_backward_panics() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t2.leaf(Tensor::ones(1, 1));
+        let _ = t1.backward(&a);
+    }
+}

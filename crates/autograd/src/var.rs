@@ -1,0 +1,411 @@
+//! Differentiable variable handles and their operation constructors.
+
+use std::rc::Rc;
+
+use mgbr_graph::{spmm, Csr};
+use mgbr_tensor::{matmul, Shape, Tensor};
+
+use crate::tape::{Op, Tape};
+use crate::NodeId;
+
+/// A handle to one node on a [`Tape`].
+///
+/// Cloning is cheap (it copies the tape handle and an index). All
+/// operations evaluate eagerly and record themselves for the backward
+/// pass.
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) tape: Tape,
+    pub(crate) id: NodeId,
+}
+
+impl Var {
+    /// A copy of this node's value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.id)
+    }
+
+    /// This node's shape.
+    pub fn shape(&self) -> Shape {
+        self.tape.inner.borrow().nodes[self.id].value.shape()
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.shape().rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.shape().cols
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.tape.requires_grad_of(self.id)
+    }
+
+    fn unary(&self, value: Tensor, op: Op) -> Var {
+        self.tape.push(value, op, self.requires_grad())
+    }
+
+    fn binary(&self, other: &Var, value: Tensor, op: Op) -> Var {
+        self.assert_same_tape(other);
+        let rg = self.requires_grad() || other.requires_grad();
+        self.tape.push(value, op, rg)
+    }
+
+    #[track_caller]
+    fn assert_same_tape(&self, other: &Var) {
+        assert!(
+            Rc::ptr_eq(&self.tape.inner, &other.tape.inner),
+            "operands live on different tapes"
+        );
+    }
+
+    /// Elementwise sum.
+    #[track_caller]
+    pub fn add(&self, other: &Var) -> Var {
+        let v = self.with2(other, |a, b| a.add(b));
+        self.binary(other, v, Op::Add(self.id, other.id))
+    }
+
+    /// Elementwise difference.
+    #[track_caller]
+    pub fn sub(&self, other: &Var) -> Var {
+        let v = self.with2(other, |a, b| a.sub(b));
+        self.binary(other, v, Op::Sub(self.id, other.id))
+    }
+
+    /// Elementwise product.
+    #[track_caller]
+    pub fn mul(&self, other: &Var) -> Var {
+        let v = self.with2(other, |a, b| a.mul(b));
+        self.binary(other, v, Op::Mul(self.id, other.id))
+    }
+
+    /// Multiplication by a (non-differentiable) scalar.
+    pub fn scale(&self, alpha: f32) -> Var {
+        let v = self.with1(|a| a.scale(alpha));
+        self.unary(v, Op::Scale(self.id, alpha))
+    }
+
+    /// Negation (`scale(-1)`).
+    pub fn neg(&self) -> Var {
+        self.scale(-1.0)
+    }
+
+    /// Addition of a (non-differentiable) scalar to every element.
+    pub fn add_scalar(&self, c: f32) -> Var {
+        let v = self.with1(|a| a.map(|x| x + c));
+        self.unary(v, Op::AddScalar(self.id))
+    }
+
+    /// Adds a `1×cols` row vector to every row (bias broadcast).
+    #[track_caller]
+    pub fn add_row_broadcast(&self, row: &Var) -> Var {
+        let v = self.with2(row, |a, r| a.add_row_broadcast(r));
+        self.binary(row, v, Op::AddRowBroadcast(self.id, row.id))
+    }
+
+    /// Scales row `r` by element `r` of a `rows×1` column vector.
+    #[track_caller]
+    pub fn mul_col_broadcast(&self, col: &Var) -> Var {
+        let v = self.with2(col, |a, c| a.mul_col_broadcast(c));
+        self.binary(col, v, Op::MulColBroadcast(self.id, col.id))
+    }
+
+    /// Matrix product `self · other`.
+    #[track_caller]
+    pub fn matmul(&self, other: &Var) -> Var {
+        let v = self.with2(other, |a, b| matmul(a, b));
+        self.binary(other, v, Op::Matmul(self.id, other.id))
+    }
+
+    /// Propagation by a symmetric sparse matrix: `Â · self` (GCN step).
+    ///
+    /// The adjacency is non-differentiable. Symmetry is the caller's
+    /// contract (all MGBR propagation matrices are symmetric by
+    /// construction); it lets the backward pass reuse `Â` instead of its
+    /// transpose.
+    #[track_caller]
+    pub fn spmm_sym(&self, adj: &Rc<Csr>) -> Var {
+        debug_assert!(adj.is_symmetric(), "spmm_sym on a non-symmetric matrix");
+        let v = self.with1(|x| spmm(adj, x));
+        self.unary(v, Op::SpmmSym(Rc::clone(adj), self.id))
+    }
+
+    /// Propagation by a general sparse matrix: `A · self`.
+    ///
+    /// The transpose needed by the backward pass is computed once at
+    /// record time; prefer [`Var::spmm_sym`] when `A` is symmetric.
+    #[track_caller]
+    pub fn spmm(&self, adj: &Rc<Csr>) -> Var {
+        let v = self.with1(|x| spmm(adj, x));
+        let adj_t = Rc::new(adj.transpose());
+        self.unary(v, Op::Spmm { adj_t, x: self.id })
+    }
+
+    /// Horizontal concatenation — the paper's `‖` operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list or mismatched rows/tapes.
+    #[track_caller]
+    pub fn concat_cols(parts: &[&Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols of zero vars");
+        let first = parts[0];
+        for p in parts {
+            first.assert_same_tape(p);
+        }
+        let v = {
+            let inner = first.tape.inner.borrow();
+            let refs: Vec<&Tensor> = parts.iter().map(|p| &inner.nodes[p.id].value).collect();
+            Tensor::concat_cols(&refs)
+        };
+        let rg = parts.iter().any(|p| p.requires_grad());
+        first.tape.push(v, Op::ConcatCols(parts.iter().map(|p| p.id).collect()), rg)
+    }
+
+    /// Copies columns `[start, start+width)` into a new node.
+    #[track_caller]
+    pub fn slice_cols(&self, start: usize, width: usize) -> Var {
+        let v = self.with1(|a| a.slice_cols(start, width));
+        self.unary(v, Op::SliceCols { parent: self.id, start })
+    }
+
+    /// Gathers rows by index (embedding lookup); backward scatter-adds.
+    #[track_caller]
+    pub fn gather_rows(&self, indices: Rc<Vec<usize>>) -> Var {
+        let v = self.with1(|a| a.gather_rows(&indices));
+        self.unary(v, Op::GatherRows { parent: self.id, indices })
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let v = self.with1(|a| a.sigmoid());
+        self.unary(v, Op::Sigmoid(self.id))
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&self) -> Var {
+        let v = self.with1(|a| a.tanh());
+        self.unary(v, Op::Tanh(self.id))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&self) -> Var {
+        let v = self.with1(|a| a.relu());
+        self.unary(v, Op::Relu(self.id))
+    }
+
+    /// Elementwise LeakyReLU.
+    pub fn leaky_relu(&self, slope: f32) -> Var {
+        let v = self.with1(|a| a.leaky_relu(slope));
+        self.unary(v, Op::LeakyRelu(self.id, slope))
+    }
+
+    /// Numerically stable `log σ(x)` (the BPR building block).
+    pub fn log_sigmoid(&self) -> Var {
+        let v = self.with1(|a| a.log_sigmoid());
+        self.unary(v, Op::LogSigmoid(self.id))
+    }
+
+    /// Row-wise softmax (used by the MMoE-style gate-normalization
+    /// option).
+    pub fn softmax_rows(&self) -> Var {
+        let v = self.with1(|a| a.softmax_rows());
+        self.unary(v, Op::SoftmaxRows(self.id))
+    }
+
+    /// Row-wise log-softmax (the ListNet building block).
+    pub fn log_softmax_rows(&self) -> Var {
+        let v = self.with1(|a| a.log_softmax_rows());
+        self.unary(v, Op::LogSoftmaxRows(self.id))
+    }
+
+    /// Reinterprets the row-major buffer as `rows × cols` (the element
+    /// count must match). Used to fold flat per-triple score columns into
+    /// per-instance candidate-list rows for the listwise losses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` differs from the current element count.
+    #[track_caller]
+    pub fn reshape(&self, rows: usize, cols: usize) -> Var {
+        let v = self.with1(|a| {
+            Tensor::from_vec(rows, cols, a.clone().into_vec()).unwrap_or_else(|e| {
+                panic!("reshape: {e}")
+            })
+        });
+        self.unary(v, Op::Reshape(self.id))
+    }
+
+    /// Sum of all elements, as a `1×1` node.
+    pub fn sum_all(&self) -> Var {
+        let v = Tensor::full(1, 1, self.with1(|a| a.sum()));
+        self.unary(v, Op::SumAll(self.id))
+    }
+
+    /// Mean of all elements, as a `1×1` node.
+    pub fn mean_all(&self) -> Var {
+        let v = Tensor::full(1, 1, self.with1(|a| a.mean()));
+        self.unary(v, Op::MeanAll(self.id))
+    }
+
+    /// Column means as a `1×cols` node (used for the mean-user embedding
+    /// `e_p` in Task A prediction, Eq. 16).
+    pub fn mean_rows(&self) -> Var {
+        let v = self.with1(|a| a.mean_rows());
+        self.unary(v, Op::MeanRows(self.id))
+    }
+
+    /// Per-row dot products, as `rows×1` (MF-style scoring).
+    #[track_caller]
+    pub fn rowwise_dot(&self, other: &Var) -> Var {
+        let v = self.with2(other, |a, b| a.rowwise_dot(b));
+        self.binary(other, v, Op::RowwiseDot(self.id, other.id))
+    }
+
+    /// Attentive expert mixture `Σ_k diag(weights[:,k]) · experts[k]`
+    /// (`weights`: `B×K`, each expert: `B×d`) — the gated-unit primitive
+    /// behind Eq. 10-14.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.cols() != experts.len()` or shapes disagree.
+    #[track_caller]
+    pub fn mix_experts(weights: &Var, experts: &[&Var]) -> Var {
+        assert!(!experts.is_empty(), "mix_experts with zero experts");
+        assert_eq!(
+            weights.cols(),
+            experts.len(),
+            "mix_experts: {} weight columns for {} experts",
+            weights.cols(),
+            experts.len()
+        );
+        for e in experts {
+            weights.assert_same_tape(e);
+            assert_eq!(
+                e.rows(),
+                weights.rows(),
+                "mix_experts: expert rows {} != weight rows {}",
+                e.rows(),
+                weights.rows()
+            );
+        }
+        let out = {
+            let inner = weights.tape.inner.borrow();
+            let w = &inner.nodes[weights.id].value;
+            let evs: Vec<&Tensor> = experts.iter().map(|e| &inner.nodes[e.id].value).collect();
+            let (rows, cols) = (evs[0].rows(), evs[0].cols());
+            let mut out = Tensor::zeros(rows, cols);
+            for (k, ev) in evs.iter().enumerate() {
+                assert_eq!(ev.cols(), cols, "mix_experts: inconsistent expert widths");
+                for r in 0..rows {
+                    let wv = w.get(r, k);
+                    for (o, &x) in out.row_mut(r).iter_mut().zip(ev.row(r)) {
+                        *o += wv * x;
+                    }
+                }
+            }
+            out
+        };
+        let rg = weights.requires_grad() || experts.iter().any(|e| e.requires_grad());
+        weights.tape.push(
+            out,
+            Op::MixExperts { weights: weights.id, experts: experts.iter().map(|e| e.id).collect() },
+            rg,
+        )
+    }
+
+    fn with1<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
+        let inner = self.tape.inner.borrow();
+        f(&inner.nodes[self.id].value)
+    }
+
+    fn with2<R>(&self, other: &Var, f: impl FnOnce(&Tensor, &Tensor) -> R) -> R {
+        self.assert_same_tape(other);
+        let inner = self.tape.inner.borrow();
+        f(&inner.nodes[self.id].value, &inner.nodes[other.id].value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values_match_tensor_ops() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(1, 2, vec![1.0, -2.0]).unwrap());
+        let b = tape.leaf(Tensor::from_vec(1, 2, vec![3.0, 4.0]).unwrap());
+        assert_eq!(a.add(&b).value().as_slice(), &[4.0, 2.0]);
+        assert_eq!(a.sub(&b).value().as_slice(), &[-2.0, -6.0]);
+        assert_eq!(a.mul(&b).value().as_slice(), &[3.0, -8.0]);
+        assert_eq!(a.scale(2.0).value().as_slice(), &[2.0, -4.0]);
+        assert_eq!(a.relu().value().as_slice(), &[1.0, 0.0]);
+        assert_eq!(a.neg().value().as_slice(), &[-1.0, 2.0]);
+        assert_eq!(a.add_scalar(1.0).value().as_slice(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn matmul_forward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(1, 2, vec![1.0, 2.0]).unwrap());
+        let b = tape.leaf(Tensor::from_vec(2, 1, vec![3.0, 4.0]).unwrap());
+        assert_eq!(a.matmul(&b).value().scalar(), 11.0);
+    }
+
+    #[test]
+    fn concat_and_slice_forward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(2, 1, vec![1.0, 2.0]).unwrap());
+        let b = tape.leaf(Tensor::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]).unwrap());
+        let c = Var::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), Shape::new(2, 3));
+        let s = c.slice_cols(1, 2);
+        assert_eq!(s.value(), b.value());
+    }
+
+    #[test]
+    fn gather_rows_forward() {
+        let tape = Tape::new();
+        let e = tape.leaf(Tensor::from_fn(4, 2, |r, _| r as f32));
+        let g = e.gather_rows(Rc::new(vec![2, 0]));
+        assert_eq!(g.value().row(0), &[2.0, 2.0]);
+        assert_eq!(g.value().row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn mix_experts_forward() {
+        let tape = Tape::new();
+        let w = tape.leaf(Tensor::from_vec(2, 2, vec![1.0, 0.0, 0.5, 0.5]).unwrap());
+        let e0 = tape.leaf(Tensor::full(2, 3, 2.0));
+        let e1 = tape.leaf(Tensor::full(2, 3, 4.0));
+        let m = Var::mix_experts(&w, &[&e0, &e1]);
+        assert_eq!(m.value().row(0), &[2.0, 2.0, 2.0]);
+        assert_eq!(m.value().row(1), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions_forward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        assert_eq!(a.sum_all().value().scalar(), 10.0);
+        assert_eq!(a.mean_all().value().scalar(), 2.5);
+        assert_eq!(a.mean_rows().value().as_slice(), &[2.0, 3.0]);
+        let b = tape.leaf(Tensor::from_vec(2, 2, vec![1.0, 1.0, 2.0, 2.0]).unwrap());
+        assert_eq!(a.rowwise_dot(&b).value().as_slice(), &[3.0, 14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different tapes")]
+    fn cross_tape_op_panics() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.leaf(Tensor::ones(1, 1));
+        let b = t2.leaf(Tensor::ones(1, 1));
+        let _ = a.add(&b);
+    }
+}

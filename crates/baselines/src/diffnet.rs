@@ -1,0 +1,116 @@
+//! DiffNet (Wu et al., 2019): social recommendation via layered influence
+//! diffusion — user representations repeatedly aggregate their social
+//! neighbors' representations, then fuse with the user's historical item
+//! interests.
+
+use std::rc::Rc;
+
+use mgbr_data::Dataset;
+use mgbr_graph::Csr;
+use mgbr_nn::{Embedding, Linear, ParamStore, StepCtx};
+use mgbr_tensor::Pcg32;
+
+use crate::{Baseline, BaselineConfig, EmbedOut};
+
+/// Social influence-diffusion recommender.
+///
+/// The social graph comes from the initiator-participant co-occurrence
+/// edges of the training deal groups — the paper's point that these
+/// "social" links are really co-preference links is exactly what this
+/// baseline then suffers from (Table III's DiffNet row).
+pub struct DiffNet {
+    store: ParamStore,
+    user_free: Embedding,
+    items: Embedding,
+    diffusion: Vec<Linear>,
+    social: Rc<Csr>,
+    /// Row-normalized user → interacted-items matrix for interest fusion.
+    interest: Rc<Csr>,
+}
+
+impl DiffNet {
+    /// Builds the social and interest graphs and registers parameters.
+    pub fn new(cfg: &BaselineConfig, train: &Dataset) -> Self {
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(cfg.seed);
+        let social = Rc::new(
+            Csr::undirected_adjacency(train.n_users, &train.up_edges()).sym_normalized(),
+        );
+        // Row-stochastic user→item interest aggregation.
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
+        for (u, i) in train.ui_edges().into_iter().chain(train.pi_edges()) {
+            triplets.push((u, i, 1.0));
+        }
+        let raw = Csr::from_triplets(train.n_users, train.n_items, &triplets);
+        let sums = raw.row_sums();
+        let normalized: Vec<(usize, usize, f32)> = (0..train.n_users)
+            .flat_map(|u| {
+                let s = sums[u].max(1.0);
+                raw.row(u).map(move |(i, v)| (u, i, v / s)).collect::<Vec<_>>()
+            })
+            .collect();
+        let interest = Rc::new(Csr::from_triplets(train.n_users, train.n_items, &normalized));
+
+        let user_free =
+            Embedding::new(&mut store, &mut rng, "diffnet.users", train.n_users, cfg.d, 0.1);
+        let items = Embedding::new(&mut store, &mut rng, "diffnet.items", train.n_items, cfg.d, 0.1);
+        let diffusion = (0..cfg.layers)
+            .map(|l| Linear::new(&mut store, &mut rng, &format!("diffnet.l{l}"), cfg.d, cfg.d, true))
+            .collect();
+        Self { store, user_free, items, diffusion, social, interest }
+    }
+}
+
+impl Baseline for DiffNet {
+    fn name(&self) -> &'static str {
+        "DiffNet"
+    }
+
+    fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    fn embed(&self, ctx: &StepCtx<'_>) -> EmbedOut {
+        let items = self.items.full(ctx);
+        // Influence diffusion: h^{l+1} = σ(W(Â_social h^l)) + h^l.
+        let mut h = self.user_free.full(ctx);
+        for layer in &self.diffusion {
+            let diffused = layer.forward(ctx, &h.spmm_sym(&self.social)).sigmoid();
+            h = diffused.add(&h);
+        }
+        // Interest fusion: final user = diffused social state + mean of
+        // historically interacted items (DiffNet's u* = h^L + Σ r_i / |R|).
+        let interest = items.spmm(&self.interest);
+        let users = h.add(&interest);
+        EmbedOut { users_a: users.clone(), items, users_b: users }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::test_support::exercise_baseline;
+    use mgbr_data::{synthetic, SyntheticConfig};
+
+    #[test]
+    fn diffnet_embeds_with_social_signal() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let cfg = BaselineConfig::tiny();
+        let m = DiffNet::new(&cfg, &ds);
+        let ctx = StepCtx::new(m.store());
+        let emb = m.embed(&ctx);
+        assert_eq!(emb.users_a.rows(), ds.n_users);
+        assert_eq!(emb.users_a.cols(), cfg.d);
+        assert!(emb.users_a.value().all_finite());
+    }
+
+    #[test]
+    fn diffnet_trains_and_ranks() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        exercise_baseline(DiffNet::new(&BaselineConfig::tiny(), &ds), "DiffNet");
+    }
+}

@@ -1,0 +1,44 @@
+//! # mgbr-baselines
+//!
+//! The six baselines the paper compares against (§III-B), each
+//! re-implemented on the workspace substrate and tailored for *both*
+//! group-buying sub-tasks exactly as the paper prescribes:
+//!
+//! * **Task A** is ordinary item recommendation — every baseline scores it
+//!   with its native mechanism.
+//! * **Task B** is scored as the inner product of the initiator's and the
+//!   candidate participant's embeddings ("we can directly use the distance
+//!   of p's embedding and u's embedding as `s(p|u,i)` … we used inner
+//!   product").
+//! * All baselines are trained on both tasks simultaneously (BPR on each),
+//!   mirroring the paper's experimental setup.
+//!
+//! | Model | Signature mechanism kept in this port |
+//! |---|---|
+//! | [`DeepMf`]  | dual non-linear projection towers over latent factors |
+//! | [`Ngcf`]    | bi-interaction embedding propagation over the user-item graph |
+//! | [`DiffNet`] | layered social-influence diffusion over the user-user graph |
+//! | [`Eatnn`]   | attentive adaptive transfer between item and social domains |
+//! | [`Gbgcn`]   | role-separated (initiator/participant view) graph propagation |
+//! | [`Gbmf`]    | plain dot-product matrix factorization |
+//!
+//! All models implement [`Baseline`]; [`train_baseline`] provides the
+//! shared two-task BPR training loop and [`BaselineScorer`] the frozen
+//! evaluation adapter implementing
+//! [`mgbr_eval::GroupBuyScorer`].
+
+mod common;
+mod deepmf;
+mod diffnet;
+mod eatnn;
+mod gbgcn;
+mod gbmf;
+mod ngcf;
+
+pub use common::{train_baseline, Baseline, BaselineConfig, BaselineScorer, EmbedOut};
+pub use deepmf::DeepMf;
+pub use diffnet::DiffNet;
+pub use eatnn::Eatnn;
+pub use gbgcn::Gbgcn;
+pub use gbmf::Gbmf;
+pub use ngcf::Ngcf;

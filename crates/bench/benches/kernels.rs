@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks for the hot kernels under every
+//! experiment: GEMM, sparse propagation, GCN/MTL forward passes, a full
+//! MGBR training step, and evaluation scoring throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mgbr_core::{Mgbr, MgbrConfig};
+use mgbr_data::{synthetic, Sampler, SyntheticConfig};
+use mgbr_eval::GroupBuyScorer;
+use mgbr_graph::{spmm, Csr};
+use mgbr_nn::StepCtx;
+use mgbr_tensor::{matmul, Pcg32};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(1);
+    let a = rng.normal_tensor(128, 128, 0.0, 1.0);
+    let b = rng.normal_tensor(128, 128, 0.0, 1.0);
+    c.bench_function("gemm_128x128x128", |bench| {
+        bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+
+    let a2 = rng.normal_tensor(1024, 64, 0.0, 1.0);
+    let b2 = rng.normal_tensor(64, 64, 0.0, 1.0);
+    c.bench_function("gemm_batchrows_1024x64x64", |bench| {
+        bench.iter(|| black_box(matmul(black_box(&a2), black_box(&b2))))
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = Pcg32::seed_from_u64(2);
+    let n = 1000;
+    let edges: Vec<(usize, usize)> =
+        (0..8000).map(|_| (rng.below(n), rng.below(n))).collect();
+    let adj = Csr::undirected_adjacency(n, &edges).sym_normalized();
+    let x = rng.normal_tensor(n, 32, 0.0, 1.0);
+    c.bench_function("spmm_1000nodes_16knnz_d32", |bench| {
+        bench.iter(|| black_box(spmm(black_box(&adj), black_box(&x))))
+    });
+}
+
+fn mgbr_fixture() -> (Mgbr, mgbr_data::Dataset) {
+    let ds = synthetic::generate(&SyntheticConfig {
+        n_users: 300,
+        n_items: 120,
+        n_groups: 1200,
+        ..SyntheticConfig::default()
+    });
+    let model = Mgbr::new(MgbrConfig::repro_scale(), &ds);
+    (model, ds)
+}
+
+fn bench_mgbr_forward(c: &mut Criterion) {
+    let (model, _ds) = mgbr_fixture();
+    c.bench_function("mgbr_full_graph_embedding_forward", |bench| {
+        bench.iter(|| {
+            let ctx = StepCtx::new(&model.store);
+            black_box(model.embeddings(&ctx).users.value())
+        })
+    });
+
+    let scorer = model.scorer();
+    let items: Vec<u32> = (0..100).collect();
+    c.bench_function("mgbr_score_100_candidates", |bench| {
+        bench.iter(|| black_box(scorer.score_items(black_box(3), black_box(&items))))
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    use mgbr_core::{trainer, TrainConfig};
+    use mgbr_data::split_dataset;
+    let (mut model, ds) = mgbr_fixture();
+    let split = split_dataset(&ds, (7.0, 3.0, 1.0), 1);
+    let tc = TrainConfig { epochs: 1, ..TrainConfig::repro_scale() };
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.bench_function("mgbr_one_epoch", |bench| {
+        bench.iter(|| black_box(trainer::train(&mut model, &ds, &split, &tc).epoch_losses))
+    });
+    group.finish();
+}
+
+fn bench_eval_protocol(c: &mut Criterion) {
+    let (model, ds) = mgbr_fixture();
+    let scorer = model.scorer();
+    let mut sampler = Sampler::new(&ds, 5);
+    let instances = sampler.task_a_instances(&ds.groups[..100.min(ds.groups.len())], 9);
+    c.bench_function("evaluate_100_task_a_instances_at_10", |bench| {
+        bench.iter(|| {
+            black_box(mgbr_eval::evaluate_task_a(black_box(&scorer), black_box(&instances), 10))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_spmm,
+    bench_mgbr_forward,
+    bench_training_step,
+    bench_eval_protocol
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Table IV — ablation study: MGBR vs MGBR-M-R, MGBR-M, MGBR-G, MGBR-R,
+//! MGBR-D, with relative performance drops per metric.
+
+use mgbr_bench::{
+    print_result_header, print_result_row, train_and_eval, write_artifact, ExperimentEnv,
+    ModelKind, ModelResult,
+};
+use mgbr_core::MgbrVariant;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table4 {
+    scale: String,
+    rows: Vec<ModelResult>,
+    /// Relative drop vs full MGBR, per variant, per the 8 metric columns.
+    relative_drop_pct: Vec<(String, [f64; 8])>,
+}
+
+fn metric(r: &ModelResult, c: usize) -> f64 {
+    match c {
+        0 => r.task_a_10.mrr,
+        1 => r.task_a_10.ndcg,
+        2 => r.task_a_100.mrr,
+        3 => r.task_a_100.ndcg,
+        4 => r.task_b_10.mrr,
+        5 => r.task_b_10.ndcg,
+        6 => r.task_b_100.mrr,
+        _ => r.task_b_100.ndcg,
+    }
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    println!("# Table IV — ablation study (scale = {})\n", env.scale);
+
+    // Table IV order: -M-R, -M, -G, -R, -D, full.
+    let variants = MgbrVariant::all();
+    let mut rows = Vec::new();
+    print_result_header();
+    for v in variants {
+        let result = train_and_eval(ModelKind::Mgbr(v), &env);
+        print_result_row(&result);
+        rows.push(result);
+    }
+
+    let full = rows.last().expect("full MGBR last").clone();
+    let mut drops = Vec::new();
+    println!("\nRelative drop vs MGBR (negative = worse, as in the paper's R. Drop):");
+    for r in &rows[..rows.len() - 1] {
+        let mut cols = [0.0f64; 8];
+        for (c, col) in cols.iter_mut().enumerate() {
+            let m_full = metric(&full, c);
+            *col = 100.0 * (metric(r, c) - m_full) / m_full.max(1e-12);
+        }
+        println!(
+            "| {:<9} | {:+.1}% | {:+.1}% | {:+.1}% | {:+.1}% | {:+.1}% | {:+.1}% | {:+.1}% | {:+.1}% |",
+            r.model, cols[0], cols[1], cols[2], cols[3], cols[4], cols[5], cols[6], cols[7]
+        );
+        drops.push((r.model.clone(), cols));
+    }
+    println!("\nPaper shape to verify: -M / -M-R drop the most, -G the least on Task A;");
+    println!("-G's drop is clearly larger on Task B than on Task A; -D sits between.");
+
+    write_artifact(
+        "table4_ablation.json",
+        &Table4 { scale: env.scale.to_string(), rows, relative_drop_pct: drops },
+    );
+}

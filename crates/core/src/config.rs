@@ -1,0 +1,288 @@
+//! MGBR hyper-parameters (the paper's Table II) and training settings.
+
+/// Which variant of MGBR to build — the ablations of §III-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MgbrVariant {
+    /// The full model.
+    Full,
+    /// MGBR-M: shared expert network S and gate S removed (two-tower).
+    NoShared,
+    /// MGBR-R: auxiliary losses `L'_A` and `L'_B` removed.
+    NoAux,
+    /// MGBR-M-R: both the shared sub-module and the auxiliary losses
+    /// removed.
+    NoSharedNoAux,
+    /// MGBR-G: adjusted gated units removed (`α_A = α_B = 0`).
+    GenericGates,
+    /// MGBR-D: the three views replaced by one heterogeneous information
+    /// network (HIN) propagated by a single GCN.
+    Hin,
+}
+
+impl MgbrVariant {
+    /// Whether this variant keeps the shared (S) experts and gate.
+    pub fn has_shared(self) -> bool {
+        !matches!(self, MgbrVariant::NoShared | MgbrVariant::NoSharedNoAux)
+    }
+
+    /// Whether this variant trains with the auxiliary losses.
+    pub fn has_aux_losses(self) -> bool {
+        !matches!(self, MgbrVariant::NoAux | MgbrVariant::NoSharedNoAux)
+    }
+
+    /// Whether this variant keeps the adjusted gated units.
+    pub fn has_adjusted_gates(self) -> bool {
+        !matches!(self, MgbrVariant::GenericGates)
+    }
+
+    /// Whether this variant uses the single-HIN embedding module.
+    pub fn uses_hin(self) -> bool {
+        matches!(self, MgbrVariant::Hin)
+    }
+
+    /// The paper's name for this variant.
+    pub fn label(self) -> &'static str {
+        match self {
+            MgbrVariant::Full => "MGBR",
+            MgbrVariant::NoShared => "MGBR-M",
+            MgbrVariant::NoAux => "MGBR-R",
+            MgbrVariant::NoSharedNoAux => "MGBR-M-R",
+            MgbrVariant::GenericGates => "MGBR-G",
+            MgbrVariant::Hin => "MGBR-D",
+        }
+    }
+
+    /// All variants, in the paper's Table IV order plus the full model.
+    pub fn all() -> [MgbrVariant; 6] {
+        [
+            MgbrVariant::NoSharedNoAux,
+            MgbrVariant::NoShared,
+            MgbrVariant::GenericGates,
+            MgbrVariant::NoAux,
+            MgbrVariant::Hin,
+            MgbrVariant::Full,
+        ]
+    }
+}
+
+/// MGBR model hyper-parameters (Table II).
+#[derive(Debug, Clone)]
+pub struct MgbrConfig {
+    /// Per-view GCN embedding dimension `d`; object embeddings are `2d`.
+    pub d: usize,
+    /// Number of GCN layers `H`.
+    pub gcn_layers: usize,
+    /// Number of expert networks per sub-module `K`.
+    pub n_experts: usize,
+    /// Number of expert/gate layers `L` in the MTL module.
+    pub mtl_layers: usize,
+    /// Control coefficient `α_A` of gate A's adjusted unit (Eq. 12).
+    pub alpha_a: f32,
+    /// Control coefficient `α_B` of gate B's adjusted unit (Eq. 13).
+    pub alpha_b: f32,
+    /// Weight `β` of `L_B` in the overall loss (Eq. 25).
+    pub beta: f32,
+    /// Weight `β_A` of the auxiliary loss `L'_A`.
+    pub beta_a: f32,
+    /// Weight `β_B` of the auxiliary loss `L'_B`.
+    pub beta_b: f32,
+    /// Negative-sampling size `|T|` in the auxiliary losses.
+    pub t_size: usize,
+    /// Hidden widths of the per-task prediction MLPs (input `d` and
+    /// output `1` are implied).
+    pub mlp_hidden: Vec<usize>,
+    /// Softmax-normalize gate attention weights (MMoE-style). The paper's
+    /// Eq. 10/13/14 are written without normalization, which is the
+    /// default; the ablation bench covers both.
+    pub gate_softmax: bool,
+    /// Feed the first MTL layer the single `6d` vector `g^0` (the paper's
+    /// stated `W¹ ∈ R^{6d×d}` shape) instead of literally concatenating
+    /// the identical gate outputs per Eq. 7-9. See `DESIGN.md` §2.
+    pub first_layer_dedup: bool,
+    /// Include participant-participant edges in the social view `G_UP`
+    /// (the paper's footnote 1 reports this slightly *hurts*; default
+    /// follows the paper and omits them).
+    pub up_include_pp_edges: bool,
+    /// Which ablation variant to build.
+    pub variant: MgbrVariant,
+    /// Parameter-initialization seed.
+    pub seed: u64,
+}
+
+impl MgbrConfig {
+    /// Exactly the paper's Table II settings (`d=128, H=2, K=6, L=2,
+    /// |T|=99, α=0.1, β=1, β_A=β_B=0.3`).
+    pub fn paper() -> Self {
+        Self {
+            d: 128,
+            gcn_layers: 2,
+            n_experts: 6,
+            mtl_layers: 2,
+            alpha_a: 0.1,
+            alpha_b: 0.1,
+            beta: 1.0,
+            beta_a: 0.3,
+            beta_b: 0.3,
+            t_size: 99,
+            mlp_hidden: vec![64],
+            gate_softmax: false,
+            first_layer_dedup: true,
+            up_include_pp_edges: false,
+            variant: MgbrVariant::Full,
+            seed: 42,
+        }
+    }
+
+    /// The reduced reproduction scale used by the experiment harness
+    /// (same structure, smaller `d` and `|T|`; see `DESIGN.md` §6).
+    pub fn repro_scale() -> Self {
+        Self { d: 16, t_size: 8, mlp_hidden: vec![16], ..Self::paper() }
+    }
+
+    /// A miniature configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            d: 4,
+            n_experts: 2,
+            t_size: 3,
+            mlp_hidden: vec![4],
+            ..Self::paper()
+        }
+    }
+
+    /// Derives the same config with a different variant.
+    pub fn with_variant(mut self, variant: MgbrVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Object-embedding width `2d` (Eq. 4-6).
+    pub fn obj_dim(&self) -> usize {
+        2 * self.d
+    }
+
+    /// Width of `g⁰ = e_u ‖ e_i ‖ e_p` (Eq. 15).
+    pub fn g0_dim(&self) -> usize {
+        3 * self.obj_dim()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate settings.
+    pub fn validate(&self) {
+        assert!(self.d >= 1, "embedding dim must be positive");
+        assert!(self.gcn_layers >= 1, "need at least one GCN layer");
+        assert!(self.n_experts >= 1, "need at least one expert");
+        assert!(self.mtl_layers >= 1, "need at least one MTL layer");
+        assert!(self.t_size >= 1, "auxiliary sampling size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.alpha_a) && (0.0..=1.0).contains(&self.alpha_b),
+            "α must be in [0,1]"
+        );
+    }
+}
+
+/// Training-loop settings (§II-F, §III-C).
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Adam learning rate `ρ`.
+    pub lr: f32,
+    /// Minibatch size `B` (over positive instances).
+    pub batch_size: usize,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// Training negatives per positive (the paper's 1:9).
+    pub n_neg: usize,
+    /// Global-norm gradient clip (`None` disables).
+    pub grad_clip: Option<f32>,
+    /// Sampling/shuffling seed.
+    pub seed: u64,
+    /// Resample negatives every epoch (the paper's stochastic protocol).
+    pub resample_per_epoch: bool,
+    /// Reset Adam's moment estimates at each epoch boundary (warm
+    /// restarts). Empirically this breaks MGBR's early optimization
+    /// plateau several epochs sooner at reproduction scale; disable to
+    /// match classic single-run Adam.
+    pub adam_warm_restarts: bool,
+}
+
+impl TrainConfig {
+    /// The paper's settings: `ρ = 2e-4`, batch 64, 1:9 negatives.
+    pub fn paper() -> Self {
+        Self {
+            lr: 2e-4,
+            batch_size: 64,
+            epochs: 30,
+            n_neg: 9,
+            grad_clip: Some(5.0),
+            seed: 7,
+            resample_per_epoch: true,
+            adam_warm_restarts: true,
+        }
+    }
+
+    /// Reduced reproduction scale: a larger learning rate and fewer,
+    /// larger batches compensate for the far smaller number of
+    /// optimization steps available on one CPU core (documented in
+    /// `EXPERIMENTS.md`).
+    pub fn repro_scale() -> Self {
+        Self { lr: 3e-3, epochs: 22, batch_size: 128, ..Self::paper() }
+    }
+
+    /// A miniature configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self { lr: 5e-3, epochs: 2, batch_size: 32, n_neg: 4, ..Self::paper() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table_two() {
+        let c = MgbrConfig::paper();
+        assert_eq!(c.d, 128);
+        assert_eq!(c.gcn_layers, 2);
+        assert_eq!(c.n_experts, 6);
+        assert_eq!(c.mtl_layers, 2);
+        assert_eq!(c.t_size, 99);
+        assert_eq!(c.alpha_a, 0.1);
+        assert_eq!(c.beta, 1.0);
+        assert_eq!(c.beta_a, 0.3);
+        assert_eq!(c.beta_b, 0.3);
+        assert_eq!(c.obj_dim(), 256);
+        assert_eq!(c.g0_dim(), 768);
+        c.validate();
+    }
+
+    #[test]
+    fn paper_train_config_matches_table_two() {
+        let t = TrainConfig::paper();
+        assert_eq!(t.lr, 2e-4);
+        assert_eq!(t.batch_size, 64);
+        assert_eq!(t.n_neg, 9);
+    }
+
+    #[test]
+    fn variant_capability_matrix() {
+        use MgbrVariant::*;
+        assert!(Full.has_shared() && Full.has_aux_losses() && Full.has_adjusted_gates());
+        assert!(!NoShared.has_shared() && NoShared.has_aux_losses());
+        assert!(NoAux.has_shared() && !NoAux.has_aux_losses());
+        assert!(!NoSharedNoAux.has_shared() && !NoSharedNoAux.has_aux_losses());
+        assert!(!GenericGates.has_adjusted_gates() && GenericGates.has_shared());
+        assert!(Hin.uses_hin() && Hin.has_shared() && Hin.has_aux_losses());
+        assert_eq!(Full.label(), "MGBR");
+        assert_eq!(NoSharedNoAux.label(), "MGBR-M-R");
+        assert_eq!(MgbrVariant::all().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn degenerate_config_rejected() {
+        MgbrConfig { d: 0, ..MgbrConfig::tiny() }.validate();
+    }
+}

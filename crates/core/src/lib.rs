@@ -1,0 +1,46 @@
+//! # mgbr-core
+//!
+//! The paper's primary contribution: **MGBR**, the multi-task-learning
+//! based group-buying recommendation model (Zhai et al., ICDE 2023),
+//! together with its five ablated variants and the training loop.
+//!
+//! ## Architecture (Fig. 2 of the paper)
+//!
+//! 1. **Multi-view embedding learning** ([`multiview`]) — GCNs over the
+//!    initiator-view `G_UI`, participant-view `G_PI` and social-view
+//!    `G_UP`, concatenated into object embeddings
+//!    `e_u, e_i, e_p ∈ R^{2d}` (Eq. 1-6).
+//! 2. **Multi-task learning module** ([`mtl`]) — `L` layers of `K` expert
+//!    networks per sub-module (task A, task B, shared S) with generic and
+//!    *adjusted* gated units (Eq. 7-15).
+//! 3. **Prediction module** (per-task MLPs inside [`model`]) — producing
+//!    `s(i|u)` and `s(p|u,i)` (Eq. 16-17).
+//!
+//! Optimization ([`loss`], [`trainer`]) uses BPR losses for both sub-tasks
+//! plus the two auxiliary representation-refinement losses `L'_A`
+//! (ListNet over item/participant-corrupted triples, Eq. 21) and `L'_B`
+//! (BPR over item-corrupted triples, Eq. 24), combined per Eq. 25.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use mgbr_core::{Mgbr, MgbrConfig, TrainConfig, trainer};
+//! use mgbr_data::{synthetic, SyntheticConfig, split_dataset};
+//!
+//! let ds = synthetic::generate(&SyntheticConfig::default());
+//! let split = split_dataset(&ds, (7.0, 3.0, 1.0), 42);
+//! let mut model = Mgbr::new(MgbrConfig::repro_scale(), &split.train_dataset());
+//! let report = trainer::train(&mut model, &ds, &split, &TrainConfig::repro_scale());
+//! println!("final loss {:.4}", report.epoch_losses.last().unwrap());
+//! ```
+
+pub mod config;
+pub mod loss;
+pub mod model;
+pub mod mtl;
+pub mod multiview;
+pub mod trainer;
+
+pub use config::{MgbrConfig, MgbrVariant, TrainConfig};
+pub use model::{Mgbr, MgbrScorer};
+pub use trainer::{train, train_with_validation, TrainReport};

@@ -1,0 +1,294 @@
+//! Loss assembly for one training step (§II-F, §II-G).
+//!
+//! Index plumbing lives here: each loss builds flat row batches of
+//! `(u, i, p)` triples, scores them through the model, and pairs/reshapes
+//! the flat score column into the ranking structure its objective needs.
+
+use std::rc::Rc;
+
+use mgbr_autograd::Var;
+use mgbr_data::{TaskAInstance, TaskBInstance};
+use mgbr_nn::{bpr_loss, listwise_first_is_positive_loss, StepCtx};
+
+use crate::model::{gather, Mgbr};
+use crate::multiview::ObjectEmbeddings;
+
+/// Auxiliary-loss sample: one observed triple plus its corruption lists
+/// `T_t^I` and `T_t^P` (§II-G).
+#[derive(Debug, Clone)]
+pub struct AuxSample {
+    /// Initiator `u`.
+    pub user: u32,
+    /// Observed item `i`.
+    pub item: u32,
+    /// Observed participant `p`.
+    pub participant: u32,
+    /// Corrupted items `i' ∈ T_t^I` (`|T|` of them).
+    pub corrupt_items: Vec<u32>,
+    /// Corrupted participants `p' ∈ T_t^P` (`|T|` of them).
+    pub corrupt_participants: Vec<u32>,
+}
+
+/// Tiles index `0` (for broadcasting a 1-row var across a batch).
+fn zeros(n: usize) -> Vec<usize> {
+    vec![0; n]
+}
+
+/// Task A BPR loss `L_A` (Eq. 19) over a batch of instances: one MTL pass
+/// over positives and negatives, then pairwise BPR.
+///
+/// `e_p` is the mean participant-role embedding (Eq. 16's averaging).
+pub fn task_a_loss(
+    model: &Mgbr,
+    ctx: &StepCtx<'_>,
+    emb: &ObjectEmbeddings,
+    mean_p: &Var,
+    batch: &[&TaskAInstance],
+) -> Var {
+    let n = batch.len();
+    let k = batch[0].neg_items.len();
+    let mut users = Vec::with_capacity(n * (1 + k));
+    let mut items = Vec::with_capacity(n * (1 + k));
+    for inst in batch {
+        users.push(inst.user as usize);
+        items.push(inst.pos_item as usize);
+    }
+    for inst in batch {
+        for &neg in &inst.neg_items {
+            users.push(inst.user as usize);
+            items.push(neg as usize);
+        }
+    }
+    let rows = users.len();
+    let e_u = gather(&emb.users, users);
+    let e_i = gather(&emb.items, items);
+    let e_p = mean_p.gather_rows(Rc::new(zeros(rows)));
+    let scores = model.logit_a(ctx, &e_u, &e_i, &e_p);
+
+    // Pair positive j with each of its k negatives.
+    let mut pos_idx = Vec::with_capacity(n * k);
+    for j in 0..n {
+        pos_idx.extend(std::iter::repeat_n(j, k));
+    }
+    let neg_idx: Vec<usize> = (n..n + n * k).collect();
+    bpr_loss(
+        &scores.gather_rows(Rc::new(pos_idx)),
+        &scores.gather_rows(Rc::new(neg_idx)),
+    )
+}
+
+/// Task B BPR loss `L_B` (Eq. 19) over a batch of instances.
+pub fn task_b_loss(
+    model: &Mgbr,
+    ctx: &StepCtx<'_>,
+    emb: &ObjectEmbeddings,
+    batch: &[&TaskBInstance],
+) -> Var {
+    let n = batch.len();
+    let k = batch[0].neg_participants.len();
+    let mut users = Vec::with_capacity(n * (1 + k));
+    let mut items = Vec::with_capacity(n * (1 + k));
+    let mut parts = Vec::with_capacity(n * (1 + k));
+    for inst in batch {
+        users.push(inst.user as usize);
+        items.push(inst.item as usize);
+        parts.push(inst.pos_participant as usize);
+    }
+    for inst in batch {
+        for &neg in &inst.neg_participants {
+            users.push(inst.user as usize);
+            items.push(inst.item as usize);
+            parts.push(neg as usize);
+        }
+    }
+    let e_u = gather(&emb.users, users);
+    let e_i = gather(&emb.items, items);
+    let e_p = gather(&emb.participants, parts);
+    let scores = model.logit_b(ctx, &e_u, &e_i, &e_p);
+
+    let mut pos_idx = Vec::with_capacity(n * k);
+    for j in 0..n {
+        pos_idx.extend(std::iter::repeat_n(j, k));
+    }
+    let neg_idx: Vec<usize> = (n..n + n * k).collect();
+    bpr_loss(
+        &scores.gather_rows(Rc::new(pos_idx)),
+        &scores.gather_rows(Rc::new(neg_idx)),
+    )
+}
+
+/// Task A's auxiliary ListNet loss `L'_A` (Eq. 21): for each observed
+/// triple, the candidate list `{t} ∪ T_t^I ∪ T_t^P` is scored through the
+/// *Task A* head with the concrete participant embedding, and the model
+/// is trained to put all probability mass on the true triple.
+pub fn aux_a_loss(
+    model: &Mgbr,
+    ctx: &StepCtx<'_>,
+    emb: &ObjectEmbeddings,
+    batch: &[&AuxSample],
+) -> Var {
+    let n = batch.len();
+    let t = batch[0].corrupt_items.len();
+    debug_assert_eq!(t, batch[0].corrupt_participants.len());
+    let list_len = 1 + 2 * t;
+    let mut users = Vec::with_capacity(n * list_len);
+    let mut items = Vec::with_capacity(n * list_len);
+    let mut parts = Vec::with_capacity(n * list_len);
+    for s in batch {
+        // True triple first — the listwise loss treats column 0 as the
+        // positive.
+        users.push(s.user as usize);
+        items.push(s.item as usize);
+        parts.push(s.participant as usize);
+        for &i_neg in &s.corrupt_items {
+            users.push(s.user as usize);
+            items.push(i_neg as usize);
+            parts.push(s.participant as usize);
+        }
+        for &p_neg in &s.corrupt_participants {
+            users.push(s.user as usize);
+            items.push(s.item as usize);
+            parts.push(p_neg as usize);
+        }
+    }
+    let e_u = gather(&emb.users, users);
+    let e_i = gather(&emb.items, items);
+    let e_p = gather(&emb.participants, parts);
+    let scores = model.logit_a(ctx, &e_u, &e_i, &e_p);
+    listwise_first_is_positive_loss(&scores.reshape(n, list_len))
+}
+
+/// Task B's auxiliary BPR loss `L'_B` (Eq. 24): `s(p|u,i)` must beat
+/// `s(p|u,i')` for every corrupted item `i' ∈ T_t^I`.
+pub fn aux_b_loss(
+    model: &Mgbr,
+    ctx: &StepCtx<'_>,
+    emb: &ObjectEmbeddings,
+    batch: &[&AuxSample],
+) -> Var {
+    let n = batch.len();
+    let t = batch[0].corrupt_items.len();
+    let stride = 1 + t;
+    let mut users = Vec::with_capacity(n * stride);
+    let mut items = Vec::with_capacity(n * stride);
+    let mut parts = Vec::with_capacity(n * stride);
+    for s in batch {
+        users.push(s.user as usize);
+        items.push(s.item as usize);
+        parts.push(s.participant as usize);
+        for &i_neg in &s.corrupt_items {
+            users.push(s.user as usize);
+            items.push(i_neg as usize);
+            parts.push(s.participant as usize);
+        }
+    }
+    let e_u = gather(&emb.users, users);
+    let e_i = gather(&emb.items, items);
+    let e_p = gather(&emb.participants, parts);
+    let scores = model.logit_b(ctx, &e_u, &e_i, &e_p);
+
+    let mut pos_idx = Vec::with_capacity(n * t);
+    let mut neg_idx = Vec::with_capacity(n * t);
+    for j in 0..n {
+        for c in 0..t {
+            pos_idx.push(j * stride);
+            neg_idx.push(j * stride + 1 + c);
+        }
+    }
+    bpr_loss(
+        &scores.gather_rows(Rc::new(pos_idx)),
+        &scores.gather_rows(Rc::new(neg_idx)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MgbrConfig, MgbrVariant};
+    use mgbr_data::{synthetic, Sampler, SyntheticConfig};
+
+    fn fixture() -> (Mgbr, mgbr_data::Dataset, Sampler) {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let model = Mgbr::new(MgbrConfig::tiny(), &ds);
+        let sampler = Sampler::new(&ds, 3);
+        (model, ds, sampler)
+    }
+
+    fn aux_samples(ds: &mgbr_data::Dataset, sampler: &mut Sampler, t: usize) -> Vec<AuxSample> {
+        ds.groups
+            .iter()
+            .filter(|g| !g.participants.is_empty())
+            .take(6)
+            .map(|g| {
+                let (ci, cp) = sampler.aux_corruptions(g.initiator, g.item, t);
+                AuxSample {
+                    user: g.initiator,
+                    item: g.item,
+                    participant: g.participants[0],
+                    corrupt_items: ci,
+                    corrupt_participants: cp,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_losses_are_finite_scalars() {
+        let (model, ds, mut sampler) = fixture();
+        let a_insts = sampler.task_a_instances(&ds.groups[..8], 4);
+        let b_insts = sampler.task_b_instances(&ds.groups[..8], 4);
+        let aux = aux_samples(&ds, &mut sampler, 3);
+
+        let ctx = StepCtx::new(&model.store);
+        let emb = model.embeddings(&ctx);
+        let mean_p = emb.participants.mean_rows();
+
+        let a_refs: Vec<&TaskAInstance> = a_insts.iter().collect();
+        let b_refs: Vec<&TaskBInstance> = b_insts.iter().collect();
+        let aux_refs: Vec<&AuxSample> = aux.iter().collect();
+
+        let la = task_a_loss(&model, &ctx, &emb, &mean_p, &a_refs);
+        let lb = task_b_loss(&model, &ctx, &emb, &b_refs);
+        let laa = aux_a_loss(&model, &ctx, &emb, &aux_refs);
+        let lab = aux_b_loss(&model, &ctx, &emb, &aux_refs);
+
+        for (name, l) in [("L_A", &la), ("L_B", &lb), ("L'_A", &laa), ("L'_B", &lab)] {
+            let v = l.value().scalar();
+            assert!(v.is_finite() && v > 0.0, "{name} = {v}");
+        }
+
+        // A combined backward touches parameters from every sub-module.
+        let total = la.add(&lb).add(&laa.scale(0.3)).add(&lab.scale(0.3));
+        let grads = ctx.backward(&total);
+        assert!(grads.all_finite());
+        assert!(grads.touched() > model.store.len() / 2, "most parameters should train");
+    }
+
+    #[test]
+    fn aux_a_listnet_baseline_value() {
+        // On an untrained model, scores are near-uniform, so L'_A starts
+        // near ln(list_len).
+        let (model, ds, mut sampler) = fixture();
+        let aux = aux_samples(&ds, &mut sampler, 3);
+        let ctx = StepCtx::new(&model.store);
+        let emb = model.embeddings(&ctx);
+        let refs: Vec<&AuxSample> = aux.iter().collect();
+        let l = aux_a_loss(&model, &ctx, &emb, &refs).value().scalar();
+        let uniform = (1.0f32 + 2.0 * 3.0).ln();
+        assert!((l - uniform).abs() < 0.5, "L'_A {l} should start near ln(7)={uniform}");
+    }
+
+    #[test]
+    fn losses_work_for_no_shared_variant() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let model = Mgbr::new(MgbrConfig::tiny().with_variant(MgbrVariant::NoShared), &ds);
+        let mut sampler = Sampler::new(&ds, 4);
+        let a = sampler.task_a_instances(&ds.groups[..4], 3);
+        let ctx = StepCtx::new(&model.store);
+        let emb = model.embeddings(&ctx);
+        let mean_p = emb.participants.mean_rows();
+        let refs: Vec<&TaskAInstance> = a.iter().collect();
+        let l = task_a_loss(&model, &ctx, &emb, &mean_p, &refs).value().scalar();
+        assert!(l.is_finite());
+    }
+}

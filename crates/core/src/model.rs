@@ -1,0 +1,316 @@
+//! The assembled MGBR model: embedding module + MTL module + per-task
+//! prediction MLPs (Eq. 16-17), plus the frozen scorer used for
+//! evaluation.
+
+use std::rc::Rc;
+
+use mgbr_autograd::Var;
+use mgbr_data::Dataset;
+use mgbr_eval::GroupBuyScorer;
+use mgbr_nn::{Activation, Mlp, ParamStore, StepCtx};
+use mgbr_tensor::{Pcg32, Tensor};
+
+use crate::multiview::{EmbeddingModule, ObjectEmbeddings};
+use crate::mtl::MtlModule;
+use crate::MgbrConfig;
+
+/// The MGBR model (or one of its ablated variants, per
+/// [`MgbrConfig::variant`]).
+pub struct Mgbr {
+    /// The hyper-parameters this model was built with.
+    pub cfg: MgbrConfig,
+    /// All trainable parameters.
+    pub store: ParamStore,
+    embedding: EmbeddingModule,
+    mtl: MtlModule,
+    mlp_a: Mlp,
+    mlp_b: Mlp,
+    n_users: usize,
+    n_items: usize,
+}
+
+impl Mgbr {
+    /// Builds the model over the training partition's interaction graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate config or empty id spaces.
+    pub fn new(cfg: MgbrConfig, train: &Dataset) -> Self {
+        cfg.validate();
+        assert!(train.n_users > 0 && train.n_items > 0, "empty id spaces");
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(cfg.seed);
+        let embedding = EmbeddingModule::new(&mut store, &mut rng, &cfg, train);
+        let mtl = MtlModule::new(&mut store, &mut rng, &cfg);
+        let mut dims = vec![cfg.d];
+        dims.extend_from_slice(&cfg.mlp_hidden);
+        dims.push(1);
+        let mlp_a =
+            Mlp::new(&mut store, &mut rng, "mlpA", &dims, Activation::Relu, Activation::Identity);
+        let mlp_b =
+            Mlp::new(&mut store, &mut rng, "mlpB", &dims, Activation::Relu, Activation::Identity);
+        Self {
+            cfg,
+            store,
+            embedding,
+            mtl,
+            mlp_a,
+            mlp_b,
+            n_users: train.n_users,
+            n_items: train.n_items,
+        }
+    }
+
+    /// `|U|` this model was built for.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// `|I|` this model was built for.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Total trainable scalars (Table V's "Para. number").
+    pub fn param_count(&self) -> usize {
+        self.store.scalar_count()
+    }
+
+    /// Runs the embedding module for this step.
+    pub fn embeddings(&self, ctx: &StepCtx<'_>) -> ObjectEmbeddings {
+        self.embedding.forward(ctx)
+    }
+
+    /// Task A pre-sigmoid logit `MLP_A(g_A^L)` for batched triples. The
+    /// caller chooses `e_p` (mean-user for ranking, a concrete
+    /// participant for the auxiliary loss `s(u,i,p)`).
+    ///
+    /// Losses train on logits: `σ` (Eq. 16) is strictly monotone, so the
+    /// ranking objective is identical, while BPR on already-squashed
+    /// scores saturates `σ` to exact 0/1 in `f32` and permanently kills
+    /// the gradient (observed in integration testing; see DESIGN.md §2).
+    pub fn logit_a(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> Var {
+        let (g_a, _) = self.mtl.forward(ctx, e_u, e_i, e_p);
+        self.mlp_a.forward(ctx, &g_a)
+    }
+
+    /// Task B pre-sigmoid logit `MLP_B(g_B^L)` for batched triples.
+    pub fn logit_b(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> Var {
+        let (_, g_b) = self.mtl.forward(ctx, e_u, e_i, e_p);
+        self.mlp_b.forward(ctx, &g_b)
+    }
+
+    /// Task A score `s(i|u) = σ(MLP_A(g_A^L))` (Eq. 16).
+    pub fn score_a(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> Var {
+        self.logit_a(ctx, e_u, e_i, e_p).sigmoid()
+    }
+
+    /// Task B score `s(p|u,i) = σ(MLP_B(g_B^L))` (Eq. 17).
+    pub fn score_b(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> Var {
+        self.logit_b(ctx, e_u, e_i, e_p).sigmoid()
+    }
+
+    /// Both heads in one MTL pass (used when a batch needs A- and
+    /// B-scores of the same triples).
+    pub fn score_both(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> (Var, Var) {
+        let (g_a, g_b) = self.mtl.forward(ctx, e_u, e_i, e_p);
+        (
+            self.mlp_a.forward(ctx, &g_a).sigmoid(),
+            self.mlp_b.forward(ctx, &g_b).sigmoid(),
+        )
+    }
+
+    /// Freezes the current parameters into an evaluation scorer,
+    /// precomputing the full-graph embeddings once.
+    pub fn scorer(&self) -> MgbrScorer<'_> {
+        let ctx = StepCtx::new(&self.store);
+        let emb = self.embeddings(&ctx);
+        let users = emb.users.value();
+        let items = emb.items.value();
+        let participants = emb.participants.value();
+        let mean_participant = participants.mean_rows();
+        MgbrScorer { model: self, users, items, participants, mean_participant }
+    }
+}
+
+/// A frozen MGBR ready for ranking evaluation.
+///
+/// Embeddings are precomputed; each scoring call replays only the MTL and
+/// prediction modules on the candidate batch.
+pub struct MgbrScorer<'m> {
+    model: &'m Mgbr,
+    users: Tensor,
+    items: Tensor,
+    participants: Tensor,
+    mean_participant: Tensor,
+}
+
+impl MgbrScorer<'_> {
+    /// The frozen initiator-role embedding matrix (`|U| × 2d`).
+    pub fn user_embeddings(&self) -> &Tensor {
+        &self.users
+    }
+
+    /// The frozen item embedding matrix (`|I| × 2d`).
+    pub fn item_embeddings(&self) -> &Tensor {
+        &self.items
+    }
+
+    /// The frozen participant-role embedding matrix (`|U| × 2d`).
+    pub fn participant_embeddings(&self) -> &Tensor {
+        &self.participants
+    }
+
+    fn tile(&self, row: &[f32], n: usize) -> Tensor {
+        let mut t = Tensor::zeros(n, row.len());
+        for r in 0..n {
+            t.row_mut(r).copy_from_slice(row);
+        }
+        t
+    }
+}
+
+impl GroupBuyScorer for MgbrScorer<'_> {
+    fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        let n = items.len();
+        let ctx = StepCtx::new(&self.model.store);
+        let e_u = ctx.constant(self.tile(self.users.row(user as usize), n));
+        let idx: Vec<usize> = items.iter().map(|&i| i as usize).collect();
+        let e_i = ctx.constant(self.items.gather_rows(&idx));
+        // Task A uses the mean over all users' participant-role
+        // embeddings as e_p (Eq. 16's averaging rule). Ranking happens on
+        // the pre-sigmoid logits: σ is strictly monotone, so the order is
+        // Eq. 16's, but large logits would flatten to exactly 1.0 in f32
+        // and destroy the ordering information.
+        let e_p = ctx.constant(self.tile(self.mean_participant.row(0), n));
+        self.model.logit_a(&ctx, &e_u, &e_i, &e_p).value().into_vec()
+    }
+
+    fn score_participants(&self, user: u32, item: u32, candidates: &[u32]) -> Vec<f32> {
+        let n = candidates.len();
+        let ctx = StepCtx::new(&self.model.store);
+        let e_u = ctx.constant(self.tile(self.users.row(user as usize), n));
+        let e_i = ctx.constant(self.tile(self.items.row(item as usize), n));
+        let idx: Vec<usize> = candidates.iter().map(|&p| p as usize).collect();
+        let e_p = ctx.constant(self.participants.gather_rows(&idx));
+        self.model.logit_b(&ctx, &e_u, &e_i, &e_p).value().into_vec()
+    }
+
+    fn name(&self) -> &str {
+        self.model.cfg.variant.label()
+    }
+}
+
+/// Convenience: gathers batched embedding rows for index slices.
+pub(crate) fn gather(emb: &Var, idx: Vec<usize>) -> Var {
+    emb.gather_rows(Rc::new(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MgbrVariant;
+    use mgbr_data::{synthetic, SyntheticConfig};
+
+    fn model(variant: MgbrVariant) -> (Mgbr, Dataset) {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let m = Mgbr::new(MgbrConfig::tiny().with_variant(variant), &ds);
+        (m, ds)
+    }
+
+    #[test]
+    fn scorer_outputs_are_finite_logits() {
+        let (m, ds) = model(MgbrVariant::Full);
+        let scorer = m.scorer();
+        let items: Vec<u32> = (0..10).collect();
+        let s = scorer.score_items(0, &items);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|x| x.is_finite()), "{s:?}");
+
+        let parts: Vec<u32> = (1..11).collect();
+        let sp = scorer.score_participants(0, 0, &parts);
+        assert_eq!(sp.len(), 10);
+        assert!(sp.iter().all(|x| x.is_finite()));
+        let _ = ds;
+    }
+
+    #[test]
+    fn eq16_scores_are_probabilities_and_order_matches_logits() {
+        // The paper-facing score_a/score_b (Eq. 16-17) stay in (0,1) and
+        // rank identically to the logits the scorer uses.
+        let (m, _) = model(MgbrVariant::Full);
+        let ctx = StepCtx::new(&m.store);
+        let emb = m.embeddings(&ctx);
+        let e_u = gather(&emb.users, vec![0; 6]);
+        let e_i = gather(&emb.items, vec![0, 1, 2, 3, 4, 5]);
+        let e_p = gather(&emb.participants, vec![1; 6]);
+        let probs = m.score_a(&ctx, &e_u, &e_i, &e_p).value();
+        let logits = m.logit_a(&ctx, &e_u, &e_i, &e_p).value();
+        assert!(probs.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        for a in 0..6 {
+            for b in 0..6 {
+                let p_ord = probs.get(a, 0) > probs.get(b, 0);
+                let l_ord = logits.get(a, 0) > logits.get(b, 0);
+                assert_eq!(p_ord, l_ord, "sigmoid must preserve ordering");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_discriminate_between_candidates() {
+        let (m, _) = model(MgbrVariant::Full);
+        let scorer = m.scorer();
+        let items: Vec<u32> = (0..10).collect();
+        let s = scorer.score_items(3, &items);
+        let min = s.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = s.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max > min, "untrained model should still vary across items");
+    }
+
+    #[test]
+    fn scoring_is_deterministic() {
+        let (m, _) = model(MgbrVariant::Full);
+        let scorer = m.scorer();
+        let items: Vec<u32> = (5..15).collect();
+        assert_eq!(scorer.score_items(2, &items), scorer.score_items(2, &items));
+    }
+
+    #[test]
+    fn every_variant_builds_and_scores() {
+        for v in MgbrVariant::all() {
+            let (m, _) = model(v);
+            let scorer = m.scorer();
+            assert_eq!(scorer.name(), v.label());
+            let s = scorer.score_items(1, &[0, 1, 2]);
+            assert!(s.iter().all(|x| x.is_finite()), "{v:?}");
+            let sp = scorer.score_participants(1, 0, &[2, 3]);
+            assert!(sp.iter().all(|x| x.is_finite()), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn variant_param_counts_ordered() {
+        let full = model(MgbrVariant::Full).0.param_count();
+        let m = model(MgbrVariant::NoShared).0.param_count();
+        let g = model(MgbrVariant::GenericGates).0.param_count();
+        let r = model(MgbrVariant::NoAux).0.param_count();
+        assert!(m < full);
+        assert!(g < full);
+        assert_eq!(r, full, "MGBR-R only changes the loss, not the architecture");
+    }
+
+    #[test]
+    fn score_both_heads_agree_with_individual_paths() {
+        let (m, _) = model(MgbrVariant::Full);
+        let ctx = StepCtx::new(&m.store);
+        let emb = m.embeddings(&ctx);
+        let e_u = gather(&emb.users, vec![0, 1]);
+        let e_i = gather(&emb.items, vec![0, 1]);
+        let e_p = gather(&emb.participants, vec![2, 3]);
+        let (sa, sb) = m.score_both(&ctx, &e_u, &e_i, &e_p);
+        let sa2 = m.score_a(&ctx, &e_u, &e_i, &e_p);
+        let sb2 = m.score_b(&ctx, &e_u, &e_i, &e_p);
+        assert_eq!(sa.value(), sa2.value());
+        assert_eq!(sb.value(), sb2.value());
+    }
+}

@@ -1,0 +1,506 @@
+//! The multi-task learning module (§II-D, Fig. 3): `L` layers, each with
+//! `K` expert networks per sub-module (A, B, and shared S) and one gate
+//! per sub-module combining a generic gated unit (Eq. 10/13/14) with an
+//! adjusted gated unit driven by the pair embeddings (Eq. 11-13).
+
+use mgbr_autograd::Var;
+use mgbr_nn::{Linear, ParamStore, StepCtx};
+use mgbr_tensor::Pcg32;
+
+use crate::MgbrConfig;
+
+/// Batched pair embeddings `e_u‖e_i`, `e_i‖e_p`, `e_u‖e_p` (each
+/// `B × 4d`), the inputs of the adjusted gated units.
+pub struct PairEmbeds {
+    /// `e_u ‖ e_i` — the pair Task A focuses on.
+    pub ui: Var,
+    /// `e_i ‖ e_p` — participant preference on the item.
+    pub ip: Var,
+    /// `e_u ‖ e_p` — initiator/participant preference similarity.
+    pub up: Var,
+}
+
+impl PairEmbeds {
+    /// Assembles the pair embeddings from batched object embeddings.
+    pub fn new(e_u: &Var, e_i: &Var, e_p: &Var) -> Self {
+        Self {
+            ui: Var::concat_cols(&[e_u, e_i]),
+            ip: Var::concat_cols(&[e_i, e_p]),
+            up: Var::concat_cols(&[e_u, e_p]),
+        }
+    }
+}
+
+/// Gate outputs flowing between layers.
+struct LayerState {
+    g_a: Var,
+    g_b: Var,
+    g_s: Option<Var>,
+}
+
+/// `K` expert networks sharing an input (Eq. 7-9: bias-free linear maps).
+struct ExpertBank {
+    experts: Vec<Linear>,
+}
+
+impl ExpertBank {
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut Pcg32,
+        name: &str,
+        k: usize,
+        in_dim: usize,
+        out_dim: usize,
+    ) -> Self {
+        let experts = (0..k)
+            .map(|i| Linear::new(store, rng, &format!("{name}.e{i}"), in_dim, out_dim, false))
+            .collect();
+        Self { experts }
+    }
+
+    fn forward(&self, ctx: &StepCtx<'_>, input: &Var) -> Vec<Var> {
+        self.experts.iter().map(|e| e.forward(ctx, input)).collect()
+    }
+}
+
+/// The adjusted gated unit's pair-projection weights for one task gate.
+///
+/// Each present projection maps a `B × 4d` pair embedding to `B × K`
+/// attention weights over one expert bank (Eq. 11 for A, Eq. 13 for B).
+/// Projections that would attend over the shared bank are absent in the
+/// MGBR-M variant.
+struct AdjustedGate {
+    ui: Option<Linear>,
+    ip: Option<Linear>,
+    up: Option<Linear>,
+}
+
+/// One MTL layer (Fig. 3).
+struct MtlLayer {
+    experts_a: ExpertBank,
+    experts_b: ExpertBank,
+    experts_s: Option<ExpertBank>,
+    gate_a: Linear,
+    gate_b: Linear,
+    gate_s: Option<Linear>,
+    adj_a: Option<AdjustedGate>,
+    adj_b: Option<AdjustedGate>,
+    /// Feed gate states straight through instead of concatenating
+    /// identical copies (first layer with `first_layer_dedup`).
+    dedup_inputs: bool,
+}
+
+/// The full multi-task learning module.
+pub struct MtlModule {
+    layers: Vec<MtlLayer>,
+    has_shared: bool,
+    alpha_a: f32,
+    alpha_b: f32,
+    gate_softmax: bool,
+    out_dim: usize,
+}
+
+impl MtlModule {
+    /// Registers all expert and gate parameters.
+    pub fn new(store: &mut ParamStore, rng: &mut Pcg32, cfg: &MgbrConfig) -> Self {
+        cfg.validate();
+        let has_shared = cfg.variant.has_shared();
+        let has_adjusted = cfg.variant.has_adjusted_gates();
+        let k = cfg.n_experts;
+        let d = cfg.d;
+        let g0 = cfg.g0_dim();
+        let pair_dim = 2 * cfg.obj_dim();
+
+        let mut layers = Vec::with_capacity(cfg.mtl_layers);
+        for l in 0..cfg.mtl_layers {
+            let first = l == 0;
+            let dedup = first && cfg.first_layer_dedup;
+            // Gate-state widths feeding this layer.
+            let state_w = if first { g0 } else { d };
+            let in_ab = if dedup || !has_shared {
+                state_w
+            } else {
+                2 * state_w
+            };
+            let in_s = if dedup { state_w } else { 3 * state_w };
+
+            let name = |part: &str| format!("mtl.l{l}.{part}");
+            let experts_a = ExpertBank::new(store, rng, &name("A"), k, in_ab, d);
+            let experts_b = ExpertBank::new(store, rng, &name("B"), k, in_ab, d);
+            let experts_s = has_shared
+                .then(|| ExpertBank::new(store, rng, &name("S"), k, in_s, d));
+
+            let gate_out_ab = if has_shared { 2 * k } else { k };
+            let gate_a = Linear::new(store, rng, &name("gateA"), in_ab, gate_out_ab, false);
+            let gate_b = Linear::new(store, rng, &name("gateB"), in_ab, gate_out_ab, false);
+            // Gate S on the final layer would feed nothing (only g_A^L and
+            // g_B^L reach the prediction module), so it is not built.
+            let gate_s = (has_shared && l + 1 < cfg.mtl_layers)
+                .then(|| Linear::new(store, rng, &name("gateS"), in_s, 3 * k, false));
+
+            let (adj_a, adj_b) = if has_adjusted {
+                let adj = |store: &mut ParamStore, rng: &mut Pcg32, tag: &str, mask: [bool; 3]| {
+                    let mk = |store: &mut ParamStore, rng: &mut Pcg32, on: bool, p: &str| {
+                        on.then(|| {
+                            Linear::new(store, rng, &name(&format!("{tag}.{p}")), pair_dim, k, false)
+                        })
+                    };
+                    AdjustedGate {
+                        ui: mk(store, rng, mask[0], "ui"),
+                        ip: mk(store, rng, mask[1], "ip"),
+                        up: mk(store, rng, mask[2], "up"),
+                    }
+                };
+                // Gate A: ui→E_A always; ip,up→E_S only when S exists.
+                // Gate B: ip,up→E_B always; ui→E_S only when S exists.
+                (
+                    Some(adj(store, rng, "adjA", [true, has_shared, has_shared])),
+                    Some(adj(store, rng, "adjB", [has_shared, true, true])),
+                )
+            } else {
+                (None, None)
+            };
+
+            layers.push(MtlLayer {
+                experts_a,
+                experts_b,
+                experts_s,
+                gate_a,
+                gate_b,
+                gate_s,
+                adj_a,
+                adj_b,
+                dedup_inputs: dedup,
+            });
+        }
+        Self {
+            layers,
+            has_shared,
+            alpha_a: cfg.alpha_a,
+            alpha_b: cfg.alpha_b,
+            gate_softmax: cfg.gate_softmax,
+            out_dim: d,
+        }
+    }
+
+    /// Output width of `g_A^L` / `g_B^L`.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Runs all layers on batched object embeddings, returning
+    /// `(g_A^L, g_B^L)` (Eq. 15 initialization, Eq. 7-14 per layer).
+    pub fn forward(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> (Var, Var) {
+        let g0 = Var::concat_cols(&[e_u, e_i, e_p]);
+        let pairs = PairEmbeds::new(e_u, e_i, e_p);
+        let mut state = LayerState {
+            g_a: g0.clone(),
+            g_b: g0.clone(),
+            g_s: self.has_shared.then_some(g0),
+        };
+        for layer in &self.layers {
+            state = self.layer_forward(ctx, layer, &state, &pairs);
+        }
+        (state.g_a, state.g_b)
+    }
+
+    fn layer_forward(
+        &self,
+        ctx: &StepCtx<'_>,
+        layer: &MtlLayer,
+        state: &LayerState,
+        pairs: &PairEmbeds,
+    ) -> LayerState {
+        // Expert inputs (Eq. 7-9, with the first-layer dedup resolution).
+        let input_a = self.task_input(layer, &state.g_a, state.g_s.as_ref());
+        let input_b = self.task_input(layer, &state.g_b, state.g_s.as_ref());
+        let input_s = state.g_s.as_ref().map(|g_s| {
+            if layer.dedup_inputs {
+                g_s.clone()
+            } else {
+                Var::concat_cols(&[&state.g_a, g_s, &state.g_b])
+            }
+        });
+
+        let e_a = layer.experts_a.forward(ctx, &input_a);
+        let e_b = layer.experts_b.forward(ctx, &input_b);
+        let e_s = layer
+            .experts_s
+            .as_ref()
+            .map(|bank| bank.forward(ctx, input_s.as_ref().expect("shared input present")));
+
+        // Gate A (Eq. 10-12).
+        let g_a = self.task_gate(
+            ctx,
+            &layer.gate_a,
+            layer.adj_a.as_ref(),
+            &input_a,
+            pairs,
+            &e_a,
+            e_s.as_deref(),
+            self.alpha_a,
+            GateKind::A,
+        );
+        // Gate B (Eq. 13).
+        let g_b = self.task_gate(
+            ctx,
+            &layer.gate_b,
+            layer.adj_b.as_ref(),
+            &input_b,
+            pairs,
+            &e_b,
+            e_s.as_deref(),
+            self.alpha_b,
+            GateKind::B,
+        );
+        // Gate S (Eq. 14).
+        let g_s = layer.gate_s.as_ref().map(|gate| {
+            let input = input_s.as_ref().expect("shared input present");
+            let weights = self.normalize(gate.forward(ctx, input));
+            let all: Vec<&Var> = e_a
+                .iter()
+                .chain(e_s.as_ref().expect("shared experts present"))
+                .chain(&e_b)
+                .collect();
+            Var::mix_experts(&weights, &all)
+        });
+
+        LayerState { g_a, g_b, g_s }
+    }
+
+    fn task_input(&self, layer: &MtlLayer, g_task: &Var, g_s: Option<&Var>) -> Var {
+        match g_s {
+            Some(g_s) if !layer.dedup_inputs => Var::concat_cols(&[g_task, g_s]),
+            _ => g_task.clone(),
+        }
+    }
+
+    fn normalize(&self, weights: Var) -> Var {
+        if self.gate_softmax {
+            weights.softmax_rows()
+        } else {
+            weights
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn task_gate(
+        &self,
+        ctx: &StepCtx<'_>,
+        gate_w: &Linear,
+        adj: Option<&AdjustedGate>,
+        input: &Var,
+        pairs: &PairEmbeds,
+        own: &[Var],
+        shared: Option<&[Var]>,
+        alpha: f32,
+        kind: GateKind,
+    ) -> Var {
+        // Generic unit: attention from the layer input over [own ‖ shared].
+        let weights = self.normalize(gate_w.forward(ctx, input));
+        let mut banks: Vec<&Var> = own.iter().collect();
+        if let Some(s) = shared {
+            banks.extend(s);
+        }
+        let g1 = Var::mix_experts(&weights, &banks);
+
+        let Some(adj) = adj else {
+            return g1;
+        };
+        // Adjusted unit: pair-driven attention. Which pair attends over
+        // which bank follows Eq. 11 (gate A) / Eq. 13 (gate B).
+        let own_refs: Vec<&Var> = own.iter().collect();
+        let shared_refs: Vec<&Var> = shared.map(|s| s.iter().collect()).unwrap_or_default();
+        let mut g2: Option<Var> = None;
+        let mut add_term = |proj: &Option<Linear>, pair: &Var, bank: &[&Var]| {
+            if let Some(w) = proj {
+                let aw = self.normalize(w.forward(ctx, pair));
+                let term = Var::mix_experts(&aw, bank);
+                g2 = Some(match g2.take() {
+                    Some(acc) => acc.add(&term),
+                    None => term,
+                });
+            }
+        };
+        match kind {
+            GateKind::A => {
+                add_term(&adj.ui, &pairs.ui, &own_refs);
+                add_term(&adj.ip, &pairs.ip, &shared_refs);
+                add_term(&adj.up, &pairs.up, &shared_refs);
+            }
+            GateKind::B => {
+                add_term(&adj.ui, &pairs.ui, &shared_refs);
+                add_term(&adj.ip, &pairs.ip, &own_refs);
+                add_term(&adj.up, &pairs.up, &own_refs);
+            }
+        }
+        match g2 {
+            Some(g2) => g1.add(&g2.scale(alpha)),
+            None => g1,
+        }
+    }
+}
+
+enum GateKind {
+    A,
+    B,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MgbrVariant;
+    use mgbr_tensor::Tensor;
+
+    fn build(cfg: &MgbrConfig) -> (ParamStore, MtlModule) {
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(cfg.seed);
+        let mtl = MtlModule::new(&mut store, &mut rng, cfg);
+        (store, mtl)
+    }
+
+    fn run(cfg: &MgbrConfig, batch: usize) -> (Tensor, Tensor, usize) {
+        let (store, mtl) = build(cfg);
+        let ctx = StepCtx::new(&store);
+        let mut rng = Pcg32::seed_from_u64(9);
+        let e = cfg.obj_dim();
+        let e_u = ctx.constant(rng.normal_tensor(batch, e, 0.0, 0.5));
+        let e_i = ctx.constant(rng.normal_tensor(batch, e, 0.0, 0.5));
+        let e_p = ctx.constant(rng.normal_tensor(batch, e, 0.0, 0.5));
+        let (ga, gb) = mtl.forward(&ctx, &e_u, &e_i, &e_p);
+        (ga.value(), gb.value(), store.scalar_count())
+    }
+
+    #[test]
+    fn output_shapes_match_d() {
+        let cfg = MgbrConfig::tiny();
+        let (ga, gb, _) = run(&cfg, 5);
+        assert_eq!(ga.rows(), 5);
+        assert_eq!(ga.cols(), cfg.d);
+        assert_eq!(gb.rows(), 5);
+        assert_eq!(gb.cols(), cfg.d);
+    }
+
+    #[test]
+    fn task_heads_differ() {
+        let cfg = MgbrConfig::tiny();
+        let (ga, gb, _) = run(&cfg, 5);
+        assert_ne!(ga, gb, "gate A and gate B must specialize");
+    }
+
+    #[test]
+    fn variant_parameter_ordering() {
+        // Removing the shared sub-module or the adjusted gates must shed
+        // parameters.
+        let full = run(&MgbrConfig::tiny(), 2).2;
+        let no_shared = run(&MgbrConfig::tiny().with_variant(MgbrVariant::NoShared), 2).2;
+        let generic = run(&MgbrConfig::tiny().with_variant(MgbrVariant::GenericGates), 2).2;
+        assert!(no_shared < full, "MGBR-M ({no_shared}) must be smaller than MGBR ({full})");
+        assert!(generic < full, "MGBR-G ({generic}) must be smaller than MGBR ({full})");
+    }
+
+    #[test]
+    fn paper_weight_shapes_first_layer() {
+        // With dedup, the first-layer expert weights are 6d×d for A/B —
+        // the shape stated below Eq. 15.
+        let cfg = MgbrConfig::tiny();
+        let (store, _mtl) = build(&cfg);
+        let w = store
+            .iter()
+            .find(|(_, n, _)| n.starts_with("mtl.l0.A.e0"))
+            .map(|(_, _, t)| t.shape())
+            .expect("first expert weight registered");
+        assert_eq!(w.rows, cfg.g0_dim());
+        assert_eq!(w.cols, cfg.d);
+
+        // Later layers: 2d×d (A with shared), 3d×d (S).
+        let w1 = store
+            .iter()
+            .find(|(_, n, _)| n.starts_with("mtl.l1.A.e0"))
+            .map(|(_, _, t)| t.shape())
+            .unwrap();
+        assert_eq!(w1.rows, 2 * cfg.d);
+        let s1 = store
+            .iter()
+            .find(|(_, n, _)| n.starts_with("mtl.l1.S.e0"))
+            .map(|(_, _, t)| t.shape())
+            .unwrap();
+        assert_eq!(s1.rows, 3 * cfg.d);
+    }
+
+    #[test]
+    fn literal_first_layer_concatenates() {
+        let cfg = MgbrConfig { first_layer_dedup: false, ..MgbrConfig::tiny() };
+        let (store, _mtl) = build(&cfg);
+        let w = store
+            .iter()
+            .find(|(_, n, _)| n.starts_with("mtl.l0.A.e0"))
+            .map(|(_, _, t)| t.shape())
+            .unwrap();
+        assert_eq!(w.rows, 2 * cfg.g0_dim(), "literal Eq. 7 input is g_A⁰‖g_S⁰");
+        let (ga, _, _) = run(&cfg, 3);
+        assert_eq!(ga.rows(), 3);
+    }
+
+    #[test]
+    fn gate_softmax_variant_runs() {
+        let cfg = MgbrConfig { gate_softmax: true, ..MgbrConfig::tiny() };
+        let (ga, gb, _) = run(&cfg, 4);
+        assert!(ga.all_finite() && gb.all_finite());
+    }
+
+    #[test]
+    fn all_variants_forward_cleanly() {
+        for v in MgbrVariant::all() {
+            if v.uses_hin() {
+                continue; // HIN differs only in the embedding module.
+            }
+            let cfg = MgbrConfig::tiny().with_variant(v);
+            let (ga, gb, _) = run(&cfg, 3);
+            assert!(ga.all_finite(), "{v:?} produced non-finite g_A");
+            assert!(gb.all_finite(), "{v:?} produced non-finite g_B");
+        }
+    }
+
+    #[test]
+    fn alpha_zero_equals_generic_gates_output() {
+        // MGBR with α=0 must compute the same forward as having no
+        // adjusted unit at all (parameters differ, output path doesn't).
+        let cfg_a = MgbrConfig { alpha_a: 0.0, alpha_b: 0.0, ..MgbrConfig::tiny() };
+        let (store, mtl) = build(&cfg_a);
+        let ctx = StepCtx::new(&store);
+        let mut rng = Pcg32::seed_from_u64(9);
+        let e = cfg_a.obj_dim();
+        let e_u = ctx.constant(rng.normal_tensor(3, e, 0.0, 0.5));
+        let e_i = ctx.constant(rng.normal_tensor(3, e, 0.0, 0.5));
+        let e_p = ctx.constant(rng.normal_tensor(3, e, 0.0, 0.5));
+        let (ga, _) = mtl.forward(&ctx, &e_u, &e_i, &e_p);
+        assert!(ga.value().all_finite());
+        // The adjusted term is scaled by α=0 ⇒ gradients through adj
+        // weights vanish but the forward stays finite and well-shaped.
+        assert_eq!(ga.cols(), cfg_a.d);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_expert_banks() {
+        let cfg = MgbrConfig::tiny();
+        let (store, mtl) = build(&cfg);
+        let ctx = StepCtx::new(&store);
+        let mut rng = Pcg32::seed_from_u64(10);
+        let e = cfg.obj_dim();
+        let e_u = ctx.constant(rng.normal_tensor(4, e, 0.0, 0.5));
+        let e_i = ctx.constant(rng.normal_tensor(4, e, 0.0, 0.5));
+        let e_p = ctx.constant(rng.normal_tensor(4, e, 0.0, 0.5));
+        let (ga, gb) = mtl.forward(&ctx, &e_u, &e_i, &e_p);
+        let loss = ga.mean_all().add(&gb.mean_all());
+        let grads = ctx.backward(&loss);
+        // Every parameter bank participates in at least one gate path.
+        let mut missing = Vec::new();
+        for (id, name, _) in store.iter() {
+            if grads.get(id).is_none() {
+                missing.push(name.to_string());
+            }
+        }
+        assert!(missing.is_empty(), "parameters without gradient: {missing:?}");
+    }
+}

@@ -1,0 +1,242 @@
+//! Multi-view embedding learning with GCNs (§II-C, Eq. 1-6), plus the
+//! single-HIN variant used by the MGBR-D ablation.
+
+use std::rc::Rc;
+
+use mgbr_autograd::Var;
+use mgbr_data::Dataset;
+use mgbr_graph::{Csr, GraphViews, HinGraph};
+use mgbr_nn::{Linear, ParamStore, StepCtx};
+use mgbr_tensor::Pcg32;
+
+use crate::MgbrConfig;
+
+/// The full-graph object embeddings produced by the embedding module.
+///
+/// All three matrices are `2d` wide (Eq. 4-6); `users` and `participants`
+/// both cover the whole user id space but encode different role views
+/// (`e_u = e_u^{UI} ‖ e_u^{UP}` vs `e_p = e_p^{PI} ‖ e_p^{UP}`).
+pub struct ObjectEmbeddings {
+    /// Initiator-role user embeddings `e_u` (`|U| × 2d`).
+    pub users: Var,
+    /// Item embeddings `e_i` (`|I| × 2d`).
+    pub items: Var,
+    /// Participant-role user embeddings `e_p` (`|U| × 2d`).
+    pub participants: Var,
+}
+
+/// One GCN: the propagation matrix plus per-layer weight handles.
+struct Gcn {
+    adj: Rc<Csr>,
+    /// Trainable input features `X⁰` (Gaussian-initialized, per §II-C2).
+    x0: mgbr_nn::ParamId,
+    /// Per-layer weights `W^{l-1} ∈ R^{d×d}`.
+    weights: Vec<Linear>,
+}
+
+impl Gcn {
+    fn new(
+        store: &mut ParamStore,
+        rng: &mut Pcg32,
+        name: &str,
+        adj: Csr,
+        n_nodes: usize,
+        dim: usize,
+        layers: usize,
+    ) -> Self {
+        assert_eq!(adj.n_rows(), n_nodes, "{name}: adjacency size mismatch");
+        let x0 = store.add(format!("{name}.x0"), rng.normal_tensor(n_nodes, dim, 0.0, 1.0));
+        let weights = (0..layers)
+            .map(|l| Linear::new(store, rng, &format!("{name}.w{l}"), dim, dim, false))
+            .collect();
+        Self { adj: Rc::new(adj), x0, weights }
+    }
+
+    /// `X^l = σ(Â · X^{l-1} · W^{l-1})` for every layer (Eq. 1-3).
+    fn forward(&self, ctx: &StepCtx<'_>) -> Var {
+        let mut x = ctx.param(self.x0);
+        for w in &self.weights {
+            x = w.forward(ctx, &x.spmm_sym(&self.adj)).sigmoid();
+        }
+        x
+    }
+}
+
+/// The embedding module: either the paper's three views or (MGBR-D) one
+/// heterogeneous information network.
+pub enum EmbeddingModule {
+    /// Three per-view GCNs (the paper's design).
+    MultiView {
+        /// GCN over `G_UI` (users then items).
+        ui: Gcn2,
+        /// GCN over `G_PI` (users then items).
+        pi: Gcn2,
+        /// GCN over `G_UP` (users only).
+        up: Gcn2,
+        /// `|U|`.
+        n_users: usize,
+    },
+    /// One GCN over the folded HIN at width `2d` (MGBR-D, §III-B).
+    Hin {
+        /// The single GCN over all `|U| + |I|` nodes.
+        gcn: Gcn2,
+        /// `|U|`.
+        n_users: usize,
+        /// `|I|`.
+        n_items: usize,
+    },
+}
+
+/// Public wrapper around [`Gcn`] (kept private to control the API).
+pub struct Gcn2(Gcn);
+
+impl EmbeddingModule {
+    /// Builds the module (and its graphs) from the training partition.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Pcg32,
+        cfg: &MgbrConfig,
+        train: &Dataset,
+    ) -> Self {
+        let ui_edges = train.ui_edges();
+        let pi_edges = train.pi_edges();
+        let up_edges = if cfg.up_include_pp_edges {
+            train.up_edges_with_pp()
+        } else {
+            train.up_edges()
+        };
+        if cfg.variant.uses_hin() {
+            let hin = HinGraph::build(train.n_users, train.n_items, &ui_edges, &pi_edges, &up_edges);
+            let n = train.n_users + train.n_items;
+            // Width 2d so downstream dims match the multi-view build.
+            let gcn = Gcn::new(store, rng, "hin", hin.adj, n, cfg.obj_dim(), cfg.gcn_layers);
+            EmbeddingModule::Hin { gcn: Gcn2(gcn), n_users: train.n_users, n_items: train.n_items }
+        } else {
+            let views =
+                GraphViews::build(train.n_users, train.n_items, &ui_edges, &pi_edges, &up_edges);
+            let n_bip = views.n_bipartite();
+            let ui = Gcn::new(store, rng, "gcn_ui", views.a_ui, n_bip, cfg.d, cfg.gcn_layers);
+            let pi = Gcn::new(store, rng, "gcn_pi", views.a_pi, n_bip, cfg.d, cfg.gcn_layers);
+            let up = Gcn::new(store, rng, "gcn_up", views.a_up, views.n_users, cfg.d, cfg.gcn_layers);
+            EmbeddingModule::MultiView {
+                ui: Gcn2(ui),
+                pi: Gcn2(pi),
+                up: Gcn2(up),
+                n_users: views.n_users,
+            }
+        }
+    }
+
+    /// Runs the GCNs and assembles `e_u, e_i, e_p` (Eq. 4-6).
+    pub fn forward(&self, ctx: &StepCtx<'_>) -> ObjectEmbeddings {
+        match self {
+            EmbeddingModule::MultiView { ui, pi, up, n_users } => {
+                let x_ui = ui.0.forward(ctx);
+                let x_pi = pi.0.forward(ctx);
+                let x_up = up.0.forward(ctx);
+                let n_bip = x_ui.rows();
+                let user_rows: Rc<Vec<usize>> = Rc::new((0..*n_users).collect());
+                let item_rows: Rc<Vec<usize>> = Rc::new((*n_users..n_bip).collect());
+
+                let e_u_ui = x_ui.gather_rows(Rc::clone(&user_rows));
+                let e_i_ui = x_ui.gather_rows(Rc::clone(&item_rows));
+                let e_p_pi = x_pi.gather_rows(Rc::clone(&user_rows));
+                let e_i_pi = x_pi.gather_rows(item_rows);
+
+                ObjectEmbeddings {
+                    users: Var::concat_cols(&[&e_u_ui, &x_up]),
+                    items: Var::concat_cols(&[&e_i_ui, &e_i_pi]),
+                    participants: Var::concat_cols(&[&e_p_pi, &x_up]),
+                }
+            }
+            EmbeddingModule::Hin { gcn, n_users, n_items } => {
+                let x = gcn.0.forward(ctx);
+                let user_rows: Rc<Vec<usize>> = Rc::new((0..*n_users).collect());
+                let item_rows: Rc<Vec<usize>> =
+                    Rc::new((*n_users..*n_users + *n_items).collect());
+                let users = x.gather_rows(user_rows);
+                let items = x.gather_rows(item_rows);
+                // One HIN gives users a single role-free representation —
+                // exactly the capability MGBR-D removes.
+                ObjectEmbeddings {
+                    participants: users.clone(),
+                    users,
+                    items,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_data::{synthetic, SyntheticConfig};
+
+    fn setup(variant: crate::MgbrVariant) -> (ParamStore, EmbeddingModule, Dataset) {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let cfg = MgbrConfig::tiny().with_variant(variant);
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(cfg.seed);
+        let module = EmbeddingModule::new(&mut store, &mut rng, &cfg, &ds);
+        (store, module, ds)
+    }
+
+    #[test]
+    fn multiview_shapes() {
+        let (store, module, ds) = setup(crate::MgbrVariant::Full);
+        let ctx = StepCtx::new(&store);
+        let emb = module.forward(&ctx);
+        let d2 = MgbrConfig::tiny().obj_dim();
+        assert_eq!(emb.users.rows(), ds.n_users);
+        assert_eq!(emb.users.cols(), d2);
+        assert_eq!(emb.items.rows(), ds.n_items);
+        assert_eq!(emb.items.cols(), d2);
+        assert_eq!(emb.participants.rows(), ds.n_users);
+        assert_eq!(emb.participants.cols(), d2);
+    }
+
+    #[test]
+    fn multiview_user_and_participant_views_differ() {
+        let (store, module, _) = setup(crate::MgbrVariant::Full);
+        let ctx = StepCtx::new(&store);
+        let emb = module.forward(&ctx);
+        // First half of e_u comes from G_UI, of e_p from G_PI: different.
+        assert_ne!(emb.users.value(), emb.participants.value());
+        // Second halves (both from G_UP) agree.
+        let d = MgbrConfig::tiny().d;
+        assert_eq!(
+            emb.users.value().slice_cols(d, d),
+            emb.participants.value().slice_cols(d, d)
+        );
+    }
+
+    #[test]
+    fn hin_variant_shares_roles() {
+        let (store, module, ds) = setup(crate::MgbrVariant::Hin);
+        let ctx = StepCtx::new(&store);
+        let emb = module.forward(&ctx);
+        assert_eq!(emb.users.value(), emb.participants.value());
+        assert_eq!(emb.users.rows(), ds.n_users);
+        assert_eq!(emb.items.cols(), MgbrConfig::tiny().obj_dim());
+    }
+
+    #[test]
+    fn embeddings_are_trainable() {
+        let (store, module, _) = setup(crate::MgbrVariant::Full);
+        let ctx = StepCtx::new(&store);
+        let emb = module.forward(&ctx);
+        let loss = emb.users.mean_all();
+        let grads = ctx.backward(&loss);
+        assert!(grads.touched() > 0, "GCN parameters must receive gradients");
+    }
+
+    #[test]
+    fn sigmoid_keeps_embeddings_bounded() {
+        let (store, module, _) = setup(crate::MgbrVariant::Full);
+        let ctx = StepCtx::new(&store);
+        let emb = module.forward(&ctx);
+        let v = emb.items.value();
+        assert!(v.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}

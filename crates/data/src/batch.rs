@@ -1,0 +1,85 @@
+//! Shuffled minibatch index iteration for training epochs.
+
+use mgbr_tensor::Pcg32;
+
+/// Yields shuffled index minibatches over `0..n` (one epoch per
+/// iterator).
+///
+/// The final batch may be smaller than `batch_size`; it is never dropped
+/// (every sample is visited exactly once per epoch).
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    pos: usize,
+}
+
+impl BatchIter {
+    /// Creates a one-epoch iterator over `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize, rng: &mut Pcg32) -> Self {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        Self { order, batch_size, pos: 0 }
+    }
+
+    /// Number of batches this epoch will yield.
+    pub fn n_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.order.len() {
+            return None;
+        }
+        let end = (self.pos + self.batch_size).min(self.order.len());
+        let batch = self.order[self.pos..end].to_vec();
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_every_index_once() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let iter = BatchIter::new(103, 10, &mut rng);
+        assert_eq!(iter.n_batches(), 11);
+        let mut seen: Vec<usize> = iter.flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes_are_full_except_last() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let sizes: Vec<usize> = BatchIter::new(25, 10, &mut rng).map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_batches() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        assert_eq!(BatchIter::new(0, 8, &mut rng).count(), 0);
+    }
+
+    #[test]
+    fn order_is_shuffled_and_seed_dependent() {
+        let mut r1 = Pcg32::seed_from_u64(4);
+        let mut r2 = Pcg32::seed_from_u64(4);
+        let a: Vec<usize> = BatchIter::new(50, 50, &mut r1).flatten().collect();
+        let b: Vec<usize> = BatchIter::new(50, 50, &mut r2).flatten().collect();
+        assert_eq!(a, b, "same seed, same order");
+        assert_ne!(a, (0..50).collect::<Vec<_>>(), "should not be identity order");
+    }
+}

@@ -1,0 +1,256 @@
+//! Dataset interchange: a line-oriented text format plus JSON, so real
+//! group-buying logs (e.g. an export of the Beibei dataset the paper
+//! uses) can be plugged into the pipeline in place of the synthetic
+//! generator.
+//!
+//! ## Text format
+//!
+//! One deal group per line, tab-separated:
+//!
+//! ```text
+//! <initiator>\t<item>\t<p1>,<p2>,...
+//! ```
+//!
+//! The participant field may be empty (a group nobody joined yet). Lines
+//! starting with `#` and blank lines are ignored. Id spaces are inferred
+//! as `max id + 1` unless a header line `#users=N items=M` pins them.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use crate::{Dataset, DealGroup};
+
+/// Errors from dataset parsing.
+#[derive(Debug)]
+pub enum DataIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DataIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataIoError::Io(e) => write!(f, "dataset I/O error: {e}"),
+            DataIoError::Parse { line, message } => {
+                write!(f, "dataset parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataIoError {
+    fn from(e: io::Error) -> Self {
+        DataIoError::Io(e)
+    }
+}
+
+/// Parses the text format from any reader.
+pub fn read_groups_text<R: BufRead>(reader: R) -> Result<Dataset, DataIoError> {
+    let mut groups = Vec::new();
+    let mut max_user: Option<u32> = None;
+    let mut max_item: Option<u32> = None;
+    let mut pinned: Option<(usize, usize)> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            if let Some(p) = parse_header(rest) {
+                pinned = Some(p);
+            }
+            continue;
+        }
+        let mut fields = trimmed.split('\t');
+        let initiator = parse_id(fields.next(), "initiator", line_no)?;
+        let item = parse_id(fields.next(), "item", line_no)?;
+        let participants: Vec<u32> = match fields.next() {
+            None => Vec::new(),
+            Some("") => Vec::new(),
+            Some(list) => list
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.trim().parse::<u32>().map_err(|_| DataIoError::Parse {
+                        line: line_no,
+                        message: format!("invalid participant id '{s}'"),
+                    })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        if fields.next().is_some() {
+            return Err(DataIoError::Parse {
+                line: line_no,
+                message: "too many tab-separated fields (expected 3)".into(),
+            });
+        }
+        max_user = Some(
+            max_user
+                .unwrap_or(0)
+                .max(initiator)
+                .max(participants.iter().copied().max().unwrap_or(0)),
+        );
+        max_item = Some(max_item.unwrap_or(0).max(item));
+        groups.push(DealGroup::new(initiator, item, participants));
+    }
+
+    let (n_users, n_items) = pinned.unwrap_or((
+        max_user.map_or(0, |m| m as usize + 1),
+        max_item.map_or(0, |m| m as usize + 1),
+    ));
+    // Dataset::new validates every id against the (possibly pinned) spaces.
+    Ok(Dataset::new(n_users, n_items, groups))
+}
+
+/// Reads the text format from a file.
+pub fn read_groups_file(path: impl AsRef<Path>) -> Result<Dataset, DataIoError> {
+    let file = std::fs::File::open(path)?;
+    read_groups_text(io::BufReader::new(file))
+}
+
+/// Writes the text format (with a pinning header) to any writer.
+pub fn write_groups_text<W: Write>(ds: &Dataset, mut writer: W) -> Result<(), DataIoError> {
+    writeln!(writer, "#users={} items={}", ds.n_users, ds.n_items)?;
+    for g in &ds.groups {
+        let participants: Vec<String> = g.participants.iter().map(u32::to_string).collect();
+        writeln!(writer, "{}\t{}\t{}", g.initiator, g.item, participants.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes the text format to a file.
+pub fn write_groups_file(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), DataIoError> {
+    let file = std::fs::File::create(path)?;
+    write_groups_text(ds, io::BufWriter::new(file))
+}
+
+fn parse_header(rest: &str) -> Option<(usize, usize)> {
+    let rest = rest.trim();
+    let mut users = None;
+    let mut items = None;
+    for token in rest.split_whitespace() {
+        if let Some(v) = token.strip_prefix("users=") {
+            users = v.parse().ok();
+        } else if let Some(v) = token.strip_prefix("items=") {
+            items = v.parse().ok();
+        }
+    }
+    Some((users?, items?))
+}
+
+fn parse_id(field: Option<&str>, what: &str, line: usize) -> Result<u32, DataIoError> {
+    let s = field.ok_or_else(|| DataIoError::Parse {
+        line,
+        message: format!("missing {what} field"),
+    })?;
+    s.trim().parse::<u32>().map_err(|_| DataIoError::Parse {
+        line,
+        message: format!("invalid {what} id '{s}'"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            5,
+            3,
+            vec![
+                DealGroup::new(0, 2, vec![1, 4]),
+                DealGroup::new(3, 0, vec![]),
+                DealGroup::new(1, 1, vec![0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_groups_text(&ds, &mut buf).unwrap();
+        let back = read_groups_text(buf.as_slice()).unwrap();
+        assert_eq!(back.n_users, ds.n_users);
+        assert_eq!(back.n_items, ds.n_items);
+        assert_eq!(back.groups, ds.groups);
+    }
+
+    #[test]
+    fn parses_without_header_inferring_spaces() {
+        let text = "0\t2\t1,4\n3\t0\t\n";
+        let ds = read_groups_text(text.as_bytes()).unwrap();
+        assert_eq!(ds.n_users, 5, "max user 4 => 5 users");
+        assert_eq!(ds.n_items, 3);
+        assert_eq!(ds.groups.len(), 2);
+        assert!(ds.groups[1].participants.is_empty());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# a comment\n\n0\t0\t1\n# another\n";
+        let ds = read_groups_text(text.as_bytes()).unwrap();
+        assert_eq!(ds.groups.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_location() {
+        let cases = [
+            ("0\n", "missing item"),
+            ("x\t0\t\n", "invalid initiator"),
+            ("0\t0\ta,b\n", "invalid participant"),
+            ("0\t0\t1\textra\n", "too many"),
+        ];
+        for (text, needle) in cases {
+            let err = read_groups_text(text.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("line 1"), "{msg}");
+            assert!(msg.contains(needle), "expected '{needle}' in '{msg}'");
+        }
+    }
+
+    #[test]
+    fn header_pins_id_spaces() {
+        let text = "#users=100 items=50\n0\t0\t1\n";
+        let ds = read_groups_text(text.as_bytes()).unwrap();
+        assert_eq!(ds.n_users, 100);
+        assert_eq!(ds.n_items, 50);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let ds = sample();
+        let path = std::env::temp_dir().join("mgbr_groups_test.tsv");
+        write_groups_file(&ds, &path).unwrap();
+        let back = read_groups_file(&path).unwrap();
+        assert_eq!(back.groups, ds.groups);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_input_is_empty_dataset() {
+        let ds = read_groups_text(&b""[..]).unwrap();
+        assert_eq!(ds.groups.len(), 0);
+        assert_eq!(ds.n_users, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # mgbr-data
+//!
+//! Group-buying data for the MGBR reproduction: the deal-group schema, a
+//! synthetic Beibei-like generator, the paper's preprocessing pipeline,
+//! train/validation/test splitting, and positive/negative sampling for
+//! both sub-tasks and both auxiliary losses.
+//!
+//! ## Substituting the Beibei dataset
+//!
+//! The paper evaluates on group-buying logs from Beibei (125,012 users,
+//! 30,516 items, 430,360 deal groups) which are not redistributable here.
+//! [`synthetic::generate`] produces deal groups with the same schema and —
+//! more importantly — the same *learnable structure*:
+//!
+//! * cluster-structured user/item preferences (so user-item affinity is
+//!   predictable from interactions — Task A signal),
+//! * power-law item popularity and user activity,
+//! * participant choice driven by item affinity **and** social ties to the
+//!   initiator (Task B signal, and the social-view `G_UP` signal),
+//! * co-purchase history feeding back into social ties (so "two users in
+//!   a deal group are social friends", as the paper derives from Beibei).
+//!
+//! Scale is a config knob; the experiments run a reduced scale suited to
+//! one CPU core (see `DESIGN.md` §6).
+
+mod batch;
+pub mod io;
+mod preprocess;
+mod sampling;
+mod schema;
+mod split;
+pub mod synthetic;
+
+pub use batch::BatchIter;
+pub use io::{read_groups_file, read_groups_text, write_groups_file, write_groups_text, DataIoError};
+pub use preprocess::{filter_min_interactions, FilterReport};
+pub use sampling::{Sampler, TaskAInstance, TaskBInstance};
+pub use schema::{Dataset, DatasetStats, DealGroup};
+pub use split::{split_dataset, DataSplit};
+pub use synthetic::SyntheticConfig;

@@ -1,0 +1,286 @@
+//! Positive/negative sampling for both sub-tasks and both auxiliary
+//! losses (§II-A, §II-G, §III-A2).
+//!
+//! Negativity is judged against the *full* preprocessed dataset's
+//! interactions (not just the split being sampled), so evaluation
+//! candidate lists never contain false negatives from another partition.
+
+use std::collections::{HashMap, HashSet};
+
+use mgbr_tensor::Pcg32;
+
+use crate::{Dataset, DealGroup};
+
+/// A Task-A ranking instance: one positive item plus sampled negatives
+/// for initiator `u` (candidate list = `[pos, negs…]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAInstance {
+    /// The initiator `u`.
+    pub user: u32,
+    /// The observed item `i`.
+    pub pos_item: u32,
+    /// Items `u` has never interacted with.
+    pub neg_items: Vec<u32>,
+}
+
+/// A Task-B ranking instance: one positive participant plus sampled
+/// negatives for the group `(u, i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskBInstance {
+    /// The initiator `u`.
+    pub user: u32,
+    /// The group's item `i`.
+    pub item: u32,
+    /// An observed participant `p ∈ G`.
+    pub pos_participant: u32,
+    /// Users outside `G ∪ {u}`.
+    pub neg_participants: Vec<u32>,
+}
+
+/// Stateful negative sampler over a preprocessed dataset.
+pub struct Sampler {
+    n_users: usize,
+    n_items: usize,
+    /// Items each user interacted with in any role.
+    user_items: Vec<HashSet<u32>>,
+    /// All participants ever observed for a given `(u, i)` group key —
+    /// the paper's `G_{u,i}` (§II-G1).
+    group_participants: HashMap<(u32, u32), HashSet<u32>>,
+    rng: Pcg32,
+}
+
+impl Sampler {
+    /// Builds interaction indexes from the full dataset.
+    pub fn new(ds: &Dataset, seed: u64) -> Self {
+        let mut user_items: Vec<HashSet<u32>> = vec![HashSet::new(); ds.n_users];
+        let mut group_participants: HashMap<(u32, u32), HashSet<u32>> = HashMap::new();
+        for g in &ds.groups {
+            user_items[g.initiator as usize].insert(g.item);
+            let entry = group_participants.entry((g.initiator, g.item)).or_default();
+            for &p in &g.participants {
+                user_items[p as usize].insert(g.item);
+                entry.insert(p);
+            }
+        }
+        Self {
+            n_users: ds.n_users,
+            n_items: ds.n_items,
+            user_items,
+            group_participants,
+            rng: Pcg32::seed_from_u64(seed),
+        }
+    }
+
+    /// The participants `G_{u,i}` observed across all groups of `(u, i)`.
+    pub fn observed_participants(&self, user: u32, item: u32) -> Option<&HashSet<u32>> {
+        self.group_participants.get(&(user, item))
+    }
+
+    /// Whether `user` ever interacted with `item` (either role).
+    pub fn interacted(&self, user: u32, item: u32) -> bool {
+        self.user_items[user as usize].contains(&item)
+    }
+
+    /// Samples `n` items the user never interacted with (with repetition
+    /// across calls but not within one call).
+    ///
+    /// Falls back to uniform distinct items if the user has interacted
+    /// with almost the whole catalog.
+    pub fn negative_items(&mut self, user: u32, n: usize) -> Vec<u32> {
+        let seen = &self.user_items[user as usize];
+        let available = self.n_items.saturating_sub(seen.len());
+        let mut out: Vec<u32> = Vec::with_capacity(n);
+        let mut chosen = HashSet::with_capacity(n);
+        if available <= n {
+            // Degenerate catalog: take whatever non-interacted items exist,
+            // then pad with uniform items (still never the positive's id
+            // responsibility of the caller).
+            for i in 0..self.n_items as u32 {
+                if !seen.contains(&i) && out.len() < n {
+                    out.push(i);
+                }
+            }
+            while out.len() < n {
+                out.push(self.rng.below(self.n_items) as u32);
+            }
+            return out;
+        }
+        while out.len() < n {
+            let cand = self.rng.below(self.n_items) as u32;
+            if !seen.contains(&cand) && chosen.insert(cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+
+    /// Samples `n` users outside `G_{u,i} ∪ {u}`.
+    pub fn negative_participants(&mut self, user: u32, item: u32, n: usize) -> Vec<u32> {
+        let empty = HashSet::new();
+        let members = self.group_participants.get(&(user, item)).unwrap_or(&empty);
+        let blocked = members.len() + 1;
+        let available = self.n_users.saturating_sub(blocked);
+        let mut out = Vec::with_capacity(n);
+        let mut chosen = HashSet::with_capacity(n);
+        if available <= n {
+            for p in 0..self.n_users as u32 {
+                if p != user && !members.contains(&p) && out.len() < n {
+                    out.push(p);
+                }
+            }
+            let mut wrap = 0u32;
+            while out.len() < n {
+                // Tiny user space: allow repeats rather than infinite-loop.
+                out.push(wrap % self.n_users as u32);
+                wrap += 1;
+            }
+            return out;
+        }
+        while out.len() < n {
+            let cand = self.rng.below(self.n_users) as u32;
+            if cand != user && !members.contains(&cand) && chosen.insert(cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+
+    /// Builds Task-A instances — one per deal group — with `n_neg`
+    /// negatives each (1:9 for training/`@10` eval, 1:99 for `@100` eval).
+    pub fn task_a_instances(&mut self, groups: &[DealGroup], n_neg: usize) -> Vec<TaskAInstance> {
+        groups
+            .iter()
+            .map(|g| TaskAInstance {
+                user: g.initiator,
+                pos_item: g.item,
+                neg_items: self.negative_items(g.initiator, n_neg),
+            })
+            .collect()
+    }
+
+    /// Builds Task-B instances — one per `(group, participant)` pair —
+    /// with `n_neg` negatives each.
+    pub fn task_b_instances(&mut self, groups: &[DealGroup], n_neg: usize) -> Vec<TaskBInstance> {
+        let mut out = Vec::new();
+        for g in groups {
+            for &p in &g.participants {
+                out.push(TaskBInstance {
+                    user: g.initiator,
+                    item: g.item,
+                    pos_participant: p,
+                    neg_participants: self.negative_participants(g.initiator, g.item, n_neg),
+                });
+            }
+        }
+        out
+    }
+
+    /// Auxiliary-loss corruption lists (§II-G): for a positive triple
+    /// `t = (u, i, p)`, returns `|T|` corrupted items (`T_t^I`) and `|T|`
+    /// corrupted participants (`T_t^P`).
+    pub fn aux_corruptions(&mut self, user: u32, item: u32, t_size: usize) -> (Vec<u32>, Vec<u32>) {
+        let items = self.negative_items(user, t_size);
+        let participants = self.negative_participants(user, item, t_size);
+        (items, participants)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{self, SyntheticConfig};
+
+    fn dataset() -> Dataset {
+        synthetic::generate(&SyntheticConfig::tiny())
+    }
+
+    #[test]
+    fn negative_items_never_interacted() {
+        let ds = dataset();
+        let mut s = Sampler::new(&ds, 1);
+        for u in 0..10u32 {
+            let negs = s.negative_items(u, 9);
+            assert_eq!(negs.len(), 9);
+            let set: HashSet<_> = negs.iter().collect();
+            assert_eq!(set.len(), 9, "within-call duplicates");
+            for &i in &negs {
+                assert!(!s.interacted(u, i), "user {u} interacted with sampled negative {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_participants_exclude_group_and_initiator() {
+        let ds = dataset();
+        let mut s = Sampler::new(&ds, 2);
+        let g = ds.groups.iter().find(|g| !g.participants.is_empty()).unwrap().clone();
+        let negs = s.negative_participants(g.initiator, g.item, 9);
+        assert_eq!(negs.len(), 9);
+        let members = s.observed_participants(g.initiator, g.item).unwrap().clone();
+        for &p in &negs {
+            assert_ne!(p, g.initiator);
+            assert!(!members.contains(&p));
+        }
+    }
+
+    #[test]
+    fn task_a_instances_one_per_group() {
+        let ds = dataset();
+        let mut s = Sampler::new(&ds, 3);
+        let insts = s.task_a_instances(&ds.groups, 4);
+        assert_eq!(insts.len(), ds.groups.len());
+        for (inst, g) in insts.iter().zip(&ds.groups) {
+            assert_eq!(inst.user, g.initiator);
+            assert_eq!(inst.pos_item, g.item);
+            assert_eq!(inst.neg_items.len(), 4);
+            assert!(!inst.neg_items.contains(&inst.pos_item));
+        }
+    }
+
+    #[test]
+    fn task_b_instances_one_per_participant() {
+        let ds = dataset();
+        let mut s = Sampler::new(&ds, 4);
+        let insts = s.task_b_instances(&ds.groups, 3);
+        let expected: usize = ds.groups.iter().map(|g| g.participants.len()).sum();
+        assert_eq!(insts.len(), expected);
+        for inst in insts.iter().take(50) {
+            assert!(!inst.neg_participants.contains(&inst.pos_participant));
+            assert!(!inst.neg_participants.contains(&inst.user));
+        }
+    }
+
+    #[test]
+    fn aux_corruptions_sizes() {
+        let ds = dataset();
+        let mut s = Sampler::new(&ds, 5);
+        let g = &ds.groups[0];
+        let (items, parts) = s.aux_corruptions(g.initiator, g.item, 7);
+        assert_eq!(items.len(), 7);
+        assert_eq!(parts.len(), 7);
+        assert!(!items.contains(&g.item));
+    }
+
+    #[test]
+    fn degenerate_small_spaces_still_fill_lists() {
+        // 3 users, 2 items, user 0 bought everything.
+        let ds = Dataset::new(
+            3,
+            2,
+            vec![DealGroup::new(0, 0, vec![1]), DealGroup::new(0, 1, vec![2])],
+        );
+        let mut s = Sampler::new(&ds, 6);
+        let negs = s.negative_items(0, 3);
+        assert_eq!(negs.len(), 3, "fallback must pad the list");
+        let nps = s.negative_participants(0, 0, 4);
+        assert_eq!(nps.len(), 4);
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let ds = dataset();
+        let mut a = Sampler::new(&ds, 9);
+        let mut b = Sampler::new(&ds, 9);
+        assert_eq!(a.task_a_instances(&ds.groups, 5), b.task_a_instances(&ds.groups, 5));
+    }
+}

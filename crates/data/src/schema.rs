@@ -1,0 +1,229 @@
+//! The deal-group schema shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// One observed deal group `<u, i, G>` (§II-A): an initiator `u` launched
+/// a group buying of item `i`, and participants `G` joined it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DealGroup {
+    /// The initiator `u`.
+    pub initiator: u32,
+    /// The item `i`.
+    pub item: u32,
+    /// The participants `G = {p_1, …, p_|G|}` (never contains the
+    /// initiator).
+    pub participants: Vec<u32>,
+}
+
+impl DealGroup {
+    /// Creates a deal group, dropping any accidental self-participation.
+    pub fn new(initiator: u32, item: u32, mut participants: Vec<u32>) -> Self {
+        participants.retain(|&p| p != initiator);
+        Self { initiator, item, participants }
+    }
+
+    /// Group size `|G|` (participants only).
+    pub fn size(&self) -> usize {
+        self.participants.len()
+    }
+}
+
+/// A group-buying dataset: id spaces plus observed deal groups.
+///
+/// Users and items are dense ids in `0..n_users` / `0..n_items`; a single
+/// user set covers both initiator and participant roles, matching the
+/// paper's `u, p ∈ U`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// `|U|`.
+    pub n_users: usize,
+    /// `|I|`.
+    pub n_items: usize,
+    /// Observed deal groups.
+    pub groups: Vec<DealGroup>,
+}
+
+impl Dataset {
+    /// Creates a dataset after validating all ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any group references an out-of-range user or item.
+    pub fn new(n_users: usize, n_items: usize, groups: Vec<DealGroup>) -> Self {
+        for g in &groups {
+            assert!((g.initiator as usize) < n_users, "initiator {} out of {n_users}", g.initiator);
+            assert!((g.item as usize) < n_items, "item {} out of {n_items}", g.item);
+            for &p in &g.participants {
+                assert!((p as usize) < n_users, "participant {p} out of {n_users}");
+            }
+        }
+        Self { n_users, n_items, groups }
+    }
+
+    /// `(initiator, item)` edges — the initiator-view `G_UI` edge list.
+    pub fn ui_edges(&self) -> Vec<(usize, usize)> {
+        self.groups.iter().map(|g| (g.initiator as usize, g.item as usize)).collect()
+    }
+
+    /// `(participant, item)` edges — the participant-view `G_PI` edge list.
+    pub fn pi_edges(&self) -> Vec<(usize, usize)> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.participants.iter().map(move |&p| (p as usize, g.item as usize)))
+            .collect()
+    }
+
+    /// `(initiator, participant)` edges — the social-view `G_UP` edge list
+    /// (no participant-participant edges, per the paper's footnote 1).
+    pub fn up_edges(&self) -> Vec<(usize, usize)> {
+        self.groups
+            .iter()
+            .flat_map(|g| {
+                g.participants.iter().map(move |&p| (g.initiator as usize, p as usize))
+            })
+            .collect()
+    }
+
+    /// `G_UP` edges *including* participant-participant pairs — the
+    /// variant the paper's footnote 1 reports as slightly worse. Used by
+    /// the `ablate_pp_edges` bench to reproduce that claim.
+    pub fn up_edges_with_pp(&self) -> Vec<(usize, usize)> {
+        let mut edges = self.up_edges();
+        for g in &self.groups {
+            for (a, &pa) in g.participants.iter().enumerate() {
+                for &pb in &g.participants[a + 1..] {
+                    edges.push((pa as usize, pb as usize));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Per-user interaction counts (one per group appearance, either role).
+    pub fn user_interaction_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_users];
+        for g in &self.groups {
+            counts[g.initiator as usize] += 1;
+            for &p in &g.participants {
+                counts[p as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Summary statistics (the reproduction's Table I).
+    pub fn stats(&self) -> DatasetStats {
+        let mut users_seen = vec![false; self.n_users];
+        let mut items_seen = vec![false; self.n_items];
+        let mut participant_total = 0usize;
+        for g in &self.groups {
+            users_seen[g.initiator as usize] = true;
+            items_seen[g.item as usize] = true;
+            participant_total += g.participants.len();
+            for &p in &g.participants {
+                users_seen[p as usize] = true;
+            }
+        }
+        DatasetStats {
+            n_users: self.n_users,
+            n_items: self.n_items,
+            n_groups: self.groups.len(),
+            active_users: users_seen.iter().filter(|&&s| s).count(),
+            active_items: items_seen.iter().filter(|&&s| s).count(),
+            avg_group_size: if self.groups.is_empty() {
+                0.0
+            } else {
+                participant_total as f64 / self.groups.len() as f64
+            },
+            ui_interactions: self.groups.len(),
+            pi_interactions: participant_total,
+        }
+    }
+}
+
+/// Summary statistics of a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Size of the user id space.
+    pub n_users: usize,
+    /// Size of the item id space.
+    pub n_items: usize,
+    /// Number of deal groups.
+    pub n_groups: usize,
+    /// Users appearing in at least one group.
+    pub active_users: usize,
+    /// Items appearing in at least one group.
+    pub active_items: usize,
+    /// Mean `|G|` over groups.
+    pub avg_group_size: f64,
+    /// Initiator-item interactions (= groups).
+    pub ui_interactions: usize,
+    /// Participant-item interactions (= Σ|G|).
+    pub pi_interactions: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            4,
+            3,
+            vec![
+                DealGroup::new(0, 1, vec![2, 3]),
+                DealGroup::new(1, 0, vec![0]),
+                DealGroup::new(0, 1, vec![2]),
+            ],
+        )
+    }
+
+    #[test]
+    fn new_rejects_self_participation() {
+        let g = DealGroup::new(5, 0, vec![5, 6]);
+        assert_eq!(g.participants, vec![6]);
+        assert_eq!(g.size(), 1);
+    }
+
+    #[test]
+    fn edge_lists() {
+        let ds = sample();
+        assert_eq!(ds.ui_edges(), vec![(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(ds.pi_edges(), vec![(2, 1), (3, 1), (0, 0), (2, 1)]);
+        assert_eq!(ds.up_edges(), vec![(0, 2), (0, 3), (1, 0), (0, 2)]);
+    }
+
+    #[test]
+    fn interaction_counts_cover_both_roles() {
+        let ds = sample();
+        // user 0: initiator twice + participant once = 3.
+        assert_eq!(ds.user_interaction_counts(), vec![3, 1, 2, 1]);
+    }
+
+    #[test]
+    fn stats_computation() {
+        let ds = sample();
+        let s = ds.stats();
+        assert_eq!(s.n_groups, 3);
+        assert_eq!(s.active_users, 4);
+        assert_eq!(s.active_items, 2);
+        assert!((s.avg_group_size - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.ui_interactions, 3);
+        assert_eq!(s.pi_interactions, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_range_item_panics() {
+        let _ = Dataset::new(2, 1, vec![DealGroup::new(0, 1, vec![])]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = sample();
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.groups, ds.groups);
+        assert_eq!(back.n_users, ds.n_users);
+    }
+}

@@ -1,0 +1,134 @@
+//! Train/validation/test splitting over deal groups.
+
+use mgbr_tensor::Pcg32;
+
+use crate::{Dataset, DealGroup};
+
+/// A dataset split into train/validation/test partitions of deal groups.
+///
+/// All partitions share the parent's id spaces, so graph construction on
+/// the training partition and evaluation on the test partition use
+/// consistent ids.
+#[derive(Debug, Clone)]
+pub struct DataSplit {
+    /// `|U|` of the parent dataset.
+    pub n_users: usize,
+    /// `|I|` of the parent dataset.
+    pub n_items: usize,
+    /// Training groups.
+    pub train: Vec<DealGroup>,
+    /// Validation groups.
+    pub val: Vec<DealGroup>,
+    /// Test groups.
+    pub test: Vec<DealGroup>,
+}
+
+impl DataSplit {
+    /// The training partition as a standalone [`Dataset`] (for building
+    /// the graph views without test leakage).
+    pub fn train_dataset(&self) -> Dataset {
+        Dataset::new(self.n_users, self.n_items, self.train.clone())
+    }
+
+    /// Total number of groups across partitions.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+}
+
+/// Shuffles groups and splits them by the given proportional weights.
+///
+/// The paper states "the ratio of training, validation and test set is
+/// 7:3:1" (§III-A2); we take that as proportional weights — pass
+/// `(7.0, 3.0, 1.0)` to match.
+///
+/// # Panics
+///
+/// Panics if any weight is negative or all are zero.
+pub fn split_dataset(ds: &Dataset, weights: (f64, f64, f64), seed: u64) -> DataSplit {
+    let (wt, wv, we) = weights;
+    assert!(wt >= 0.0 && wv >= 0.0 && we >= 0.0, "negative split weight");
+    let total_w = wt + wv + we;
+    assert!(total_w > 0.0, "all split weights are zero");
+
+    let mut order: Vec<usize> = (0..ds.groups.len()).collect();
+    let mut rng = Pcg32::seed_from_u64(seed);
+    rng.shuffle(&mut order);
+
+    let n = ds.groups.len();
+    let n_train = ((wt / total_w) * n as f64).round() as usize;
+    let n_val = ((wv / total_w) * n as f64).round() as usize;
+    let n_train = n_train.min(n);
+    let n_val = n_val.min(n - n_train);
+
+    let pick = |idxs: &[usize]| -> Vec<DealGroup> {
+        idxs.iter().map(|&i| ds.groups[i].clone()).collect()
+    };
+    DataSplit {
+        n_users: ds.n_users,
+        n_items: ds.n_items,
+        train: pick(&order[..n_train]),
+        val: pick(&order[n_train..n_train + n_val]),
+        test: pick(&order[n_train + n_val..]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{self, SyntheticConfig};
+
+    #[test]
+    fn split_partitions_everything_exactly_once() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let split = split_dataset(&ds, (7.0, 3.0, 1.0), 1);
+        assert_eq!(split.total(), ds.groups.len());
+
+        // Every group instance accounted for (multiset equality by count).
+        let count = |gs: &[DealGroup]| gs.len();
+        assert_eq!(
+            count(&split.train) + count(&split.val) + count(&split.test),
+            ds.groups.len()
+        );
+    }
+
+    #[test]
+    fn split_respects_ratios() {
+        let ds = synthetic::generate(&SyntheticConfig { n_groups: 1100, ..SyntheticConfig::tiny() });
+        let split = split_dataset(&ds, (7.0, 3.0, 1.0), 2);
+        let n = ds.groups.len() as f64;
+        assert!((split.train.len() as f64 / n - 7.0 / 11.0).abs() < 0.02);
+        assert!((split.val.len() as f64 / n - 3.0 / 11.0).abs() < 0.02);
+        assert!((split.test.len() as f64 / n - 1.0 / 11.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let a = split_dataset(&ds, (7.0, 3.0, 1.0), 5);
+        let b = split_dataset(&ds, (7.0, 3.0, 1.0), 5);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = split_dataset(&ds, (7.0, 3.0, 1.0), 6);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn train_dataset_shares_id_spaces() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let split = split_dataset(&ds, (8.0, 1.0, 1.0), 3);
+        let train = split.train_dataset();
+        assert_eq!(train.n_users, ds.n_users);
+        assert_eq!(train.n_items, ds.n_items);
+        assert_eq!(train.groups.len(), split.train.len());
+    }
+
+    #[test]
+    fn degenerate_weights_put_everything_in_train() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let split = split_dataset(&ds, (1.0, 0.0, 0.0), 4);
+        assert_eq!(split.train.len(), ds.groups.len());
+        assert!(split.val.is_empty());
+        assert!(split.test.is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Synthetic Beibei-like group-buying generator.
+//!
+//! A latent-factor generative process plants exactly the structure the
+//! paper's models exploit, so relative model orderings carry over even
+//! though the real Beibei logs are unavailable (see crate docs and
+//! `DESIGN.md` §2):
+//!
+//! 1. Users and items belong to preference clusters; each has a latent
+//!    vector near its cluster center.
+//! 2. Item popularity and user activity follow power laws (Zipf).
+//! 3. An initiator launches a group for an item sampled by softmax over
+//!    `affinity·⟨z_u, z_i⟩ + log popularity` within a candidate pool.
+//! 4. Participants are sampled by softmax over `affinity·⟨z_p, z_i⟩ +
+//!    social·tie(u, p)`, where ties accumulate from earlier co-grouping —
+//!    making the social view informative and Task B learnable.
+
+use std::collections::HashSet;
+
+use mgbr_tensor::{Pcg32, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::{Dataset, DealGroup};
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of users `|U|`.
+    pub n_users: usize,
+    /// Number of items `|I|`.
+    pub n_items: usize,
+    /// Number of deal groups to generate.
+    pub n_groups: usize,
+    /// Number of preference clusters shared by users and items.
+    pub n_clusters: usize,
+    /// Dimensionality of the ground-truth latent space.
+    pub latent_dim: usize,
+    /// Std of member offsets around their cluster center.
+    pub cluster_noise: f32,
+    /// Zipf exponent for item popularity (0 = uniform).
+    pub popularity_exponent: f32,
+    /// Zipf exponent for user activity (0 = uniform).
+    pub activity_exponent: f32,
+    /// Weight of latent-affinity in choice logits.
+    pub affinity_weight: f32,
+    /// Logit boost for a participant already socially tied to the
+    /// initiator.
+    pub social_weight: f32,
+    /// Weight of the initiator's *anticipation* of participant appetite
+    /// when choosing the item to launch: the mean affinity of the
+    /// initiator's social circle toward the candidate item. This encodes
+    /// the paper's §II-D1 insight (the initiator prefers the product more
+    /// latent participants would follow), which is exactly the
+    /// cross-task signal MGBR's shared experts exist to exploit.
+    pub anticipation_weight: f32,
+    /// Mean number of participants per group (geometric; ≥ 1).
+    pub group_size_mean: f32,
+    /// Hard cap on participants per group.
+    pub max_group_size: usize,
+    /// Candidates sampled per item/participant choice.
+    pub candidate_pool: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    /// The reproduction's default experiment scale (see `DESIGN.md` §6):
+    /// small enough for one CPU core, large enough that every model has
+    /// signal to learn.
+    fn default() -> Self {
+        Self {
+            n_users: 800,
+            n_items: 300,
+            n_groups: 4000,
+            n_clusters: 8,
+            latent_dim: 8,
+            cluster_noise: 0.5,
+            popularity_exponent: 0.8,
+            activity_exponent: 0.6,
+            affinity_weight: 3.0,
+            social_weight: 1.5,
+            anticipation_weight: 3.5,
+            group_size_mean: 3.0,
+            max_group_size: 8,
+            candidate_pool: 40,
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// A miniature configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_users: 60,
+            n_items: 30,
+            n_groups: 200,
+            n_clusters: 4,
+            latent_dim: 4,
+            candidate_pool: 15,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a synthetic group-buying dataset.
+///
+/// Deterministic for a fixed config (including seed).
+///
+/// # Panics
+///
+/// Panics on degenerate configs (zero users/items/groups, or a candidate
+/// pool of zero).
+pub fn generate(cfg: &SyntheticConfig) -> Dataset {
+    assert!(cfg.n_users >= 2, "need at least 2 users (initiator + participant)");
+    assert!(cfg.n_items >= 1 && cfg.n_groups >= 1, "empty dataset requested");
+    assert!(cfg.candidate_pool >= 1, "candidate_pool must be positive");
+    assert!(cfg.n_clusters >= 1 && cfg.latent_dim >= 1, "degenerate latent space");
+
+    let mut rng = Pcg32::seed_from_u64(cfg.seed);
+    let world = LatentWorld::sample(cfg, &mut rng);
+    let mut social = SocialTies::new(cfg.n_users);
+    let mut groups = Vec::with_capacity(cfg.n_groups);
+
+    for _ in 0..cfg.n_groups {
+        let initiator = rng.weighted_index(&world.user_activity);
+        let item = world.choose_item(cfg, initiator, &social, &mut rng);
+        let size = sample_group_size(cfg, &mut rng);
+        let participants =
+            world.choose_participants(cfg, initiator, item, size, &social, &mut rng);
+        for &p in &participants {
+            social.tie(initiator as u32, p);
+        }
+        groups.push(DealGroup::new(
+            initiator as u32,
+            item as u32,
+            participants,
+        ));
+    }
+    Dataset::new(cfg.n_users, cfg.n_items, groups)
+}
+
+/// Ground-truth latent structure.
+struct LatentWorld {
+    user_latent: Tensor,
+    item_latent: Tensor,
+    item_popularity: Vec<f32>,
+    user_activity: Vec<f32>,
+}
+
+impl LatentWorld {
+    fn sample(cfg: &SyntheticConfig, rng: &mut Pcg32) -> Self {
+        let centers = rng.normal_tensor(cfg.n_clusters, cfg.latent_dim, 0.0, 1.0);
+        let member = |rng: &mut Pcg32, n: usize| -> Tensor {
+            let mut latent = Tensor::zeros(n, cfg.latent_dim);
+            for r in 0..n {
+                let c = rng.below(cfg.n_clusters);
+                for (dst, &ctr) in latent.row_mut(r).iter_mut().zip(centers.row(c)) {
+                    *dst = ctr + cfg.cluster_noise * rng.normal();
+                }
+            }
+            latent
+        };
+        let user_latent = member(rng, cfg.n_users);
+        let item_latent = member(rng, cfg.n_items);
+
+        let zipf = |n: usize, exp: f32, rng: &mut Pcg32| -> Vec<f32> {
+            // Random rank assignment so ids aren't correlated with weight.
+            let mut ranks: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut ranks);
+            ranks.iter().map(|&r| 1.0 / ((r + 1) as f32).powf(exp)).collect()
+        };
+        let item_popularity = zipf(cfg.n_items, cfg.popularity_exponent, rng);
+        let user_activity = zipf(cfg.n_users, cfg.activity_exponent, rng);
+        Self { user_latent, item_latent, item_popularity, user_activity }
+    }
+
+    fn affinity(&self, user: usize, item: usize) -> f32 {
+        self.user_latent
+            .row(user)
+            .iter()
+            .zip(self.item_latent.row(item))
+            .map(|(&a, &b)| a * b)
+            .sum()
+    }
+
+    fn choose_item(
+        &self,
+        cfg: &SyntheticConfig,
+        initiator: usize,
+        social: &SocialTies,
+        rng: &mut Pcg32,
+    ) -> usize {
+        let pool = cfg.candidate_pool.min(cfg.n_items);
+        let candidates: Vec<usize> =
+            (0..pool).map(|_| rng.weighted_index(&self.item_popularity)).collect();
+        let circle = social.circle_of(initiator as u32);
+        let logits: Vec<f32> = candidates
+            .iter()
+            .map(|&i| {
+                // Own preference plus anticipated participant appetite
+                // within the initiator's social circle (§II-D1's story).
+                let own = cfg.affinity_weight * self.affinity(initiator, i);
+                let anticipated = if circle.is_empty() {
+                    0.0
+                } else {
+                    let mean: f32 = circle
+                        .iter()
+                        .map(|&f| self.affinity(f as usize, i))
+                        .sum::<f32>()
+                        / circle.len() as f32;
+                    cfg.anticipation_weight * mean
+                };
+                own + anticipated
+            })
+            .collect();
+        candidates[softmax_sample(&logits, rng)]
+    }
+
+    fn choose_participants(
+        &self,
+        cfg: &SyntheticConfig,
+        initiator: usize,
+        item: usize,
+        size: usize,
+        social: &SocialTies,
+        rng: &mut Pcg32,
+    ) -> Vec<u32> {
+        let mut chosen: HashSet<usize> = HashSet::with_capacity(size);
+        let pool = cfg.candidate_pool.min(cfg.n_users.saturating_sub(1));
+        for _ in 0..size {
+            let mut candidates = Vec::with_capacity(pool);
+            let mut logits = Vec::with_capacity(pool);
+            for _ in 0..pool {
+                let p = rng.weighted_index(&self.user_activity);
+                if p == initiator || chosen.contains(&p) {
+                    continue;
+                }
+                let tie =
+                    if social.tied(initiator as u32, p as u32) { cfg.social_weight } else { 0.0 };
+                candidates.push(p);
+                logits.push(cfg.affinity_weight * self.affinity(p, item) + tie);
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            chosen.insert(candidates[softmax_sample(&logits, rng)]);
+        }
+        let mut out: Vec<u32> = chosen.into_iter().map(|p| p as u32).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Symmetric co-grouping tie set with per-user adjacency (the "social
+/// circle" used for anticipation).
+struct SocialTies {
+    ties: HashSet<(u32, u32)>,
+    circles: Vec<Vec<u32>>,
+}
+
+impl SocialTies {
+    fn new(n_users: usize) -> Self {
+        Self { ties: HashSet::new(), circles: vec![Vec::new(); n_users] }
+    }
+
+    fn key(a: u32, b: u32) -> (u32, u32) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    fn tie(&mut self, a: u32, b: u32) {
+        if self.ties.insert(Self::key(a, b)) {
+            self.circles[a as usize].push(b);
+            self.circles[b as usize].push(a);
+        }
+    }
+
+    fn tied(&self, a: u32, b: u32) -> bool {
+        self.ties.contains(&Self::key(a, b))
+    }
+
+    fn circle_of(&self, user: u32) -> &[u32] {
+        &self.circles[user as usize]
+    }
+}
+
+fn sample_group_size(cfg: &SyntheticConfig, rng: &mut Pcg32) -> usize {
+    // Geometric with mean `group_size_mean` (≥1), truncated at the cap.
+    let mean = cfg.group_size_mean.max(1.0);
+    let p = 1.0 / mean;
+    let mut size = 1;
+    while size < cfg.max_group_size && rng.uniform() > p {
+        size += 1;
+    }
+    size
+}
+
+fn softmax_sample(logits: &[f32], rng: &mut Pcg32) -> usize {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let weights: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    rng.weighted_index(&weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig::tiny();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.groups, b.groups);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SyntheticConfig::tiny();
+        let other = SyntheticConfig { seed: 7, ..cfg.clone() };
+        assert_ne!(generate(&cfg).groups, generate(&other).groups);
+    }
+
+    #[test]
+    fn schema_invariants_hold() {
+        let cfg = SyntheticConfig::tiny();
+        let ds = generate(&cfg);
+        assert_eq!(ds.groups.len(), cfg.n_groups);
+        for g in &ds.groups {
+            assert!((g.initiator as usize) < cfg.n_users);
+            assert!((g.item as usize) < cfg.n_items);
+            assert!(g.size() <= cfg.max_group_size);
+            assert!(!g.participants.contains(&g.initiator));
+            let set: HashSet<_> = g.participants.iter().collect();
+            assert_eq!(set.len(), g.participants.len(), "duplicate participants");
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let ds = generate(&SyntheticConfig::default());
+        let mut counts = vec![0usize; ds.n_items];
+        for g in &ds.groups {
+            counts[g.item as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: usize = counts[..ds.n_items / 10].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(
+            top_decile as f64 > 0.3 * total as f64,
+            "top 10% of items should dominate: {top_decile}/{total}"
+        );
+    }
+
+    #[test]
+    fn social_reinforcement_creates_repeat_pairs() {
+        let ds = generate(&SyntheticConfig::default());
+        let mut pair_counts: std::collections::HashMap<(u32, u32), usize> =
+            std::collections::HashMap::new();
+        for g in &ds.groups {
+            for &p in &g.participants {
+                *pair_counts.entry(SocialTies::key(g.initiator, p)).or_default() += 1;
+            }
+        }
+        let repeats = pair_counts.values().filter(|&&c| c >= 2).count();
+        assert!(
+            repeats > pair_counts.len() / 50,
+            "social feedback should produce repeated (u,p) pairs: {repeats}/{}",
+            pair_counts.len()
+        );
+    }
+
+    #[test]
+    fn affinity_signal_is_present() {
+        // Items chosen by an initiator should have higher ground-truth
+        // affinity than random items, on average — this is the signal the
+        // recommenders learn.
+        let cfg = SyntheticConfig::default();
+        let mut rng = Pcg32::seed_from_u64(cfg.seed);
+        let world = LatentWorld::sample(&cfg, &mut rng);
+        let ds = generate(&cfg);
+        let mut probe = Pcg32::seed_from_u64(999);
+        let (mut chosen, mut random, mut n) = (0.0f64, 0.0f64, 0usize);
+        for g in ds.groups.iter().take(1000) {
+            chosen += world.affinity(g.initiator as usize, g.item as usize) as f64;
+            random += world.affinity(g.initiator as usize, probe.below(cfg.n_items)) as f64;
+            n += 1;
+        }
+        assert!(
+            chosen / n as f64 > random / n as f64 + 0.1,
+            "chosen items must beat random items in affinity ({} vs {})",
+            chosen / n as f64,
+            random / n as f64
+        );
+    }
+
+    #[test]
+    fn group_sizes_respect_bounds_and_mean() {
+        let cfg = SyntheticConfig::default();
+        let ds = generate(&cfg);
+        let sizes: Vec<usize> = ds.groups.iter().map(DealGroup::size).collect();
+        assert!(sizes.iter().all(|&s| s <= cfg.max_group_size));
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(mean > 1.0 && mean < cfg.group_size_mean as f64 + 1.5, "mean size {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 users")]
+    fn degenerate_config_panics() {
+        let cfg = SyntheticConfig { n_users: 1, ..SyntheticConfig::tiny() };
+        let _ = generate(&cfg);
+    }
+}

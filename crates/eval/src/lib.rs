@@ -1,0 +1,23 @@
+//! # mgbr-eval
+//!
+//! Evaluation for the MGBR reproduction, mirroring the paper's protocol
+//! (§III-D):
+//!
+//! * [`metrics`] — MRR@N and NDCG@N over candidate lists with a single
+//!   positive (the paper's 1:9 → `@10` and 1:99 → `@100` settings).
+//! * [`protocol`] — the [`GroupBuyScorer`] trait every model implements
+//!   (MGBR, its ablations, and all six baselines) plus the drivers that
+//!   turn test instances into metric aggregates for Task A and Task B.
+//! * [`stats`] — parameter counts and epoch timing (Table V).
+//! * [`pca`] — 2-D PCA projection and group-dispersion measurement for
+//!   the embedding case study (Fig. 6).
+
+pub mod metrics;
+pub mod pca;
+pub mod protocol;
+pub mod stats;
+
+pub use metrics::{rank_of_positive, MetricAccumulator, RankingMetrics};
+pub use pca::{dispersion_ratio, pca_2d};
+pub use protocol::{evaluate_task_a, evaluate_task_b, GroupBuyScorer, TaskMetrics};
+pub use stats::{EpochTimer, ModelStats};

@@ -1,0 +1,227 @@
+//! Ranking metrics: MRR@N and NDCG@N with a single relevant candidate.
+
+use serde::{Deserialize, Serialize};
+
+/// Rank (1-based) of the positive candidate, which is `scores[0]` by the
+/// workspace convention, within its candidate list.
+///
+/// Ties with the positive's score count half toward the rank (the
+/// expected rank under random tie-breaking, rounded down), so degenerate
+/// constant scorers land mid-list instead of at either extreme.
+///
+/// # Panics
+///
+/// Panics on an empty score slice.
+pub fn rank_of_positive(scores: &[f32]) -> usize {
+    assert!(!scores.is_empty(), "rank_of_positive on empty scores");
+    let pos = scores[0];
+    let mut greater = 0usize;
+    let mut equal = 0usize;
+    for &s in &scores[1..] {
+        if s > pos {
+            greater += 1;
+        } else if s == pos {
+            equal += 1;
+        }
+    }
+    1 + greater + equal / 2
+}
+
+/// MRR@N contribution of one instance.
+pub fn mrr_at(rank: usize, n: usize) -> f64 {
+    if rank <= n {
+        1.0 / rank as f64
+    } else {
+        0.0
+    }
+}
+
+/// NDCG@N contribution of one instance (single relevant item ⇒ the ideal
+/// DCG is 1, so NDCG reduces to `1/log2(rank+1)`).
+pub fn ndcg_at(rank: usize, n: usize) -> f64 {
+    if rank <= n {
+        1.0 / ((rank + 1) as f64).log2()
+    } else {
+        0.0
+    }
+}
+
+/// Hit-rate@N contribution of one instance.
+pub fn hit_at(rank: usize, n: usize) -> f64 {
+    if rank <= n {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// AUC contribution of one instance: the fraction of negatives ranked
+/// below the positive (with single-positive lists, AUC reduces to
+/// `(list_len - rank) / (list_len - 1)`).
+pub fn auc(rank: usize, list_len: usize) -> f64 {
+    if list_len <= 1 {
+        return 1.0;
+    }
+    (list_len - rank) as f64 / (list_len - 1) as f64
+}
+
+/// Aggregated ranking metrics over a set of instances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankingMetrics {
+    /// Mean reciprocal rank at the cutoff.
+    pub mrr: f64,
+    /// Normalized discounted cumulative gain at the cutoff.
+    pub ndcg: f64,
+    /// Hit rate at the cutoff.
+    pub hit: f64,
+    /// Area under the ROC curve (cutoff-independent).
+    pub auc: f64,
+    /// Cutoff `N`.
+    pub cutoff: usize,
+    /// Number of instances aggregated.
+    pub n: usize,
+}
+
+/// Streaming accumulator for [`RankingMetrics`].
+#[derive(Debug, Clone)]
+pub struct MetricAccumulator {
+    cutoff: usize,
+    mrr_sum: f64,
+    ndcg_sum: f64,
+    hit_sum: f64,
+    auc_sum: f64,
+    n: usize,
+}
+
+impl MetricAccumulator {
+    /// Creates an accumulator with cutoff `N`.
+    pub fn new(cutoff: usize) -> Self {
+        Self { cutoff, mrr_sum: 0.0, ndcg_sum: 0.0, hit_sum: 0.0, auc_sum: 0.0, n: 0 }
+    }
+
+    /// Adds one instance by the positive's rank within a list of
+    /// `list_len` candidates.
+    pub fn add_rank_in_list(&mut self, rank: usize, list_len: usize) {
+        self.mrr_sum += mrr_at(rank, self.cutoff);
+        self.ndcg_sum += ndcg_at(rank, self.cutoff);
+        self.hit_sum += hit_at(rank, self.cutoff);
+        self.auc_sum += auc(rank, list_len);
+        self.n += 1;
+    }
+
+    /// Adds one instance by the positive's rank, assuming the list length
+    /// equals the cutoff (the paper's 1:9→@10 / 1:99→@100 protocol).
+    pub fn add_rank(&mut self, rank: usize) {
+        self.add_rank_in_list(rank, self.cutoff);
+    }
+
+    /// Adds one instance by its candidate scores (`scores[0]` positive).
+    pub fn add_scores(&mut self, scores: &[f32]) {
+        self.add_rank_in_list(rank_of_positive(scores), scores.len());
+    }
+
+    /// Finalizes the aggregate (zeros if nothing was added).
+    pub fn finish(&self) -> RankingMetrics {
+        let d = self.n.max(1) as f64;
+        RankingMetrics {
+            mrr: self.mrr_sum / d,
+            ndcg: self.ndcg_sum / d,
+            hit: self.hit_sum / d,
+            auc: self.auc_sum / d,
+            cutoff: self.cutoff,
+            n: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_clear_winner_is_one() {
+        assert_eq!(rank_of_positive(&[5.0, 1.0, 2.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn rank_counts_strictly_greater() {
+        assert_eq!(rank_of_positive(&[2.0, 5.0, 1.0, 3.0]), 3);
+        assert_eq!(rank_of_positive(&[0.0, 1.0, 2.0, 3.0]), 4);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        // 3 ties => +1 to the rank.
+        assert_eq!(rank_of_positive(&[1.0, 1.0, 1.0, 1.0]), 2);
+        // 9 ties => +4 (all-constant scorer in a 1:9 list ranks 5th).
+        let scores = vec![0.5f32; 10];
+        assert_eq!(rank_of_positive(&scores), 5);
+    }
+
+    #[test]
+    fn metric_values_at_known_ranks() {
+        assert_eq!(mrr_at(1, 10), 1.0);
+        assert_eq!(mrr_at(4, 10), 0.25);
+        assert_eq!(mrr_at(11, 10), 0.0);
+        assert!((ndcg_at(1, 10) - 1.0).abs() < 1e-12);
+        assert!((ndcg_at(3, 10) - 0.5).abs() < 1e-12);
+        assert_eq!(ndcg_at(11, 10), 0.0);
+        assert_eq!(hit_at(10, 10), 1.0);
+        assert_eq!(hit_at(11, 10), 0.0);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = MetricAccumulator::new(10);
+        acc.add_rank(1);
+        acc.add_rank(2);
+        let m = acc.finish();
+        assert_eq!(m.n, 2);
+        assert!((m.mrr - 0.75).abs() < 1e-12);
+        assert!((m.hit - 1.0).abs() < 1e-12);
+        assert!((m.ndcg - (1.0 + 1.0 / 3f64.log2()) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_to_zeros() {
+        let m = MetricAccumulator::new(10).finish();
+        assert_eq!(m.n, 0);
+        assert_eq!(m.mrr, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+    }
+
+    #[test]
+    fn perfect_scorer_gets_ones() {
+        let mut acc = MetricAccumulator::new(10);
+        for _ in 0..100 {
+            acc.add_scores(&[9.0, 1.0, 2.0, 3.0, 0.0]);
+        }
+        let m = acc.finish();
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.ndcg, 1.0);
+        assert_eq!(m.hit, 1.0);
+        assert_eq!(m.auc, 1.0);
+    }
+
+    #[test]
+    fn auc_values() {
+        assert_eq!(auc(1, 10), 1.0);
+        assert_eq!(auc(10, 10), 0.0);
+        assert!((auc(5, 10) - 5.0 / 9.0).abs() < 1e-12);
+        assert_eq!(auc(1, 1), 1.0, "degenerate single-candidate list");
+    }
+
+    #[test]
+    fn random_scorer_mrr_near_expectation() {
+        // Uniform-random scores over a 1:9 list: E[MRR@10] = H(10)/10 ≈ 0.2929.
+        let mut rng = mgbr_tensor::Pcg32::seed_from_u64(11);
+        let mut acc = MetricAccumulator::new(10);
+        for _ in 0..20_000 {
+            let scores: Vec<f32> = (0..10).map(|_| rng.uniform()).collect();
+            acc.add_scores(&scores);
+        }
+        let m = acc.finish();
+        let expected = (1..=10).map(|r| 1.0 / r as f64).sum::<f64>() / 10.0;
+        assert!((m.mrr - expected).abs() < 0.01, "mrr {} vs expected {expected}", m.mrr);
+    }
+}

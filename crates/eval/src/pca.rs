@@ -1,0 +1,217 @@
+//! PCA projection and group-dispersion measurement for the embedding case
+//! study (Fig. 6).
+
+use mgbr_tensor::{matmul_tn, Pcg32, Tensor};
+
+/// Projects `n × d` row vectors onto their top-2 principal components,
+/// returning `n × 2` coordinates.
+///
+/// Components are found by power iteration with deflation on the `d × d`
+/// covariance — exact enough for visualization and dispersion statistics,
+/// with no external linear-algebra dependency.
+///
+/// # Panics
+///
+/// Panics if `d < 2` or `n == 0`.
+pub fn pca_2d(x: &Tensor) -> Tensor {
+    assert!(x.cols() >= 2, "pca_2d needs at least 2 feature dims, got {}", x.cols());
+    assert!(x.rows() > 0, "pca_2d on empty input");
+    let n = x.rows();
+    let d = x.cols();
+
+    // Center.
+    let mean = x.mean_rows();
+    let mut centered = x.clone();
+    for r in 0..n {
+        for (v, &m) in centered.row_mut(r).iter_mut().zip(mean.as_slice()) {
+            *v -= m;
+        }
+    }
+
+    // Covariance (d×d, un-normalized scale is fine for directions).
+    let mut cov = matmul_tn(&centered, &centered);
+
+    let mut rng = Pcg32::seed_from_u64(0x9ca);
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let mut v: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
+        normalize(&mut v);
+        for _ in 0..200 {
+            let mut next = mat_vec(&cov, &v);
+            let norm = normalize(&mut next);
+            if norm < 1e-12 {
+                break; // Degenerate (zero-variance) direction.
+            }
+            let delta: f32 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+            v = next;
+            if delta < 1e-7 {
+                break;
+            }
+        }
+        // Deflate: cov -= λ vvᵀ.
+        let lambda = dot(&mat_vec(&cov, &v), &v);
+        for i in 0..d {
+            for j in 0..d {
+                let val = cov.get(i, j) - lambda * v[i] * v[j];
+                cov.set(i, j, val);
+            }
+        }
+        components.push(v);
+    }
+
+    let mut out = Tensor::zeros(n, 2);
+    for r in 0..n {
+        let row = centered.row(r);
+        out.set(r, 0, dot(row, &components[0]));
+        out.set(r, 1, dot(row, &components[1]));
+    }
+    out
+}
+
+/// Mean within-group variance divided by total variance of 2-D points.
+///
+/// Lower means group members cluster tighter relative to the overall
+/// spread — the quantitative version of Fig. 6's "same-color points are
+/// more concentrated" observation.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != coords.rows()`.
+pub fn dispersion_ratio(coords: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(labels.len(), coords.rows(), "one label per row required");
+    let n = coords.rows();
+    if n == 0 {
+        return 0.0;
+    }
+
+    let total_var = variance_around_centroid(coords, &(0..n).collect::<Vec<_>>());
+    if total_var <= 0.0 {
+        return 0.0;
+    }
+
+    let mut by_group: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (r, &l) in labels.iter().enumerate() {
+        by_group.entry(l).or_default().push(r);
+    }
+    let mut weighted = 0.0;
+    let mut total_members = 0usize;
+    for rows in by_group.values() {
+        if rows.len() < 2 {
+            continue;
+        }
+        weighted += variance_around_centroid(coords, rows) * rows.len() as f64;
+        total_members += rows.len();
+    }
+    if total_members == 0 {
+        return 0.0;
+    }
+    (weighted / total_members as f64) / total_var
+}
+
+fn variance_around_centroid(coords: &Tensor, rows: &[usize]) -> f64 {
+    let k = rows.len() as f64;
+    let mut cx = 0.0f64;
+    let mut cy = 0.0f64;
+    for &r in rows {
+        cx += coords.get(r, 0) as f64;
+        cy += coords.get(r, 1) as f64;
+    }
+    cx /= k;
+    cy /= k;
+    let mut var = 0.0;
+    for &r in rows {
+        let dx = coords.get(r, 0) as f64 - cx;
+        let dy = coords.get(r, 1) as f64 - cy;
+        var += dx * dx + dy * dy;
+    }
+    var / k
+}
+
+fn mat_vec(m: &Tensor, v: &[f32]) -> Vec<f32> {
+    (0..m.rows()).map(|r| dot(m.row(r), v)).collect()
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        v.iter_mut().for_each(|x| *x /= norm);
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pca_recovers_dominant_axis() {
+        // Points along the (1,1,0) diagonal with small noise: PC1 must
+        // capture far more variance than PC2.
+        let mut rng = Pcg32::seed_from_u64(3);
+        let mut x = Tensor::zeros(200, 3);
+        for r in 0..200 {
+            let t = rng.normal() * 5.0;
+            let row = x.row_mut(r);
+            row[0] = t + rng.normal() * 0.1;
+            row[1] = t + rng.normal() * 0.1;
+            row[2] = rng.normal() * 0.1;
+        }
+        let proj = pca_2d(&x);
+        let var = |c: usize| -> f32 {
+            let mean: f32 = (0..200).map(|r| proj.get(r, c)).sum::<f32>() / 200.0;
+            (0..200).map(|r| (proj.get(r, c) - mean).powi(2)).sum::<f32>() / 200.0
+        };
+        assert!(var(0) > 20.0 * var(1), "PC1 var {} vs PC2 var {}", var(0), var(1));
+    }
+
+    #[test]
+    fn pca_projection_is_centered() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let x = rng.normal_tensor(50, 4, 3.0, 1.0);
+        let proj = pca_2d(&x);
+        let mean0: f32 = (0..50).map(|r| proj.get(r, 0)).sum::<f32>() / 50.0;
+        assert!(mean0.abs() < 1e-3, "projection should be centered, mean {mean0}");
+    }
+
+    #[test]
+    fn dispersion_tight_clusters_score_low() {
+        // Two well-separated tight clusters.
+        let mut rng = Pcg32::seed_from_u64(5);
+        let mut coords = Tensor::zeros(100, 2);
+        let mut labels = Vec::with_capacity(100);
+        for r in 0..100 {
+            let g = r % 2;
+            let cx = if g == 0 { -10.0 } else { 10.0 };
+            coords.set(r, 0, cx + rng.normal() * 0.1);
+            coords.set(r, 1, rng.normal() * 0.1);
+            labels.push(g);
+        }
+        let tight = dispersion_ratio(&coords, &labels);
+        assert!(tight < 0.01, "tight clusters should have tiny ratio, got {tight}");
+
+        // Labels shuffled across the same points => ratio near 1.
+        let mixed: Vec<usize> = (0..100).map(|r| (r / 2) % 2).collect();
+        let loose = dispersion_ratio(&coords, &mixed);
+        assert!(loose > 0.5, "mixed labels should look dispersed, got {loose}");
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn dispersion_handles_singleton_groups() {
+        let coords = Tensor::from_fn(3, 2, |r, c| (r + c) as f32);
+        let ratio = dispersion_ratio(&coords, &[0, 1, 2]);
+        assert_eq!(ratio, 0.0, "all-singleton grouping has no within variance");
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn mismatched_labels_panic() {
+        let coords = Tensor::zeros(3, 2);
+        let _ = dispersion_ratio(&coords, &[0, 1]);
+    }
+}

@@ -1,0 +1,181 @@
+//! The two-sub-task evaluation protocol (§III-A2, §III-D).
+
+use mgbr_data::{TaskAInstance, TaskBInstance};
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{MetricAccumulator, RankingMetrics};
+
+/// The scoring interface every compared model implements.
+///
+/// Matches the paper's task formalization (§II-A): `score_items` is
+/// `s(i|u)` for Task A, `score_participants` is `s(p|u,i)` for Task B.
+/// Scores are only compared *within* one call's candidate list, so any
+/// monotone transformation of a model's scores is equivalent.
+pub trait GroupBuyScorer {
+    /// Scores candidate items for an initiator (`s(i|u)`), in input order.
+    fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32>;
+
+    /// Scores candidate participants for a group `(u, i)` (`s(p|u,i)`),
+    /// in input order.
+    fn score_participants(&self, user: u32, item: u32, candidates: &[u32]) -> Vec<f32>;
+
+    /// Human-readable model name (for result tables).
+    fn name(&self) -> &str;
+}
+
+/// Both sub-tasks' metrics at one candidate-list setting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskMetrics {
+    /// Task A (`s(i|u)`) metrics.
+    pub task_a: RankingMetrics,
+    /// Task B (`s(p|u,i)`) metrics.
+    pub task_b: RankingMetrics,
+}
+
+/// Evaluates Task A over prepared instances at cutoff `n` (candidate list
+/// = positive + sampled negatives; the paper's `@10` uses 1:9 instances,
+/// `@100` uses 1:99).
+pub fn evaluate_task_a(
+    model: &dyn GroupBuyScorer,
+    instances: &[TaskAInstance],
+    cutoff: usize,
+) -> RankingMetrics {
+    let mut acc = MetricAccumulator::new(cutoff);
+    let mut candidates: Vec<u32> = Vec::new();
+    for inst in instances {
+        candidates.clear();
+        candidates.push(inst.pos_item);
+        candidates.extend_from_slice(&inst.neg_items);
+        let scores = model.score_items(inst.user, &candidates);
+        debug_assert_eq!(scores.len(), candidates.len());
+        acc.add_scores(&scores);
+    }
+    acc.finish()
+}
+
+/// Evaluates Task B over prepared instances at cutoff `n`.
+pub fn evaluate_task_b(
+    model: &dyn GroupBuyScorer,
+    instances: &[TaskBInstance],
+    cutoff: usize,
+) -> RankingMetrics {
+    let mut acc = MetricAccumulator::new(cutoff);
+    let mut candidates: Vec<u32> = Vec::new();
+    for inst in instances {
+        candidates.clear();
+        candidates.push(inst.pos_participant);
+        candidates.extend_from_slice(&inst.neg_participants);
+        let scores = model.score_participants(inst.user, inst.item, &candidates);
+        debug_assert_eq!(scores.len(), candidates.len());
+        acc.add_scores(&scores);
+    }
+    acc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An oracle that knows the positives (rank 1 everywhere).
+    struct Oracle {
+        pos_items: std::collections::HashSet<(u32, u32)>,
+        pos_parts: std::collections::HashSet<(u32, u32, u32)>,
+    }
+
+    impl GroupBuyScorer for Oracle {
+        fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
+            items
+                .iter()
+                .map(|&i| if self.pos_items.contains(&(user, i)) { 1.0 } else { 0.0 })
+                .collect()
+        }
+        fn score_participants(&self, user: u32, item: u32, candidates: &[u32]) -> Vec<f32> {
+            candidates
+                .iter()
+                .map(|&p| if self.pos_parts.contains(&(user, item, p)) { 1.0 } else { 0.0 })
+                .collect()
+        }
+        fn name(&self) -> &str {
+            "oracle"
+        }
+    }
+
+    /// A scorer with no information (constant output).
+    struct Constant;
+
+    impl GroupBuyScorer for Constant {
+        fn score_items(&self, _: u32, items: &[u32]) -> Vec<f32> {
+            vec![0.5; items.len()]
+        }
+        fn score_participants(&self, _: u32, _: u32, candidates: &[u32]) -> Vec<f32> {
+            vec![0.5; candidates.len()]
+        }
+        fn name(&self) -> &str {
+            "constant"
+        }
+    }
+
+    fn instances() -> (Vec<TaskAInstance>, Vec<TaskBInstance>) {
+        let a = (0..20u32)
+            .map(|u| TaskAInstance {
+                user: u,
+                pos_item: u % 5,
+                neg_items: (5..14).collect(),
+            })
+            .collect();
+        let b = (0..20u32)
+            .map(|u| TaskBInstance {
+                user: u,
+                item: u % 5,
+                pos_participant: u + 100,
+                neg_participants: (200..209).collect(),
+            })
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn oracle_achieves_perfect_metrics() {
+        let (a, b) = instances();
+        let oracle = Oracle {
+            pos_items: a.iter().map(|i| (i.user, i.pos_item)).collect(),
+            pos_parts: b.iter().map(|i| (i.user, i.item, i.pos_participant)).collect(),
+        };
+        let ma = evaluate_task_a(&oracle, &a, 10);
+        let mb = evaluate_task_b(&oracle, &b, 10);
+        assert_eq!(ma.mrr, 1.0);
+        assert_eq!(ma.ndcg, 1.0);
+        assert_eq!(mb.mrr, 1.0);
+        assert_eq!(mb.n, 20);
+    }
+
+    #[test]
+    fn constant_scorer_lands_mid_list() {
+        let (a, _) = instances();
+        let m = evaluate_task_a(&Constant, &a, 10);
+        // 9 ties => rank 5 => MRR 0.2.
+        assert!((m.mrr - 0.2).abs() < 1e-9, "mrr {}", m.mrr);
+    }
+
+    #[test]
+    fn cutoff_excludes_deep_ranks() {
+        let (a, _) = instances();
+        // Inverse oracle: positive always last.
+        struct Worst;
+        impl GroupBuyScorer for Worst {
+            fn score_items(&self, _: u32, items: &[u32]) -> Vec<f32> {
+                (0..items.len()).map(|k| if k == 0 { -1.0 } else { 1.0 }).collect()
+            }
+            fn score_participants(&self, _: u32, _: u32, c: &[u32]) -> Vec<f32> {
+                vec![0.0; c.len()]
+            }
+            fn name(&self) -> &str {
+                "worst"
+            }
+        }
+        let m5 = evaluate_task_a(&Worst, &a, 5);
+        assert_eq!(m5.mrr, 0.0, "rank 10 must not count at cutoff 5");
+        let m10 = evaluate_task_a(&Worst, &a, 10);
+        assert!((m10.mrr - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Model-scale and efficiency measurement (Table V).
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the reproduction's Table V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStats {
+    /// Model name.
+    pub model: String,
+    /// Total trainable scalars ("Para. number").
+    pub param_count: usize,
+    /// Mean wall-clock seconds per training epoch (the paper reports
+    /// minutes/epoch on a GPU; ordering is what transfers).
+    pub secs_per_epoch: f64,
+}
+
+/// Accumulates per-epoch wall-clock timings.
+#[derive(Debug, Default, Clone)]
+pub struct EpochTimer {
+    epochs: Vec<f64>,
+    current: Option<f64>,
+}
+
+impl EpochTimer {
+    /// Creates an idle timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the start of an epoch.
+    pub fn start_epoch(&mut self) {
+        self.current = Some(now_secs());
+    }
+
+    /// Marks the end of the current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no epoch was started.
+    pub fn end_epoch(&mut self) {
+        let start = self.current.take().expect("end_epoch without start_epoch");
+        self.epochs.push(now_secs() - start);
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Mean seconds per completed epoch (0 if none).
+    pub fn mean_secs(&self) -> f64 {
+        if self.epochs.is_empty() {
+            0.0
+        } else {
+            self.epochs.iter().sum::<f64>() / self.epochs.len() as f64
+        }
+    }
+
+    /// Per-epoch durations.
+    pub fn all(&self) -> &[f64] {
+        &self.epochs
+    }
+}
+
+fn now_secs() -> f64 {
+    // A process-local monotonic origin keeps the arithmetic in small f64s.
+    use std::sync::OnceLock;
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_records_epochs() {
+        let mut t = EpochTimer::new();
+        assert_eq!(t.epochs(), 0);
+        assert_eq!(t.mean_secs(), 0.0);
+
+        t.start_epoch();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        t.end_epoch();
+        assert_eq!(t.epochs(), 1);
+        assert!(t.mean_secs() >= 0.009, "measured {}", t.mean_secs());
+        assert_eq!(t.all().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "without start_epoch")]
+    fn end_without_start_panics() {
+        EpochTimer::new().end_epoch();
+    }
+
+    #[test]
+    fn stats_serde_roundtrip() {
+        let s = ModelStats { model: "MGBR".into(), param_count: 123, secs_per_epoch: 1.5 };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ModelStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,336 @@
+//! Compressed-sparse-row matrices and sparse × dense products.
+
+use mgbr_tensor::Tensor;
+
+/// A sparse `f32` matrix in compressed-sparse-row layout.
+///
+/// Built once per training run from the observed deal groups and then used
+/// read-only inside every GCN forward pass, so construction favours
+/// clarity (sort + dedup) while [`spmm`] is the hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    /// Row start offsets into `indices`/`values`; length `n_rows + 1`.
+    indptr: Vec<usize>,
+    /// Column index of each stored entry, ascending within a row.
+    indices: Vec<u32>,
+    /// Value of each stored entry.
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Duplicate coordinates are summed. Entries are sorted per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_triplets(n_rows: usize, n_cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < n_rows && c < n_cols, "triplet ({r},{c}) out of [{n_rows}x{n_cols}]");
+        }
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = vec![0usize; n_rows + 1];
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in sorted {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("dedup with empty values") += v;
+            } else {
+                indptr[r + 1] += 1;
+                indices.push(c as u32);
+                values.push(v);
+                last = Some((r, c));
+            }
+        }
+        for r in 0..n_rows {
+            indptr[r + 1] += indptr[r];
+        }
+        Self { n_rows, n_cols, indptr, indices, values }
+    }
+
+    /// Builds the adjacency matrix of an undirected, unweighted graph from
+    /// an edge list: each `(a, b)` contributes entries `(a,b)` and `(b,a)`
+    /// with value 1 (duplicates collapse to 1, not 2).
+    pub fn undirected_adjacency(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut set = std::collections::HashSet::with_capacity(edges.len() * 2);
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of {n} nodes");
+            if a != b {
+                set.insert((a, b));
+                set.insert((b, a));
+            }
+        }
+        let triplets: Vec<(usize, usize, f32)> = set.into_iter().map(|(a, b)| (a, b, 1.0)).collect();
+        Self::from_triplets(n, n, &triplets)
+    }
+
+    /// The `n × n` sparse identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            n_rows: n,
+            n_cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(column, value)` entries of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let range = self.indptr[r]..self.indptr[r + 1];
+        self.indices[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// The stored value at `(r, c)`, or 0 if absent.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let range = self.indptr[r]..self.indptr[r + 1];
+        match self.indices[range.clone()].binary_search(&(c as u32)) {
+            Ok(pos) => self.values[range.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Row sums (weighted out-degrees) as a dense vector.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.n_rows).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// The transpose as a new CSR matrix.
+    pub fn transpose(&self) -> Self {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        Self::from_triplets(self.n_cols, self.n_rows, &triplets)
+    }
+
+    /// Whether the matrix is square and equal to its transpose.
+    pub fn is_symmetric(&self) -> bool {
+        self.n_rows == self.n_cols && *self == self.transpose()
+    }
+
+    /// The GCN propagation matrix `Â = D^{-1/2} (A + I) D^{-1/2}` (Kipf &
+    /// Welling normalization with self-loops), where `D` is the degree
+    /// matrix of `A + I`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn sym_normalized(&self) -> Self {
+        assert_eq!(self.n_rows, self.n_cols, "sym_normalized requires a square matrix");
+        let n = self.n_rows;
+        // A + I as triplets.
+        let mut triplets = Vec::with_capacity(self.nnz() + n);
+        for r in 0..n {
+            for (c, v) in self.row(r) {
+                if r != c {
+                    triplets.push((r, c, v));
+                }
+            }
+            triplets.push((r, r, 1.0 + self.get(r, r)));
+        }
+        let with_loops = Csr::from_triplets(n, n, &triplets);
+        let deg = with_loops.row_sums();
+        let inv_sqrt: Vec<f32> =
+            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        let mut out = with_loops;
+        for r in 0..n {
+            let range = out.indptr[r]..out.indptr[r + 1];
+            let dr = inv_sqrt[r];
+            for k in range {
+                out.values[k] *= dr * inv_sqrt[out.indices[k] as usize];
+            }
+        }
+        out
+    }
+
+    /// Dense copy (for tests and small-matrix debugging).
+    pub fn to_dense(&self) -> Tensor {
+        let mut t = Tensor::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            for (c, v) in self.row(r) {
+                t.set(r, c, v);
+            }
+        }
+        t
+    }
+}
+
+/// Sparse × dense product `A (m×k) · X (k×n) → m×n`.
+#[track_caller]
+pub fn spmm(a: &Csr, x: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(a.n_rows(), x.cols());
+    spmm_into(a, x, &mut out);
+    out
+}
+
+/// Sparse × dense product into an existing output buffer (overwritten).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch.
+#[track_caller]
+pub fn spmm_into(a: &Csr, x: &Tensor, out: &mut Tensor) {
+    assert_eq!(a.n_cols(), x.rows(), "spmm: {}x{} · {}", a.n_rows(), a.n_cols(), x.shape());
+    assert!(
+        out.rows() == a.n_rows() && out.cols() == x.cols(),
+        "spmm: bad output shape {}",
+        out.shape()
+    );
+    out.fill(0.0);
+    let n = x.cols();
+    let x_data = x.as_slice();
+    for r in 0..a.n_rows() {
+        let range = a.indptr[r]..a.indptr[r + 1];
+        let dst_start = r * n;
+        for k in range {
+            let c = a.indices[k] as usize;
+            let v = a.values[k];
+            let src = &x_data[c * n..c * n + n];
+            let dst = &mut out.as_mut_slice()[dst_start..dst_start + n];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += v * s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_tensor::{matmul, Pcg32};
+
+    #[test]
+    fn triplets_dedup_and_sort() {
+        let m = Csr::from_triplets(2, 3, &[(1, 2, 1.0), (0, 1, 2.0), (1, 2, 3.0), (1, 0, 5.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(1, 2), 4.0);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        let row1: Vec<_> = m.row(1).collect();
+        assert_eq!(row1, vec![(0, 5.0), (2, 4.0)]);
+    }
+
+    #[test]
+    fn undirected_adjacency_is_symmetric_without_self_loops() {
+        let a = Csr::undirected_adjacency(4, &[(0, 1), (1, 2), (1, 0), (3, 3)]);
+        assert!(a.is_symmetric());
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(3, 3), 0.0, "self edge should be dropped");
+        assert_eq!(a.nnz(), 4);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let i = Csr::identity(3);
+        assert_eq!(i.to_dense(), Tensor::eye(3));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Csr::from_triplets(2, 3, &[(0, 2, 1.5), (1, 0, -2.0)]);
+        let t = m.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.get(2, 0), 1.5);
+        assert_eq!(t.get(0, 1), -2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn sym_normalized_path_graph() {
+        // Path 0-1-2. Degrees with self-loops: 2, 3, 2.
+        let a = Csr::undirected_adjacency(3, &[(0, 1), (1, 2)]);
+        let n = a.sym_normalized();
+        assert!((n.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((n.get(1, 1) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((n.get(0, 1) - 1.0 / (2.0f32 * 3.0).sqrt()).abs() < 1e-6);
+        assert!(n.is_symmetric());
+    }
+
+    #[test]
+    fn sym_normalized_rows_of_regular_graph_sum_to_one() {
+        // 4-cycle: every node has degree 2 (+1 self loop) => rows sum to 1.
+        let a = Csr::undirected_adjacency(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let n = a.sym_normalized();
+        for s in n.row_sums() {
+            assert!((s - 1.0).abs() < 1e-6, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn sym_normalized_isolated_node_keeps_self_loop() {
+        let a = Csr::undirected_adjacency(2, &[]);
+        let n = a.sym_normalized();
+        assert!((n.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(n.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let triplets: Vec<(usize, usize, f32)> = (0..40)
+            .map(|_| (rng.below(8), rng.below(6), rng.normal()))
+            .collect();
+        let a = Csr::from_triplets(8, 6, &triplets);
+        let x = rng.normal_tensor(6, 5, 0.0, 1.0);
+        let sparse = spmm(&a, &x);
+        let dense = matmul(&a.to_dense(), &x);
+        for (s, d) in sparse.as_slice().iter().zip(dense.as_slice()) {
+            assert!((s - d).abs() < 1e-4, "{s} vs {d}");
+        }
+    }
+
+    #[test]
+    fn spmm_empty_rows_produce_zeros() {
+        let a = Csr::from_triplets(3, 2, &[(0, 0, 1.0)]);
+        let x = Tensor::ones(2, 4);
+        let y = spmm(&a, &x);
+        assert_eq!(y.row(0), &[1.0, 1.0, 1.0, 1.0]);
+        assert!(y.row(1).iter().all(|&v| v == 0.0));
+        assert!(y.row(2).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn out_of_bounds_triplet_panics() {
+        let _ = Csr::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+}

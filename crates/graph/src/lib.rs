@@ -1,0 +1,30 @@
+//! # mgbr-graph
+//!
+//! Sparse graph substrate for the MGBR reproduction.
+//!
+//! The paper's multi-view embedding module (§II-C) runs GCNs over three
+//! undirected graphs built from observed deal groups:
+//!
+//! * `G_UI` (**initiator-view**): initiator `u` — item `i` edges, added when
+//!   `u` launched a group buying of `i`.
+//! * `G_PI` (**participant-view**): participant `p` — item `i` edges, added
+//!   when `p` joined a group buying of `i`.
+//! * `G_UP` (**social-view**): initiator `u` — participant `p` edges, added
+//!   when `p` joined a group launched by `u` (participant-participant edges
+//!   are deliberately omitted, per the paper's footnote 1).
+//!
+//! This crate provides:
+//!
+//! * [`Csr`] — a compressed-sparse-row f32 matrix with construction from
+//!   edge lists, transpose, and degree queries.
+//! * [`Csr::sym_normalized`] — the GCN propagation matrix
+//!   `Â = D^{-1/2}(A + I)D^{-1/2}`.
+//! * [`spmm`] — sparse × dense products feeding the GCN layers.
+//! * [`views`] — the three view builders plus the MGBR-D ablation's single
+//!   heterogeneous information network (HIN).
+
+mod csr;
+pub mod views;
+
+pub use csr::{spmm, spmm_into, Csr};
+pub use views::{GraphViews, HinGraph};

@@ -1,0 +1,165 @@
+//! The three MGBR graph views (§II-C) and the MGBR-D ablation's HIN.
+//!
+//! Node numbering convention, shared by every consumer in the workspace:
+//! in the bipartite user-item views (`G_UI`, `G_PI`) and the HIN, users
+//! occupy node ids `0..n_users` and item `i` occupies `n_users + i`. The
+//! social view `G_UP` is over users only.
+
+use crate::Csr;
+
+/// The three normalized propagation matrices of MGBR's multi-view
+/// embedding module.
+///
+/// Each field is already `D^{-1/2}(A + I)D^{-1/2}`-normalized and ready to
+/// drive a GCN layer.
+#[derive(Debug, Clone)]
+pub struct GraphViews {
+    /// Number of users (`|U|`; initiators and participants share this set).
+    pub n_users: usize,
+    /// Number of items (`|I|`).
+    pub n_items: usize,
+    /// Initiator-view `Â_UI` over `|U| + |I|` nodes.
+    pub a_ui: Csr,
+    /// Participant-view `Â_PI` over `|U| + |I|` nodes.
+    pub a_pi: Csr,
+    /// Social-view `Â_UP` over `|U|` nodes.
+    pub a_up: Csr,
+}
+
+impl GraphViews {
+    /// Builds and normalizes all three views from raw interaction edges.
+    ///
+    /// * `ui_edges`: `(initiator, item)` pairs — `u` launched a group for `i`.
+    /// * `pi_edges`: `(participant, item)` pairs — `p` joined a group buying `i`.
+    /// * `up_edges`: `(initiator, participant)` pairs — `p` joined `u`'s group.
+    ///
+    /// Items are indexed `0..n_items` in the inputs; the bipartite node
+    /// mapping is handled internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge references an out-of-range user or item.
+    pub fn build(
+        n_users: usize,
+        n_items: usize,
+        ui_edges: &[(usize, usize)],
+        pi_edges: &[(usize, usize)],
+        up_edges: &[(usize, usize)],
+    ) -> Self {
+        let n_bip = n_users + n_items;
+        let map_bip = |edges: &[(usize, usize)]| -> Vec<(usize, usize)> {
+            edges
+                .iter()
+                .map(|&(u, i)| {
+                    assert!(u < n_users, "user {u} out of {n_users}");
+                    assert!(i < n_items, "item {i} out of {n_items}");
+                    (u, n_users + i)
+                })
+                .collect()
+        };
+        let a_ui = Csr::undirected_adjacency(n_bip, &map_bip(ui_edges)).sym_normalized();
+        let a_pi = Csr::undirected_adjacency(n_bip, &map_bip(pi_edges)).sym_normalized();
+        for &(u, p) in up_edges {
+            assert!(u < n_users && p < n_users, "social edge ({u},{p}) out of {n_users} users");
+        }
+        let a_up = Csr::undirected_adjacency(n_users, up_edges).sym_normalized();
+        Self { n_users, n_items, a_ui, a_pi, a_up }
+    }
+
+    /// Number of nodes in the bipartite views.
+    #[inline]
+    pub fn n_bipartite(&self) -> usize {
+        self.n_users + self.n_items
+    }
+
+    /// Node id of item `i` inside the bipartite views.
+    #[inline]
+    pub fn item_node(&self, item: usize) -> usize {
+        self.n_users + item
+    }
+}
+
+/// The single heterogeneous information network used by the MGBR-D
+/// ablation (§III-B): all `u`, `i`, `p` nodes and *all three* relation
+/// types folded into one graph, propagated by one GCN.
+#[derive(Debug, Clone)]
+pub struct HinGraph {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Normalized adjacency over `|U| + |I|` nodes with UI, PI, and UP edges.
+    pub adj: Csr,
+}
+
+impl HinGraph {
+    /// Builds the HIN from the same edge lists as [`GraphViews::build`].
+    pub fn build(
+        n_users: usize,
+        n_items: usize,
+        ui_edges: &[(usize, usize)],
+        pi_edges: &[(usize, usize)],
+        up_edges: &[(usize, usize)],
+    ) -> Self {
+        let n = n_users + n_items;
+        let mut all = Vec::with_capacity(ui_edges.len() + pi_edges.len() + up_edges.len());
+        for &(u, i) in ui_edges.iter().chain(pi_edges) {
+            assert!(u < n_users && i < n_items, "edge ({u},{i}) out of bounds");
+            all.push((u, n_users + i));
+        }
+        for &(u, p) in up_edges {
+            assert!(u < n_users && p < n_users, "social edge ({u},{p}) out of bounds");
+            all.push((u, p));
+        }
+        Self { n_users, n_items, adj: Csr::undirected_adjacency(n, &all).sym_normalized() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_have_expected_dimensions() {
+        let v = GraphViews::build(3, 2, &[(0, 0)], &[(1, 0), (2, 1)], &[(0, 1), (0, 2)]);
+        assert_eq!(v.n_bipartite(), 5);
+        assert_eq!(v.a_ui.n_rows(), 5);
+        assert_eq!(v.a_pi.n_rows(), 5);
+        assert_eq!(v.a_up.n_rows(), 3);
+        assert_eq!(v.item_node(1), 4);
+    }
+
+    #[test]
+    fn ui_edge_lands_in_bipartite_block() {
+        let v = GraphViews::build(2, 2, &[(1, 0)], &[], &[]);
+        // user 1 <-> item node 2; normalized weight 1/sqrt(2*2) = 0.5.
+        assert!((v.a_ui.get(1, 2) - 0.5).abs() < 1e-6);
+        assert!((v.a_ui.get(2, 1) - 0.5).abs() < 1e-6);
+        // untouched nodes keep only their self-loop.
+        assert!((v.a_ui.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn social_view_excludes_items() {
+        let v = GraphViews::build(4, 3, &[], &[], &[(0, 3)]);
+        assert_eq!(v.a_up.n_rows(), 4);
+        assert!(v.a_up.get(0, 3) > 0.0);
+        assert!(v.a_up.is_symmetric());
+    }
+
+    #[test]
+    fn hin_merges_all_relations() {
+        let h = HinGraph::build(3, 2, &[(0, 0)], &[(1, 0)], &[(0, 1)]);
+        assert_eq!(h.adj.n_rows(), 5);
+        assert!(h.adj.get(0, 3) > 0.0, "UI edge missing");
+        assert!(h.adj.get(1, 3) > 0.0, "PI edge missing");
+        assert!(h.adj.get(0, 1) > 0.0, "UP edge missing");
+        assert!(h.adj.is_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bad_item_index_panics() {
+        let _ = GraphViews::build(2, 1, &[(0, 1)], &[], &[]);
+    }
+}

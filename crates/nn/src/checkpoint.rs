@@ -1,0 +1,258 @@
+//! Parameter-store checkpointing: save and restore every trainable tensor
+//! to a simple, versioned, self-describing binary format.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "MGBRCKPT"           8 bytes
+//! version u32                 (currently 1)
+//! count   u32                 number of parameters
+//! per parameter:
+//!   name_len u32, name bytes (UTF-8)
+//!   rows u32, cols u32
+//!   rows*cols f32 values
+//! ```
+//!
+//! Restores are validated against the receiving store's registered names
+//! and shapes, so loading a checkpoint into a differently-configured
+//! model fails loudly instead of silently mis-assigning weights.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use mgbr_tensor::Tensor;
+
+use crate::ParamStore;
+
+const MAGIC: &[u8; 8] = b"MGBRCKPT";
+const VERSION: u32 = 1;
+
+/// Errors arising from checkpoint serialization.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not a checkpoint or is an unsupported version.
+    Format(String),
+    /// The checkpoint does not match the receiving store.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Format(msg) => write!(f, "invalid checkpoint: {msg}"),
+            CheckpointError::Mismatch(msg) => write!(f, "checkpoint/store mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes every parameter of `store` to `writer`.
+pub fn save_params<W: Write>(store: &ParamStore, mut writer: W) -> Result<(), CheckpointError> {
+    writer.write_all(MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    writer.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, tensor) in store.iter() {
+        let name_bytes = name.as_bytes();
+        writer.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        writer.write_all(name_bytes)?;
+        writer.write_all(&(tensor.rows() as u32).to_le_bytes())?;
+        writer.write_all(&(tensor.cols() as u32).to_le_bytes())?;
+        for &v in tensor.as_slice() {
+            writer.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Saves a store to a file path.
+pub fn save_params_to_file(
+    store: &ParamStore,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let file = std::fs::File::create(path)?;
+    save_params(store, io::BufWriter::new(file))
+}
+
+/// Restores parameter values into `store` from `reader`.
+///
+/// The checkpoint must contain exactly the store's parameters, in
+/// registration order, with matching names and shapes.
+pub fn load_params<R: Read>(store: &mut ParamStore, mut reader: R) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Format("bad magic bytes".into()));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let count = read_u32(&mut reader)? as usize;
+    if count != store.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {count} parameters, store has {}",
+            store.len()
+        )));
+    }
+
+    let ids: Vec<_> = store.iter().map(|(id, _, _)| id).collect();
+    for id in ids {
+        let name_len = read_u32(&mut reader)? as usize;
+        if name_len > 1 << 20 {
+            return Err(CheckpointError::Format(format!("implausible name length {name_len}")));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        reader.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|_| CheckpointError::Format("non-UTF-8 parameter name".into()))?;
+        if name != store.name(id) {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter name '{name}' in checkpoint, '{}' in store",
+                store.name(id)
+            )));
+        }
+        let rows = read_u32(&mut reader)? as usize;
+        let cols = read_u32(&mut reader)? as usize;
+        let current = store.get(id);
+        if rows != current.rows() || cols != current.cols() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter '{name}': checkpoint shape [{rows}x{cols}], store shape {}",
+                current.shape()
+            )));
+        }
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in &mut data {
+            reader.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        *store.get_mut(id) = Tensor::from_vec(rows, cols, data)
+            .expect("shape validated against element count above");
+    }
+    Ok(())
+}
+
+/// Restores a store from a file path.
+pub fn load_params_from_file(
+    store: &mut ParamStore,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let file = std::fs::File::open(path)?;
+    load_params(store, io::BufReader::new(file))
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_tensor::Pcg32;
+
+    fn sample_store() -> ParamStore {
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(5);
+        store.add("layer.w", rng.normal_tensor(3, 4, 0.0, 1.0));
+        store.add("layer.b", rng.normal_tensor(1, 4, 0.0, 1.0));
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+
+        let mut restored = ParamStore::new();
+        restored.add("layer.w", Tensor::zeros(3, 4));
+        restored.add("layer.b", Tensor::zeros(1, 4));
+        load_params(&mut restored, buf.as_slice()).unwrap();
+
+        for ((_, _, a), (_, _, b)) in store.iter().zip(restored.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut store = sample_store();
+        let err = load_params(&mut store, &b"NOTACKPT"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(_) | CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+
+        let mut other = ParamStore::new();
+        other.add("layer.w", Tensor::zeros(4, 3)); // transposed shape
+        other.add("layer.b", Tensor::zeros(1, 4));
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_name_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+
+        let mut other = ParamStore::new();
+        other.add("different.w", Tensor::zeros(3, 4));
+        other.add("layer.b", Tensor::zeros(1, 4));
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        save_params(&store, &mut buf).unwrap();
+
+        let mut other = ParamStore::new();
+        other.add("layer.w", Tensor::zeros(3, 4));
+        let err = load_params(&mut other, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join("mgbr_ckpt_test.bin");
+        save_params_to_file(&store, &path).unwrap();
+        let mut restored = sample_store();
+        let first_id = restored.iter().next().unwrap().0;
+        restored.get_mut(first_id).fill(0.0);
+        load_params_from_file(&mut restored, &path).unwrap();
+        for ((_, _, a), (_, _, b)) in store.iter().zip(restored.iter()) {
+            assert_eq!(a, b);
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,324 @@
+//! Layers: linear projections, MLPs, and embedding tables.
+
+use std::rc::Rc;
+
+use mgbr_autograd::Var;
+use mgbr_tensor::{Pcg32, Tensor};
+
+use crate::{ParamId, ParamStore, StepCtx};
+
+/// Pointwise nonlinearity applied between/after layers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// No nonlinearity.
+    Identity,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// LeakyReLU with the given negative slope.
+    LeakyRelu(f32),
+}
+
+impl Activation {
+    /// Applies the activation to a var.
+    pub fn apply(&self, x: &Var) -> Var {
+        match self {
+            Activation::Identity => x.clone(),
+            Activation::Relu => x.relu(),
+            Activation::Sigmoid => x.sigmoid(),
+            Activation::Tanh => x.tanh(),
+            Activation::LeakyRelu(slope) => x.leaky_relu(*slope),
+        }
+    }
+}
+
+/// A dense affine layer `y = xW (+ b)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix handle (`in_dim × out_dim`).
+    pub w: ParamId,
+    /// Optional bias handle (`1 × out_dim`).
+    pub b: Option<ParamId>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a Xavier-initialized linear layer.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Pcg32,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        bias: bool,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), rng.xavier_tensor(in_dim, out_dim));
+        let b = bias.then(|| store.add(format!("{name}.b"), Tensor::zeros(1, out_dim)));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to a `B × in_dim` input.
+    #[track_caller]
+    pub fn forward(&self, ctx: &StepCtx<'_>, x: &Var) -> Var {
+        assert_eq!(
+            x.cols(),
+            self.in_dim,
+            "Linear: input width {} != declared in_dim {}",
+            x.cols(),
+            self.in_dim
+        );
+        let y = x.matmul(&ctx.param(self.w));
+        match self.b {
+            Some(b) => y.add_row_broadcast(&ctx.param(b)),
+            None => y,
+        }
+    }
+}
+
+/// A multi-layer perceptron with a shared hidden activation and an
+/// optional distinct output activation.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    output_act: Activation,
+}
+
+impl Mlp {
+    /// Registers an MLP with layer widths `dims = [in, h1, …, out]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Pcg32,
+        name: &str,
+        dims: &[usize],
+        hidden_act: Activation,
+        output_act: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp needs at least [in, out] widths, got {dims:?}");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, rng, &format!("{name}.l{i}"), w[0], w[1], true))
+            .collect();
+        Self { layers, hidden_act, output_act }
+    }
+
+    /// Input feature width.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Number of affine layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Applies the MLP to a `B × in_dim` input.
+    pub fn forward(&self, ctx: &StepCtx<'_>, x: &Var) -> Var {
+        let last = self.layers.len() - 1;
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(ctx, &h);
+            h = if i == last { self.output_act.apply(&h) } else { self.hidden_act.apply(&h) };
+        }
+        h
+    }
+}
+
+/// A trainable embedding table with row-gather lookup.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// Table handle (`vocab × dim`).
+    pub table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Registers a `N(0, std²)`-initialized embedding table.
+    pub fn new(
+        store: &mut ParamStore,
+        rng: &mut Pcg32,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        std: f32,
+    ) -> Self {
+        let table = store.add(format!("{name}.table"), rng.normal_tensor(vocab, dim, 0.0, std));
+        Self { table, vocab, dim }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Looks up a batch of ids, yielding `len × dim`.
+    pub fn forward(&self, ctx: &StepCtx<'_>, ids: Rc<Vec<usize>>) -> Var {
+        ctx.param(self.table).gather_rows(ids)
+    }
+
+    /// The full table bound as a var (for whole-graph propagation).
+    pub fn full(&self, ctx: &StepCtx<'_>) -> Var {
+        ctx.param(self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Optimizer};
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let l = Linear::new(&mut store, &mut rng, "l", 3, 2, true);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.scalar_count(), 3 * 2 + 2);
+
+        let ctx = StepCtx::new(&store);
+        let x = ctx.constant(Tensor::ones(4, 3));
+        let y = l.forward(&ctx, &x);
+        assert_eq!(y.rows(), 4);
+        assert_eq!(y.cols(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn linear_rejects_wrong_width() {
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(1);
+        let l = Linear::new(&mut store, &mut rng, "l", 3, 2, false);
+        let ctx = StepCtx::new(&store);
+        let x = ctx.constant(Tensor::ones(4, 5));
+        let _ = l.forward(&ctx, &x);
+    }
+
+    #[test]
+    fn mlp_depth_and_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(2);
+        let mlp = Mlp::new(
+            &mut store,
+            &mut rng,
+            "m",
+            &[8, 4, 1],
+            Activation::Relu,
+            Activation::Identity,
+        );
+        assert_eq!(mlp.depth(), 2);
+        assert_eq!(mlp.in_dim(), 8);
+        assert_eq!(mlp.out_dim(), 1);
+
+        let ctx = StepCtx::new(&store);
+        let x = ctx.constant(Tensor::ones(5, 8));
+        let y = mlp.forward(&ctx, &x);
+        assert_eq!(y.rows(), 5);
+        assert_eq!(y.cols(), 1);
+    }
+
+    #[test]
+    fn mlp_learns_xor_like_separation() {
+        // A tiny but real learning test: fit y = x0 XOR x1 on the four
+        // binary points; a linear model cannot, a 2-layer MLP can.
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(3);
+        let mlp = Mlp::new(
+            &mut store,
+            &mut rng,
+            "xor",
+            &[2, 8, 1],
+            Activation::Tanh,
+            Activation::Identity,
+        );
+        let mut adam = Adam::with_lr(0.05);
+        let x = Tensor::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
+        let y = Tensor::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..400 {
+            let ctx = StepCtx::new(&store);
+            let xs = ctx.constant(x.clone());
+            let ys = ctx.constant(y.clone());
+            let pred = mlp.forward(&ctx, &xs).sigmoid();
+            let diff = pred.sub(&ys);
+            let loss = diff.mul(&diff).mean_all();
+            last_loss = loss.value().scalar();
+            let grads = ctx.backward(&loss);
+            adam.step(&mut store, &grads);
+        }
+        assert!(last_loss < 0.03, "XOR loss stuck at {last_loss}");
+    }
+
+    #[test]
+    fn embedding_lookup_and_training() {
+        let mut store = ParamStore::new();
+        let mut rng = Pcg32::seed_from_u64(4);
+        let emb = Embedding::new(&mut store, &mut rng, "e", 10, 4, 0.1);
+        assert_eq!(emb.vocab(), 10);
+        assert_eq!(emb.dim(), 4);
+
+        let before = store.get(emb.table).row(3).to_vec();
+        let untouched_before = store.get(emb.table).row(7).to_vec();
+
+        let mut adam = Adam::with_lr(0.1);
+        let ctx = StepCtx::new(&store);
+        let rows = emb.forward(&ctx, Rc::new(vec![3, 3, 5]));
+        assert_eq!(rows.rows(), 3);
+        let loss = rows.mul(&rows).sum_all();
+        let grads = ctx.backward(&loss);
+        adam.step(&mut store, &grads);
+
+        assert_ne!(store.get(emb.table).row(3), &before[..], "looked-up row should train");
+        assert_eq!(
+            store.get(emb.table).row(7),
+            &untouched_before[..],
+            "Adam moves un-looked-up rows only via zero-gradient moments; \
+             with fresh moments the update must be exactly zero"
+        );
+    }
+
+    #[test]
+    fn activations_apply() {
+        let store = ParamStore::new();
+        let ctx = StepCtx::new(&store);
+        let x = ctx.constant(Tensor::from_vec(1, 2, vec![-1.0, 1.0]).unwrap());
+        assert_eq!(Activation::Identity.apply(&x).value().as_slice(), &[-1.0, 1.0]);
+        assert_eq!(Activation::Relu.apply(&x).value().as_slice(), &[0.0, 1.0]);
+        let lr = Activation::LeakyRelu(0.5).apply(&x).value();
+        assert_eq!(lr.as_slice(), &[-0.5, 1.0]);
+        let s = Activation::Sigmoid.apply(&x).value();
+        assert!((s.as_slice()[1] - 0.7310586).abs() < 1e-5);
+        let t = Activation::Tanh.apply(&x).value();
+        assert!((t.as_slice()[0] + 0.7615942).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Generic ranking losses shared by MGBR and every baseline.
+
+use mgbr_autograd::Var;
+
+/// Bayesian Personalized Ranking loss (Rendle et al., 2009):
+/// `-mean(log σ(s⁺ - s⁻))` over paired positive/negative score columns.
+///
+/// `pos` and `neg` must have the same shape (`B×1` pairs); this matches
+/// the paper's `L_A`/`L_B` (Eq. 19) with each positive paired against its
+/// sampled negatives.
+///
+/// # Panics
+///
+/// Panics if the shapes differ (propagated from the underlying ops).
+#[track_caller]
+pub fn bpr_loss(pos: &Var, neg: &Var) -> Var {
+    pos.sub(neg).log_sigmoid().mean_all().neg()
+}
+
+/// ListNet-style listwise loss where column 0 of `scores` is the single
+/// positive: `-mean(log softmax(scores)[:, 0])`.
+///
+/// This is the paper's auxiliary Task-A loss `L'_A` (Eq. 21): the target
+/// distribution is one-hot on the true triple, so the cross-entropy
+/// reduces to the negative log-probability of the first column.
+#[track_caller]
+pub fn listwise_first_is_positive_loss(scores: &Var) -> Var {
+    scores.log_softmax_rows().slice_cols(0, 1).mean_all().neg()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParamStore, StepCtx};
+    use mgbr_autograd::check::check_gradients;
+    use mgbr_tensor::{Pcg32, Tensor};
+
+    #[test]
+    fn bpr_prefers_positive_above_negative() {
+        let store = ParamStore::new();
+        let ctx = StepCtx::new(&store);
+        let pos_hi = ctx.constant(Tensor::full(4, 1, 2.0));
+        let neg_lo = ctx.constant(Tensor::full(4, 1, -2.0));
+        let good = bpr_loss(&pos_hi, &neg_lo).value().scalar();
+        let bad = bpr_loss(&neg_lo, &pos_hi).value().scalar();
+        assert!(good < bad, "BPR should reward pos > neg ({good} vs {bad})");
+        assert!(good > 0.0, "BPR loss is a negative log-probability");
+    }
+
+    #[test]
+    fn bpr_at_equal_scores_is_log2() {
+        let store = ParamStore::new();
+        let ctx = StepCtx::new(&store);
+        let s = ctx.constant(Tensor::zeros(3, 1));
+        let loss = bpr_loss(&s, &s).value().scalar();
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn listwise_rewards_high_first_column() {
+        let store = ParamStore::new();
+        let ctx = StepCtx::new(&store);
+        let good = ctx.constant(Tensor::from_vec(1, 3, vec![5.0, 0.0, 0.0]).unwrap());
+        let bad = ctx.constant(Tensor::from_vec(1, 3, vec![0.0, 5.0, 0.0]).unwrap());
+        let lg = listwise_first_is_positive_loss(&good).value().scalar();
+        let lb = listwise_first_is_positive_loss(&bad).value().scalar();
+        assert!(lg < lb, "{lg} vs {lb}");
+    }
+
+    #[test]
+    fn listwise_uniform_scores_is_log_n() {
+        let store = ParamStore::new();
+        let ctx = StepCtx::new(&store);
+        let s = ctx.constant(Tensor::zeros(2, 4));
+        let loss = listwise_first_is_positive_loss(&s).value().scalar();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn loss_gradients_are_correct() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let pos = rng.normal_tensor(3, 1, 0.0, 1.0);
+        let neg = rng.normal_tensor(3, 1, 0.0, 1.0);
+        check_gradients(&[pos, neg], 1e-2, 2e-2, |_t, v| bpr_loss(&v[0], &v[1]));
+
+        let scores = rng.normal_tensor(3, 5, 0.0, 1.0);
+        check_gradients(&[scores], 1e-2, 2e-2, |_t, v| {
+            listwise_first_is_positive_loss(&v[0])
+        });
+    }
+}

@@ -1,0 +1,248 @@
+//! Parameter storage and per-step tape bindings.
+
+use std::cell::RefCell;
+
+use mgbr_autograd::{Tape, Var};
+use mgbr_tensor::Tensor;
+
+/// Opaque handle to a parameter in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// Reconstructs a handle from a raw slot index (crate-internal; optimizers
+/// walk gradient sets positionally).
+pub(crate) fn param_id_from_index(idx: usize) -> ParamId {
+    ParamId(idx)
+}
+
+/// Owns every trainable tensor of a model across training steps.
+///
+/// Parameters are registered once at model-construction time and then
+/// bound onto a fresh tape each step through [`StepCtx`].
+#[derive(Default)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter, returning its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Tensor) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// The current value of a parameter.
+    pub fn get(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// The registered name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameter tensors.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of trainable scalars — the paper's "Para. number"
+    /// column in Table V.
+    pub fn scalar_count(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Iterates over `(id, name, tensor)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Tensor)> {
+        self.values
+            .iter()
+            .zip(&self.names)
+            .enumerate()
+            .map(|(i, (t, n))| (ParamId(i), n.as_str(), t))
+    }
+
+    /// True if every parameter is finite; trainers assert this to catch
+    /// divergence early.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(Tensor::all_finite)
+    }
+}
+
+/// One training step's binding of a [`ParamStore`] onto a fresh tape.
+///
+/// Parameters are bound lazily: a parameter not touched by this step's
+/// forward pass costs nothing and receives no gradient.
+pub struct StepCtx<'s> {
+    tape: Tape,
+    store: &'s ParamStore,
+    bound: RefCell<Vec<Option<Var>>>,
+}
+
+impl<'s> StepCtx<'s> {
+    /// Starts a step over `store` with a fresh tape.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self { tape: Tape::new(), store, bound: RefCell::new(vec![None; store.len()]) }
+    }
+
+    /// The underlying tape (for constants created by callers).
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Binds (or returns the already-bound) leaf var for a parameter.
+    pub fn param(&self, id: ParamId) -> Var {
+        let mut bound = self.bound.borrow_mut();
+        if let Some(v) = &bound[id.0] {
+            return v.clone();
+        }
+        let var = self.tape.leaf(self.store.get(id).clone());
+        bound[id.0] = Some(var.clone());
+        var
+    }
+
+    /// Records a non-differentiable input on this step's tape.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.tape.constant(value)
+    }
+
+    /// Runs backward from `loss` and collects per-parameter gradients.
+    pub fn backward(&self, loss: &Var) -> GradientSet {
+        let mut grads = self.tape.backward(loss);
+        let bound = self.bound.borrow();
+        let per_param = bound
+            .iter()
+            .map(|slot| slot.as_ref().and_then(|var| grads.take(var)))
+            .collect();
+        GradientSet { grads: per_param }
+    }
+}
+
+/// Gradients of one step, indexed by [`ParamId`].
+///
+/// `None` entries correspond to parameters the step's loss did not depend
+/// on (optimizers skip them, preserving e.g. Adam moment state).
+pub struct GradientSet {
+    pub(crate) grads: Vec<Option<Tensor>>,
+}
+
+impl GradientSet {
+    /// The gradient for `id`, if the loss depended on it.
+    pub fn get(&self, id: ParamId) -> Option<&Tensor> {
+        self.grads.get(id.0).and_then(|g| g.as_ref())
+    }
+
+    /// Number of parameters that received a gradient.
+    pub fn touched(&self) -> usize {
+        self.grads.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(|g| {
+                let n = g.norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`.
+    ///
+    /// Returns the pre-clip norm.
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for g in self.grads.iter_mut().flatten() {
+                g.scale_inplace(scale);
+            }
+        }
+        norm
+    }
+
+    /// True if every gradient is finite.
+    pub fn all_finite(&self) -> bool {
+        self.grads.iter().flatten().all(Tensor::all_finite)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_registration_and_lookup() {
+        let mut store = ParamStore::new();
+        let a = store.add("w1", Tensor::zeros(2, 3));
+        let b = store.add("w2", Tensor::zeros(4, 1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.scalar_count(), 10);
+        assert_eq!(store.name(a), "w1");
+        assert_eq!(store.get(b).rows(), 4);
+        let names: Vec<&str> = store.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["w1", "w2"]);
+    }
+
+    #[test]
+    fn step_binds_lazily_and_collects_grads() {
+        let mut store = ParamStore::new();
+        let used = store.add("used", Tensor::ones(1, 2));
+        let unused = store.add("unused", Tensor::ones(1, 2));
+
+        let ctx = StepCtx::new(&store);
+        let v = ctx.param(used);
+        let loss = v.scale(3.0).sum_all();
+        let grads = ctx.backward(&loss);
+
+        assert_eq!(grads.touched(), 1);
+        assert_eq!(grads.get(used).unwrap().as_slice(), &[3.0, 3.0]);
+        assert!(grads.get(unused).is_none());
+    }
+
+    #[test]
+    fn rebinding_same_param_reuses_leaf() {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Tensor::full(1, 1, 2.0));
+        let ctx = StepCtx::new(&store);
+        let a = ctx.param(p);
+        let b = ctx.param(p);
+        // a + b = 2p => dp = 2, accumulated on the single shared leaf.
+        let loss = a.add(&b).sum_all();
+        let grads = ctx.backward(&loss);
+        assert_eq!(grads.get(p).unwrap().scalar(), 2.0);
+    }
+
+    #[test]
+    fn clip_global_norm_scales_down() {
+        let mut gs = GradientSet { grads: vec![Some(Tensor::full(1, 1, 3.0)), Some(Tensor::full(1, 1, 4.0)), None] };
+        assert!((gs.global_norm() - 5.0).abs() < 1e-6);
+        let pre = gs.clip_global_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((gs.global_norm() - 1.0).abs() < 1e-6);
+        // Already under the cap: untouched.
+        let pre2 = gs.clip_global_norm(10.0);
+        assert!((pre2 - 1.0).abs() < 1e-6);
+        assert!((gs.global_norm() - 1.0).abs() < 1e-6);
+    }
+}

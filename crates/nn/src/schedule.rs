@@ -1,0 +1,177 @@
+//! Learning-rate schedules and early stopping — the training conveniences
+//! a longer-running reproduction needs.
+
+/// A learning-rate schedule mapping an epoch index to a multiplier on the
+/// base learning rate.
+#[derive(Debug, Clone)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `step_epochs` epochs.
+    StepDecay {
+        /// Epochs between decays.
+        step_epochs: usize,
+        /// Per-step multiplier (0 < gamma ≤ 1).
+        gamma: f32,
+    },
+    /// Linear warmup over the first `warmup_epochs`, then constant.
+    Warmup {
+        /// Epochs to ramp from `start_factor` to 1.
+        warmup_epochs: usize,
+        /// Initial multiplier (e.g. 0.1).
+        start_factor: f32,
+    },
+    /// Half-cosine decay from 1 to `final_factor` over `total_epochs`.
+    Cosine {
+        /// Total schedule length.
+        total_epochs: usize,
+        /// Multiplier at the end of the schedule.
+        final_factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning-rate multiplier for `epoch` (0-based).
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { step_epochs, gamma } => {
+                let steps = if *step_epochs == 0 { 0 } else { epoch / step_epochs };
+                gamma.powi(steps as i32)
+            }
+            LrSchedule::Warmup { warmup_epochs, start_factor } => {
+                if epoch >= *warmup_epochs || *warmup_epochs == 0 {
+                    1.0
+                } else {
+                    let t = epoch as f32 / *warmup_epochs as f32;
+                    start_factor + (1.0 - start_factor) * t
+                }
+            }
+            LrSchedule::Cosine { total_epochs, final_factor } => {
+                if *total_epochs == 0 || epoch >= *total_epochs {
+                    *final_factor
+                } else {
+                    let t = epoch as f32 / *total_epochs as f32;
+                    let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                    final_factor + (1.0 - final_factor) * cos
+                }
+            }
+        }
+    }
+
+    /// The absolute learning rate for `epoch` given a base rate.
+    pub fn lr_at(&self, base_lr: f32, epoch: usize) -> f32 {
+        base_lr * self.factor(epoch)
+    }
+}
+
+/// Patience-based early stopping on a "higher is better" validation
+/// metric.
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    min_delta: f64,
+    best: Option<f64>,
+    best_epoch: usize,
+    epochs_since_best: usize,
+}
+
+impl EarlyStopping {
+    /// Stops after `patience` consecutive epochs without an improvement
+    /// of at least `min_delta`.
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        Self { patience, min_delta, best: None, best_epoch: 0, epochs_since_best: 0 }
+    }
+
+    /// Reports an epoch's validation metric; returns `true` if training
+    /// should stop.
+    pub fn update(&mut self, epoch: usize, metric: f64) -> bool {
+        let improved = match self.best {
+            None => true,
+            Some(best) => metric > best + self.min_delta,
+        };
+        if improved {
+            self.best = Some(metric);
+            self.best_epoch = epoch;
+            self.epochs_since_best = 0;
+        } else {
+            self.epochs_since_best += 1;
+        }
+        self.epochs_since_best >= self.patience
+    }
+
+    /// The best metric seen so far.
+    pub fn best(&self) -> Option<f64> {
+        self.best
+    }
+
+    /// The epoch that produced the best metric.
+    pub fn best_epoch(&self) -> usize {
+        self.best_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(100), 1.0);
+        assert_eq!(s.lr_at(0.01, 50), 0.01);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = LrSchedule::StepDecay { step_epochs: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_linearly() {
+        let s = LrSchedule::Warmup { warmup_epochs: 4, start_factor: 0.2 };
+        assert_eq!(s.factor(0), 0.2);
+        assert!((s.factor(2) - 0.6).abs() < 1e-6);
+        assert_eq!(s.factor(4), 1.0);
+        assert_eq!(s.factor(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_decays_monotonically() {
+        let s = LrSchedule::Cosine { total_epochs: 10, final_factor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        let mut prev = s.factor(0);
+        for e in 1..=10 {
+            let f = s.factor(e);
+            assert!(f <= prev + 1e-6, "cosine must be non-increasing");
+            prev = f;
+        }
+        assert!((s.factor(10) - 0.1).abs() < 1e-6);
+        assert_eq!(s.factor(20), 0.1);
+    }
+
+    #[test]
+    fn early_stopping_waits_for_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(0, 0.5));
+        assert!(!es.update(1, 0.6), "improvement resets patience");
+        assert!(!es.update(2, 0.55), "first stall");
+        assert!(es.update(3, 0.58), "second stall in a row triggers stop");
+        assert_eq!(es.best(), Some(0.6));
+        assert_eq!(es.best_epoch(), 1);
+    }
+
+    #[test]
+    fn early_stopping_min_delta_counts_as_stall() {
+        let mut es = EarlyStopping::new(1, 0.05);
+        assert!(!es.update(0, 0.5));
+        // +0.01 < min_delta => treated as no improvement.
+        assert!(es.update(1, 0.51));
+        assert_eq!(es.best(), Some(0.5));
+    }
+}

@@ -1,0 +1,33 @@
+//! # mgbr-tensor
+//!
+//! Dense `f32` matrix substrate used by every other crate in the MGBR
+//! reproduction. The paper's model (GCNs, expert networks, gated units,
+//! MLPs) is plain dense linear algebra over small-to-medium matrices, so
+//! this crate provides exactly that surface:
+//!
+//! * [`Tensor`] — a row-major 2-D `f32` matrix (vectors are `1×c` or `r×1`).
+//! * Elementwise arithmetic, broadcasts, reductions ([`Tensor::add`],
+//!   [`Tensor::mul`], [`Tensor::sum`], [`Tensor::mean_rows`], …).
+//! * Activations and row-wise softmax family ([`Tensor::sigmoid`],
+//!   [`Tensor::log_softmax_rows`], …).
+//! * Blocked GEMM in three transpose layouts ([`matmul`], [`matmul_nt`],
+//!   [`matmul_tn`]) tuned for a single CPU core.
+//! * A deterministic, dependency-free PCG32 RNG ([`Pcg32`]) with Gaussian
+//!   and Xavier initializers, so every experiment in the repo is exactly
+//!   reproducible from a seed.
+//!
+//! Shape errors are programming errors in this workspace, so shape-checked
+//! operations panic with a descriptive message (mirroring `ndarray`'s
+//! convention) rather than returning `Result`. Constructors that consume
+//! external data ([`Tensor::from_vec`]) return [`ShapeError`] instead.
+
+mod matmul;
+mod ops;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use matmul::{matmul, matmul_into, matmul_nt, matmul_tn};
+pub use rng::Pcg32;
+pub use shape::{Shape, ShapeError};
+pub use tensor::Tensor;

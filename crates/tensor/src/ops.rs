@@ -1,0 +1,597 @@
+//! Elementwise arithmetic, broadcasts, reductions, activations, and the
+//! softmax family — the non-GEMM math used by the autograd layer.
+
+use crate::Tensor;
+
+impl Tensor {
+    /// Elementwise sum.
+    #[track_caller]
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    #[track_caller]
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    #[track_caller]
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Adds `other` into `self` in place.
+    #[track_caller]
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other` (BLAS `axpy`).
+    #[track_caller]
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        self.assert_same_shape(other, "axpy");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`, returning a new tensor.
+    pub fn scale(&self, alpha: f32) -> Self {
+        self.map(|x| x * alpha)
+    }
+
+    /// Multiplies every element by `alpha` in place.
+    pub fn scale_inplace(&mut self, alpha: f32) {
+        self.map_inplace(|x| x * alpha);
+    }
+
+    /// Adds the `1×cols` row vector `row` to every row of `self`.
+    #[track_caller]
+    pub fn add_row_broadcast(&self, row: &Self) -> Self {
+        assert_eq!(row.rows(), 1, "add_row_broadcast: rhs must be a row vector, got {}", row.shape());
+        assert_eq!(
+            self.cols(),
+            row.cols(),
+            "add_row_broadcast: col mismatch {} vs {}",
+            self.shape(),
+            row.shape()
+        );
+        let mut out = self.clone();
+        let rv = row.as_slice();
+        for r in 0..out.rows() {
+            for (d, &b) in out.row_mut(r).iter_mut().zip(rv) {
+                *d += b;
+            }
+        }
+        out
+    }
+
+    /// Scales row `r` of `self` by `col[r]`, where `col` is `rows×1`.
+    #[track_caller]
+    pub fn mul_col_broadcast(&self, col: &Self) -> Self {
+        assert_eq!(col.cols(), 1, "mul_col_broadcast: rhs must be a column vector, got {}", col.shape());
+        assert_eq!(
+            self.rows(),
+            col.rows(),
+            "mul_col_broadcast: row mismatch {} vs {}",
+            self.shape(),
+            col.shape()
+        );
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let s = col.as_slice()[r];
+            out.row_mut(r).iter_mut().for_each(|x| *x *= s);
+        }
+        out
+    }
+
+    /// Sum of all elements, as a scalar.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements. Returns 0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Column sums as a `1×cols` row vector (sums over rows).
+    pub fn sum_rows(&self) -> Self {
+        let mut out = Tensor::zeros(1, self.cols());
+        for r in 0..self.rows() {
+            for (o, &x) in out.as_mut_slice().iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Column means as a `1×cols` row vector.
+    pub fn mean_rows(&self) -> Self {
+        let n = self.rows().max(1) as f32;
+        let mut s = self.sum_rows();
+        s.scale_inplace(1.0 / n);
+        s
+    }
+
+    /// Row sums as a `rows×1` column vector (sums over columns).
+    pub fn sum_cols(&self) -> Self {
+        let data = (0..self.rows()).map(|r| self.row(r).iter().sum()).collect();
+        Tensor::col_vec(data)
+    }
+
+    /// Elementwise logistic sigmoid `1 / (1 + e^{-x})`.
+    pub fn sigmoid(&self) -> Self {
+        self.map(sigmoid_scalar)
+    }
+
+    /// Elementwise hyperbolic tangent.
+    pub fn tanh(&self) -> Self {
+        self.map(f32::tanh)
+    }
+
+    /// Elementwise rectified linear unit.
+    pub fn relu(&self) -> Self {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Elementwise LeakyReLU with the given negative slope.
+    pub fn leaky_relu(&self, slope: f32) -> Self {
+        self.map(|x| if x >= 0.0 { x } else { slope * x })
+    }
+
+    /// Numerically stable elementwise `log(sigmoid(x)) = -softplus(-x)`.
+    pub fn log_sigmoid(&self) -> Self {
+        self.map(log_sigmoid_scalar)
+    }
+
+    /// Row-wise softmax: each row becomes a probability distribution.
+    pub fn softmax_rows(&self) -> Self {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            softmax_row(out.row_mut(r));
+        }
+        out
+    }
+
+    /// Row-wise log-softmax (numerically stable log-sum-exp form).
+    pub fn log_softmax_rows(&self) -> Self {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            row.iter_mut().for_each(|x| *x -= lse);
+        }
+        out
+    }
+
+    /// Concatenates tensors horizontally (all must share a row count).
+    ///
+    /// This is the paper's `‖` operator (Eq. 4-6, 10, 15).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty part list or mismatched row counts.
+    #[track_caller]
+    pub fn concat_cols(parts: &[&Tensor]) -> Self {
+        assert!(!parts.is_empty(), "concat_cols of zero tensors");
+        let rows = parts[0].rows();
+        let total_cols: usize = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(p.rows(), rows, "concat_cols: row mismatch {} vs {rows}", p.rows());
+                p.cols()
+            })
+            .sum();
+        let mut out = Tensor::zeros(rows, total_cols);
+        for r in 0..rows {
+            let dst = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                let src = p.row(r);
+                dst[off..off + src.len()].copy_from_slice(src);
+                off += src.len();
+            }
+        }
+        out
+    }
+
+    /// Stacks tensors vertically (all must share a column count).
+    #[track_caller]
+    pub fn concat_rows(parts: &[&Tensor]) -> Self {
+        assert!(!parts.is_empty(), "concat_rows of zero tensors");
+        let cols = parts[0].cols();
+        let total_rows: usize = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(p.cols(), cols, "concat_rows: col mismatch {} vs {cols}", p.cols());
+                p.rows()
+            })
+            .sum();
+        let mut out = Tensor::zeros(total_rows, cols);
+        let mut r_off = 0;
+        for p in parts {
+            for r in 0..p.rows() {
+                out.row_mut(r_off + r).copy_from_slice(p.row(r));
+            }
+            r_off += p.rows();
+        }
+        out
+    }
+
+    /// Copies columns `[start, start+width)` into a new tensor.
+    #[track_caller]
+    pub fn slice_cols(&self, start: usize, width: usize) -> Self {
+        assert!(
+            start + width <= self.cols(),
+            "slice_cols: [{start}, {}) out of {} cols",
+            start + width,
+            self.cols()
+        );
+        let mut out = Tensor::zeros(self.rows(), width);
+        for r in 0..self.rows() {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + width]);
+        }
+        out
+    }
+
+    /// Copies rows `[start, start+height)` into a new tensor.
+    #[track_caller]
+    pub fn slice_rows(&self, start: usize, height: usize) -> Self {
+        assert!(
+            start + height <= self.rows(),
+            "slice_rows: [{start}, {}) out of {} rows",
+            start + height,
+            self.rows()
+        );
+        let mut out = Tensor::zeros(height, self.cols());
+        for r in 0..height {
+            out.row_mut(r).copy_from_slice(self.row(start + r));
+        }
+        out
+    }
+
+    /// Per-row dot products of two equally-shaped tensors, as `rows×1`.
+    #[track_caller]
+    pub fn rowwise_dot(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "rowwise_dot");
+        let data = (0..self.rows())
+            .map(|r| self.row(r).iter().zip(other.row(r)).map(|(&a, &b)| a * b).sum())
+            .collect();
+        Tensor::col_vec(data)
+    }
+}
+
+/// Stable scalar sigmoid.
+#[inline]
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Stable scalar `log(sigmoid(x))`.
+#[inline]
+pub(crate) fn log_sigmoid_scalar(x: f32) -> f32 {
+    // log σ(x) = -softplus(-x) = min(x, 0) - ln(1 + e^{-|x|})
+    x.min(0.0) - (-x.abs()).exp().ln_1p()
+}
+
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    let inv = 1.0 / sum;
+    row.iter_mut().for_each(|x| *x *= inv);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn elementwise_arith() {
+        let a = t(1, 3, &[1.0, 2.0, 3.0]);
+        let b = t(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(1, 2, &[1.0, 1.0]);
+        let b = t(1, 2, &[2.0, 4.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_broadcast_add() {
+        let m = t(2, 3, &[0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let r = t(1, 3, &[1.0, 2.0, 3.0]);
+        let out = m.add_row_broadcast(&r);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn col_broadcast_mul() {
+        let m = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let c = Tensor::col_vec(vec![2.0, 0.5]);
+        let out = m.mul_col_broadcast(&c);
+        assert_eq!(out.row(0), &[2.0, 4.0]);
+        assert_eq!(out.row(1), &[1.5, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.sum(), 10.0);
+        assert_eq!(m.mean(), 2.5);
+        assert_eq!(m.sum_rows().as_slice(), &[4.0, 6.0]);
+        assert_eq!(m.mean_rows().as_slice(), &[2.0, 3.0]);
+        assert_eq!(m.sum_cols().as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn sigmoid_values() {
+        let x = t(1, 3, &[0.0, 100.0, -100.0]);
+        let s = x.sigmoid();
+        assert!((s.get(0, 0) - 0.5).abs() < 1e-6);
+        assert!((s.get(0, 1) - 1.0).abs() < 1e-6);
+        assert!(s.get(0, 2).abs() < 1e-6);
+        assert!(s.all_finite());
+    }
+
+    #[test]
+    fn log_sigmoid_stable_at_extremes() {
+        let x = t(1, 3, &[0.0, 80.0, -80.0]);
+        let ls = x.log_sigmoid();
+        assert!((ls.get(0, 0) - (0.5f32).ln()).abs() < 1e-6);
+        assert!(ls.get(0, 1).abs() < 1e-6);
+        assert!((ls.get(0, 2) + 80.0).abs() < 1e-3);
+        assert!(ls.all_finite());
+    }
+
+    #[test]
+    fn relu_and_leaky() {
+        let x = t(1, 3, &[-2.0, 0.0, 3.0]);
+        assert_eq!(x.relu().as_slice(), &[0.0, 0.0, 3.0]);
+        assert_eq!(x.leaky_relu(0.1).as_slice(), &[-0.2, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let x = t(2, 3, &[1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let s = x.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_stable_with_large_logits() {
+        let x = t(1, 2, &[1000.0, 1001.0]);
+        let s = x.softmax_rows();
+        assert!(s.all_finite());
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let x = t(1, 4, &[0.5, -1.0, 2.0, 0.0]);
+        let ls = x.log_softmax_rows();
+        let s = x.softmax_rows();
+        for c in 0..4 {
+            assert!((ls.get(0, c) - s.get(0, c).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = t(2, 1, &[1.0, 2.0]);
+        let b = t(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), crate::Shape::new(2, 3));
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_rows_layout() {
+        let a = t(1, 2, &[1.0, 2.0]);
+        let b = t(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), crate::Shape::new(3, 2));
+        assert_eq!(c.row(0), &[1.0, 2.0]);
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn slices_extract_blocks() {
+        let m = t(2, 4, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let s = m.slice_cols(1, 2);
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+        assert_eq!(s.row(1), &[5.0, 6.0]);
+        let r = m.slice_rows(1, 1);
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let m = t(2, 4, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let left = m.slice_cols(0, 2);
+        let right = m.slice_cols(2, 2);
+        assert_eq!(Tensor::concat_cols(&[&left, &right]), m);
+    }
+
+    #[test]
+    fn rowwise_dot_values() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = t(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        let d = a.rowwise_dot(&b);
+        assert_eq!(d.as_slice(), &[17.0, 53.0]);
+    }
+}
+
+impl Tensor {
+    /// Elementwise clamp into `[lo, hi]`.
+    #[track_caller]
+    pub fn clamp(&self, lo: f32, hi: f32) -> Self {
+        assert!(lo <= hi, "clamp: lo {lo} > hi {hi}");
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Self {
+        self.map(f32::exp)
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Self {
+        self.map(f32::ln)
+    }
+
+    /// Minimum element, or `+∞` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().fold(f32::INFINITY, |m, &x| m.min(x))
+    }
+
+    /// Maximum element, or `-∞` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+    }
+
+    /// Index of the largest value in row `r` (first occurrence wins).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-width tensor.
+    #[track_caller]
+    pub fn argmax_row(&self, r: usize) -> usize {
+        assert!(self.cols() > 0, "argmax_row on zero-width tensor");
+        let row = self.row(r);
+        let mut best = 0;
+        for (c, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Indices of the `k` largest values in row `r`, descending by value.
+    #[track_caller]
+    pub fn top_k_row(&self, r: usize, k: usize) -> Vec<usize> {
+        let row = self.row(r);
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
+        idx.truncate(k);
+        idx
+    }
+
+    /// Cosine similarity between rows `a` and `b` (0 if either is zero).
+    #[track_caller]
+    pub fn cosine_rows(&self, a: usize, b: usize) -> f32 {
+        let (ra, rb) = (self.row(a), self.row(b));
+        let dot: f32 = ra.iter().zip(rb).map(|(&x, &y)| x * y).sum();
+        let na: f32 = ra.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = rb.iter().map(|&x| x * x).sum::<f32>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// L2-normalizes every row in place (zero rows are left untouched).
+    pub fn normalize_rows(&mut self) {
+        for r in 0..self.rows() {
+            let norm: f32 = self.row(r).iter().map(|&x| x * x).sum::<f32>().sqrt();
+            if norm > 0.0 {
+                self.row_mut(r).iter_mut().for_each(|x| *x /= norm);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod util_tests {
+    use crate::Tensor;
+
+    fn t(rows: usize, cols: usize, data: &[f32]) -> Tensor {
+        Tensor::from_vec(rows, cols, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let x = t(1, 3, &[-2.0, 0.5, 9.0]);
+        assert_eq!(x.clamp(0.0, 1.0).as_slice(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn exp_ln_roundtrip() {
+        let x = t(1, 3, &[0.5, 1.0, 2.0]);
+        let back = x.exp().ln();
+        for (a, b) in back.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn min_max_extremes() {
+        let x = t(2, 2, &[3.0, -1.0, 7.0, 0.0]);
+        assert_eq!(x.min(), -1.0);
+        assert_eq!(x.max(), 7.0);
+    }
+
+    #[test]
+    fn argmax_and_top_k() {
+        let x = t(1, 5, &[0.1, 0.9, 0.3, 0.9, 0.2]);
+        assert_eq!(x.argmax_row(0), 1, "first occurrence wins ties");
+        assert_eq!(x.top_k_row(0, 3)[2], 2);
+        assert_eq!(x.top_k_row(0, 10).len(), 5, "k larger than width truncates");
+    }
+
+    #[test]
+    fn cosine_similarity_cases() {
+        let x = t(3, 2, &[1.0, 0.0, 0.0, 2.0, 3.0, 0.0]);
+        assert!((x.cosine_rows(0, 2) - 1.0).abs() < 1e-6, "parallel rows");
+        assert!(x.cosine_rows(0, 1).abs() < 1e-6, "orthogonal rows");
+        let z = t(2, 2, &[0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(z.cosine_rows(0, 1), 0.0, "zero row convention");
+    }
+
+    #[test]
+    fn normalize_rows_unit_length() {
+        let mut x = t(2, 2, &[3.0, 4.0, 0.0, 0.0]);
+        x.normalize_rows();
+        assert!((x.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((x.row(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(x.row(1), &[0.0, 0.0], "zero rows untouched");
+    }
+}

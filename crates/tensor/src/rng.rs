@@ -1,0 +1,315 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! Every experiment in the MGBR reproduction must be exactly reproducible
+//! from a `u64` seed, across platforms and crate-version bumps. A vendored
+//! PCG32 (O'Neill, 2014) keeps that guarantee out of the hands of external
+//! crates' stream-stability policies.
+
+use crate::Tensor;
+
+/// PCG32 (XSH-RR variant) pseudo-random number generator.
+///
+/// Small, fast, statistically solid for simulation workloads, and — the
+/// property we actually need — bit-for-bit stable forever.
+#[derive(Debug, Clone)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+    /// Cached second output of the Box-Muller transform.
+    gauss_spare: Option<f32>,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed and stream id.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Self { state: 0, inc: (stream << 1) | 1, gauss_spare: None };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Creates a generator on the default stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed, 0xda3e_39cb_94b9_5bdb)
+    }
+
+    /// Next raw 32-bit output.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64-bit output (two 32-bit draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f32 {
+        // 24 mantissa-width bits -> exactly representable dyadic rationals.
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = widening_mul(x, n);
+            if lo >= n.wrapping_neg() % n {
+                return hi as usize;
+            }
+        }
+    }
+
+    /// Standard normal draw via Box-Muller (caches the paired output).
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.uniform();
+            if u > f32::EPSILON {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)`.
+    ///
+    /// Uses Floyd's algorithm: O(k) draws, no O(n) allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_distinct(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} distinct values from [0,{n})");
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut out = Vec::with_capacity(k);
+        for j in n - k..n {
+            let t = self.below(j + 1);
+            let v = if chosen.contains(&t) { j } else { t };
+            chosen.insert(v);
+            out.push(v);
+        }
+        out
+    }
+
+    /// Draws an index from an (unnormalized, non-negative) weight slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weights are empty or sum to a non-positive/non-finite
+    /// value.
+    pub fn weighted_index(&mut self, weights: &[f32]) -> usize {
+        let total: f32 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weighted_index requires positive finite weight sum, got {total}"
+        );
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// A fresh `rows × cols` tensor of `N(mean, std²)` draws.
+    pub fn normal_tensor(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        t.as_mut_slice().iter_mut().for_each(|x| *x = self.normal_with(mean, std));
+        t
+    }
+
+    /// Xavier/Glorot-uniform initialized `fan_in × fan_out` weight matrix.
+    pub fn xavier_tensor(&mut self, fan_in: usize, fan_out: usize) -> Tensor {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let mut t = Tensor::zeros(fan_in, fan_out);
+        t.as_mut_slice().iter_mut().for_each(|x| *x = self.uniform_range(-bound, bound));
+        t
+    }
+
+    /// Uniform `rows × cols` tensor in `[lo, hi)`.
+    pub fn uniform_tensor(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
+        let mut t = Tensor::zeros(rows, cols);
+        t.as_mut_slice().iter_mut().for_each(|x| *x = self.uniform_range(lo, hi));
+        t
+    }
+
+    /// Derives an independent child generator (for per-subsystem streams).
+    pub fn fork(&mut self, stream: u64) -> Pcg32 {
+        Pcg32::new(self.next_u64(), stream)
+    }
+}
+
+#[inline]
+fn widening_mul(a: u64, b: u64) -> (u64, u64) {
+    let wide = (a as u128) * (b as u128);
+    ((wide >> 64) as u64, wide as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "seeds 1/2 produced {same}/32 identical outputs");
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let n = 50_000;
+        let mean: f32 = (0..n).map(|_| rng.uniform()).sum::<f32>() / n as f32;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.below(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Pcg32::seed_from_u64(13);
+        let n = 50_000;
+        let draws: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = draws.iter().sum::<f32>() / n as f32;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Pcg32::seed_from_u64(17);
+        let mut xs: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle left slice in order");
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let mut rng = Pcg32::seed_from_u64(19);
+        for _ in 0..50 {
+            let s = rng.sample_distinct(30, 10);
+            assert_eq!(s.len(), 10);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), 10);
+            assert!(s.iter().all(|&v| v < 30));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = Pcg32::seed_from_u64(21);
+        let mut s = rng.sample_distinct(5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = Pcg32::seed_from_u64(23);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f32 / counts[0] as f32;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn xavier_bound_respected() {
+        let mut rng = Pcg32::seed_from_u64(29);
+        let t = rng.xavier_tensor(64, 32);
+        let bound = (6.0f32 / 96.0).sqrt();
+        assert!(t.as_slice().iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut parent = Pcg32::seed_from_u64(31);
+        let mut a = parent.fork(1);
+        let mut b = parent.fork(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Matrix shape bookkeeping.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: `rows × cols`, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    #[inline]
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total number of elements (`rows * cols`).
+    #[inline]
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the shape holds zero elements.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The transposed shape (`cols × rows`).
+    #[inline]
+    pub const fn transposed(&self) -> Self {
+        Self { rows: self.cols, cols: self.rows }
+    }
+
+    /// Linear (row-major) offset of element `(r, c)`.
+    ///
+    /// Debug-asserts the indices are in bounds; the actual slice access in
+    /// [`crate::Tensor`] performs the release-mode bounds check.
+    #[inline]
+    pub fn offset(&self, r: usize, c: usize) -> usize {
+        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {self}");
+        r * self.cols + c
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{}]", self.rows, self.cols)
+    }
+}
+
+impl From<(usize, usize)> for Shape {
+    fn from((rows, cols): (usize, usize)) -> Self {
+        Self::new(rows, cols)
+    }
+}
+
+/// Error returned by fallible constructors when the provided buffer does not
+/// match the requested shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// The shape the caller requested.
+    pub expected: Shape,
+    /// The number of elements actually provided.
+    pub actual_len: usize,
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer of {} elements cannot be viewed as {} ({} elements)",
+            self.actual_len,
+            self.expected,
+            self.expected.len()
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_len_and_offset() {
+        let s = Shape::new(3, 4);
+        assert_eq!(s.len(), 12);
+        assert!(!s.is_empty());
+        assert_eq!(s.offset(0, 0), 0);
+        assert_eq!(s.offset(2, 3), 11);
+        assert_eq!(s.offset(1, 2), 6);
+    }
+
+    #[test]
+    fn shape_transposed() {
+        assert_eq!(Shape::new(3, 4).transposed(), Shape::new(4, 3));
+    }
+
+    #[test]
+    fn shape_display() {
+        assert_eq!(Shape::new(2, 5).to_string(), "[2x5]");
+    }
+
+    #[test]
+    fn empty_shape() {
+        assert!(Shape::new(0, 7).is_empty());
+        assert!(Shape::new(7, 0).is_empty());
+    }
+
+    #[test]
+    fn shape_from_tuple() {
+        let s: Shape = (2, 3).into();
+        assert_eq!(s, Shape::new(2, 3));
+    }
+
+    #[test]
+    fn shape_error_display() {
+        let e = ShapeError { expected: Shape::new(2, 2), actual_len: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("3 elements"), "{msg}");
+        assert!(msg.contains("[2x2]"), "{msg}");
+    }
+}

@@ -1,0 +1,418 @@
+//! The dense matrix type.
+
+use std::fmt;
+
+use crate::{Shape, ShapeError};
+
+/// A dense, row-major `f32` matrix.
+///
+/// `Tensor` is the single numeric container used throughout the MGBR
+/// workspace: model parameters, activations, gradients, adjacency products
+/// and metric buffers are all `Tensor`s. Row vectors are `1×c` tensors and
+/// column vectors `r×1`.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A `rows × cols` tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { shape: Shape::new(rows, cols), data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows × cols` tensor of ones.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// A `rows × cols` tensor filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { shape: Shape::new(rows, cols), data: vec![value; rows * cols] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for k in 0..n {
+            t.data[k * n + k] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer as a `rows × cols` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        let shape = Shape::new(rows, cols);
+        if data.len() != shape.len() {
+            return Err(ShapeError { expected: shape, actual_len: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// A `1 × data.len()` row vector.
+    pub fn row_vec(data: Vec<f32>) -> Self {
+        let shape = Shape::new(1, data.len());
+        Self { shape, data }
+    }
+
+    /// A `data.len() × 1` column vector.
+    pub fn col_vec(data: Vec<f32>) -> Self {
+        let shape = Shape::new(data.len(), 1);
+        Self { shape, data }
+    }
+
+    /// Builds a tensor by evaluating `f(r, c)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { shape: Shape::new(rows, cols), data }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.shape.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.shape.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the row-major backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(r, c)`.
+    #[inline]
+    #[track_caller]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[self.shape.offset(r, c)]
+    }
+
+    /// Sets the element at `(r, c)`.
+    #[inline]
+    #[track_caller]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        let off = self.shape.offset(r, c);
+        self.data[off] = v;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    #[track_caller]
+    pub fn row(&self, r: usize) -> &[f32] {
+        let c = self.shape.cols;
+        &self.data[r * c..(r + 1) * c]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    #[track_caller]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let c = self.shape.cols;
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// The single element of a `1×1` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not `1×1`; used to extract scalar losses.
+    #[track_caller]
+    pub fn scalar(&self) -> f32 {
+        assert!(
+            self.shape.rows == 1 && self.shape.cols == 1,
+            "scalar() on non-scalar tensor {}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Fills every element with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|x| *x = f(*x));
+    }
+
+    /// Elementwise combination of two equally-shaped tensors.
+    #[track_caller]
+    pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        self.assert_same_shape(other, "zip");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Self { shape: self.shape, data }
+    }
+
+    /// Copies the contents of `src` (same shape) into `self`.
+    #[track_caller]
+    pub fn copy_from(&mut self, src: &Self) {
+        self.assert_same_shape(src, "copy_from");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Returns a new tensor with the given rows gathered from `self`.
+    ///
+    /// Row `k` of the result is `self.row(indices[k])`. This is the
+    /// embedding-lookup primitive: the autograd layer pairs it with a
+    /// scatter-add backward pass.
+    #[track_caller]
+    pub fn gather_rows(&self, indices: &[usize]) -> Self {
+        let cols = self.cols();
+        let mut out = Self::zeros(indices.len(), cols);
+        for (k, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows(), "gather_rows: index {idx} out of {} rows", self.rows());
+            out.row_mut(k).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Scatter-adds each row of `src` into `self` at `indices` (the adjoint
+    /// of [`Tensor::gather_rows`]). Duplicate indices accumulate.
+    #[track_caller]
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Self) {
+        assert_eq!(indices.len(), src.rows(), "scatter_add_rows: {} indices for {} rows", indices.len(), src.rows());
+        assert_eq!(self.cols(), src.cols(), "scatter_add_rows: col mismatch {} vs {}", self.cols(), src.cols());
+        for (k, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows(), "scatter_add_rows: index {idx} out of {} rows", self.rows());
+            let dst = self.row_mut(idx);
+            for (d, &s) in dst.iter_mut().zip(src.row(k)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// The transpose of `self` as a new tensor.
+    pub fn transpose(&self) -> Self {
+        let (r, c) = (self.rows(), self.cols());
+        let mut out = Self::zeros(c, r);
+        for i in 0..r {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                out.data[j * r + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Maximum absolute element, or 0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True if every element is finite (no NaN/Inf); used by trainers as a
+    /// divergence guard.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    #[inline]
+    #[track_caller]
+    pub(crate) fn assert_same_shape(&self, other: &Self, op: &str) {
+        assert!(
+            self.shape == other.shape,
+            "{op}: shape mismatch {} vs {}",
+            self.shape,
+            other.shape
+        );
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tensor {} [", self.shape)?;
+        let max_rows = 8.min(self.rows());
+        let max_cols = 8.min(self.cols());
+        for r in 0..max_rows {
+            write!(f, "  ")?;
+            for c in 0..max_cols {
+                write!(f, "{:>10.4} ", self.get(r, c))?;
+            }
+            if self.cols() > max_cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows() > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros(2, 3);
+        assert_eq!(z.shape(), Shape::new(2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let o = Tensor::ones(2, 2);
+        assert!(o.as_slice().iter().all(|&x| x == 1.0));
+
+        let f = Tensor::full(1, 4, 2.5);
+        assert!(f.as_slice().iter().all(|&x| x == 2.5));
+
+        let e = Tensor::eye(3);
+        assert_eq!(e.get(0, 0), 1.0);
+        assert_eq!(e.get(1, 1), 1.0);
+        assert_eq!(e.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        let err = Tensor::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(err.actual_len, 3);
+    }
+
+    #[test]
+    fn row_and_col_vec() {
+        let r = Tensor::row_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.shape(), Shape::new(1, 3));
+        let c = Tensor::col_vec(vec![1.0, 2.0]);
+        assert_eq!(c.shape(), Shape::new(2, 1));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(3, 3);
+        t.set(1, 2, 7.0);
+        assert_eq!(t.get(1, 2), 7.0);
+        assert_eq!(t.row(1), &[0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let t = Tensor::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_fn(2, 2, |r, c| (r + c) as f32);
+        let b = a.map(|x| x * 2.0);
+        assert_eq!(b.get(1, 1), 4.0);
+        let s = a.zip(&b, |x, y| x + y);
+        assert_eq!(s.get(1, 1), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zip: shape mismatch")]
+    fn zip_shape_mismatch_panics() {
+        let a = Tensor::zeros(2, 2);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.zip(&b, |x, y| x + y);
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let t = Tensor::full(1, 1, 3.5);
+        assert_eq!(t.scalar(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar() on non-scalar")]
+    fn scalar_on_matrix_panics() {
+        let _ = Tensor::zeros(2, 1).scalar();
+    }
+
+    #[test]
+    fn gather_rows_selects() {
+        let t = Tensor::from_fn(4, 2, |r, _| r as f32);
+        let g = t.gather_rows(&[3, 0, 3]);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        assert_eq!(g.row(1), &[0.0, 0.0]);
+        assert_eq!(g.row(2), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn scatter_add_accumulates_duplicates() {
+        let mut acc = Tensor::zeros(3, 2);
+        let src = Tensor::from_fn(2, 2, |_, _| 1.0);
+        acc.scatter_add_rows(&[1, 1], &src);
+        assert_eq!(acc.row(1), &[2.0, 2.0]);
+        assert_eq!(acc.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let t = Tensor::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        let tt = t.transpose();
+        assert_eq!(tt.shape(), Shape::new(3, 2));
+        assert_eq!(tt.get(2, 1), t.get(1, 2));
+        assert_eq!(tt.transpose(), t);
+    }
+
+    #[test]
+    fn norm_and_max_abs() {
+        let t = Tensor::from_vec(1, 2, vec![3.0, -4.0]).unwrap();
+        assert!((t.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(t.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn all_finite_detects_nan() {
+        let mut t = Tensor::ones(2, 2);
+        assert!(t.all_finite());
+        t.set(0, 1, f32::NAN);
+        assert!(!t.all_finite());
+    }
+}

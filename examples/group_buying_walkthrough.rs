@@ -1,0 +1,99 @@
+//! A domain walkthrough of the paper's Fig. 1 scenario: the two-phase
+//! group-buying flow on an e-commerce platform, end to end.
+//!
+//! Phase 1 — an *initiator* picks a product from a recommended candidate
+//! list and launches a group buying (Task A).
+//! Phase 2 — the platform recommends the open group to likely
+//! *participants* (Task B), and the deal closes once enough join.
+//!
+//! ```sh
+//! cargo run --release --example group_buying_walkthrough
+//! ```
+
+use mgbr_core::{train, Mgbr, MgbrConfig, TrainConfig};
+use mgbr_data::{filter_min_interactions, split_dataset, synthetic, SyntheticConfig};
+use mgbr_eval::GroupBuyScorer;
+
+/// How many participants a group needs before the deal is struck.
+const DEAL_THRESHOLD: usize = 3;
+
+fn main() {
+    // The platform's historical deal-group log.
+    let raw = synthetic::generate(&SyntheticConfig {
+        n_users: 400,
+        n_items: 150,
+        n_groups: 2000,
+        ..SyntheticConfig::default()
+    });
+    let (history, _) = filter_min_interactions(&raw, 5);
+    let split = split_dataset(&history, (8.0, 1.0, 1.0), 7);
+
+    // Train the recommender over the historical log.
+    let cfg = MgbrConfig { d: 12, t_size: 6, ..MgbrConfig::repro_scale() };
+    let mut model = Mgbr::new(cfg, &split.train_dataset());
+    let tc = TrainConfig { epochs: 5, ..TrainConfig::repro_scale() };
+    train(&mut model, &history, &split, &tc);
+    let scorer = model.scorer();
+
+    // ---- Phase 1: the initiator opens the app. ----
+    let initiator: u32 = 42;
+    println!("=== Phase 1: initiator {initiator} browses the candidate product list ===");
+    let catalog: Vec<u32> = (0..history.n_items as u32).collect();
+    let scores = scorer.score_items(initiator, &catalog);
+    let mut ranked: Vec<(u32, f32)> = catalog.iter().copied().zip(scores).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("recommended products (candidate list shown to the initiator):");
+    for (rank, (item, s)) in ranked.iter().take(5).enumerate() {
+        println!("  #{:<2} product {:>4}   ranking score {s:.4}", rank + 1, item);
+    }
+    let chosen = ranked[0].0;
+    println!("→ initiator {initiator} launches a group buying for product {chosen}\n");
+
+    // ---- Phase 2: the platform pushes the open group to other users. ----
+    println!("=== Phase 2: recommending the open group (u={initiator}, i={chosen}) ===");
+    let candidates: Vec<u32> =
+        (0..history.n_users as u32).filter(|&p| p != initiator).collect();
+    let pscores = scorer.score_participants(initiator, chosen, &candidates);
+    let mut pranked: Vec<(u32, f32)> = candidates.iter().copied().zip(pscores).collect();
+    pranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    let mut joined = Vec::new();
+    println!("platform pushes the group to the highest-scoring users:");
+    for (p, s) in pranked.iter().take(DEAL_THRESHOLD + 2) {
+        // Model a simple response rule: the pushed user joins if the model
+        // is confident (monotone in s(p|u,i); deterministic for the demo).
+        let joins = joined.len() < DEAL_THRESHOLD;
+        println!(
+            "  push → user {p:>4}  ranking score {s:.4}  {}",
+            if joins { "JOINS the group" } else { "(group already full)" }
+        );
+        if joins {
+            joined.push(*p);
+        }
+    }
+
+    println!(
+        "\n→ deal group <u={initiator}, i={chosen}, G={joined:?}> reached the \
+         threshold of {DEAL_THRESHOLD} participants: DEAL CLOSED at the group price."
+    );
+
+    // Counterfactual: why Task A must anticipate Task B (the paper's
+    // cellphone-vs-book example).
+    println!("\n=== Why the sub-tasks interact (the paper's §II-D1 insight) ===");
+    let runner_up = ranked[1].0;
+    let follow_best: f32 = pranked.iter().take(DEAL_THRESHOLD).map(|(_, s)| s).sum::<f32>()
+        / DEAL_THRESHOLD as f32;
+    let alt_scores = scorer.score_participants(initiator, runner_up, &candidates);
+    let mut alt: Vec<f32> = alt_scores;
+    alt.sort_by(|a, b| b.total_cmp(a));
+    let follow_alt: f32 = alt.iter().take(DEAL_THRESHOLD).sum::<f32>() / DEAL_THRESHOLD as f32;
+    println!(
+        "mean follow-score of the top-{DEAL_THRESHOLD} candidates:\n  \
+         chosen product {chosen:>4}: {follow_best:.4}\n  \
+         runner-up {runner_up:>8}: {follow_alt:.4}"
+    );
+    println!(
+        "MGBR's shared experts let the Task A head see this participant appetite, \
+         which is exactly the information a per-task model would miss."
+    );
+}

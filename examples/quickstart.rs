@@ -1,0 +1,69 @@
+//! Quickstart: generate a small group-buying dataset, train MGBR for a
+//! few epochs, and produce both kinds of recommendation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mgbr_core::{train, Mgbr, MgbrConfig, TrainConfig};
+use mgbr_data::{filter_min_interactions, split_dataset, synthetic, Sampler, SyntheticConfig};
+use mgbr_eval::{evaluate_task_a, evaluate_task_b, GroupBuyScorer};
+
+fn main() {
+    // 1. Data: a synthetic Beibei-like log of deal groups <u, i, G>.
+    let raw = synthetic::generate(&SyntheticConfig {
+        n_users: 300,
+        n_items: 120,
+        n_groups: 1500,
+        ..SyntheticConfig::default()
+    });
+    let (dataset, report) = filter_min_interactions(&raw, 5);
+    println!(
+        "dataset: {} users, {} items, {} deal groups (filter removed {} users)",
+        dataset.n_users,
+        dataset.n_items,
+        dataset.groups.len(),
+        report.users_removed
+    );
+
+    // 2. Split 7:3:1 and train MGBR on the training partition's graphs.
+    let split = split_dataset(&dataset, (7.0, 3.0, 1.0), 42);
+    let cfg = MgbrConfig { d: 12, t_size: 6, ..MgbrConfig::repro_scale() };
+    let mut model = Mgbr::new(cfg, &split.train_dataset());
+    println!("MGBR built: {} trainable parameters", model.param_count());
+
+    let tc = TrainConfig { epochs: 5, ..TrainConfig::repro_scale() };
+    let trained = train(&mut model, &dataset, &split, &tc);
+    println!("epoch losses: {:?}", trained.epoch_losses);
+
+    // 3. Task A: which item should user 7 launch a group buying for?
+    let scorer = model.scorer();
+    let candidates: Vec<u32> = (0..dataset.n_items as u32).collect();
+    let scores = scorer.score_items(7, &candidates);
+    let mut ranked: Vec<(u32, f32)> = candidates.iter().copied().zip(scores).collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nTask A — top 5 items for initiator 7:");
+    for (item, score) in ranked.iter().take(5) {
+        println!("  item {item:>4}  ranking score {score:.4}");
+    }
+
+    // 4. Task B: who should join the group (7, best_item)?
+    let best_item = ranked[0].0;
+    let users: Vec<u32> = (0..dataset.n_users as u32).filter(|&p| p != 7).collect();
+    let pscores = scorer.score_participants(7, best_item, &users);
+    let mut pranked: Vec<(u32, f32)> = users.iter().copied().zip(pscores).collect();
+    pranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nTask B — top 5 participants for group (user 7, item {best_item}):");
+    for (p, score) in pranked.iter().take(5) {
+        println!("  user {p:>4}  ranking score {score:.4}");
+    }
+
+    // 5. Held-out ranking quality.
+    let mut sampler = Sampler::new(&dataset, 9);
+    let test_a = sampler.task_a_instances(&split.test, 9);
+    let test_b = sampler.task_b_instances(&split.test, 9);
+    let ma = evaluate_task_a(&scorer, &test_a, 10);
+    let mb = evaluate_task_b(&scorer, &test_b, 10);
+    println!("\nheld-out: Task A MRR@10 = {:.4}, Task B MRR@10 = {:.4}", ma.mrr, mb.mrr);
+    println!("(uniform-random scoring would sit near 0.29 on 1:9 candidate lists)");
+}

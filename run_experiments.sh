@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper; artifacts land in results/.
+set -e
+cd "$(dirname "$0")"
+mkdir -p results
+for exp in table1_dataset table2_hyperparams table3_overall table4_ablation \
+           fig6_embedding_case table5_efficiency fig4_aux_weight fig5_gate_coeff \
+           ablate_design_choices; do
+  echo "=== running $exp ==="
+  ./target/release/$exp | tee results/$exp.txt
+done
+echo "=== all experiments complete ==="

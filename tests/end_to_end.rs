@@ -1,0 +1,97 @@
+//! End-to-end integration: synthetic data → preprocessing → split →
+//! MGBR training → evaluation, spanning every crate in the workspace.
+
+use mgbr_core::{train, Mgbr, MgbrConfig, TrainConfig};
+use mgbr_data::{
+    filter_min_interactions, split_dataset, synthetic, Sampler, SyntheticConfig,
+};
+use mgbr_eval::{evaluate_task_a, evaluate_task_b, GroupBuyScorer};
+
+fn pipeline_cfg() -> SyntheticConfig {
+    SyntheticConfig { n_users: 150, n_items: 60, n_groups: 500, ..SyntheticConfig::tiny() }
+}
+
+#[test]
+fn full_pipeline_learns_both_tasks() {
+    let raw = synthetic::generate(&pipeline_cfg());
+    let (dataset, report) = filter_min_interactions(&raw, 5);
+    assert!(dataset.groups.len() + report.groups_removed == raw.groups.len());
+    assert!(!dataset.groups.is_empty(), "filter should not empty the dataset");
+
+    let split = split_dataset(&dataset, (7.0, 3.0, 1.0), 42);
+    let cfg = MgbrConfig { d: 8, n_experts: 3, t_size: 4, mlp_hidden: vec![8], ..MgbrConfig::paper() };
+    let mut model = Mgbr::new(cfg, &split.train_dataset());
+    let tc = TrainConfig { epochs: 5, lr: 8e-3, batch_size: 64, n_neg: 4, ..TrainConfig::paper() };
+    let trained = train(&mut model, &dataset, &split, &tc);
+
+    // Loss must improve over training.
+    assert!(
+        trained.epoch_losses.last().unwrap() < &trained.epoch_losses[0],
+        "losses: {:?}",
+        trained.epoch_losses
+    );
+
+    // Held-out ranking must beat random on both tasks.
+    let mut sampler = Sampler::new(&dataset, 2024);
+    let test_a = sampler.task_a_instances(&split.test, 9);
+    let test_b = sampler.task_b_instances(&split.test, 9);
+    let scorer = model.scorer();
+    let ma = evaluate_task_a(&scorer, &test_a, 10);
+    let mb = evaluate_task_b(&scorer, &test_b, 10);
+    assert!(ma.mrr > 0.32, "Task A MRR {} ≤ random baseline", ma.mrr);
+    assert!(mb.mrr > 0.32, "Task B MRR {} ≤ random baseline", mb.mrr);
+}
+
+#[test]
+fn pipeline_is_fully_deterministic() {
+    let run = || {
+        let raw = synthetic::generate(&pipeline_cfg());
+        let (dataset, _) = filter_min_interactions(&raw, 5);
+        let split = split_dataset(&dataset, (7.0, 3.0, 1.0), 42);
+        let cfg = MgbrConfig { d: 6, n_experts: 2, t_size: 3, mlp_hidden: vec![6], ..MgbrConfig::paper() };
+        let mut model = Mgbr::new(cfg, &split.train_dataset());
+        let tc = TrainConfig { epochs: 2, batch_size: 64, n_neg: 3, ..TrainConfig::paper() };
+        let trained = train(&mut model, &dataset, &split, &tc);
+        let scorer = model.scorer();
+        let scores = scorer.score_items(3, &[0, 1, 2, 3, 4]);
+        (trained.epoch_losses, scores)
+    };
+    let (l1, s1) = run();
+    let (l2, s2) = run();
+    assert_eq!(l1, l2, "training losses must be bit-identical across runs");
+    assert_eq!(s1, s2, "scores must be bit-identical across runs");
+}
+
+#[test]
+fn evaluation_uses_consistent_candidate_lists() {
+    let raw = synthetic::generate(&pipeline_cfg());
+    let (dataset, _) = filter_min_interactions(&raw, 5);
+    let split = split_dataset(&dataset, (7.0, 3.0, 1.0), 42);
+    // Same sampler seed ⇒ identical instances for two different models.
+    let mut s1 = Sampler::new(&dataset, 5);
+    let mut s2 = Sampler::new(&dataset, 5);
+    assert_eq!(
+        s1.task_a_instances(&split.test, 9),
+        s2.task_a_instances(&split.test, 9)
+    );
+    assert_eq!(
+        s1.task_b_instances(&split.test, 9),
+        s2.task_b_instances(&split.test, 9)
+    );
+}
+
+#[test]
+fn scorer_candidate_order_does_not_change_scores() {
+    let raw = synthetic::generate(&pipeline_cfg());
+    let (dataset, _) = filter_min_interactions(&raw, 5);
+    let split = split_dataset(&dataset, (8.0, 1.0, 1.0), 1);
+    let cfg = MgbrConfig { d: 6, n_experts: 2, t_size: 3, mlp_hidden: vec![6], ..MgbrConfig::paper() };
+    let model = Mgbr::new(cfg, &split.train_dataset());
+    let scorer = model.scorer();
+
+    let fwd = scorer.score_items(0, &[1, 2, 3]);
+    let rev = scorer.score_items(0, &[3, 2, 1]);
+    assert_eq!(fwd[0], rev[2]);
+    assert_eq!(fwd[1], rev[1]);
+    assert_eq!(fwd[2], rev[0]);
+}

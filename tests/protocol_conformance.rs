@@ -1,0 +1,108 @@
+//! Protocol conformance: all seven compared models (six baselines + MGBR)
+//! implement the two-task scoring interface coherently on a shared
+//! environment.
+
+use mgbr_baselines::{
+    train_baseline, Baseline, BaselineConfig, BaselineScorer, DeepMf, DiffNet, Eatnn, Gbgcn, Gbmf,
+    Ngcf,
+};
+use mgbr_core::{train, Mgbr, MgbrConfig, TrainConfig};
+use mgbr_data::{split_dataset, synthetic, DataSplit, Dataset, SyntheticConfig};
+use mgbr_eval::GroupBuyScorer;
+
+fn env() -> (Dataset, DataSplit) {
+    let ds = synthetic::generate(&SyntheticConfig {
+        n_users: 120,
+        n_items: 50,
+        n_groups: 400,
+        ..SyntheticConfig::tiny()
+    });
+    let split = split_dataset(&ds, (7.0, 3.0, 1.0), 3);
+    (ds, split)
+}
+
+fn check_scorer(scorer: &dyn GroupBuyScorer, n_users: usize, n_items: usize) {
+    // Score length and order invariants on both tasks.
+    let items: Vec<u32> = (0..10.min(n_items) as u32).collect();
+    let s = scorer.score_items(1, &items);
+    assert_eq!(s.len(), items.len(), "{}: wrong item score count", scorer.name());
+    assert!(s.iter().all(|x| x.is_finite()), "{}: non-finite item score", scorer.name());
+
+    let parts: Vec<u32> = (1..11.min(n_users) as u32).collect();
+    let sp = scorer.score_participants(0, 0, &parts);
+    assert_eq!(sp.len(), parts.len(), "{}: wrong participant score count", scorer.name());
+    assert!(sp.iter().all(|x| x.is_finite()), "{}: non-finite participant score", scorer.name());
+
+    // Determinism.
+    assert_eq!(s, scorer.score_items(1, &items), "{}: nondeterministic", scorer.name());
+
+    // Permutation equivariance.
+    let rev: Vec<u32> = items.iter().rev().copied().collect();
+    let sr = scorer.score_items(1, &rev);
+    for (k, &item_score) in s.iter().enumerate() {
+        assert_eq!(item_score, sr[items.len() - 1 - k], "{}: order-dependent", scorer.name());
+    }
+}
+
+fn run_baseline<M: Baseline>(mut model: M, ds: &Dataset, split: &DataSplit) -> BaselineScorer {
+    let tc = TrainConfig { epochs: 1, n_neg: 3, ..TrainConfig::tiny() };
+    train_baseline(&mut model, ds, split, &tc);
+    BaselineScorer::freeze(&model)
+}
+
+#[test]
+fn all_baselines_conform() {
+    let (ds, split) = env();
+    let cfg = BaselineConfig::tiny();
+    let train_ds = split.train_dataset();
+    let scorers: Vec<BaselineScorer> = vec![
+        run_baseline(DeepMf::new(&cfg, &train_ds), &ds, &split),
+        run_baseline(Ngcf::new(&cfg, &train_ds), &ds, &split),
+        run_baseline(DiffNet::new(&cfg, &train_ds), &ds, &split),
+        run_baseline(Eatnn::new(&cfg, &train_ds), &ds, &split),
+        run_baseline(Gbgcn::new(&cfg, &train_ds), &ds, &split),
+        run_baseline(Gbmf::new(&cfg, &train_ds), &ds, &split),
+    ];
+    let names: Vec<&str> = scorers.iter().map(|s| s.name()).collect();
+    assert_eq!(names, vec!["DeepMF", "NGCF", "DiffNet", "EATNN", "GBGCN", "GBMF"]);
+    for scorer in &scorers {
+        check_scorer(scorer, ds.n_users, ds.n_items);
+    }
+}
+
+#[test]
+fn mgbr_and_variants_conform() {
+    let (ds, split) = env();
+    let tc = TrainConfig { epochs: 1, n_neg: 3, ..TrainConfig::tiny() };
+    for variant in mgbr_core::MgbrVariant::all() {
+        let cfg = MgbrConfig {
+            d: 6,
+            n_experts: 2,
+            t_size: 3,
+            mlp_hidden: vec![6],
+            ..MgbrConfig::paper()
+        }
+        .with_variant(variant);
+        let mut model = Mgbr::new(cfg, &split.train_dataset());
+        train(&mut model, &ds, &split, &tc);
+        let scorer = model.scorer();
+        assert_eq!(scorer.name(), variant.label());
+        check_scorer(&scorer, ds.n_users, ds.n_items);
+    }
+}
+
+#[test]
+fn param_counts_follow_architecture_ordering() {
+    let (_, split) = env();
+    let train_ds = split.train_dataset();
+    let bcfg = BaselineConfig::tiny();
+
+    let gbmf = Gbmf::new(&bcfg, &train_ds).param_count();
+    let deepmf = DeepMf::new(&bcfg, &train_ds).param_count();
+    let eatnn = Eatnn::new(&bcfg, &train_ds).param_count();
+
+    assert!(deepmf > gbmf, "DeepMF adds towers over GBMF's tables");
+    assert!(eatnn > gbmf, "EATNN's three user tables dominate GBMF");
+    // EATNN has 3 user tables vs DeepMF's 1 — at equal d it must be larger.
+    assert!(eatnn > deepmf, "EATNN ({eatnn}) should exceed DeepMF ({deepmf})");
+}
