@@ -1,0 +1,19 @@
+#!/bin/sh
+# Local CI gate: formatting, lints, release build, full test suite.
+# Run from anywhere; fails fast on the first broken step.
+set -e
+cd "$(dirname "$0")"
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (warnings are errors) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test ==="
+cargo test -q
+
+echo "=== ci.sh: all checks passed ==="

@@ -74,6 +74,76 @@ pub fn check_gradients(
     max_rel
 }
 
+/// Like [`check_gradients`], but every evaluation — the analytic pass and
+/// each finite-difference probe — runs on one shared tape that is
+/// [`Tape::reset`] between builds. The analytic pass runs *after* a
+/// warmup build/backward, so it executes entirely on recycled pooled
+/// buffers — this is the steady state a training loop sees, and the
+/// check proves pooling never corrupts gradients.
+pub fn check_gradients_pooled(
+    inputs: &[Tensor],
+    eps: f32,
+    tol: f32,
+    build: impl Fn(&Tape, &[Var]) -> Var,
+) -> f32 {
+    let tape = Tape::new();
+    // Warmup: populate the pool so the measured pass reuses every buffer.
+    {
+        let leaves: Vec<Var> = inputs.iter().map(|t| tape.leaf_copied(t)).collect();
+        let out = build(&tape, &leaves);
+        let _ = tape.backward(&out);
+    }
+    tape.reset();
+
+    // Analytic pass on recycled storage.
+    let leaves: Vec<Var> = inputs.iter().map(|t| tape.leaf_copied(t)).collect();
+    let out = build(&tape, &leaves);
+    let grads = tape.backward(&out);
+    let analytic: Vec<Tensor> = leaves
+        .iter()
+        .enumerate()
+        .map(|(i, l)| {
+            grads
+                .get(l)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(inputs[i].rows(), inputs[i].cols()))
+        })
+        .collect();
+    drop(grads);
+    tape.reset();
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let leaves: Vec<Var> = perturbed.iter().map(|t| tape.leaf_copied(t)).collect();
+        let v = build(&tape, &leaves).value().scalar();
+        tape.reset();
+        v
+    };
+
+    let mut max_rel = 0.0f32;
+    let mut work: Vec<Tensor> = inputs.to_vec();
+    for (i, input) in inputs.iter().enumerate() {
+        for k in 0..input.len() {
+            let orig = input.as_slice()[k];
+            work[i].as_mut_slice()[k] = orig + eps;
+            let f_plus = eval(&work);
+            work[i].as_mut_slice()[k] = orig - eps;
+            let f_minus = eval(&work);
+            work[i].as_mut_slice()[k] = orig;
+
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let exact = analytic[i].as_slice()[k];
+            let denom = 1.0f32.max(numeric.abs()).max(exact.abs());
+            let rel = (numeric - exact).abs() / denom;
+            assert!(
+                rel <= tol,
+                "pooled gradient mismatch at input {i} element {k}: analytic {exact}, numeric {numeric} (rel err {rel} > {tol})"
+            );
+            max_rel = max_rel.max(rel);
+        }
+    }
+    max_rel
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,7 +167,12 @@ mod tests {
         let mut rng = Pcg32::seed_from_u64(2);
         let inputs = vec![rand(&mut rng, 2, 3), rand(&mut rng, 2, 3)];
         check_gradients(&inputs, 1e-2, 2e-2, |_t, v| {
-            v[0].mul(&v[1]).add(&v[0].scale(0.5)).sub(&v[1]).tanh().sum_all().scale(0.1)
+            v[0].mul(&v[1])
+                .add(&v[0].scale(0.5))
+                .sub(&v[1])
+                .tanh()
+                .sum_all()
+                .scale(0.1)
         });
     }
 
@@ -108,7 +183,9 @@ mod tests {
         let mut x = rand(&mut rng, 3, 3);
         x.map_inplace(|v| if v.abs() < 0.15 { v + 0.3 } else { v });
         check_gradients(&[x.clone()], 1e-2, 2e-2, |_t, v| v[0].relu().mean_all());
-        check_gradients(&[x.clone()], 1e-2, 2e-2, |_t, v| v[0].leaky_relu(0.2).mean_all());
+        check_gradients(&[x.clone()], 1e-2, 2e-2, |_t, v| {
+            v[0].leaky_relu(0.2).mean_all()
+        });
         check_gradients(&[x.clone()], 1e-2, 2e-2, |_t, v| v[0].sigmoid().mean_all());
         check_gradients(&[x], 1e-2, 2e-2, |_t, v| v[0].log_sigmoid().mean_all());
     }
@@ -141,7 +218,10 @@ mod tests {
         let row = rand(&mut rng, 1, 4);
         let col = rand(&mut rng, 3, 1);
         check_gradients(&[m, row, col], 1e-2, 2e-2, |_t, v| {
-            v[0].add_row_broadcast(&v[1]).mul_col_broadcast(&v[2]).tanh().mean_all()
+            v[0].add_row_broadcast(&v[1])
+                .mul_col_broadcast(&v[2])
+                .tanh()
+                .mean_all()
         });
     }
 
@@ -152,7 +232,9 @@ mod tests {
         let e0 = rand(&mut rng, 3, 4);
         let e1 = rand(&mut rng, 3, 4);
         check_gradients(&[w, e0, e1], 1e-2, 2e-2, |_t, v| {
-            Var::mix_experts(&v[0], &[&v[1], &v[2]]).sigmoid().mean_all()
+            Var::mix_experts(&v[0], &[&v[1], &v[2]])
+                .sigmoid()
+                .mean_all()
         });
     }
 
@@ -164,7 +246,9 @@ mod tests {
         check_gradients(&[a.clone(), b], 1e-2, 2e-2, |_t, v| {
             v[0].rowwise_dot(&v[1]).log_sigmoid().mean_all()
         });
-        check_gradients(&[a], 1e-2, 2e-2, |_t, v| v[0].mean_rows().sigmoid().sum_all());
+        check_gradients(&[a], 1e-2, 2e-2, |_t, v| {
+            v[0].mean_rows().sigmoid().sum_all()
+        });
     }
 
     #[test]
@@ -188,8 +272,91 @@ mod tests {
         let b1 = rand(&mut rng, 1, 4);
         let w2 = rand(&mut rng, 4, 1);
         check_gradients(&[x, w1, b1, w2], 1e-2, 2.5e-2, |_t, v| {
-            v[0].matmul(&v[1]).add_row_broadcast(&v[2]).relu().matmul(&v[3]).sigmoid().mean_all()
+            v[0].matmul(&v[1])
+                .add_row_broadcast(&v[2])
+                .relu()
+                .matmul(&v[3])
+                .sigmoid()
+                .mean_all()
         });
+    }
+}
+
+#[cfg(test)]
+mod pooled_tests {
+    use super::*;
+    use mgbr_tensor::Pcg32;
+
+    #[test]
+    fn pooled_grad_mlp_chain() {
+        let mut rng = Pcg32::seed_from_u64(31);
+        let x = rng.normal_tensor(2, 3, 0.0, 0.5);
+        let w1 = rng.normal_tensor(3, 4, 0.0, 0.5);
+        let b1 = rng.normal_tensor(1, 4, 0.0, 0.5);
+        let w2 = rng.normal_tensor(4, 1, 0.0, 0.5);
+        check_gradients_pooled(&[x, w1, b1, w2], 1e-2, 2.5e-2, |_t, v| {
+            v[0].matmul(&v[1])
+                .add_row_broadcast(&v[2])
+                .relu()
+                .matmul(&v[3])
+                .sigmoid()
+                .mean_all()
+        });
+    }
+
+    #[test]
+    fn pooled_grad_gather_mix_softmax() {
+        let mut rng = Pcg32::seed_from_u64(32);
+        let w = rng.normal_tensor(3, 2, 0.0, 0.5);
+        let e0 = rng.normal_tensor(3, 4, 0.0, 0.5);
+        let e1 = rng.normal_tensor(3, 4, 0.0, 0.5);
+        check_gradients_pooled(&[w, e0, e1], 1e-2, 2e-2, |_t, v| {
+            Var::mix_experts(&v[0].softmax_rows(), &[&v[1], &v[2]])
+                .gather_rows(std::rc::Rc::new(vec![0, 2, 1, 2]))
+                .tanh()
+                .mean_all()
+        });
+    }
+
+    #[test]
+    fn pooled_and_fresh_tape_gradients_are_bitwise_equal() {
+        let mut rng = Pcg32::seed_from_u64(33);
+        let x = rng.normal_tensor(3, 3, 0.0, 0.5);
+        let w = rng.normal_tensor(3, 2, 0.0, 0.5);
+        let build = |tape: &Tape, v: &[Var]| -> Var {
+            let _ = tape; // same-signature closure as check_gradients
+            v[0].matmul(&v[1])
+                .log_softmax_rows()
+                .slice_cols(0, 1)
+                .mean_all()
+        };
+        // Fresh tape per step (the seed engine's pattern).
+        let fresh = {
+            let tape = Tape::new();
+            let leaves = vec![tape.leaf(x.clone()), tape.leaf(w.clone())];
+            let out = build(&tape, &leaves);
+            let grads = tape.backward(&out);
+            (
+                grads.get(&leaves[0]).unwrap().clone(),
+                grads.get(&leaves[1]).unwrap().clone(),
+            )
+        };
+        // Reused tape, third pass (fully pooled).
+        let tape = Tape::new();
+        let mut pooled = None;
+        for _ in 0..3 {
+            tape.reset();
+            let leaves = vec![tape.leaf_copied(&x), tape.leaf_copied(&w)];
+            let out = build(&tape, &leaves);
+            let grads = tape.backward(&out);
+            pooled = Some((
+                grads.get(&leaves[0]).unwrap().clone(),
+                grads.get(&leaves[1]).unwrap().clone(),
+            ));
+        }
+        let pooled = pooled.unwrap();
+        assert_eq!(fresh.0.as_slice(), pooled.0.as_slice());
+        assert_eq!(fresh.1.as_slice(), pooled.1.as_slice());
     }
 }
 
@@ -203,7 +370,10 @@ mod reshape_tests {
         let mut rng = Pcg32::seed_from_u64(11);
         let x = rng.normal_tensor(2, 6, 0.0, 0.5);
         check_gradients(&[x], 1e-2, 2e-2, |_t, v| {
-            v[0].reshape(3, 4).log_softmax_rows().slice_cols(0, 1).mean_all()
+            v[0].reshape(3, 4)
+                .log_softmax_rows()
+                .slice_cols(0, 1)
+                .mean_all()
         });
     }
 }

@@ -5,9 +5,18 @@
 //!
 //! The design is a classic *tape*: every operation appends a node holding
 //! its output value and enough metadata to run the chain rule backwards.
-//! A fresh [`Tape`] is built for every training step (define-by-run), so
-//! there is no graph caching or shape polymorphism to reason about — the
-//! paper's model is a fixed dataflow per minibatch.
+//! The graph is define-by-run — there is no graph caching or shape
+//! polymorphism to reason about; the paper's model is a fixed dataflow
+//! per minibatch.
+//!
+//! **Storage engine.** One long-lived tape serves a whole training run:
+//! [`Tape::reset`] recycles all node storage into the tape's
+//! [`Workspace`](mgbr_tensor::Workspace) buffer pool, op constructors and
+//! the backward pass draw from that pool, and backward accumulates
+//! gradients *in place* (recycling intermediate gradients as soon as they
+//! are consumed). After the first step, steady-state training performs no
+//! per-op heap allocation. `check::check_gradients_pooled` verifies the
+//! pooled path against finite differences.
 //!
 //! ```
 //! use mgbr_autograd::Tape;

@@ -1,10 +1,19 @@
-//! The autodiff tape: node storage and the backward pass.
+//! The autodiff tape: node storage, the backward pass, and the pooled
+//! storage engine that lets one tape (and one [`Workspace`]) serve an
+//! entire training run.
+//!
+//! Allocation model: every node value and every gradient buffer is drawn
+//! from the tape's [`Workspace`]. [`Tape::reset`] recycles all node
+//! storage back into the pool (retaining the node vector's capacity),
+//! and dropping a [`Grads`] recycles the gradient buffers, so after the
+//! first step a steady-state training loop performs no per-op heap
+//! allocation.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use mgbr_graph::Csr;
-use mgbr_tensor::{matmul_nt, matmul_tn, Tensor};
+use mgbr_tensor::{matmul_nt_into, matmul_tn_into, PoolStats, Tensor, Workspace};
 
 use crate::Var;
 
@@ -40,10 +49,19 @@ pub(crate) enum Op {
     /// Sparse propagation by a *symmetric* CSR matrix (GCN step).
     SpmmSym(Rc<Csr>, NodeId),
     /// General sparse propagation; stores the transpose for backward.
-    Spmm { adj_t: Rc<Csr>, x: NodeId },
+    Spmm {
+        adj_t: Rc<Csr>,
+        x: NodeId,
+    },
     ConcatCols(Vec<NodeId>),
-    SliceCols { parent: NodeId, start: usize },
-    GatherRows { parent: NodeId, indices: Rc<Vec<usize>> },
+    SliceCols {
+        parent: NodeId,
+        start: usize,
+    },
+    GatherRows {
+        parent: NodeId,
+        indices: Rc<Vec<usize>>,
+    },
     Sigmoid(NodeId),
     Tanh(NodeId),
     Relu(NodeId),
@@ -59,7 +77,10 @@ pub(crate) enum Op {
     RowwiseDot(NodeId, NodeId),
     /// Attentive expert mixture: `out = Σ_k diag(w[:,k]) · E_k`, the core
     /// primitive of the paper's gated units (Eq. 10-14).
-    MixExperts { weights: NodeId, experts: Vec<NodeId> },
+    MixExperts {
+        weights: NodeId,
+        experts: Vec<NodeId>,
+    },
 }
 
 #[derive(Default)]
@@ -69,14 +90,20 @@ pub(crate) struct TapeInner {
 
 /// A define-by-run autodiff tape.
 ///
-/// Cheap to clone (shared handle); build one per training step.
+/// Cheap to clone (shared handle). Build one per training *run* and call
+/// [`Tape::reset`] between steps: node storage is recycled through the
+/// tape's [`Workspace`], so steady-state steps allocate nothing.
 #[derive(Clone, Default)]
 pub struct Tape {
     pub(crate) inner: Rc<RefCell<TapeInner>>,
+    pub(crate) pool: Rc<Workspace>,
+    /// Recycled gradient-slot vector, handed to `backward` and returned
+    /// when the resulting [`Grads`] drops.
+    scratch: Rc<RefCell<Vec<Option<Tensor>>>>,
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape with its own buffer pool.
     pub fn new() -> Self {
         Self::default()
     }
@@ -92,6 +119,59 @@ impl Tape {
         self.push(value, Op::Leaf, false)
     }
 
+    /// Registers a differentiable leaf whose value is *copied* into
+    /// pooled storage — the per-step way to load parameters onto a
+    /// long-lived tape without allocating.
+    pub fn leaf_copied(&self, value: &Tensor) -> Var {
+        self.push(self.alloc_copy(value), Op::Leaf, true)
+    }
+
+    /// Registers a constant whose value is copied into pooled storage.
+    pub fn constant_copied(&self, value: &Tensor) -> Var {
+        self.push(self.alloc_copy(value), Op::Leaf, false)
+    }
+
+    /// Clears all nodes, recycling their storage into the pool.
+    ///
+    /// Every [`Var`] issued before the reset is invalidated (using one
+    /// afterwards is a logic error that panics on out-of-range ids or
+    /// silently reads a new node's value). Callers rebuild the step's
+    /// graph from fresh leaves.
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for node in inner.nodes.drain(..) {
+            self.pool.recycle_tensor(node.value);
+        }
+    }
+
+    /// The tape's buffer pool (shared with every op recorded on it).
+    pub fn workspace(&self) -> &Workspace {
+        &self.pool
+    }
+
+    /// A shared handle to the tape's pool, for holders that outlive a
+    /// borrow of the tape (e.g. gradient sets recycling on drop).
+    pub fn workspace_handle(&self) -> Rc<Workspace> {
+        Rc::clone(&self.pool)
+    }
+
+    /// Allocation statistics of the tape's pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Draws a zeroed pooled tensor (crate-internal op scratch).
+    pub(crate) fn alloc(&self, rows: usize, cols: usize) -> Tensor {
+        self.pool.take_tensor(rows, cols)
+    }
+
+    /// Draws a pooled tensor holding a copy of `value`.
+    pub(crate) fn alloc_copy(&self, value: &Tensor) -> Tensor {
+        let mut t = self.alloc(value.rows(), value.cols());
+        t.as_mut_slice().copy_from_slice(value.as_slice());
+        t
+    }
+
     /// Number of nodes currently recorded.
     pub fn len(&self) -> usize {
         self.inner.borrow().nodes.len()
@@ -105,8 +185,15 @@ impl Tape {
     pub(crate) fn push(&self, value: Tensor, op: Op, requires_grad: bool) -> Var {
         let mut inner = self.inner.borrow_mut();
         let id = inner.nodes.len();
-        inner.nodes.push(Node { value, op, requires_grad });
-        Var { tape: self.clone(), id }
+        inner.nodes.push(Node {
+            value,
+            op,
+            requires_grad,
+        });
+        Var {
+            tape: self.clone(),
+            id,
+        }
     }
 
     pub(crate) fn value_of(&self, id: NodeId) -> Tensor {
@@ -119,6 +206,10 @@ impl Tape {
 
     /// Runs reverse-mode differentiation from the scalar node `loss`.
     ///
+    /// Gradient buffers come from the tape's pool; intermediate node
+    /// gradients are recycled the moment they are consumed, and leaf
+    /// gradients return to the pool when the returned [`Grads`] drops.
+    ///
     /// # Panics
     ///
     /// Panics if `loss` lives on another tape or is not `1×1`.
@@ -130,10 +221,17 @@ impl Tape {
         let inner = self.inner.borrow();
         let nodes = &inner.nodes;
         let shape = nodes[loss.id].value.shape();
-        assert!(shape.rows == 1 && shape.cols == 1, "backward target must be 1x1, got {shape}");
+        assert!(
+            shape.rows == 1 && shape.cols == 1,
+            "backward target must be 1x1, got {shape}"
+        );
 
-        let mut grads: Vec<Option<Tensor>> = (0..nodes.len()).map(|_| None).collect();
-        grads[loss.id] = Some(Tensor::ones(1, 1));
+        let mut grads = std::mem::take(&mut *self.scratch.borrow_mut());
+        grads.clear();
+        grads.resize_with(nodes.len(), || None);
+        let mut seed = self.alloc(1, 1);
+        seed.fill(1.0);
+        grads[loss.id] = Some(seed);
 
         for id in (0..=loss.id).rev() {
             let g = match grads[id].take() {
@@ -141,43 +239,107 @@ impl Tape {
                 None => continue,
             };
             if !nodes[id].requires_grad {
+                self.pool.recycle_tensor(g);
                 continue;
             }
-            let mut sink = GradSink { nodes, grads: &mut grads };
+            let mut sink = GradSink {
+                nodes,
+                grads: &mut grads,
+                pool: &self.pool,
+            };
             backprop_node(&nodes[id], &g, &mut sink);
-            // Keep leaf gradients so callers can read them.
+            // Keep leaf gradients so callers can read them; everything
+            // else has been fully consumed and goes back to the pool.
             if matches!(nodes[id].op, Op::Leaf) {
                 grads[id] = Some(g);
+            } else {
+                self.pool.recycle_tensor(g);
             }
         }
-        Grads { grads }
+        Grads {
+            grads,
+            home: Rc::clone(&self.scratch),
+            pool: Rc::clone(&self.pool),
+        }
     }
 }
 
-/// Accumulates a gradient contribution into a parent slot, respecting the
-/// parent's `requires_grad` flag.
+/// Accumulates gradient contributions into parent slots, respecting each
+/// parent's `requires_grad` flag. All accumulation is in place: when a
+/// slot already holds a gradient the contribution is added directly into
+/// it; fresh slots are zero-filled pooled buffers.
 struct GradSink<'a> {
     nodes: &'a [Node],
     grads: &'a mut Vec<Option<Tensor>>,
+    pool: &'a Workspace,
 }
 
-impl GradSink<'_> {
+impl<'a> GradSink<'a> {
     fn wants(&self, id: NodeId) -> bool {
         self.nodes[id].requires_grad
     }
 
-    fn add(&mut self, id: NodeId, contribution: Tensor) {
+    /// Parent's forward value. The `'a` lifetime (not `&self`) lets
+    /// callers hold the value across `&mut self` accumulation calls.
+    fn value(&self, id: NodeId) -> &'a Tensor {
+        &self.nodes[id].value
+    }
+
+    /// Hands the (zero-initialized or partially accumulated) gradient
+    /// slot of `id` to `fill`, which must *add* its contribution.
+    fn add_with(&mut self, id: NodeId, rows: usize, cols: usize, fill: impl FnOnce(&mut Tensor)) {
         if !self.wants(id) {
             return;
         }
-        match &mut self.grads[id] {
-            Some(acc) => acc.add_assign(&contribution),
-            slot @ None => *slot = Some(contribution),
+        if self.grads[id].is_none() {
+            self.grads[id] = Some(self.pool.take_tensor(rows, cols));
         }
+        let acc = self.grads[id].as_mut().expect("slot just filled");
+        debug_assert!(
+            acc.rows() == rows && acc.cols() == cols,
+            "gradient shape drift"
+        );
+        fill(acc);
     }
 
-    fn value(&self, id: NodeId) -> &Tensor {
-        &self.nodes[id].value
+    /// Identity contribution: `slot += g`.
+    fn add_grad(&mut self, id: NodeId, g: &Tensor) {
+        self.add_with(id, g.rows(), g.cols(), |acc| acc.add_assign(g));
+    }
+
+    /// Scaled contribution: `slot += alpha * g`.
+    fn add_scaled(&mut self, id: NodeId, g: &Tensor, alpha: f32) {
+        self.add_with(id, g.rows(), g.cols(), |acc| acc.axpy(alpha, g));
+    }
+
+    /// Elementwise contribution: `slot += f(g, other)` pointwise.
+    fn add_zip(&mut self, id: NodeId, g: &Tensor, other: &Tensor, f: impl Fn(f32, f32) -> f32) {
+        self.add_with(id, g.rows(), g.cols(), |acc| {
+            let it = acc
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(other.as_slice());
+            for ((d, &gv), &ov) in it {
+                *d += f(gv, ov);
+            }
+        });
+    }
+
+    /// Contribution already materialized in a (pooled) tensor; recycled
+    /// here if it cannot be moved into the slot.
+    fn add_owned(&mut self, id: NodeId, t: Tensor) {
+        if !self.wants(id) {
+            self.pool.recycle_tensor(t);
+            return;
+        }
+        match &mut self.grads[id] {
+            Some(acc) => {
+                acc.add_assign(&t);
+                self.pool.recycle_tensor(t);
+            }
+            slot @ None => *slot = Some(t),
+        }
     }
 }
 
@@ -186,194 +348,240 @@ fn backprop_node(node: &Node, g: &Tensor, sink: &mut GradSink<'_>) {
     match &node.op {
         Op::Leaf => {}
         Op::Add(a, b) => {
-            sink.add(*a, g.clone());
-            sink.add(*b, g.clone());
+            sink.add_grad(*a, g);
+            sink.add_grad(*b, g);
         }
         Op::Sub(a, b) => {
-            sink.add(*a, g.clone());
-            sink.add(*b, g.scale(-1.0));
+            sink.add_grad(*a, g);
+            sink.add_scaled(*b, g, -1.0);
         }
         Op::Mul(a, b) => {
-            if sink.wants(*a) {
-                let da = g.mul(sink.value(*b));
-                sink.add(*a, da);
-            }
-            if sink.wants(*b) {
-                let db = g.mul(sink.value(*a));
-                sink.add(*b, db);
-            }
+            sink.add_zip(*a, g, sink.value(*b), |gv, bv| gv * bv);
+            sink.add_zip(*b, g, sink.value(*a), |gv, av| gv * av);
         }
-        Op::Scale(a, alpha) => sink.add(*a, g.scale(*alpha)),
-        Op::AddScalar(a) => sink.add(*a, g.clone()),
+        Op::Scale(a, alpha) => sink.add_scaled(*a, g, *alpha),
+        Op::AddScalar(a) => sink.add_grad(*a, g),
         Op::AddRowBroadcast(a, row) => {
-            sink.add(*a, g.clone());
-            sink.add(*row, g.sum_rows());
+            sink.add_grad(*a, g);
+            sink.add_with(*row, 1, g.cols(), |acc| {
+                for r in 0..g.rows() {
+                    for (d, &gv) in acc.as_mut_slice().iter_mut().zip(g.row(r)) {
+                        *d += gv;
+                    }
+                }
+            });
         }
         Op::MulColBroadcast(a, col) => {
-            if sink.wants(*a) {
-                let da = g.mul_col_broadcast(sink.value(*col));
-                sink.add(*a, da);
-            }
-            if sink.wants(*col) {
-                let dcol = g.mul(sink.value(*a)).sum_cols();
-                sink.add(*col, dcol);
-            }
+            let colv = sink.value(*col);
+            sink.add_with(*a, g.rows(), g.cols(), |acc| {
+                for r in 0..g.rows() {
+                    let s = colv.as_slice()[r];
+                    for (d, &gv) in acc.row_mut(r).iter_mut().zip(g.row(r)) {
+                        *d += s * gv;
+                    }
+                }
+            });
+            let av = sink.value(*a);
+            sink.add_with(*col, g.rows(), 1, |acc| {
+                for r in 0..g.rows() {
+                    let dot: f32 = g.row(r).iter().zip(av.row(r)).map(|(&gv, &x)| gv * x).sum();
+                    acc.as_mut_slice()[r] += dot;
+                }
+            });
         }
         Op::Matmul(a, b) => {
             if sink.wants(*a) {
-                let da = matmul_nt(g, sink.value(*b));
-                sink.add(*a, da);
+                let bv = sink.value(*b);
+                sink.add_with(*a, g.rows(), bv.rows(), |acc| {
+                    matmul_nt_into(g, bv, acc, 1.0)
+                });
             }
             if sink.wants(*b) {
-                let db = matmul_tn(sink.value(*a), g);
-                sink.add(*b, db);
+                let av = sink.value(*a);
+                sink.add_with(*b, av.cols(), g.cols(), |acc| {
+                    matmul_tn_into(av, g, acc, 1.0)
+                });
             }
         }
         Op::SpmmSym(adj, x) => {
             // dX = Âᵀ·G = Â·G for symmetric Â.
-            let dx = mgbr_graph::spmm(adj, g);
-            sink.add(*x, dx);
+            if sink.wants(*x) {
+                let mut dx = sink.pool.take_tensor(g.rows(), g.cols());
+                mgbr_graph::spmm_into(adj, g, &mut dx);
+                sink.add_owned(*x, dx);
+            }
         }
         Op::Spmm { adj_t, x } => {
-            let dx = mgbr_graph::spmm(adj_t, g);
-            sink.add(*x, dx);
+            if sink.wants(*x) {
+                let mut dx = sink.pool.take_tensor(adj_t.n_rows(), g.cols());
+                mgbr_graph::spmm_into(adj_t, g, &mut dx);
+                sink.add_owned(*x, dx);
+            }
         }
         Op::ConcatCols(parents) => {
             let mut off = 0;
             for &p in parents {
                 let w = sink.value(p).cols();
-                if sink.wants(p) {
-                    let dp = g.slice_cols(off, w);
-                    sink.add(p, dp);
-                }
+                sink.add_with(p, g.rows(), w, |acc| {
+                    for r in 0..g.rows() {
+                        let src = &g.row(r)[off..off + w];
+                        for (d, &gv) in acc.row_mut(r).iter_mut().zip(src) {
+                            *d += gv;
+                        }
+                    }
+                });
                 off += w;
             }
         }
         Op::SliceCols { parent, start } => {
             let pv = sink.value(*parent);
-            let mut dp = Tensor::zeros(pv.rows(), pv.cols());
-            for r in 0..g.rows() {
-                dp.row_mut(r)[*start..start + g.cols()].copy_from_slice(g.row(r));
-            }
-            sink.add(*parent, dp);
+            let (rows, cols, start) = (pv.rows(), pv.cols(), *start);
+            sink.add_with(*parent, rows, cols, |acc| {
+                for r in 0..g.rows() {
+                    let dst = &mut acc.row_mut(r)[start..start + g.cols()];
+                    for (d, &gv) in dst.iter_mut().zip(g.row(r)) {
+                        *d += gv;
+                    }
+                }
+            });
         }
         Op::GatherRows { parent, indices } => {
             let pv = sink.value(*parent);
-            let mut dp = Tensor::zeros(pv.rows(), pv.cols());
-            dp.scatter_add_rows(indices, g);
-            sink.add(*parent, dp);
+            let (rows, cols) = (pv.rows(), pv.cols());
+            sink.add_with(*parent, rows, cols, |acc| acc.scatter_add_rows(indices, g));
         }
-        Op::Sigmoid(a) => {
-            let da = g.zip(y, |gv, yv| gv * yv * (1.0 - yv));
-            sink.add(*a, da);
-        }
-        Op::Tanh(a) => {
-            let da = g.zip(y, |gv, yv| gv * (1.0 - yv * yv));
-            sink.add(*a, da);
-        }
+        Op::Sigmoid(a) => sink.add_zip(*a, g, y, |gv, yv| gv * yv * (1.0 - yv)),
+        Op::Tanh(a) => sink.add_zip(*a, g, y, |gv, yv| gv * (1.0 - yv * yv)),
         Op::Relu(a) => {
-            let da = g.zip(sink.value(*a), |gv, xv| if xv > 0.0 { gv } else { 0.0 });
-            sink.add(*a, da);
+            sink.add_zip(
+                *a,
+                g,
+                sink.value(*a),
+                |gv, xv| if xv > 0.0 { gv } else { 0.0 },
+            );
         }
         Op::LeakyRelu(a, slope) => {
             let s = *slope;
-            let da = g.zip(sink.value(*a), |gv, xv| if xv >= 0.0 { gv } else { s * gv });
-            sink.add(*a, da);
+            sink.add_zip(
+                *a,
+                g,
+                sink.value(*a),
+                |gv, xv| if xv >= 0.0 { gv } else { s * gv },
+            );
         }
         Op::LogSigmoid(a) => {
             // d/dx log σ(x) = 1 - σ(x) = 1 - e^y.
-            let da = g.zip(y, |gv, yv| gv * (1.0 - yv.exp()));
-            sink.add(*a, da);
+            sink.add_zip(*a, g, y, |gv, yv| gv * (1.0 - yv.exp()));
         }
         Op::LogSoftmaxRows(a) => {
             // dx = g - softmax(x) * rowsum(g); softmax(x) = exp(y).
-            let mut da = g.clone();
-            for r in 0..da.rows() {
-                let gsum: f32 = g.row(r).iter().sum();
-                let yr = y.row(r);
-                for (d, &yv) in da.row_mut(r).iter_mut().zip(yr) {
-                    *d -= yv.exp() * gsum;
+            sink.add_with(*a, g.rows(), g.cols(), |acc| {
+                for r in 0..g.rows() {
+                    let gsum: f32 = g.row(r).iter().sum();
+                    let it = acc.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r));
+                    for ((d, &gv), &yv) in it {
+                        *d += gv - yv.exp() * gsum;
+                    }
                 }
-            }
-            sink.add(*a, da);
+            });
         }
         Op::Reshape(a) => {
             let pv = sink.value(*a);
-            let (r, c) = (pv.rows(), pv.cols());
-            let dp = Tensor::from_vec(r, c, g.clone().into_vec())
-                .expect("reshape backward: element count preserved by construction");
-            sink.add(*a, dp);
+            // Row-major reinterpretation: the flat gradient is identical.
+            sink.add_with(*a, pv.rows(), pv.cols(), |acc| {
+                for (d, &gv) in acc.as_mut_slice().iter_mut().zip(g.as_slice()) {
+                    *d += gv;
+                }
+            });
         }
         Op::SoftmaxRows(a) => {
             // dx = y ⊙ (g - rowsum(g ⊙ y)).
-            let mut da = g.clone();
-            for r in 0..da.rows() {
-                let yr = y.row(r);
-                let dot: f32 = g.row(r).iter().zip(yr).map(|(&gv, &yv)| gv * yv).sum();
-                for (d, &yv) in da.row_mut(r).iter_mut().zip(yr) {
-                    *d = yv * (*d - dot);
+            sink.add_with(*a, g.rows(), g.cols(), |acc| {
+                for r in 0..g.rows() {
+                    let yr = y.row(r);
+                    let dot: f32 = g.row(r).iter().zip(yr).map(|(&gv, &yv)| gv * yv).sum();
+                    let it = acc.row_mut(r).iter_mut().zip(g.row(r)).zip(yr);
+                    for ((d, &gv), &yv) in it {
+                        *d += yv * (gv - dot);
+                    }
                 }
-            }
-            sink.add(*a, da);
+            });
         }
         Op::SumAll(a) => {
             let pv = sink.value(*a);
-            sink.add(*a, Tensor::full(pv.rows(), pv.cols(), g.scalar()));
+            let gs = g.scalar();
+            sink.add_with(*a, pv.rows(), pv.cols(), |acc| {
+                acc.as_mut_slice().iter_mut().for_each(|d| *d += gs);
+            });
         }
         Op::MeanAll(a) => {
             let pv = sink.value(*a);
-            let scale = g.scalar() / pv.len().max(1) as f32;
-            sink.add(*a, Tensor::full(pv.rows(), pv.cols(), scale));
+            let gs = g.scalar() / pv.len().max(1) as f32;
+            sink.add_with(*a, pv.rows(), pv.cols(), |acc| {
+                acc.as_mut_slice().iter_mut().for_each(|d| *d += gs);
+            });
         }
         Op::MeanRows(a) => {
             let pv = sink.value(*a);
             let inv = 1.0 / pv.rows().max(1) as f32;
-            let mut da = Tensor::zeros(pv.rows(), pv.cols());
-            let grow = g.row(0);
-            for r in 0..pv.rows() {
-                for (d, &gv) in da.row_mut(r).iter_mut().zip(grow) {
-                    *d = gv * inv;
+            sink.add_with(*a, pv.rows(), pv.cols(), |acc| {
+                let grow = g.row(0);
+                for r in 0..acc.rows() {
+                    for (d, &gv) in acc.row_mut(r).iter_mut().zip(grow) {
+                        *d += gv * inv;
+                    }
                 }
-            }
-            sink.add(*a, da);
+            });
         }
         Op::RowwiseDot(a, b) => {
-            // y (B×1); da = g ⊙_colbcast b, db symmetric.
-            if sink.wants(*a) {
-                let da = sink.value(*b).mul_col_broadcast(g);
-                sink.add(*a, da);
-            }
-            if sink.wants(*b) {
-                let db = sink.value(*a).mul_col_broadcast(g);
-                sink.add(*b, db);
-            }
+            // y (B×1); da[r][c] = g[r] * b[r][c], db symmetric.
+            let gs = g.as_slice();
+            let bv = sink.value(*b);
+            sink.add_with(*a, bv.rows(), bv.cols(), |acc| {
+                for (r, &s) in gs.iter().enumerate() {
+                    for (d, &x) in acc.row_mut(r).iter_mut().zip(bv.row(r)) {
+                        *d += s * x;
+                    }
+                }
+            });
+            let av = sink.value(*a);
+            sink.add_with(*b, av.rows(), av.cols(), |acc| {
+                for (r, &s) in gs.iter().enumerate() {
+                    for (d, &x) in acc.row_mut(r).iter_mut().zip(av.row(r)) {
+                        *d += s * x;
+                    }
+                }
+            });
         }
         Op::MixExperts { weights, experts } => {
             // y = Σ_k diag(w[:,k]) E_k.
             // dW[:,k] = rowsum(g ⊙ E_k);  dE_k = diag(w[:,k]) g.
             if sink.wants(*weights) {
-                let mut dw = Tensor::zeros(g.rows(), experts.len());
-                for (k, &e) in experts.iter().enumerate() {
-                    let ev = sink.value(e);
-                    for r in 0..g.rows() {
-                        let dot: f32 =
-                            g.row(r).iter().zip(ev.row(r)).map(|(&gv, &xv)| gv * xv).sum();
-                        dw.set(r, k, dot);
+                let evs: Vec<&Tensor> = experts.iter().map(|&e| sink.value(e)).collect();
+                sink.add_with(*weights, g.rows(), experts.len(), |acc| {
+                    for (k, ev) in evs.iter().enumerate() {
+                        for r in 0..g.rows() {
+                            let dot: f32 = g
+                                .row(r)
+                                .iter()
+                                .zip(ev.row(r))
+                                .map(|(&gv, &xv)| gv * xv)
+                                .sum();
+                            acc.row_mut(r)[k] += dot;
+                        }
                     }
-                }
-                sink.add(*weights, dw);
+                });
             }
-            let w = sink.value(*weights).clone();
+            let w = sink.value(*weights);
             for (k, &e) in experts.iter().enumerate() {
-                if !sink.wants(e) {
-                    continue;
-                }
-                let mut de = g.clone();
-                for r in 0..de.rows() {
-                    let wv = w.get(r, k);
-                    de.row_mut(r).iter_mut().for_each(|x| *x *= wv);
-                }
-                sink.add(e, de);
+                sink.add_with(e, g.rows(), g.cols(), |acc| {
+                    for r in 0..g.rows() {
+                        let wv = w.get(r, k);
+                        for (d, &gv) in acc.row_mut(r).iter_mut().zip(g.row(r)) {
+                            *d += wv * gv;
+                        }
+                    }
+                });
             }
         }
     }
@@ -381,8 +589,13 @@ fn backprop_node(node: &Node, g: &Tensor, sink: &mut GradSink<'_>) {
 
 /// Gradients produced by [`Tape::backward`], indexed by the [`Var`]s whose
 /// leaves they belong to.
+///
+/// Dropping a `Grads` recycles every remaining gradient buffer into the
+/// tape's pool and returns the slot vector for the next backward pass.
 pub struct Grads {
     grads: Vec<Option<Tensor>>,
+    home: Rc<RefCell<Vec<Option<Tensor>>>>,
+    pool: Rc<Workspace>,
 }
 
 impl Grads {
@@ -395,9 +608,19 @@ impl Grads {
         self.grads.get(var.id).and_then(|g| g.as_ref())
     }
 
-    /// Removes and returns the gradient for `var`, avoiding a copy.
+    /// Removes and returns the gradient for `var`, avoiding a copy. The
+    /// buffer leaves the pool's custody (it is not recycled on drop).
     pub fn take(&mut self, var: &Var) -> Option<Tensor> {
         self.grads.get_mut(var.id).and_then(|g| g.take())
+    }
+}
+
+impl Drop for Grads {
+    fn drop(&mut self) {
+        for t in self.grads.drain(..).flatten() {
+            self.pool.recycle_tensor(t);
+        }
+        *self.home.borrow_mut() = std::mem::take(&mut self.grads);
     }
 }
 
@@ -444,6 +667,65 @@ mod tests {
         let loss = a.add(&a).sum_all();
         let grads = tape.backward(&loss);
         assert_eq!(grads.get(&a).unwrap().scalar(), 2.0);
+    }
+
+    #[test]
+    fn reset_recycles_node_storage() {
+        let tape = Tape::new();
+        let a = tape.leaf_copied(&Tensor::ones(8, 8));
+        let _ = a.sigmoid();
+        assert_eq!(tape.len(), 2);
+        let pooled_before = tape.pool_stats().pooled;
+        tape.reset();
+        assert!(tape.is_empty());
+        assert!(
+            tape.pool_stats().pooled > pooled_before,
+            "node buffers must return to pool"
+        );
+        // The next identical step is served from the pool.
+        let misses_before = tape.pool_stats().misses;
+        let b = tape.leaf_copied(&Tensor::ones(8, 8));
+        let _ = b.sigmoid();
+        assert_eq!(
+            tape.pool_stats().misses,
+            misses_before,
+            "steady state must not allocate"
+        );
+    }
+
+    #[test]
+    fn repeated_backward_on_reset_tape_is_identical() {
+        let run = |tape: &Tape| -> Vec<f32> {
+            let x = tape.leaf(Tensor::from_vec(2, 2, vec![0.3, -0.7, 1.2, 0.05]).unwrap());
+            let w = tape.leaf(Tensor::from_vec(2, 2, vec![0.5, -0.25, 0.8, 0.1]).unwrap());
+            let loss = x.matmul(&w).sigmoid().mean_all();
+            let grads = tape.backward(&loss);
+            let mut out = grads.get(&x).unwrap().as_slice().to_vec();
+            out.extend_from_slice(grads.get(&w).unwrap().as_slice());
+            out
+        };
+        let tape = Tape::new();
+        let first = run(&tape);
+        for _ in 0..3 {
+            tape.reset();
+            let again = run(&tape);
+            assert_eq!(first, again, "pooled buffers must not change gradients");
+        }
+    }
+
+    #[test]
+    fn grads_drop_returns_buffers_to_pool() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(4, 4));
+        let loss = a.sigmoid().sum_all();
+        let stats_before = tape.pool_stats();
+        let grads = tape.backward(&loss);
+        assert!(grads.get(&a).is_some());
+        drop(grads);
+        assert!(
+            tape.pool_stats().pooled > stats_before.pooled,
+            "leaf gradient buffers must be recycled on drop"
+        );
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Differentiable variable handles and their operation constructors.
+//!
+//! Every operation evaluates eagerly into a buffer drawn from the tape's
+//! [`Workspace`](mgbr_tensor::Workspace) and records itself for the
+//! backward pass, so a training loop that resets its tape between steps
+//! reaches a steady state with no per-op heap allocation.
 
 use std::rc::Rc;
 
-use mgbr_graph::{spmm, Csr};
-use mgbr_tensor::{matmul, Shape, Tensor};
+use mgbr_graph::{spmm_into, Csr};
+use mgbr_tensor::{matmul_into, Shape, Tensor};
 
 use crate::tape::{Op, Tape};
 use crate::NodeId;
@@ -63,30 +68,65 @@ impl Var {
         );
     }
 
+    /// Pooled copy of this node's value (basis for the in-place
+    /// activation ops).
+    fn pooled_value(&self) -> Tensor {
+        let inner = self.tape.inner.borrow();
+        self.tape.alloc_copy(&inner.nodes[self.id].value)
+    }
+
+    /// Pooled elementwise combination `f(self, other)` (shapes must
+    /// match).
+    #[track_caller]
+    fn pooled_zip2(&self, other: &Var, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        self.assert_same_tape(other);
+        let inner = self.tape.inner.borrow();
+        let a = &inner.nodes[self.id].value;
+        let b = &inner.nodes[other.id].value;
+        assert_eq!(
+            a.shape(),
+            b.shape(),
+            "shape mismatch {} vs {}",
+            a.shape(),
+            b.shape()
+        );
+        let mut out = self.tape.alloc(a.rows(), a.cols());
+        let it = out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(a.as_slice())
+            .zip(b.as_slice());
+        for ((o, &x), &y) in it {
+            *o = f(x, y);
+        }
+        out
+    }
+
     /// Elementwise sum.
     #[track_caller]
     pub fn add(&self, other: &Var) -> Var {
-        let v = self.with2(other, |a, b| a.add(b));
+        let v = self.pooled_zip2(other, |a, b| a + b);
         self.binary(other, v, Op::Add(self.id, other.id))
     }
 
     /// Elementwise difference.
     #[track_caller]
     pub fn sub(&self, other: &Var) -> Var {
-        let v = self.with2(other, |a, b| a.sub(b));
+        let v = self.pooled_zip2(other, |a, b| a - b);
         self.binary(other, v, Op::Sub(self.id, other.id))
     }
 
     /// Elementwise product.
     #[track_caller]
     pub fn mul(&self, other: &Var) -> Var {
-        let v = self.with2(other, |a, b| a.mul(b));
+        let v = self.pooled_zip2(other, |a, b| a * b);
         self.binary(other, v, Op::Mul(self.id, other.id))
     }
 
     /// Multiplication by a (non-differentiable) scalar.
     pub fn scale(&self, alpha: f32) -> Var {
-        let v = self.with1(|a| a.scale(alpha));
+        let mut v = self.pooled_value();
+        v.scale_inplace(alpha);
         self.unary(v, Op::Scale(self.id, alpha))
     }
 
@@ -97,28 +137,87 @@ impl Var {
 
     /// Addition of a (non-differentiable) scalar to every element.
     pub fn add_scalar(&self, c: f32) -> Var {
-        let v = self.with1(|a| a.map(|x| x + c));
+        let mut v = self.pooled_value();
+        v.map_inplace(|x| x + c);
         self.unary(v, Op::AddScalar(self.id))
     }
 
     /// Adds a `1×cols` row vector to every row (bias broadcast).
     #[track_caller]
     pub fn add_row_broadcast(&self, row: &Var) -> Var {
-        let v = self.with2(row, |a, r| a.add_row_broadcast(r));
+        self.assert_same_tape(row);
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let r = &inner.nodes[row.id].value;
+            assert_eq!(
+                r.rows(),
+                1,
+                "add_row_broadcast: rhs must be a row vector, got {}",
+                r.shape()
+            );
+            assert_eq!(
+                a.cols(),
+                r.cols(),
+                "add_row_broadcast: col mismatch {} vs {}",
+                a.shape(),
+                r.shape()
+            );
+            let mut out = self.tape.alloc_copy(a);
+            let rv = r.as_slice();
+            for i in 0..out.rows() {
+                for (d, &b) in out.row_mut(i).iter_mut().zip(rv) {
+                    *d += b;
+                }
+            }
+            out
+        };
         self.binary(row, v, Op::AddRowBroadcast(self.id, row.id))
     }
 
     /// Scales row `r` by element `r` of a `rows×1` column vector.
     #[track_caller]
     pub fn mul_col_broadcast(&self, col: &Var) -> Var {
-        let v = self.with2(col, |a, c| a.mul_col_broadcast(c));
+        self.assert_same_tape(col);
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let c = &inner.nodes[col.id].value;
+            assert_eq!(
+                c.cols(),
+                1,
+                "mul_col_broadcast: rhs must be a column vector, got {}",
+                c.shape()
+            );
+            assert_eq!(
+                a.rows(),
+                c.rows(),
+                "mul_col_broadcast: row mismatch {} vs {}",
+                a.shape(),
+                c.shape()
+            );
+            let mut out = self.tape.alloc_copy(a);
+            for i in 0..out.rows() {
+                let s = c.as_slice()[i];
+                out.row_mut(i).iter_mut().for_each(|x| *x *= s);
+            }
+            out
+        };
         self.binary(col, v, Op::MulColBroadcast(self.id, col.id))
     }
 
     /// Matrix product `self · other`.
     #[track_caller]
     pub fn matmul(&self, other: &Var) -> Var {
-        let v = self.with2(other, |a, b| matmul(a, b));
+        self.assert_same_tape(other);
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let b = &inner.nodes[other.id].value;
+            let mut out = self.tape.alloc(a.rows(), b.cols());
+            matmul_into(a, b, &mut out, 0.0);
+            out
+        };
         self.binary(other, v, Op::Matmul(self.id, other.id))
     }
 
@@ -131,7 +230,7 @@ impl Var {
     #[track_caller]
     pub fn spmm_sym(&self, adj: &Rc<Csr>) -> Var {
         debug_assert!(adj.is_symmetric(), "spmm_sym on a non-symmetric matrix");
-        let v = self.with1(|x| spmm(adj, x));
+        let v = self.pooled_spmm(adj);
         self.unary(v, Op::SpmmSym(Rc::clone(adj), self.id))
     }
 
@@ -141,9 +240,18 @@ impl Var {
     /// record time; prefer [`Var::spmm_sym`] when `A` is symmetric.
     #[track_caller]
     pub fn spmm(&self, adj: &Rc<Csr>) -> Var {
-        let v = self.with1(|x| spmm(adj, x));
+        let v = self.pooled_spmm(adj);
         let adj_t = Rc::new(adj.transpose());
         self.unary(v, Op::Spmm { adj_t, x: self.id })
+    }
+
+    #[track_caller]
+    fn pooled_spmm(&self, adj: &Csr) -> Tensor {
+        let inner = self.tape.inner.borrow();
+        let x = &inner.nodes[self.id].value;
+        let mut out = self.tape.alloc(adj.n_rows(), x.cols());
+        spmm_into(adj, x, &mut out);
+        out
     }
 
     /// Horizontal concatenation — the paper's `‖` operator.
@@ -161,66 +269,133 @@ impl Var {
         let v = {
             let inner = first.tape.inner.borrow();
             let refs: Vec<&Tensor> = parts.iter().map(|p| &inner.nodes[p.id].value).collect();
-            Tensor::concat_cols(&refs)
+            let rows = refs[0].rows();
+            let total: usize = refs
+                .iter()
+                .map(|p| {
+                    assert_eq!(
+                        p.rows(),
+                        rows,
+                        "concat_cols: row mismatch {} vs {rows}",
+                        p.rows()
+                    );
+                    p.cols()
+                })
+                .sum();
+            let mut out = first.tape.alloc(rows, total);
+            for r in 0..rows {
+                let dst = out.row_mut(r);
+                let mut off = 0;
+                for p in &refs {
+                    let src = p.row(r);
+                    dst[off..off + src.len()].copy_from_slice(src);
+                    off += src.len();
+                }
+            }
+            out
         };
         let rg = parts.iter().any(|p| p.requires_grad());
-        first.tape.push(v, Op::ConcatCols(parts.iter().map(|p| p.id).collect()), rg)
+        first
+            .tape
+            .push(v, Op::ConcatCols(parts.iter().map(|p| p.id).collect()), rg)
     }
 
     /// Copies columns `[start, start+width)` into a new node.
     #[track_caller]
     pub fn slice_cols(&self, start: usize, width: usize) -> Var {
-        let v = self.with1(|a| a.slice_cols(start, width));
-        self.unary(v, Op::SliceCols { parent: self.id, start })
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            assert!(
+                start + width <= a.cols(),
+                "slice_cols: [{start}, {}) out of {} columns",
+                start + width,
+                a.cols()
+            );
+            let mut out = self.tape.alloc(a.rows(), width);
+            for r in 0..a.rows() {
+                out.row_mut(r)
+                    .copy_from_slice(&a.row(r)[start..start + width]);
+            }
+            out
+        };
+        self.unary(
+            v,
+            Op::SliceCols {
+                parent: self.id,
+                start,
+            },
+        )
     }
 
     /// Gathers rows by index (embedding lookup); backward scatter-adds.
     #[track_caller]
     pub fn gather_rows(&self, indices: Rc<Vec<usize>>) -> Var {
-        let v = self.with1(|a| a.gather_rows(&indices));
-        self.unary(v, Op::GatherRows { parent: self.id, indices })
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let mut out = self.tape.alloc(indices.len(), a.cols());
+            for (r, &i) in indices.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(a.row(i));
+            }
+            out
+        };
+        self.unary(
+            v,
+            Op::GatherRows {
+                parent: self.id,
+                indices,
+            },
+        )
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&self) -> Var {
-        let v = self.with1(|a| a.sigmoid());
+        let mut v = self.pooled_value();
+        v.sigmoid_inplace();
         self.unary(v, Op::Sigmoid(self.id))
     }
 
     /// Elementwise tanh.
     pub fn tanh(&self) -> Var {
-        let v = self.with1(|a| a.tanh());
+        let mut v = self.pooled_value();
+        v.tanh_inplace();
         self.unary(v, Op::Tanh(self.id))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&self) -> Var {
-        let v = self.with1(|a| a.relu());
+        let mut v = self.pooled_value();
+        v.relu_inplace();
         self.unary(v, Op::Relu(self.id))
     }
 
     /// Elementwise LeakyReLU.
     pub fn leaky_relu(&self, slope: f32) -> Var {
-        let v = self.with1(|a| a.leaky_relu(slope));
+        let mut v = self.pooled_value();
+        v.leaky_relu_inplace(slope);
         self.unary(v, Op::LeakyRelu(self.id, slope))
     }
 
     /// Numerically stable `log σ(x)` (the BPR building block).
     pub fn log_sigmoid(&self) -> Var {
-        let v = self.with1(|a| a.log_sigmoid());
+        let mut v = self.pooled_value();
+        v.log_sigmoid_inplace();
         self.unary(v, Op::LogSigmoid(self.id))
     }
 
     /// Row-wise softmax (used by the MMoE-style gate-normalization
     /// option).
     pub fn softmax_rows(&self) -> Var {
-        let v = self.with1(|a| a.softmax_rows());
+        let mut v = self.pooled_value();
+        v.softmax_rows_inplace();
         self.unary(v, Op::SoftmaxRows(self.id))
     }
 
     /// Row-wise log-softmax (the ListNet building block).
     pub fn log_softmax_rows(&self) -> Var {
-        let v = self.with1(|a| a.log_softmax_rows());
+        let mut v = self.pooled_value();
+        v.log_softmax_rows_inplace();
         self.unary(v, Op::LogSoftmaxRows(self.id))
     }
 
@@ -233,11 +408,20 @@ impl Var {
     /// Panics if `rows * cols` differs from the current element count.
     #[track_caller]
     pub fn reshape(&self, rows: usize, cols: usize) -> Var {
-        let v = self.with1(|a| {
-            Tensor::from_vec(rows, cols, a.clone().into_vec()).unwrap_or_else(|e| {
-                panic!("reshape: {e}")
-            })
-        });
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            assert_eq!(
+                rows * cols,
+                a.len(),
+                "reshape: {rows}x{cols} has {} elements, value has {}",
+                rows * cols,
+                a.len()
+            );
+            let mut out = self.tape.alloc(rows, cols);
+            out.as_mut_slice().copy_from_slice(a.as_slice());
+            out
+        };
         self.unary(v, Op::Reshape(self.id))
     }
 
@@ -256,14 +440,44 @@ impl Var {
     /// Column means as a `1×cols` node (used for the mean-user embedding
     /// `e_p` in Task A prediction, Eq. 16).
     pub fn mean_rows(&self) -> Var {
-        let v = self.with1(|a| a.mean_rows());
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let inv = 1.0 / a.rows().max(1) as f32;
+            let mut out = self.tape.alloc(1, a.cols());
+            for r in 0..a.rows() {
+                for (o, &x) in out.as_mut_slice().iter_mut().zip(a.row(r)) {
+                    *o += x;
+                }
+            }
+            out.scale_inplace(inv);
+            out
+        };
         self.unary(v, Op::MeanRows(self.id))
     }
 
     /// Per-row dot products, as `rows×1` (MF-style scoring).
     #[track_caller]
     pub fn rowwise_dot(&self, other: &Var) -> Var {
-        let v = self.with2(other, |a, b| a.rowwise_dot(b));
+        self.assert_same_tape(other);
+        let v = {
+            let inner = self.tape.inner.borrow();
+            let a = &inner.nodes[self.id].value;
+            let b = &inner.nodes[other.id].value;
+            assert_eq!(
+                a.shape(),
+                b.shape(),
+                "rowwise_dot: {} vs {}",
+                a.shape(),
+                b.shape()
+            );
+            let mut out = self.tape.alloc(a.rows(), 1);
+            for r in 0..a.rows() {
+                let dot: f32 = a.row(r).iter().zip(b.row(r)).map(|(&x, &y)| x * y).sum();
+                out.as_mut_slice()[r] = dot;
+            }
+            out
+        };
         self.binary(other, v, Op::RowwiseDot(self.id, other.id))
     }
 
@@ -299,7 +513,7 @@ impl Var {
             let w = &inner.nodes[weights.id].value;
             let evs: Vec<&Tensor> = experts.iter().map(|e| &inner.nodes[e.id].value).collect();
             let (rows, cols) = (evs[0].rows(), evs[0].cols());
-            let mut out = Tensor::zeros(rows, cols);
+            let mut out = weights.tape.alloc(rows, cols);
             for (k, ev) in evs.iter().enumerate() {
                 assert_eq!(ev.cols(), cols, "mix_experts: inconsistent expert widths");
                 for r in 0..rows {
@@ -314,7 +528,10 @@ impl Var {
         let rg = weights.requires_grad() || experts.iter().any(|e| e.requires_grad());
         weights.tape.push(
             out,
-            Op::MixExperts { weights: weights.id, experts: experts.iter().map(|e| e.id).collect() },
+            Op::MixExperts {
+                weights: weights.id,
+                experts: experts.iter().map(|e| e.id).collect(),
+            },
             rg,
         )
     }
@@ -322,12 +539,6 @@ impl Var {
     fn with1<R>(&self, f: impl FnOnce(&Tensor) -> R) -> R {
         let inner = self.tape.inner.borrow();
         f(&inner.nodes[self.id].value)
-    }
-
-    fn with2<R>(&self, other: &Var, f: impl FnOnce(&Tensor, &Tensor) -> R) -> R {
-        self.assert_same_tape(other);
-        let inner = self.tape.inner.borrow();
-        f(&inner.nodes[self.id].value, &inner.nodes[other.id].value)
     }
 }
 
@@ -397,6 +608,29 @@ mod tests {
         assert_eq!(a.mean_rows().value().as_slice(), &[2.0, 3.0]);
         let b = tape.leaf(Tensor::from_vec(2, 2, vec![1.0, 1.0, 2.0, 2.0]).unwrap());
         assert_eq!(a.rowwise_dot(&b).value().as_slice(), &[3.0, 14.0]);
+    }
+
+    #[test]
+    fn pooled_forward_matches_after_reset() {
+        // The same expression built on a reset tape (pooled buffers) must
+        // produce identical values.
+        let build = |tape: &Tape| -> Vec<f32> {
+            let a =
+                tape.leaf(Tensor::from_vec(2, 3, vec![0.1, -0.4, 2.0, 1.5, -0.2, 0.7]).unwrap());
+            let w =
+                tape.leaf(Tensor::from_vec(3, 2, vec![0.3, 0.9, -1.1, 0.2, 0.05, -0.6]).unwrap());
+            a.matmul(&w)
+                .tanh()
+                .softmax_rows()
+                .value()
+                .as_slice()
+                .to_vec()
+        };
+        let tape = Tape::new();
+        let first = build(&tape);
+        tape.reset();
+        let second = build(&tape);
+        assert_eq!(first, second);
     }
 
     #[test]

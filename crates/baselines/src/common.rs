@@ -1,12 +1,12 @@
 //! The shared baseline interface, two-task training loop, and frozen
 //! evaluation scorer.
 
-use mgbr_autograd::Var;
+use mgbr_autograd::{Tape, Var};
 use mgbr_core::{TrainConfig, TrainReport};
 use mgbr_data::{BatchIter, DataSplit, Dataset, Sampler, TaskAInstance, TaskBInstance};
 use mgbr_eval::{EpochTimer, GroupBuyScorer};
 use mgbr_nn::{bpr_loss, Adam, Optimizer, ParamStore, StepCtx};
-use mgbr_tensor::{Pcg32, Tensor};
+use mgbr_tensor::{configure_threads, Pcg32, Tensor};
 
 /// Hyper-parameters shared by all baselines.
 #[derive(Debug, Clone)]
@@ -23,12 +23,20 @@ impl BaselineConfig {
     /// The reproduction scale used by the experiment harness (matching
     /// MGBR's `2d`-wide object embeddings for a fair comparison).
     pub fn repro_scale() -> Self {
-        Self { d: 32, layers: 2, seed: 42 }
+        Self {
+            d: 32,
+            layers: 2,
+            seed: 42,
+        }
     }
 
     /// A miniature configuration for unit tests.
     pub fn tiny() -> Self {
-        Self { d: 8, layers: 2, seed: 42 }
+        Self {
+            d: 8,
+            layers: 2,
+            seed: 42,
+        }
     }
 }
 
@@ -125,10 +133,15 @@ pub fn train_baseline<M: Baseline>(
     tc: &TrainConfig,
 ) -> TrainReport {
     assert!(!split.train.is_empty(), "empty training partition");
+    configure_threads(tc.threads);
     let mut adam = Adam::with_lr(tc.lr);
     let mut rng = Pcg32::seed_from_u64(tc.seed);
+    // One tape for the whole run: step storage is recycled through its
+    // workspace instead of reallocated (see mgbr-autograd's engine docs).
+    let tape = Tape::new();
     let mut timer = EpochTimer::new();
     let mut epoch_losses = Vec::with_capacity(tc.epochs);
+    let mut steps = 0usize;
 
     for epoch in 0..tc.epochs {
         let mut sampler = Sampler::new(full, tc.seed.wrapping_add(epoch as u64));
@@ -151,10 +164,13 @@ pub fn train_baseline<M: Baseline>(
             let batch_b: Vec<&TaskBInstance> = if b_batches.is_empty() {
                 Vec::new()
             } else {
-                b_batches[step % b_batches.len()].iter().map(|&j| &task_b[j]).collect()
+                b_batches[step % b_batches.len()]
+                    .iter()
+                    .map(|&j| &task_b[j])
+                    .collect()
             };
 
-            let ctx = StepCtx::new(model.store());
+            let ctx = StepCtx::with_tape(&tape, model.store());
             let emb = model.embed(&ctx);
             let mut total = a_loss(&emb, &batch_a);
             if !batch_b.is_empty() {
@@ -169,6 +185,7 @@ pub fn train_baseline<M: Baseline>(
             adam.step(model.store_mut(), &grads);
         }
         timer.end_epoch();
+        steps += n_steps;
         let mean = (loss_sum / n_steps as f64) as f32;
         epoch_losses.push(mean);
         assert!(
@@ -181,6 +198,7 @@ pub fn train_baseline<M: Baseline>(
         epoch_losses,
         epoch_secs: timer.all().to_vec(),
         param_count: model.param_count(),
+        steps,
     }
 }
 
@@ -289,7 +307,11 @@ pub(crate) mod test_support {
         );
         // Task B is hard for tailored baselines (the paper's core claim);
         // require only sanity, not strength.
-        assert!(mb.mrr > 0.15, "{expected_name} Task B mrr {} degenerate", mb.mrr);
+        assert!(
+            mb.mrr > 0.15,
+            "{expected_name} Task B mrr {} degenerate",
+            mb.mrr
+        );
     }
 }
 

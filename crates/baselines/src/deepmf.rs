@@ -27,8 +27,22 @@ impl DeepMf {
     pub fn new(cfg: &BaselineConfig, train: &Dataset) -> Self {
         let mut store = ParamStore::new();
         let mut rng = Pcg32::seed_from_u64(cfg.seed);
-        let users = Embedding::new(&mut store, &mut rng, "deepmf.users", train.n_users, cfg.d, 0.1);
-        let items = Embedding::new(&mut store, &mut rng, "deepmf.items", train.n_items, cfg.d, 0.1);
+        let users = Embedding::new(
+            &mut store,
+            &mut rng,
+            "deepmf.users",
+            train.n_users,
+            cfg.d,
+            0.1,
+        );
+        let items = Embedding::new(
+            &mut store,
+            &mut rng,
+            "deepmf.items",
+            train.n_items,
+            cfg.d,
+            0.1,
+        );
         let dims = vec![cfg.d; cfg.layers + 1];
         let user_tower = Mlp::new(
             &mut store,
@@ -46,7 +60,13 @@ impl DeepMf {
             Activation::Relu,
             Activation::Identity,
         );
-        Self { store, users, items, user_tower, item_tower }
+        Self {
+            store,
+            users,
+            items,
+            user_tower,
+            item_tower,
+        }
     }
 }
 
@@ -66,7 +86,11 @@ impl Baseline for DeepMf {
     fn embed(&self, ctx: &StepCtx<'_>) -> EmbedOut {
         let users = self.user_tower.forward(ctx, &self.users.full(ctx));
         let items = self.item_tower.forward(ctx, &self.items.full(ctx));
-        EmbedOut { users_a: users.clone(), items, users_b: users }
+        EmbedOut {
+            users_a: users.clone(),
+            items,
+            users_b: users,
+        }
     }
 }
 

@@ -33,9 +33,8 @@ impl DiffNet {
     pub fn new(cfg: &BaselineConfig, train: &Dataset) -> Self {
         let mut store = ParamStore::new();
         let mut rng = Pcg32::seed_from_u64(cfg.seed);
-        let social = Rc::new(
-            Csr::undirected_adjacency(train.n_users, &train.up_edges()).sym_normalized(),
-        );
+        let social =
+            Rc::new(Csr::undirected_adjacency(train.n_users, &train.up_edges()).sym_normalized());
         // Row-stochastic user→item interest aggregation.
         let mut triplets: Vec<(usize, usize, f32)> = Vec::new();
         for (u, i) in train.ui_edges().into_iter().chain(train.pi_edges()) {
@@ -46,18 +45,53 @@ impl DiffNet {
         let normalized: Vec<(usize, usize, f32)> = (0..train.n_users)
             .flat_map(|u| {
                 let s = sums[u].max(1.0);
-                raw.row(u).map(move |(i, v)| (u, i, v / s)).collect::<Vec<_>>()
+                raw.row(u)
+                    .map(move |(i, v)| (u, i, v / s))
+                    .collect::<Vec<_>>()
             })
             .collect();
-        let interest = Rc::new(Csr::from_triplets(train.n_users, train.n_items, &normalized));
+        let interest = Rc::new(Csr::from_triplets(
+            train.n_users,
+            train.n_items,
+            &normalized,
+        ));
 
-        let user_free =
-            Embedding::new(&mut store, &mut rng, "diffnet.users", train.n_users, cfg.d, 0.1);
-        let items = Embedding::new(&mut store, &mut rng, "diffnet.items", train.n_items, cfg.d, 0.1);
+        let user_free = Embedding::new(
+            &mut store,
+            &mut rng,
+            "diffnet.users",
+            train.n_users,
+            cfg.d,
+            0.1,
+        );
+        let items = Embedding::new(
+            &mut store,
+            &mut rng,
+            "diffnet.items",
+            train.n_items,
+            cfg.d,
+            0.1,
+        );
         let diffusion = (0..cfg.layers)
-            .map(|l| Linear::new(&mut store, &mut rng, &format!("diffnet.l{l}"), cfg.d, cfg.d, true))
+            .map(|l| {
+                Linear::new(
+                    &mut store,
+                    &mut rng,
+                    &format!("diffnet.l{l}"),
+                    cfg.d,
+                    cfg.d,
+                    true,
+                )
+            })
             .collect();
-        Self { store, user_free, items, diffusion, social, interest }
+        Self {
+            store,
+            user_free,
+            items,
+            diffusion,
+            social,
+            interest,
+        }
     }
 }
 
@@ -86,7 +120,11 @@ impl Baseline for DiffNet {
         // historically interacted items (DiffNet's u* = h^L + Σ r_i / |R|).
         let interest = items.spmm(&self.interest);
         let users = h.add(&interest);
-        EmbedOut { users_a: users.clone(), items, users_b: users }
+        EmbedOut {
+            users_a: users.clone(),
+            items,
+            users_b: users,
+        }
     }
 }
 

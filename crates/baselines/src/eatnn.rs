@@ -42,10 +42,22 @@ impl Eatnn {
         let user_social_domain = mk(&mut store, &mut rng, "eatnn.s", train.n_users);
         let user_shared = mk(&mut store, &mut rng, "eatnn.c", train.n_users);
         let items = mk(&mut store, &mut rng, "eatnn.items", train.n_items);
-        let gate_item =
-            Linear::new(&mut store, &mut rng, "eatnn.gate_item", 2 * cfg.d, cfg.d, true);
-        let gate_social =
-            Linear::new(&mut store, &mut rng, "eatnn.gate_social", 2 * cfg.d, cfg.d, true);
+        let gate_item = Linear::new(
+            &mut store,
+            &mut rng,
+            "eatnn.gate_item",
+            2 * cfg.d,
+            cfg.d,
+            true,
+        );
+        let gate_social = Linear::new(
+            &mut store,
+            &mut rng,
+            "eatnn.gate_social",
+            2 * cfg.d,
+            cfg.d,
+            true,
+        );
         Self {
             store,
             user_item_domain,
@@ -60,7 +72,9 @@ impl Eatnn {
     /// `a ⊙ x + (1 - a) ⊙ c` with `a = σ(gate(x ‖ c))` — the adaptive
     /// transfer unit.
     fn transfer(&self, ctx: &StepCtx<'_>, gate: &Linear, domain: &Var, shared: &Var) -> Var {
-        let a = gate.forward(ctx, &Var::concat_cols(&[domain, shared])).sigmoid();
+        let a = gate
+            .forward(ctx, &Var::concat_cols(&[domain, shared]))
+            .sigmoid();
         let ones = ctx.constant(Tensor::ones(a.rows(), a.cols()));
         let inv = ones.sub(&a);
         a.mul(domain).add(&inv.mul(shared))
@@ -88,7 +102,11 @@ impl Baseline for Eatnn {
         // representation carries the user-user similarity of Task B.
         let users_a = self.transfer(ctx, &self.gate_item, &p, &c);
         let users_b = self.transfer(ctx, &self.gate_social, &s, &c);
-        EmbedOut { users_a, items: self.items.full(ctx), users_b }
+        EmbedOut {
+            users_a,
+            items: self.items.full(ctx),
+            users_b,
+        }
     }
 }
 

@@ -34,7 +34,11 @@ impl ViewGcn {
         let weights = (0..layers)
             .map(|l| Linear::new(store, rng, &format!("{name}.w{l}"), d, d, false))
             .collect();
-        Self { e0, weights, adj: Rc::new(adj) }
+        Self {
+            e0,
+            weights,
+            adj: Rc::new(adj),
+        }
     }
 
     fn forward(&self, ctx: &StepCtx<'_>) -> Var {
@@ -42,7 +46,10 @@ impl ViewGcn {
         for w in &self.weights {
             // LightGCN-style propagation with a residual connection, as
             // GBGCN's embedding propagation network does.
-            e = w.forward(ctx, &e.spmm_sym(&self.adj)).leaky_relu(0.2).add(&e);
+            e = w
+                .forward(ctx, &e.spmm_sym(&self.adj))
+                .leaky_relu(0.2)
+                .add(&e);
         }
         e
     }
@@ -70,10 +77,24 @@ impl Gbgcn {
             &train.up_edges(),
         );
         let n = views.n_bipartite();
-        let initiator_view =
-            ViewGcn::new(&mut store, &mut rng, "gbgcn.init", views.a_ui, n, cfg.d, cfg.layers);
-        let participant_view =
-            ViewGcn::new(&mut store, &mut rng, "gbgcn.part", views.a_pi, n, cfg.d, cfg.layers);
+        let initiator_view = ViewGcn::new(
+            &mut store,
+            &mut rng,
+            "gbgcn.init",
+            views.a_ui,
+            n,
+            cfg.d,
+            cfg.layers,
+        );
+        let participant_view = ViewGcn::new(
+            &mut store,
+            &mut rng,
+            "gbgcn.part",
+            views.a_pi,
+            n,
+            cfg.d,
+            cfg.layers,
+        );
         Self {
             store,
             initiator_view,
@@ -114,7 +135,11 @@ impl Baseline for Gbgcn {
             &x_init.gather_rows(Rc::clone(&item_rows)),
             &x_part.gather_rows(item_rows),
         ]);
-        EmbedOut { users_a: users.clone(), items, users_b: users }
+        EmbedOut {
+            users_a: users.clone(),
+            items,
+            users_b: users,
+        }
     }
 }
 
@@ -131,7 +156,11 @@ mod tests {
         let m = Gbgcn::new(&cfg, &ds);
         let ctx = StepCtx::new(m.store());
         let emb = m.embed(&ctx);
-        assert_eq!(emb.users_a.cols(), 2 * cfg.d, "initiator ‖ participant roles");
+        assert_eq!(
+            emb.users_a.cols(),
+            2 * cfg.d,
+            "initiator ‖ participant roles"
+        );
         assert_eq!(emb.items.cols(), 2 * cfg.d);
         assert_eq!(emb.users_a.rows(), ds.n_users);
     }

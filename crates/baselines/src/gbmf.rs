@@ -20,9 +20,27 @@ impl Gbmf {
     pub fn new(cfg: &BaselineConfig, train: &Dataset) -> Self {
         let mut store = ParamStore::new();
         let mut rng = Pcg32::seed_from_u64(cfg.seed);
-        let users = Embedding::new(&mut store, &mut rng, "gbmf.users", train.n_users, cfg.d, 0.1);
-        let items = Embedding::new(&mut store, &mut rng, "gbmf.items", train.n_items, cfg.d, 0.1);
-        Self { store, users, items }
+        let users = Embedding::new(
+            &mut store,
+            &mut rng,
+            "gbmf.users",
+            train.n_users,
+            cfg.d,
+            0.1,
+        );
+        let items = Embedding::new(
+            &mut store,
+            &mut rng,
+            "gbmf.items",
+            train.n_items,
+            cfg.d,
+            0.1,
+        );
+        Self {
+            store,
+            users,
+            items,
+        }
     }
 }
 
@@ -41,7 +59,11 @@ impl Baseline for Gbmf {
 
     fn embed(&self, ctx: &StepCtx<'_>) -> EmbedOut {
         let users = self.users.full(ctx);
-        EmbedOut { users_a: users.clone(), items: self.items.full(ctx), users_b: users }
+        EmbedOut {
+            users_a: users.clone(),
+            items: self.items.full(ctx),
+            users_b: users,
+        }
     }
 }
 

@@ -47,11 +47,31 @@ impl Ngcf {
         let e0 = Embedding::new(&mut store, &mut rng, "ngcf.e0", n, cfg.d, 0.1);
         let layers = (0..cfg.layers)
             .map(|l| NgcfLayer {
-                w1: Linear::new(&mut store, &mut rng, &format!("ngcf.l{l}.w1"), cfg.d, cfg.d, true),
-                w2: Linear::new(&mut store, &mut rng, &format!("ngcf.l{l}.w2"), cfg.d, cfg.d, true),
+                w1: Linear::new(
+                    &mut store,
+                    &mut rng,
+                    &format!("ngcf.l{l}.w1"),
+                    cfg.d,
+                    cfg.d,
+                    true,
+                ),
+                w2: Linear::new(
+                    &mut store,
+                    &mut rng,
+                    &format!("ngcf.l{l}.w2"),
+                    cfg.d,
+                    cfg.d,
+                    true,
+                ),
             })
             .collect();
-        Self { store, e0, layers, adj, n_users: train.n_users }
+        Self {
+            store,
+            e0,
+            layers,
+            adj,
+            n_users: train.n_users,
+        }
     }
 }
 
@@ -90,7 +110,11 @@ impl Baseline for Ngcf {
         let item_rows: Rc<Vec<usize>> = Rc::new((self.n_users..full.rows()).collect());
         let users = full.gather_rows(user_rows);
         let items = full.gather_rows(item_rows);
-        EmbedOut { users_a: users.clone(), items, users_b: users }
+        EmbedOut {
+            users_a: users.clone(),
+            items,
+            users_b: users,
+        }
     }
 }
 

@@ -1,42 +1,112 @@
-//! Criterion micro-benchmarks for the hot kernels under every
-//! experiment: GEMM, sparse propagation, GCN/MTL forward passes, a full
-//! MGBR training step, and evaluation scoring throughput.
+//! Micro-benchmarks for the hot kernels under every experiment: GEMM
+//! (single- and multi-threaded), sparse propagation, GCN/MTL forward
+//! passes, a full MGBR training epoch, and evaluation scoring throughput.
+//!
+//! Hand-rolled harness (no criterion — the workspace builds offline):
+//! each case is warmed up, then timed over enough iterations to fill a
+//! minimum measurement window, and the mean/best wall-clock per iteration
+//! is printed. Run with `cargo bench -p mgbr-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use mgbr_core::{Mgbr, MgbrConfig};
 use mgbr_data::{synthetic, Sampler, SyntheticConfig};
 use mgbr_eval::GroupBuyScorer;
 use mgbr_graph::{spmm, Csr};
 use mgbr_nn::StepCtx;
-use mgbr_tensor::{matmul, Pcg32};
+use mgbr_tensor::{matmul, set_threads, Pcg32};
 
-fn bench_gemm(c: &mut Criterion) {
+/// Times `f` and prints per-iteration statistics.
+///
+/// Warms up for `warmup` iterations, then runs timed batches until the
+/// total measured window exceeds ~200ms (at least `min_iters`).
+fn bench(name: &str, warmup: usize, min_iters: usize, mut f: impl FnMut()) {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut iters = 0usize;
+    let mut total = 0.0f64;
+    let mut best = f64::INFINITY;
+    while total < 0.2 || iters < min_iters {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed().as_secs_f64();
+        total += dt;
+        best = best.min(dt);
+        iters += 1;
+        if iters >= 10_000 {
+            break;
+        }
+    }
+    let mean = total / iters as f64;
+    println!(
+        "{name:<44} {iters:>6} iters   mean {:>12}   best {:>12}",
+        fmt_secs(mean),
+        fmt_secs(best)
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} us", s * 1e6)
+    }
+}
+
+fn bench_gemm() {
     let mut rng = Pcg32::seed_from_u64(1);
     let a = rng.normal_tensor(128, 128, 0.0, 1.0);
     let b = rng.normal_tensor(128, 128, 0.0, 1.0);
-    c.bench_function("gemm_128x128x128", |bench| {
-        bench.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
-    });
+    for threads in [1usize, 2, 4] {
+        set_threads(threads);
+        bench(
+            &format!("gemm_128x128x128/threads={threads}"),
+            3,
+            10,
+            || {
+                black_box(matmul(black_box(&a), black_box(&b)));
+            },
+        );
+    }
 
     let a2 = rng.normal_tensor(1024, 64, 0.0, 1.0);
     let b2 = rng.normal_tensor(64, 64, 0.0, 1.0);
-    c.bench_function("gemm_batchrows_1024x64x64", |bench| {
-        bench.iter(|| black_box(matmul(black_box(&a2), black_box(&b2))))
-    });
+    for threads in [1usize, 2, 4] {
+        set_threads(threads);
+        bench(
+            &format!("gemm_batchrows_1024x64x64/threads={threads}"),
+            3,
+            10,
+            || {
+                black_box(matmul(black_box(&a2), black_box(&b2)));
+            },
+        );
+    }
+    set_threads(1);
 }
 
-fn bench_spmm(c: &mut Criterion) {
+fn bench_spmm() {
     let mut rng = Pcg32::seed_from_u64(2);
     let n = 1000;
-    let edges: Vec<(usize, usize)> =
-        (0..8000).map(|_| (rng.below(n), rng.below(n))).collect();
+    let edges: Vec<(usize, usize)> = (0..8000).map(|_| (rng.below(n), rng.below(n))).collect();
     let adj = Csr::undirected_adjacency(n, &edges).sym_normalized();
     let x = rng.normal_tensor(n, 32, 0.0, 1.0);
-    c.bench_function("spmm_1000nodes_16knnz_d32", |bench| {
-        bench.iter(|| black_box(spmm(black_box(&adj), black_box(&x))))
-    });
+    for threads in [1usize, 2, 4] {
+        set_threads(threads);
+        bench(
+            &format!("spmm_1000nodes_16knnz_d32/threads={threads}"),
+            3,
+            10,
+            || {
+                black_box(spmm(black_box(&adj), black_box(&x)));
+            },
+        );
+    }
+    set_threads(1);
 }
 
 fn mgbr_fixture() -> (Mgbr, mgbr_data::Dataset) {
@@ -50,54 +120,53 @@ fn mgbr_fixture() -> (Mgbr, mgbr_data::Dataset) {
     (model, ds)
 }
 
-fn bench_mgbr_forward(c: &mut Criterion) {
+fn bench_mgbr_forward() {
     let (model, _ds) = mgbr_fixture();
-    c.bench_function("mgbr_full_graph_embedding_forward", |bench| {
-        bench.iter(|| {
-            let ctx = StepCtx::new(&model.store);
-            black_box(model.embeddings(&ctx).users.value())
-        })
+    bench("mgbr_full_graph_embedding_forward", 2, 5, || {
+        let ctx = StepCtx::new(&model.store);
+        black_box(model.embeddings(&ctx).users.value());
     });
 
     let scorer = model.scorer();
     let items: Vec<u32> = (0..100).collect();
-    c.bench_function("mgbr_score_100_candidates", |bench| {
-        bench.iter(|| black_box(scorer.score_items(black_box(3), black_box(&items))))
+    bench("mgbr_score_100_candidates", 3, 10, || {
+        black_box(scorer.score_items(black_box(3), black_box(&items)));
     });
 }
 
-fn bench_training_step(c: &mut Criterion) {
+fn bench_training_step() {
     use mgbr_core::{trainer, TrainConfig};
     use mgbr_data::split_dataset;
     let (mut model, ds) = mgbr_fixture();
     let split = split_dataset(&ds, (7.0, 3.0, 1.0), 1);
-    let tc = TrainConfig { epochs: 1, ..TrainConfig::repro_scale() };
-    let mut group = c.benchmark_group("training");
-    group.sample_size(10);
-    group.bench_function("mgbr_one_epoch", |bench| {
-        bench.iter(|| black_box(trainer::train(&mut model, &ds, &split, &tc).epoch_losses))
+    let tc = TrainConfig {
+        epochs: 1,
+        ..TrainConfig::repro_scale()
+    };
+    bench("mgbr_one_epoch", 1, 3, || {
+        black_box(trainer::train(&mut model, &ds, &split, &tc).epoch_losses);
     });
-    group.finish();
 }
 
-fn bench_eval_protocol(c: &mut Criterion) {
+fn bench_eval_protocol() {
     let (model, ds) = mgbr_fixture();
     let scorer = model.scorer();
     let mut sampler = Sampler::new(&ds, 5);
     let instances = sampler.task_a_instances(&ds.groups[..100.min(ds.groups.len())], 9);
-    c.bench_function("evaluate_100_task_a_instances_at_10", |bench| {
-        bench.iter(|| {
-            black_box(mgbr_eval::evaluate_task_a(black_box(&scorer), black_box(&instances), 10))
-        })
+    bench("evaluate_100_task_a_instances_at_10", 2, 5, || {
+        black_box(mgbr_eval::evaluate_task_a(
+            black_box(&scorer),
+            black_box(&instances),
+            10,
+        ));
     });
 }
 
-criterion_group!(
-    benches,
-    bench_gemm,
-    bench_spmm,
-    bench_mgbr_forward,
-    bench_training_step,
-    bench_eval_protocol
-);
-criterion_main!(benches);
+fn main() {
+    println!("kernel micro-benchmarks (hand-rolled harness)\n");
+    bench_gemm();
+    bench_spmm();
+    bench_mgbr_forward();
+    bench_training_step();
+    bench_eval_protocol();
+}

@@ -17,12 +17,20 @@ use mgbr_bench::{
     ModelKind, ModelResult,
 };
 use mgbr_core::{MgbrConfig, MgbrVariant};
-use serde::Serialize;
+use mgbr_json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct Choice {
     name: String,
     result: ModelResult,
+}
+
+impl ToJson for Choice {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("result", self.result.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -35,12 +43,24 @@ fn main() {
         ("baseline (paper resolutions)", base.clone()),
         (
             "literal first-layer concat",
-            MgbrConfig { first_layer_dedup: false, ..base.clone() },
+            MgbrConfig {
+                first_layer_dedup: false,
+                ..base.clone()
+            },
         ),
-        ("softmax gates (MMoE-style)", MgbrConfig { gate_softmax: true, ..base.clone() }),
+        (
+            "softmax gates (MMoE-style)",
+            MgbrConfig {
+                gate_softmax: true,
+                ..base.clone()
+            },
+        ),
         (
             "G_UP with p-p edges (footnote 1)",
-            MgbrConfig { up_include_pp_edges: true, ..base.clone() },
+            MgbrConfig {
+                up_include_pp_edges: true,
+                ..base.clone()
+            },
         ),
     ];
 
@@ -50,7 +70,10 @@ fn main() {
         let mut r = train_and_eval_with(ModelKind::Mgbr(MgbrVariant::Full), &env, &cfg, &tc);
         r.model = name.to_string();
         print_result_row(&r);
-        results.push(Choice { name: name.to_string(), result: r });
+        results.push(Choice {
+            name: name.to_string(),
+            result: r,
+        });
     }
     println!("\nExpected shapes: the paper resolutions hold up; footnote-1 p-p edges");
     println!("are at best neutral and typically slightly worse (the paper's claim).");

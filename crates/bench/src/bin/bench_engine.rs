@@ -1,0 +1,108 @@
+//! Execution-engine throughput benchmark: steps/sec of a default-scale
+//! MGBR training run, before vs after the pooled-buffer / in-place
+//! engine refactor.
+//!
+//! `SEED_STEPS_PER_SEC` is the throughput measured on this machine at
+//! the seed revision (fresh allocations per op, fresh tape per step,
+//! single-threaded kernels) with the identical workload; the binary
+//! re-measures the live engine and writes both to
+//! `results/BENCH_engine.json`.
+
+use std::time::Instant;
+
+use mgbr_bench::{write_artifact, ExperimentEnv};
+use mgbr_core::{train, Mgbr, TrainConfig};
+use mgbr_json::{Json, ToJson};
+
+/// Steps/sec of the seed engine on the identical workload (measured
+/// before the execution-engine refactor landed; see BENCH_engine.json).
+const SEED_STEPS_PER_SEC: f64 = 3.821;
+
+struct EngineBench {
+    scale: String,
+    threads: usize,
+    epochs: usize,
+    steps: usize,
+    total_secs: f64,
+    seed_steps_per_sec: f64,
+    steps_per_sec: f64,
+    speedup_vs_seed: f64,
+}
+
+impl ToJson for EngineBench {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scale", self.scale.to_json()),
+            ("threads", self.threads.to_json()),
+            ("epochs", self.epochs.to_json()),
+            ("steps", self.steps.to_json()),
+            ("total_secs", self.total_secs.to_json()),
+            ("seed_steps_per_sec", self.seed_steps_per_sec.to_json()),
+            ("steps_per_sec", self.steps_per_sec.to_json()),
+            ("speedup_vs_seed", self.speedup_vs_seed.to_json()),
+        ])
+    }
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let epochs = match env.scale {
+        "small" => 3,
+        "large" => 2,
+        _ => 3,
+    };
+    let tc = TrainConfig {
+        epochs,
+        ..env.mgbr_train_config()
+    };
+    println!(
+        "# Engine throughput (scale = {}, {} epochs)\n",
+        env.scale, epochs
+    );
+
+    // One warmup epoch so lazy one-time costs (page faults, first-touch
+    // allocation) don't pollute the measurement.
+    let mut model = Mgbr::new(env.mgbr_config(), &env.split.train_dataset());
+    train(
+        &mut model,
+        &env.full,
+        &env.split,
+        &TrainConfig {
+            epochs: 1,
+            ..tc.clone()
+        },
+    );
+
+    let mut model = Mgbr::new(env.mgbr_config(), &env.split.train_dataset());
+    let t0 = Instant::now();
+    let report = train(&mut model, &env.full, &env.split, &tc);
+    let total_secs = t0.elapsed().as_secs_f64();
+
+    let sps = report.steps_per_sec();
+    let speedup = if SEED_STEPS_PER_SEC > 0.0 {
+        sps / SEED_STEPS_PER_SEC
+    } else {
+        0.0
+    };
+    println!("steps:            {}", report.steps);
+    println!("total wall secs:  {total_secs:.3}");
+    println!("steps/sec:        {sps:.3}");
+    println!("seed steps/sec:   {SEED_STEPS_PER_SEC:.3}");
+    if speedup > 0.0 {
+        println!("speedup vs seed:  {speedup:.3}x");
+    }
+
+    write_artifact(
+        "BENCH_engine.json",
+        &EngineBench {
+            scale: env.scale.to_string(),
+            threads: mgbr_tensor::get_threads(),
+            epochs,
+            steps: report.steps,
+            total_secs,
+            seed_steps_per_sec: SEED_STEPS_PER_SEC,
+            steps_per_sec: sps,
+            speedup_vs_seed: speedup,
+        },
+    );
+}

@@ -7,20 +7,35 @@
 
 use mgbr_bench::{train_and_eval_with, write_artifact, ExperimentEnv, ModelKind, ModelResult};
 use mgbr_core::MgbrVariant;
-use serde::Serialize;
+use mgbr_json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct SweepPoint {
     beta: f32,
     result: ModelResult,
 }
 
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("beta", self.beta.to_json()),
+            ("result", self.result.to_json()),
+        ])
+    }
+}
+
 fn main() {
     let env = ExperimentEnv::from_env();
     let tc = env.sweep_train_config();
-    println!("# Fig. 4 — auxiliary-loss-weight sweep (scale = {})\n", env.scale);
-    println!("| beta_A=beta_B | A MRR@10 | A NDCG@10 | B MRR@10 | B NDCG@10 | A MRR@100 | B MRR@100 |");
-    println!("|---------------|----------|-----------|----------|-----------|-----------|-----------|");
+    println!(
+        "# Fig. 4 — auxiliary-loss-weight sweep (scale = {})\n",
+        env.scale
+    );
+    println!(
+        "| beta_A=beta_B | A MRR@10 | A NDCG@10 | B MRR@10 | B NDCG@10 | A MRR@100 | B MRR@100 |"
+    );
+    println!(
+        "|---------------|----------|-----------|----------|-----------|-----------|-----------|"
+    );
 
     let mut points = Vec::new();
     for beta in [0.1f32, 0.2, 0.3, 0.4, 0.5] {
@@ -30,8 +45,13 @@ fn main() {
         let r = train_and_eval_with(ModelKind::Mgbr(MgbrVariant::Full), &env, &cfg, &tc);
         println!(
             "| {:<13} | {:.4}   | {:.4}    | {:.4}   | {:.4}    | {:.4}    | {:.4}    |",
-            beta, r.task_a_10.mrr, r.task_a_10.ndcg, r.task_b_10.mrr, r.task_b_10.ndcg,
-            r.task_a_100.mrr, r.task_b_100.mrr
+            beta,
+            r.task_a_10.mrr,
+            r.task_a_10.ndcg,
+            r.task_b_10.mrr,
+            r.task_b_10.ndcg,
+            r.task_a_100.mrr,
+            r.task_b_100.mrr
         );
         points.push(SweepPoint { beta, result: r });
     }

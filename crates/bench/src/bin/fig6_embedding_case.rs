@@ -9,10 +9,9 @@
 use mgbr_bench::{write_artifact, ExperimentEnv};
 use mgbr_core::{train, Mgbr, MgbrVariant};
 use mgbr_eval::{dispersion_ratio, pca_2d};
+use mgbr_json::{Json, ToJson};
 use mgbr_tensor::Tensor;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct GroupPoint {
     group: usize,
     /// "initiator" / "item" / "participant" (the paper's star/plus/dot).
@@ -21,7 +20,17 @@ struct GroupPoint {
     y: f32,
 }
 
-#[derive(Serialize)]
+impl ToJson for GroupPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("group", self.group.to_json()),
+            ("role", self.role.to_json()),
+            ("x", self.x.to_json()),
+            ("y", self.y.to_json()),
+        ])
+    }
+}
+
 struct Fig6 {
     scale: String,
     n_case_groups: usize,
@@ -31,8 +40,24 @@ struct Fig6 {
     points_mgbr_m_r: Vec<GroupPoint>,
 }
 
+impl ToJson for Fig6 {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scale", self.scale.to_json()),
+            ("n_case_groups", self.n_case_groups.to_json()),
+            ("dispersion_mgbr", self.dispersion_mgbr.to_json()),
+            ("dispersion_mgbr_m_r", self.dispersion_mgbr_m_r.to_json()),
+            ("points_mgbr", self.points_mgbr.to_json()),
+            ("points_mgbr_m_r", self.points_mgbr_m_r.to_json()),
+        ])
+    }
+}
+
 fn case_study(env: &ExperimentEnv, variant: MgbrVariant) -> (f64, Vec<GroupPoint>) {
-    let mut model = Mgbr::new(env.mgbr_config().with_variant(variant), &env.split.train_dataset());
+    let mut model = Mgbr::new(
+        env.mgbr_config().with_variant(variant),
+        &env.split.train_dataset(),
+    );
     train(&mut model, &env.full, &env.split, &env.mgbr_train_config());
     let scorer = model.scorer();
 
@@ -94,7 +119,11 @@ fn main() {
     println!(
         "\nPaper shape to verify: MGBR's groups are more concentrated, i.e. the full\n\
          model's ratio is smaller than MGBR-M-R's ({}).",
-        if full_ratio < ablated_ratio { "holds" } else { "DOES NOT HOLD" }
+        if full_ratio < ablated_ratio {
+            "holds"
+        } else {
+            "DOES NOT HOLD"
+        }
     );
 
     let n_case_groups = full_points.iter().map(|p| p.group).max().unwrap_or(0) + 1;

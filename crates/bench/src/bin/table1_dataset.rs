@@ -6,9 +6,8 @@
 
 use mgbr_bench::{write_artifact, ExperimentEnv};
 use mgbr_data::{filter_min_interactions, synthetic};
-use serde::Serialize;
+use mgbr_json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct Table1 {
     scale: String,
     raw: mgbr_data::DatasetStats,
@@ -19,6 +18,22 @@ struct Table1 {
     train_groups: usize,
     val_groups: usize,
     test_groups: usize,
+}
+
+impl ToJson for Table1 {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scale", self.scale.to_json()),
+            ("raw", self.raw.to_json()),
+            ("filtered", self.filtered.to_json()),
+            ("users_removed", self.users_removed.to_json()),
+            ("groups_removed", self.groups_removed.to_json()),
+            ("items_removed", self.items_removed.to_json()),
+            ("train_groups", self.train_groups.to_json()),
+            ("val_groups", self.val_groups.to_json()),
+            ("test_groups", self.test_groups.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -34,7 +49,10 @@ fn main() {
 
     let raw_stats = raw.stats();
     let stats = filtered.stats();
-    println!("# Table I — dataset statistics (synthetic Beibei substitute, scale = {})\n", env.scale);
+    println!(
+        "# Table I — dataset statistics (synthetic Beibei substitute, scale = {})\n",
+        env.scale
+    );
     println!("| Object | Number |");
     println!("|--------|--------|");
     println!("| user | {} |", stats.n_users);
@@ -42,12 +60,18 @@ fn main() {
     println!("| deal group | {} |", stats.n_groups);
     println!();
     println!("Additional detail:");
-    println!("- raw (pre-filter): {} users / {} items / {} groups", raw_stats.n_users, raw_stats.n_items, raw_stats.n_groups);
+    println!(
+        "- raw (pre-filter): {} users / {} items / {} groups",
+        raw_stats.n_users, raw_stats.n_items, raw_stats.n_groups
+    );
     println!(
         "- filter (≥5 interactions): removed {} users, {} groups, {} items",
         report.users_removed, report.groups_removed, report.items_removed
     );
-    println!("- avg |G| (participants per group): {:.3}", stats.avg_group_size);
+    println!(
+        "- avg |G| (participants per group): {:.3}",
+        stats.avg_group_size
+    );
     println!(
         "- interactions: {} initiator-item, {} participant-item",
         stats.ui_interactions, stats.pi_interactions

@@ -4,14 +4,24 @@
 
 use mgbr_bench::{write_artifact, ExperimentEnv};
 use mgbr_core::{MgbrConfig, TrainConfig};
-use serde::Serialize;
+use mgbr_json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct Row {
     name: &'static str,
     comment: &'static str,
     paper: String,
     repro: String,
+}
+
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("comment", self.comment.to_json()),
+            ("paper", self.paper.to_json()),
+            ("repro", self.repro.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -22,25 +32,91 @@ fn main() {
     let tr = env.train_config();
 
     let rows = vec![
-        Row { name: "d", comment: "embedding dimension", paper: p.d.to_string(), repro: r.d.to_string() },
-        Row { name: "H", comment: "the number of GCN layers", paper: p.gcn_layers.to_string(), repro: r.gcn_layers.to_string() },
-        Row { name: "K", comment: "the number of expert networks in each layer", paper: p.n_experts.to_string(), repro: r.n_experts.to_string() },
-        Row { name: "L", comment: "the layer number of expert networks and gates", paper: p.mtl_layers.to_string(), repro: r.mtl_layers.to_string() },
-        Row { name: "|T|", comment: "negative sampling size in the auxiliary losses", paper: p.t_size.to_string(), repro: r.t_size.to_string() },
-        Row { name: "alpha_A", comment: "control coefficient of Eq. 12", paper: p.alpha_a.to_string(), repro: r.alpha_a.to_string() },
-        Row { name: "alpha_B", comment: "control coefficient of Eq. 13", paper: p.alpha_b.to_string(), repro: r.alpha_b.to_string() },
-        Row { name: "beta", comment: "control coefficient of L_B in Eq. 25", paper: p.beta.to_string(), repro: r.beta.to_string() },
-        Row { name: "beta_A", comment: "control coefficient of L'_A in Eq. 25", paper: p.beta_a.to_string(), repro: r.beta_a.to_string() },
-        Row { name: "beta_B", comment: "control coefficient of L'_B in Eq. 25", paper: p.beta_b.to_string(), repro: r.beta_b.to_string() },
-        Row { name: "rho", comment: "learning rate", paper: format!("{}", tp.lr), repro: format!("{}", tr.lr) },
-        Row { name: "B", comment: "batch size", paper: tp.batch_size.to_string(), repro: tr.batch_size.to_string() },
+        Row {
+            name: "d",
+            comment: "embedding dimension",
+            paper: p.d.to_string(),
+            repro: r.d.to_string(),
+        },
+        Row {
+            name: "H",
+            comment: "the number of GCN layers",
+            paper: p.gcn_layers.to_string(),
+            repro: r.gcn_layers.to_string(),
+        },
+        Row {
+            name: "K",
+            comment: "the number of expert networks in each layer",
+            paper: p.n_experts.to_string(),
+            repro: r.n_experts.to_string(),
+        },
+        Row {
+            name: "L",
+            comment: "the layer number of expert networks and gates",
+            paper: p.mtl_layers.to_string(),
+            repro: r.mtl_layers.to_string(),
+        },
+        Row {
+            name: "|T|",
+            comment: "negative sampling size in the auxiliary losses",
+            paper: p.t_size.to_string(),
+            repro: r.t_size.to_string(),
+        },
+        Row {
+            name: "alpha_A",
+            comment: "control coefficient of Eq. 12",
+            paper: p.alpha_a.to_string(),
+            repro: r.alpha_a.to_string(),
+        },
+        Row {
+            name: "alpha_B",
+            comment: "control coefficient of Eq. 13",
+            paper: p.alpha_b.to_string(),
+            repro: r.alpha_b.to_string(),
+        },
+        Row {
+            name: "beta",
+            comment: "control coefficient of L_B in Eq. 25",
+            paper: p.beta.to_string(),
+            repro: r.beta.to_string(),
+        },
+        Row {
+            name: "beta_A",
+            comment: "control coefficient of L'_A in Eq. 25",
+            paper: p.beta_a.to_string(),
+            repro: r.beta_a.to_string(),
+        },
+        Row {
+            name: "beta_B",
+            comment: "control coefficient of L'_B in Eq. 25",
+            paper: p.beta_b.to_string(),
+            repro: r.beta_b.to_string(),
+        },
+        Row {
+            name: "rho",
+            comment: "learning rate",
+            paper: format!("{}", tp.lr),
+            repro: format!("{}", tr.lr),
+        },
+        Row {
+            name: "B",
+            comment: "batch size",
+            paper: tp.batch_size.to_string(),
+            repro: tr.batch_size.to_string(),
+        },
     ];
 
-    println!("# Table II — hyper-parameter settings (scale = {})\n", env.scale);
+    println!(
+        "# Table II — hyper-parameter settings (scale = {})\n",
+        env.scale
+    );
     println!("| Para. | Paper | Repro | Comment |");
     println!("|-------|-------|-------|---------|");
     for row in &rows {
-        println!("| {} | {} | {} | {} |", row.name, row.paper, row.repro, row.comment);
+        println!(
+            "| {} | {} | {} | {} |",
+            row.name, row.paper, row.repro, row.comment
+        );
     }
     println!("\nRepro deviations (d, |T|, rho, epochs) are CPU-budget driven; see EXPERIMENTS.md.");
 

@@ -6,13 +6,22 @@ use mgbr_bench::{
     print_result_header, print_result_row, train_and_eval, write_artifact, ExperimentEnv,
     ModelKind, ModelResult,
 };
-use serde::Serialize;
+use mgbr_json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct Table3 {
     scale: String,
     rows: Vec<ModelResult>,
     improvement_pct: [f64; 8],
+}
+
+impl ToJson for Table3 {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scale", self.scale.to_json()),
+            ("rows", self.rows.to_json()),
+            ("improvement_pct", self.improvement_pct.to_json()),
+        ])
+    }
 }
 
 fn main() {
@@ -61,6 +70,10 @@ fn main() {
 
     write_artifact(
         "table3_overall.json",
-        &Table3 { scale: env.scale.to_string(), rows, improvement_pct: improvement },
+        &Table3 {
+            scale: env.scale.to_string(),
+            rows,
+            improvement_pct: improvement,
+        },
     );
 }

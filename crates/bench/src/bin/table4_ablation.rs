@@ -6,14 +6,23 @@ use mgbr_bench::{
     ModelKind, ModelResult,
 };
 use mgbr_core::MgbrVariant;
-use serde::Serialize;
+use mgbr_json::{Json, ToJson};
 
-#[derive(Serialize)]
 struct Table4 {
     scale: String,
     rows: Vec<ModelResult>,
     /// Relative drop vs full MGBR, per variant, per the 8 metric columns.
     relative_drop_pct: Vec<(String, [f64; 8])>,
+}
+
+impl ToJson for Table4 {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scale", self.scale.to_json()),
+            ("rows", self.rows.to_json()),
+            ("relative_drop_pct", self.relative_drop_pct.to_json()),
+        ])
+    }
 }
 
 fn metric(r: &ModelResult, c: usize) -> f64 {
@@ -63,6 +72,10 @@ fn main() {
 
     write_artifact(
         "table4_ablation.json",
-        &Table4 { scale: env.scale.to_string(), rows, relative_drop_pct: drops },
+        &Table4 {
+            scale: env.scale.to_string(),
+            rows,
+            relative_drop_pct: drops,
+        },
     );
 }

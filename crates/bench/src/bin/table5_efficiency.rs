@@ -9,17 +9,26 @@ use mgbr_eval::ModelStats;
 
 fn main() {
     let env = ExperimentEnv::from_env();
-    println!("# Table V — model scale and efficiency (scale = {})\n", env.scale);
+    println!(
+        "# Table V — model scale and efficiency (scale = {})\n",
+        env.scale
+    );
     println!("| Model   | Para. number | Secs/epoch |");
     println!("|---------|--------------|------------|");
 
     // Parameter counts are exact regardless of training length, and
     // per-epoch timing stabilizes immediately — 3 epochs suffice.
-    let tc = TrainConfig { epochs: 3, ..env.train_config() };
+    let tc = TrainConfig {
+        epochs: 3,
+        ..env.train_config()
+    };
     let mut stats = Vec::new();
     for kind in ModelKind::table3_order() {
         let r = train_and_eval_with(kind, &env, &env.mgbr_config(), &tc);
-        println!("| {:<7} | {:>12} | {:>10.2} |", r.model, r.param_count, r.secs_per_epoch);
+        println!(
+            "| {:<7} | {:>12} | {:>10.2} |",
+            r.model, r.param_count, r.secs_per_epoch
+        );
         stats.push(ModelStats {
             model: r.model,
             param_count: r.param_count,

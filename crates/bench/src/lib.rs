@@ -30,7 +30,7 @@ use mgbr_data::{
     SyntheticConfig, TaskAInstance, TaskBInstance,
 };
 use mgbr_eval::{evaluate_task_a, evaluate_task_b, GroupBuyScorer, RankingMetrics};
-use serde::Serialize;
+use mgbr_json::{Json, ToJson};
 
 /// The shared experimental environment: preprocessed synthetic dataset,
 /// 7:3:1 split, and the four fixed test-instance sets (Task A/B at 1:9
@@ -65,7 +65,15 @@ impl ExperimentEnv {
         let test_a_100 = sampler.task_a_instances(&split.test, 99);
         let test_b_10 = sampler.task_b_instances(&split.test, 9);
         let test_b_100 = sampler.task_b_instances(&split.test, 99);
-        Self { full, split, test_a_10, test_a_100, test_b_10, test_b_100, scale }
+        Self {
+            full,
+            split,
+            test_a_10,
+            test_a_100,
+            test_b_10,
+            test_b_100,
+            scale,
+        }
     }
 
     /// Builds the environment at the scale named by `MGBR_SCALE`
@@ -80,12 +88,22 @@ impl ExperimentEnv {
 
     /// Quick-turnaround scale for CI smoke runs.
     pub fn small_scale() -> SyntheticConfig {
-        SyntheticConfig { n_users: 250, n_items: 100, n_groups: 900, ..SyntheticConfig::default() }
+        SyntheticConfig {
+            n_users: 250,
+            n_items: 100,
+            n_groups: 900,
+            ..SyntheticConfig::default()
+        }
     }
 
     /// The standard reproduction scale (DESIGN.md §6).
     pub fn default_scale() -> SyntheticConfig {
-        SyntheticConfig { n_users: 500, n_items: 200, n_groups: 2400, ..SyntheticConfig::default() }
+        SyntheticConfig {
+            n_users: 500,
+            n_items: 200,
+            n_groups: 2400,
+            ..SyntheticConfig::default()
+        }
     }
 
     /// A heavier scale for longer runs.
@@ -101,7 +119,11 @@ impl ExperimentEnv {
     /// The MGBR model config matched to this environment.
     pub fn mgbr_config(&self) -> MgbrConfig {
         match self.scale {
-            "small" => MgbrConfig { d: 12, t_size: 6, ..MgbrConfig::repro_scale() },
+            "small" => MgbrConfig {
+                d: 12,
+                t_size: 6,
+                ..MgbrConfig::repro_scale()
+            },
             _ => MgbrConfig::repro_scale(),
         }
     }
@@ -110,7 +132,11 @@ impl ExperimentEnv {
     /// `2d` so dot-product models compare at MGBR's object width).
     pub fn baseline_config(&self) -> BaselineConfig {
         let d = 2 * self.mgbr_config().d;
-        BaselineConfig { d, layers: 2, seed: 42 }
+        BaselineConfig {
+            d,
+            layers: 2,
+            seed: 42,
+        }
     }
 
     /// The training config for the *baselines*: they converge within a
@@ -120,9 +146,18 @@ impl ExperimentEnv {
     /// (§III-C) rather than enforcing equal step counts.
     pub fn train_config(&self) -> TrainConfig {
         match self.scale {
-            "small" => TrainConfig { epochs: 8, ..TrainConfig::repro_scale() },
-            "large" => TrainConfig { epochs: 16, ..TrainConfig::repro_scale() },
-            _ => TrainConfig { epochs: 12, ..TrainConfig::repro_scale() },
+            "small" => TrainConfig {
+                epochs: 8,
+                ..TrainConfig::repro_scale()
+            },
+            "large" => TrainConfig {
+                epochs: 16,
+                ..TrainConfig::repro_scale()
+            },
+            _ => TrainConfig {
+                epochs: 12,
+                ..TrainConfig::repro_scale()
+            },
         }
     }
 
@@ -131,9 +166,18 @@ impl ExperimentEnv {
     /// is budgeted to its convergence point.
     pub fn mgbr_train_config(&self) -> TrainConfig {
         match self.scale {
-            "small" => TrainConfig { epochs: 14, ..TrainConfig::repro_scale() },
-            "large" => TrainConfig { epochs: 28, ..TrainConfig::repro_scale() },
-            _ => TrainConfig { epochs: 22, ..TrainConfig::repro_scale() },
+            "small" => TrainConfig {
+                epochs: 14,
+                ..TrainConfig::repro_scale()
+            },
+            "large" => TrainConfig {
+                epochs: 28,
+                ..TrainConfig::repro_scale()
+            },
+            _ => TrainConfig {
+                epochs: 22,
+                ..TrainConfig::repro_scale()
+            },
         }
     }
 
@@ -143,7 +187,10 @@ impl ExperimentEnv {
     /// budget preserves the shape while fitting the CPU budget.
     pub fn sweep_train_config(&self) -> TrainConfig {
         let tc = self.mgbr_train_config();
-        TrainConfig { epochs: tc.epochs / 2, ..tc }
+        TrainConfig {
+            epochs: tc.epochs / 2,
+            ..tc
+        }
     }
 }
 
@@ -196,7 +243,7 @@ impl ModelKind {
 
 /// One trained model's full evaluation record (a row of Table III/IV plus
 /// the Table V columns).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModelResult {
     /// Model name.
     pub model: String,
@@ -214,6 +261,21 @@ pub struct ModelResult {
     pub secs_per_epoch: f64,
     /// Mean loss per epoch, for convergence inspection.
     pub epoch_losses: Vec<f32>,
+}
+
+impl ToJson for ModelResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("model", self.model.to_json()),
+            ("task_a_10", self.task_a_10.to_json()),
+            ("task_a_100", self.task_a_100.to_json()),
+            ("task_b_10", self.task_b_10.to_json()),
+            ("task_b_100", self.task_b_100.to_json()),
+            ("param_count", self.param_count.to_json()),
+            ("secs_per_epoch", self.secs_per_epoch.to_json()),
+            ("epoch_losses", self.epoch_losses.to_json()),
+        ])
+    }
 }
 
 /// Evaluates a frozen scorer against all four test settings.
@@ -326,11 +388,12 @@ pub fn print_result_header() {
 /// # Panics
 ///
 /// Panics if the file cannot be written (experiments should fail loudly).
-pub fn write_artifact<T: Serialize>(name: &str, value: &T) {
+pub fn write_artifact<T: ToJson>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(name);
-    let json = serde_json::to_string_pretty(value).expect("serialize artifact");
+    let mut json = value.to_json().to_string_pretty();
+    json.push('\n');
     std::fs::write(&path, json).expect("write artifact");
     println!("\n[artifact] {}", path.display());
 }
@@ -341,7 +404,12 @@ mod tests {
 
     fn tiny_env() -> ExperimentEnv {
         ExperimentEnv::new(
-            &SyntheticConfig { n_users: 120, n_items: 50, n_groups: 350, ..SyntheticConfig::tiny() },
+            &SyntheticConfig {
+                n_users: 120,
+                n_items: 50,
+                n_groups: 350,
+                ..SyntheticConfig::tiny()
+            },
             "test",
         )
     }
@@ -367,7 +435,10 @@ mod tests {
     #[test]
     fn train_and_eval_smoke_gbmf() {
         let env = tiny_env();
-        let tc = TrainConfig { epochs: 2, ..TrainConfig::tiny() };
+        let tc = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::tiny()
+        };
         let r = train_and_eval_with(ModelKind::Gbmf, &env, &MgbrConfig::tiny(), &tc);
         assert_eq!(r.model, "GBMF");
         assert!(r.param_count > 0);
@@ -378,7 +449,10 @@ mod tests {
     #[test]
     fn train_and_eval_smoke_mgbr() {
         let env = tiny_env();
-        let tc = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+        let tc = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        };
         let r = train_and_eval_with(
             ModelKind::Mgbr(MgbrVariant::Full),
             &env,

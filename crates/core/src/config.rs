@@ -136,7 +136,12 @@ impl MgbrConfig {
     /// The reduced reproduction scale used by the experiment harness
     /// (same structure, smaller `d` and `|T|`; see `DESIGN.md` §6).
     pub fn repro_scale() -> Self {
-        Self { d: 16, t_size: 8, mlp_hidden: vec![16], ..Self::paper() }
+        Self {
+            d: 16,
+            t_size: 8,
+            mlp_hidden: vec![16],
+            ..Self::paper()
+        }
     }
 
     /// A miniature configuration for unit tests.
@@ -206,6 +211,11 @@ pub struct TrainConfig {
     /// plateau several epochs sooner at reproduction scale; disable to
     /// match classic single-run Adam.
     pub adam_warm_restarts: bool,
+    /// Worker threads for parallel kernels (0 = auto-detect). The
+    /// `MGBR_THREADS` environment variable overrides this. Results are
+    /// bitwise identical at any setting — the engine's kernels partition
+    /// output rows deterministically.
+    pub threads: usize,
 }
 
 impl TrainConfig {
@@ -220,6 +230,7 @@ impl TrainConfig {
             seed: 7,
             resample_per_epoch: true,
             adam_warm_restarts: true,
+            threads: 0,
         }
     }
 
@@ -228,12 +239,23 @@ impl TrainConfig {
     /// optimization steps available on one CPU core (documented in
     /// `EXPERIMENTS.md`).
     pub fn repro_scale() -> Self {
-        Self { lr: 3e-3, epochs: 22, batch_size: 128, ..Self::paper() }
+        Self {
+            lr: 3e-3,
+            epochs: 22,
+            batch_size: 128,
+            ..Self::paper()
+        }
     }
 
     /// A miniature configuration for unit tests.
     pub fn tiny() -> Self {
-        Self { lr: 5e-3, epochs: 2, batch_size: 32, n_neg: 4, ..Self::paper() }
+        Self {
+            lr: 5e-3,
+            epochs: 2,
+            batch_size: 32,
+            n_neg: 4,
+            ..Self::paper()
+        }
     }
 }
 
@@ -283,6 +305,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn degenerate_config_rejected() {
-        MgbrConfig { d: 0, ..MgbrConfig::tiny() }.validate();
+        MgbrConfig {
+            d: 0,
+            ..MgbrConfig::tiny()
+        }
+        .validate();
     }
 }

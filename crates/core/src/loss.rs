@@ -261,7 +261,10 @@ mod tests {
         let total = la.add(&lb).add(&laa.scale(0.3)).add(&lab.scale(0.3));
         let grads = ctx.backward(&total);
         assert!(grads.all_finite());
-        assert!(grads.touched() > model.store.len() / 2, "most parameters should train");
+        assert!(
+            grads.touched() > model.store.len() / 2,
+            "most parameters should train"
+        );
     }
 
     #[test]
@@ -275,7 +278,10 @@ mod tests {
         let refs: Vec<&AuxSample> = aux.iter().collect();
         let l = aux_a_loss(&model, &ctx, &emb, &refs).value().scalar();
         let uniform = (1.0f32 + 2.0 * 3.0).ln();
-        assert!((l - uniform).abs() < 0.5, "L'_A {l} should start near ln(7)={uniform}");
+        assert!(
+            (l - uniform).abs() < 0.5,
+            "L'_A {l} should start near ln(7)={uniform}"
+        );
     }
 
     #[test]
@@ -288,7 +294,9 @@ mod tests {
         let emb = model.embeddings(&ctx);
         let mean_p = emb.participants.mean_rows();
         let refs: Vec<&TaskAInstance> = a.iter().collect();
-        let l = task_a_loss(&model, &ctx, &emb, &mean_p, &refs).value().scalar();
+        let l = task_a_loss(&model, &ctx, &emb, &mean_p, &refs)
+            .value()
+            .scalar();
         assert!(l.is_finite());
     }
 }

@@ -10,8 +10,8 @@ use mgbr_eval::GroupBuyScorer;
 use mgbr_nn::{Activation, Mlp, ParamStore, StepCtx};
 use mgbr_tensor::{Pcg32, Tensor};
 
-use crate::multiview::{EmbeddingModule, ObjectEmbeddings};
 use crate::mtl::MtlModule;
+use crate::multiview::{EmbeddingModule, ObjectEmbeddings};
 use crate::MgbrConfig;
 
 /// The MGBR model (or one of its ablated variants, per
@@ -45,10 +45,22 @@ impl Mgbr {
         let mut dims = vec![cfg.d];
         dims.extend_from_slice(&cfg.mlp_hidden);
         dims.push(1);
-        let mlp_a =
-            Mlp::new(&mut store, &mut rng, "mlpA", &dims, Activation::Relu, Activation::Identity);
-        let mlp_b =
-            Mlp::new(&mut store, &mut rng, "mlpB", &dims, Activation::Relu, Activation::Identity);
+        let mlp_a = Mlp::new(
+            &mut store,
+            &mut rng,
+            "mlpA",
+            &dims,
+            Activation::Relu,
+            Activation::Identity,
+        );
+        let mlp_b = Mlp::new(
+            &mut store,
+            &mut rng,
+            "mlpB",
+            &dims,
+            Activation::Relu,
+            Activation::Identity,
+        );
         Self {
             cfg,
             store,
@@ -129,7 +141,13 @@ impl Mgbr {
         let items = emb.items.value();
         let participants = emb.participants.value();
         let mean_participant = participants.mean_rows();
-        MgbrScorer { model: self, users, items, participants, mean_participant }
+        MgbrScorer {
+            model: self,
+            users,
+            items,
+            participants,
+            mean_participant,
+        }
     }
 }
 
@@ -183,7 +201,10 @@ impl GroupBuyScorer for MgbrScorer<'_> {
         // Eq. 16's, but large logits would flatten to exactly 1.0 in f32
         // and destroy the ordering information.
         let e_p = ctx.constant(self.tile(self.mean_participant.row(0), n));
-        self.model.logit_a(&ctx, &e_u, &e_i, &e_p).value().into_vec()
+        self.model
+            .logit_a(&ctx, &e_u, &e_i, &e_p)
+            .value()
+            .into_vec()
     }
 
     fn score_participants(&self, user: u32, item: u32, candidates: &[u32]) -> Vec<f32> {
@@ -193,7 +214,10 @@ impl GroupBuyScorer for MgbrScorer<'_> {
         let e_i = ctx.constant(self.tile(self.items.row(item as usize), n));
         let idx: Vec<usize> = candidates.iter().map(|&p| p as usize).collect();
         let e_p = ctx.constant(self.participants.gather_rows(&idx));
-        self.model.logit_b(&ctx, &e_u, &e_i, &e_p).value().into_vec()
+        self.model
+            .logit_b(&ctx, &e_u, &e_i, &e_p)
+            .value()
+            .into_vec()
     }
 
     fn name(&self) -> &str {
@@ -296,7 +320,10 @@ mod tests {
         let r = model(MgbrVariant::NoAux).0.param_count();
         assert!(m < full);
         assert!(g < full);
-        assert_eq!(r, full, "MGBR-R only changes the loss, not the architecture");
+        assert_eq!(
+            r, full,
+            "MGBR-R only changes the loss, not the architecture"
+        );
     }
 
     #[test]

@@ -45,11 +45,18 @@ impl Gcn {
         layers: usize,
     ) -> Self {
         assert_eq!(adj.n_rows(), n_nodes, "{name}: adjacency size mismatch");
-        let x0 = store.add(format!("{name}.x0"), rng.normal_tensor(n_nodes, dim, 0.0, 1.0));
+        let x0 = store.add(
+            format!("{name}.x0"),
+            rng.normal_tensor(n_nodes, dim, 0.0, 1.0),
+        );
         let weights = (0..layers)
             .map(|l| Linear::new(store, rng, &format!("{name}.w{l}"), dim, dim, false))
             .collect();
-        Self { adj: Rc::new(adj), x0, weights }
+        Self {
+            adj: Rc::new(adj),
+            x0,
+            weights,
+        }
     }
 
     /// `X^l = σ(Â · X^{l-1} · W^{l-1})` for every layer (Eq. 1-3).
@@ -64,6 +71,10 @@ impl Gcn {
 
 /// The embedding module: either the paper's three views or (MGBR-D) one
 /// heterogeneous information network.
+///
+/// The user/item gather-index vectors are invariant across training (the
+/// node layout never changes), so they are built once here and shared by
+/// every forward pass instead of being reallocated per step.
 pub enum EmbeddingModule {
     /// Three per-view GCNs (the paper's design).
     MultiView {
@@ -73,17 +84,19 @@ pub enum EmbeddingModule {
         pi: Gcn2,
         /// GCN over `G_UP` (users only).
         up: Gcn2,
-        /// `|U|`.
-        n_users: usize,
+        /// Cached row indices `0..|U|` of the bipartite node layout.
+        user_rows: Rc<Vec<usize>>,
+        /// Cached row indices `|U|..|U|+|I|`.
+        item_rows: Rc<Vec<usize>>,
     },
     /// One GCN over the folded HIN at width `2d` (MGBR-D, §III-B).
     Hin {
         /// The single GCN over all `|U| + |I|` nodes.
         gcn: Gcn2,
-        /// `|U|`.
-        n_users: usize,
-        /// `|I|`.
-        n_items: usize,
+        /// Cached row indices `0..|U|`.
+        user_rows: Rc<Vec<usize>>,
+        /// Cached row indices `|U|..|U|+|I|`.
+        item_rows: Rc<Vec<usize>>,
     },
 }
 
@@ -92,12 +105,7 @@ pub struct Gcn2(Gcn);
 
 impl EmbeddingModule {
     /// Builds the module (and its graphs) from the training partition.
-    pub fn new(
-        store: &mut ParamStore,
-        rng: &mut Pcg32,
-        cfg: &MgbrConfig,
-        train: &Dataset,
-    ) -> Self {
+    pub fn new(store: &mut ParamStore, rng: &mut Pcg32, cfg: &MgbrConfig, train: &Dataset) -> Self {
         let ui_edges = train.ui_edges();
         let pi_edges = train.pi_edges();
         let up_edges = if cfg.up_include_pp_edges {
@@ -106,23 +114,63 @@ impl EmbeddingModule {
             train.up_edges()
         };
         if cfg.variant.uses_hin() {
-            let hin = HinGraph::build(train.n_users, train.n_items, &ui_edges, &pi_edges, &up_edges);
+            let hin = HinGraph::build(
+                train.n_users,
+                train.n_items,
+                &ui_edges,
+                &pi_edges,
+                &up_edges,
+            );
             let n = train.n_users + train.n_items;
             // Width 2d so downstream dims match the multi-view build.
             let gcn = Gcn::new(store, rng, "hin", hin.adj, n, cfg.obj_dim(), cfg.gcn_layers);
-            EmbeddingModule::Hin { gcn: Gcn2(gcn), n_users: train.n_users, n_items: train.n_items }
+            EmbeddingModule::Hin {
+                gcn: Gcn2(gcn),
+                user_rows: Rc::new((0..train.n_users).collect()),
+                item_rows: Rc::new((train.n_users..n).collect()),
+            }
         } else {
-            let views =
-                GraphViews::build(train.n_users, train.n_items, &ui_edges, &pi_edges, &up_edges);
+            let views = GraphViews::build(
+                train.n_users,
+                train.n_items,
+                &ui_edges,
+                &pi_edges,
+                &up_edges,
+            );
             let n_bip = views.n_bipartite();
-            let ui = Gcn::new(store, rng, "gcn_ui", views.a_ui, n_bip, cfg.d, cfg.gcn_layers);
-            let pi = Gcn::new(store, rng, "gcn_pi", views.a_pi, n_bip, cfg.d, cfg.gcn_layers);
-            let up = Gcn::new(store, rng, "gcn_up", views.a_up, views.n_users, cfg.d, cfg.gcn_layers);
+            let ui = Gcn::new(
+                store,
+                rng,
+                "gcn_ui",
+                views.a_ui,
+                n_bip,
+                cfg.d,
+                cfg.gcn_layers,
+            );
+            let pi = Gcn::new(
+                store,
+                rng,
+                "gcn_pi",
+                views.a_pi,
+                n_bip,
+                cfg.d,
+                cfg.gcn_layers,
+            );
+            let up = Gcn::new(
+                store,
+                rng,
+                "gcn_up",
+                views.a_up,
+                views.n_users,
+                cfg.d,
+                cfg.gcn_layers,
+            );
             EmbeddingModule::MultiView {
                 ui: Gcn2(ui),
                 pi: Gcn2(pi),
                 up: Gcn2(up),
-                n_users: views.n_users,
+                user_rows: Rc::new((0..views.n_users).collect()),
+                item_rows: Rc::new((views.n_users..n_bip).collect()),
             }
         }
     }
@@ -130,18 +178,21 @@ impl EmbeddingModule {
     /// Runs the GCNs and assembles `e_u, e_i, e_p` (Eq. 4-6).
     pub fn forward(&self, ctx: &StepCtx<'_>) -> ObjectEmbeddings {
         match self {
-            EmbeddingModule::MultiView { ui, pi, up, n_users } => {
+            EmbeddingModule::MultiView {
+                ui,
+                pi,
+                up,
+                user_rows,
+                item_rows,
+            } => {
                 let x_ui = ui.0.forward(ctx);
                 let x_pi = pi.0.forward(ctx);
                 let x_up = up.0.forward(ctx);
-                let n_bip = x_ui.rows();
-                let user_rows: Rc<Vec<usize>> = Rc::new((0..*n_users).collect());
-                let item_rows: Rc<Vec<usize>> = Rc::new((*n_users..n_bip).collect());
 
-                let e_u_ui = x_ui.gather_rows(Rc::clone(&user_rows));
-                let e_i_ui = x_ui.gather_rows(Rc::clone(&item_rows));
-                let e_p_pi = x_pi.gather_rows(Rc::clone(&user_rows));
-                let e_i_pi = x_pi.gather_rows(item_rows);
+                let e_u_ui = x_ui.gather_rows(Rc::clone(user_rows));
+                let e_i_ui = x_ui.gather_rows(Rc::clone(item_rows));
+                let e_p_pi = x_pi.gather_rows(Rc::clone(user_rows));
+                let e_i_pi = x_pi.gather_rows(Rc::clone(item_rows));
 
                 ObjectEmbeddings {
                     users: Var::concat_cols(&[&e_u_ui, &x_up]),
@@ -149,13 +200,14 @@ impl EmbeddingModule {
                     participants: Var::concat_cols(&[&e_p_pi, &x_up]),
                 }
             }
-            EmbeddingModule::Hin { gcn, n_users, n_items } => {
+            EmbeddingModule::Hin {
+                gcn,
+                user_rows,
+                item_rows,
+            } => {
                 let x = gcn.0.forward(ctx);
-                let user_rows: Rc<Vec<usize>> = Rc::new((0..*n_users).collect());
-                let item_rows: Rc<Vec<usize>> =
-                    Rc::new((*n_users..*n_users + *n_items).collect());
-                let users = x.gather_rows(user_rows);
-                let items = x.gather_rows(item_rows);
+                let users = x.gather_rows(Rc::clone(user_rows));
+                let items = x.gather_rows(Rc::clone(item_rows));
                 // One HIN gives users a single role-free representation —
                 // exactly the capability MGBR-D removes.
                 ObjectEmbeddings {

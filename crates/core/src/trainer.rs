@@ -2,10 +2,11 @@
 //! minibatch optimization of `L = L_A + β·L_B + β_A·L'_A + β_B·L'_B`
 //! (Eq. 25) with Adam.
 
+use mgbr_autograd::Tape;
 use mgbr_data::{BatchIter, DataSplit, Dataset, Sampler, TaskAInstance, TaskBInstance};
 use mgbr_eval::EpochTimer;
 use mgbr_nn::{Adam, Optimizer, StepCtx};
-use mgbr_tensor::Pcg32;
+use mgbr_tensor::{configure_threads, Pcg32};
 
 use crate::loss::{aux_a_loss, aux_b_loss, task_a_loss, task_b_loss, AuxSample};
 use crate::{Mgbr, TrainConfig};
@@ -19,6 +20,8 @@ pub struct TrainReport {
     pub epoch_secs: Vec<f64>,
     /// Trainable scalar count (feeds Table V).
     pub param_count: usize,
+    /// Total optimizer steps taken across all epochs.
+    pub steps: usize,
 }
 
 impl TrainReport {
@@ -30,6 +33,16 @@ impl TrainReport {
             self.epoch_secs.iter().sum::<f64>() / self.epoch_secs.len() as f64
         }
     }
+
+    /// Optimizer steps per wall-clock second (0 if nothing was timed).
+    pub fn steps_per_sec(&self) -> f64 {
+        let total: f64 = self.epoch_secs.iter().sum();
+        if total > 0.0 {
+            self.steps as f64 / total
+        } else {
+            0.0
+        }
+    }
 }
 
 /// One epoch's sampled training material.
@@ -39,7 +52,13 @@ struct EpochData {
     aux: Vec<AuxSample>,
 }
 
-fn sample_epoch(model: &Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConfig, seed: u64) -> EpochData {
+fn sample_epoch(
+    model: &Mgbr,
+    full: &Dataset,
+    split: &DataSplit,
+    tc: &TrainConfig,
+    seed: u64,
+) -> EpochData {
     let mut sampler = Sampler::new(full, seed);
     let task_a = sampler.task_a_instances(&split.train, tc.n_neg);
     let task_b = sampler.task_b_instances(&split.train, tc.n_neg);
@@ -62,7 +81,11 @@ fn sample_epoch(model: &Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConfi
     } else {
         Vec::new()
     };
-    EpochData { task_a, task_b, aux }
+    EpochData {
+        task_a,
+        task_b,
+        aux,
+    }
 }
 
 /// Trains `model` on the split's training partition.
@@ -76,11 +99,16 @@ fn sample_epoch(model: &Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConfi
 /// non-finite parameters.
 pub fn train(model: &mut Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConfig) -> TrainReport {
     assert!(!split.train.is_empty(), "empty training partition");
+    configure_threads(tc.threads);
     let mut adam = Adam::with_lr(tc.lr);
     let mut rng = Pcg32::seed_from_u64(tc.seed);
     let mut timer = EpochTimer::new();
     let mut epoch_losses = Vec::with_capacity(tc.epochs);
+    let mut steps = 0usize;
     let mut data = sample_epoch(model, full, split, tc, tc.seed);
+    // One tape (and one buffer pool) for the whole run: every step resets
+    // it and recycles storage, so steady-state steps allocate nothing.
+    let tape = Tape::new();
 
     for epoch in 0..tc.epochs {
         if tc.resample_per_epoch && epoch > 0 {
@@ -90,9 +118,10 @@ pub fn train(model: &mut Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConf
             adam = Adam::with_lr(tc.lr);
         }
         timer.start_epoch();
-        let loss = run_epoch(model, &data, tc, &mut adam, &mut rng);
+        let (loss, epoch_steps) = run_epoch(model, &tape, &data, tc, &mut adam, &mut rng);
         timer.end_epoch();
         epoch_losses.push(loss);
+        steps += epoch_steps;
         assert!(
             model.store.all_finite(),
             "training diverged at epoch {epoch} (loss {loss})"
@@ -102,6 +131,7 @@ pub fn train(model: &mut Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConf
         epoch_losses,
         epoch_secs: timer.all().to_vec(),
         param_count: model.param_count(),
+        steps,
     }
 }
 
@@ -126,10 +156,12 @@ pub fn train_with_validation(
 ) -> (TrainReport, Vec<f64>) {
     assert!(!split.train.is_empty(), "empty training partition");
     assert!(!split.val.is_empty(), "empty validation partition");
+    configure_threads(tc.threads);
     let mut adam = Adam::with_lr(tc.lr);
     let mut rng = Pcg32::seed_from_u64(tc.seed);
     let mut timer = EpochTimer::new();
     let mut epoch_losses = Vec::with_capacity(tc.epochs);
+    let mut steps = 0usize;
     let mut history = Vec::with_capacity(tc.epochs);
     let mut stopper = mgbr_nn::EarlyStopping::new(patience, min_delta);
 
@@ -139,6 +171,7 @@ pub fn train_with_validation(
     let val_b = val_sampler.task_b_instances(&split.val, 9);
 
     let mut data = sample_epoch(model, full, split, tc, tc.seed);
+    let tape = Tape::new();
     for epoch in 0..tc.epochs {
         if tc.resample_per_epoch && epoch > 0 {
             data = sample_epoch(model, full, split, tc, tc.seed.wrapping_add(epoch as u64));
@@ -147,9 +180,10 @@ pub fn train_with_validation(
             adam = Adam::with_lr(tc.lr);
         }
         timer.start_epoch();
-        let loss = run_epoch(model, &data, tc, &mut adam, &mut rng);
+        let (loss, epoch_steps) = run_epoch(model, &tape, &data, tc, &mut adam, &mut rng);
         timer.end_epoch();
         epoch_losses.push(loss);
+        steps += epoch_steps;
 
         let scorer = model.scorer();
         let ma = mgbr_eval::evaluate_task_a(&scorer, &val_a, 10);
@@ -165,6 +199,7 @@ pub fn train_with_validation(
             epoch_losses,
             epoch_secs: timer.all().to_vec(),
             param_count: model.param_count(),
+            steps,
         },
         history,
     )
@@ -172,16 +207,19 @@ pub fn train_with_validation(
 
 fn run_epoch(
     model: &mut Mgbr,
+    tape: &Tape,
     data: &EpochData,
     tc: &TrainConfig,
     adam: &mut Adam,
     rng: &mut Pcg32,
-) -> f32 {
+) -> (f32, usize) {
     let cfg = model.cfg.clone();
     let use_aux = cfg.variant.has_aux_losses() && !data.aux.is_empty();
 
-    let a_batches: Vec<Vec<usize>> = BatchIter::new(data.task_a.len(), tc.batch_size, rng).collect();
-    let b_batches: Vec<Vec<usize>> = BatchIter::new(data.task_b.len(), tc.batch_size, rng).collect();
+    let a_batches: Vec<Vec<usize>> =
+        BatchIter::new(data.task_a.len(), tc.batch_size, rng).collect();
+    let b_batches: Vec<Vec<usize>> =
+        BatchIter::new(data.task_b.len(), tc.batch_size, rng).collect();
     let aux_batches: Vec<Vec<usize>> = if use_aux {
         BatchIter::new(data.aux.len(), tc.batch_size, rng).collect()
     } else {
@@ -199,15 +237,21 @@ fn run_epoch(
         let batch_b: Vec<&TaskBInstance> = if b_batches.is_empty() {
             Vec::new()
         } else {
-            b_batches[step % b_batches.len()].iter().map(|&j| &data.task_b[j]).collect()
+            b_batches[step % b_batches.len()]
+                .iter()
+                .map(|&j| &data.task_b[j])
+                .collect()
         };
         let batch_aux: Vec<&AuxSample> = if use_aux {
-            aux_batches[step % aux_batches.len()].iter().map(|&j| &data.aux[j]).collect()
+            aux_batches[step % aux_batches.len()]
+                .iter()
+                .map(|&j| &data.aux[j])
+                .collect()
         } else {
             Vec::new()
         };
 
-        let ctx = StepCtx::new(&model.store);
+        let ctx = StepCtx::with_tape(tape, &model.store);
         let emb = model.embeddings(&ctx);
         let mean_p = emb.participants.mean_rows();
 
@@ -229,7 +273,7 @@ fn run_epoch(
         drop(ctx);
         adam.step(&mut model.store, &grads);
     }
-    (loss_sum / n_steps as f64) as f32
+    ((loss_sum / n_steps as f64) as f32, n_steps)
 }
 
 #[cfg(test)]
@@ -249,7 +293,10 @@ mod tests {
     fn loss_decreases_over_epochs() {
         let (ds, split) = fixture();
         let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
-        let tc = TrainConfig { epochs: 4, ..TrainConfig::tiny() };
+        let tc = TrainConfig {
+            epochs: 4,
+            ..TrainConfig::tiny()
+        };
         let report = train(&mut model, &ds, &split, &tc);
         assert_eq!(report.epoch_losses.len(), 4);
         let first = report.epoch_losses[0];
@@ -267,7 +314,11 @@ mod tests {
     fn training_beats_random_ranking() {
         let (ds, split) = fixture();
         let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
-        let tc = TrainConfig { epochs: 5, lr: 8e-3, ..TrainConfig::tiny() };
+        let tc = TrainConfig {
+            epochs: 5,
+            lr: 8e-3,
+            ..TrainConfig::tiny()
+        };
         train(&mut model, &ds, &split, &tc);
 
         let mut sampler = Sampler::new(&ds, 77);
@@ -293,12 +344,53 @@ mod tests {
     #[test]
     fn training_is_deterministic() {
         let (ds, split) = fixture();
-        let tc = TrainConfig { epochs: 1, ..TrainConfig::tiny() };
+        let tc = TrainConfig {
+            epochs: 1,
+            ..TrainConfig::tiny()
+        };
         let mut m1 = Mgbr::new(MgbrConfig::tiny(), &ds);
         let mut m2 = Mgbr::new(MgbrConfig::tiny(), &ds);
         let r1 = train(&mut m1, &ds, &split, &tc);
         let r2 = train(&mut m2, &ds, &split, &tc);
         assert_eq!(r1.epoch_losses, r2.epoch_losses);
+    }
+
+    /// The execution engine's headline guarantee: parallel kernels
+    /// partition output rows deterministically, so an entire training run
+    /// — losses AND final parameters — is bitwise identical at any
+    /// thread count. (Env override: skip when MGBR_THREADS pins the knob,
+    /// since `threads` in the config would then be ignored by design.)
+    #[test]
+    fn training_is_bitwise_identical_across_thread_counts() {
+        if std::env::var("MGBR_THREADS").is_ok() {
+            return;
+        }
+        let (ds, split) = fixture();
+        let run = |threads: usize| {
+            let tc = TrainConfig {
+                epochs: 2,
+                threads,
+                ..TrainConfig::tiny()
+            };
+            let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
+            let report = train(&mut model, &ds, &split, &tc);
+            let params: Vec<f32> = model
+                .store
+                .iter()
+                .flat_map(|(_, _, t)| t.as_slice().to_vec())
+                .collect();
+            (report.epoch_losses, params)
+        };
+        let (losses_1, params_1) = run(1);
+        for threads in [2usize, 4] {
+            let (losses_t, params_t) = run(threads);
+            assert_eq!(losses_1, losses_t, "losses diverged at {threads} threads");
+            assert_eq!(
+                params_1, params_t,
+                "parameters diverged at {threads} threads"
+            );
+        }
+        mgbr_tensor::set_threads(1);
     }
 }
 
@@ -313,11 +405,13 @@ mod validation_tests {
         let ds = synthetic::generate(&SyntheticConfig::tiny());
         let split = split_dataset(&ds, (7.0, 3.0, 1.0), 11);
         let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
-        let tc = TrainConfig { epochs: 6, ..TrainConfig::tiny() };
+        let tc = TrainConfig {
+            epochs: 6,
+            ..TrainConfig::tiny()
+        };
         // Absurd patience-0-equivalent: min_delta so large nothing counts
         // as improvement after the first epoch.
-        let (report, history) =
-            train_with_validation(&mut model, &ds, &split, &tc, 2, 10.0);
+        let (report, history) = train_with_validation(&mut model, &ds, &split, &tc, 2, 10.0);
         assert_eq!(report.epoch_losses.len(), history.len());
         assert!(
             history.len() <= 3,
@@ -332,9 +426,11 @@ mod validation_tests {
         let ds = synthetic::generate(&SyntheticConfig::tiny());
         let split = split_dataset(&ds, (7.0, 3.0, 1.0), 11);
         let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
-        let tc = TrainConfig { epochs: 3, ..TrainConfig::tiny() };
-        let (report, history) =
-            train_with_validation(&mut model, &ds, &split, &tc, 50, 0.0);
+        let tc = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::tiny()
+        };
+        let (report, history) = train_with_validation(&mut model, &ds, &split, &tc, 50, 0.0);
         assert_eq!(history.len(), 3);
         assert_eq!(report.epoch_secs.len(), 3);
     }

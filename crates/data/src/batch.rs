@@ -23,7 +23,11 @@ impl BatchIter {
         assert!(batch_size > 0, "batch_size must be positive");
         let mut order: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut order);
-        Self { order, batch_size, pos: 0 }
+        Self {
+            order,
+            batch_size,
+            pos: 0,
+        }
     }
 
     /// Number of batches this epoch will yield.
@@ -80,6 +84,10 @@ mod tests {
         let a: Vec<usize> = BatchIter::new(50, 50, &mut r1).flatten().collect();
         let b: Vec<usize> = BatchIter::new(50, 50, &mut r2).flatten().collect();
         assert_eq!(a, b, "same seed, same order");
-        assert_ne!(a, (0..50).collect::<Vec<_>>(), "should not be identity order");
+        assert_ne!(
+            a,
+            (0..50).collect::<Vec<_>>(),
+            "should not be identity order"
+        );
     }
 }

@@ -133,7 +133,13 @@ pub fn write_groups_text<W: Write>(ds: &Dataset, mut writer: W) -> Result<(), Da
     writeln!(writer, "#users={} items={}", ds.n_users, ds.n_items)?;
     for g in &ds.groups {
         let participants: Vec<String> = g.participants.iter().map(u32::to_string).collect();
-        writeln!(writer, "{}\t{}\t{}", g.initiator, g.item, participants.join(","))?;
+        writeln!(
+            writer,
+            "{}\t{}\t{}",
+            g.initiator,
+            g.item,
+            participants.join(",")
+        )?;
     }
     Ok(())
 }

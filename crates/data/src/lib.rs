@@ -32,7 +32,9 @@ mod split;
 pub mod synthetic;
 
 pub use batch::BatchIter;
-pub use io::{read_groups_file, read_groups_text, write_groups_file, write_groups_text, DataIoError};
+pub use io::{
+    read_groups_file, read_groups_text, write_groups_file, write_groups_text, DataIoError,
+};
 pub use preprocess::{filter_min_interactions, FilterReport};
 pub use sampling::{Sampler, TaskAInstance, TaskBInstance};
 pub use schema::{Dataset, DatasetStats, DealGroup};

@@ -30,8 +30,7 @@ pub fn filter_min_interactions(ds: &Dataset, min_interactions: usize) -> (Datase
         .groups
         .iter()
         .filter(|g| {
-            keep_user[g.initiator as usize]
-                && g.participants.iter().all(|&p| keep_user[p as usize])
+            keep_user[g.initiator as usize] && g.participants.iter().all(|&p| keep_user[p as usize])
         })
         .collect();
     let groups_removed = ds.groups.len() - kept_groups.len();
@@ -70,7 +69,11 @@ pub fn filter_min_interactions(ds: &Dataset, min_interactions: usize) -> (Datase
     let n_items = item_active.iter().filter(|&&a| a).count();
     (
         Dataset::new(n_users, n_items, groups),
-        FilterReport { users_removed, groups_removed, items_removed },
+        FilterReport {
+            users_removed,
+            groups_removed,
+            items_removed,
+        },
     )
 }
 
@@ -180,9 +183,7 @@ mod tests {
                 before[g.initiator as usize] >= 3
                     && g.participants.iter().all(|&p| before[p as usize] >= 3)
             })
-            .flat_map(|g| {
-                std::iter::once(g.initiator).chain(g.participants.iter().copied())
-            })
+            .flat_map(|g| std::iter::once(g.initiator).chain(g.participants.iter().copied()))
             .collect();
         assert_eq!(out.n_users, survivors.len());
     }

@@ -204,7 +204,10 @@ mod tests {
             let set: HashSet<_> = negs.iter().collect();
             assert_eq!(set.len(), 9, "within-call duplicates");
             for &i in &negs {
-                assert!(!s.interacted(u, i), "user {u} interacted with sampled negative {i}");
+                assert!(
+                    !s.interacted(u, i),
+                    "user {u} interacted with sampled negative {i}"
+                );
             }
         }
     }
@@ -213,10 +216,18 @@ mod tests {
     fn negative_participants_exclude_group_and_initiator() {
         let ds = dataset();
         let mut s = Sampler::new(&ds, 2);
-        let g = ds.groups.iter().find(|g| !g.participants.is_empty()).unwrap().clone();
+        let g = ds
+            .groups
+            .iter()
+            .find(|g| !g.participants.is_empty())
+            .unwrap()
+            .clone();
         let negs = s.negative_participants(g.initiator, g.item, 9);
         assert_eq!(negs.len(), 9);
-        let members = s.observed_participants(g.initiator, g.item).unwrap().clone();
+        let members = s
+            .observed_participants(g.initiator, g.item)
+            .unwrap()
+            .clone();
         for &p in &negs {
             assert_ne!(p, g.initiator);
             assert!(!members.contains(&p));
@@ -281,6 +292,9 @@ mod tests {
         let ds = dataset();
         let mut a = Sampler::new(&ds, 9);
         let mut b = Sampler::new(&ds, 9);
-        assert_eq!(a.task_a_instances(&ds.groups, 5), b.task_a_instances(&ds.groups, 5));
+        assert_eq!(
+            a.task_a_instances(&ds.groups, 5),
+            b.task_a_instances(&ds.groups, 5)
+        );
     }
 }

@@ -1,10 +1,10 @@
 //! The deal-group schema shared across the workspace.
 
-use serde::{Deserialize, Serialize};
+use mgbr_json::{field, FromJson, Json, JsonError, ToJson};
 
 /// One observed deal group `<u, i, G>` (§II-A): an initiator `u` launched
 /// a group buying of item `i`, and participants `G` joined it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DealGroup {
     /// The initiator `u`.
     pub initiator: u32,
@@ -19,7 +19,11 @@ impl DealGroup {
     /// Creates a deal group, dropping any accidental self-participation.
     pub fn new(initiator: u32, item: u32, mut participants: Vec<u32>) -> Self {
         participants.retain(|&p| p != initiator);
-        Self { initiator, item, participants }
+        Self {
+            initiator,
+            item,
+            participants,
+        }
     }
 
     /// Group size `|G|` (participants only).
@@ -28,12 +32,32 @@ impl DealGroup {
     }
 }
 
+impl ToJson for DealGroup {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("initiator", self.initiator.to_json()),
+            ("item", self.item.to_json()),
+            ("participants", self.participants.to_json()),
+        ])
+    }
+}
+
+impl FromJson for DealGroup {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            initiator: field(json, "initiator")?,
+            item: field(json, "item")?,
+            participants: field(json, "participants")?,
+        })
+    }
+}
+
 /// A group-buying dataset: id spaces plus observed deal groups.
 ///
 /// Users and items are dense ids in `0..n_users` / `0..n_items`; a single
 /// user set covers both initiator and participant roles, matching the
 /// paper's `u, p ∈ U`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// `|U|`.
     pub n_users: usize,
@@ -51,25 +75,44 @@ impl Dataset {
     /// Panics if any group references an out-of-range user or item.
     pub fn new(n_users: usize, n_items: usize, groups: Vec<DealGroup>) -> Self {
         for g in &groups {
-            assert!((g.initiator as usize) < n_users, "initiator {} out of {n_users}", g.initiator);
-            assert!((g.item as usize) < n_items, "item {} out of {n_items}", g.item);
+            assert!(
+                (g.initiator as usize) < n_users,
+                "initiator {} out of {n_users}",
+                g.initiator
+            );
+            assert!(
+                (g.item as usize) < n_items,
+                "item {} out of {n_items}",
+                g.item
+            );
             for &p in &g.participants {
                 assert!((p as usize) < n_users, "participant {p} out of {n_users}");
             }
         }
-        Self { n_users, n_items, groups }
+        Self {
+            n_users,
+            n_items,
+            groups,
+        }
     }
 
     /// `(initiator, item)` edges — the initiator-view `G_UI` edge list.
     pub fn ui_edges(&self) -> Vec<(usize, usize)> {
-        self.groups.iter().map(|g| (g.initiator as usize, g.item as usize)).collect()
+        self.groups
+            .iter()
+            .map(|g| (g.initiator as usize, g.item as usize))
+            .collect()
     }
 
     /// `(participant, item)` edges — the participant-view `G_PI` edge list.
     pub fn pi_edges(&self) -> Vec<(usize, usize)> {
         self.groups
             .iter()
-            .flat_map(|g| g.participants.iter().map(move |&p| (p as usize, g.item as usize)))
+            .flat_map(|g| {
+                g.participants
+                    .iter()
+                    .map(move |&p| (p as usize, g.item as usize))
+            })
             .collect()
     }
 
@@ -79,7 +122,9 @@ impl Dataset {
         self.groups
             .iter()
             .flat_map(|g| {
-                g.participants.iter().map(move |&p| (g.initiator as usize, p as usize))
+                g.participants
+                    .iter()
+                    .map(move |&p| (g.initiator as usize, p as usize))
             })
             .collect()
     }
@@ -141,8 +186,28 @@ impl Dataset {
     }
 }
 
+impl ToJson for Dataset {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_users", self.n_users.to_json()),
+            ("n_items", self.n_items.to_json()),
+            ("groups", self.groups.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Dataset {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            n_users: field(json, "n_users")?,
+            n_items: field(json, "n_items")?,
+            groups: field(json, "groups")?,
+        })
+    }
+}
+
 /// Summary statistics of a [`Dataset`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetStats {
     /// Size of the user id space.
     pub n_users: usize,
@@ -160,6 +225,21 @@ pub struct DatasetStats {
     pub ui_interactions: usize,
     /// Participant-item interactions (= Σ|G|).
     pub pi_interactions: usize,
+}
+
+impl ToJson for DatasetStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_users", self.n_users.to_json()),
+            ("n_items", self.n_items.to_json()),
+            ("n_groups", self.n_groups.to_json()),
+            ("active_users", self.active_users.to_json()),
+            ("active_items", self.active_items.to_json()),
+            ("avg_group_size", self.avg_group_size.to_json()),
+            ("ui_interactions", self.ui_interactions.to_json()),
+            ("pi_interactions", self.pi_interactions.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -219,10 +299,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let ds = sample();
-        let json = serde_json::to_string(&ds).unwrap();
-        let back: Dataset = serde_json::from_str(&json).unwrap();
+        let json = ds.to_json().to_string_compact();
+        let back = Dataset::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.groups, ds.groups);
         assert_eq!(back.n_users, ds.n_users);
     }

@@ -61,9 +61,8 @@ pub fn split_dataset(ds: &Dataset, weights: (f64, f64, f64), seed: u64) -> DataS
     let n_train = n_train.min(n);
     let n_val = n_val.min(n - n_train);
 
-    let pick = |idxs: &[usize]| -> Vec<DealGroup> {
-        idxs.iter().map(|&i| ds.groups[i].clone()).collect()
-    };
+    let pick =
+        |idxs: &[usize]| -> Vec<DealGroup> { idxs.iter().map(|&i| ds.groups[i].clone()).collect() };
     DataSplit {
         n_users: ds.n_users,
         n_items: ds.n_items,
@@ -94,7 +93,10 @@ mod tests {
 
     #[test]
     fn split_respects_ratios() {
-        let ds = synthetic::generate(&SyntheticConfig { n_groups: 1100, ..SyntheticConfig::tiny() });
+        let ds = synthetic::generate(&SyntheticConfig {
+            n_groups: 1100,
+            ..SyntheticConfig::tiny()
+        });
         let split = split_dataset(&ds, (7.0, 3.0, 1.0), 2);
         let n = ds.groups.len() as f64;
         assert!((split.train.len() as f64 / n - 7.0 / 11.0).abs() < 0.02);

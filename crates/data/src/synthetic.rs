@@ -16,13 +16,13 @@
 
 use std::collections::HashSet;
 
+use mgbr_json::{Json, ToJson};
 use mgbr_tensor::{Pcg32, Tensor};
-use serde::{Deserialize, Serialize};
 
 use crate::{Dataset, DealGroup};
 
 /// Configuration of the synthetic generator.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SyntheticConfig {
     /// Number of users `|U|`.
     pub n_users: usize,
@@ -87,6 +87,28 @@ impl Default for SyntheticConfig {
     }
 }
 
+impl ToJson for SyntheticConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_users", self.n_users.to_json()),
+            ("n_items", self.n_items.to_json()),
+            ("n_groups", self.n_groups.to_json()),
+            ("n_clusters", self.n_clusters.to_json()),
+            ("latent_dim", self.latent_dim.to_json()),
+            ("cluster_noise", self.cluster_noise.to_json()),
+            ("popularity_exponent", self.popularity_exponent.to_json()),
+            ("activity_exponent", self.activity_exponent.to_json()),
+            ("affinity_weight", self.affinity_weight.to_json()),
+            ("social_weight", self.social_weight.to_json()),
+            ("anticipation_weight", self.anticipation_weight.to_json()),
+            ("group_size_mean", self.group_size_mean.to_json()),
+            ("max_group_size", self.max_group_size.to_json()),
+            ("candidate_pool", self.candidate_pool.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
 impl SyntheticConfig {
     /// A miniature configuration for unit tests.
     pub fn tiny() -> Self {
@@ -111,10 +133,19 @@ impl SyntheticConfig {
 /// Panics on degenerate configs (zero users/items/groups, or a candidate
 /// pool of zero).
 pub fn generate(cfg: &SyntheticConfig) -> Dataset {
-    assert!(cfg.n_users >= 2, "need at least 2 users (initiator + participant)");
-    assert!(cfg.n_items >= 1 && cfg.n_groups >= 1, "empty dataset requested");
+    assert!(
+        cfg.n_users >= 2,
+        "need at least 2 users (initiator + participant)"
+    );
+    assert!(
+        cfg.n_items >= 1 && cfg.n_groups >= 1,
+        "empty dataset requested"
+    );
     assert!(cfg.candidate_pool >= 1, "candidate_pool must be positive");
-    assert!(cfg.n_clusters >= 1 && cfg.latent_dim >= 1, "degenerate latent space");
+    assert!(
+        cfg.n_clusters >= 1 && cfg.latent_dim >= 1,
+        "degenerate latent space"
+    );
 
     let mut rng = Pcg32::seed_from_u64(cfg.seed);
     let world = LatentWorld::sample(cfg, &mut rng);
@@ -125,16 +156,11 @@ pub fn generate(cfg: &SyntheticConfig) -> Dataset {
         let initiator = rng.weighted_index(&world.user_activity);
         let item = world.choose_item(cfg, initiator, &social, &mut rng);
         let size = sample_group_size(cfg, &mut rng);
-        let participants =
-            world.choose_participants(cfg, initiator, item, size, &social, &mut rng);
+        let participants = world.choose_participants(cfg, initiator, item, size, &social, &mut rng);
         for &p in &participants {
             social.tie(initiator as u32, p);
         }
-        groups.push(DealGroup::new(
-            initiator as u32,
-            item as u32,
-            participants,
-        ));
+        groups.push(DealGroup::new(initiator as u32, item as u32, participants));
     }
     Dataset::new(cfg.n_users, cfg.n_items, groups)
 }
@@ -167,11 +193,19 @@ impl LatentWorld {
             // Random rank assignment so ids aren't correlated with weight.
             let mut ranks: Vec<usize> = (0..n).collect();
             rng.shuffle(&mut ranks);
-            ranks.iter().map(|&r| 1.0 / ((r + 1) as f32).powf(exp)).collect()
+            ranks
+                .iter()
+                .map(|&r| 1.0 / ((r + 1) as f32).powf(exp))
+                .collect()
         };
         let item_popularity = zipf(cfg.n_items, cfg.popularity_exponent, rng);
         let user_activity = zipf(cfg.n_users, cfg.activity_exponent, rng);
-        Self { user_latent, item_latent, item_popularity, user_activity }
+        Self {
+            user_latent,
+            item_latent,
+            item_popularity,
+            user_activity,
+        }
     }
 
     fn affinity(&self, user: usize, item: usize) -> f32 {
@@ -191,8 +225,9 @@ impl LatentWorld {
         rng: &mut Pcg32,
     ) -> usize {
         let pool = cfg.candidate_pool.min(cfg.n_items);
-        let candidates: Vec<usize> =
-            (0..pool).map(|_| rng.weighted_index(&self.item_popularity)).collect();
+        let candidates: Vec<usize> = (0..pool)
+            .map(|_| rng.weighted_index(&self.item_popularity))
+            .collect();
         let circle = social.circle_of(initiator as u32);
         let logits: Vec<f32> = candidates
             .iter()
@@ -235,8 +270,11 @@ impl LatentWorld {
                 if p == initiator || chosen.contains(&p) {
                     continue;
                 }
-                let tie =
-                    if social.tied(initiator as u32, p as u32) { cfg.social_weight } else { 0.0 };
+                let tie = if social.tied(initiator as u32, p as u32) {
+                    cfg.social_weight
+                } else {
+                    0.0
+                };
                 candidates.push(p);
                 logits.push(cfg.affinity_weight * self.affinity(p, item) + tie);
             }
@@ -260,7 +298,10 @@ struct SocialTies {
 
 impl SocialTies {
     fn new(n_users: usize) -> Self {
-        Self { ties: HashSet::new(), circles: vec![Vec::new(); n_users] }
+        Self {
+            ties: HashSet::new(),
+            circles: vec![Vec::new(); n_users],
+        }
     }
 
     fn key(a: u32, b: u32) -> (u32, u32) {
@@ -319,7 +360,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let cfg = SyntheticConfig::tiny();
-        let other = SyntheticConfig { seed: 7, ..cfg.clone() };
+        let other = SyntheticConfig {
+            seed: 7,
+            ..cfg.clone()
+        };
         assert_ne!(generate(&cfg).groups, generate(&other).groups);
     }
 
@@ -361,7 +405,9 @@ mod tests {
             std::collections::HashMap::new();
         for g in &ds.groups {
             for &p in &g.participants {
-                *pair_counts.entry(SocialTies::key(g.initiator, p)).or_default() += 1;
+                *pair_counts
+                    .entry(SocialTies::key(g.initiator, p))
+                    .or_default() += 1;
             }
         }
         let repeats = pair_counts.values().filter(|&&c| c >= 2).count();
@@ -403,13 +449,19 @@ mod tests {
         let sizes: Vec<usize> = ds.groups.iter().map(DealGroup::size).collect();
         assert!(sizes.iter().all(|&s| s <= cfg.max_group_size));
         let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
-        assert!(mean > 1.0 && mean < cfg.group_size_mean as f64 + 1.5, "mean size {mean}");
+        assert!(
+            mean > 1.0 && mean < cfg.group_size_mean as f64 + 1.5,
+            "mean size {mean}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least 2 users")]
     fn degenerate_config_panics() {
-        let cfg = SyntheticConfig { n_users: 1, ..SyntheticConfig::tiny() };
+        let cfg = SyntheticConfig {
+            n_users: 1,
+            ..SyntheticConfig::tiny()
+        };
         let _ = generate(&cfg);
     }
 }

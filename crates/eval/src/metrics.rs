@@ -1,6 +1,6 @@
 //! Ranking metrics: MRR@N and NDCG@N with a single relevant candidate.
 
-use serde::{Deserialize, Serialize};
+use mgbr_json::{field, FromJson, Json, JsonError, ToJson};
 
 /// Rank (1-based) of the positive candidate, which is `scores[0]` by the
 /// workspace convention, within its candidate list.
@@ -66,7 +66,7 @@ pub fn auc(rank: usize, list_len: usize) -> f64 {
 }
 
 /// Aggregated ranking metrics over a set of instances.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankingMetrics {
     /// Mean reciprocal rank at the cutoff.
     pub mrr: f64,
@@ -80,6 +80,32 @@ pub struct RankingMetrics {
     pub cutoff: usize,
     /// Number of instances aggregated.
     pub n: usize,
+}
+
+impl ToJson for RankingMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("mrr", self.mrr.to_json()),
+            ("ndcg", self.ndcg.to_json()),
+            ("hit", self.hit.to_json()),
+            ("auc", self.auc.to_json()),
+            ("cutoff", self.cutoff.to_json()),
+            ("n", self.n.to_json()),
+        ])
+    }
+}
+
+impl FromJson for RankingMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            mrr: field(json, "mrr")?,
+            ndcg: field(json, "ndcg")?,
+            hit: field(json, "hit")?,
+            auc: field(json, "auc")?,
+            cutoff: field(json, "cutoff")?,
+            n: field(json, "n")?,
+        })
+    }
 }
 
 /// Streaming accumulator for [`RankingMetrics`].
@@ -96,7 +122,14 @@ pub struct MetricAccumulator {
 impl MetricAccumulator {
     /// Creates an accumulator with cutoff `N`.
     pub fn new(cutoff: usize) -> Self {
-        Self { cutoff, mrr_sum: 0.0, ndcg_sum: 0.0, hit_sum: 0.0, auc_sum: 0.0, n: 0 }
+        Self {
+            cutoff,
+            mrr_sum: 0.0,
+            ndcg_sum: 0.0,
+            hit_sum: 0.0,
+            auc_sum: 0.0,
+            n: 0,
+        }
     }
 
     /// Adds one instance by the positive's rank within a list of
@@ -222,6 +255,10 @@ mod tests {
         }
         let m = acc.finish();
         let expected = (1..=10).map(|r| 1.0 / r as f64).sum::<f64>() / 10.0;
-        assert!((m.mrr - expected).abs() < 0.01, "mrr {} vs expected {expected}", m.mrr);
+        assert!(
+            (m.mrr - expected).abs() < 0.01,
+            "mrr {} vs expected {expected}",
+            m.mrr
+        );
     }
 }

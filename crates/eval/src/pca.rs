@@ -14,7 +14,11 @@ use mgbr_tensor::{matmul_tn, Pcg32, Tensor};
 ///
 /// Panics if `d < 2` or `n == 0`.
 pub fn pca_2d(x: &Tensor) -> Tensor {
-    assert!(x.cols() >= 2, "pca_2d needs at least 2 feature dims, got {}", x.cols());
+    assert!(
+        x.cols() >= 2,
+        "pca_2d needs at least 2 feature dims, got {}",
+        x.cols()
+    );
     assert!(x.rows() > 0, "pca_2d on empty input");
     let n = x.rows();
     let d = x.cols();
@@ -164,9 +168,17 @@ mod tests {
         let proj = pca_2d(&x);
         let var = |c: usize| -> f32 {
             let mean: f32 = (0..200).map(|r| proj.get(r, c)).sum::<f32>() / 200.0;
-            (0..200).map(|r| (proj.get(r, c) - mean).powi(2)).sum::<f32>() / 200.0
+            (0..200)
+                .map(|r| (proj.get(r, c) - mean).powi(2))
+                .sum::<f32>()
+                / 200.0
         };
-        assert!(var(0) > 20.0 * var(1), "PC1 var {} vs PC2 var {}", var(0), var(1));
+        assert!(
+            var(0) > 20.0 * var(1),
+            "PC1 var {} vs PC2 var {}",
+            var(0),
+            var(1)
+        );
     }
 
     #[test]
@@ -175,7 +187,10 @@ mod tests {
         let x = rng.normal_tensor(50, 4, 3.0, 1.0);
         let proj = pca_2d(&x);
         let mean0: f32 = (0..50).map(|r| proj.get(r, 0)).sum::<f32>() / 50.0;
-        assert!(mean0.abs() < 1e-3, "projection should be centered, mean {mean0}");
+        assert!(
+            mean0.abs() < 1e-3,
+            "projection should be centered, mean {mean0}"
+        );
     }
 
     #[test]
@@ -192,12 +207,18 @@ mod tests {
             labels.push(g);
         }
         let tight = dispersion_ratio(&coords, &labels);
-        assert!(tight < 0.01, "tight clusters should have tiny ratio, got {tight}");
+        assert!(
+            tight < 0.01,
+            "tight clusters should have tiny ratio, got {tight}"
+        );
 
         // Labels shuffled across the same points => ratio near 1.
         let mixed: Vec<usize> = (0..100).map(|r| (r / 2) % 2).collect();
         let loose = dispersion_ratio(&coords, &mixed);
-        assert!(loose > 0.5, "mixed labels should look dispersed, got {loose}");
+        assert!(
+            loose > 0.5,
+            "mixed labels should look dispersed, got {loose}"
+        );
         assert!(tight < loose);
     }
 

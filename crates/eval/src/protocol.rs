@@ -1,7 +1,7 @@
 //! The two-sub-task evaluation protocol (§III-A2, §III-D).
 
 use mgbr_data::{TaskAInstance, TaskBInstance};
-use serde::{Deserialize, Serialize};
+use mgbr_json::{field, FromJson, Json, JsonError, ToJson};
 
 use crate::metrics::{MetricAccumulator, RankingMetrics};
 
@@ -24,12 +24,30 @@ pub trait GroupBuyScorer {
 }
 
 /// Both sub-tasks' metrics at one candidate-list setting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskMetrics {
     /// Task A (`s(i|u)`) metrics.
     pub task_a: RankingMetrics,
     /// Task B (`s(p|u,i)`) metrics.
     pub task_b: RankingMetrics,
+}
+
+impl ToJson for TaskMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("task_a", self.task_a.to_json()),
+            ("task_b", self.task_b.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TaskMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            task_a: field(json, "task_a")?,
+            task_b: field(json, "task_b")?,
+        })
+    }
 }
 
 /// Evaluates Task A over prepared instances at cutoff `n` (candidate list
@@ -86,13 +104,25 @@ mod tests {
         fn score_items(&self, user: u32, items: &[u32]) -> Vec<f32> {
             items
                 .iter()
-                .map(|&i| if self.pos_items.contains(&(user, i)) { 1.0 } else { 0.0 })
+                .map(|&i| {
+                    if self.pos_items.contains(&(user, i)) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         }
         fn score_participants(&self, user: u32, item: u32, candidates: &[u32]) -> Vec<f32> {
             candidates
                 .iter()
-                .map(|&p| if self.pos_parts.contains(&(user, item, p)) { 1.0 } else { 0.0 })
+                .map(|&p| {
+                    if self.pos_parts.contains(&(user, item, p)) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         }
         fn name(&self) -> &str {
@@ -139,7 +169,10 @@ mod tests {
         let (a, b) = instances();
         let oracle = Oracle {
             pos_items: a.iter().map(|i| (i.user, i.pos_item)).collect(),
-            pos_parts: b.iter().map(|i| (i.user, i.item, i.pos_participant)).collect(),
+            pos_parts: b
+                .iter()
+                .map(|i| (i.user, i.item, i.pos_participant))
+                .collect(),
         };
         let ma = evaluate_task_a(&oracle, &a, 10);
         let mb = evaluate_task_b(&oracle, &b, 10);
@@ -164,7 +197,9 @@ mod tests {
         struct Worst;
         impl GroupBuyScorer for Worst {
             fn score_items(&self, _: u32, items: &[u32]) -> Vec<f32> {
-                (0..items.len()).map(|k| if k == 0 { -1.0 } else { 1.0 }).collect()
+                (0..items.len())
+                    .map(|k| if k == 0 { -1.0 } else { 1.0 })
+                    .collect()
             }
             fn score_participants(&self, _: u32, _: u32, c: &[u32]) -> Vec<f32> {
                 vec![0.0; c.len()]

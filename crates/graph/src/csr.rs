@@ -29,7 +29,10 @@ impl Csr {
     /// Panics if any coordinate is out of bounds.
     pub fn from_triplets(n_rows: usize, n_cols: usize, triplets: &[(usize, usize, f32)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!(r < n_rows && c < n_cols, "triplet ({r},{c}) out of [{n_rows}x{n_cols}]");
+            assert!(
+                r < n_rows && c < n_cols,
+                "triplet ({r},{c}) out of [{n_rows}x{n_cols}]"
+            );
         }
         let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
         sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
@@ -51,7 +54,13 @@ impl Csr {
         for r in 0..n_rows {
             indptr[r + 1] += indptr[r];
         }
-        Self { n_rows, n_cols, indptr, indices, values }
+        Self {
+            n_rows,
+            n_cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Builds the adjacency matrix of an undirected, unweighted graph from
@@ -66,7 +75,8 @@ impl Csr {
                 set.insert((b, a));
             }
         }
-        let triplets: Vec<(usize, usize, f32)> = set.into_iter().map(|(a, b)| (a, b, 1.0)).collect();
+        let triplets: Vec<(usize, usize, f32)> =
+            set.into_iter().map(|(a, b)| (a, b, 1.0)).collect();
         Self::from_triplets(n, n, &triplets)
     }
 
@@ -126,7 +136,9 @@ impl Csr {
 
     /// Row sums (weighted out-degrees) as a dense vector.
     pub fn row_sums(&self) -> Vec<f32> {
-        (0..self.n_rows).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
+        (0..self.n_rows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
     }
 
     /// The transpose as a new CSR matrix.
@@ -153,7 +165,10 @@ impl Csr {
     ///
     /// Panics if the matrix is not square.
     pub fn sym_normalized(&self) -> Self {
-        assert_eq!(self.n_rows, self.n_cols, "sym_normalized requires a square matrix");
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "sym_normalized requires a square matrix"
+        );
         let n = self.n_rows;
         // A + I as triplets.
         let mut triplets = Vec::with_capacity(self.nnz() + n);
@@ -167,8 +182,10 @@ impl Csr {
         }
         let with_loops = Csr::from_triplets(n, n, &triplets);
         let deg = with_loops.row_sums();
-        let inv_sqrt: Vec<f32> =
-            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
         let mut out = with_loops;
         for r in 0..n {
             let range = out.indptr[r]..out.indptr[r + 1];
@@ -202,33 +219,46 @@ pub fn spmm(a: &Csr, x: &Tensor) -> Tensor {
 
 /// Sparse × dense product into an existing output buffer (overwritten).
 ///
+/// Row-band parallelized: each output row is produced by exactly one
+/// worker, accumulating its non-zeros in CSR (ascending-column) order,
+/// so results are bitwise identical at any `MGBR_THREADS` setting.
+///
 /// # Panics
 ///
 /// Panics on dimension mismatch.
 #[track_caller]
 pub fn spmm_into(a: &Csr, x: &Tensor, out: &mut Tensor) {
-    assert_eq!(a.n_cols(), x.rows(), "spmm: {}x{} · {}", a.n_rows(), a.n_cols(), x.shape());
+    assert_eq!(
+        a.n_cols(),
+        x.rows(),
+        "spmm: {}x{} · {}",
+        a.n_rows(),
+        a.n_cols(),
+        x.shape()
+    );
     assert!(
         out.rows() == a.n_rows() && out.cols() == x.cols(),
         "spmm: bad output shape {}",
         out.shape()
     );
     out.fill(0.0);
+    let rows = a.n_rows();
     let n = x.cols();
     let x_data = x.as_slice();
-    for r in 0..a.n_rows() {
-        let range = a.indptr[r]..a.indptr[r + 1];
-        let dst_start = r * n;
-        for k in range {
-            let c = a.indices[k] as usize;
-            let v = a.values[k];
-            let src = &x_data[c * n..c * n + n];
-            let dst = &mut out.as_mut_slice()[dst_start..dst_start + n];
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d += v * s;
+    let work_per_row = (a.nnz() / rows.max(1) + 1) * n;
+    mgbr_tensor::for_row_bands(out.as_mut_slice(), rows, n, work_per_row, |r0, r1, band| {
+        for r in r0..r1 {
+            let dst = &mut band[(r - r0) * n..(r - r0 + 1) * n];
+            for k in a.indptr[r]..a.indptr[r + 1] {
+                let c = a.indices[k] as usize;
+                let v = a.values[k];
+                let src = &x_data[c * n..c * n + n];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += v * s;
+                }
             }
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -332,5 +362,27 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn out_of_bounds_triplet_panics() {
         let _ = Csr::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    /// The row-band driver must not change results: each output row is
+    /// accumulated in CSR order by exactly one worker, so any thread
+    /// count yields bitwise-identical output. (Safe to flip the global
+    /// knob here — by construction it never changes numerics.)
+    #[test]
+    fn threaded_spmm_is_bitwise_identical() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let triplets: Vec<(usize, usize, f32)> = (0..4000)
+            .map(|_| (rng.below(300), rng.below(250), rng.normal()))
+            .collect();
+        let a = Csr::from_triplets(300, 250, &triplets);
+        let x = rng.normal_tensor(250, 48, 0.0, 1.0);
+        mgbr_tensor::set_threads(1);
+        let baseline = spmm(&a, &x);
+        for threads in [2usize, 3, 4, 8] {
+            mgbr_tensor::set_threads(threads);
+            let y = spmm(&a, &x);
+            assert_eq!(baseline.as_slice(), y.as_slice(), "threads={threads}");
+        }
+        mgbr_tensor::set_threads(1);
     }
 }

@@ -60,10 +60,19 @@ impl GraphViews {
         let a_ui = Csr::undirected_adjacency(n_bip, &map_bip(ui_edges)).sym_normalized();
         let a_pi = Csr::undirected_adjacency(n_bip, &map_bip(pi_edges)).sym_normalized();
         for &(u, p) in up_edges {
-            assert!(u < n_users && p < n_users, "social edge ({u},{p}) out of {n_users} users");
+            assert!(
+                u < n_users && p < n_users,
+                "social edge ({u},{p}) out of {n_users} users"
+            );
         }
         let a_up = Csr::undirected_adjacency(n_users, up_edges).sym_normalized();
-        Self { n_users, n_items, a_ui, a_pi, a_up }
+        Self {
+            n_users,
+            n_items,
+            a_ui,
+            a_pi,
+            a_up,
+        }
     }
 
     /// Number of nodes in the bipartite views.
@@ -108,10 +117,17 @@ impl HinGraph {
             all.push((u, n_users + i));
         }
         for &(u, p) in up_edges {
-            assert!(u < n_users && p < n_users, "social edge ({u},{p}) out of bounds");
+            assert!(
+                u < n_users && p < n_users,
+                "social edge ({u},{p}) out of bounds"
+            );
             all.push((u, p));
         }
-        Self { n_users, n_items, adj: Csr::undirected_adjacency(n, &all).sym_normalized() }
+        Self {
+            n_users,
+            n_items,
+            adj: Csr::undirected_adjacency(n, &all).sym_normalized(),
+        }
     }
 }
 

@@ -119,7 +119,9 @@ pub fn load_params<R: Read>(store: &mut ParamStore, mut reader: R) -> Result<(),
     for id in ids {
         let name_len = read_u32(&mut reader)? as usize;
         if name_len > 1 << 20 {
-            return Err(CheckpointError::Format(format!("implausible name length {name_len}")));
+            return Err(CheckpointError::Format(format!(
+                "implausible name length {name_len}"
+            )));
         }
         let mut name_bytes = vec![0u8; name_len];
         reader.read_exact(&mut name_bytes)?;
@@ -200,7 +202,10 @@ mod tests {
     fn rejects_wrong_magic() {
         let mut store = sample_store();
         let err = load_params(&mut store, &b"NOTACKPT"[..]).unwrap_err();
-        assert!(matches!(err, CheckpointError::Format(_) | CheckpointError::Io(_)));
+        assert!(matches!(
+            err,
+            CheckpointError::Format(_) | CheckpointError::Io(_)
+        ));
     }
 
     #[test]

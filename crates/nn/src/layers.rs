@@ -58,7 +58,12 @@ impl Linear {
     ) -> Self {
         let w = store.add(format!("{name}.w"), rng.xavier_tensor(in_dim, out_dim));
         let b = bias.then(|| store.add(format!("{name}.b"), Tensor::zeros(1, out_dim)));
-        Self { w, b, in_dim, out_dim }
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Input feature width.
@@ -112,13 +117,20 @@ impl Mlp {
         hidden_act: Activation,
         output_act: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "Mlp needs at least [in, out] widths, got {dims:?}");
+        assert!(
+            dims.len() >= 2,
+            "Mlp needs at least [in, out] widths, got {dims:?}"
+        );
         let layers = dims
             .windows(2)
             .enumerate()
             .map(|(i, w)| Linear::new(store, rng, &format!("{name}.l{i}"), w[0], w[1], true))
             .collect();
-        Self { layers, hidden_act, output_act }
+        Self {
+            layers,
+            hidden_act,
+            output_act,
+        }
     }
 
     /// Input feature width.
@@ -142,7 +154,11 @@ impl Mlp {
         let mut h = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward(ctx, &h);
-            h = if i == last { self.output_act.apply(&h) } else { self.hidden_act.apply(&h) };
+            h = if i == last {
+                self.output_act.apply(&h)
+            } else {
+                self.hidden_act.apply(&h)
+            };
         }
         h
     }
@@ -167,7 +183,10 @@ impl Embedding {
         dim: usize,
         std: f32,
     ) -> Self {
-        let table = store.add(format!("{name}.table"), rng.normal_tensor(vocab, dim, 0.0, std));
+        let table = store.add(
+            format!("{name}.table"),
+            rng.normal_tensor(vocab, dim, 0.0, std),
+        );
         Self { table, vocab, dim }
     }
 
@@ -298,7 +317,11 @@ mod tests {
         let grads = ctx.backward(&loss);
         adam.step(&mut store, &grads);
 
-        assert_ne!(store.get(emb.table).row(3), &before[..], "looked-up row should train");
+        assert_ne!(
+            store.get(emb.table).row(3),
+            &before[..],
+            "looked-up row should train"
+        );
         assert_eq!(
             store.get(emb.table).row(7),
             &untouched_before[..],
@@ -312,7 +335,10 @@ mod tests {
         let store = ParamStore::new();
         let ctx = StepCtx::new(&store);
         let x = ctx.constant(Tensor::from_vec(1, 2, vec![-1.0, 1.0]).unwrap());
-        assert_eq!(Activation::Identity.apply(&x).value().as_slice(), &[-1.0, 1.0]);
+        assert_eq!(
+            Activation::Identity.apply(&x).value().as_slice(),
+            &[-1.0, 1.0]
+        );
         assert_eq!(Activation::Relu.apply(&x).value().as_slice(), &[0.0, 1.0]);
         let lr = Activation::LeakyRelu(0.5).apply(&x).value();
         assert_eq!(lr.as_slice(), &[-0.5, 1.0]);

@@ -35,7 +35,16 @@ impl Adam {
     /// Adam with the given learning rate and standard defaults
     /// (`β1=0.9, β2=0.999, ε=1e-8`, no weight decay).
     pub fn with_lr(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Sets the decoupled weight-decay coefficient.
@@ -75,21 +84,24 @@ impl Optimizer for Adam {
             let (rows, cols) = (g.rows(), g.cols());
             let m = self.m[idx].get_or_insert_with(|| Tensor::zeros(rows, cols));
             let v = self.v[idx].get_or_insert_with(|| Tensor::zeros(rows, cols));
-            let (b1, b2) = (self.beta1, self.beta2);
-            for ((mv, vv), &gv) in
-                m.as_mut_slice().iter_mut().zip(v.as_mut_slice()).zip(g.as_slice())
-            {
-                *mv = b1 * *mv + (1.0 - b1) * gv;
-                *vv = b2 * *vv + (1.0 - b2) * gv * gv;
-            }
             let param = store.get_mut(crate::param_id_from_index(idx));
+            let (b1, b2) = (self.beta1, self.beta2);
             let lr = self.lr;
             let (eps, wd) = (self.eps, self.weight_decay);
-            for ((pv, &mv), &vv) in
-                param.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
-            {
-                let m_hat = mv / bc1;
-                let v_hat = vv / bc2;
+            // Fused single pass: moments and the parameter update stream
+            // through each element once (per-element math identical to the
+            // classic two-pass formulation).
+            let it = param
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_mut_slice())
+                .zip(v.as_mut_slice())
+                .zip(g.as_slice());
+            for (((pv, mv), vv), &gv) in it {
+                *mv = b1 * *mv + (1.0 - b1) * gv;
+                *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                let m_hat = *mv / bc1;
+                let v_hat = *vv / bc2;
                 *pv -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * *pv);
             }
         }
@@ -114,7 +126,11 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and no momentum.
     pub fn with_lr(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Sets the momentum coefficient.
@@ -133,8 +149,8 @@ impl Optimizer for Sgd {
             let Some(g) = grad else { continue };
             let param = store.get_mut(crate::param_id_from_index(idx));
             if self.momentum > 0.0 {
-                let vel = self.velocity[idx]
-                    .get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
+                let vel =
+                    self.velocity[idx].get_or_insert_with(|| Tensor::zeros(g.rows(), g.cols()));
                 let mu = self.momentum;
                 for ((vv, &gv), pv) in vel
                     .as_mut_slice()

@@ -1,9 +1,10 @@
 //! Parameter storage and per-step tape bindings.
 
 use std::cell::RefCell;
+use std::rc::Rc;
 
 use mgbr_autograd::{Tape, Var};
-use mgbr_tensor::Tensor;
+use mgbr_tensor::{Tensor, Workspace};
 
 /// Opaque handle to a parameter in a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,10 +87,13 @@ impl ParamStore {
     }
 }
 
-/// One training step's binding of a [`ParamStore`] onto a fresh tape.
+/// One training step's binding of a [`ParamStore`] onto a tape.
 ///
 /// Parameters are bound lazily: a parameter not touched by this step's
-/// forward pass costs nothing and receives no gradient.
+/// forward pass costs nothing and receives no gradient. Use
+/// [`StepCtx::with_tape`] to reuse one long-lived tape (and its buffer
+/// pool) across every step of a training run — the allocation-free
+/// steady state of the execution engine.
 pub struct StepCtx<'s> {
     tape: Tape,
     store: &'s ParamStore,
@@ -99,7 +103,23 @@ pub struct StepCtx<'s> {
 impl<'s> StepCtx<'s> {
     /// Starts a step over `store` with a fresh tape.
     pub fn new(store: &'s ParamStore) -> Self {
-        Self { tape: Tape::new(), store, bound: RefCell::new(vec![None; store.len()]) }
+        Self {
+            tape: Tape::new(),
+            store,
+            bound: RefCell::new(vec![None; store.len()]),
+        }
+    }
+
+    /// Starts a step over `store` on a caller-owned tape, resetting it
+    /// first. Node storage from the previous step is recycled through the
+    /// tape's [`Workspace`], so repeated steps allocate nothing.
+    pub fn with_tape(tape: &Tape, store: &'s ParamStore) -> Self {
+        tape.reset();
+        Self {
+            tape: tape.clone(),
+            store,
+            bound: RefCell::new(vec![None; store.len()]),
+        }
     }
 
     /// The underlying tape (for constants created by callers).
@@ -113,7 +133,7 @@ impl<'s> StepCtx<'s> {
         if let Some(v) = &bound[id.0] {
             return v.clone();
         }
-        let var = self.tape.leaf(self.store.get(id).clone());
+        let var = self.tape.leaf_copied(self.store.get(id));
         bound[id.0] = Some(var.clone());
         var
     }
@@ -124,6 +144,9 @@ impl<'s> StepCtx<'s> {
     }
 
     /// Runs backward from `loss` and collects per-parameter gradients.
+    ///
+    /// The returned set keeps a handle to the tape's pool and recycles
+    /// its gradient buffers when dropped.
     pub fn backward(&self, loss: &Var) -> GradientSet {
         let mut grads = self.tape.backward(loss);
         let bound = self.bound.borrow();
@@ -131,16 +154,32 @@ impl<'s> StepCtx<'s> {
             .iter()
             .map(|slot| slot.as_ref().and_then(|var| grads.take(var)))
             .collect();
-        GradientSet { grads: per_param }
+        GradientSet {
+            grads: per_param,
+            pool: Some(self.tape.workspace_handle()),
+        }
     }
 }
 
 /// Gradients of one step, indexed by [`ParamId`].
 ///
 /// `None` entries correspond to parameters the step's loss did not depend
-/// on (optimizers skip them, preserving e.g. Adam moment state).
+/// on (optimizers skip them, preserving e.g. Adam moment state). When the
+/// set came from a [`StepCtx`], dropping it recycles the gradient buffers
+/// into the step's workspace.
 pub struct GradientSet {
     pub(crate) grads: Vec<Option<Tensor>>,
+    pub(crate) pool: Option<Rc<Workspace>>,
+}
+
+impl Drop for GradientSet {
+    fn drop(&mut self) {
+        if let Some(pool) = &self.pool {
+            for t in self.grads.drain(..).flatten() {
+                pool.recycle_tensor(t);
+            }
+        }
+    }
 }
 
 impl GradientSet {
@@ -234,8 +273,63 @@ mod tests {
     }
 
     #[test]
+    fn step_ctx_with_tape_reaches_allocation_free_steady_state() {
+        let mut store = ParamStore::new();
+        let w = store.add("w", Tensor::ones(4, 4));
+        let tape = Tape::new();
+        // Warmup step populates the pool.
+        {
+            let ctx = StepCtx::with_tape(&tape, &store);
+            let v = ctx.param(w);
+            let _ = ctx.backward(&v.sigmoid().sum_all());
+        }
+        let misses_before = tape.pool_stats().misses;
+        for _ in 0..3 {
+            let ctx = StepCtx::with_tape(&tape, &store);
+            let v = ctx.param(w);
+            let _ = ctx.backward(&v.sigmoid().sum_all());
+        }
+        assert_eq!(
+            tape.pool_stats().misses,
+            misses_before,
+            "repeated identical steps must be served entirely from the pool"
+        );
+    }
+
+    #[test]
+    fn with_tape_and_fresh_tape_grads_agree() {
+        let mut store = ParamStore::new();
+        let w = store.add(
+            "w",
+            Tensor::from_vec(2, 2, vec![0.2, -0.6, 1.1, 0.4]).unwrap(),
+        );
+        let fresh = {
+            let ctx = StepCtx::new(&store);
+            let v = ctx.param(w);
+            let grads = ctx.backward(&v.tanh().sum_all());
+            grads.get(w).unwrap().clone()
+        };
+        let tape = Tape::new();
+        let mut last = None;
+        for _ in 0..2 {
+            let ctx = StepCtx::with_tape(&tape, &store);
+            let v = ctx.param(w);
+            let grads = ctx.backward(&v.tanh().sum_all());
+            last = Some(grads.get(w).unwrap().clone());
+        }
+        assert_eq!(fresh.as_slice(), last.unwrap().as_slice());
+    }
+
+    #[test]
     fn clip_global_norm_scales_down() {
-        let mut gs = GradientSet { grads: vec![Some(Tensor::full(1, 1, 3.0)), Some(Tensor::full(1, 1, 4.0)), None] };
+        let mut gs = GradientSet {
+            grads: vec![
+                Some(Tensor::full(1, 1, 3.0)),
+                Some(Tensor::full(1, 1, 4.0)),
+                None,
+            ],
+            pool: None,
+        };
         assert!((gs.global_norm() - 5.0).abs() < 1e-6);
         let pre = gs.clip_global_norm(1.0);
         assert!((pre - 5.0).abs() < 1e-6);

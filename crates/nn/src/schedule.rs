@@ -36,10 +36,17 @@ impl LrSchedule {
         match self {
             LrSchedule::Constant => 1.0,
             LrSchedule::StepDecay { step_epochs, gamma } => {
-                let steps = if *step_epochs == 0 { 0 } else { epoch / step_epochs };
+                let steps = if *step_epochs == 0 {
+                    0
+                } else {
+                    epoch / step_epochs
+                };
                 gamma.powi(steps as i32)
             }
-            LrSchedule::Warmup { warmup_epochs, start_factor } => {
+            LrSchedule::Warmup {
+                warmup_epochs,
+                start_factor,
+            } => {
                 if epoch >= *warmup_epochs || *warmup_epochs == 0 {
                     1.0
                 } else {
@@ -47,7 +54,10 @@ impl LrSchedule {
                     start_factor + (1.0 - start_factor) * t
                 }
             }
-            LrSchedule::Cosine { total_epochs, final_factor } => {
+            LrSchedule::Cosine {
+                total_epochs,
+                final_factor,
+            } => {
                 if *total_epochs == 0 || epoch >= *total_epochs {
                     *final_factor
                 } else {
@@ -80,7 +90,13 @@ impl EarlyStopping {
     /// Stops after `patience` consecutive epochs without an improvement
     /// of at least `min_delta`.
     pub fn new(patience: usize, min_delta: f64) -> Self {
-        Self { patience, min_delta, best: None, best_epoch: 0, epochs_since_best: 0 }
+        Self {
+            patience,
+            min_delta,
+            best: None,
+            best_epoch: 0,
+            epochs_since_best: 0,
+        }
     }
 
     /// Reports an epoch's validation metric; returns `true` if training
@@ -125,7 +141,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = LrSchedule::StepDecay { step_epochs: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            step_epochs: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -134,7 +153,10 @@ mod tests {
 
     #[test]
     fn warmup_ramps_linearly() {
-        let s = LrSchedule::Warmup { warmup_epochs: 4, start_factor: 0.2 };
+        let s = LrSchedule::Warmup {
+            warmup_epochs: 4,
+            start_factor: 0.2,
+        };
         assert_eq!(s.factor(0), 0.2);
         assert!((s.factor(2) - 0.6).abs() < 1e-6);
         assert_eq!(s.factor(4), 1.0);
@@ -143,7 +165,10 @@ mod tests {
 
     #[test]
     fn cosine_decays_monotonically() {
-        let s = LrSchedule::Cosine { total_epochs: 10, final_factor: 0.1 };
+        let s = LrSchedule::Cosine {
+            total_epochs: 10,
+            final_factor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-6);
         let mut prev = s.factor(0);
         for e in 1..=10 {

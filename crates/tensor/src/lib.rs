@@ -11,7 +11,11 @@
 //! * Activations and row-wise softmax family ([`Tensor::sigmoid`],
 //!   [`Tensor::log_softmax_rows`], …).
 //! * Blocked GEMM in three transpose layouts ([`matmul`], [`matmul_nt`],
-//!   [`matmul_tn`]) tuned for a single CPU core.
+//!   [`matmul_tn`]) with `_into` variants writing into pooled buffers,
+//!   row-band parallelized behind the [`get_threads`] knob
+//!   (`MGBR_THREADS` env override) with a bitwise-determinism guarantee.
+//! * [`Workspace`] — a recycled buffer pool keyed by length, so steady-
+//!   state training performs no per-op heap allocation.
 //! * A deterministic, dependency-free PCG32 RNG ([`Pcg32`]) with Gaussian
 //!   and Xavier initializers, so every experiment in the repo is exactly
 //!   reproducible from a seed.
@@ -23,11 +27,15 @@
 
 mod matmul;
 mod ops;
+mod pool;
 mod rng;
 mod shape;
 mod tensor;
+mod threads;
 
-pub use matmul::{matmul, matmul_into, matmul_nt, matmul_tn};
+pub use matmul::{matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into};
+pub use pool::{PoolStats, Workspace};
 pub use rng::Pcg32;
 pub use shape::{Shape, ShapeError};
 pub use tensor::Tensor;
+pub use threads::{configure_threads, for_row_bands, get_threads, set_threads};

@@ -1,16 +1,24 @@
-//! Blocked single-threaded GEMM in the three transpose layouts needed by
-//! reverse-mode autodiff:
+//! Blocked GEMM in the three transpose layouts needed by reverse-mode
+//! autodiff:
 //!
-//! * forward:  `C  = A · B`        ([`matmul`])
-//! * dA:       `dA = dC · Bᵀ`      ([`matmul_nt`])
-//! * dB:       `dB = Aᵀ · dC`      ([`matmul_tn`])
+//! * forward:  `C  = A · B`        ([`matmul`] / [`matmul_into`])
+//! * dA:       `dA = dC · Bᵀ`      ([`matmul_nt`] / [`matmul_nt_into`])
+//! * dB:       `dB = Aᵀ · dC`      ([`matmul_tn`] / [`matmul_tn_into`])
 //!
 //! The kernels use i-k-j loop order (unit-stride inner loops over the
 //! output row) with 64-element k-blocking — the standard cache-friendly
-//! formulation that reaches a few GFLOP/s on one core without unsafe code,
-//! which is ample for the reproduction's matrix sizes (≤ a few thousand
-//! rows, feature dims ≤ 256).
+//! formulation that reaches a few GFLOP/s per core without unsafe code.
+//!
+//! **Parallelism & determinism.** Each kernel partitions its *output
+//! rows* into contiguous bands (one per worker, via
+//! `threads::for_row_bands`); a band body replays exactly the
+//! single-threaded loop structure restricted to its rows, so every
+//! output row accumulates in the identical sequential order regardless
+//! of the thread count — results are bitwise identical for any
+//! `MGBR_THREADS` setting. Small products run inline to avoid spawn
+//! overhead.
 
+use crate::threads::for_row_bands;
 use crate::Tensor;
 
 const K_BLOCK: usize = 64;
@@ -32,7 +40,13 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor, beta: f32) {
     let (m, k) = (a.rows(), a.cols());
     let (kb, n) = (b.rows(), b.cols());
-    assert_eq!(k, kb, "matmul: inner dim mismatch {} vs {}", a.shape(), b.shape());
+    assert_eq!(
+        k,
+        kb,
+        "matmul: inner dim mismatch {} vs {}",
+        a.shape(),
+        b.shape()
+    );
     assert!(
         c.rows() == m && c.cols() == n,
         "matmul: output shape {} != [{m}x{n}]",
@@ -45,49 +59,108 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor, beta: f32) {
     }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let c_data = c.as_mut_slice();
-    for k0 in (0..k).step_by(K_BLOCK) {
-        let k1 = (k0 + K_BLOCK).min(k);
-        for i in 0..m {
-            let a_row = &a_data[i * k..(i + 1) * k];
-            let c_row = &mut c_data[i * n..(i + 1) * n];
-            for kk in k0..k1 {
-                let aik = a_row[kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b_data[kk * n..(kk + 1) * n];
-                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                    *cv += aik * bv;
+    for_row_bands(c.as_mut_slice(), m, n, k * n, |r0, r1, band| {
+        for k0 in (0..k).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(k);
+            for i in r0..r1 {
+                let a_row = &a_data[i * k..(i + 1) * k];
+                let c_row = &mut band[(i - r0) * n..(i - r0 + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += aik * bv;
+                    }
                 }
             }
         }
-    }
+    });
 }
 
 /// `A (m×k) · Bᵀ where B is (n×k) → m×n`.
-///
-/// Both operands are traversed along their rows, so this layout needs no
-/// transposition copy; the inner loop is a dot product of two unit-stride
-/// slices.
 #[track_caller]
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut c = Tensor::zeros(a.rows(), b.rows());
+    matmul_nt_into(a, b, &mut c, 0.0);
+    c
+}
+
+std::thread_local! {
+    /// Scratch for the transposed right operand of [`matmul_nt_into`].
+    /// In backward passes `B` is a weight matrix (small next to `A`), so
+    /// one recycled buffer per thread keeps the transpose allocation-free.
+    static NT_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// `C = beta·C + A·Bᵀ`, writing into an existing buffer.
+///
+/// `B` is transposed once into a thread-local scratch so the product runs
+/// through the same broadcast-multiply-accumulate inner loop as
+/// [`matmul_into`] — the per-element dot-product formulation this
+/// replaces ran ~2.5× slower at the engine's backward shapes. Output rows
+/// are banded exactly like [`matmul_into`], preserving the bitwise
+/// any-thread-count guarantee.
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree or `C` has the wrong shape.
+#[track_caller]
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor, beta: f32) {
     let (m, k) = (a.rows(), a.cols());
     let (n, kb) = (b.rows(), b.cols());
-    assert_eq!(k, kb, "matmul_nt: inner dim mismatch {} vs {}ᵀ", a.shape(), b.shape());
-    let mut c = Tensor::zeros(m, n);
+    assert_eq!(
+        k,
+        kb,
+        "matmul_nt: inner dim mismatch {} vs {}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    assert!(
+        c.rows() == m && c.cols() == n,
+        "matmul_nt: output shape {} != [{m}x{n}]",
+        c.shape()
+    );
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        c.scale_inplace(beta);
+    }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let c_data = c.as_mut_slice();
-    for i in 0..m {
-        let a_row = &a_data[i * k..(i + 1) * k];
-        let c_row = &mut c_data[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
+    NT_SCRATCH.with(|cell| {
+        let mut bt = cell.borrow_mut();
+        bt.clear();
+        bt.resize(k * n, 0.0);
+        for j in 0..n {
             let b_row = &b_data[j * k..(j + 1) * k];
-            *cv += dot(a_row, b_row);
+            for (kk, &bv) in b_row.iter().enumerate() {
+                bt[kk * n + j] = bv;
+            }
         }
-    }
-    c
+        let bt = &bt[..];
+        for_row_bands(c.as_mut_slice(), m, n, k * n, |r0, r1, band| {
+            for k0 in (0..k).step_by(K_BLOCK) {
+                let k1 = (k0 + K_BLOCK).min(k);
+                for i in r0..r1 {
+                    let a_row = &a_data[i * k..(i + 1) * k];
+                    let c_row = &mut band[(i - r0) * n..(i - r0 + 1) * n];
+                    for kk in k0..k1 {
+                        let aik = a_row[kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let bt_row = &bt[kk * n..(kk + 1) * n];
+                        for (cv, &bv) in c_row.iter_mut().zip(bt_row) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        });
+    });
 }
 
 /// `Aᵀ where A is (k×m), times B (k×n) → m×n`.
@@ -97,52 +170,97 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 /// access unit-stride.
 #[track_caller]
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, m) = (a.rows(), a.cols());
-    let (kb, n) = (b.rows(), b.cols());
-    assert_eq!(k, kb, "matmul_tn: inner dim mismatch {}ᵀ vs {}", a.shape(), b.shape());
-    let mut c = Tensor::zeros(m, n);
-    let a_data = a.as_slice();
-    let b_data = b.as_slice();
-    let c_data = c.as_mut_slice();
-    for kk in 0..k {
-        let a_row = &a_data[kk * m..(kk + 1) * m];
-        let b_row = &b_data[kk * n..(kk + 1) * n];
-        for (i, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let c_row = &mut c_data[i * n..(i + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
-        }
-    }
+    let mut c = Tensor::zeros(a.cols(), b.cols());
+    matmul_tn_into(a, b, &mut c, 0.0);
     c
 }
 
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    // 4-way unrolled accumulation; the optimizer vectorizes this reliably.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        acc[0] += a[i] * b[i];
-        acc[1] += a[i + 1] * b[i + 1];
-        acc[2] += a[i + 2] * b[i + 2];
-        acc[3] += a[i + 3] * b[i + 3];
+/// `C = beta·C + Aᵀ·B`, writing into an existing buffer.
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree or `C` has the wrong shape.
+#[track_caller]
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor, beta: f32) {
+    let (k, m) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(
+        k,
+        kb,
+        "matmul_tn: inner dim mismatch {}ᵀ vs {}",
+        a.shape(),
+        b.shape()
+    );
+    assert!(
+        c.rows() == m && c.cols() == n,
+        "matmul_tn: output shape {} != [{m}x{n}]",
+        c.shape()
+    );
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        c.scale_inplace(beta);
     }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    if n < 16 {
+        // Narrow outputs (gate/head weight gradients) leave the inner
+        // loop too short to vectorize. Accumulate the transpose `Cᵀ`
+        // instead — inner loop runs m-wide over a row of A — then add it
+        // back. Every element still sums over k in ascending order, so
+        // the result is bitwise identical to the wide path (which is
+        // also why running it inline keeps the any-thread-count
+        // guarantee).
+        return NT_SCRATCH.with(|cell| {
+            let mut ct = cell.borrow_mut();
+            ct.clear();
+            ct.resize(n * m, 0.0);
+            for kk in 0..k {
+                let a_row = &a_data[kk * m..(kk + 1) * m];
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for (j, &bv) in b_row.iter().enumerate() {
+                    if bv == 0.0 {
+                        continue;
+                    }
+                    let ct_row = &mut ct[j * m..(j + 1) * m];
+                    for (cv, &av) in ct_row.iter_mut().zip(a_row) {
+                        *cv += bv * av;
+                    }
+                }
+            }
+            let c_data = c.as_mut_slice();
+            for j in 0..n {
+                let ct_row = &ct[j * m..(j + 1) * m];
+                for (i, &v) in ct_row.iter().enumerate() {
+                    c_data[i * n + j] += v;
+                }
+            }
+        });
     }
-    sum
+    // Output row i is column i of A; each band sweeps the shared k
+    // dimension in ascending order, so per-row accumulation order is
+    // independent of the banding.
+    for_row_bands(c.as_mut_slice(), m, n, k * n, |r0, r1, band| {
+        for kk in 0..k {
+            let a_row = &a_data[kk * m..(kk + 1) * m];
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (i, &av) in a_row[r0..r1].iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let c_row = &mut band[i * n..(i + 1) * n];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Pcg32;
+    use crate::{set_threads, Pcg32};
 
     fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
         let mut c = Tensor::zeros(a.rows(), b.cols());
@@ -161,7 +279,10 @@ mod tests {
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
         assert_eq!(a.shape(), b.shape());
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "{x} vs {y}"
+            );
         }
     }
 
@@ -216,6 +337,49 @@ mod tests {
         assert_eq!(c.scalar(), 16.0);
         matmul_into(&a, &b, &mut c, 0.0);
         assert_eq!(c.scalar(), 6.0);
+    }
+
+    #[test]
+    fn nt_tn_into_beta_accumulates() {
+        let a = Tensor::from_vec(1, 1, vec![2.0]).unwrap();
+        let b = Tensor::from_vec(1, 1, vec![3.0]).unwrap();
+        let mut c = Tensor::from_vec(1, 1, vec![10.0]).unwrap();
+        matmul_nt_into(&a, &b, &mut c, 1.0);
+        assert_eq!(c.scalar(), 16.0);
+        matmul_tn_into(&a, &b, &mut c, 0.0);
+        assert_eq!(c.scalar(), 6.0);
+    }
+
+    #[test]
+    fn threaded_gemm_is_bitwise_identical() {
+        let _guard = crate::threads::TEST_KNOB_LOCK.lock().unwrap();
+        // Large enough to clear the parallel work threshold.
+        let mut rng = Pcg32::seed_from_u64(5);
+        let a = rng.normal_tensor(96, 80, 0.0, 1.0);
+        let b = rng.normal_tensor(80, 64, 0.0, 1.0);
+        set_threads(1);
+        let c1 = matmul(&a, &b);
+        let nt1 = matmul_nt(&a, &b.transpose());
+        let tn1 = matmul_tn(&a.transpose(), &b);
+        for threads in [2usize, 3, 4, 8] {
+            set_threads(threads);
+            assert_eq!(
+                matmul(&a, &b).as_slice(),
+                c1.as_slice(),
+                "matmul threads={threads}"
+            );
+            assert_eq!(
+                matmul_nt(&a, &b.transpose()).as_slice(),
+                nt1.as_slice(),
+                "matmul_nt threads={threads}"
+            );
+            assert_eq!(
+                matmul_tn(&a.transpose(), &b).as_slice(),
+                tn1.as_slice(),
+                "matmul_tn threads={threads}"
+            );
+        }
+        set_threads(1);
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl Tensor {
     /// Adds the `1×cols` row vector `row` to every row of `self`.
     #[track_caller]
     pub fn add_row_broadcast(&self, row: &Self) -> Self {
-        assert_eq!(row.rows(), 1, "add_row_broadcast: rhs must be a row vector, got {}", row.shape());
+        assert_eq!(
+            row.rows(),
+            1,
+            "add_row_broadcast: rhs must be a row vector, got {}",
+            row.shape()
+        );
         assert_eq!(
             self.cols(),
             row.cols(),
@@ -74,7 +79,12 @@ impl Tensor {
     /// Scales row `r` of `self` by `col[r]`, where `col` is `rows×1`.
     #[track_caller]
     pub fn mul_col_broadcast(&self, col: &Self) -> Self {
-        assert_eq!(col.cols(), 1, "mul_col_broadcast: rhs must be a column vector, got {}", col.shape());
+        assert_eq!(
+            col.cols(),
+            1,
+            "mul_col_broadcast: rhs must be a column vector, got {}",
+            col.shape()
+        );
         assert_eq!(
             self.rows(),
             col.rows(),
@@ -154,6 +164,38 @@ impl Tensor {
         self.map(log_sigmoid_scalar)
     }
 
+    /// In-place logistic sigmoid (engine hot path; no allocation).
+    pub fn sigmoid_inplace(&mut self) {
+        self.map_inplace(sigmoid_scalar);
+    }
+
+    /// In-place hyperbolic tangent.
+    pub fn tanh_inplace(&mut self) {
+        self.map_inplace(f32::tanh);
+    }
+
+    /// In-place rectified linear unit.
+    pub fn relu_inplace(&mut self) {
+        self.map_inplace(|x| x.max(0.0));
+    }
+
+    /// In-place LeakyReLU with the given negative slope.
+    pub fn leaky_relu_inplace(&mut self, slope: f32) {
+        self.map_inplace(|x| if x >= 0.0 { x } else { slope * x });
+    }
+
+    /// In-place numerically stable `log(sigmoid(x))`.
+    pub fn log_sigmoid_inplace(&mut self) {
+        self.map_inplace(log_sigmoid_scalar);
+    }
+
+    /// In-place row-wise softmax.
+    pub fn softmax_rows_inplace(&mut self) {
+        for r in 0..self.rows() {
+            softmax_row(self.row_mut(r));
+        }
+    }
+
     /// Row-wise softmax: each row becomes a probability distribution.
     pub fn softmax_rows(&self) -> Self {
         let mut out = self.clone();
@@ -166,13 +208,18 @@ impl Tensor {
     /// Row-wise log-softmax (numerically stable log-sum-exp form).
     pub fn log_softmax_rows(&self) -> Self {
         let mut out = self.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
+        out.log_softmax_rows_inplace();
+        out
+    }
+
+    /// In-place row-wise log-softmax.
+    pub fn log_softmax_rows_inplace(&mut self) {
+        for r in 0..self.rows() {
+            let row = self.row_mut(r);
             let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
             let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
             row.iter_mut().for_each(|x| *x -= lse);
         }
-        out
     }
 
     /// Concatenates tensors horizontally (all must share a row count).
@@ -189,7 +236,12 @@ impl Tensor {
         let total_cols: usize = parts
             .iter()
             .map(|p| {
-                assert_eq!(p.rows(), rows, "concat_cols: row mismatch {} vs {rows}", p.rows());
+                assert_eq!(
+                    p.rows(),
+                    rows,
+                    "concat_cols: row mismatch {} vs {rows}",
+                    p.rows()
+                );
                 p.cols()
             })
             .sum();
@@ -214,7 +266,12 @@ impl Tensor {
         let total_rows: usize = parts
             .iter()
             .map(|p| {
-                assert_eq!(p.cols(), cols, "concat_rows: col mismatch {} vs {cols}", p.cols());
+                assert_eq!(
+                    p.cols(),
+                    cols,
+                    "concat_rows: col mismatch {} vs {cols}",
+                    p.cols()
+                );
                 p.rows()
             })
             .sum();
@@ -240,7 +297,8 @@ impl Tensor {
         );
         let mut out = Tensor::zeros(self.rows(), width);
         for r in 0..self.rows() {
-            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + width]);
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + width]);
         }
         out
     }
@@ -266,7 +324,13 @@ impl Tensor {
     pub fn rowwise_dot(&self, other: &Self) -> Self {
         self.assert_same_shape(other, "rowwise_dot");
         let data = (0..self.rows())
-            .map(|r| self.row(r).iter().zip(other.row(r)).map(|(&a, &b)| a * b).sum())
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(other.row(r))
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            })
             .collect();
         Tensor::col_vec(data)
     }
@@ -483,7 +547,9 @@ impl Tensor {
 
     /// Maximum element, or `-∞` for an empty tensor.
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))
+        self.as_slice()
+            .iter()
+            .fold(f32::NEG_INFINITY, |m, &x| m.max(x))
     }
 
     /// Index of the largest value in row `r` (first occurrence wins).

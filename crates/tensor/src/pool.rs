@@ -1,0 +1,158 @@
+//! `Workspace` — a recycled-buffer pool keyed by length.
+//!
+//! Training reuses the same tensor shapes every step (activations,
+//! gradients, adjacency products), so instead of round-tripping each
+//! `Vec<f32>` through the allocator per op, the engine draws buffers
+//! from a [`Workspace`] and recycles them when a step's tape resets.
+//! Buffers are keyed by exact length: the workload's shape set is small
+//! and fixed, so exact-match reuse hits nearly always after the first
+//! step (see [`Workspace::stats`]).
+//!
+//! The pool is intentionally single-threaded (`RefCell`, not a mutex):
+//! it lives on the training thread; parallel kernels only ever *fill*
+//! buffers that were drawn before the fork.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::Tensor;
+
+/// Allocation statistics of a [`Workspace`] (for tests and diagnostics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers served from the pool.
+    pub hits: usize,
+    /// Buffers that had to be freshly allocated.
+    pub misses: usize,
+    /// Buffers currently parked in the pool.
+    pub pooled: usize,
+}
+
+/// A recycled `Vec<f32>` pool keyed by buffer length.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pools: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
+    hits: RefCell<usize>,
+    misses: RefCell<usize>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws a zero-filled buffer of exactly `len` floats.
+    pub fn take(&self, len: usize) -> Vec<f32> {
+        let recycled = self.pools.borrow_mut().get_mut(&len).and_then(Vec::pop);
+        match recycled {
+            Some(mut v) => {
+                *self.hits.borrow_mut() += 1;
+                debug_assert!(v.capacity() >= len);
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => {
+                *self.misses.borrow_mut() += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Draws a zero-filled `rows × cols` tensor.
+    pub fn take_tensor(&self, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_vec(rows, cols, self.take(rows * cols)).expect("pool buffer sized to shape")
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&self, v: Vec<f32>) {
+        if v.capacity() == 0 {
+            return;
+        }
+        self.pools
+            .borrow_mut()
+            .entry(v.capacity())
+            .or_default()
+            .push(v);
+    }
+
+    /// Returns a tensor's storage to the pool for reuse.
+    pub fn recycle_tensor(&self, t: Tensor) {
+        self.recycle(t.into_vec());
+    }
+
+    /// Current hit/miss/pooled counts.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: *self.hits.borrow(),
+            misses: *self.misses.borrow(),
+            pooled: self.pools.borrow().values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Drops every pooled buffer (capacity goes back to the allocator).
+    pub fn clear(&self) {
+        self.pools.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_take_hits_pool() {
+        let ws = Workspace::new();
+        let mut a = ws.take(64);
+        a[0] = 7.0;
+        ws.recycle(a);
+        let b = ws.take(64);
+        assert_eq!(b.len(), 64);
+        assert!(
+            b.iter().all(|&v| v == 0.0),
+            "recycled buffer must be zeroed"
+        );
+        let s = ws.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_lengths_use_distinct_pools() {
+        let ws = Workspace::new();
+        ws.recycle(vec![1.0; 8]);
+        ws.recycle(vec![2.0; 16]);
+        assert_eq!(ws.take(8).len(), 8);
+        assert_eq!(ws.take(16).len(), 16);
+        assert_eq!(ws.stats().hits, 2);
+    }
+
+    #[test]
+    fn tensor_roundtrip_reuses_storage() {
+        let ws = Workspace::new();
+        let t = ws.take_tensor(4, 3);
+        assert_eq!(t.shape().to_string(), "[4x3]");
+        ws.recycle_tensor(t);
+        let t2 = ws.take_tensor(4, 3);
+        assert_eq!(t2.len(), 12);
+        assert_eq!(ws.stats().hits, 1);
+    }
+
+    #[test]
+    fn clear_empties_pools() {
+        let ws = Workspace::new();
+        ws.recycle(vec![0.0; 10]);
+        assert_eq!(ws.stats().pooled, 1);
+        ws.clear();
+        assert_eq!(ws.stats().pooled, 0);
+        let _ = ws.take(10);
+        assert_eq!(ws.stats().misses, 1);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_dropped() {
+        let ws = Workspace::new();
+        ws.recycle(Vec::new());
+        assert_eq!(ws.stats().pooled, 0);
+    }
+}

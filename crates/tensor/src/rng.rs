@@ -24,7 +24,11 @@ const PCG_MULT: u64 = 6364136223846793005;
 impl Pcg32 {
     /// Creates a generator from a seed and stream id.
     pub fn new(seed: u64, stream: u64) -> Self {
-        let mut rng = Self { state: 0, inc: (stream << 1) | 1, gauss_spare: None };
+        let mut rng = Self {
+            state: 0,
+            inc: (stream << 1) | 1,
+            gauss_spare: None,
+        };
         rng.next_u32();
         rng.state = rng.state.wrapping_add(seed);
         rng.next_u32();
@@ -160,7 +164,9 @@ impl Pcg32 {
     /// A fresh `rows × cols` tensor of `N(mean, std²)` draws.
     pub fn normal_tensor(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Tensor {
         let mut t = Tensor::zeros(rows, cols);
-        t.as_mut_slice().iter_mut().for_each(|x| *x = self.normal_with(mean, std));
+        t.as_mut_slice()
+            .iter_mut()
+            .for_each(|x| *x = self.normal_with(mean, std));
         t
     }
 
@@ -168,14 +174,18 @@ impl Pcg32 {
     pub fn xavier_tensor(&mut self, fan_in: usize, fan_out: usize) -> Tensor {
         let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
         let mut t = Tensor::zeros(fan_in, fan_out);
-        t.as_mut_slice().iter_mut().for_each(|x| *x = self.uniform_range(-bound, bound));
+        t.as_mut_slice()
+            .iter_mut()
+            .for_each(|x| *x = self.uniform_range(-bound, bound));
         t
     }
 
     /// Uniform `rows × cols` tensor in `[lo, hi)`.
     pub fn uniform_tensor(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Tensor {
         let mut t = Tensor::zeros(rows, cols);
-        t.as_mut_slice().iter_mut().for_each(|x| *x = self.uniform_range(lo, hi));
+        t.as_mut_slice()
+            .iter_mut()
+            .for_each(|x| *x = self.uniform_range(lo, hi));
         t
     }
 
@@ -260,7 +270,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(xs, (0..50).collect::<Vec<_>>(), "shuffle left slice in order");
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left slice in order"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl Shape {
     /// The transposed shape (`cols × rows`).
     #[inline]
     pub const fn transposed(&self) -> Self {
-        Self { rows: self.cols, cols: self.rows }
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+        }
     }
 
     /// Linear (row-major) offset of element `(r, c)`.
@@ -42,7 +45,10 @@ impl Shape {
     /// [`crate::Tensor`] performs the release-mode bounds check.
     #[inline]
     pub fn offset(&self, r: usize, c: usize) -> usize {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of {self}");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of {self}"
+        );
         r * self.cols + c
     }
 }
@@ -121,7 +127,10 @@ mod tests {
 
     #[test]
     fn shape_error_display() {
-        let e = ShapeError { expected: Shape::new(2, 2), actual_len: 3 };
+        let e = ShapeError {
+            expected: Shape::new(2, 2),
+            actual_len: 3,
+        };
         let msg = e.to_string();
         assert!(msg.contains("3 elements"), "{msg}");
         assert!(msg.contains("[2x2]"), "{msg}");

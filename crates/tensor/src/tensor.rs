@@ -19,7 +19,10 @@ pub struct Tensor {
 impl Tensor {
     /// A `rows × cols` tensor of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { shape: Shape::new(rows, cols), data: vec![0.0; rows * cols] }
+        Self {
+            shape: Shape::new(rows, cols),
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows × cols` tensor of ones.
@@ -29,7 +32,10 @@ impl Tensor {
 
     /// A `rows × cols` tensor filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { shape: Shape::new(rows, cols), data: vec![value; rows * cols] }
+        Self {
+            shape: Shape::new(rows, cols),
+            data: vec![value; rows * cols],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -49,7 +55,10 @@ impl Tensor {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
         let shape = Shape::new(rows, cols);
         if data.len() != shape.len() {
-            return Err(ShapeError { expected: shape, actual_len: data.len() });
+            return Err(ShapeError {
+                expected: shape,
+                actual_len: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -74,7 +83,10 @@ impl Tensor {
                 data.push(f(r, c));
             }
         }
-        Self { shape: Shape::new(rows, cols), data }
+        Self {
+            shape: Shape::new(rows, cols),
+            data,
+        }
     }
 
     /// The tensor's shape.
@@ -177,7 +189,10 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape, data: self.data.iter().map(|&x| f(x)).collect() }
+        Self {
+            shape: self.shape,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Applies `f` to every element in place.
@@ -189,8 +204,16 @@ impl Tensor {
     #[track_caller]
     pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
         self.assert_same_shape(other, "zip");
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Self { shape: self.shape, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Self {
+            shape: self.shape,
+            data,
+        }
     }
 
     /// Copies the contents of `src` (same shape) into `self`.
@@ -210,7 +233,11 @@ impl Tensor {
         let cols = self.cols();
         let mut out = Self::zeros(indices.len(), cols);
         for (k, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows(), "gather_rows: index {idx} out of {} rows", self.rows());
+            assert!(
+                idx < self.rows(),
+                "gather_rows: index {idx} out of {} rows",
+                self.rows()
+            );
             out.row_mut(k).copy_from_slice(self.row(idx));
         }
         out
@@ -220,10 +247,26 @@ impl Tensor {
     /// of [`Tensor::gather_rows`]). Duplicate indices accumulate.
     #[track_caller]
     pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Self) {
-        assert_eq!(indices.len(), src.rows(), "scatter_add_rows: {} indices for {} rows", indices.len(), src.rows());
-        assert_eq!(self.cols(), src.cols(), "scatter_add_rows: col mismatch {} vs {}", self.cols(), src.cols());
+        assert_eq!(
+            indices.len(),
+            src.rows(),
+            "scatter_add_rows: {} indices for {} rows",
+            indices.len(),
+            src.rows()
+        );
+        assert_eq!(
+            self.cols(),
+            src.cols(),
+            "scatter_add_rows: col mismatch {} vs {}",
+            self.cols(),
+            src.cols()
+        );
         for (k, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows(), "scatter_add_rows: index {idx} out of {} rows", self.rows());
+            assert!(
+                idx < self.rows(),
+                "scatter_add_rows: index {idx} out of {} rows",
+                self.rows()
+            );
             let dst = self.row_mut(idx);
             for (d, &s) in dst.iter_mut().zip(src.row(k)) {
                 *d += s;

@@ -1,0 +1,173 @@
+//! The execution engine's thread-count knob and the deterministic
+//! row-partitioned parallel driver.
+//!
+//! **Determinism guarantee.** Every parallel kernel in this workspace
+//! partitions its *output rows* into contiguous bands, one band per
+//! worker, and each row is computed by exactly one worker using exactly
+//! the same sequential accumulation order the single-threaded kernel
+//! uses. Floating-point results are therefore **bitwise identical** at
+//! any thread count — the knob trades wall-clock time only, never
+//! numerics. Tests assert this (see `mgbr-core`'s
+//! `training_is_bitwise_identical_across_thread_counts`).
+//!
+//! Precedence of the knob: the `MGBR_THREADS` environment variable (if
+//! set and ≥ 1) overrides everything; otherwise [`configure_threads`]
+//! applies the config value (0 = auto-detect); [`set_threads`] sets it
+//! directly (used by benchmarks and tests).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 means "not yet initialized" — first read resolves env/auto.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn env_threads() -> Option<usize> {
+    std::env::var("MGBR_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of worker threads parallel kernels use right now.
+pub fn get_threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let resolved = env_threads().unwrap_or_else(auto_threads);
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Sets the worker-thread count directly (clamped to ≥ 1).
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Applies a config-level thread request: `MGBR_THREADS` (if set) wins,
+/// else `requested` (with 0 meaning auto-detect).
+pub fn configure_threads(requested: usize) {
+    let n = match env_threads() {
+        Some(n) => n,
+        None if requested >= 1 => requested,
+        None => auto_threads(),
+    };
+    set_threads(n);
+}
+
+/// Minimum per-row work (in fused multiply-adds) before a kernel bothers
+/// spawning threads; below this, thread startup dominates.
+pub const PARALLEL_WORK_THRESHOLD: usize = 1 << 16;
+
+/// Runs `body(r0, r1, band)` over contiguous bands of `out`, which holds
+/// `rows` rows of `row_stride` floats each.
+///
+/// With one worker (or one band's worth of rows) the body runs inline on
+/// the caller's thread; otherwise bands are dispatched on a
+/// `std::thread::scope`. Each output row belongs to exactly one band, so
+/// any row-sequential accumulation the body performs is bitwise
+/// independent of the band count.
+///
+/// `work_per_row` is the approximate FLOP count per output row, used to
+/// skip threading for small problems.
+pub fn for_row_bands<F>(
+    out: &mut [f32],
+    rows: usize,
+    row_stride: usize,
+    work_per_row: usize,
+    body: F,
+) where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(out.len(), rows * row_stride);
+    let threads = get_threads().min(rows.max(1));
+    if threads <= 1 || rows * work_per_row < PARALLEL_WORK_THRESHOLD {
+        body(0, rows, out);
+        return;
+    }
+    // Ceil-divide so the first bands absorb the remainder; every band is
+    // a whole number of rows.
+    let band_rows = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut r0 = 0usize;
+        while r0 < rows {
+            let r1 = (r0 + band_rows).min(rows);
+            let (band, tail) = rest.split_at_mut((r1 - r0) * row_stride);
+            rest = tail;
+            let body = &body;
+            scope.spawn(move || body(r0, r1, band));
+            r0 = r1;
+        }
+    });
+}
+
+/// Serializes tests that mutate the global thread knob (the test harness
+/// runs tests concurrently in one process).
+#[cfg(test)]
+pub(crate) static TEST_KNOB_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_roundtrip() {
+        let _guard = TEST_KNOB_LOCK.lock().unwrap();
+        set_threads(3);
+        assert_eq!(get_threads(), 3);
+        set_threads(0); // clamped
+        assert_eq!(get_threads(), 1);
+        set_threads(1);
+    }
+
+    #[test]
+    fn configure_respects_explicit_request() {
+        let _guard = TEST_KNOB_LOCK.lock().unwrap();
+        // MGBR_THREADS is not set in the test environment unless the
+        // harness exports it; in that case env wins by design and this
+        // test is vacuous.
+        if env_threads().is_none() {
+            configure_threads(2);
+            assert_eq!(get_threads(), 2);
+            configure_threads(0);
+            assert!(get_threads() >= 1);
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn bands_cover_all_rows_exactly_once() {
+        let _guard = TEST_KNOB_LOCK.lock().unwrap();
+        for threads in [1usize, 2, 3, 4, 7] {
+            set_threads(threads);
+            let rows = 23;
+            let stride = 5;
+            let mut out = vec![0.0f32; rows * stride];
+            // Huge work estimate to force the parallel path.
+            for_row_bands(&mut out, rows, stride, usize::MAX / rows, |r0, r1, band| {
+                assert_eq!(band.len(), (r1 - r0) * stride);
+                for (i, row) in band.chunks_mut(stride).enumerate() {
+                    for v in row.iter_mut() {
+                        *v += (r0 + i) as f32 + 1.0;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for c in 0..stride {
+                    assert_eq!(
+                        out[r * stride + c],
+                        r as f32 + 1.0,
+                        "threads={threads} r={r}"
+                    );
+                }
+            }
+        }
+        set_threads(1);
+    }
+}

@@ -25,14 +25,24 @@ fn main() {
     let test_a = sampler.task_a_instances(&split.test, 9);
     let test_b = sampler.task_b_instances(&split.test, 9);
 
-    let base_cfg = MgbrConfig { d: 12, t_size: 6, ..MgbrConfig::repro_scale() };
-    let tc = TrainConfig { epochs: 5, ..TrainConfig::repro_scale() };
+    let base_cfg = MgbrConfig {
+        d: 12,
+        t_size: 6,
+        ..MgbrConfig::repro_scale()
+    };
+    let tc = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::repro_scale()
+    };
 
     println!("| Variant   | params   | A MRR@10 | A NDCG@10 | B MRR@10 | B NDCG@10 |");
     println!("|-----------|----------|----------|-----------|----------|-----------|");
     let mut results = Vec::new();
     for variant in MgbrVariant::all() {
-        let mut model = Mgbr::new(base_cfg.clone().with_variant(variant), &split.train_dataset());
+        let mut model = Mgbr::new(
+            base_cfg.clone().with_variant(variant),
+            &split.train_dataset(),
+        );
         let report = train(&mut model, &dataset, &split, &tc);
         let scorer = model.scorer();
         let ma = evaluate_task_a(&scorer, &test_a, 10);

@@ -61,13 +61,20 @@ fn main() {
         test_b: sampler.task_b_instances(&split.test, 9),
         dataset,
         split,
-        tc: TrainConfig { epochs: 5, ..TrainConfig::repro_scale() },
+        tc: TrainConfig {
+            epochs: 5,
+            ..TrainConfig::repro_scale()
+        },
     };
 
     println!("| Model    | params   | A MRR@10 | A NDCG@10 | B MRR@10 | B NDCG@10 |");
     println!("|----------|----------|----------|-----------|----------|-----------|");
 
-    let bcfg = BaselineConfig { d: 24, layers: 2, seed: 42 };
+    let bcfg = BaselineConfig {
+        d: 24,
+        layers: 2,
+        seed: 42,
+    };
     let train_ds = arena.split.train_dataset();
     arena.run_baseline(DeepMf::new(&bcfg, &train_ds));
     arena.run_baseline(Ngcf::new(&bcfg, &train_ds));
@@ -76,7 +83,11 @@ fn main() {
     arena.run_baseline(Gbgcn::new(&bcfg, &train_ds));
     arena.run_baseline(Gbmf::new(&bcfg, &train_ds));
 
-    let cfg = MgbrConfig { d: 12, t_size: 6, ..MgbrConfig::repro_scale() };
+    let cfg = MgbrConfig {
+        d: 12,
+        t_size: 6,
+        ..MgbrConfig::repro_scale()
+    };
     let mut mgbr = Mgbr::new(cfg, &train_ds);
     train(&mut mgbr, &arena.dataset, &arena.split, &arena.tc);
     let params = mgbr.param_count();

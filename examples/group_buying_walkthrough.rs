@@ -29,9 +29,16 @@ fn main() {
     let split = split_dataset(&history, (8.0, 1.0, 1.0), 7);
 
     // Train the recommender over the historical log.
-    let cfg = MgbrConfig { d: 12, t_size: 6, ..MgbrConfig::repro_scale() };
+    let cfg = MgbrConfig {
+        d: 12,
+        t_size: 6,
+        ..MgbrConfig::repro_scale()
+    };
     let mut model = Mgbr::new(cfg, &split.train_dataset());
-    let tc = TrainConfig { epochs: 5, ..TrainConfig::repro_scale() };
+    let tc = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::repro_scale()
+    };
     train(&mut model, &history, &split, &tc);
     let scorer = model.scorer();
 
@@ -44,15 +51,20 @@ fn main() {
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("recommended products (candidate list shown to the initiator):");
     for (rank, (item, s)) in ranked.iter().take(5).enumerate() {
-        println!("  #{:<2} product {:>4}   ranking score {s:.4}", rank + 1, item);
+        println!(
+            "  #{:<2} product {:>4}   ranking score {s:.4}",
+            rank + 1,
+            item
+        );
     }
     let chosen = ranked[0].0;
     println!("→ initiator {initiator} launches a group buying for product {chosen}\n");
 
     // ---- Phase 2: the platform pushes the open group to other users. ----
     println!("=== Phase 2: recommending the open group (u={initiator}, i={chosen}) ===");
-    let candidates: Vec<u32> =
-        (0..history.n_users as u32).filter(|&p| p != initiator).collect();
+    let candidates: Vec<u32> = (0..history.n_users as u32)
+        .filter(|&p| p != initiator)
+        .collect();
     let pscores = scorer.score_participants(initiator, chosen, &candidates);
     let mut pranked: Vec<(u32, f32)> = candidates.iter().copied().zip(pscores).collect();
     pranked.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -65,7 +77,11 @@ fn main() {
         let joins = joined.len() < DEAL_THRESHOLD;
         println!(
             "  push → user {p:>4}  ranking score {s:.4}  {}",
-            if joins { "JOINS the group" } else { "(group already full)" }
+            if joins {
+                "JOINS the group"
+            } else {
+                "(group already full)"
+            }
         );
         if joins {
             joined.push(*p);
@@ -81,7 +97,11 @@ fn main() {
     // cellphone-vs-book example).
     println!("\n=== Why the sub-tasks interact (the paper's §II-D1 insight) ===");
     let runner_up = ranked[1].0;
-    let follow_best: f32 = pranked.iter().take(DEAL_THRESHOLD).map(|(_, s)| s).sum::<f32>()
+    let follow_best: f32 = pranked
+        .iter()
+        .take(DEAL_THRESHOLD)
+        .map(|(_, s)| s)
+        .sum::<f32>()
         / DEAL_THRESHOLD as f32;
     let alt_scores = scorer.score_participants(initiator, runner_up, &candidates);
     let mut alt: Vec<f32> = alt_scores;

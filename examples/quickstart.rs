@@ -28,11 +28,18 @@ fn main() {
 
     // 2. Split 7:3:1 and train MGBR on the training partition's graphs.
     let split = split_dataset(&dataset, (7.0, 3.0, 1.0), 42);
-    let cfg = MgbrConfig { d: 12, t_size: 6, ..MgbrConfig::repro_scale() };
+    let cfg = MgbrConfig {
+        d: 12,
+        t_size: 6,
+        ..MgbrConfig::repro_scale()
+    };
     let mut model = Mgbr::new(cfg, &split.train_dataset());
     println!("MGBR built: {} trainable parameters", model.param_count());
 
-    let tc = TrainConfig { epochs: 5, ..TrainConfig::repro_scale() };
+    let tc = TrainConfig {
+        epochs: 5,
+        ..TrainConfig::repro_scale()
+    };
     let trained = train(&mut model, &dataset, &split, &tc);
     println!("epoch losses: {:?}", trained.epoch_losses);
 
@@ -64,6 +71,9 @@ fn main() {
     let test_b = sampler.task_b_instances(&split.test, 9);
     let ma = evaluate_task_a(&scorer, &test_a, 10);
     let mb = evaluate_task_b(&scorer, &test_b, 10);
-    println!("\nheld-out: Task A MRR@10 = {:.4}, Task B MRR@10 = {:.4}", ma.mrr, mb.mrr);
+    println!(
+        "\nheld-out: Task A MRR@10 = {:.4}, Task B MRR@10 = {:.4}",
+        ma.mrr, mb.mrr
+    );
     println!("(uniform-random scoring would sit near 0.29 on 1:9 candidate lists)");
 }

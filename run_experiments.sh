@@ -9,4 +9,8 @@ for exp in table1_dataset table2_hyperparams table3_overall table4_ablation \
   echo "=== running $exp ==="
   ./target/release/$exp | tee results/$exp.txt
 done
+# Training-throughput benchmark for the execution engine; emits
+# results/BENCH_engine.json itself.
+echo "=== running bench_engine ==="
+./target/release/bench_engine | tee results/bench_engine.txt
 echo "=== all experiments complete ==="

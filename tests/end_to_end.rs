@@ -2,13 +2,16 @@
 //! MGBR training → evaluation, spanning every crate in the workspace.
 
 use mgbr_core::{train, Mgbr, MgbrConfig, TrainConfig};
-use mgbr_data::{
-    filter_min_interactions, split_dataset, synthetic, Sampler, SyntheticConfig,
-};
+use mgbr_data::{filter_min_interactions, split_dataset, synthetic, Sampler, SyntheticConfig};
 use mgbr_eval::{evaluate_task_a, evaluate_task_b, GroupBuyScorer};
 
 fn pipeline_cfg() -> SyntheticConfig {
-    SyntheticConfig { n_users: 150, n_items: 60, n_groups: 500, ..SyntheticConfig::tiny() }
+    SyntheticConfig {
+        n_users: 150,
+        n_items: 60,
+        n_groups: 500,
+        ..SyntheticConfig::tiny()
+    }
 }
 
 #[test]
@@ -16,12 +19,27 @@ fn full_pipeline_learns_both_tasks() {
     let raw = synthetic::generate(&pipeline_cfg());
     let (dataset, report) = filter_min_interactions(&raw, 5);
     assert!(dataset.groups.len() + report.groups_removed == raw.groups.len());
-    assert!(!dataset.groups.is_empty(), "filter should not empty the dataset");
+    assert!(
+        !dataset.groups.is_empty(),
+        "filter should not empty the dataset"
+    );
 
     let split = split_dataset(&dataset, (7.0, 3.0, 1.0), 42);
-    let cfg = MgbrConfig { d: 8, n_experts: 3, t_size: 4, mlp_hidden: vec![8], ..MgbrConfig::paper() };
+    let cfg = MgbrConfig {
+        d: 8,
+        n_experts: 3,
+        t_size: 4,
+        mlp_hidden: vec![8],
+        ..MgbrConfig::paper()
+    };
     let mut model = Mgbr::new(cfg, &split.train_dataset());
-    let tc = TrainConfig { epochs: 5, lr: 8e-3, batch_size: 64, n_neg: 4, ..TrainConfig::paper() };
+    let tc = TrainConfig {
+        epochs: 5,
+        lr: 8e-3,
+        batch_size: 64,
+        n_neg: 4,
+        ..TrainConfig::paper()
+    };
     let trained = train(&mut model, &dataset, &split, &tc);
 
     // Loss must improve over training.
@@ -48,9 +66,20 @@ fn pipeline_is_fully_deterministic() {
         let raw = synthetic::generate(&pipeline_cfg());
         let (dataset, _) = filter_min_interactions(&raw, 5);
         let split = split_dataset(&dataset, (7.0, 3.0, 1.0), 42);
-        let cfg = MgbrConfig { d: 6, n_experts: 2, t_size: 3, mlp_hidden: vec![6], ..MgbrConfig::paper() };
+        let cfg = MgbrConfig {
+            d: 6,
+            n_experts: 2,
+            t_size: 3,
+            mlp_hidden: vec![6],
+            ..MgbrConfig::paper()
+        };
         let mut model = Mgbr::new(cfg, &split.train_dataset());
-        let tc = TrainConfig { epochs: 2, batch_size: 64, n_neg: 3, ..TrainConfig::paper() };
+        let tc = TrainConfig {
+            epochs: 2,
+            batch_size: 64,
+            n_neg: 3,
+            ..TrainConfig::paper()
+        };
         let trained = train(&mut model, &dataset, &split, &tc);
         let scorer = model.scorer();
         let scores = scorer.score_items(3, &[0, 1, 2, 3, 4]);
@@ -85,7 +114,13 @@ fn scorer_candidate_order_does_not_change_scores() {
     let raw = synthetic::generate(&pipeline_cfg());
     let (dataset, _) = filter_min_interactions(&raw, 5);
     let split = split_dataset(&dataset, (8.0, 1.0, 1.0), 1);
-    let cfg = MgbrConfig { d: 6, n_experts: 2, t_size: 3, mlp_hidden: vec![6], ..MgbrConfig::paper() };
+    let cfg = MgbrConfig {
+        d: 6,
+        n_experts: 2,
+        t_size: 3,
+        mlp_hidden: vec![6],
+        ..MgbrConfig::paper()
+    };
     let model = Mgbr::new(cfg, &split.train_dataset());
     let scorer = model.scorer();
 

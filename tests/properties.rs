@@ -1,174 +1,245 @@
-//! Property-based tests (proptest) on the workspace's core invariants:
-//! tensor algebra, graph normalization, sampling exclusions, metric
-//! ranges, and generator schema guarantees under arbitrary inputs.
-
-use proptest::prelude::*;
+//! Property-based tests on the workspace's core invariants: tensor
+//! algebra, graph normalization, sampling exclusions, metric ranges, and
+//! generator schema guarantees under randomized inputs.
+//!
+//! The case generator is the in-tree [`Pcg32`] (no external proptest
+//! dependency — the workspace must build offline): each property runs 64
+//! seeded cases, and failures report the case index so a run is exactly
+//! reproducible.
 
 use mgbr_data::{filter_min_interactions, synthetic, Dataset, DealGroup, Sampler, SyntheticConfig};
 use mgbr_eval::metrics::{mrr_at, ndcg_at, rank_of_positive};
 use mgbr_graph::{spmm, Csr};
 use mgbr_tensor::{matmul, matmul_nt, matmul_tn, Pcg32, Tensor};
 
-fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
-    proptest::collection::vec(-10.0f32..10.0, rows * cols)
-        .prop_map(move |v| Tensor::from_vec(rows, cols, v).expect("sized vec"))
+const CASES: u64 = 64;
+
+/// Runs `body` for `CASES` independently seeded cases.
+fn for_cases(name: &str, mut body: impl FnMut(u64, &mut Pcg32)) {
+    for case in 0..CASES {
+        // Decorrelate the per-case streams from the raw case index.
+        let mut rng = Pcg32::seed_from_u64(0x9e37_79b9 ^ (case * 0x1000_0001));
+        let _ = name;
+        body(case, &mut rng);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_tensor(rng: &mut Pcg32, rows: usize, cols: usize) -> Tensor {
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.uniform() * 20.0 - 10.0)
+        .collect();
+    Tensor::from_vec(rows, cols, data).expect("sized vec")
+}
 
-    // --- Tensor algebra -------------------------------------------------
+fn random_edges(rng: &mut Pcg32, n: usize, max_edges: usize) -> Vec<(usize, usize)> {
+    let count = 1 + (rng.next_u64() as usize) % max_edges;
+    (0..count)
+        .map(|_| ((rng.next_u64() as usize) % n, (rng.next_u64() as usize) % n))
+        .collect()
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(
-        a in tensor_strategy(3, 4),
-        b in tensor_strategy(4, 2),
-        c in tensor_strategy(4, 2),
-    ) {
+// --- Tensor algebra -------------------------------------------------------
+
+#[test]
+fn matmul_distributes_over_addition() {
+    for_cases("matmul_distributes", |case, rng| {
+        let a = random_tensor(rng, 3, 4);
+        let b = random_tensor(rng, 4, 2);
+        let c = random_tensor(rng, 4, 2);
         let lhs = matmul(&a, &b.add(&c));
         let rhs = matmul(&a, &b).add(&matmul(&a, &c));
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-2, "case {case}: {x} vs {y}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn matmul_transpose_variants_agree(
-        a in tensor_strategy(3, 5),
-        b in tensor_strategy(5, 2),
-    ) {
+#[test]
+fn matmul_transpose_variants_agree() {
+    for_cases("matmul_transpose", |case, rng| {
+        let a = random_tensor(rng, 3, 5);
+        let b = random_tensor(rng, 5, 2);
         let direct = matmul(&a, &b);
         let via_nt = matmul_nt(&a, &b.transpose());
         let via_tn = matmul_tn(&a.transpose(), &b);
-        for ((x, y), z) in direct.as_slice().iter().zip(via_nt.as_slice()).zip(via_tn.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3);
-            prop_assert!((x - z).abs() < 1e-3);
+        for ((x, y), z) in direct
+            .as_slice()
+            .iter()
+            .zip(via_nt.as_slice())
+            .zip(via_tn.as_slice())
+        {
+            assert!((x - y).abs() < 1e-3, "case {case}: nt {x} vs {y}");
+            assert!((x - z).abs() < 1e-3, "case {case}: tn {x} vs {z}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn concat_slice_roundtrip(
-        a in tensor_strategy(4, 3),
-        b in tensor_strategy(4, 5),
-    ) {
+#[test]
+fn concat_slice_roundtrip() {
+    for_cases("concat_slice", |case, rng| {
+        let a = random_tensor(rng, 4, 3);
+        let b = random_tensor(rng, 4, 5);
         let joined = Tensor::concat_cols(&[&a, &b]);
-        prop_assert_eq!(joined.slice_cols(0, 3), a);
-        prop_assert_eq!(joined.slice_cols(3, 5), b);
-    }
+        assert_eq!(joined.slice_cols(0, 3), a, "case {case}");
+        assert_eq!(joined.slice_cols(3, 5), b, "case {case}");
+    });
+}
 
-    #[test]
-    fn softmax_rows_is_distribution(x in tensor_strategy(3, 6)) {
+#[test]
+fn softmax_rows_is_distribution() {
+    for_cases("softmax_rows", |case, rng| {
+        let x = random_tensor(rng, 3, 6);
         let s = x.softmax_rows();
         for r in 0..3 {
             let sum: f32 = s.row(r).iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-4);
-            prop_assert!(s.row(r).iter().all(|&v| v >= 0.0));
+            assert!((sum - 1.0).abs() < 1e-4, "case {case}: row sum {sum}");
+            assert!(s.row(r).iter().all(|&v| v >= 0.0), "case {case}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn log_sigmoid_is_log_of_sigmoid(x in tensor_strategy(2, 5)) {
+#[test]
+fn log_sigmoid_is_log_of_sigmoid() {
+    for_cases("log_sigmoid", |case, rng| {
+        let x = random_tensor(rng, 2, 5);
         let ls = x.log_sigmoid();
         let sl = x.sigmoid().map(f32::ln);
         for (a, b) in ls.as_slice().iter().zip(sl.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-4, "case {case}: {a} vs {b}");
         }
-    }
+    });
+}
 
-    // --- Graph substrate -------------------------------------------------
+// --- Graph substrate ------------------------------------------------------
 
-    #[test]
-    fn normalized_adjacency_is_symmetric_and_bounded(
-        edges in proptest::collection::vec((0usize..12, 0usize..12), 1..40),
-    ) {
+#[test]
+fn normalized_adjacency_is_symmetric_and_bounded() {
+    for_cases("normalized_adjacency", |case, rng| {
+        let edges = random_edges(rng, 12, 40);
         let adj = Csr::undirected_adjacency(12, &edges);
         let norm = adj.sym_normalized();
-        prop_assert!(norm.is_symmetric());
+        assert!(norm.is_symmetric(), "case {case}");
         // Spectral bound: all entries of D^{-1/2}(A+I)D^{-1/2} lie in [0,1].
         for r in 0..12 {
             for (_, v) in norm.row(r) {
-                prop_assert!((0.0..=1.0 + 1e-5).contains(&v), "entry {v}");
+                assert!((0.0..=1.0 + 1e-5).contains(&v), "case {case}: entry {v}");
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn spmm_linear_in_rhs(
-        edges in proptest::collection::vec((0usize..8, 0usize..8), 1..20),
-        x in tensor_strategy(8, 3),
-        alpha in -3.0f32..3.0,
-    ) {
+#[test]
+fn spmm_linear_in_rhs() {
+    for_cases("spmm_linear", |case, rng| {
+        let edges = random_edges(rng, 8, 20);
+        let x = random_tensor(rng, 8, 3);
+        let alpha = rng.uniform() * 6.0 - 3.0;
         let adj = Csr::undirected_adjacency(8, &edges).sym_normalized();
         let lhs = spmm(&adj, &x.scale(alpha));
         let rhs = spmm(&adj, &x).scale(alpha);
         for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-3);
+            assert!((a - b).abs() < 1e-3, "case {case}: {a} vs {b}");
         }
-    }
+    });
+}
 
-    // --- Metrics ----------------------------------------------------------
+// --- Metrics --------------------------------------------------------------
 
-    #[test]
-    fn rank_is_within_list(scores in proptest::collection::vec(-5.0f32..5.0, 1..30)) {
+#[test]
+fn rank_is_within_list() {
+    for_cases("rank_within_list", |case, rng| {
+        let len = 1 + (rng.next_u64() as usize) % 29;
+        let scores: Vec<f32> = (0..len).map(|_| rng.uniform() * 10.0 - 5.0).collect();
         let rank = rank_of_positive(&scores);
-        prop_assert!(rank >= 1 && rank <= scores.len());
-    }
+        assert!(
+            rank >= 1 && rank <= scores.len(),
+            "case {case}: rank {rank} in 1..={len}"
+        );
+    });
+}
 
-    #[test]
-    fn metric_monotone_in_rank(rank in 1usize..50, cutoff in 1usize..20) {
+#[test]
+fn metric_monotone_in_rank() {
+    for_cases("metric_monotone", |case, rng| {
+        let rank = 1 + (rng.next_u64() as usize) % 49;
+        let cutoff = 1 + (rng.next_u64() as usize) % 19;
         let m1 = mrr_at(rank, cutoff);
         let m2 = mrr_at(rank + 1, cutoff);
-        prop_assert!(m1 >= m2);
+        assert!(m1 >= m2, "case {case}");
         let n1 = ndcg_at(rank, cutoff);
         let n2 = ndcg_at(rank + 1, cutoff);
-        prop_assert!(n1 >= n2);
-        prop_assert!((0.0..=1.0).contains(&m1));
-        prop_assert!((0.0..=1.0).contains(&n1));
-    }
+        assert!(n1 >= n2, "case {case}");
+        assert!((0.0..=1.0).contains(&m1), "case {case}");
+        assert!((0.0..=1.0).contains(&n1), "case {case}");
+    });
+}
 
-    // --- Sampling ----------------------------------------------------------
+// --- Sampling -------------------------------------------------------------
 
-    #[test]
-    fn negative_items_respect_interactions(seed in 0u64..500) {
-        let ds = synthetic::generate(&SyntheticConfig { seed, ..SyntheticConfig::tiny() });
+#[test]
+fn negative_items_respect_interactions() {
+    for_cases("negative_items", |case, rng| {
+        let seed = rng.next_u64() % 500;
+        let ds = synthetic::generate(&SyntheticConfig {
+            seed,
+            ..SyntheticConfig::tiny()
+        });
         let mut sampler = Sampler::new(&ds, seed);
         let g = &ds.groups[0];
         let negs = sampler.negative_items(g.initiator, 9);
-        prop_assert_eq!(negs.len(), 9);
+        assert_eq!(negs.len(), 9, "case {case}");
         for &i in &negs {
-            prop_assert!(!sampler.interacted(g.initiator, i));
+            assert!(!sampler.interacted(g.initiator, i), "case {case}: item {i}");
         }
-    }
-
-    #[test]
-    fn filter_never_increases_counts(min in 0usize..8, seed in 0u64..200) {
-        let ds = synthetic::generate(&SyntheticConfig { seed, ..SyntheticConfig::tiny() });
-        let (out, report) = filter_min_interactions(&ds, min);
-        prop_assert!(out.groups.len() <= ds.groups.len());
-        prop_assert!(out.n_users <= ds.n_users);
-        prop_assert!(out.n_items <= ds.n_items);
-        prop_assert_eq!(report.groups_removed, ds.groups.len() - out.groups.len());
-        // Validity of all ids in the compacted dataset is checked by the
-        // Dataset constructor inside the filter.
-    }
-
-    // --- Generator schema ----------------------------------------------------
-
-    #[test]
-    fn generator_schema_invariants(seed in 0u64..300) {
-        let cfg = SyntheticConfig { seed, n_groups: 60, ..SyntheticConfig::tiny() };
-        let ds = synthetic::generate(&cfg);
-        prop_assert_eq!(ds.groups.len(), 60);
-        for g in &ds.groups {
-            prop_assert!((g.initiator as usize) < cfg.n_users);
-            prop_assert!((g.item as usize) < cfg.n_items);
-            prop_assert!(!g.participants.contains(&g.initiator));
-            prop_assert!(g.participants.len() <= cfg.max_group_size);
-        }
-    }
+    });
 }
 
-// --- Deterministic (non-proptest) cross-crate properties ------------------
+#[test]
+fn filter_never_increases_counts() {
+    for_cases("filter_counts", |case, rng| {
+        let min = (rng.next_u64() as usize) % 8;
+        let seed = rng.next_u64() % 200;
+        let ds = synthetic::generate(&SyntheticConfig {
+            seed,
+            ..SyntheticConfig::tiny()
+        });
+        let (out, report) = filter_min_interactions(&ds, min);
+        assert!(out.groups.len() <= ds.groups.len(), "case {case}");
+        assert!(out.n_users <= ds.n_users, "case {case}");
+        assert!(out.n_items <= ds.n_items, "case {case}");
+        assert_eq!(
+            report.groups_removed,
+            ds.groups.len() - out.groups.len(),
+            "case {case}"
+        );
+        // Validity of all ids in the compacted dataset is checked by the
+        // Dataset constructor inside the filter.
+    });
+}
+
+// --- Generator schema -----------------------------------------------------
+
+#[test]
+fn generator_schema_invariants() {
+    for_cases("generator_schema", |case, rng| {
+        let seed = rng.next_u64() % 300;
+        let cfg = SyntheticConfig {
+            seed,
+            n_groups: 60,
+            ..SyntheticConfig::tiny()
+        };
+        let ds = synthetic::generate(&cfg);
+        assert_eq!(ds.groups.len(), 60, "case {case}");
+        for g in &ds.groups {
+            assert!((g.initiator as usize) < cfg.n_users, "case {case}");
+            assert!((g.item as usize) < cfg.n_items, "case {case}");
+            assert!(!g.participants.contains(&g.initiator), "case {case}");
+            assert!(g.participants.len() <= cfg.max_group_size, "case {case}");
+        }
+    });
+}
+
+// --- Deterministic cross-crate properties ---------------------------------
 
 #[test]
 fn rng_streams_are_reproducible_across_forks() {
@@ -186,7 +257,10 @@ fn dataset_edges_are_consistent_with_groups() {
     let ds = Dataset::new(
         5,
         3,
-        vec![DealGroup::new(0, 1, vec![2, 4]), DealGroup::new(3, 0, vec![1])],
+        vec![
+            DealGroup::new(0, 1, vec![2, 4]),
+            DealGroup::new(3, 0, vec![1]),
+        ],
     );
     assert_eq!(ds.ui_edges().len(), ds.groups.len());
     let total_participants: usize = ds.groups.iter().map(DealGroup::size).sum();

@@ -25,27 +25,59 @@ fn check_scorer(scorer: &dyn GroupBuyScorer, n_users: usize, n_items: usize) {
     // Score length and order invariants on both tasks.
     let items: Vec<u32> = (0..10.min(n_items) as u32).collect();
     let s = scorer.score_items(1, &items);
-    assert_eq!(s.len(), items.len(), "{}: wrong item score count", scorer.name());
-    assert!(s.iter().all(|x| x.is_finite()), "{}: non-finite item score", scorer.name());
+    assert_eq!(
+        s.len(),
+        items.len(),
+        "{}: wrong item score count",
+        scorer.name()
+    );
+    assert!(
+        s.iter().all(|x| x.is_finite()),
+        "{}: non-finite item score",
+        scorer.name()
+    );
 
     let parts: Vec<u32> = (1..11.min(n_users) as u32).collect();
     let sp = scorer.score_participants(0, 0, &parts);
-    assert_eq!(sp.len(), parts.len(), "{}: wrong participant score count", scorer.name());
-    assert!(sp.iter().all(|x| x.is_finite()), "{}: non-finite participant score", scorer.name());
+    assert_eq!(
+        sp.len(),
+        parts.len(),
+        "{}: wrong participant score count",
+        scorer.name()
+    );
+    assert!(
+        sp.iter().all(|x| x.is_finite()),
+        "{}: non-finite participant score",
+        scorer.name()
+    );
 
     // Determinism.
-    assert_eq!(s, scorer.score_items(1, &items), "{}: nondeterministic", scorer.name());
+    assert_eq!(
+        s,
+        scorer.score_items(1, &items),
+        "{}: nondeterministic",
+        scorer.name()
+    );
 
     // Permutation equivariance.
     let rev: Vec<u32> = items.iter().rev().copied().collect();
     let sr = scorer.score_items(1, &rev);
     for (k, &item_score) in s.iter().enumerate() {
-        assert_eq!(item_score, sr[items.len() - 1 - k], "{}: order-dependent", scorer.name());
+        assert_eq!(
+            item_score,
+            sr[items.len() - 1 - k],
+            "{}: order-dependent",
+            scorer.name()
+        );
     }
 }
 
 fn run_baseline<M: Baseline>(mut model: M, ds: &Dataset, split: &DataSplit) -> BaselineScorer {
-    let tc = TrainConfig { epochs: 1, n_neg: 3, ..TrainConfig::tiny() };
+    let tc = TrainConfig {
+        epochs: 1,
+        n_neg: 3,
+        ..TrainConfig::tiny()
+    };
     train_baseline(&mut model, ds, split, &tc);
     BaselineScorer::freeze(&model)
 }
@@ -64,7 +96,10 @@ fn all_baselines_conform() {
         run_baseline(Gbmf::new(&cfg, &train_ds), &ds, &split),
     ];
     let names: Vec<&str> = scorers.iter().map(|s| s.name()).collect();
-    assert_eq!(names, vec!["DeepMF", "NGCF", "DiffNet", "EATNN", "GBGCN", "GBMF"]);
+    assert_eq!(
+        names,
+        vec!["DeepMF", "NGCF", "DiffNet", "EATNN", "GBGCN", "GBMF"]
+    );
     for scorer in &scorers {
         check_scorer(scorer, ds.n_users, ds.n_items);
     }
@@ -73,7 +108,11 @@ fn all_baselines_conform() {
 #[test]
 fn mgbr_and_variants_conform() {
     let (ds, split) = env();
-    let tc = TrainConfig { epochs: 1, n_neg: 3, ..TrainConfig::tiny() };
+    let tc = TrainConfig {
+        epochs: 1,
+        n_neg: 3,
+        ..TrainConfig::tiny()
+    };
     for variant in mgbr_core::MgbrVariant::all() {
         let cfg = MgbrConfig {
             d: 6,
@@ -104,5 +143,8 @@ fn param_counts_follow_architecture_ordering() {
     assert!(deepmf > gbmf, "DeepMF adds towers over GBMF's tables");
     assert!(eatnn > gbmf, "EATNN's three user tables dominate GBMF");
     // EATNN has 3 user tables vs DeepMF's 1 — at equal d it must be larger.
-    assert!(eatnn > deepmf, "EATNN ({eatnn}) should exceed DeepMF ({deepmf})");
+    assert!(
+        eatnn > deepmf,
+        "EATNN ({eatnn}) should exceed DeepMF ({deepmf})"
+    );
 }

@@ -52,7 +52,11 @@ fn composite_mtl_loss_gradients_match_finite_differences() {
         let s = model
             .score_a(&ctx, &leaves[0], &leaves[1], &leaves[2])
             .sum_all()
-            .add(&model.score_b(&ctx, &leaves[0], &leaves[1], &leaves[2]).sum_all());
+            .add(
+                &model
+                    .score_b(&ctx, &leaves[0], &leaves[1], &leaves[2])
+                    .sum_all(),
+            );
         let value = s.value().scalar();
         if !with_grads {
             return (value, Vec::new());
@@ -60,7 +64,12 @@ fn composite_mtl_loss_gradients_match_finite_differences() {
         let grads = ctx.tape().backward(&s);
         let gs = leaves
             .iter()
-            .map(|l| grads.get(l).expect("embedding leaf receives gradient").clone())
+            .map(|l| {
+                grads
+                    .get(l)
+                    .expect("embedding leaf receives gradient")
+                    .clone()
+            })
             .collect();
         (value, gs)
     };
@@ -110,11 +119,23 @@ fn training_rejects_empty_partition() {
 #[test]
 fn gradient_clipping_bounds_update_magnitude() {
     let (ds, split) = tiny_data();
-    let cfg = MgbrConfig { d: 6, n_experts: 2, t_size: 3, mlp_hidden: vec![6], ..MgbrConfig::paper() };
+    let cfg = MgbrConfig {
+        d: 6,
+        n_experts: 2,
+        t_size: 3,
+        mlp_hidden: vec![6],
+        ..MgbrConfig::paper()
+    };
 
     let run = |clip: Option<f32>| -> Tensor {
         let mut model = Mgbr::new(cfg.clone(), &split.train_dataset());
-        let tc = TrainConfig { epochs: 1, grad_clip: clip, lr: 0.5, n_neg: 3, ..TrainConfig::tiny() };
+        let tc = TrainConfig {
+            epochs: 1,
+            grad_clip: clip,
+            lr: 0.5,
+            n_neg: 3,
+            ..TrainConfig::tiny()
+        };
         train(&mut model, &ds, &split, &tc);
         let scorer = model.scorer();
         let _ = scorer;
@@ -134,8 +155,20 @@ fn shared_experts_help_task_b() {
     // The paper's central ablation claim, tested end to end: removing the
     // shared sub-module (MGBR-M) hurts Task B ranking.
     let (ds, split) = tiny_data();
-    let cfg = MgbrConfig { d: 8, n_experts: 3, t_size: 4, mlp_hidden: vec![8], ..MgbrConfig::paper() };
-    let tc = TrainConfig { epochs: 5, lr: 8e-3, batch_size: 64, n_neg: 4, ..TrainConfig::paper() };
+    let cfg = MgbrConfig {
+        d: 8,
+        n_experts: 3,
+        t_size: 4,
+        mlp_hidden: vec![8],
+        ..MgbrConfig::paper()
+    };
+    let tc = TrainConfig {
+        epochs: 5,
+        lr: 8e-3,
+        batch_size: 64,
+        n_neg: 4,
+        ..TrainConfig::paper()
+    };
 
     let mrr_b = |variant: MgbrVariant| -> f64 {
         let mut model = Mgbr::new(cfg.clone().with_variant(variant), &split.train_dataset());
@@ -158,7 +191,10 @@ fn shared_experts_help_task_b() {
 fn epoch_timing_is_recorded() {
     let (ds, split) = tiny_data();
     let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
-    let tc = TrainConfig { epochs: 3, ..TrainConfig::tiny() };
+    let tc = TrainConfig {
+        epochs: 3,
+        ..TrainConfig::tiny()
+    };
     let report = train(&mut model, &ds, &split, &tc);
     assert_eq!(report.epoch_secs.len(), 3);
     assert!(report.epoch_secs.iter().all(|&s| s > 0.0));
