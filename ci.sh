@@ -13,7 +13,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "=== cargo build --release ==="
 cargo build --release
 
+echo "=== no ignored tests ==="
+# Skipped tests rot silently; this repo forbids #[ignore] outright.
+if grep -rn '#\[ignore' crates/ tests/ --include='*.rs'; then
+  echo "ci.sh: FAILED — remove the #[ignore] attributes listed above" >&2
+  exit 1
+fi
+
 echo "=== cargo test ==="
 cargo test -q
+
+echo "=== checkpoint resume / fault-injection suite ==="
+# Covered by the full run above, but executed explicitly so a wiring
+# mistake (e.g. the [[test]] entry dropped) fails CI rather than
+# silently skipping the crash-safety guarantees.
+cargo test -q -p mgbr-bench --test checkpoint_resume
 
 echo "=== ci.sh: all checks passed ==="

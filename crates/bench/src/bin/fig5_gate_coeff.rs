@@ -42,7 +42,10 @@ fn main() {
         let mut cfg = env.mgbr_config();
         cfg.alpha_a = alpha;
         cfg.alpha_b = alpha;
-        let r = train_and_eval_with(ModelKind::Mgbr(MgbrVariant::Full), &env, &cfg, &tc);
+        // With MGBR_CKPT_DIR set, each cell checkpoints and resumes, so a
+        // killed sweep restarts from the interrupted cell.
+        let cell_tc = env.checkpointed(tc.clone(), &format!("fig5_alpha_{alpha}"));
+        let r = train_and_eval_with(ModelKind::Mgbr(MgbrVariant::Full), &env, &cfg, &cell_tc);
         println!(
             "| {:<15} | {:.4}   | {:.4}    | {:.4}   | {:.4}    | {:.4}    | {:.4}    |",
             alpha,

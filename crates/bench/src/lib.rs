@@ -192,6 +192,29 @@ impl ExperimentEnv {
             ..tc
         }
     }
+
+    /// Makes a sweep cell crash-safe when `MGBR_CKPT_DIR` is set: the cell
+    /// checkpoints every epoch into `<dir>/<cell>.ckpt` and resumes from
+    /// it on restart, so a killed multi-hour sweep re-runs only its
+    /// unfinished cells (and the interrupted cell continues mid-run,
+    /// bitwise-identically). Without the variable, training is unchanged.
+    pub fn checkpointed(&self, tc: TrainConfig, cell: &str) -> TrainConfig {
+        match std::env::var_os("MGBR_CKPT_DIR") {
+            Some(dir) if !dir.is_empty() => checkpointed_in(tc, std::path::Path::new(&dir), cell),
+            _ => tc,
+        }
+    }
+}
+
+/// [`ExperimentEnv::checkpointed`] with an explicit directory.
+///
+/// # Panics
+///
+/// Panics if the checkpoint directory cannot be created.
+pub fn checkpointed_in(tc: TrainConfig, dir: &std::path::Path, cell: &str) -> TrainConfig {
+    std::fs::create_dir_all(dir)
+        .unwrap_or_else(|e| panic!("cannot create checkpoint dir {}: {e}", dir.display()));
+    tc.with_checkpointing(dir.join(format!("{cell}.ckpt")), 1)
 }
 
 /// Every model the harness can train.
@@ -430,6 +453,33 @@ mod tests {
         assert_eq!(ModelKind::table3_order().len(), 7);
         assert_eq!(ModelKind::Mgbr(MgbrVariant::Full).label(), "MGBR");
         assert_eq!(ModelKind::DeepMf.label(), "DeepMF");
+    }
+
+    #[test]
+    fn checkpointed_in_wires_cell_path_and_cadence() {
+        let dir = std::env::temp_dir().join(format!("mgbr_bench_ckpt_{}", std::process::id()));
+        let tc = checkpointed_in(TrainConfig::tiny(), &dir, "fig4_beta_0.3");
+        assert_eq!(tc.checkpoint_every, 1);
+        assert!(tc.resume);
+        assert_eq!(
+            tc.checkpoint_path.as_deref(),
+            Some(dir.join("fig4_beta_0.3.ckpt").as_path())
+        );
+        assert!(dir.is_dir(), "helper must create the checkpoint dir");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_without_env_is_a_noop() {
+        // The env var is absent in the test environment by default.
+        if std::env::var_os("MGBR_CKPT_DIR").is_some() {
+            return;
+        }
+        let env = tiny_env();
+        let tc = env.checkpointed(TrainConfig::tiny(), "cell");
+        assert_eq!(tc.checkpoint_every, 0);
+        assert!(tc.checkpoint_path.is_none());
+        assert!(!tc.resume);
     }
 
     #[test]

@@ -216,6 +216,17 @@ pub struct TrainConfig {
     /// bitwise identical at any setting — the engine's kernels partition
     /// output rows deterministically.
     pub threads: usize,
+    /// Write a crash-safe checkpoint every this many epochs (0 disables
+    /// checkpointing). The final epoch is always checkpointed when
+    /// enabled, so a completed run leaves a resumable artifact.
+    pub checkpoint_every: usize,
+    /// Where to write checkpoints (atomic temp-file + fsync + rename).
+    /// Required when `checkpoint_every > 0` or `resume` is set.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Resume from `checkpoint_path` if the file exists: restores
+    /// parameters, Adam moments, and RNG state so the continued run is
+    /// bitwise identical to one that was never interrupted.
+    pub resume: bool,
 }
 
 impl TrainConfig {
@@ -231,7 +242,51 @@ impl TrainConfig {
             resample_per_epoch: true,
             adam_warm_restarts: true,
             threads: 0,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            resume: false,
         }
+    }
+
+    /// Enables checkpointing every `every` epochs into `path`, resuming
+    /// from it when the file already exists.
+    pub fn with_checkpointing(mut self, path: impl Into<std::path::PathBuf>, every: usize) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self.checkpoint_every = every.max(1);
+        self.resume = true;
+        self
+    }
+
+    /// Fingerprint of every field that shapes the optimization trajectory.
+    ///
+    /// A checkpoint written under one fingerprint refuses to resume under
+    /// another. Deliberately excluded: `threads` (results are bitwise
+    /// identical at any thread count, so resuming on different hardware is
+    /// sound), `epochs` (so a finished run can be extended), and the
+    /// checkpoint fields themselves.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the field bytes: stable, dependency-free, and not
+        // load-bearing for security — only for catching config mix-ups.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(&self.lr.to_bits().to_le_bytes());
+        eat(&(self.batch_size as u64).to_le_bytes());
+        eat(&(self.n_neg as u64).to_le_bytes());
+        match self.grad_clip {
+            None => eat(&[0]),
+            Some(c) => {
+                eat(&[1]);
+                eat(&c.to_bits().to_le_bytes());
+            }
+        }
+        eat(&self.seed.to_le_bytes());
+        eat(&[self.resample_per_epoch as u8, self.adam_warm_restarts as u8]);
+        h
     }
 
     /// Reduced reproduction scale: a larger learning rate and fewer,
@@ -300,6 +355,90 @@ mod tests {
         assert_eq!(Full.label(), "MGBR");
         assert_eq!(NoSharedNoAux.label(), "MGBR-M-R");
         assert_eq!(MgbrVariant::all().len(), 6);
+    }
+
+    #[test]
+    fn checkpointing_disabled_by_default() {
+        let t = TrainConfig::paper();
+        assert_eq!(t.checkpoint_every, 0);
+        assert!(t.checkpoint_path.is_none());
+        assert!(!t.resume);
+        let t = t.with_checkpointing("/tmp/x.ckpt", 3);
+        assert_eq!(t.checkpoint_every, 3);
+        assert!(t.resume);
+        assert_eq!(
+            t.checkpoint_path.as_deref(),
+            Some(std::path::Path::new("/tmp/x.ckpt"))
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_trajectory_fields_only() {
+        let base = TrainConfig::tiny();
+        let fp = base.fingerprint();
+        assert_eq!(fp, TrainConfig::tiny().fingerprint(), "must be stable");
+        for (label, tc) in [
+            (
+                "lr",
+                TrainConfig {
+                    lr: 1e-3,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batch",
+                TrainConfig {
+                    batch_size: 16,
+                    ..base.clone()
+                },
+            ),
+            (
+                "n_neg",
+                TrainConfig {
+                    n_neg: 2,
+                    ..base.clone()
+                },
+            ),
+            (
+                "clip",
+                TrainConfig {
+                    grad_clip: None,
+                    ..base.clone()
+                },
+            ),
+            (
+                "seed",
+                TrainConfig {
+                    seed: 8,
+                    ..base.clone()
+                },
+            ),
+            (
+                "resample",
+                TrainConfig {
+                    resample_per_epoch: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "warm",
+                TrainConfig {
+                    adam_warm_restarts: false,
+                    ..base.clone()
+                },
+            ),
+        ] {
+            assert_ne!(fp, tc.fingerprint(), "{label} must change the fingerprint");
+        }
+        // Thread count, epoch budget, and checkpoint plumbing must NOT:
+        // they are legitimate differences between a run and its resume.
+        let same = TrainConfig {
+            threads: 4,
+            epochs: 99,
+            ..base.clone()
+        }
+        .with_checkpointing("/tmp/y.ckpt", 1);
+        assert_eq!(fp, same.fingerprint());
     }
 
     #[test]

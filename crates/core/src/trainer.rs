@@ -1,10 +1,22 @@
 //! The MGBR training loop (§II-F): per-epoch negative resampling, joint
 //! minibatch optimization of `L = L_A + β·L_B + β_A·L'_A + β_B·L'_B`
 //! (Eq. 25) with Adam.
+//!
+//! ## Crash safety
+//!
+//! When [`TrainConfig::checkpoint_every`] is set, the loop writes an
+//! atomic v2 checkpoint (parameters + Adam moments + RNG state + epoch
+//! and step counters) at that epoch cadence; with
+//! [`TrainConfig::resume`], a killed run picks up from the last
+//! checkpoint and reaches **bitwise-identical** final parameters to an
+//! uninterrupted run, at any thread count.
 
 use mgbr_autograd::Tape;
 use mgbr_data::{BatchIter, DataSplit, Dataset, Sampler, TaskAInstance, TaskBInstance};
 use mgbr_eval::EpochTimer;
+use mgbr_nn::checkpoint::{
+    load_checkpoint_from_file, save_checkpoint_atomic, AdamState, TrainState,
+};
 use mgbr_nn::{Adam, Optimizer, StepCtx};
 use mgbr_tensor::{configure_threads, Pcg32};
 
@@ -88,31 +100,151 @@ fn sample_epoch(
     }
 }
 
+/// The sampling seed for epoch `epoch`, continuous with the uninterrupted
+/// schedule (epoch 0 — or every epoch without per-epoch resampling — uses
+/// the base seed; later epochs offset it), so a resumed run regenerates
+/// the identical epoch data.
+fn epoch_data_seed(tc: &TrainConfig, epoch: usize) -> u64 {
+    if tc.resample_per_epoch && epoch > 0 {
+        tc.seed.wrapping_add(epoch as u64)
+    } else {
+        tc.seed
+    }
+}
+
+/// Where a resumed run restarts.
+struct ResumePoint {
+    start_epoch: usize,
+    steps: usize,
+    val_history: Vec<f64>,
+}
+
+/// Loads `tc.checkpoint_path` if resuming is enabled and the file exists,
+/// restoring parameters, optimizer moments, and RNG state in place.
+///
+/// # Panics
+///
+/// Panics if the checkpoint is unreadable/corrupt, is a legacy v1 file
+/// (no training state to resume from), or was written under a different
+/// `TrainConfig` fingerprint. A corrupt checkpoint never partially
+/// mutates the model: loads are transactional and CRC-verified.
+fn try_resume(
+    model: &mut Mgbr,
+    tc: &TrainConfig,
+    adam: &mut Adam,
+    rng: &mut Pcg32,
+) -> Option<ResumePoint> {
+    let path = tc.checkpoint_path.as_ref()?;
+    if !tc.resume || !path.exists() {
+        return None;
+    }
+    let loaded = load_checkpoint_from_file(&mut model.store, path)
+        .unwrap_or_else(|e| panic!("cannot resume from {}: {e}", path.display()));
+    let state = loaded.state.unwrap_or_else(|| {
+        panic!(
+            "cannot resume from {}: {} — re-train or load it as parameters only",
+            path.display(),
+            loaded
+                .note
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "checkpoint carries no training state".into())
+        )
+    });
+    assert_eq!(
+        state.config_fingerprint,
+        tc.fingerprint(),
+        "cannot resume from {}: checkpoint was written under a different TrainConfig",
+        path.display()
+    );
+    if let Some(r) = state.rng {
+        *rng = Pcg32::from_state(r);
+    }
+    if let Some(a) = state.adam {
+        adam.restore_moments(a.t, a.m, a.v);
+    }
+    Some(ResumePoint {
+        start_epoch: state.epoch as usize,
+        steps: state.step as usize,
+        val_history: state.val_history,
+    })
+}
+
+/// Writes an atomic checkpoint if the cadence (or a forced final write)
+/// says so. `epoch_done` counts completed epochs; `total_steps` is
+/// cumulative across resumes.
+#[allow(clippy::too_many_arguments)]
+fn maybe_checkpoint(
+    model: &Mgbr,
+    tc: &TrainConfig,
+    adam: &Adam,
+    rng: &Pcg32,
+    epoch_done: usize,
+    total_steps: usize,
+    val_history: &[f64],
+    force: bool,
+) {
+    if tc.checkpoint_every == 0 {
+        return;
+    }
+    let Some(path) = tc.checkpoint_path.as_ref() else {
+        return;
+    };
+    if !force && epoch_done % tc.checkpoint_every != 0 && epoch_done != tc.epochs {
+        return;
+    }
+    let (t, m, v) = adam.export_moments();
+    let state = TrainState {
+        epoch: epoch_done as u64,
+        step: total_steps as u64,
+        config_fingerprint: tc.fingerprint(),
+        rng: Some(rng.export_state()),
+        val_history: val_history.to_vec(),
+        adam: Some(AdamState { t, m, v }),
+    };
+    save_checkpoint_atomic(&model.store, &state, path)
+        .unwrap_or_else(|e| panic!("checkpoint save to {} failed: {e}", path.display()));
+}
+
 /// Trains `model` on the split's training partition.
 ///
 /// `full` is the complete preprocessed dataset, used only to judge
 /// negativity during sampling (never for gradients).
 ///
+/// When checkpointing/resume is enabled (see [`TrainConfig`]), the
+/// returned report covers only the epochs executed by *this* process; the
+/// checkpoint's own counters stay cumulative across resumes.
+///
 /// # Panics
 ///
-/// Panics if the training partition is empty or training diverges to
-/// non-finite parameters.
+/// Panics if the training partition is empty, training diverges to
+/// non-finite parameters, or a checkpoint cannot be written or resumed
+/// (corrupt files fail closed and never partially restore).
 pub fn train(model: &mut Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConfig) -> TrainReport {
     assert!(!split.train.is_empty(), "empty training partition");
+    assert!(
+        tc.checkpoint_every == 0 || tc.checkpoint_path.is_some(),
+        "checkpoint_every > 0 requires checkpoint_path"
+    );
     configure_threads(tc.threads);
     let mut adam = Adam::with_lr(tc.lr);
     let mut rng = Pcg32::seed_from_u64(tc.seed);
     let mut timer = EpochTimer::new();
     let mut epoch_losses = Vec::with_capacity(tc.epochs);
     let mut steps = 0usize;
-    let mut data = sample_epoch(model, full, split, tc, tc.seed);
+    let mut start_epoch = 0usize;
+    let mut prior_steps = 0usize;
+    if let Some(rp) = try_resume(model, tc, &mut adam, &mut rng) {
+        start_epoch = rp.start_epoch;
+        prior_steps = rp.steps;
+    }
+    let mut data = sample_epoch(model, full, split, tc, epoch_data_seed(tc, start_epoch));
     // One tape (and one buffer pool) for the whole run: every step resets
     // it and recycles storage, so steady-state steps allocate nothing.
     let tape = Tape::new();
 
-    for epoch in 0..tc.epochs {
-        if tc.resample_per_epoch && epoch > 0 {
-            data = sample_epoch(model, full, split, tc, tc.seed.wrapping_add(epoch as u64));
+    for epoch in start_epoch..tc.epochs {
+        if tc.resample_per_epoch && epoch > start_epoch {
+            data = sample_epoch(model, full, split, tc, epoch_data_seed(tc, epoch));
         }
         if tc.adam_warm_restarts && epoch > 0 {
             adam = Adam::with_lr(tc.lr);
@@ -125,6 +257,16 @@ pub fn train(model: &mut Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConf
         assert!(
             model.store.all_finite(),
             "training diverged at epoch {epoch} (loss {loss})"
+        );
+        maybe_checkpoint(
+            model,
+            tc,
+            &adam,
+            &rng,
+            epoch + 1,
+            prior_steps + steps,
+            &[],
+            false,
         );
     }
     TrainReport {
@@ -143,9 +285,15 @@ pub fn train(model: &mut Mgbr, full: &Dataset, split: &DataSplit, tc: &TrainConf
 /// `patience` consecutive epochs. Returns the report plus the per-epoch
 /// validation history.
 ///
+/// On resume, the early-stopping state is reconstructed by replaying the
+/// checkpointed validation history, and the returned history covers the
+/// full run (resumed prefix included); the report's losses cover only the
+/// epochs this process executed.
+///
 /// # Panics
 ///
-/// Panics if the training or validation partition is empty.
+/// Panics if the training or validation partition is empty, or on a
+/// checkpoint failure (see [`train`]).
 pub fn train_with_validation(
     model: &mut Mgbr,
     full: &Dataset,
@@ -156,6 +304,10 @@ pub fn train_with_validation(
 ) -> (TrainReport, Vec<f64>) {
     assert!(!split.train.is_empty(), "empty training partition");
     assert!(!split.val.is_empty(), "empty validation partition");
+    assert!(
+        tc.checkpoint_every == 0 || tc.checkpoint_path.is_some(),
+        "checkpoint_every > 0 requires checkpoint_path"
+    );
     configure_threads(tc.threads);
     let mut adam = Adam::with_lr(tc.lr);
     let mut rng = Pcg32::seed_from_u64(tc.seed);
@@ -165,16 +317,35 @@ pub fn train_with_validation(
     let mut history = Vec::with_capacity(tc.epochs);
     let mut stopper = mgbr_nn::EarlyStopping::new(patience, min_delta);
 
+    let mut start_epoch = 0usize;
+    let mut prior_steps = 0usize;
+    let mut already_stopped = false;
+    if let Some(rp) = try_resume(model, tc, &mut adam, &mut rng) {
+        start_epoch = rp.start_epoch;
+        prior_steps = rp.steps;
+        // Replay the checkpointed metrics so patience counting continues
+        // exactly where the interrupted run left off.
+        for (epoch, &metric) in rp.val_history.iter().enumerate() {
+            history.push(metric);
+            if stopper.update(epoch, metric) {
+                already_stopped = true;
+            }
+        }
+    }
+
     // Fixed validation candidate lists across epochs.
     let mut val_sampler = Sampler::new(full, tc.seed ^ 0x5a11d);
     let val_a = val_sampler.task_a_instances(&split.val, 9);
     let val_b = val_sampler.task_b_instances(&split.val, 9);
 
-    let mut data = sample_epoch(model, full, split, tc, tc.seed);
+    let mut data = sample_epoch(model, full, split, tc, epoch_data_seed(tc, start_epoch));
     let tape = Tape::new();
-    for epoch in 0..tc.epochs {
-        if tc.resample_per_epoch && epoch > 0 {
-            data = sample_epoch(model, full, split, tc, tc.seed.wrapping_add(epoch as u64));
+    for epoch in start_epoch..tc.epochs {
+        if already_stopped {
+            break;
+        }
+        if tc.resample_per_epoch && epoch > start_epoch {
+            data = sample_epoch(model, full, split, tc, epoch_data_seed(tc, epoch));
         }
         if tc.adam_warm_restarts && epoch > 0 {
             adam = Adam::with_lr(tc.lr);
@@ -190,7 +361,18 @@ pub fn train_with_validation(
         let mb = mgbr_eval::evaluate_task_b(&scorer, &val_b, 10);
         let metric = 0.5 * (ma.mrr + mb.mrr);
         history.push(metric);
-        if stopper.update(epoch, metric) {
+        let stop = stopper.update(epoch, metric);
+        maybe_checkpoint(
+            model,
+            tc,
+            &adam,
+            &rng,
+            epoch + 1,
+            prior_steps + steps,
+            &history,
+            stop,
+        );
+        if stop {
             break;
         }
     }

@@ -26,21 +26,51 @@ use crate::{Dataset, DealGroup};
 pub enum DataIoError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A malformed line, with its 1-based line number.
+    /// A malformed line, with its 1-based line number and the field that
+    /// failed to parse.
     Parse {
         /// 1-based line number.
         line: usize,
+        /// Which field was malformed (`initiator`, `item`,
+        /// `participants`, `users`, `items`, or `record` for
+        /// whole-line shape errors).
+        field: &'static str,
         /// What went wrong.
         message: String,
     },
+}
+
+impl DataIoError {
+    /// The 1-based line number of a parse error, if this is one.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            DataIoError::Parse { line, .. } => Some(*line),
+            DataIoError::Io(_) => None,
+        }
+    }
+
+    /// The malformed field of a parse error, if this is one.
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            DataIoError::Parse { field, .. } => Some(field),
+            DataIoError::Io(_) => None,
+        }
+    }
 }
 
 impl fmt::Display for DataIoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataIoError::Io(e) => write!(f, "dataset I/O error: {e}"),
-            DataIoError::Parse { line, message } => {
-                write!(f, "dataset parse error at line {line}: {message}")
+            DataIoError::Parse {
+                line,
+                field,
+                message,
+            } => {
+                write!(
+                    f,
+                    "dataset parse error at line {line} (field `{field}`): {message}"
+                )
             }
         }
     }
@@ -76,7 +106,7 @@ pub fn read_groups_text<R: BufRead>(reader: R) -> Result<Dataset, DataIoError> {
             continue;
         }
         if let Some(rest) = trimmed.strip_prefix('#') {
-            if let Some(p) = parse_header(rest) {
+            if let Some(p) = parse_header(rest, line_no)? {
                 pinned = Some(p);
             }
             continue;
@@ -93,7 +123,8 @@ pub fn read_groups_text<R: BufRead>(reader: R) -> Result<Dataset, DataIoError> {
                 .map(|s| {
                     s.trim().parse::<u32>().map_err(|_| DataIoError::Parse {
                         line: line_no,
-                        message: format!("invalid participant id '{s}'"),
+                        field: "participants",
+                        message: format!("invalid participant id '{s}' (expected a u32)"),
                     })
                 })
                 .collect::<Result<_, _>>()?,
@@ -101,7 +132,9 @@ pub fn read_groups_text<R: BufRead>(reader: R) -> Result<Dataset, DataIoError> {
         if fields.next().is_some() {
             return Err(DataIoError::Parse {
                 line: line_no,
-                message: "too many tab-separated fields (expected 3)".into(),
+                field: "record",
+                message: "too many tab-separated fields (expected initiator, item, participants)"
+                    .into(),
             });
         }
         max_user = Some(
@@ -150,28 +183,66 @@ pub fn write_groups_file(ds: &Dataset, path: impl AsRef<Path>) -> Result<(), Dat
     write_groups_text(ds, io::BufWriter::new(file))
 }
 
-fn parse_header(rest: &str) -> Option<(usize, usize)> {
+/// Parses a `#users=N items=M` pinning header.
+///
+/// A comment whose first token starts with `users=` is a header attempt;
+/// a malformed header is a hard error (silently treating it as prose
+/// would un-pin the id spaces and shift every id downstream). Any other
+/// `#` line is prose and is ignored.
+fn parse_header(rest: &str, line: usize) -> Result<Option<(usize, usize)>, DataIoError> {
     let rest = rest.trim();
+    if !rest.starts_with("users=") {
+        return Ok(None);
+    }
     let mut users = None;
     let mut items = None;
     for token in rest.split_whitespace() {
         if let Some(v) = token.strip_prefix("users=") {
-            users = v.parse().ok();
+            users = Some(v.parse::<usize>().map_err(|_| DataIoError::Parse {
+                line,
+                field: "users",
+                message: format!("invalid user count '{v}' in header (expected a usize)"),
+            })?);
         } else if let Some(v) = token.strip_prefix("items=") {
-            items = v.parse().ok();
+            items = Some(v.parse::<usize>().map_err(|_| DataIoError::Parse {
+                line,
+                field: "items",
+                message: format!("invalid item count '{v}' in header (expected a usize)"),
+            })?);
+        } else {
+            return Err(DataIoError::Parse {
+                line,
+                field: "record",
+                message: format!("unrecognized header token '{token}' (expected users=N items=M)"),
+            });
         }
     }
-    Some((users?, items?))
+    match (users, items) {
+        (Some(u), Some(i)) => Ok(Some((u, i))),
+        (Some(_), None) => Err(DataIoError::Parse {
+            line,
+            field: "items",
+            message: "header is missing the items=M field".into(),
+        }),
+        // Unreachable today (first token is users=), kept for symmetry.
+        _ => Err(DataIoError::Parse {
+            line,
+            field: "users",
+            message: "header is missing the users=N field".into(),
+        }),
+    }
 }
 
-fn parse_id(field: Option<&str>, what: &str, line: usize) -> Result<u32, DataIoError> {
+fn parse_id(field: Option<&str>, what: &'static str, line: usize) -> Result<u32, DataIoError> {
     let s = field.ok_or_else(|| DataIoError::Parse {
         line,
+        field: what,
         message: format!("missing {what} field"),
     })?;
     s.trim().parse::<u32>().map_err(|_| DataIoError::Parse {
         line,
-        message: format!("invalid {what} id '{s}'"),
+        field: what,
+        message: format!("invalid {what} id '{s}' (expected a u32)"),
     })
 }
 
@@ -220,19 +291,54 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_lines_with_location() {
+    fn rejects_malformed_lines_with_location_and_field() {
+        // One case per malformed shape: (input, expected field, message needle).
         let cases = [
-            ("0\n", "missing item"),
-            ("x\t0\t\n", "invalid initiator"),
-            ("0\t0\ta,b\n", "invalid participant"),
-            ("0\t0\t1\textra\n", "too many"),
+            ("0\n", "item", "missing item"),
+            ("x\t0\t\n", "initiator", "invalid initiator"),
+            ("0\ty\t1\n", "item", "invalid item"),
+            ("-3\t0\t\n", "initiator", "invalid initiator"),
+            ("4294967296\t0\t\n", "initiator", "invalid initiator"),
+            ("0\t0\ta,b\n", "participants", "invalid participant"),
+            ("0\t0\t1,-2\n", "participants", "invalid participant"),
+            ("0\t0\t1\textra\n", "record", "too many"),
         ];
-        for (text, needle) in cases {
+        for (text, field, needle) in cases {
             let err = read_groups_text(text.as_bytes()).unwrap_err();
+            assert_eq!(err.line(), Some(1), "{err}");
+            assert_eq!(err.field(), Some(field), "{err}");
             let msg = err.to_string();
             assert!(msg.contains("line 1"), "{msg}");
+            assert!(msg.contains(&format!("`{field}`")), "{msg}");
             assert!(msg.contains(needle), "expected '{needle}' in '{msg}'");
         }
+    }
+
+    #[test]
+    fn reports_the_failing_line_number_not_just_one() {
+        let text = "0\t0\t1\n1\t1\t\nbogus\t2\t\n";
+        let err = read_groups_text(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line(), Some(3));
+        assert_eq!(err.field(), Some("initiator"));
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        let cases = [
+            ("#users=x items=5\n", "users", "invalid user count"),
+            ("#users=5 items=y\n", "items", "invalid item count"),
+            ("#users=5\n", "items", "missing the items=M"),
+            ("#users=5 depth=2\n", "record", "unrecognized header token"),
+        ];
+        for (text, field, needle) in cases {
+            let err = read_groups_text(text.as_bytes()).unwrap_err();
+            assert_eq!(err.line(), Some(1), "{err}");
+            assert_eq!(err.field(), Some(field), "{err}");
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+        // Prose comments that merely mention ids are still comments.
+        let ds = read_groups_text(&b"# note: users= are people\n0\t0\t\n"[..]).unwrap();
+        assert_eq!(ds.groups.len(), 1);
     }
 
     #[test]

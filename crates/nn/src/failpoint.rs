@@ -1,0 +1,181 @@
+//! Failpoint-style I/O fault injection for crash-safety tests.
+//!
+//! [`IoFault`] wraps any [`Write`] target and injures the byte stream at a
+//! chosen absolute offset: silently dropping everything from that point on
+//! (a torn write whose caller believes it succeeded), flipping a single
+//! bit (media corruption), or returning an I/O error (a full disk or
+//! yanked device). The checkpoint test suite drives every one of these
+//! through the v2 writer to prove that partial or corrupt checkpoints are
+//! rejected with a typed error and never loaded silently.
+
+use std::io::{self, Write};
+
+/// What to do to the byte stream, and where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Discard every byte at offset ≥ `at` while reporting success — the
+    /// file ends up truncated but the writer never learns.
+    Truncate {
+        /// Absolute byte offset of the first dropped byte.
+        at: u64,
+    },
+    /// Flip bit `bit` (0-7) of the byte at offset `at`.
+    BitFlip {
+        /// Absolute byte offset of the corrupted byte.
+        at: u64,
+        /// Which bit to flip (0 = least significant).
+        bit: u8,
+    },
+    /// Fail with an [`io::Error`] once the write reaches offset `at`
+    /// (bytes before the offset are written normally).
+    Error {
+        /// Absolute byte offset at which the error fires.
+        at: u64,
+    },
+}
+
+/// A [`Write`] adapter injecting one [`Fault`] into the stream.
+#[derive(Debug)]
+pub struct IoFault<W: Write> {
+    inner: W,
+    fault: Fault,
+    pos: u64,
+    fired: bool,
+}
+
+impl<W: Write> IoFault<W> {
+    /// Wraps `inner`, arming `fault`.
+    pub fn new(inner: W, fault: Fault) -> Self {
+        Self {
+            inner,
+            fault,
+            pos: 0,
+            fired: false,
+        }
+    }
+
+    /// Whether the fault has been triggered yet.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Total bytes the caller has (apparently) written.
+    pub fn bytes_seen(&self) -> u64 {
+        self.pos
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for IoFault<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let start = self.pos;
+        let end = start + buf.len() as u64;
+        match self.fault {
+            Fault::Truncate { at } => {
+                if start >= at {
+                    // Fully past the tear: swallow, report success.
+                    self.fired = true;
+                    self.pos = end;
+                    Ok(buf.len())
+                } else if end > at {
+                    // The tear lands inside this write: keep the prefix.
+                    let keep = (at - start) as usize;
+                    self.inner.write_all(&buf[..keep])?;
+                    self.fired = true;
+                    self.pos = end;
+                    Ok(buf.len())
+                } else {
+                    self.inner.write_all(buf)?;
+                    self.pos = end;
+                    Ok(buf.len())
+                }
+            }
+            Fault::BitFlip { at, bit } => {
+                if start <= at && at < end && !self.fired {
+                    let mut owned = buf.to_vec();
+                    owned[(at - start) as usize] ^= 1u8 << (bit & 7);
+                    self.inner.write_all(&owned)?;
+                    self.fired = true;
+                } else {
+                    self.inner.write_all(buf)?;
+                }
+                self.pos = end;
+                Ok(buf.len())
+            }
+            Fault::Error { at } => {
+                if end > at && !self.fired {
+                    let keep = (at.saturating_sub(start)) as usize;
+                    self.inner.write_all(&buf[..keep.min(buf.len())])?;
+                    self.fired = true;
+                    self.pos = start + keep as u64;
+                    Err(io::Error::other(format!(
+                        "injected I/O fault at byte offset {at}"
+                    )))
+                } else {
+                    self.inner.write_all(buf)?;
+                    self.pos = end;
+                    Ok(buf.len())
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_drops_tail_silently() {
+        let mut w = IoFault::new(Vec::new(), Fault::Truncate { at: 5 });
+        w.write_all(b"hello world").unwrap(); // "succeeds"
+        w.write_all(b"more").unwrap();
+        assert!(w.fired());
+        assert_eq!(w.bytes_seen(), 15);
+        assert_eq!(w.into_inner(), b"hello");
+    }
+
+    #[test]
+    fn truncate_exactly_on_boundary() {
+        let mut w = IoFault::new(Vec::new(), Fault::Truncate { at: 4 });
+        w.write_all(b"abcd").unwrap();
+        assert!(!w.fired(), "tear not reached yet");
+        w.write_all(b"efgh").unwrap();
+        assert!(w.fired());
+        assert_eq!(w.into_inner(), b"abcd");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_one_bit() {
+        let mut w = IoFault::new(Vec::new(), Fault::BitFlip { at: 2, bit: 0 });
+        w.write_all(&[0u8, 0, 0, 0]).unwrap();
+        assert!(w.fired());
+        assert_eq!(w.into_inner(), vec![0u8, 0, 1, 0]);
+    }
+
+    #[test]
+    fn bit_flip_across_separate_writes() {
+        let mut w = IoFault::new(Vec::new(), Fault::BitFlip { at: 3, bit: 7 });
+        w.write_all(&[1, 2]).unwrap();
+        w.write_all(&[3, 4]).unwrap();
+        assert_eq!(w.into_inner(), vec![1, 2, 3, 4 ^ 0x80]);
+    }
+
+    #[test]
+    fn error_fires_once_at_offset() {
+        let mut w = IoFault::new(Vec::new(), Fault::Error { at: 6 });
+        w.write_all(b"abcdef").unwrap();
+        let err = w.write_all(b"gh").unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        assert!(w.fired());
+        assert_eq!(w.into_inner(), b"abcdef");
+    }
+}

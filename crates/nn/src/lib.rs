@@ -32,6 +32,7 @@
 //! ```
 
 pub mod checkpoint;
+pub mod failpoint;
 mod layers;
 mod loss;
 mod optim;
@@ -39,8 +40,11 @@ mod param;
 mod schedule;
 
 pub use checkpoint::{
-    load_params, load_params_from_file, save_params, save_params_to_file, CheckpointError,
+    load_checkpoint, load_checkpoint_from_file, load_params, load_params_from_file,
+    save_checkpoint, save_checkpoint_atomic, save_params, save_params_to_file, AdamState,
+    CheckpointError, FormatNote, LoadedCheckpoint, TrainState,
 };
+pub use failpoint::{Fault, IoFault};
 pub use layers::{Activation, Embedding, Linear, Mlp};
 pub use loss::{bpr_loss, listwise_first_is_positive_loss};
 pub use optim::{Adam, Optimizer, Sgd};

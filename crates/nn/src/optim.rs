@@ -65,6 +65,29 @@ impl Adam {
         self.t
     }
 
+    /// Snapshots the optimizer state: `(t, first moments, second moments)`,
+    /// indexed by parameter slot (`None` for never-touched parameters).
+    pub fn export_moments(&self) -> (u64, Vec<Option<Tensor>>, Vec<Option<Tensor>>) {
+        (self.t, self.m.clone(), self.v.clone())
+    }
+
+    /// Restores a snapshot taken by [`Adam::export_moments`], so a resumed
+    /// run applies bit-identical updates to an uninterrupted one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the moment vectors disagree in length.
+    pub fn restore_moments(&mut self, t: u64, m: Vec<Option<Tensor>>, v: Vec<Option<Tensor>>) {
+        assert_eq!(
+            m.len(),
+            v.len(),
+            "first/second moment slot counts must match"
+        );
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
+
     fn ensure_capacity(&mut self, n: usize) {
         if self.m.len() < n {
             self.m.resize_with(n, || None);
@@ -245,6 +268,33 @@ mod tests {
             adam.step(&mut store, &grads);
         }
         assert!(store.get(w).scalar() < 5.0);
+    }
+
+    #[test]
+    fn adam_moment_roundtrip_preserves_trajectory() {
+        // Two parallel optimizations of (w-3)^2; one is snapshotted and
+        // restored into a fresh Adam mid-run. Trajectories must stay
+        // bit-identical.
+        let run = |restore_at: Option<usize>| {
+            let mut store = ParamStore::new();
+            let w = store.add("w", Tensor::zeros(1, 1));
+            let mut opt = Adam::with_lr(0.1);
+            for step in 0..40 {
+                if restore_at == Some(step) {
+                    let (t, m, v) = opt.export_moments();
+                    opt = Adam::with_lr(0.1);
+                    opt.restore_moments(t, m, v);
+                }
+                let ctx = StepCtx::new(&store);
+                let wv = ctx.param(w);
+                let diff = wv.add_scalar(-3.0);
+                let loss = diff.mul(&diff).sum_all();
+                let grads = ctx.backward(&loss);
+                opt.step(&mut store, &grads);
+            }
+            (store.get(w).scalar().to_bits(), opt.steps())
+        };
+        assert_eq!(run(None), run(Some(17)));
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod threads;
 
 pub use matmul::{matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into};
 pub use pool::{PoolStats, Workspace};
-pub use rng::Pcg32;
+pub use rng::{Pcg32, Pcg32State};
 pub use shape::{Shape, ShapeError};
 pub use tensor::Tensor;
 pub use threads::{configure_threads, for_row_bands, get_threads, set_threads};

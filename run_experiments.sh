@@ -3,6 +3,11 @@
 set -e
 cd "$(dirname "$0")"
 mkdir -p results
+# Crash-safe sweeps: each sweep cell checkpoints into this directory and
+# resumes from it, so a killed run continues instead of starting over.
+# Set MGBR_CKPT_DIR="" to disable, or point it elsewhere.
+MGBR_CKPT_DIR="${MGBR_CKPT_DIR-results/checkpoints}"
+export MGBR_CKPT_DIR
 for exp in table1_dataset table2_hyperparams table3_overall table4_ablation \
            fig6_embedding_case table5_efficiency fig4_aux_weight fig5_gate_coeff \
            ablate_design_choices; do
