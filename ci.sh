@@ -29,4 +29,17 @@ echo "=== checkpoint resume / fault-injection suite ==="
 # silently skipping the crash-safety guarantees.
 cargo test -q -p mgbr-bench --test checkpoint_resume
 
+echo "=== watchdog recovery / numeric-fault-injection suite ==="
+# Same rationale: the divergence-recovery guarantees must run explicitly.
+cargo test -q -p mgbr-bench --test watchdog_recovery
+
+echo "=== trainer is panic-free outside tests ==="
+# The training loop reports failures through TrainError; a panic! or
+# .unwrap() sneaking back into its non-test code is a regression.
+if sed -n '1,/#\[cfg(test)\]/p' crates/core/src/trainer.rs \
+    | grep -nE 'panic!|\.unwrap\(\)'; then
+  echo "ci.sh: FAILED — trainer.rs non-test code must use TrainError, not panics" >&2
+  exit 1
+fi
+
 echo "=== ci.sh: all checks passed ==="

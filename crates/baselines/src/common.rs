@@ -199,6 +199,8 @@ pub fn train_baseline<M: Baseline>(
         epoch_secs: timer.all().to_vec(),
         param_count: model.param_count(),
         steps,
+        recoveries: 0,
+        anomalies: Vec::new(),
     }
 }
 

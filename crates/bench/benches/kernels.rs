@@ -144,7 +144,11 @@ fn bench_training_step() {
         ..TrainConfig::repro_scale()
     };
     bench("mgbr_one_epoch", 1, 3, || {
-        black_box(trainer::train(&mut model, &ds, &split, &tc).epoch_losses);
+        black_box(
+            trainer::train(&mut model, &ds, &split, &tc)
+                .expect("training failed")
+                .epoch_losses,
+        );
     });
 }
 

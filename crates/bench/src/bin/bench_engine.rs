@@ -71,11 +71,12 @@ fn main() {
             epochs: 1,
             ..tc.clone()
         },
-    );
+    )
+    .expect("warmup training failed");
 
     let mut model = Mgbr::new(env.mgbr_config(), &env.split.train_dataset());
     let t0 = Instant::now();
-    let report = train(&mut model, &env.full, &env.split, &tc);
+    let report = train(&mut model, &env.full, &env.split, &tc).expect("training failed");
     let total_secs = t0.elapsed().as_secs_f64();
 
     let sps = report.steps_per_sec();

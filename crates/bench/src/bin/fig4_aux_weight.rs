@@ -5,20 +5,30 @@
 //! under-constrains the representations, too much crowds out fitting the
 //! observed groups.
 
-use mgbr_bench::{train_and_eval_with, write_artifact, ExperimentEnv, ModelKind, ModelResult};
+use mgbr_bench::{try_train_and_eval_with, write_artifact, ExperimentEnv, ModelKind, ModelResult};
 use mgbr_core::MgbrVariant;
 use mgbr_json::{Json, ToJson};
 
 struct SweepPoint {
     beta: f32,
-    result: ModelResult,
+    /// `None` when this cell's training failed; see `error`.
+    result: Option<ModelResult>,
+    /// The training error for a failed (e.g. diverged) cell.
+    error: Option<String>,
 }
 
 impl ToJson for SweepPoint {
     fn to_json(&self) -> Json {
         Json::obj([
             ("beta", self.beta.to_json()),
-            ("result", self.result.to_json()),
+            (
+                "result",
+                self.result.as_ref().map_or(Json::Null, ToJson::to_json),
+            ),
+            (
+                "error",
+                self.error.as_ref().map_or(Json::Null, ToJson::to_json),
+            ),
         ])
     }
 }
@@ -45,18 +55,34 @@ fn main() {
         // With MGBR_CKPT_DIR set, each cell checkpoints and resumes, so a
         // killed sweep restarts from the interrupted cell.
         let cell_tc = env.checkpointed(tc.clone(), &format!("fig4_beta_{beta}"));
-        let r = train_and_eval_with(ModelKind::Mgbr(MgbrVariant::Full), &env, &cfg, &cell_tc);
-        println!(
-            "| {:<13} | {:.4}   | {:.4}    | {:.4}   | {:.4}    | {:.4}    | {:.4}    |",
-            beta,
-            r.task_a_10.mrr,
-            r.task_a_10.ndcg,
-            r.task_b_10.mrr,
-            r.task_b_10.ndcg,
-            r.task_a_100.mrr,
-            r.task_b_100.mrr
-        );
-        points.push(SweepPoint { beta, result: r });
+        match try_train_and_eval_with(ModelKind::Mgbr(MgbrVariant::Full), &env, &cfg, &cell_tc) {
+            Ok(r) => {
+                println!(
+                    "| {:<13} | {:.4}   | {:.4}    | {:.4}   | {:.4}    | {:.4}    | {:.4}    |",
+                    beta,
+                    r.task_a_10.mrr,
+                    r.task_a_10.ndcg,
+                    r.task_b_10.mrr,
+                    r.task_b_10.ndcg,
+                    r.task_a_100.mrr,
+                    r.task_b_100.mrr
+                );
+                points.push(SweepPoint {
+                    beta,
+                    result: Some(r),
+                    error: None,
+                });
+            }
+            Err(e) => {
+                // A diverged cell is recorded and the sweep moves on.
+                println!("| {beta:<13} | training failed: {e} |");
+                points.push(SweepPoint {
+                    beta,
+                    result: None,
+                    error: Some(e.to_string()),
+                });
+            }
+        }
     }
     println!("\nPaper shape to verify: best performance at beta = 0.3.");
 

@@ -58,7 +58,7 @@ fn case_study(env: &ExperimentEnv, variant: MgbrVariant) -> (f64, Vec<GroupPoint
         env.mgbr_config().with_variant(variant),
         &env.split.train_dataset(),
     );
-    train(&mut model, &env.full, &env.split, &env.mgbr_train_config());
+    train(&mut model, &env.full, &env.split, &env.mgbr_train_config()).expect("training failed");
     let scorer = model.scorer();
 
     // Sample groups with enough participants to have visible structure.

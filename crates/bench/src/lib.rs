@@ -24,7 +24,7 @@ use mgbr_baselines::{
     train_baseline, Baseline, BaselineConfig, BaselineScorer, DeepMf, DiffNet, Eatnn, Gbgcn, Gbmf,
     Ngcf,
 };
-use mgbr_core::{train, Mgbr, MgbrConfig, MgbrVariant, TrainConfig};
+use mgbr_core::{train, Mgbr, MgbrConfig, MgbrVariant, TrainConfig, TrainError};
 use mgbr_data::{
     filter_min_interactions, split_dataset, synthetic, DataSplit, Dataset, Sampler,
     SyntheticConfig, TaskAInstance, TaskBInstance,
@@ -284,6 +284,8 @@ pub struct ModelResult {
     pub secs_per_epoch: f64,
     /// Mean loss per epoch, for convergence inspection.
     pub epoch_losses: Vec<f32>,
+    /// Watchdog recoveries the training run consumed (0 for baselines).
+    pub recoveries: usize,
 }
 
 impl ToJson for ModelResult {
@@ -297,6 +299,7 @@ impl ToJson for ModelResult {
             ("param_count", self.param_count.to_json()),
             ("secs_per_epoch", self.secs_per_epoch.to_json()),
             ("epoch_losses", self.epoch_losses.to_json()),
+            ("recoveries", self.recoveries.to_json()),
         ])
     }
 }
@@ -323,30 +326,34 @@ pub fn train_and_eval(kind: ModelKind, env: &ExperimentEnv) -> ModelResult {
 }
 
 /// Trains one model with an explicit MGBR config (for sweeps) and
-/// evaluates it.
+/// evaluates it, panicking on a training error. Sweeps that want to skip
+/// a diverged cell and continue should use [`try_train_and_eval_with`].
 pub fn train_and_eval_with(
     kind: ModelKind,
     env: &ExperimentEnv,
     mgbr_cfg: &MgbrConfig,
     tc: &TrainConfig,
 ) -> ModelResult {
+    try_train_and_eval_with(kind, env, mgbr_cfg, tc)
+        .unwrap_or_else(|e| panic!("training {} failed: {e}", kind.label()))
+}
+
+/// Fallible variant of [`train_and_eval_with`]: a diverged or otherwise
+/// failed MGBR training run surfaces as a typed [`TrainError`] so a sweep
+/// can record the failed cell and move on to the next configuration.
+pub fn try_train_and_eval_with(
+    kind: ModelKind,
+    env: &ExperimentEnv,
+    mgbr_cfg: &MgbrConfig,
+    tc: &TrainConfig,
+) -> Result<ModelResult, TrainError> {
     let train_ds = env.split.train_dataset();
-    match kind {
+    let (report, result) = match kind {
         ModelKind::Mgbr(variant) => {
             let mut model = Mgbr::new(mgbr_cfg.clone().with_variant(variant), &train_ds);
-            let report = train(&mut model, &env.full, &env.split, tc);
+            let report = train(&mut model, &env.full, &env.split, tc)?;
             let scorer = model.scorer();
-            let [a10, a100, b10, b100] = evaluate_all(&scorer, env);
-            ModelResult {
-                model: kind.label().to_string(),
-                task_a_10: a10,
-                task_a_100: a100,
-                task_b_10: b10,
-                task_b_100: b100,
-                param_count: report.param_count,
-                secs_per_epoch: report.mean_epoch_secs(),
-                epoch_losses: report.epoch_losses,
-            }
+            (report, evaluate_all(&scorer, env))
         }
         _ => {
             let bcfg = env.baseline_config();
@@ -359,19 +366,21 @@ pub fn train_and_eval_with(
                 ModelKind::Gbmf => run_baseline(Gbmf::new(&bcfg, &train_ds), env, tc),
                 ModelKind::Mgbr(_) => unreachable!("handled above"),
             };
-            let [a10, a100, b10, b100] = evaluate_all(&scorer, env);
-            ModelResult {
-                model: kind.label().to_string(),
-                task_a_10: a10,
-                task_a_100: a100,
-                task_b_10: b10,
-                task_b_100: b100,
-                param_count: report.param_count,
-                secs_per_epoch: report.mean_epoch_secs(),
-                epoch_losses: report.epoch_losses,
-            }
+            (report, evaluate_all(&scorer, env))
         }
-    }
+    };
+    let [a10, a100, b10, b100] = result;
+    Ok(ModelResult {
+        model: kind.label().to_string(),
+        task_a_10: a10,
+        task_a_100: a100,
+        task_b_10: b10,
+        task_b_100: b100,
+        param_count: report.param_count,
+        secs_per_epoch: report.mean_epoch_secs(),
+        epoch_losses: report.epoch_losses,
+        recoveries: report.recoveries,
+    })
 }
 
 fn run_baseline<M: Baseline>(

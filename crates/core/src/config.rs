@@ -1,5 +1,8 @@
 //! MGBR hyper-parameters (the paper's Table II) and training settings.
 
+use crate::watchdog::WatchdogConfig;
+use mgbr_nn::NumericFault;
+
 /// Which variant of MGBR to build — the ablations of §III-B.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MgbrVariant {
@@ -227,6 +230,15 @@ pub struct TrainConfig {
     /// parameters, Adam moments, and RNG state so the continued run is
     /// bitwise identical to one that was never interrupted.
     pub resume: bool,
+    /// Divergence-watchdog settings (anomaly detection + rollback/backoff
+    /// recovery). Environment overrides (`MGBR_WATCHDOG*`) are applied at
+    /// the start of training. Excluded from the fingerprint: monitoring
+    /// never changes the fault-free trajectory.
+    pub watchdog: WatchdogConfig,
+    /// Test-only compute-fault injection (poison a parameter/gradient
+    /// element or spike the loss at a chosen step). `None` in production.
+    /// Excluded from the fingerprint for the same reason as `watchdog`.
+    pub numeric_fault: Option<NumericFault>,
 }
 
 impl TrainConfig {
@@ -245,6 +257,8 @@ impl TrainConfig {
             checkpoint_every: 0,
             checkpoint_path: None,
             resume: false,
+            watchdog: WatchdogConfig::default(),
+            numeric_fault: None,
         }
     }
 
@@ -262,8 +276,10 @@ impl TrainConfig {
     /// A checkpoint written under one fingerprint refuses to resume under
     /// another. Deliberately excluded: `threads` (results are bitwise
     /// identical at any thread count, so resuming on different hardware is
-    /// sound), `epochs` (so a finished run can be extended), and the
-    /// checkpoint fields themselves.
+    /// sound), `epochs` (so a finished run can be extended), the
+    /// checkpoint fields themselves, and the watchdog/fault-injection
+    /// fields (monitoring is read-only and never changes the fault-free
+    /// trajectory).
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a over the field bytes: stable, dependency-free, and not
         // load-bearing for security — only for catching config mix-ups.
@@ -430,11 +446,18 @@ mod tests {
         ] {
             assert_ne!(fp, tc.fingerprint(), "{label} must change the fingerprint");
         }
-        // Thread count, epoch budget, and checkpoint plumbing must NOT:
-        // they are legitimate differences between a run and its resume.
+        // Thread count, epoch budget, checkpoint plumbing, and the
+        // watchdog/fault knobs must NOT: they are legitimate differences
+        // between a run and its resume (or its recovery retry).
         let same = TrainConfig {
             threads: 4,
             epochs: 99,
+            watchdog: WatchdogConfig {
+                backoff: 0.1,
+                max_recoveries: 9,
+                ..WatchdogConfig::disabled()
+            },
+            numeric_fault: Some(NumericFault::spike_loss(3, 100.0)),
             ..base.clone()
         }
         .with_checkpointing("/tmp/y.ckpt", 1);

@@ -30,9 +30,17 @@
 //! let ds = synthetic::generate(&SyntheticConfig::default());
 //! let split = split_dataset(&ds, (7.0, 3.0, 1.0), 42);
 //! let mut model = Mgbr::new(MgbrConfig::repro_scale(), &split.train_dataset());
-//! let report = trainer::train(&mut model, &ds, &split, &TrainConfig::repro_scale());
-//! println!("final loss {:.4}", report.epoch_losses.last().unwrap());
+//! let report = trainer::train(&mut model, &ds, &split, &TrainConfig::repro_scale())
+//!     .expect("training failed");
+//! if let Some(last) = report.epoch_losses.last() {
+//!     println!("final loss {last:.4}");
+//! }
 //! ```
+//!
+//! Training returns `Result<_, `[`TrainError`]`>`: divergence (after the
+//! [`watchdog`]'s rollback/backoff recovery budget is spent), checkpoint
+//! corruption, and config mismatches surface as typed errors instead of
+//! panics, so sweeps can record a failed cell and move on.
 
 pub mod config;
 pub mod loss;
@@ -40,7 +48,9 @@ pub mod model;
 pub mod mtl;
 pub mod multiview;
 pub mod trainer;
+pub mod watchdog;
 
 pub use config::{MgbrConfig, MgbrVariant, TrainConfig};
 pub use model::{Mgbr, MgbrScorer};
 pub use trainer::{train, train_with_validation, TrainReport};
+pub use watchdog::{AnomalyKind, AnomalyReport, TrainError, Watchdog, WatchdogConfig};

@@ -1,0 +1,421 @@
+//! The training-stability subsystem: per-step anomaly detection with
+//! automatic rollback/backoff recovery.
+//!
+//! ## Anomaly taxonomy
+//!
+//! Every optimizer step is screened for four anomaly classes, in the
+//! order the training computation produces them:
+//!
+//! 1. [`AnomalyKind::NonFiniteLoss`] — the step loss is NaN/Inf.
+//! 2. [`AnomalyKind::LossSpike`] — the step loss exceeds
+//!    `spike_factor ×` the rolling median of the recent loss window
+//!    (divergence that has not yet reached NaN).
+//! 3. [`AnomalyKind::NonFiniteGradient`] — a backward-pass gradient
+//!    contains NaN/Inf (detected post-clip, pre-update).
+//! 4. [`AnomalyKind::NonFiniteParam`] — a parameter contains NaN/Inf
+//!    after the optimizer update.
+//!
+//! ## Recovery protocol
+//!
+//! On the first anomaly the trainer rolls the model back to the last good
+//! epoch-boundary state (an in-memory [`mgbr_nn::MemorySnapshot`] holding
+//! exactly what a v2 checkpoint would: parameters, Adam moments, RNG
+//! state, counters), shrinks the learning rate by `backoff`, re-seeds the
+//! batch-shuffling stream so the retry takes a different path past the
+//! faulting step, and retries the epoch. After `max_recoveries` failed
+//! recoveries, training fails closed with [`TrainError::Diverged`]
+//! carrying the final [`AnomalyReport`]. The on-disk checkpoint (when
+//! configured) is never written or deleted during recovery, so the last
+//! good checkpoint file survives even a diverged run.
+//!
+//! All detection is read-only (no RNG draws, no mutation), so a fault-free
+//! watchdog-enabled run is bitwise identical to a disabled one.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use mgbr_nn::CheckpointError;
+
+/// The class of a detected training anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// The step loss was NaN or ±Inf.
+    NonFiniteLoss,
+    /// The step loss exceeded `spike_factor ×` the rolling median.
+    LossSpike,
+    /// A gradient tensor contained NaN or ±Inf.
+    NonFiniteGradient,
+    /// A parameter tensor contained NaN or ±Inf after the update.
+    NonFiniteParam,
+}
+
+impl fmt::Display for AnomalyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnomalyKind::NonFiniteLoss => write!(f, "non-finite loss"),
+            AnomalyKind::LossSpike => write!(f, "loss spike"),
+            AnomalyKind::NonFiniteGradient => write!(f, "non-finite gradient"),
+            AnomalyKind::NonFiniteParam => write!(f, "non-finite parameter"),
+        }
+    }
+}
+
+/// Everything known about one detected anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyReport {
+    /// Anomaly class.
+    pub kind: AnomalyKind,
+    /// Epoch (0-based, cumulative across resumes) being executed.
+    pub epoch: usize,
+    /// Absolute optimizer step (cumulative across epochs and resumes) at
+    /// which the anomaly fired.
+    pub step: usize,
+    /// The observed step loss at detection time.
+    pub loss: f32,
+    /// Name of the offending tensor, for gradient/parameter anomalies.
+    pub tensor: Option<String>,
+    /// Row-major flat index of the first offending element.
+    pub first_index: Option<usize>,
+    /// Recoveries already consumed when this anomaly fired.
+    pub recoveries: usize,
+}
+
+impl fmt::Display for AnomalyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at epoch {}, step {} (loss {})",
+            self.kind, self.epoch, self.step, self.loss
+        )?;
+        if let Some(t) = &self.tensor {
+            write!(f, " in tensor '{t}'")?;
+            if let Some(i) = self.first_index {
+                write!(f, " first at flat index {i}")?;
+            }
+        }
+        write!(f, "; {} recoveries consumed", self.recoveries)
+    }
+}
+
+/// Typed errors from `train`/`train_with_validation`.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Underlying I/O failure outside checkpoint serialization.
+    Io(std::io::Error),
+    /// A checkpoint could not be written, read, or matched to the model.
+    Checkpoint(CheckpointError),
+    /// Training diverged and recovery was exhausted (or disabled).
+    Diverged {
+        /// The anomaly that ended the run.
+        report: AnomalyReport,
+    },
+    /// The training configuration is inconsistent with the data, the
+    /// checkpoint settings, or a checkpoint on disk.
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Io(e) => write!(f, "training I/O error: {e}"),
+            TrainError::Checkpoint(e) => write!(f, "training checkpoint error: {e}"),
+            TrainError::Diverged { report } => write!(f, "training diverged: {report}"),
+            TrainError::ConfigMismatch(msg) => write!(f, "training config mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Io(e) => Some(e),
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TrainError {
+    fn from(e: std::io::Error) -> Self {
+        TrainError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Watchdog knobs (part of `TrainConfig`; excluded from its fingerprint —
+/// monitoring never changes the fault-free trajectory).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogConfig {
+    /// Master switch. Disabled, the trainer performs only a cheap
+    /// end-of-epoch finiteness check and never recovers.
+    pub enabled: bool,
+    /// A step loss above `spike_factor ×` rolling median is an anomaly.
+    pub spike_factor: f32,
+    /// Rolling-median window length (in steps). Spike detection stays
+    /// quiet until the window holds at least `window / 2` samples.
+    pub window: usize,
+    /// Learning-rate multiplier applied at each recovery (in `(0, 1)`).
+    pub backoff: f32,
+    /// Recoveries allowed before failing closed with
+    /// [`TrainError::Diverged`].
+    pub max_recoveries: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            spike_factor: 25.0,
+            window: 8,
+            backoff: 0.5,
+            max_recoveries: 3,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// A watchdog that never triggers or recovers.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Applies the `MGBR_WATCHDOG` family of environment overrides:
+    ///
+    /// * `MGBR_WATCHDOG=0|off|false` disables the watchdog entirely
+    ///   (`1|on|true` re-enables it);
+    /// * `MGBR_WATCHDOG_BACKOFF` overrides the LR backoff factor;
+    /// * `MGBR_WATCHDOG_MAX_RECOVERIES` overrides the recovery budget;
+    /// * `MGBR_WATCHDOG_SPIKE` overrides the spike factor.
+    ///
+    /// Unparseable values are ignored (the config value stands).
+    pub fn from_env(self) -> Self {
+        self.with_overrides(|k| std::env::var(k).ok())
+    }
+
+    /// [`WatchdogConfig::from_env`] with an injectable lookup, for tests.
+    pub(crate) fn with_overrides(mut self, get: impl Fn(&str) -> Option<String>) -> Self {
+        if let Some(v) = get("MGBR_WATCHDOG") {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "0" | "off" | "false" => self.enabled = false,
+                "1" | "on" | "true" => self.enabled = true,
+                _ => {}
+            }
+        }
+        if let Some(b) = get("MGBR_WATCHDOG_BACKOFF").and_then(|v| v.trim().parse::<f32>().ok()) {
+            if b > 0.0 && b < 1.0 {
+                self.backoff = b;
+            }
+        }
+        if let Some(m) =
+            get("MGBR_WATCHDOG_MAX_RECOVERIES").and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            self.max_recoveries = m;
+        }
+        if let Some(s) = get("MGBR_WATCHDOG_SPIKE").and_then(|v| v.trim().parse::<f32>().ok()) {
+            if s > 1.0 {
+                self.spike_factor = s;
+            }
+        }
+        self
+    }
+}
+
+/// Per-run anomaly monitor: a rolling loss window plus the spike rule.
+///
+/// Detection is strictly read-only with respect to the training state, so
+/// enabling it cannot perturb a fault-free trajectory.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    cfg: WatchdogConfig,
+    window: VecDeque<f32>,
+}
+
+impl Watchdog {
+    /// A monitor over `cfg`.
+    pub fn new(cfg: WatchdogConfig) -> Self {
+        let cap = cfg.window;
+        Self {
+            cfg,
+            window: VecDeque::with_capacity(cap),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.cfg
+    }
+
+    /// Screens one step loss. A healthy loss is recorded into the rolling
+    /// window and `None` is returned; an anomalous one is *not* recorded
+    /// and its class is returned.
+    pub fn check_loss(&mut self, loss: f32) -> Option<AnomalyKind> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        if !loss.is_finite() {
+            return Some(AnomalyKind::NonFiniteLoss);
+        }
+        if let Some(median) = self.rolling_median() {
+            if self.window.len() * 2 >= self.cfg.window
+                && median > f32::EPSILON
+                && loss > self.cfg.spike_factor * median
+            {
+                return Some(AnomalyKind::LossSpike);
+            }
+        }
+        if self.window.len() == self.cfg.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(loss);
+        None
+    }
+
+    /// Clears the rolling window (after a rollback the retried steps must
+    /// not be judged against pre-anomaly losses).
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+
+    fn rolling_median(&self) -> Option<f32> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f32> = self.window.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("window holds only finite losses"));
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_enabled_with_sane_knobs() {
+        let c = WatchdogConfig::default();
+        assert!(c.enabled);
+        assert!(c.backoff > 0.0 && c.backoff < 1.0);
+        assert!(c.spike_factor > 1.0);
+        assert!(c.max_recoveries >= 1);
+        assert!(!WatchdogConfig::disabled().enabled);
+    }
+
+    #[test]
+    fn env_overrides_parse_and_ignore_garbage() {
+        let lookup = |pairs: &'static [(&'static str, &'static str)]| {
+            move |k: &str| {
+                pairs
+                    .iter()
+                    .find(|(name, _)| *name == k)
+                    .map(|(_, v)| v.to_string())
+            }
+        };
+        let c = WatchdogConfig::default().with_overrides(lookup(&[
+            ("MGBR_WATCHDOG", "off"),
+            ("MGBR_WATCHDOG_BACKOFF", "0.25"),
+            ("MGBR_WATCHDOG_MAX_RECOVERIES", "7"),
+            ("MGBR_WATCHDOG_SPIKE", "50"),
+        ]));
+        assert!(!c.enabled);
+        assert_eq!(c.backoff, 0.25);
+        assert_eq!(c.max_recoveries, 7);
+        assert_eq!(c.spike_factor, 50.0);
+
+        let d = WatchdogConfig::disabled().with_overrides(lookup(&[
+            ("MGBR_WATCHDOG", "1"),
+            ("MGBR_WATCHDOG_BACKOFF", "2.5"), // out of range: ignored
+            ("MGBR_WATCHDOG_SPIKE", "nonsense"),
+        ]));
+        assert!(d.enabled);
+        assert_eq!(d.backoff, WatchdogConfig::default().backoff);
+        assert_eq!(d.spike_factor, WatchdogConfig::default().spike_factor);
+
+        let untouched = WatchdogConfig::default().with_overrides(|_| None);
+        assert_eq!(untouched, WatchdogConfig::default());
+    }
+
+    #[test]
+    fn non_finite_loss_is_flagged_immediately() {
+        let mut w = Watchdog::new(WatchdogConfig::default());
+        assert_eq!(w.check_loss(f32::NAN), Some(AnomalyKind::NonFiniteLoss));
+        assert_eq!(
+            w.check_loss(f32::INFINITY),
+            Some(AnomalyKind::NonFiniteLoss)
+        );
+        assert_eq!(w.check_loss(0.5), None);
+    }
+
+    #[test]
+    fn spike_detection_needs_a_warm_window() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            window: 4,
+            spike_factor: 10.0,
+            ..WatchdogConfig::default()
+        });
+        // First sample: no median context yet, a huge loss passes.
+        assert_eq!(w.check_loss(500.0), None);
+        w.reset();
+        for _ in 0..4 {
+            assert_eq!(w.check_loss(1.0), None);
+        }
+        assert_eq!(w.check_loss(9.9), None, "below the spike threshold");
+        assert_eq!(w.check_loss(100.0), Some(AnomalyKind::LossSpike));
+        // The spiked loss was not recorded: the window median is intact.
+        assert_eq!(w.check_loss(1.1), None);
+    }
+
+    #[test]
+    fn reset_clears_spike_context() {
+        let mut w = Watchdog::new(WatchdogConfig {
+            window: 4,
+            spike_factor: 5.0,
+            ..WatchdogConfig::default()
+        });
+        for _ in 0..4 {
+            w.check_loss(1.0);
+        }
+        assert_eq!(w.check_loss(50.0), Some(AnomalyKind::LossSpike));
+        w.reset();
+        assert_eq!(w.check_loss(50.0), None, "fresh window has no median");
+    }
+
+    #[test]
+    fn disabled_watchdog_sees_nothing() {
+        let mut w = Watchdog::new(WatchdogConfig::disabled());
+        assert_eq!(w.check_loss(f32::NAN), None);
+        assert_eq!(w.check_loss(1e30), None);
+    }
+
+    #[test]
+    fn report_and_error_display_carry_the_details() {
+        let report = AnomalyReport {
+            kind: AnomalyKind::NonFiniteGradient,
+            epoch: 3,
+            step: 41,
+            loss: 0.72,
+            tensor: Some("mtl.expert_bank.w".into()),
+            first_index: Some(17),
+            recoveries: 2,
+        };
+        let msg = TrainError::Diverged {
+            report: report.clone(),
+        }
+        .to_string();
+        assert!(msg.contains("non-finite gradient"), "{msg}");
+        assert!(msg.contains("epoch 3"), "{msg}");
+        assert!(msg.contains("step 41"), "{msg}");
+        assert!(msg.contains("mtl.expert_bank.w"), "{msg}");
+        assert!(msg.contains("index 17"), "{msg}");
+        let cfg_err = TrainError::ConfigMismatch("empty training partition".into());
+        assert!(cfg_err.to_string().contains("empty training partition"));
+        assert!(report.to_string().contains("2 recoveries consumed"));
+    }
+}

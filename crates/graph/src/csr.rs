@@ -2,6 +2,47 @@
 
 use mgbr_tensor::Tensor;
 
+/// Typed error for fail-closed graph construction: malformed input is
+/// rejected instead of silently coerced (contrast the lenient builders,
+/// which sum duplicate triplets and collapse duplicate edges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A coordinate referenced a node outside the declared shape.
+    OutOfRange {
+        /// What kind of input carried the coordinate ("triplet", "edge", …).
+        kind: &'static str,
+        /// First coordinate (row, or edge endpoint `a`).
+        a: usize,
+        /// Second coordinate (column, or edge endpoint `b`).
+        b: usize,
+        /// Exclusive bounds the coordinates must respect.
+        bounds: (usize, usize),
+    },
+    /// The same coordinate pair appeared more than once (for undirected
+    /// edges, either orientation counts).
+    Duplicate {
+        /// What kind of input carried the coordinate ("triplet", "edge", …).
+        kind: &'static str,
+        /// First coordinate of the repeated pair.
+        a: usize,
+        /// Second coordinate of the repeated pair.
+        b: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OutOfRange { kind, a, b, bounds } => {
+                write!(f, "{kind} ({a},{b}) out of [{}x{}]", bounds.0, bounds.1)
+            }
+            Self::Duplicate { kind, a, b } => write!(f, "duplicate {kind} ({a},{b})"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A sparse `f32` matrix in compressed-sparse-row layout.
 ///
 /// Built once per training run from the observed deal groups and then used
@@ -63,6 +104,44 @@ impl Csr {
         }
     }
 
+    /// Fail-closed variant of [`Csr::from_triplets`]: rejects out-of-range
+    /// coordinates *and* duplicate coordinates with a typed error instead
+    /// of panicking or silently summing. Use this when the triplets come
+    /// from untrusted or externally parsed input.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::OutOfRange`] for a coordinate outside
+    /// `[n_rows × n_cols]`; [`GraphError::Duplicate`] when the same
+    /// `(row, col)` appears twice.
+    pub fn try_from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> Result<Self, GraphError> {
+        let mut coords: Vec<(usize, usize)> = Vec::with_capacity(triplets.len());
+        for &(r, c, _) in triplets {
+            if r >= n_rows || c >= n_cols {
+                return Err(GraphError::OutOfRange {
+                    kind: "triplet",
+                    a: r,
+                    b: c,
+                    bounds: (n_rows, n_cols),
+                });
+            }
+            coords.push((r, c));
+        }
+        coords.sort_unstable();
+        if let Some(w) = coords.windows(2).find(|w| w[0] == w[1]) {
+            return Err(GraphError::Duplicate {
+                kind: "triplet",
+                a: w[0].0,
+                b: w[0].1,
+            });
+        }
+        Ok(Self::from_triplets(n_rows, n_cols, triplets))
+    }
+
     /// Builds the adjacency matrix of an undirected, unweighted graph from
     /// an edge list: each `(a, b)` contributes entries `(a,b)` and `(b,a)`
     /// with value 1 (duplicates collapse to 1, not 2).
@@ -78,6 +157,36 @@ impl Csr {
         let triplets: Vec<(usize, usize, f32)> =
             set.into_iter().map(|(a, b)| (a, b, 1.0)).collect();
         Self::from_triplets(n, n, &triplets)
+    }
+
+    /// Fail-closed variant of [`Csr::undirected_adjacency`]: rejects
+    /// out-of-range endpoints and duplicate edges (either orientation)
+    /// with a typed error instead of panicking or silently collapsing.
+    /// Self-loops are still dropped, matching the lenient builder.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::OutOfRange`] for an endpoint `>= n`;
+    /// [`GraphError::Duplicate`] when an edge (or its reverse) repeats.
+    pub fn try_undirected_adjacency(
+        n: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if a >= n || b >= n {
+                return Err(GraphError::OutOfRange {
+                    kind: "edge",
+                    a,
+                    b,
+                    bounds: (n, n),
+                });
+            }
+            if !seen.insert((a.min(b), a.max(b))) {
+                return Err(GraphError::Duplicate { kind: "edge", a, b });
+            }
+        }
+        Ok(Self::undirected_adjacency(n, edges))
     }
 
     /// The `n × n` sparse identity.
@@ -362,6 +471,80 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn out_of_bounds_triplet_panics() {
         let _ = Csr::from_triplets(2, 2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn try_from_triplets_rejects_out_of_range_row() {
+        let err = Csr::try_from_triplets(2, 3, &[(2, 0, 1.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::OutOfRange {
+                kind: "triplet",
+                a: 2,
+                b: 0,
+                bounds: (2, 3)
+            }
+        );
+        assert!(err.to_string().contains("out of"), "{err}");
+    }
+
+    #[test]
+    fn try_from_triplets_rejects_out_of_range_col() {
+        let err = Csr::try_from_triplets(2, 3, &[(0, 3, 1.0)]).unwrap_err();
+        assert!(matches!(err, GraphError::OutOfRange { b: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn try_from_triplets_rejects_duplicate_coordinate() {
+        let err =
+            Csr::try_from_triplets(2, 3, &[(1, 2, 1.0), (0, 0, 2.0), (1, 2, 3.0)]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::Duplicate {
+                kind: "triplet",
+                a: 1,
+                b: 2
+            }
+        );
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn try_from_triplets_accepts_clean_input() {
+        let m = Csr::try_from_triplets(2, 3, &[(1, 2, 3.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(m, Csr::from_triplets(2, 3, &[(1, 2, 3.0), (0, 1, 2.0)]));
+    }
+
+    #[test]
+    fn try_undirected_adjacency_rejects_out_of_range_endpoint() {
+        let err = Csr::try_undirected_adjacency(3, &[(0, 3)]).unwrap_err();
+        assert!(matches!(err, GraphError::OutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_undirected_adjacency_rejects_repeated_edge() {
+        let err = Csr::try_undirected_adjacency(3, &[(0, 1), (0, 1)]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::Duplicate {
+                kind: "edge",
+                a: 0,
+                b: 1
+            }
+        );
+    }
+
+    #[test]
+    fn try_undirected_adjacency_rejects_reversed_duplicate() {
+        let err = Csr::try_undirected_adjacency(3, &[(0, 1), (1, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::Duplicate { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_undirected_adjacency_accepts_clean_input_and_drops_self_loops() {
+        let a = Csr::try_undirected_adjacency(4, &[(0, 1), (1, 2), (3, 3)]).unwrap();
+        assert_eq!(a, Csr::undirected_adjacency(4, &[(0, 1), (1, 2), (3, 3)]));
+        assert_eq!(a.get(3, 3), 0.0);
     }
 
     /// The row-band driver must not change results: each output row is

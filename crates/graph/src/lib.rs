@@ -26,5 +26,5 @@
 mod csr;
 pub mod views;
 
-pub use csr::{spmm, spmm_into, Csr};
+pub use csr::{spmm, spmm_into, Csr, GraphError};
 pub use views::{GraphViews, HinGraph};

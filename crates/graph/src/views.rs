@@ -5,7 +5,7 @@
 //! occupy node ids `0..n_users` and item `i` occupies `n_users + i`. The
 //! social view `G_UP` is over users only.
 
-use crate::Csr;
+use crate::{Csr, GraphError};
 
 /// The three normalized propagation matrices of MGBR's multi-view
 /// embedding module.
@@ -75,6 +75,53 @@ impl GraphViews {
         }
     }
 
+    /// Fail-closed variant of [`GraphViews::build`]: out-of-range users or
+    /// items and duplicate edges (within any one view) are rejected with a
+    /// typed error instead of panicking or being collapsed. Use when the
+    /// edge lists come from untrusted or externally parsed input.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::OutOfRange`] for an edge referencing a user
+    /// `>= n_users` or item `>= n_items`; [`GraphError::Duplicate`] when
+    /// an edge repeats inside its view (either orientation for `G_UP`).
+    pub fn try_build(
+        n_users: usize,
+        n_items: usize,
+        ui_edges: &[(usize, usize)],
+        pi_edges: &[(usize, usize)],
+        up_edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        let n_bip = n_users + n_items;
+        let map_bip = |edges: &[(usize, usize)]| -> Result<Vec<(usize, usize)>, GraphError> {
+            edges
+                .iter()
+                .map(|&(u, i)| {
+                    if u >= n_users || i >= n_items {
+                        Err(GraphError::OutOfRange {
+                            kind: "edge",
+                            a: u,
+                            b: i,
+                            bounds: (n_users, n_items),
+                        })
+                    } else {
+                        Ok((u, n_users + i))
+                    }
+                })
+                .collect()
+        };
+        let a_ui = Csr::try_undirected_adjacency(n_bip, &map_bip(ui_edges)?)?.sym_normalized();
+        let a_pi = Csr::try_undirected_adjacency(n_bip, &map_bip(pi_edges)?)?.sym_normalized();
+        let a_up = Csr::try_undirected_adjacency(n_users, up_edges)?.sym_normalized();
+        Ok(Self {
+            n_users,
+            n_items,
+            a_ui,
+            a_pi,
+            a_up,
+        })
+    }
+
     /// Number of nodes in the bipartite views.
     #[inline]
     pub fn n_bipartite(&self) -> usize {
@@ -129,6 +176,72 @@ impl HinGraph {
             adj: Csr::undirected_adjacency(n, &all).sym_normalized(),
         }
     }
+
+    /// Fail-closed variant of [`HinGraph::build`]: rejects out-of-range
+    /// ids and duplicate edges *within* each relation list with a typed
+    /// error. The same pair appearing under different relations (e.g. one
+    /// user both initiating and joining groups for an item) is legitimate
+    /// and folds into a single HIN edge, as in the lenient builder.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::OutOfRange`] or [`GraphError::Duplicate`] per the
+    /// rules above.
+    pub fn try_build(
+        n_users: usize,
+        n_items: usize,
+        ui_edges: &[(usize, usize)],
+        pi_edges: &[(usize, usize)],
+        up_edges: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        let n = n_users + n_items;
+        let mut all = Vec::with_capacity(ui_edges.len() + pi_edges.len() + up_edges.len());
+        for edges in [ui_edges, pi_edges] {
+            let mut seen = std::collections::HashSet::with_capacity(edges.len());
+            for &(u, i) in edges {
+                if u >= n_users || i >= n_items {
+                    return Err(GraphError::OutOfRange {
+                        kind: "edge",
+                        a: u,
+                        b: i,
+                        bounds: (n_users, n_items),
+                    });
+                }
+                if !seen.insert((u, i)) {
+                    return Err(GraphError::Duplicate {
+                        kind: "edge",
+                        a: u,
+                        b: i,
+                    });
+                }
+                all.push((u, n_users + i));
+            }
+        }
+        let mut seen = std::collections::HashSet::with_capacity(up_edges.len());
+        for &(u, p) in up_edges {
+            if u >= n_users || p >= n_users {
+                return Err(GraphError::OutOfRange {
+                    kind: "edge",
+                    a: u,
+                    b: p,
+                    bounds: (n_users, n_users),
+                });
+            }
+            if !seen.insert((u.min(p), u.max(p))) {
+                return Err(GraphError::Duplicate {
+                    kind: "edge",
+                    a: u,
+                    b: p,
+                });
+            }
+            all.push((u, p));
+        }
+        Ok(Self {
+            n_users,
+            n_items,
+            adj: Csr::undirected_adjacency(n, &all).sym_normalized(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +290,61 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn bad_item_index_panics() {
         let _ = GraphViews::build(2, 1, &[(0, 1)], &[], &[]);
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_range_user() {
+        let err = GraphViews::try_build(2, 2, &[(2, 0)], &[], &[]).unwrap_err();
+        assert!(matches!(err, GraphError::OutOfRange { a: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_range_item() {
+        let err = GraphViews::try_build(2, 1, &[], &[(0, 1)], &[]).unwrap_err();
+        assert!(matches!(err, GraphError::OutOfRange { b: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_range_social_edge() {
+        let err = GraphViews::try_build(2, 1, &[], &[], &[(0, 2)]).unwrap_err();
+        assert!(matches!(err, GraphError::OutOfRange { b: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn try_build_rejects_duplicate_view_edge() {
+        let err = GraphViews::try_build(3, 2, &[(0, 0), (0, 0)], &[], &[]).unwrap_err();
+        assert!(matches!(err, GraphError::Duplicate { .. }), "{err}");
+    }
+
+    #[test]
+    fn try_build_matches_lenient_build_on_clean_input() {
+        let ui = [(0, 0)];
+        let pi = [(1, 0), (2, 1)];
+        let up = [(0, 1), (0, 2)];
+        let strict = GraphViews::try_build(3, 2, &ui, &pi, &up).unwrap();
+        let lenient = GraphViews::build(3, 2, &ui, &pi, &up);
+        assert_eq!(strict.a_ui, lenient.a_ui);
+        assert_eq!(strict.a_pi, lenient.a_pi);
+        assert_eq!(strict.a_up, lenient.a_up);
+    }
+
+    #[test]
+    fn hin_try_build_rejects_out_of_range_edge() {
+        let err = HinGraph::try_build(2, 1, &[(0, 1)], &[], &[]).unwrap_err();
+        assert!(matches!(err, GraphError::OutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn hin_try_build_rejects_duplicate_within_relation() {
+        let err = HinGraph::try_build(3, 2, &[], &[], &[(0, 1), (1, 0)]).unwrap_err();
+        assert!(matches!(err, GraphError::Duplicate { .. }), "{err}");
+    }
+
+    #[test]
+    fn hin_try_build_allows_cross_relation_overlap() {
+        // (0,0) as both a UI and a PI edge folds into one HIN edge.
+        let h = HinGraph::try_build(3, 2, &[(0, 0)], &[(0, 0)], &[]).unwrap();
+        let lenient = HinGraph::build(3, 2, &[(0, 0)], &[(0, 0)], &[]);
+        assert_eq!(h.adj, lenient.adj);
     }
 }

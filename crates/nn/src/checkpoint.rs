@@ -139,6 +139,62 @@ impl TrainState {
     }
 }
 
+/// An in-memory capture of exactly the state a v2 checkpoint file holds —
+/// parameters plus [`TrainState`] — without touching the filesystem.
+///
+/// The training watchdog snapshots at every epoch boundary and rolls back
+/// to the capture after a numerical anomaly; because the content mirrors
+/// the on-disk v2 format one-for-one, restoring it is equivalent to
+/// re-loading the checkpoint that boundary would have written, minus the
+/// serialization round-trip.
+#[derive(Debug, Clone)]
+pub struct MemorySnapshot {
+    params: Vec<Tensor>,
+    state: TrainState,
+}
+
+impl MemorySnapshot {
+    /// Clones every parameter of `store` together with `state`.
+    pub fn capture(store: &ParamStore, state: TrainState) -> Self {
+        Self {
+            params: store.iter().map(|(_, _, t)| t.clone()).collect(),
+            state,
+        }
+    }
+
+    /// The captured training state.
+    pub fn state(&self) -> &TrainState {
+        &self.state
+    }
+
+    /// Restores the captured parameters into `store`.
+    ///
+    /// Returns a [`CheckpointError::Mismatch`] if `store` is not the store
+    /// the snapshot was captured from (different parameter count or
+    /// shapes); on error the store is untouched.
+    pub fn restore(&self, store: &mut ParamStore) -> Result<(), CheckpointError> {
+        if self.params.len() != store.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "snapshot has {} parameters, store has {}",
+                self.params.len(),
+                store.len()
+            )));
+        }
+        for ((_, name, current), saved) in store.iter().zip(&self.params) {
+            if current.rows() != saved.rows() || current.cols() != saved.cols() {
+                return Err(CheckpointError::Mismatch(format!(
+                    "parameter '{name}': snapshot shape [{}x{}], store shape {}",
+                    saved.rows(),
+                    saved.cols(),
+                    current.shape()
+                )));
+            }
+        }
+        commit_params(store, self.params.clone());
+        Ok(())
+    }
+}
+
 /// A non-fatal observation made while loading a checkpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FormatNote {
@@ -1002,6 +1058,40 @@ mod tests {
             assert_eq!(a, b);
         }
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn memory_snapshot_roundtrips_params_and_state() {
+        let store = sample_store();
+        let snap = MemorySnapshot::capture(&store, sample_state());
+        let mut mutated = sample_store();
+        let first_id = mutated.iter().next().unwrap().0;
+        mutated.get_mut(first_id).fill(f32::NAN);
+        snap.restore(&mut mutated).unwrap();
+        for ((_, _, a), (_, _, b)) in store.iter().zip(mutated.iter()) {
+            assert_eq!(a, b);
+        }
+        assert_eq!(snap.state().epoch, 7);
+        assert_eq!(snap.state().step, 1234);
+    }
+
+    #[test]
+    fn memory_snapshot_rejects_foreign_store() {
+        let snap = MemorySnapshot::capture(&sample_store(), TrainState::new(0));
+        let mut other = ParamStore::new();
+        other.add("layer.w", Tensor::zeros(4, 3)); // transposed shape
+        other.add("layer.b", Tensor::zeros(1, 4));
+        let before: Vec<Vec<f32>> = other
+            .iter()
+            .map(|(_, _, t)| t.as_slice().to_vec())
+            .collect();
+        let err = snap.restore(&mut other).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        let after: Vec<Vec<f32>> = other
+            .iter()
+            .map(|(_, _, t)| t.as_slice().to_vec())
+            .collect();
+        assert_eq!(before, after, "failed restore must not mutate the store");
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Failpoint-style I/O fault injection for crash-safety tests.
+//! Failpoint-style fault injection for crash-safety and divergence tests.
 //!
 //! [`IoFault`] wraps any [`Write`] target and injures the byte stream at a
 //! chosen absolute offset: silently dropping everything from that point on
@@ -7,8 +7,16 @@
 //! yanked device). The checkpoint test suite drives every one of these
 //! through the v2 writer to prove that partial or corrupt checkpoints are
 //! rejected with a typed error and never loaded silently.
+//!
+//! [`NumericFault`] is the compute-side counterpart: it poisons a chosen
+//! parameter or gradient element with NaN/Inf — or spikes the observed
+//! loss — at a chosen optimizer step, so the training watchdog's
+//! rollback/backoff recovery is exercised the same way torn writes
+//! already are.
 
 use std::io::{self, Write};
+
+use crate::{param_id_from_index, GradientSet, ParamStore};
 
 /// What to do to the byte stream, and where.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +137,153 @@ impl<W: Write> Write for IoFault<W> {
     }
 }
 
+/// What a [`NumericFault`] injects into the training computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericFaultKind {
+    /// Overwrite element `index` of parameter slot `slot` with `value`
+    /// (typically NaN or ±Inf) right after the optimizer update.
+    PoisonParam {
+        /// Parameter slot in store registration order.
+        slot: usize,
+        /// Row-major flat element index inside the tensor.
+        index: usize,
+        /// The poison value.
+        value: f32,
+    },
+    /// Overwrite element `index` of the gradient for slot `slot` with
+    /// `value`, after clipping and before the optimizer consumes it.
+    PoisonGradient {
+        /// Parameter slot in store registration order.
+        slot: usize,
+        /// Row-major flat element index inside the gradient tensor.
+        index: usize,
+        /// The poison value.
+        value: f32,
+    },
+    /// Multiply the observed step loss by `factor` (spike simulation; a
+    /// non-finite factor produces a non-finite loss).
+    SpikeLoss {
+        /// Loss multiplier.
+        factor: f32,
+    },
+}
+
+/// A compute fault armed to fire at one absolute optimizer step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericFault {
+    /// Absolute (cumulative across epochs) optimizer step to fire at.
+    pub at_step: usize,
+    /// What to inject.
+    pub kind: NumericFaultKind,
+    /// Fire only the first time `at_step` is reached (a transient upset).
+    /// When false the fault re-fires every time the step is re-executed —
+    /// e.g. after a watchdog rollback — modeling a persistent defect.
+    pub once: bool,
+}
+
+impl NumericFault {
+    /// A transient parameter poison at `at_step`.
+    pub fn poison_param(at_step: usize, slot: usize, index: usize, value: f32) -> Self {
+        Self {
+            at_step,
+            kind: NumericFaultKind::PoisonParam { slot, index, value },
+            once: true,
+        }
+    }
+
+    /// A transient gradient poison at `at_step`.
+    pub fn poison_gradient(at_step: usize, slot: usize, index: usize, value: f32) -> Self {
+        Self {
+            at_step,
+            kind: NumericFaultKind::PoisonGradient { slot, index, value },
+            once: true,
+        }
+    }
+
+    /// A transient loss spike at `at_step`.
+    pub fn spike_loss(at_step: usize, factor: f32) -> Self {
+        Self {
+            at_step,
+            kind: NumericFaultKind::SpikeLoss { factor },
+            once: true,
+        }
+    }
+
+    /// Makes the fault re-fire on every re-execution of `at_step`.
+    pub fn persistent(mut self) -> Self {
+        self.once = false;
+        self
+    }
+}
+
+/// Runtime state of an armed [`NumericFault`]: remembers whether a
+/// one-shot fault already fired, so a rolled-back retry of the same step
+/// is not poisoned again.
+#[derive(Debug, Clone)]
+pub struct NumericFaultArm {
+    fault: NumericFault,
+    fired: bool,
+}
+
+impl NumericFaultArm {
+    /// Arms `fault`.
+    pub fn new(fault: NumericFault) -> Self {
+        Self {
+            fault,
+            fired: false,
+        }
+    }
+
+    /// Whether the fault has fired at least once.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+
+    fn due(&self, step: usize) -> bool {
+        step == self.fault.at_step && (!self.fault.once || !self.fired)
+    }
+
+    /// Applies a [`NumericFaultKind::SpikeLoss`] due at `step`, returning
+    /// the (possibly tampered) loss.
+    pub fn tamper_loss(&mut self, step: usize, loss: f32) -> f32 {
+        if let NumericFaultKind::SpikeLoss { factor } = self.fault.kind {
+            if self.due(step) {
+                self.fired = true;
+                return loss * factor;
+            }
+        }
+        loss
+    }
+
+    /// Applies a [`NumericFaultKind::PoisonGradient`] due at `step`.
+    pub fn tamper_grads(&mut self, step: usize, grads: &mut GradientSet) {
+        if let NumericFaultKind::PoisonGradient { slot, index, value } = self.fault.kind {
+            if self.due(step) {
+                if let Some(Some(g)) = grads.grads.get_mut(slot) {
+                    let data = g.as_mut_slice();
+                    if index < data.len() {
+                        data[index] = value;
+                        self.fired = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies a [`NumericFaultKind::PoisonParam`] due at `step`.
+    pub fn tamper_params(&mut self, step: usize, store: &mut ParamStore) {
+        if let NumericFaultKind::PoisonParam { slot, index, value } = self.fault.kind {
+            if self.due(step) && slot < store.len() {
+                let data = store.get_mut(param_id_from_index(slot)).as_mut_slice();
+                if index < data.len() {
+                    data[index] = value;
+                    self.fired = true;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,5 +332,86 @@ mod tests {
         assert!(err.to_string().contains("injected"));
         assert!(w.fired());
         assert_eq!(w.into_inner(), b"abcdef");
+    }
+
+    use mgbr_tensor::Tensor;
+
+    fn store_with_one_param() -> ParamStore {
+        let mut store = ParamStore::new();
+        store.add("probe.w", Tensor::ones(2, 3));
+        store
+    }
+
+    #[test]
+    fn poison_param_fires_only_at_its_step() {
+        let mut store = store_with_one_param();
+        let mut arm = NumericFaultArm::new(NumericFault::poison_param(5, 0, 4, f32::NAN));
+        arm.tamper_params(4, &mut store);
+        assert!(!arm.fired());
+        assert!(store.all_finite());
+        arm.tamper_params(5, &mut store);
+        assert!(arm.fired());
+        let (_, _, t) = store.iter().next().unwrap();
+        assert_eq!(t.first_non_finite(), Some(4));
+        assert_eq!(t.non_finite_count(), 1);
+    }
+
+    #[test]
+    fn one_shot_fault_does_not_refire_after_rollback() {
+        let mut store = store_with_one_param();
+        let mut arm = NumericFaultArm::new(NumericFault::poison_param(3, 0, 0, f32::INFINITY));
+        arm.tamper_params(3, &mut store);
+        assert!(arm.fired());
+        // Roll back (re-create clean params) and re-execute step 3: a
+        // transient fault must stay quiet the second time.
+        let mut store = store_with_one_param();
+        arm.tamper_params(3, &mut store);
+        assert!(store.all_finite());
+    }
+
+    #[test]
+    fn persistent_fault_refires_every_retry() {
+        let mut arm =
+            NumericFaultArm::new(NumericFault::poison_param(3, 0, 0, f32::NAN).persistent());
+        for _ in 0..3 {
+            let mut store = store_with_one_param();
+            arm.tamper_params(3, &mut store);
+            assert!(!store.all_finite(), "persistent fault must keep firing");
+        }
+    }
+
+    #[test]
+    fn spike_loss_multiplies_once() {
+        let mut arm = NumericFaultArm::new(NumericFault::spike_loss(2, 100.0));
+        assert_eq!(arm.tamper_loss(1, 0.5), 0.5);
+        assert_eq!(arm.tamper_loss(2, 0.5), 50.0);
+        assert_eq!(arm.tamper_loss(2, 0.5), 0.5, "one-shot spike already spent");
+    }
+
+    #[test]
+    fn poison_gradient_hits_the_chosen_slot() {
+        let store = store_with_one_param();
+        let ctx = crate::StepCtx::new(&store);
+        let id = store.iter().next().unwrap().0;
+        let loss = ctx.param(id).mean_all();
+        let mut grads = ctx.backward(&loss);
+        assert!(grads.all_finite());
+        let mut arm = NumericFaultArm::new(NumericFault::poison_gradient(0, 0, 2, f32::NAN));
+        arm.tamper_grads(0, &mut grads);
+        assert!(arm.fired());
+        assert!(!grads.all_finite());
+        assert_eq!(grads.get(id).unwrap().first_non_finite(), Some(2));
+    }
+
+    #[test]
+    fn out_of_range_targets_are_ignored() {
+        let mut store = store_with_one_param();
+        let mut arm = NumericFaultArm::new(NumericFault::poison_param(0, 9, 0, f32::NAN));
+        arm.tamper_params(0, &mut store);
+        assert!(!arm.fired());
+        let mut arm = NumericFaultArm::new(NumericFault::poison_param(0, 0, 999, f32::NAN));
+        arm.tamper_params(0, &mut store);
+        assert!(!arm.fired());
+        assert!(store.all_finite());
     }
 }

@@ -302,6 +302,22 @@ impl Tensor {
         self.data.iter().all(|x| x.is_finite())
     }
 
+    /// Number of non-finite (NaN/Inf) elements, in one fused pass.
+    ///
+    /// The training watchdog prefers this over [`Tensor::all_finite`] when
+    /// it needs to *report* an anomaly, not just detect one.
+    pub fn non_finite_count(&self) -> usize {
+        self.data.iter().filter(|x| !x.is_finite()).count()
+    }
+
+    /// Row-major flat index of the first non-finite element, if any.
+    ///
+    /// Paired with [`Tensor::non_finite_count`] this pins down exactly
+    /// where a divergence entered a tensor, for anomaly reports.
+    pub fn first_non_finite(&self) -> Option<usize> {
+        self.data.iter().position(|x| !x.is_finite())
+    }
+
     #[inline]
     #[track_caller]
     pub(crate) fn assert_same_shape(&self, other: &Self, op: &str) {
@@ -457,5 +473,26 @@ mod tests {
         assert!(t.all_finite());
         t.set(0, 1, f32::NAN);
         assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn non_finite_scan_counts_and_locates() {
+        let mut t = Tensor::ones(2, 3);
+        assert_eq!(t.non_finite_count(), 0);
+        assert_eq!(t.first_non_finite(), None);
+        t.set(0, 2, f32::INFINITY);
+        t.set(1, 1, f32::NAN);
+        assert_eq!(t.non_finite_count(), 2);
+        // Row-major: (0,2) is flat index 2, the earliest offender.
+        assert_eq!(t.first_non_finite(), Some(2));
+        assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn non_finite_scan_catches_negative_infinity() {
+        let mut t = Tensor::zeros(1, 4);
+        t.set(0, 3, f32::NEG_INFINITY);
+        assert_eq!(t.non_finite_count(), 1);
+        assert_eq!(t.first_non_finite(), Some(3));
     }
 }

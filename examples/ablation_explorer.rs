@@ -43,7 +43,7 @@ fn main() {
             base_cfg.clone().with_variant(variant),
             &split.train_dataset(),
         );
-        let report = train(&mut model, &dataset, &split, &tc);
+        let report = train(&mut model, &dataset, &split, &tc).expect("training failed");
         let scorer = model.scorer();
         let ma = evaluate_task_a(&scorer, &test_a, 10);
         let mb = evaluate_task_b(&scorer, &test_b, 10);

@@ -89,7 +89,7 @@ fn main() {
         ..MgbrConfig::repro_scale()
     };
     let mut mgbr = Mgbr::new(cfg, &train_ds);
-    train(&mut mgbr, &arena.dataset, &arena.split, &arena.tc);
+    train(&mut mgbr, &arena.dataset, &arena.split, &arena.tc).expect("training failed");
     let params = mgbr.param_count();
     arena.report(&mgbr.scorer(), params);
 

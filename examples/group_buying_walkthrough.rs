@@ -39,7 +39,7 @@ fn main() {
         epochs: 5,
         ..TrainConfig::repro_scale()
     };
-    train(&mut model, &history, &split, &tc);
+    train(&mut model, &history, &split, &tc).expect("training failed");
     let scorer = model.scorer();
 
     // ---- Phase 1: the initiator opens the app. ----

@@ -40,7 +40,7 @@ fn main() {
         epochs: 5,
         ..TrainConfig::repro_scale()
     };
-    let trained = train(&mut model, &dataset, &split, &tc);
+    let trained = train(&mut model, &dataset, &split, &tc).expect("training failed");
     println!("epoch losses: {:?}", trained.epoch_losses);
 
     // 3. Task A: which item should user 7 launch a group buying for?

@@ -13,7 +13,7 @@
 
 use std::path::PathBuf;
 
-use mgbr_core::{train, train_with_validation, Mgbr, MgbrConfig, TrainConfig};
+use mgbr_core::{train, train_with_validation, Mgbr, MgbrConfig, TrainConfig, TrainError};
 use mgbr_data::{split_dataset, synthetic, DataSplit, Dataset, SyntheticConfig};
 use mgbr_nn::checkpoint::{
     load_checkpoint, load_checkpoint_from_file, save_checkpoint, save_checkpoint_atomic, AdamState,
@@ -70,7 +70,7 @@ fn killed_and_resumed_matches_uninterrupted_bitwise() {
             // Reference: uninterrupted 4-epoch run, no checkpointing.
             let tc_full = base_tc(threads, warm);
             let mut reference = Mgbr::new(MgbrConfig::tiny(), &ds);
-            let full_report = train(&mut reference, &ds, &split, &tc_full);
+            let full_report = train(&mut reference, &ds, &split, &tc_full).unwrap();
             let want = params_of(&reference);
 
             for kill_at in 1..4usize {
@@ -84,13 +84,13 @@ fn killed_and_resumed_matches_uninterrupted_bitwise() {
                     ..base_tc(threads, warm).with_checkpointing(&path, 1)
                 };
                 let mut victim = Mgbr::new(MgbrConfig::tiny(), &ds);
-                train(&mut victim, &ds, &split, &tc_killed);
+                train(&mut victim, &ds, &split, &tc_killed).unwrap();
                 assert!(path.exists(), "kill run must leave a checkpoint");
 
                 // Resumed run: fresh process state, full epoch budget.
                 let tc_resume = base_tc(threads, warm).with_checkpointing(&path, 1);
                 let mut resumed = Mgbr::new(MgbrConfig::tiny(), &ds);
-                let resumed_report = train(&mut resumed, &ds, &split, &tc_resume);
+                let resumed_report = train(&mut resumed, &ds, &split, &tc_resume).unwrap();
 
                 assert_eq!(
                     resumed_report.epoch_losses.len(),
@@ -126,19 +126,19 @@ fn resume_across_thread_counts_is_bitwise_identical() {
     let path = dir.join("cross.ckpt");
 
     let mut reference = Mgbr::new(MgbrConfig::tiny(), &ds);
-    train(&mut reference, &ds, &split, &base_tc(1, true));
+    train(&mut reference, &ds, &split, &base_tc(1, true)).unwrap();
 
     let tc_killed = TrainConfig {
         epochs: 2,
         ..base_tc(1, true).with_checkpointing(&path, 1)
     };
     let mut victim = Mgbr::new(MgbrConfig::tiny(), &ds);
-    train(&mut victim, &ds, &split, &tc_killed);
+    train(&mut victim, &ds, &split, &tc_killed).unwrap();
 
     // Resume the 1-thread checkpoint on 4 threads.
     let tc_resume = base_tc(4, true).with_checkpointing(&path, 1);
     let mut resumed = Mgbr::new(MgbrConfig::tiny(), &ds);
-    train(&mut resumed, &ds, &split, &tc_resume);
+    train(&mut resumed, &ds, &split, &tc_resume).unwrap();
     assert_eq!(params_of(&reference), params_of(&resumed));
 
     mgbr_tensor::set_threads(1);
@@ -159,18 +159,20 @@ fn validation_training_resumes_with_history() {
         ..TrainConfig::tiny()
     };
     let mut reference = Mgbr::new(MgbrConfig::tiny(), &ds);
-    let (_, want_history) = train_with_validation(&mut reference, &ds, &split, &tc_full, 50, 0.0);
+    let (_, want_history) =
+        train_with_validation(&mut reference, &ds, &split, &tc_full, 50, 0.0).unwrap();
 
     let tc_killed = TrainConfig {
         epochs: 2,
         ..tc_full.clone().with_checkpointing(&path, 1)
     };
     let mut victim = Mgbr::new(MgbrConfig::tiny(), &ds);
-    train_with_validation(&mut victim, &ds, &split, &tc_killed, 50, 0.0);
+    train_with_validation(&mut victim, &ds, &split, &tc_killed, 50, 0.0).unwrap();
 
     let tc_resume = tc_full.with_checkpointing(&path, 1);
     let mut resumed = Mgbr::new(MgbrConfig::tiny(), &ds);
-    let (report, history) = train_with_validation(&mut resumed, &ds, &split, &tc_resume, 50, 0.0);
+    let (report, history) =
+        train_with_validation(&mut resumed, &ds, &split, &tc_resume, 50, 0.0).unwrap();
 
     assert_eq!(report.epoch_losses.len(), 2, "only epochs 2..4 re-run");
     assert_eq!(want_history, history, "full history must match bitwise");
@@ -178,10 +180,10 @@ fn validation_training_resumes_with_history() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Resuming under a different trajectory config must refuse loudly.
+/// Resuming under a different trajectory config must refuse loudly —
+/// with a typed error a sweep can catch, not a panic.
 #[test]
-#[should_panic(expected = "different TrainConfig")]
-fn resume_with_mismatched_config_panics() {
+fn resume_with_mismatched_config_is_typed_error() {
     let (ds, split) = fixture();
     let dir = scratch("fingerprint");
     let path = dir.join("fp.ckpt");
@@ -190,14 +192,17 @@ fn resume_with_mismatched_config_panics() {
         ..TrainConfig::tiny().with_checkpointing(&path, 1)
     };
     let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
-    train(&mut model, &ds, &split, &tc);
+    train(&mut model, &ds, &split, &tc).unwrap();
 
     let tc_other = TrainConfig {
         seed: tc.seed + 1,
         ..tc
     };
     let mut other = Mgbr::new(MgbrConfig::tiny(), &ds);
-    train(&mut other, &ds, &split, &tc_other);
+    let err = train(&mut other, &ds, &split, &tc_other).unwrap_err();
+    assert!(matches!(err, TrainError::ConfigMismatch(_)), "{err}");
+    assert!(err.to_string().contains("different TrainConfig"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -434,10 +439,9 @@ fn v1_fixture_rejects_wrong_store() {
 }
 
 /// Trainer resume demands training state: pointing it at a v1 file is a
-/// loud error, not a silent cold start.
+/// loud typed error, not a silent cold start.
 #[test]
-#[should_panic(expected = "legacy v1")]
-fn trainer_resume_from_v1_file_panics() {
+fn trainer_resume_from_v1_file_is_typed_error() {
     let (ds, split) = fixture();
     let dir = scratch("v1_resume");
     let path = dir.join("legacy.ckpt");
@@ -451,5 +455,8 @@ fn trainer_resume_from_v1_file_panics() {
         ..TrainConfig::tiny().with_checkpointing(&path, 1)
     };
     let mut fresh = Mgbr::new(MgbrConfig::tiny(), &ds);
-    train(&mut fresh, &ds, &split, &tc);
+    let err = train(&mut fresh, &ds, &split, &tc).unwrap_err();
+    assert!(matches!(err, TrainError::ConfigMismatch(_)), "{err}");
+    assert!(err.to_string().contains("legacy v1"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
 }

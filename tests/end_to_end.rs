@@ -40,7 +40,7 @@ fn full_pipeline_learns_both_tasks() {
         n_neg: 4,
         ..TrainConfig::paper()
     };
-    let trained = train(&mut model, &dataset, &split, &tc);
+    let trained = train(&mut model, &dataset, &split, &tc).expect("training failed");
 
     // Loss must improve over training.
     assert!(
@@ -80,7 +80,7 @@ fn pipeline_is_fully_deterministic() {
             n_neg: 3,
             ..TrainConfig::paper()
         };
-        let trained = train(&mut model, &dataset, &split, &tc);
+        let trained = train(&mut model, &dataset, &split, &tc).expect("training failed");
         let scorer = model.scorer();
         let scores = scorer.score_items(3, &[0, 1, 2, 3, 4]);
         (trained.epoch_losses, scores)

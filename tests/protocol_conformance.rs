@@ -123,7 +123,7 @@ fn mgbr_and_variants_conform() {
         }
         .with_variant(variant);
         let mut model = Mgbr::new(cfg, &split.train_dataset());
-        train(&mut model, &ds, &split, &tc);
+        train(&mut model, &ds, &split, &tc).expect("training failed");
         let scorer = model.scorer();
         assert_eq!(scorer.name(), variant.label());
         check_scorer(&scorer, ds.n_users, ds.n_items);

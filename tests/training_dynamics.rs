@@ -2,7 +2,7 @@
 //! composite loss, divergence guards, and the effect of the paper's
 //! architectural knobs on actual training.
 
-use mgbr_core::{train, Mgbr, MgbrConfig, MgbrVariant, TrainConfig};
+use mgbr_core::{train, Mgbr, MgbrConfig, MgbrVariant, TrainConfig, TrainError};
 use mgbr_data::{split_dataset, synthetic, SyntheticConfig};
 use mgbr_tensor::{Pcg32, Tensor};
 
@@ -110,10 +110,13 @@ fn training_rejects_empty_partition() {
     let (ds, mut split) = tiny_data();
     split.train.clear();
     let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        train(&mut model, &ds, &split, &TrainConfig::tiny())
-    }));
-    assert!(result.is_err(), "training on an empty partition must panic");
+    let err = train(&mut model, &ds, &split, &TrainConfig::tiny())
+        .expect_err("training on an empty partition must fail");
+    assert!(matches!(err, TrainError::ConfigMismatch(_)), "{err}");
+    assert!(
+        err.to_string().contains("empty training partition"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -136,7 +139,7 @@ fn gradient_clipping_bounds_update_magnitude() {
             n_neg: 3,
             ..TrainConfig::tiny()
         };
-        train(&mut model, &ds, &split, &tc);
+        train(&mut model, &ds, &split, &tc).expect("training failed");
         let scorer = model.scorer();
         let _ = scorer;
         model.store.get(mgbr_nn_first_param(&model)).clone()
@@ -172,7 +175,7 @@ fn shared_experts_help_task_b() {
 
     let mrr_b = |variant: MgbrVariant| -> f64 {
         let mut model = Mgbr::new(cfg.clone().with_variant(variant), &split.train_dataset());
-        train(&mut model, &ds, &split, &tc);
+        train(&mut model, &ds, &split, &tc).expect("training failed");
         let mut sampler = mgbr_data::Sampler::new(&ds, 42);
         let test_b = sampler.task_b_instances(&split.test, 9);
         mgbr_eval::evaluate_task_b(&model.scorer(), &test_b, 10).mrr
@@ -195,7 +198,7 @@ fn epoch_timing_is_recorded() {
         epochs: 3,
         ..TrainConfig::tiny()
     };
-    let report = train(&mut model, &ds, &split, &tc);
+    let report = train(&mut model, &ds, &split, &tc).expect("training failed");
     assert_eq!(report.epoch_secs.len(), 3);
     assert!(report.epoch_secs.iter().all(|&s| s > 0.0));
     assert!(report.param_count > 0);
