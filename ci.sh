@@ -33,6 +33,22 @@ echo "=== watchdog recovery / numeric-fault-injection suite ==="
 # Same rationale: the divergence-recovery guarantees must run explicitly.
 cargo test -q -p mgbr-bench --test watchdog_recovery
 
+echo "=== serving parity golden suite ==="
+# The frozen serving path must stay bitwise identical to the training
+# scorer; run explicitly so a dropped [[test]] entry fails CI.
+cargo test -q -p mgbr-bench --test serving_parity
+
+echo "=== serving smoke: freeze -> serve -> parity + artifact ==="
+# End-to-end: train briefly, freeze to disk, reload, serve a synthetic
+# request stream. bench_serve exits non-zero on any frozen-vs-training
+# score mismatch, and the JSON artifact must be non-empty.
+rm -f results/BENCH_serve.json
+MGBR_SCALE=small MGBR_SERVE_REQUESTS=1000 ./target/release/bench_serve
+if ! [ -s results/BENCH_serve.json ]; then
+  echo "ci.sh: FAILED — bench_serve did not produce results/BENCH_serve.json" >&2
+  exit 1
+fi
+
 echo "=== trainer is panic-free outside tests ==="
 # The training loop reports failures through TrainError; a panic! or
 # .unwrap() sneaking back into its non-test code is a regression.
@@ -41,5 +57,15 @@ if sed -n '1,/#\[cfg(test)\]/p' crates/core/src/trainer.rs \
   echo "ci.sh: FAILED — trainer.rs non-test code must use TrainError, not panics" >&2
   exit 1
 fi
+
+echo "=== mgbr-serve is panic-free outside tests ==="
+# Serving handles untrusted request data; failures must surface as
+# ServeError, never as a panic taking the worker down.
+for f in crates/serve/src/*.rs; do
+  if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -nE 'panic!|\.unwrap\(\)'; then
+    echo "ci.sh: FAILED — $f non-test code must use ServeError, not panics" >&2
+    exit 1
+  fi
+done
 
 echo "=== ci.sh: all checks passed ==="

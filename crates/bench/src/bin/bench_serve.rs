@@ -1,0 +1,287 @@
+//! Serving-path benchmark: trains a model at the configured scale,
+//! freezes it, round-trips the artifact through disk, verifies
+//! frozen-vs-training-path score parity at several thread counts, then
+//! replays a Beibei-shaped synthetic request stream at several batch
+//! sizes (plus one micro-batched cell) and writes QPS and latency
+//! percentiles to `results/BENCH_serve.json`.
+//!
+//! Knobs: `MGBR_SCALE` (small/default/large), `MGBR_SERVE_REQUESTS`
+//! (requests per cell, default 2000), `MGBR_THREADS`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mgbr_bench::{write_artifact, ExperimentEnv};
+use mgbr_core::{train, FrozenModel, Mgbr, TrainConfig};
+use mgbr_eval::GroupBuyScorer;
+use mgbr_json::{Json, ToJson};
+use mgbr_serve::{BatcherConfig, LatencyHistogram, MicroBatcher, Scorer};
+use mgbr_tensor::{configure_threads, set_threads, Pcg32};
+
+struct Cell {
+    batch: usize,
+    requests: usize,
+    total_secs: f64,
+    qps: f64,
+    latency: LatencyHistogram,
+}
+
+impl ToJson for Cell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("batch", self.batch.to_json()),
+            ("requests", self.requests.to_json()),
+            ("total_secs", self.total_secs.to_json()),
+            ("qps", self.qps.to_json()),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+struct ServeBench {
+    scale: String,
+    threads: usize,
+    parity_ok: bool,
+    parity_thread_counts: Vec<usize>,
+    artifact_bytes: usize,
+    cells: Vec<Cell>,
+    batcher: mgbr_serve::ServeMetrics,
+    batcher_qps: f64,
+}
+
+impl ToJson for ServeBench {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scale", self.scale.to_json()),
+            ("threads", self.threads.to_json()),
+            ("parity_ok", Json::Bool(self.parity_ok)),
+            (
+                "parity_thread_counts",
+                Json::Arr(
+                    self.parity_thread_counts
+                        .iter()
+                        .map(|t| t.to_json())
+                        .collect(),
+                ),
+            ),
+            ("artifact_bytes", self.artifact_bytes.to_json()),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(ToJson::to_json).collect()),
+            ),
+            ("batcher", self.batcher.to_json()),
+            ("batcher_qps", self.batcher_qps.to_json()),
+        ])
+    }
+}
+
+/// Frozen scores must be bitwise identical to the training-path scorer
+/// at every thread count. Returns false (and prints the offender) on
+/// any mismatch.
+fn check_parity(model: &Mgbr, frozen: &FrozenModel, thread_counts: &[usize]) -> bool {
+    let scorer = model.scorer();
+    let ws = mgbr_tensor::Workspace::new();
+    let items: Vec<u32> = (0..model.n_items().min(50) as u32).collect();
+    let idx: Vec<usize> = items.iter().map(|&i| i as usize).collect();
+    let parts: Vec<u32> = (0..model.n_users().min(40) as u32).collect();
+    let pidx: Vec<usize> = parts.iter().map(|&p| p as usize).collect();
+    let mut ok = true;
+    for &t in thread_counts {
+        set_threads(t);
+        for user in [0usize, model.n_users() / 2, model.n_users() - 1] {
+            let frozen_bits: Vec<u32> = frozen
+                .logits_a(&ws, user, &idx)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let train_bits: Vec<u32> = scorer
+                .score_items(user as u32, &items)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            if frozen_bits != train_bits {
+                eprintln!("PARITY MISMATCH: task A, user {user}, threads {t}");
+                ok = false;
+            }
+        }
+        let fb: Vec<u32> = frozen
+            .logits_b(&ws, 1, 0, &pidx)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let tb: Vec<u32> = scorer
+            .score_participants(1, 0, &parts)
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        if fb != tb {
+            eprintln!("PARITY MISMATCH: task B, threads {t}");
+            ok = false;
+        }
+    }
+    configure_threads(0);
+    ok
+}
+
+/// Replays `n` synthetic Task A requests through a [`Scorer`] in
+/// batches of `batch`, timing each batched forward.
+fn run_cell(scorer: &Scorer, stream: &[(usize, usize)], batch: usize) -> Cell {
+    let mut latency = LatencyHistogram::new();
+    let t0 = Instant::now();
+    for chunk in stream.chunks(batch) {
+        let b0 = Instant::now();
+        let scores = scorer
+            .score_item_batch(chunk)
+            .expect("valid request stream");
+        assert_eq!(scores.len(), chunk.len());
+        let us = b0.elapsed().as_micros() as u64;
+        for _ in chunk {
+            latency.record_us(us);
+        }
+    }
+    let total_secs = t0.elapsed().as_secs_f64();
+    Cell {
+        batch,
+        requests: stream.len(),
+        total_secs,
+        qps: stream.len() as f64 / total_secs.max(1e-12),
+        latency,
+    }
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let n_requests: usize = std::env::var("MGBR_SERVE_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    println!(
+        "# Serving benchmark (scale = {}, {n_requests} requests/cell)\n",
+        env.scale
+    );
+
+    // A briefly-trained model: serving throughput does not depend on
+    // weight values, but the artifact should exercise the real path.
+    let mut model = Mgbr::new(env.mgbr_config(), &env.split.train_dataset());
+    let tc = TrainConfig {
+        epochs: 1,
+        ..env.mgbr_train_config()
+    };
+    train(&mut model, &env.full, &env.split, &tc).expect("training failed");
+
+    // Freeze → save → load: serve from the artifact that went to disk.
+    let frozen = model.freeze();
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = std::path::Path::new("results").join("model.frozen");
+    frozen.save_atomic(&path).expect("save frozen artifact");
+    let artifact_bytes = std::fs::metadata(&path)
+        .map(|m| m.len() as usize)
+        .unwrap_or(0);
+    let loaded = Arc::new(FrozenModel::load_from_file(&path).expect("load frozen artifact"));
+    println!(
+        "artifact: {} ({artifact_bytes} bytes, variant {})",
+        path.display(),
+        loaded.variant()
+    );
+
+    // Golden invariant: frozen path == training path, at 1/2/4 threads.
+    let parity_thread_counts = vec![1usize, 2, 4];
+    let parity_ok = check_parity(&model, &loaded, &parity_thread_counts);
+    println!(
+        "parity (threads {parity_thread_counts:?}): {}",
+        if parity_ok {
+            "ok (bitwise)"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if !parity_ok {
+        // A serving stack that disagrees with training is worthless; the
+        // bench refuses to report throughput numbers for it.
+        std::process::exit(1);
+    }
+
+    // Beibei-shaped request stream: uniform (user, item) draws at the
+    // dataset's id-space scale, fixed seed for reproducibility.
+    let mut rng = Pcg32::new(0x5e7e, 0xbeeb);
+    let stream: Vec<(usize, usize)> = (0..n_requests)
+        .map(|_| {
+            (
+                (rng.uniform() * model.n_users() as f32) as usize % model.n_users(),
+                (rng.uniform() * model.n_items() as f32) as usize % model.n_items(),
+            )
+        })
+        .collect();
+
+    let scorer = Scorer::new(Arc::clone(&loaded));
+    // Warmup: populate the workspace pool so allocation noise stays out
+    // of the first cell.
+    let _ = scorer.score_item_batch(&stream[..stream.len().min(64)]);
+
+    let mut cells = Vec::new();
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>9} {:>9} {:>9}",
+        "batch", "qps", "total_s", "p50_us", "p95_us", "p99_us"
+    );
+    for batch in [1usize, 8, 64, 256] {
+        let cell = run_cell(&scorer, &stream, batch);
+        println!(
+            "{:>6} {:>10.0} {:>10.3} {:>9} {:>9} {:>9}",
+            cell.batch,
+            cell.qps,
+            cell.total_secs,
+            cell.latency.percentile_us(0.50),
+            cell.latency.percentile_us(0.95),
+            cell.latency.percentile_us(0.99),
+        );
+        cells.push(cell);
+    }
+
+    // Micro-batched cell: 4 submitter threads through the bounded queue.
+    let batcher = Arc::new(MicroBatcher::new(
+        Arc::clone(&loaded),
+        BatcherConfig {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            queue_cap: 4096,
+        },
+    ));
+    let per_thread = n_requests / 4;
+    let b0 = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let b = Arc::clone(&batcher);
+        let chunk: Vec<(usize, usize)> = stream[t * per_thread..(t + 1) * per_thread].to_vec();
+        handles.push(std::thread::spawn(move || {
+            for (u, i) in chunk {
+                b.score_item(u, i).expect("batched request");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("submitter thread");
+    }
+    let batcher_secs = b0.elapsed().as_secs_f64();
+    let metrics = batcher.metrics();
+    let batcher_qps = metrics.requests as f64 / batcher_secs.max(1e-12);
+    println!(
+        "\nmicro-batcher: {} requests in {batcher_secs:.3}s ({batcher_qps:.0} qps, mean batch {:.1}, p99 {} us)",
+        metrics.requests,
+        metrics.mean_batch(),
+        metrics.latency.percentile_us(0.99),
+    );
+
+    write_artifact(
+        "BENCH_serve.json",
+        &ServeBench {
+            scale: env.scale.to_string(),
+            threads: mgbr_tensor::get_threads(),
+            parity_ok,
+            parity_thread_counts,
+            artifact_bytes,
+            cells,
+            batcher: metrics,
+            batcher_qps,
+        },
+    );
+}

@@ -1,0 +1,1170 @@
+//! Frozen-model export: a tape-free, immutable snapshot of a trained
+//! MGBR ready for online serving.
+//!
+//! [`Mgbr::freeze`] runs the three GCN views once and materializes the
+//! final per-object representations (initiator, item and participant
+//! embeddings, plus the precomputed Eq. 16 mean-participant row) next to
+//! the MTL gate-stack and prediction-MLP weights. The resulting
+//! [`FrozenModel`] scores requests with `mgbr-tensor`'s inference
+//! kernels on a caller-provided [`Workspace`] — no autograd tape, no
+//! parameter store, `Send + Sync`.
+//!
+//! **Parity guarantee.** Every frozen forward replays the exact
+//! floating-point operation sequence the training-path
+//! [`Mgbr::scorer`] performs: the same GEMM kernel, the same
+//! `mix_experts` accumulation order (k-ascending over [own ‖ shared]
+//! banks), the same gate-term addition order (ui, ip, up), and the same
+//! stable sigmoid/softmax formulas. Scores are therefore **bitwise
+//! identical** to the training path at any `MGBR_THREADS` setting —
+//! enforced by this module's tests and the `serving_parity` golden
+//! suite. Because the whole scoring pipeline is row-local (no op mixes
+//! information across batch rows), scoring requests one-by-one, in
+//! chunks, or micro-batched yields identical bits per request.
+//!
+//! ## Artifact format v1 (little-endian)
+//!
+//! ```text
+//! magic   "MGBRFRZN"          8 bytes
+//! version u32                 (1)
+//! d u32, k u32                MTL width / experts per bank
+//! alpha_a f32, alpha_b f32    adjusted-gate blend weights
+//! gate_softmax u8, has_shared u8
+//! variant_len u32, bytes      ablation label (UTF-8)
+//! n_users u64, n_items u64
+//! users / items / participants / mean_participant   shaped tensors
+//! n_layers u32; per layer:
+//!   dedup u8
+//!   experts_a, experts_b, [experts_s]   shaped tensors (u8 presence)
+//!   gate_a, gate_b, [gate_s]
+//!   adj_a?, adj_b?: u8 presence, then 3 × (u8 presence + tensor)
+//! mlp_a, mlp_b: hidden/output act (u8 tag + f32 param),
+//!   n_layers u32, per layer: w tensor, u8 bias presence + bias tensor
+//! crc32 u32                   IEEE CRC-32 over every preceding byte
+//! ```
+//!
+//! Shaped tensor = `rows u32, cols u32, rows·cols f32`. Saves go through
+//! [`FrozenModel::save_atomic`] (tmp + fsync + rename, like checkpoint
+//! v2); loads parse and CRC-verify the whole artifact before returning,
+//! so truncated or bit-flipped files fail closed with a typed
+//! [`CheckpointError`].
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use mgbr_nn::{Activation, CheckpointError, CrcReader, CrcWriter, Mlp, ParamId, StepCtx};
+use mgbr_tensor::{affine_act_into, matmul_into, mix_col_blocks_into, FusedAct, Tensor, Workspace};
+
+use crate::model::Mgbr;
+
+const FROZEN_MAGIC: &[u8; 8] = b"MGBRFRZN";
+const FROZEN_VERSION: u32 = 1;
+
+/// Largest tensor side / element count accepted by the loader before
+/// CRC verification (guards against allocating garbage sizes from a
+/// corrupt header).
+const MAX_DIM: u32 = 1 << 24;
+const MAX_ELEMS: u64 = 1 << 28;
+
+/// One affine layer of a frozen prediction MLP.
+#[derive(Debug, Clone)]
+pub struct FrozenAffine {
+    /// Weight matrix (`in × out`).
+    pub w: Tensor,
+    /// Optional bias row (`1 × out`).
+    pub b: Option<Tensor>,
+}
+
+/// A frozen prediction MLP (weights plus activation schedule).
+#[derive(Debug, Clone)]
+pub struct FrozenMlp {
+    /// Affine layers, first to last.
+    pub layers: Vec<FrozenAffine>,
+    /// Activation after every non-final layer.
+    pub hidden: Activation,
+    /// Activation after the final layer.
+    pub output: Activation,
+}
+
+/// Frozen pair-projection weights of one adjusted gated unit.
+#[derive(Debug, Clone, Default)]
+pub struct FrozenAdjusted {
+    /// `e_u‖e_i` projection (`4d × K`), when present.
+    pub ui: Option<Tensor>,
+    /// `e_i‖e_p` projection.
+    pub ip: Option<Tensor>,
+    /// `e_u‖e_p` projection.
+    pub up: Option<Tensor>,
+}
+
+/// One frozen MTL layer: fused expert banks plus gate weights.
+#[derive(Debug, Clone)]
+pub struct FrozenMtlLayer {
+    /// Task A expert bank (`in × K·d`, experts as column blocks).
+    pub experts_a: Tensor,
+    /// Task B expert bank.
+    pub experts_b: Tensor,
+    /// Shared expert bank (absent in MGBR-M).
+    pub experts_s: Option<Tensor>,
+    /// Generic gate A weights (`in × K` or `in × 2K` with shared bank).
+    pub gate_a: Tensor,
+    /// Generic gate B weights.
+    pub gate_b: Tensor,
+    /// Gate S weights (`in_s × 3K`; absent on the final layer).
+    pub gate_s: Option<Tensor>,
+    /// Adjusted gated unit for gate A (absent in MGBR-G).
+    pub adj_a: Option<FrozenAdjusted>,
+    /// Adjusted gated unit for gate B.
+    pub adj_b: Option<FrozenAdjusted>,
+    /// First-layer dedup: feed gate states straight through instead of
+    /// concatenating identical copies.
+    pub dedup_inputs: bool,
+}
+
+/// An immutable, tape-free snapshot of a trained MGBR.
+///
+/// Construction: [`Mgbr::freeze`] or [`FrozenModel::load`]. Scoring
+/// methods take a caller-owned [`Workspace`] (keep one per serving
+/// thread); the model itself is shared freely (`Send + Sync`).
+#[derive(Debug, Clone)]
+pub struct FrozenModel {
+    d: usize,
+    k: usize,
+    alpha_a: f32,
+    alpha_b: f32,
+    gate_softmax: bool,
+    has_shared: bool,
+    variant: String,
+    n_users: usize,
+    n_items: usize,
+    users: Tensor,
+    items: Tensor,
+    participants: Tensor,
+    mean_participant: Tensor,
+    layers: Vec<FrozenMtlLayer>,
+    mlp_a: FrozenMlp,
+    mlp_b: FrozenMlp,
+}
+
+impl Mgbr {
+    /// Freezes the current parameters into a serving artifact: runs the
+    /// embedding module once over the full graphs and snapshots the MTL
+    /// and prediction-head weights.
+    pub fn freeze(&self) -> FrozenModel {
+        let ctx = StepCtx::new(&self.store);
+        let emb = self.embeddings(&ctx);
+        let users = emb.users.value();
+        let items = emb.items.value();
+        let participants = emb.participants.value();
+        let mean_participant = participants.mean_rows();
+
+        let get = |id: ParamId| self.store.get(id).clone();
+        let freeze_adj = |adj: &crate::mtl::AdjustedGate| FrozenAdjusted {
+            ui: adj.ui.as_ref().map(|l| get(l.w)),
+            ip: adj.ip.as_ref().map(|l| get(l.w)),
+            up: adj.up.as_ref().map(|l| get(l.w)),
+        };
+        let layers = self
+            .mtl
+            .layers
+            .iter()
+            .map(|l| FrozenMtlLayer {
+                experts_a: get(l.experts_a.w),
+                experts_b: get(l.experts_b.w),
+                experts_s: l.experts_s.as_ref().map(|b| get(b.w)),
+                gate_a: get(l.gate_a.w),
+                gate_b: get(l.gate_b.w),
+                gate_s: l.gate_s.as_ref().map(|g| get(g.w)),
+                adj_a: l.adj_a.as_ref().map(freeze_adj),
+                adj_b: l.adj_b.as_ref().map(freeze_adj),
+                dedup_inputs: l.dedup_inputs,
+            })
+            .collect();
+        let freeze_mlp = |mlp: &Mlp| FrozenMlp {
+            layers: mlp
+                .layers()
+                .iter()
+                .map(|lin| FrozenAffine {
+                    w: get(lin.w),
+                    b: lin.b.map(get),
+                })
+                .collect(),
+            hidden: mlp.hidden_act(),
+            output: mlp.output_act(),
+        };
+
+        FrozenModel {
+            d: self.cfg.d,
+            k: self.cfg.n_experts,
+            alpha_a: self.mtl.alpha_a,
+            alpha_b: self.mtl.alpha_b,
+            gate_softmax: self.mtl.gate_softmax,
+            has_shared: self.mtl.has_shared,
+            variant: self.cfg.variant.label().to_string(),
+            n_users: self.n_users(),
+            n_items: self.n_items(),
+            users,
+            items,
+            participants,
+            mean_participant,
+            layers,
+            mlp_a: freeze_mlp(&self.mlp_a),
+            mlp_b: freeze_mlp(&self.mlp_b),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace helpers (all pure copies or existing kernels — parity-safe)
+// ---------------------------------------------------------------------------
+
+fn gemm(ws: &Workspace, x: &Tensor, w: &Tensor) -> Tensor {
+    let mut out = ws.take_tensor(x.rows(), w.cols());
+    matmul_into(x, w, &mut out, 0.0);
+    out
+}
+
+fn copy_of(ws: &Workspace, t: &Tensor) -> Tensor {
+    let mut out = ws.take_tensor(t.rows(), t.cols());
+    out.as_mut_slice().copy_from_slice(t.as_slice());
+    out
+}
+
+fn concat(ws: &Workspace, parts: &[&Tensor]) -> Tensor {
+    let rows = parts[0].rows();
+    let cols = parts.iter().map(|p| p.cols()).sum();
+    let mut out = ws.take_tensor(rows, cols);
+    for r in 0..rows {
+        let orow = out.row_mut(r);
+        let mut off = 0;
+        for p in parts {
+            let prow = p.row(r);
+            orow[off..off + prow.len()].copy_from_slice(prow);
+            off += prow.len();
+        }
+    }
+    out
+}
+
+fn tile(ws: &Workspace, row: &[f32], n: usize) -> Tensor {
+    let mut out = ws.take_tensor(n, row.len());
+    for r in 0..n {
+        out.row_mut(r).copy_from_slice(row);
+    }
+    out
+}
+
+fn gather(ws: &Workspace, src: &Tensor, idx: &[usize]) -> Tensor {
+    let mut out = ws.take_tensor(idx.len(), src.cols());
+    for (r, &i) in idx.iter().enumerate() {
+        out.row_mut(r).copy_from_slice(src.row(i));
+    }
+    out
+}
+
+/// Batched pair embeddings (the frozen mirror of `mtl::PairEmbeds`).
+struct Pairs {
+    ui: Tensor,
+    ip: Tensor,
+    up: Tensor,
+}
+
+enum GateKind {
+    A,
+    B,
+}
+
+impl FrozenModel {
+    /// MTL width `d`.
+    pub fn d(&self) -> usize {
+        self.d
+    }
+
+    /// Experts per bank `K`.
+    pub fn n_experts(&self) -> usize {
+        self.k
+    }
+
+    /// `|U|` the model was built for (user and participant id space).
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// `|I|` the model was built for.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// The ablation-variant label the model was trained as.
+    pub fn variant(&self) -> &str {
+        &self.variant
+    }
+
+    /// Task A logits `MLP_A(g_A^L)` for one initiator over a candidate
+    /// item list (Eq. 16 pre-sigmoid; σ is monotone, ranking is
+    /// identical). `e_p` is the precomputed mean participant embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids or an empty candidate list (workspace
+    /// convention: shape errors are programming errors — `mgbr-serve`
+    /// validates and returns typed errors instead).
+    pub fn logits_a(&self, ws: &Workspace, user: usize, items: &[usize]) -> Vec<f32> {
+        assert!(!items.is_empty(), "logits_a: empty candidate list");
+        let n = items.len();
+        let e_u = tile(ws, self.users.row(user), n);
+        let e_i = gather(ws, &self.items, items);
+        let e_p = tile(ws, self.mean_participant.row(0), n);
+        self.head(ws, e_u, e_i, e_p, GateKind::A)
+    }
+
+    /// Task B logits `MLP_B(g_B^L)` for one `(u, i)` context over a
+    /// candidate participant list (Eq. 17 pre-sigmoid).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids or an empty candidate list.
+    pub fn logits_b(
+        &self,
+        ws: &Workspace,
+        user: usize,
+        item: usize,
+        participants: &[usize],
+    ) -> Vec<f32> {
+        assert!(!participants.is_empty(), "logits_b: empty candidate list");
+        let n = participants.len();
+        let e_u = tile(ws, self.users.row(user), n);
+        let e_i = tile(ws, self.items.row(item), n);
+        let e_p = gather(ws, &self.participants, participants);
+        self.head(ws, e_u, e_i, e_p, GateKind::B)
+    }
+
+    /// Task A logits for a batch of independent `(user, item)` pairs —
+    /// the micro-batching entry point. Row-locality makes the result
+    /// bitwise identical to scoring each pair alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids or an empty batch.
+    pub fn logits_a_pairs(&self, ws: &Workspace, pairs: &[(usize, usize)]) -> Vec<f32> {
+        assert!(!pairs.is_empty(), "logits_a_pairs: empty batch");
+        let users: Vec<usize> = pairs.iter().map(|&(u, _)| u).collect();
+        let items: Vec<usize> = pairs.iter().map(|&(_, i)| i).collect();
+        let e_u = gather(ws, &self.users, &users);
+        let e_i = gather(ws, &self.items, &items);
+        let e_p = tile(ws, self.mean_participant.row(0), pairs.len());
+        self.head(ws, e_u, e_i, e_p, GateKind::A)
+    }
+
+    /// Task B logits for a batch of independent `(user, item,
+    /// participant)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids or an empty batch.
+    pub fn logits_b_triples(&self, ws: &Workspace, triples: &[(usize, usize, usize)]) -> Vec<f32> {
+        assert!(!triples.is_empty(), "logits_b_triples: empty batch");
+        let users: Vec<usize> = triples.iter().map(|&(u, _, _)| u).collect();
+        let items: Vec<usize> = triples.iter().map(|&(_, i, _)| i).collect();
+        let parts: Vec<usize> = triples.iter().map(|&(_, _, p)| p).collect();
+        let e_u = gather(ws, &self.users, &users);
+        let e_i = gather(ws, &self.items, &items);
+        let e_p = gather(ws, &self.participants, &parts);
+        self.head(ws, e_u, e_i, e_p, GateKind::B)
+    }
+
+    fn head(
+        &self,
+        ws: &Workspace,
+        e_u: Tensor,
+        e_i: Tensor,
+        e_p: Tensor,
+        kind: GateKind,
+    ) -> Vec<f32> {
+        let (g_a, g_b) = self.mtl_forward(ws, &e_u, &e_i, &e_p);
+        ws.recycle_tensor(e_u);
+        ws.recycle_tensor(e_i);
+        ws.recycle_tensor(e_p);
+        let (used, dropped, mlp) = match kind {
+            GateKind::A => (g_a, g_b, &self.mlp_a),
+            GateKind::B => (g_b, g_a, &self.mlp_b),
+        };
+        ws.recycle_tensor(dropped);
+        let out = self.mlp_forward(ws, mlp, used);
+        let v = out.as_slice().to_vec();
+        ws.recycle_tensor(out);
+        v
+    }
+
+    fn normalize(&self, t: &mut Tensor) {
+        if self.gate_softmax {
+            t.softmax_rows_inplace();
+        }
+    }
+
+    fn mix(&self, ws: &Workspace, weights: &Tensor, bank: &Tensor) -> Tensor {
+        let mut out = ws.take_tensor(weights.rows(), self.d);
+        mix_col_blocks_into(weights, bank, &mut out);
+        out
+    }
+
+    fn task_input(
+        &self,
+        ws: &Workspace,
+        layer: &FrozenMtlLayer,
+        g_task: &Tensor,
+        g_s: Option<&Tensor>,
+    ) -> Tensor {
+        match g_s {
+            Some(gs) if !layer.dedup_inputs => concat(ws, &[g_task, gs]),
+            _ => copy_of(ws, g_task),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn task_gate(
+        &self,
+        ws: &Workspace,
+        gate_w: &Tensor,
+        adj: Option<&FrozenAdjusted>,
+        input: &Tensor,
+        pairs: &Pairs,
+        own_bank: &Tensor,
+        shared_bank: Option<&Tensor>,
+        alpha: f32,
+        kind: GateKind,
+    ) -> Tensor {
+        // Generic unit: attention from the layer input over [own ‖ shared].
+        let mut weights = gemm(ws, input, gate_w);
+        self.normalize(&mut weights);
+        let g1 = match shared_bank {
+            Some(s) => {
+                let combined = concat(ws, &[own_bank, s]);
+                let g = self.mix(ws, &weights, &combined);
+                ws.recycle_tensor(combined);
+                g
+            }
+            None => self.mix(ws, &weights, own_bank),
+        };
+        ws.recycle_tensor(weights);
+
+        let Some(adj) = adj else {
+            return g1;
+        };
+        // Adjusted unit, terms in the training path's fixed order
+        // (ui, ip, up) with the Eq. 11 / Eq. 13 bank routing.
+        let terms: [(&Option<Tensor>, &Tensor, Option<&Tensor>); 3] = match kind {
+            GateKind::A => [
+                (&adj.ui, &pairs.ui, Some(own_bank)),
+                (&adj.ip, &pairs.ip, shared_bank),
+                (&adj.up, &pairs.up, shared_bank),
+            ],
+            GateKind::B => [
+                (&adj.ui, &pairs.ui, shared_bank),
+                (&adj.ip, &pairs.ip, Some(own_bank)),
+                (&adj.up, &pairs.up, Some(own_bank)),
+            ],
+        };
+        let mut g2: Option<Tensor> = None;
+        for (proj, pair, bank) in terms {
+            let (Some(w), Some(bank)) = (proj.as_ref(), bank) else {
+                continue;
+            };
+            let mut aw = gemm(ws, pair, w);
+            self.normalize(&mut aw);
+            let term = self.mix(ws, &aw, bank);
+            ws.recycle_tensor(aw);
+            match g2.as_mut() {
+                Some(acc) => {
+                    for (a, &t) in acc.as_mut_slice().iter_mut().zip(term.as_slice()) {
+                        *a += t;
+                    }
+                    ws.recycle_tensor(term);
+                }
+                None => g2 = Some(term),
+            }
+        }
+        match g2 {
+            Some(mut g2) => {
+                g2.scale_inplace(alpha);
+                let mut out = g1;
+                for (a, &t) in out.as_mut_slice().iter_mut().zip(g2.as_slice()) {
+                    *a += t;
+                }
+                ws.recycle_tensor(g2);
+                out
+            }
+            None => g1,
+        }
+    }
+
+    /// Runs all frozen MTL layers, returning `(g_A^L, g_B^L)` in
+    /// workspace buffers (caller recycles).
+    fn mtl_forward(
+        &self,
+        ws: &Workspace,
+        e_u: &Tensor,
+        e_i: &Tensor,
+        e_p: &Tensor,
+    ) -> (Tensor, Tensor) {
+        let g0 = concat(ws, &[e_u, e_i, e_p]);
+        let pairs = Pairs {
+            ui: concat(ws, &[e_u, e_i]),
+            ip: concat(ws, &[e_i, e_p]),
+            up: concat(ws, &[e_u, e_p]),
+        };
+        let mut g_a = copy_of(ws, &g0);
+        let mut g_b = copy_of(ws, &g0);
+        let mut g_s = self.has_shared.then(|| copy_of(ws, &g0));
+        ws.recycle_tensor(g0);
+
+        for layer in &self.layers {
+            let input_a = self.task_input(ws, layer, &g_a, g_s.as_ref());
+            let input_b = self.task_input(ws, layer, &g_b, g_s.as_ref());
+            let input_s = g_s.as_ref().map(|gs| {
+                if layer.dedup_inputs {
+                    copy_of(ws, gs)
+                } else {
+                    concat(ws, &[&g_a, gs, &g_b])
+                }
+            });
+
+            let bank_a = gemm(ws, &input_a, &layer.experts_a);
+            let bank_b = gemm(ws, &input_b, &layer.experts_b);
+            let bank_s = match (&layer.experts_s, &input_s) {
+                (Some(w), Some(input)) => Some(gemm(ws, input, w)),
+                _ => None,
+            };
+
+            let next_a = self.task_gate(
+                ws,
+                &layer.gate_a,
+                layer.adj_a.as_ref(),
+                &input_a,
+                &pairs,
+                &bank_a,
+                bank_s.as_ref(),
+                self.alpha_a,
+                GateKind::A,
+            );
+            let next_b = self.task_gate(
+                ws,
+                &layer.gate_b,
+                layer.adj_b.as_ref(),
+                &input_b,
+                &pairs,
+                &bank_b,
+                bank_s.as_ref(),
+                self.alpha_b,
+                GateKind::B,
+            );
+            // Gate S (Eq. 14): mix over [A ‖ S ‖ B]; absent on the final
+            // layer, where the shared state would feed nothing.
+            let next_s = match (&layer.gate_s, &input_s, &bank_s) {
+                (Some(gate), Some(input), Some(bs)) => {
+                    let mut w = gemm(ws, input, gate);
+                    self.normalize(&mut w);
+                    let all = concat(ws, &[&bank_a, bs, &bank_b]);
+                    let g = self.mix(ws, &w, &all);
+                    ws.recycle_tensor(w);
+                    ws.recycle_tensor(all);
+                    Some(g)
+                }
+                _ => None,
+            };
+
+            ws.recycle_tensor(input_a);
+            ws.recycle_tensor(input_b);
+            if let Some(t) = input_s {
+                ws.recycle_tensor(t);
+            }
+            ws.recycle_tensor(bank_a);
+            ws.recycle_tensor(bank_b);
+            if let Some(t) = bank_s {
+                ws.recycle_tensor(t);
+            }
+            ws.recycle_tensor(std::mem::replace(&mut g_a, next_a));
+            ws.recycle_tensor(std::mem::replace(&mut g_b, next_b));
+            if let Some(old) = g_s.take() {
+                ws.recycle_tensor(old);
+            }
+            g_s = next_s;
+        }
+        if let Some(t) = g_s {
+            ws.recycle_tensor(t);
+        }
+        ws.recycle_tensor(pairs.ui);
+        ws.recycle_tensor(pairs.ip);
+        ws.recycle_tensor(pairs.up);
+        (g_a, g_b)
+    }
+
+    fn mlp_forward(&self, ws: &Workspace, mlp: &FrozenMlp, x: Tensor) -> Tensor {
+        let last = mlp.layers.len() - 1;
+        let mut h = x;
+        for (i, aff) in mlp.layers.iter().enumerate() {
+            let act = if i == last { mlp.output } else { mlp.hidden };
+            let mut out = ws.take_tensor(h.rows(), aff.w.cols());
+            match act {
+                Activation::Identity => {
+                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Identity, &mut out)
+                }
+                Activation::Relu => {
+                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Relu, &mut out)
+                }
+                Activation::Sigmoid => {
+                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Sigmoid, &mut out)
+                }
+                Activation::Tanh => {
+                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Identity, &mut out);
+                    out.tanh_inplace();
+                }
+                Activation::LeakyRelu(slope) => {
+                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Identity, &mut out);
+                    out.leaky_relu_inplace(slope);
+                }
+            }
+            ws.recycle_tensor(h);
+            h = out;
+        }
+        h
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+fn put_tensor<W: Write>(w: &mut CrcWriter<W>, t: &Tensor) -> Result<(), CheckpointError> {
+    w.put_u32(t.rows() as u32)?;
+    w.put_u32(t.cols() as u32)?;
+    w.put_tensor_data(t)
+}
+
+fn put_opt_tensor<W: Write>(
+    w: &mut CrcWriter<W>,
+    t: Option<&Tensor>,
+) -> Result<(), CheckpointError> {
+    match t {
+        Some(t) => {
+            w.put_u8(1)?;
+            put_tensor(w, t)
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn take_tensor<R: Read>(r: &mut CrcReader<R>) -> Result<Tensor, CheckpointError> {
+    let rows = r.take_u32()?;
+    let cols = r.take_u32()?;
+    if rows == 0 || cols == 0 || rows > MAX_DIM || cols > MAX_DIM {
+        return Err(CheckpointError::Format(format!(
+            "implausible frozen tensor shape [{rows}x{cols}]"
+        )));
+    }
+    if u64::from(rows) * u64::from(cols) > MAX_ELEMS {
+        return Err(CheckpointError::Format(format!(
+            "frozen tensor [{rows}x{cols}] exceeds the element cap"
+        )));
+    }
+    r.take_tensor(rows as usize, cols as usize)
+}
+
+fn take_opt_tensor<R: Read>(r: &mut CrcReader<R>) -> Result<Option<Tensor>, CheckpointError> {
+    match r.take_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(take_tensor(r)?)),
+        b => Err(CheckpointError::Format(format!(
+            "invalid presence byte {b:#04x}"
+        ))),
+    }
+}
+
+fn take_bool<R: Read>(r: &mut CrcReader<R>) -> Result<bool, CheckpointError> {
+    match r.take_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(CheckpointError::Format(format!(
+            "invalid flag byte {b:#04x}"
+        ))),
+    }
+}
+
+fn act_code(a: Activation) -> (u8, f32) {
+    match a {
+        Activation::Identity => (0, 0.0),
+        Activation::Relu => (1, 0.0),
+        Activation::Sigmoid => (2, 0.0),
+        Activation::Tanh => (3, 0.0),
+        Activation::LeakyRelu(s) => (4, s),
+    }
+}
+
+fn act_from_code(tag: u8, param: f32) -> Result<Activation, CheckpointError> {
+    match tag {
+        0 => Ok(Activation::Identity),
+        1 => Ok(Activation::Relu),
+        2 => Ok(Activation::Sigmoid),
+        3 => Ok(Activation::Tanh),
+        4 => Ok(Activation::LeakyRelu(param)),
+        t => Err(CheckpointError::Format(format!(
+            "unknown activation tag {t}"
+        ))),
+    }
+}
+
+fn put_mlp<W: Write>(w: &mut CrcWriter<W>, mlp: &FrozenMlp) -> Result<(), CheckpointError> {
+    for act in [mlp.hidden, mlp.output] {
+        let (tag, param) = act_code(act);
+        w.put_u8(tag)?;
+        w.put_f32(param)?;
+    }
+    w.put_u32(mlp.layers.len() as u32)?;
+    for aff in &mlp.layers {
+        put_tensor(w, &aff.w)?;
+        put_opt_tensor(w, aff.b.as_ref())?;
+    }
+    Ok(())
+}
+
+fn take_mlp<R: Read>(r: &mut CrcReader<R>) -> Result<FrozenMlp, CheckpointError> {
+    let mut acts = [Activation::Identity; 2];
+    for slot in &mut acts {
+        let tag = r.take_u8()?;
+        let param = r.take_f32()?;
+        *slot = act_from_code(tag, param)?;
+    }
+    let n = r.take_u32()?;
+    if n == 0 || n > 64 {
+        return Err(CheckpointError::Format(format!(
+            "implausible MLP depth {n}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let w = take_tensor(r)?;
+        let b = take_opt_tensor(r)?;
+        layers.push(FrozenAffine { w, b });
+    }
+    Ok(FrozenMlp {
+        layers,
+        hidden: acts[0],
+        output: acts[1],
+    })
+}
+
+fn put_adjusted<W: Write>(
+    w: &mut CrcWriter<W>,
+    adj: Option<&FrozenAdjusted>,
+) -> Result<(), CheckpointError> {
+    match adj {
+        Some(a) => {
+            w.put_u8(1)?;
+            put_opt_tensor(w, a.ui.as_ref())?;
+            put_opt_tensor(w, a.ip.as_ref())?;
+            put_opt_tensor(w, a.up.as_ref())
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn take_adjusted<R: Read>(r: &mut CrcReader<R>) -> Result<Option<FrozenAdjusted>, CheckpointError> {
+    if !take_bool(r)? {
+        return Ok(None);
+    }
+    Ok(Some(FrozenAdjusted {
+        ui: take_opt_tensor(r)?,
+        ip: take_opt_tensor(r)?,
+        up: take_opt_tensor(r)?,
+    }))
+}
+
+impl FrozenModel {
+    /// Serializes the artifact (body + CRC-32 footer) to `writer`.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), CheckpointError> {
+        let mut w = CrcWriter::new(writer);
+        w.put(FROZEN_MAGIC)?;
+        w.put_u32(FROZEN_VERSION)?;
+        w.put_u32(self.d as u32)?;
+        w.put_u32(self.k as u32)?;
+        w.put_f32(self.alpha_a)?;
+        w.put_f32(self.alpha_b)?;
+        w.put_u8(self.gate_softmax as u8)?;
+        w.put_u8(self.has_shared as u8)?;
+        w.put_u32(self.variant.len() as u32)?;
+        w.put(self.variant.as_bytes())?;
+        w.put_u64(self.n_users as u64)?;
+        w.put_u64(self.n_items as u64)?;
+        put_tensor(&mut w, &self.users)?;
+        put_tensor(&mut w, &self.items)?;
+        put_tensor(&mut w, &self.participants)?;
+        put_tensor(&mut w, &self.mean_participant)?;
+        w.put_u32(self.layers.len() as u32)?;
+        for layer in &self.layers {
+            w.put_u8(layer.dedup_inputs as u8)?;
+            put_tensor(&mut w, &layer.experts_a)?;
+            put_tensor(&mut w, &layer.experts_b)?;
+            put_opt_tensor(&mut w, layer.experts_s.as_ref())?;
+            put_tensor(&mut w, &layer.gate_a)?;
+            put_tensor(&mut w, &layer.gate_b)?;
+            put_opt_tensor(&mut w, layer.gate_s.as_ref())?;
+            put_adjusted(&mut w, layer.adj_a.as_ref())?;
+            put_adjusted(&mut w, layer.adj_b.as_ref())?;
+        }
+        put_mlp(&mut w, &self.mlp_a)?;
+        put_mlp(&mut w, &self.mlp_b)?;
+        w.finish()?;
+        Ok(())
+    }
+
+    /// Atomically saves the artifact to `path` (temp file + fsync +
+    /// rename), so a crash mid-save never clobbers a previous good
+    /// artifact.
+    pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let result = (|| -> Result<(), CheckpointError> {
+            let file = std::fs::File::create(&tmp)?;
+            let mut writer = io::BufWriter::new(file);
+            self.save(&mut writer)?;
+            writer.flush()?;
+            writer.get_ref().sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                std::fs::File::open(".")
+            } else {
+                std::fs::File::open(parent)
+            };
+            if let Ok(dir) = dir {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses and CRC-verifies a frozen artifact. The whole file is
+    /// validated before anything is returned — corrupt or truncated
+    /// artifacts fail closed with a typed error.
+    pub fn load<R: Read>(reader: R) -> Result<Self, CheckpointError> {
+        let mut r = CrcReader::new(reader);
+        let mut magic = [0u8; 8];
+        r.take(&mut magic)?;
+        if &magic != FROZEN_MAGIC {
+            return Err(CheckpointError::Format(
+                "not a frozen-model artifact (bad magic)".into(),
+            ));
+        }
+        let version = r.take_u32()?;
+        if version != FROZEN_VERSION {
+            return Err(CheckpointError::Format(format!(
+                "unsupported frozen-artifact version {version}"
+            )));
+        }
+        let d = r.take_u32()? as usize;
+        let k = r.take_u32()? as usize;
+        if d == 0 || d > MAX_DIM as usize || k == 0 || k > 4096 {
+            return Err(CheckpointError::Format(format!(
+                "implausible model dims d={d} k={k}"
+            )));
+        }
+        let alpha_a = r.take_f32()?;
+        let alpha_b = r.take_f32()?;
+        let gate_softmax = take_bool(&mut r)?;
+        let has_shared = take_bool(&mut r)?;
+        let variant_len = r.take_u32()?;
+        if variant_len > 256 {
+            return Err(CheckpointError::Format(format!(
+                "implausible variant-label length {variant_len}"
+            )));
+        }
+        let mut variant_bytes = vec![0u8; variant_len as usize];
+        r.take(&mut variant_bytes)?;
+        let variant = String::from_utf8(variant_bytes)
+            .map_err(|_| CheckpointError::Format("variant label is not UTF-8".into()))?;
+        let n_users = usize::try_from(r.take_u64()?)
+            .map_err(|_| CheckpointError::Format("n_users overflows usize".into()))?;
+        let n_items = usize::try_from(r.take_u64()?)
+            .map_err(|_| CheckpointError::Format("n_items overflows usize".into()))?;
+        let users = take_tensor(&mut r)?;
+        let items = take_tensor(&mut r)?;
+        let participants = take_tensor(&mut r)?;
+        let mean_participant = take_tensor(&mut r)?;
+        let n_layers = r.take_u32()?;
+        if n_layers == 0 || n_layers > 64 {
+            return Err(CheckpointError::Format(format!(
+                "implausible MTL depth {n_layers}"
+            )));
+        }
+        let mut layers = Vec::with_capacity(n_layers as usize);
+        for _ in 0..n_layers {
+            let dedup_inputs = take_bool(&mut r)?;
+            layers.push(FrozenMtlLayer {
+                dedup_inputs,
+                experts_a: take_tensor(&mut r)?,
+                experts_b: take_tensor(&mut r)?,
+                experts_s: take_opt_tensor(&mut r)?,
+                gate_a: take_tensor(&mut r)?,
+                gate_b: take_tensor(&mut r)?,
+                gate_s: take_opt_tensor(&mut r)?,
+                adj_a: take_adjusted(&mut r)?,
+                adj_b: take_adjusted(&mut r)?,
+            });
+        }
+        let mlp_a = take_mlp(&mut r)?;
+        let mlp_b = take_mlp(&mut r)?;
+        r.verify_crc()?;
+
+        let model = Self {
+            d,
+            k,
+            alpha_a,
+            alpha_b,
+            gate_softmax,
+            has_shared,
+            variant,
+            n_users,
+            n_items,
+            users,
+            items,
+            participants,
+            mean_participant,
+            layers,
+            mlp_a,
+            mlp_b,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Loads a frozen artifact from a file path.
+    pub fn load_from_file(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let file = std::fs::File::open(path)?;
+        Self::load(io::BufReader::new(file))
+    }
+
+    /// Cross-field consistency checks (CRC already guarantees the bytes
+    /// are what was written; this guards against semantically broken
+    /// artifacts produced by a different writer).
+    fn validate(&self) -> Result<(), CheckpointError> {
+        let obj = self.users.cols();
+        let same_width = self.items.cols() == obj
+            && self.participants.cols() == obj
+            && self.mean_participant.cols() == obj
+            && self.mean_participant.rows() == 1;
+        if !same_width {
+            return Err(CheckpointError::Mismatch(
+                "frozen embedding matrices disagree on object width".into(),
+            ));
+        }
+        if self.users.rows() != self.n_users
+            || self.items.rows() != self.n_items
+            || self.participants.rows() != self.n_users
+        {
+            return Err(CheckpointError::Mismatch(
+                "frozen embedding row counts disagree with declared id spaces".into(),
+            ));
+        }
+        for (i, layer) in self.layers.iter().enumerate() {
+            if layer.experts_a.cols() != self.k * self.d
+                || layer.experts_b.cols() != self.k * self.d
+            {
+                return Err(CheckpointError::Mismatch(format!(
+                    "layer {i}: expert bank width != K·d"
+                )));
+            }
+            if layer.experts_s.is_some() != self.has_shared {
+                return Err(CheckpointError::Mismatch(format!(
+                    "layer {i}: shared-bank presence disagrees with has_shared"
+                )));
+            }
+        }
+        for (mlp, tag) in [(&self.mlp_a, "A"), (&self.mlp_b, "B")] {
+            let first = &mlp.layers[0];
+            if first.w.rows() != self.d {
+                return Err(CheckpointError::Mismatch(format!(
+                    "MLP {tag} input width {} != d {}",
+                    first.w.rows(),
+                    self.d
+                )));
+            }
+            let last = &mlp.layers[mlp.layers.len() - 1];
+            if last.w.cols() != 1 {
+                return Err(CheckpointError::Mismatch(format!(
+                    "MLP {tag} output width {} != 1",
+                    last.w.cols()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MgbrConfig, MgbrVariant};
+    use mgbr_data::{synthetic, SyntheticConfig};
+    use mgbr_eval::GroupBuyScorer;
+
+    fn model(variant: MgbrVariant) -> Mgbr {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        Mgbr::new(MgbrConfig::tiny().with_variant(variant), &ds)
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn frozen_scores_match_training_scorer_bitwise_all_variants() {
+        for variant in MgbrVariant::all() {
+            let m = model(variant);
+            let scorer = m.scorer();
+            let frozen = m.freeze();
+            let ws = Workspace::new();
+            let items: Vec<u32> = (0..12).collect();
+            let idx: Vec<usize> = items.iter().map(|&i| i as usize).collect();
+            for user in [0usize, 3, 7] {
+                assert_eq!(
+                    bits(&frozen.logits_a(&ws, user, &idx)),
+                    bits(&scorer.score_items(user as u32, &items)),
+                    "{variant:?} task A user {user}"
+                );
+            }
+            let parts: Vec<u32> = (1..9).collect();
+            let pidx: Vec<usize> = parts.iter().map(|&p| p as usize).collect();
+            assert_eq!(
+                bits(&frozen.logits_b(&ws, 2, 4, &pidx)),
+                bits(&scorer.score_participants(2, 4, &parts)),
+                "{variant:?} task B"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_change_scores() {
+        // Same workspace across many calls (buffers recycled and
+        // re-drawn) must give identical bits to a fresh workspace.
+        let m = model(MgbrVariant::Full);
+        let frozen = m.freeze();
+        let shared_ws = Workspace::new();
+        let idx: Vec<usize> = (0..10).collect();
+        let first = frozen.logits_a(&shared_ws, 1, &idx);
+        for _ in 0..5 {
+            let _ = frozen.logits_b(&shared_ws, 0, 0, &[1, 2, 3]);
+            assert_eq!(bits(&frozen.logits_a(&shared_ws, 1, &idx)), bits(&first));
+        }
+        let fresh = Workspace::new();
+        assert_eq!(bits(&frozen.logits_a(&fresh, 1, &idx)), bits(&first));
+    }
+
+    #[test]
+    fn batched_pairs_match_one_by_one() {
+        let m = model(MgbrVariant::Full);
+        let frozen = m.freeze();
+        let ws = Workspace::new();
+        let pairs: Vec<(usize, usize)> = vec![(0, 5), (3, 1), (7, 9), (2, 2)];
+        let batched = frozen.logits_a_pairs(&ws, &pairs);
+        for (r, &(u, i)) in pairs.iter().enumerate() {
+            let single = frozen.logits_a_pairs(&ws, &[(u, i)]);
+            assert_eq!(batched[r].to_bits(), single[0].to_bits(), "row {r}");
+        }
+        let triples: Vec<(usize, usize, usize)> = vec![(0, 5, 1), (3, 1, 2), (7, 9, 4)];
+        let batched_b = frozen.logits_b_triples(&ws, &triples);
+        for (r, &t) in triples.iter().enumerate() {
+            let single = frozen.logits_b_triples(&ws, &[t]);
+            assert_eq!(batched_b[r].to_bits(), single[0].to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_scores_bitwise() {
+        let m = model(MgbrVariant::Full);
+        let frozen = m.freeze();
+        let mut buf = Vec::new();
+        frozen.save(&mut buf).unwrap();
+        let loaded = FrozenModel::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.variant(), frozen.variant());
+        assert_eq!(loaded.n_users(), frozen.n_users());
+        assert_eq!(loaded.n_items(), frozen.n_items());
+        let ws = Workspace::new();
+        let idx: Vec<usize> = (0..8).collect();
+        assert_eq!(
+            bits(&loaded.logits_a(&ws, 2, &idx)),
+            bits(&frozen.logits_a(&ws, 2, &idx))
+        );
+        assert_eq!(
+            bits(&loaded.logits_b(&ws, 2, 3, &idx[1..])),
+            bits(&frozen.logits_b(&ws, 2, 3, &idx[1..]))
+        );
+    }
+
+    #[test]
+    fn atomic_save_then_file_load_roundtrips() {
+        let m = model(MgbrVariant::NoShared);
+        let frozen = m.freeze();
+        let dir = std::env::temp_dir().join(format!("mgbr_frozen_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.frozen");
+        frozen.save_atomic(&path).unwrap();
+        let loaded = FrozenModel::load_from_file(&path).unwrap();
+        let ws = Workspace::new();
+        assert_eq!(
+            bits(&loaded.logits_a(&ws, 0, &[0, 1, 2])),
+            bits(&frozen.logits_a(&ws, 0, &[0, 1, 2]))
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_artifacts_fail_closed() {
+        let m = model(MgbrVariant::Full);
+        let frozen = m.freeze();
+        let mut buf = Vec::new();
+        frozen.save(&mut buf).unwrap();
+
+        // Truncation at several depths.
+        for cut in [4usize, 20, buf.len() / 2, buf.len() - 1] {
+            let err = FrozenModel::load(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::Format(_)),
+                "cut={cut} gave {err:?}"
+            );
+        }
+        // A single bit flip deep in the tensor payload trips the CRC.
+        let mut flipped = buf.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(FrozenModel::load(flipped.as_slice()).is_err());
+        // Bad magic.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            FrozenModel::load(bad.as_slice()),
+            Err(CheckpointError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn frozen_mean_participant_is_precomputed_and_used() {
+        // The artifact's mean row equals the mean of the participant
+        // matrix, and Task A scoring consumes it (no per-call recompute
+        // from the participant matrix is needed).
+        let m = model(MgbrVariant::Full);
+        let frozen = m.freeze();
+        let expected = frozen.participants.mean_rows();
+        assert_eq!(
+            frozen.mean_participant.as_slice(),
+            expected.as_slice(),
+            "stored mean must equal mean_rows() of the stored matrix"
+        );
+    }
+}

@@ -43,6 +43,7 @@
 //! panics, so sweeps can record a failed cell and move on.
 
 pub mod config;
+pub mod freeze;
 pub mod loss;
 pub mod model;
 pub mod mtl;
@@ -51,6 +52,7 @@ pub mod trainer;
 pub mod watchdog;
 
 pub use config::{MgbrConfig, MgbrVariant, TrainConfig};
+pub use freeze::{FrozenAdjusted, FrozenAffine, FrozenMlp, FrozenModel, FrozenMtlLayer};
 pub use model::{Mgbr, MgbrScorer};
 pub use trainer::{train, train_with_validation, TrainReport};
 pub use watchdog::{AnomalyKind, AnomalyReport, TrainError, Watchdog, WatchdogConfig};

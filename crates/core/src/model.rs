@@ -22,9 +22,9 @@ pub struct Mgbr {
     /// All trainable parameters.
     pub store: ParamStore,
     embedding: EmbeddingModule,
-    mtl: MtlModule,
-    mlp_a: Mlp,
-    mlp_b: Mlp,
+    pub(crate) mtl: MtlModule,
+    pub(crate) mlp_a: Mlp,
+    pub(crate) mlp_b: Mlp,
     n_users: usize,
     n_items: usize,
 }
@@ -141,12 +141,14 @@ impl Mgbr {
         let items = emb.items.value();
         let participants = emb.participants.value();
         let mean_participant = participants.mean_rows();
+        let mean_tile = std::cell::RefCell::new(mean_participant.clone());
         MgbrScorer {
             model: self,
             users,
             items,
             participants,
             mean_participant,
+            mean_tile,
         }
     }
 }
@@ -161,6 +163,10 @@ pub struct MgbrScorer<'m> {
     items: Tensor,
     participants: Tensor,
     mean_participant: Tensor,
+    /// Grow-once cache of the Eq. 16 mean-participant row tiled to the
+    /// largest batch size seen, so repeated Task A calls (one per ranked
+    /// user) stop re-materializing the same rows.
+    mean_tile: std::cell::RefCell<Tensor>,
 }
 
 impl MgbrScorer<'_> {
@@ -186,6 +192,21 @@ impl MgbrScorer<'_> {
         }
         t
     }
+
+    /// The mean-participant row tiled to `n` rows, served from the
+    /// grow-once cache. Every row is a copy of the same precomputed
+    /// vector, so caching cannot change any score bit.
+    fn mean_tile(&self, n: usize) -> Tensor {
+        let mut cache = self.mean_tile.borrow_mut();
+        if cache.rows() < n {
+            *cache = self.tile(self.mean_participant.row(0), n);
+        }
+        if cache.rows() == n {
+            cache.clone()
+        } else {
+            cache.slice_rows(0, n)
+        }
+    }
 }
 
 impl GroupBuyScorer for MgbrScorer<'_> {
@@ -200,7 +221,7 @@ impl GroupBuyScorer for MgbrScorer<'_> {
         // the pre-sigmoid logits: σ is strictly monotone, so the order is
         // Eq. 16's, but large logits would flatten to exactly 1.0 in f32
         // and destroy the ordering information.
-        let e_p = ctx.constant(self.tile(self.mean_participant.row(0), n));
+        let e_p = ctx.constant(self.mean_tile(n));
         self.model
             .logit_a(&ctx, &e_u, &e_i, &e_p)
             .value()
@@ -324,6 +345,29 @@ mod tests {
             r, full,
             "MGBR-R only changes the loss, not the architecture"
         );
+    }
+
+    #[test]
+    fn mean_tile_cache_never_changes_scores() {
+        // The cached tile is hit three ways — growth (n larger than the
+        // cache), exact match (same n again), and shrink (n smaller than
+        // the cache) — and every path must return bitwise-identical
+        // scores to an uncached scorer.
+        let (m, _) = model(MgbrVariant::Full);
+        let cached = m.scorer();
+        let items_small: Vec<u32> = (0..4).collect();
+        let items_large: Vec<u32> = (0..12).collect();
+
+        let grow = cached.score_items(1, &items_large);
+        let exact = cached.score_items(1, &items_large);
+        let shrink = cached.score_items(1, &items_small);
+
+        let fresh = m.scorer();
+        let ref_large = fresh.score_items(1, &items_large);
+        let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&grow), bits(&ref_large));
+        assert_eq!(bits(&exact), bits(&ref_large));
+        assert_eq!(bits(&shrink), bits(&ref_large[..4]));
     }
 
     #[test]

@@ -46,9 +46,9 @@ struct LayerState {
 /// kernels). Because the GEMM accumulates the inner dimension in the same
 /// order regardless of output width, each sliced expert output is bitwise
 /// identical to what a separate per-expert product would produce.
-struct ExpertBank {
+pub(crate) struct ExpertBank {
     /// Fused weights; expert `e` occupies columns `[e·d, (e+1)·d)`.
-    w: ParamId,
+    pub(crate) w: ParamId,
     k: usize,
     in_dim: usize,
     out_dim: usize,
@@ -102,34 +102,34 @@ impl ExpertBank {
 /// attention weights over one expert bank (Eq. 11 for A, Eq. 13 for B).
 /// Projections that would attend over the shared bank are absent in the
 /// MGBR-M variant.
-struct AdjustedGate {
-    ui: Option<Linear>,
-    ip: Option<Linear>,
-    up: Option<Linear>,
+pub(crate) struct AdjustedGate {
+    pub(crate) ui: Option<Linear>,
+    pub(crate) ip: Option<Linear>,
+    pub(crate) up: Option<Linear>,
 }
 
 /// One MTL layer (Fig. 3).
-struct MtlLayer {
-    experts_a: ExpertBank,
-    experts_b: ExpertBank,
-    experts_s: Option<ExpertBank>,
-    gate_a: Linear,
-    gate_b: Linear,
-    gate_s: Option<Linear>,
-    adj_a: Option<AdjustedGate>,
-    adj_b: Option<AdjustedGate>,
+pub(crate) struct MtlLayer {
+    pub(crate) experts_a: ExpertBank,
+    pub(crate) experts_b: ExpertBank,
+    pub(crate) experts_s: Option<ExpertBank>,
+    pub(crate) gate_a: Linear,
+    pub(crate) gate_b: Linear,
+    pub(crate) gate_s: Option<Linear>,
+    pub(crate) adj_a: Option<AdjustedGate>,
+    pub(crate) adj_b: Option<AdjustedGate>,
     /// Feed gate states straight through instead of concatenating
     /// identical copies (first layer with `first_layer_dedup`).
-    dedup_inputs: bool,
+    pub(crate) dedup_inputs: bool,
 }
 
 /// The full multi-task learning module.
 pub struct MtlModule {
-    layers: Vec<MtlLayer>,
-    has_shared: bool,
-    alpha_a: f32,
-    alpha_b: f32,
-    gate_softmax: bool,
+    pub(crate) layers: Vec<MtlLayer>,
+    pub(crate) has_shared: bool,
+    pub(crate) alpha_a: f32,
+    pub(crate) alpha_b: f32,
+    pub(crate) gate_softmax: bool,
     out_dim: usize,
 }
 

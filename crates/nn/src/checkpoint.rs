@@ -278,46 +278,58 @@ impl Crc32 {
 // Hashing I/O adapters
 // ---------------------------------------------------------------------------
 
-struct Sink<W: Write> {
+/// CRC-accumulating byte sink: every `put_*` both writes to the inner
+/// writer and folds the bytes into a streaming CRC-32. Shared by the
+/// checkpoint format and `mgbr-core`'s frozen-model artifact so both
+/// carry the same integrity footer.
+pub struct CrcWriter<W: Write> {
     inner: W,
     crc: Crc32,
 }
 
-impl<W: Write> Sink<W> {
-    fn new(inner: W) -> Self {
+impl<W: Write> CrcWriter<W> {
+    /// Wraps `inner`, starting a fresh CRC.
+    pub fn new(inner: W) -> Self {
         Self {
             inner,
             crc: Crc32::new(),
         }
     }
 
-    fn put(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+    /// Writes raw bytes (hashed).
+    pub fn put(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
         self.crc.update(bytes);
         self.inner.write_all(bytes)?;
         Ok(())
     }
 
-    fn put_u8(&mut self, v: u8) -> Result<(), CheckpointError> {
+    /// Writes one byte (hashed).
+    pub fn put_u8(&mut self, v: u8) -> Result<(), CheckpointError> {
         self.put(&[v])
     }
 
-    fn put_u32(&mut self, v: u32) -> Result<(), CheckpointError> {
+    /// Writes a little-endian `u32` (hashed).
+    pub fn put_u32(&mut self, v: u32) -> Result<(), CheckpointError> {
         self.put(&v.to_le_bytes())
     }
 
-    fn put_u64(&mut self, v: u64) -> Result<(), CheckpointError> {
+    /// Writes a little-endian `u64` (hashed).
+    pub fn put_u64(&mut self, v: u64) -> Result<(), CheckpointError> {
         self.put(&v.to_le_bytes())
     }
 
-    fn put_f32(&mut self, v: f32) -> Result<(), CheckpointError> {
+    /// Writes a little-endian `f32` (hashed).
+    pub fn put_f32(&mut self, v: f32) -> Result<(), CheckpointError> {
         self.put(&v.to_le_bytes())
     }
 
-    fn put_f64(&mut self, v: f64) -> Result<(), CheckpointError> {
+    /// Writes a little-endian `f64` (hashed).
+    pub fn put_f64(&mut self, v: f64) -> Result<(), CheckpointError> {
         self.put(&v.to_le_bytes())
     }
 
-    fn put_tensor_data(&mut self, t: &Tensor) -> Result<(), CheckpointError> {
+    /// Writes a tensor's elements (shape is the caller's concern).
+    pub fn put_tensor_data(&mut self, t: &Tensor) -> Result<(), CheckpointError> {
         // Serialize in chunks so the CRC and the writer both see large,
         // cheap writes instead of 4-byte dribbles.
         let mut buf = [0u8; 4096];
@@ -332,27 +344,32 @@ impl<W: Write> Sink<W> {
     }
 
     /// Writes the CRC footer (not hashed) and returns the inner writer.
-    fn finish(mut self) -> Result<W, CheckpointError> {
+    pub fn finish(mut self) -> Result<W, CheckpointError> {
         let digest = self.crc.finish();
         self.inner.write_all(&digest.to_le_bytes())?;
         Ok(self.inner)
     }
 }
 
-struct Src<R: Read> {
+/// CRC-verifying byte source: the mirror of [`CrcWriter`]. Every
+/// `take_*` reads from the inner reader and folds the bytes into the
+/// running CRC; [`CrcReader::verify_crc`] then checks the stored footer.
+pub struct CrcReader<R: Read> {
     inner: R,
     crc: Crc32,
 }
 
-impl<R: Read> Src<R> {
-    fn new(inner: R) -> Self {
+impl<R: Read> CrcReader<R> {
+    /// Wraps `inner`, starting a fresh CRC.
+    pub fn new(inner: R) -> Self {
         Self {
             inner,
             crc: Crc32::new(),
         }
     }
 
-    fn take(&mut self, buf: &mut [u8]) -> Result<(), CheckpointError> {
+    /// Fills `buf` exactly (hashed); EOF becomes a typed `Format` error.
+    pub fn take(&mut self, buf: &mut [u8]) -> Result<(), CheckpointError> {
         self.inner.read_exact(buf).map_err(|e| {
             if e.kind() == io::ErrorKind::UnexpectedEof {
                 CheckpointError::Format("truncated checkpoint (unexpected end of data)".into())
@@ -364,38 +381,38 @@ impl<R: Read> Src<R> {
         Ok(())
     }
 
-    fn take_u8(&mut self) -> Result<u8, CheckpointError> {
+    pub fn take_u8(&mut self) -> Result<u8, CheckpointError> {
         let mut b = [0u8; 1];
         self.take(&mut b)?;
         Ok(b[0])
     }
 
-    fn take_u32(&mut self) -> Result<u32, CheckpointError> {
+    pub fn take_u32(&mut self) -> Result<u32, CheckpointError> {
         let mut b = [0u8; 4];
         self.take(&mut b)?;
         Ok(u32::from_le_bytes(b))
     }
 
-    fn take_u64(&mut self) -> Result<u64, CheckpointError> {
+    pub fn take_u64(&mut self) -> Result<u64, CheckpointError> {
         let mut b = [0u8; 8];
         self.take(&mut b)?;
         Ok(u64::from_le_bytes(b))
     }
 
-    fn take_f32(&mut self) -> Result<f32, CheckpointError> {
+    pub fn take_f32(&mut self) -> Result<f32, CheckpointError> {
         let mut b = [0u8; 4];
         self.take(&mut b)?;
         Ok(f32::from_le_bytes(b))
     }
 
-    fn take_f64(&mut self) -> Result<f64, CheckpointError> {
+    pub fn take_f64(&mut self) -> Result<f64, CheckpointError> {
         let mut b = [0u8; 8];
         self.take(&mut b)?;
         Ok(f64::from_le_bytes(b))
     }
 
     /// Reads a `rows × cols` tensor whose shape was already validated.
-    fn take_tensor(&mut self, rows: usize, cols: usize) -> Result<Tensor, CheckpointError> {
+    pub fn take_tensor(&mut self, rows: usize, cols: usize) -> Result<Tensor, CheckpointError> {
         let mut data = vec![0f32; rows * cols];
         let mut buf = [0u8; 4096];
         for chunk in data.chunks_mut(1024) {
@@ -409,7 +426,7 @@ impl<R: Read> Src<R> {
     }
 
     /// Reads the (unhashed) CRC footer and checks it against the body.
-    fn verify_crc(mut self) -> Result<(), CheckpointError> {
+    pub fn verify_crc(mut self) -> Result<(), CheckpointError> {
         let expected = self.crc.finish();
         let mut b = [0u8; 4];
         self.inner.read_exact(&mut b).map_err(|e| {
@@ -471,7 +488,7 @@ pub fn save_checkpoint<W: Write>(
     state: &TrainState,
     writer: W,
 ) -> Result<(), CheckpointError> {
-    let mut w = Sink::new(writer);
+    let mut w = CrcWriter::new(writer);
     w.put(MAGIC)?;
     w.put_u32(VERSION_V2)?;
     w.put_u64(state.epoch)?;
@@ -609,7 +626,7 @@ pub fn load_checkpoint<R: Read>(
     store: &mut ParamStore,
     reader: R,
 ) -> Result<LoadedCheckpoint, CheckpointError> {
-    let mut r = Src::new(reader);
+    let mut r = CrcReader::new(reader);
     let mut magic = [0u8; 8];
     r.take(&mut magic)?;
     if &magic != MAGIC {
@@ -718,7 +735,7 @@ pub fn load_params_from_file(
 /// Parses the parameter section, validating names/shapes against `store`
 /// without mutating it.
 fn read_params_section<R: Read>(
-    r: &mut Src<R>,
+    r: &mut CrcReader<R>,
     store: &ParamStore,
 ) -> Result<Vec<Tensor>, CheckpointError> {
     let count = r.take_u32()? as usize;
@@ -760,7 +777,7 @@ fn read_params_section<R: Read>(
 
 /// Parses the optimizer section, validating slot shapes against `store`.
 fn read_adam_section<R: Read>(
-    r: &mut Src<R>,
+    r: &mut CrcReader<R>,
     store: &ParamStore,
 ) -> Result<Option<AdamState>, CheckpointError> {
     match r.take_u8()? {

@@ -148,6 +148,22 @@ impl Mlp {
         self.layers.len()
     }
 
+    /// The affine layers, first to last (read-only; used by the frozen-
+    /// model export to materialize prediction-head weights).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Activation applied after every non-final layer.
+    pub fn hidden_act(&self) -> Activation {
+        self.hidden_act
+    }
+
+    /// Activation applied after the final layer.
+    pub fn output_act(&self) -> Activation {
+        self.output_act
+    }
+
     /// Applies the MLP to a `B × in_dim` input.
     pub fn forward(&self, ctx: &StepCtx<'_>, x: &Var) -> Var {
         let last = self.layers.len() - 1;

@@ -42,7 +42,8 @@ mod schedule;
 pub use checkpoint::{
     load_checkpoint, load_checkpoint_from_file, load_params, load_params_from_file,
     save_checkpoint, save_checkpoint_atomic, save_params, save_params_to_file, AdamState,
-    CheckpointError, FormatNote, LoadedCheckpoint, MemorySnapshot, TrainState,
+    CheckpointError, CrcReader, CrcWriter, FormatNote, LoadedCheckpoint, MemorySnapshot,
+    TrainState,
 };
 pub use failpoint::{Fault, IoFault, NumericFault, NumericFaultArm, NumericFaultKind};
 pub use layers::{Activation, Embedding, Linear, Mlp};

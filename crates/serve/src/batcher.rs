@@ -1,0 +1,386 @@
+//! Micro-batching: a bounded request queue + one scoring worker that
+//! coalesces concurrent requests into batched forwards.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mgbr_core::FrozenModel;
+
+use crate::{Scorer, ServeError, ServeMetrics};
+
+/// Knobs for [`MicroBatcher`]. Defaults: batch up to 64 requests,
+/// wait at most 200 µs for stragglers, shed beyond 1024 queued.
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Largest coalesced batch handed to one forward pass.
+    pub max_batch: usize,
+    /// How long the worker waits for more requests once it has at least
+    /// one (latency ceiling added by coalescing).
+    pub max_wait: Duration,
+    /// Queue bound; submissions beyond it are shed with
+    /// [`ServeError::Overloaded`] instead of blocking.
+    pub queue_cap: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_wait: Duration::from_micros(200),
+            queue_cap: 1024,
+        }
+    }
+}
+
+enum Request {
+    /// Task A: `(user, item)`.
+    Item(usize, usize),
+    /// Task B: `(user, item, participant)`.
+    Participant(usize, usize, usize),
+}
+
+struct Pending {
+    req: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<f32, ServeError>>,
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    wake: Condvar,
+    metrics: Mutex<ServeMetrics>,
+    cfg: BatcherConfig,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A poisoned lock means a worker panicked mid-batch; the queue/metric
+    // data is still structurally valid, so serving continues.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A bounded micro-batching front-end over one scoring worker thread.
+///
+/// Callers submit single requests from any number of threads; the
+/// worker coalesces whatever is queued (up to `max_batch`, waiting at
+/// most `max_wait` for stragglers) into one batched forward. Because
+/// the frozen forward is row-local, a coalesced request's score is
+/// bitwise identical to scoring it alone — batching is purely a
+/// throughput optimization, never a numerics change.
+///
+/// When the queue is full, submissions fail fast with
+/// [`ServeError::Overloaded`] (shed-on-overflow). Dropping the batcher
+/// drains the queue gracefully, answers everything, and joins the
+/// worker.
+pub struct MicroBatcher {
+    shared: Arc<Shared>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl MicroBatcher {
+    /// Spawns the scoring worker over a shared frozen model.
+    pub fn new(model: Arc<FrozenModel>, cfg: BatcherConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            metrics: Mutex::new(ServeMetrics::new()),
+            cfg: BatcherConfig {
+                max_batch: cfg.max_batch.max(1),
+                ..cfg
+            },
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::spawn(move || worker_loop(worker_shared, Scorer::new(model)));
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Task A logit for `(user, item)`, via the batching queue. Blocks
+    /// until the worker answers.
+    pub fn score_item(&self, user: usize, item: usize) -> Result<f32, ServeError> {
+        self.submit(Request::Item(user, item))
+    }
+
+    /// Task B logit for `(user, item, participant)`, via the batching
+    /// queue.
+    pub fn score_participant(
+        &self,
+        user: usize,
+        item: usize,
+        participant: usize,
+    ) -> Result<f32, ServeError> {
+        self.submit(Request::Participant(user, item, participant))
+    }
+
+    /// A snapshot of the serving metrics so far.
+    pub fn metrics(&self) -> ServeMetrics {
+        lock(&self.shared.metrics).clone()
+    }
+
+    fn submit(&self, req: Request) -> Result<f32, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut st = lock(&self.shared.state);
+            if st.shutdown {
+                return Err(ServeError::ShutDown);
+            }
+            if st.queue.len() >= self.shared.cfg.queue_cap {
+                drop(st);
+                lock(&self.shared.metrics).shed += 1;
+                return Err(ServeError::Overloaded {
+                    capacity: self.shared.cfg.queue_cap,
+                });
+            }
+            st.queue.push_back(Pending {
+                req,
+                enqueued: Instant::now(),
+                reply,
+            });
+            self.shared.wake.notify_one();
+        }
+        rx.recv().map_err(|_| ServeError::Canceled)?
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.wake.notify_all();
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, scorer: Scorer) {
+    loop {
+        let batch = collect_batch(&shared);
+        if batch.is_empty() {
+            // Only returned empty on shutdown with a drained queue.
+            return;
+        }
+        run_batch(&shared, &scorer, batch);
+    }
+}
+
+/// Blocks until at least one request is queued, then coalesces up to
+/// `max_batch` requests, waiting at most `max_wait` for stragglers.
+/// Returns empty only when shut down with nothing left to drain.
+fn collect_batch(shared: &Arc<Shared>) -> Vec<Pending> {
+    let mut st = lock(&shared.state);
+    while st.queue.is_empty() {
+        if st.shutdown {
+            return Vec::new();
+        }
+        st = shared.wake.wait(st).unwrap_or_else(|p| p.into_inner());
+    }
+    let deadline = Instant::now() + shared.cfg.max_wait;
+    while st.queue.len() < shared.cfg.max_batch && !st.shutdown {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timeout) = shared
+            .wake
+            .wait_timeout(st, deadline - now)
+            .unwrap_or_else(|p| p.into_inner());
+        st = guard;
+        if timeout.timed_out() {
+            break;
+        }
+    }
+    let take = st.queue.len().min(shared.cfg.max_batch);
+    st.queue.drain(..take).collect()
+}
+
+/// Scores one coalesced batch and answers every request in it.
+fn run_batch(shared: &Arc<Shared>, scorer: &Scorer, batch: Vec<Pending>) {
+    let mut pairs = Vec::new();
+    let mut pair_slots = Vec::new();
+    let mut triples = Vec::new();
+    let mut triple_slots = Vec::new();
+    for (slot, p) in batch.iter().enumerate() {
+        match p.req {
+            Request::Item(u, i) => {
+                pairs.push((u, i));
+                pair_slots.push(slot);
+            }
+            Request::Participant(u, i, q) => {
+                triples.push((u, i, q));
+                triple_slots.push(slot);
+            }
+        }
+    }
+    let mut answers: Vec<Option<Result<f32, ServeError>>> = Vec::new();
+    answers.resize_with(batch.len(), || None);
+    match scorer.score_item_batch(&pairs) {
+        Ok(scores) => {
+            for (&slot, &s) in pair_slots.iter().zip(scores.iter()) {
+                answers[slot] = Some(Ok(s));
+            }
+        }
+        Err(e) => {
+            // A bad id anywhere rejects the whole sub-batch; fall back to
+            // per-request scoring so only the offender pays.
+            for (&slot, &(u, i)) in pair_slots.iter().zip(pairs.iter()) {
+                answers[slot] = Some(scorer.score_item(u, i));
+            }
+            let _ = e;
+        }
+    }
+    match scorer.score_participant_batch(&triples) {
+        Ok(scores) => {
+            for (&slot, &s) in triple_slots.iter().zip(scores.iter()) {
+                answers[slot] = Some(Ok(s));
+            }
+        }
+        Err(_) => {
+            for (&slot, &(u, i, q)) in triple_slots.iter().zip(triples.iter()) {
+                answers[slot] = Some(scorer.score_participant(u, i, q));
+            }
+        }
+    }
+
+    let mut metrics = lock(&shared.metrics);
+    metrics.batches += 1;
+    for (p, ans) in batch.into_iter().zip(answers) {
+        let ans = ans.unwrap_or(Err(ServeError::Canceled));
+        let ok = ans.is_ok();
+        let _ = p.reply.send(ans);
+        if ok {
+            metrics.requests += 1;
+            let us = p.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            metrics.latency.record_us(us);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_core::{Mgbr, MgbrConfig};
+    use mgbr_data::{synthetic, SyntheticConfig};
+
+    fn frozen() -> Arc<FrozenModel> {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        Arc::new(Mgbr::new(MgbrConfig::tiny(), &ds).freeze())
+    }
+
+    #[test]
+    fn batched_scores_match_direct_scorer_bitwise() {
+        let model = frozen();
+        let direct = Scorer::new(model.clone());
+        let batcher = MicroBatcher::new(model, BatcherConfig::default());
+        for (u, i) in [(0usize, 0usize), (1, 3), (5, 7)] {
+            assert_eq!(
+                batcher.score_item(u, i).unwrap().to_bits(),
+                direct.score_item(u, i).unwrap().to_bits()
+            );
+        }
+        assert_eq!(
+            batcher.score_participant(0, 1, 2).unwrap().to_bits(),
+            direct.score_participant(0, 1, 2).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn concurrent_submitters_all_get_correct_answers() {
+        let model = frozen();
+        let direct = Scorer::new(model.clone());
+        let batcher = Arc::new(MicroBatcher::new(
+            model,
+            BatcherConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(2),
+                queue_cap: 256,
+            },
+        ));
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let b = Arc::clone(&batcher);
+            handles.push(thread::spawn(move || {
+                (0..16usize)
+                    .map(|j| {
+                        let (u, i) = (t, j % 8);
+                        (u, i, b.score_item(u, i).unwrap())
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (u, i, got) in h.join().unwrap() {
+                assert_eq!(got.to_bits(), direct.score_item(u, i).unwrap().to_bits());
+            }
+        }
+        let m = batcher.metrics();
+        assert_eq!(m.requests, 64);
+        assert!(m.batches >= 1 && m.batches <= 64);
+        assert_eq!(m.latency.count(), 64);
+    }
+
+    #[test]
+    fn bad_ids_get_bad_request_without_poisoning_neighbors() {
+        let model = frozen();
+        let nu = model.n_users();
+        let batcher = Arc::new(MicroBatcher::new(
+            model,
+            BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(5),
+                queue_cap: 64,
+            },
+        ));
+        let good = {
+            let b = Arc::clone(&batcher);
+            thread::spawn(move || b.score_item(0, 0))
+        };
+        let bad = {
+            let b = Arc::clone(&batcher);
+            thread::spawn(move || b.score_item(nu, 0))
+        };
+        assert!(good.join().unwrap().is_ok());
+        assert!(matches!(
+            bad.join().unwrap(),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn overflow_sheds_with_typed_error() {
+        // A zero-capacity queue sheds everything.
+        let batcher = MicroBatcher::new(
+            frozen(),
+            BatcherConfig {
+                queue_cap: 0,
+                ..BatcherConfig::default()
+            },
+        );
+        assert!(matches!(
+            batcher.score_item(0, 0),
+            Err(ServeError::Overloaded { capacity: 0 })
+        ));
+        assert_eq!(batcher.metrics().shed, 1);
+    }
+
+    #[test]
+    fn drop_drains_gracefully() {
+        let batcher = MicroBatcher::new(frozen(), BatcherConfig::default());
+        let _ = batcher.score_item(0, 0).unwrap();
+        drop(batcher); // must not hang or panic
+    }
+}

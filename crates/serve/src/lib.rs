@@ -1,0 +1,88 @@
+//! # mgbr-serve
+//!
+//! Tape-free online inference over frozen MGBR artifacts
+//! ([`mgbr_core::FrozenModel`]): single-request scoring, batched top-K
+//! retrieval over full catalogs, a bounded micro-batcher, and streaming
+//! serving metrics. `std`-only, like the rest of the workspace.
+//!
+//! ## Building blocks
+//!
+//! * [`Scorer`] — scores one `(user, item)` (Task A) or `(user, item,
+//!   participant)` (Task B) request, or a batch of independent requests.
+//! * [`Retriever`] — top-K ranking over the full item / participant
+//!   catalog (or a caller-provided candidate subset), backed by the
+//!   deterministic partial-select kernel `mgbr_tensor::top_k_rows`.
+//! * [`MicroBatcher`] — a bounded request queue plus one worker thread
+//!   that coalesces concurrent requests into batches of up to
+//!   `max_batch`, waiting at most `max_wait` for stragglers. A full
+//!   queue sheds load with [`ServeError::Overloaded`] instead of
+//!   blocking the caller.
+//! * [`ServeMetrics`] / [`LatencyHistogram`] — p50/p95/p99 latency and
+//!   throughput counters, exportable as JSON via `mgbr-json`.
+//!
+//! ## Determinism
+//!
+//! The frozen forward is row-local and every kernel it uses is bitwise
+//! deterministic at any `MGBR_THREADS` setting, so a request's score is
+//! identical bits whether it is served alone, inside a retrieval chunk,
+//! or coalesced into a micro-batch with arbitrary neighbors — the
+//! property the `serving_parity` golden test pins down.
+//!
+//! ## Threading model
+//!
+//! [`FrozenModel`] is immutable and `Send + Sync`: share one instance
+//! behind an [`std::sync::Arc`]. [`Scorer`] and [`Retriever`] own a
+//! per-instance scratch [`mgbr_tensor::Workspace`] and are therefore
+//! single-threaded by design — create one per serving thread (cheap:
+//! the workspace starts empty and warms up on first use).
+//!
+//! Errors are typed ([`ServeError`]); this crate's non-test code is
+//! panic-free, enforced by a grep gate in `ci.sh`.
+//!
+//! [`FrozenModel`]: mgbr_core::FrozenModel
+
+mod batcher;
+mod metrics;
+mod retriever;
+mod scorer;
+
+use std::fmt;
+
+pub use batcher::{BatcherConfig, MicroBatcher};
+pub use metrics::{LatencyHistogram, ServeMetrics};
+pub use retriever::{Hit, Retriever};
+pub use scorer::Scorer;
+
+/// Typed serving failures. Scoring never panics on untrusted request
+/// data — malformed requests and overload surface here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request references ids outside the model's id spaces, or is
+    /// structurally invalid (e.g. `k > 0` with an empty candidate set).
+    BadRequest(String),
+    /// The micro-batcher queue is full; the request was shed without
+    /// being enqueued. `capacity` is the configured queue bound.
+    Overloaded {
+        /// Configured queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The batcher has been shut down; no further requests are accepted.
+    ShutDown,
+    /// The worker disappeared before answering (reply channel closed).
+    Canceled,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Overloaded { capacity } => {
+                write!(f, "overloaded: queue at capacity {capacity}, request shed")
+            }
+            ServeError::ShutDown => write!(f, "serving is shut down"),
+            ServeError::Canceled => write!(f, "request canceled before completion"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

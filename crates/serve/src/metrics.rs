@@ -1,0 +1,214 @@
+//! Streaming serving metrics: latency percentiles + throughput counters.
+
+use mgbr_json::{Json, ToJson};
+
+/// Number of geometric buckets: bucket `i` holds samples with
+/// `floor(log2(us)) == i - 1` (bucket 0 holds `0..=1 µs`), so the top
+/// bucket covers ≥ 2^38 µs ≈ 76 h — far beyond any request latency.
+const BUCKETS: usize = 40;
+
+/// A fixed-size geometric latency histogram (microsecond samples,
+/// power-of-two buckets).
+///
+/// Percentiles are reported as the upper bound of the bucket containing
+/// the requested quantile, i.e. with ≤ 2× relative resolution — ample
+/// for p50/p95/p99 dashboards while keeping `record` an O(1) increment
+/// with zero allocation.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        // floor(log2(us)) + 1, clamped; 0 and 1 µs share bucket 0.
+        let idx = (64 - us.leading_zeros()) as usize;
+        idx.saturating_sub(1).min(BUCKETS - 1)
+    }
+
+    /// Records one sample, in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in microseconds: the upper bound
+    /// of the bucket containing that sample, capped at the recorded
+    /// maximum. Returns 0 when empty.
+    pub fn percentile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i covers [2^i, 2^(i+1)) µs (bucket 0 → [0, 2)).
+                let upper = 1u64 << (i + 1).min(63);
+                return upper.min(self.max_us.max(1));
+            }
+        }
+        self.max_us
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+impl ToJson for LatencyHistogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.to_json()),
+            ("mean_us", self.mean_us().to_json()),
+            ("p50_us", self.percentile_us(0.50).to_json()),
+            ("p95_us", self.percentile_us(0.95).to_json()),
+            ("p99_us", self.percentile_us(0.99).to_json()),
+            ("max_us", self.max_us.to_json()),
+        ])
+    }
+}
+
+/// Aggregate serving metrics: request/batch throughput counters plus a
+/// per-request latency histogram.
+#[derive(Debug, Clone, Default)]
+pub struct ServeMetrics {
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Batches executed (so `requests / batches` is the mean coalesced
+    /// batch size).
+    pub batches: u64,
+    /// Requests shed with [`crate::ServeError::Overloaded`].
+    pub shed: u64,
+    /// Enqueue-to-reply latency of answered requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// An all-zero metrics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mean coalesced batch size (0 when no batch has run).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+impl ToJson for ServeMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", self.requests.to_json()),
+            ("batches", self.batches.to_json()),
+            ("shed", self.shed.to_json()),
+            ("mean_batch", self.mean_batch().to_json()),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record_us(10);
+        }
+        for _ in 0..10 {
+            h.record_us(10_000);
+        }
+        assert_eq!(h.count(), 100);
+        // p50 lands in the 10 µs bucket: upper bound 16 µs.
+        assert!(h.percentile_us(0.50) <= 16, "{}", h.percentile_us(0.50));
+        // p95+ lands in the 10 ms bucket.
+        assert!(h.percentile_us(0.95) >= 10_000);
+        assert_eq!(h.max_us(), 10_000);
+        assert!((h.mean_us() - (90.0 * 10.0 + 10.0 * 10_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_us(5);
+        b.record_us(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_us(), 500);
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let mut m = ServeMetrics::new();
+        m.requests = 8;
+        m.batches = 2;
+        m.latency.record_us(100);
+        let j = m.to_json();
+        assert_eq!(j.get("requests").and_then(Json::as_usize), Some(8));
+        assert_eq!(j.get("mean_batch").and_then(Json::as_f64), Some(4.0));
+        assert!(j.get("latency").and_then(|l| l.get("p99_us")).is_some());
+    }
+}

@@ -1,0 +1,297 @@
+//! Top-K retrieval over full catalogs (or candidate subsets).
+
+use std::sync::Arc;
+
+use mgbr_core::FrozenModel;
+use mgbr_json::{Json, ToJson};
+use mgbr_tensor::{top_k_rows, top_k_slice};
+
+use crate::{Scorer, ServeError};
+
+/// Default number of candidates scored per forward chunk. Bounds the
+/// workspace tensors to `chunk × 6d` regardless of catalog size; scores
+/// are bitwise independent of the chunking (row-local forward).
+const DEFAULT_CHUNK: usize = 512;
+
+/// One retrieval result: a candidate id and its pre-sigmoid score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Item id (Task A) or participant id (Task B).
+    pub id: usize,
+    /// The model's logit for this candidate (σ is monotone, so ranking
+    /// by logit is ranking by Eq. 16/17 score).
+    pub score: f32,
+}
+
+impl ToJson for Hit {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("score", (self.score as f64).to_json()),
+        ])
+    }
+}
+
+/// Top-K retrieval over a shared [`FrozenModel`].
+///
+/// Candidates are scored in fixed-size chunks (bounded memory), then
+/// ranked with the deterministic partial-select kernel: descending by
+/// score, ties broken toward the lower candidate position, bitwise
+/// reproducible at any `MGBR_THREADS` setting.
+///
+/// Owns scratch buffers — one `Retriever` per serving thread.
+pub struct Retriever {
+    scorer: Scorer,
+    chunk: usize,
+}
+
+impl Retriever {
+    /// Wraps a shared frozen model with the default chunk size.
+    pub fn new(model: Arc<FrozenModel>) -> Self {
+        Self::with_chunk(model, DEFAULT_CHUNK)
+    }
+
+    /// Wraps a shared frozen model, scoring `chunk` candidates per
+    /// forward pass (`chunk == 0` is treated as 1).
+    pub fn with_chunk(model: Arc<FrozenModel>, chunk: usize) -> Self {
+        Self {
+            scorer: Scorer::new(model),
+            chunk: chunk.max(1),
+        }
+    }
+
+    /// The underlying frozen model.
+    pub fn model(&self) -> &FrozenModel {
+        self.scorer.model()
+    }
+
+    /// Resolves the candidate id list for an item-catalog query.
+    fn item_candidates(&self, candidates: Option<&[usize]>) -> Result<Vec<usize>, ServeError> {
+        match candidates {
+            Some(list) => {
+                for &i in list {
+                    self.scorer.check_item(i)?;
+                }
+                Ok(list.to_vec())
+            }
+            None => Ok((0..self.model().n_items()).collect()),
+        }
+    }
+
+    /// Resolves the candidate id list for a participant-catalog query.
+    fn participant_candidates(
+        &self,
+        candidates: Option<&[usize]>,
+    ) -> Result<Vec<usize>, ServeError> {
+        match candidates {
+            Some(list) => {
+                for &p in list {
+                    self.scorer.check_participant(p)?;
+                }
+                Ok(list.to_vec())
+            }
+            None => Ok((0..self.model().n_users()).collect()),
+        }
+    }
+
+    /// Scores every candidate item for `user`, chunked.
+    fn score_item_catalog(&self, user: usize, ids: &[usize]) -> Vec<f32> {
+        let ws = self.scorer.workspace();
+        let mut scores = Vec::with_capacity(ids.len());
+        for chunk in ids.chunks(self.chunk) {
+            scores.extend(self.model().logits_a(ws, user, chunk));
+        }
+        scores
+    }
+
+    /// Scores every candidate participant for `(user, item)`, chunked.
+    fn score_participant_catalog(&self, user: usize, item: usize, ids: &[usize]) -> Vec<f32> {
+        let ws = self.scorer.workspace();
+        let mut scores = Vec::with_capacity(ids.len());
+        for chunk in ids.chunks(self.chunk) {
+            scores.extend(self.model().logits_b(ws, user, item, chunk));
+        }
+        scores
+    }
+
+    fn hits(ids: &[usize], scores: &[f32], top: &[usize]) -> Vec<Hit> {
+        top.iter()
+            .map(|&pos| Hit {
+                id: ids[pos],
+                score: scores[pos],
+            })
+            .collect()
+    }
+
+    /// Top-`k` items for one initiator (Task A), over the full catalog
+    /// or an optional candidate subset. Returns at most `k` hits,
+    /// descending by score, ties toward the lower candidate position.
+    pub fn top_items(
+        &self,
+        user: usize,
+        k: usize,
+        candidates: Option<&[usize]>,
+    ) -> Result<Vec<Hit>, ServeError> {
+        self.scorer.check_user(user)?;
+        let ids = self.item_candidates(candidates)?;
+        if k == 0 || ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let scores = self.score_item_catalog(user, &ids);
+        Ok(Self::hits(&ids, &scores, &top_k_slice(&scores, k)))
+    }
+
+    /// Top-`k` participants for one `(user, item)` context (Task B).
+    pub fn top_participants(
+        &self,
+        user: usize,
+        item: usize,
+        k: usize,
+        candidates: Option<&[usize]>,
+    ) -> Result<Vec<Hit>, ServeError> {
+        self.scorer.check_user(user)?;
+        self.scorer.check_item(item)?;
+        let ids = self.participant_candidates(candidates)?;
+        if k == 0 || ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let scores = self.score_participant_catalog(user, item, &ids);
+        Ok(Self::hits(&ids, &scores, &top_k_slice(&scores, k)))
+    }
+
+    /// Top-`k` items for a batch of initiators sharing one candidate
+    /// set: the score matrix is assembled once and ranked with the
+    /// row-banded `top_k_rows` kernel (parallel across users under
+    /// `MGBR_THREADS`, bitwise identical at any thread count).
+    pub fn top_items_batch(
+        &self,
+        users: &[usize],
+        k: usize,
+        candidates: Option<&[usize]>,
+    ) -> Result<Vec<Vec<Hit>>, ServeError> {
+        for &u in users {
+            self.scorer.check_user(u)?;
+        }
+        let ids = self.item_candidates(candidates)?;
+        if users.is_empty() {
+            return Ok(Vec::new());
+        }
+        if k == 0 || ids.is_empty() {
+            return Ok(vec![Vec::new(); users.len()]);
+        }
+        let ws = self.scorer.workspace();
+        let mut matrix = ws.take_tensor(users.len(), ids.len());
+        for (r, &u) in users.iter().enumerate() {
+            matrix
+                .row_mut(r)
+                .copy_from_slice(&self.score_item_catalog(u, &ids));
+        }
+        let top = top_k_rows(&matrix, k);
+        let result = users
+            .iter()
+            .enumerate()
+            .map(|(r, _)| Self::hits(&ids, matrix.row(r), &top[r]))
+            .collect();
+        ws.recycle_tensor(matrix);
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_core::{Mgbr, MgbrConfig};
+    use mgbr_data::{synthetic, SyntheticConfig};
+
+    fn frozen() -> Arc<FrozenModel> {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        Arc::new(Mgbr::new(MgbrConfig::tiny(), &ds).freeze())
+    }
+
+    #[test]
+    fn top_items_matches_full_sort_reference() {
+        let model = frozen();
+        let r = Retriever::new(model.clone());
+        let hits = r.top_items(0, 5, None).unwrap();
+        assert_eq!(hits.len(), 5);
+
+        // Reference: score everything, stable-sort descending.
+        let scorer = Scorer::new(model.clone());
+        let all: Vec<(usize, f32)> = (0..model.n_items())
+            .map(|i| (i, scorer.score_item(0, i).unwrap()))
+            .collect();
+        let mut sorted = all.clone();
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (h, (id, score)) in hits.iter().zip(sorted.iter()) {
+            assert_eq!(h.id, *id);
+            assert_eq!(h.score.to_bits(), score.to_bits());
+        }
+    }
+
+    #[test]
+    fn chunking_does_not_change_results() {
+        let model = frozen();
+        let wide = Retriever::with_chunk(model.clone(), 1024);
+        let narrow = Retriever::with_chunk(model, 3);
+        let a = wide.top_items(2, 7, None).unwrap();
+        let b = narrow.top_items(2, 7, None).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn candidate_subset_restricts_and_validates() {
+        let model = frozen();
+        let r = Retriever::new(model.clone());
+        let subset = [3usize, 1, 4];
+        let hits = r.top_items(0, 10, Some(&subset)).unwrap();
+        assert_eq!(hits.len(), 3, "k beyond subset returns the whole subset");
+        assert!(hits.iter().all(|h| subset.contains(&h.id)));
+        let bad = [0usize, model.n_items()];
+        assert!(matches!(
+            r.top_items(0, 2, Some(&bad)),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn batch_retrieval_matches_per_user_retrieval() {
+        let model = frozen();
+        let r = Retriever::new(model);
+        let users = [0usize, 3, 5];
+        let batched = r.top_items_batch(&users, 4, None).unwrap();
+        assert_eq!(batched.len(), users.len());
+        for (row, &u) in batched.iter().zip(&users) {
+            let single = r.top_items(u, 4, None).unwrap();
+            assert_eq!(row.len(), single.len());
+            for (a, b) in row.iter().zip(&single) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn top_participants_excluding_initiator_via_subset() {
+        let model = frozen();
+        let r = Retriever::new(model.clone());
+        let user = 2usize;
+        let candidates: Vec<usize> = (0..model.n_users()).filter(|&p| p != user).collect();
+        let hits = r.top_participants(user, 0, 5, Some(&candidates)).unwrap();
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.id != user));
+    }
+
+    #[test]
+    fn k_zero_and_empty_users_are_empty() {
+        let model = frozen();
+        let r = Retriever::new(model);
+        assert!(r.top_items(0, 0, None).unwrap().is_empty());
+        assert!(r.top_items_batch(&[], 3, None).unwrap().is_empty());
+        let rows = r.top_items_batch(&[1, 2], 0, None).unwrap();
+        assert!(rows.iter().all(Vec::is_empty));
+    }
+}

@@ -1,0 +1,247 @@
+//! Tape-free inference kernels for the serving path.
+//!
+//! These kernels exist so a frozen model can be scored without building
+//! an autograd tape, while staying **bitwise identical** to the training
+//! path. Each one replays exactly the floating-point operation sequence
+//! the corresponding `Var` op performs on its forward pass:
+//!
+//! * [`affine_act_into`] = `Var::matmul` (+ `Var::add_row_broadcast`)
+//!   (+ activation): one [`matmul_into`] GEMM with `beta = 0`, then a
+//!   fused per-element `act(y + b)` epilogue. Bias-add and activation
+//!   are pure per-element post-ops, so fusing them after the fully
+//!   accumulated GEMM output changes nothing bitwise.
+//! * [`mix_col_blocks_into`] = `Var::mix_experts` over the column
+//!   blocks of a fused expert bank: `out[r][c] += w[r][k] · bank[r][k·d + c]`
+//!   with `k` as the outer loop, starting from a zeroed output — the
+//!   identical per-element accumulation order, minus the `slice_cols`
+//!   copies the training path materializes (slices are pure copies, so
+//!   reading the bank in place is bitwise equivalent).
+//!
+//! Both kernels inherit the engine's determinism guarantee: any row
+//! partitioning preserves per-element operation order, so results are
+//! bitwise identical at any `MGBR_THREADS` setting.
+
+use crate::matmul::matmul_into;
+use crate::ops::sigmoid_scalar;
+use crate::threads::for_row_bands;
+use crate::Tensor;
+
+/// Activation fused into the [`affine_act_into`] epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedAct {
+    /// No activation: `y = x·W (+ b)`.
+    Identity,
+    /// `max(0, ·)` — the model's hidden-layer activation.
+    Relu,
+    /// Numerically stable logistic sigmoid — the Eq. 16 output head.
+    Sigmoid,
+}
+
+impl FusedAct {
+    #[inline]
+    fn apply(self, x: f32) -> f32 {
+        match self {
+            FusedAct::Identity => x,
+            FusedAct::Relu => x.max(0.0),
+            FusedAct::Sigmoid => sigmoid_scalar(x),
+        }
+    }
+}
+
+/// `out = act(x · w + bias)`, fused, tape-free.
+///
+/// `bias` (if present) is a `1×n` row broadcast over every output row.
+/// The GEMM ignores `out`'s prior contents (`beta = 0`); the epilogue
+/// computes `act(y + b)` per element in row-banded parallel, matching
+/// the training path's `matmul → add_row_broadcast → activation` chain
+/// bitwise.
+///
+/// # Panics
+///
+/// Panics on shape mismatch (programming error, per workspace
+/// convention).
+#[track_caller]
+pub fn affine_act_into(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    act: FusedAct,
+    out: &mut Tensor,
+) {
+    matmul_into(x, w, out, 0.0);
+    let n = out.cols();
+    if let Some(b) = bias {
+        assert!(
+            b.rows() == 1 && b.cols() == n,
+            "affine_act_into: bias shape {} != [1x{n}]",
+            b.shape()
+        );
+    }
+    if bias.is_none() && act == FusedAct::Identity {
+        return;
+    }
+    let rows = out.rows();
+    let bias_data = bias.map(Tensor::as_slice);
+    for_row_bands(out.as_mut_slice(), rows, n, n * 2, |_r0, _r1, band| {
+        for row in band.chunks_mut(n) {
+            match bias_data {
+                Some(b) => {
+                    for (o, &bv) in row.iter_mut().zip(b) {
+                        *o = act.apply(*o + bv);
+                    }
+                }
+                None => {
+                    for o in row.iter_mut() {
+                        *o = act.apply(*o);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Gated expert mixture over the column blocks of a fused expert bank:
+/// `out[r][c] = Σ_k weights[r][k] · bank[r][k·d + c]` where
+/// `d = out.cols()` and `bank.cols() = K·d`.
+///
+/// Replays `Var::mix_experts`'s accumulation exactly — output zeroed,
+/// then experts added in `k`-ascending order per element — so frozen
+/// scores match the training path bitwise.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+#[track_caller]
+pub fn mix_col_blocks_into(weights: &Tensor, bank: &Tensor, out: &mut Tensor) {
+    let rows = out.rows();
+    let d = out.cols();
+    let k = weights.cols();
+    assert_eq!(
+        weights.rows(),
+        rows,
+        "mix_col_blocks: weight rows {} != output rows {rows}",
+        weights.rows()
+    );
+    assert!(
+        bank.rows() == rows && bank.cols() == k * d,
+        "mix_col_blocks: bank shape {} != [{rows}x{}]",
+        bank.shape(),
+        k * d
+    );
+    out.fill(0.0);
+    let w_data = weights.as_slice();
+    let bank_data = bank.as_slice();
+    let bank_stride = k * d;
+    for_row_bands(out.as_mut_slice(), rows, d, k * d, |r0, r1, band| {
+        for kk in 0..k {
+            for r in r0..r1 {
+                let wv = w_data[r * k + kk];
+                let e_row = &bank_data[r * bank_stride + kk * d..r * bank_stride + (kk + 1) * d];
+                let o_row = &mut band[(r - r0) * d..(r - r0 + 1) * d];
+                for (o, &x) in o_row.iter_mut().zip(e_row) {
+                    *o += wv * x;
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+    use crate::threads::{set_threads, TEST_KNOB_LOCK};
+
+    fn rand_tensor(rng: &mut Pcg32, rows: usize, cols: usize) -> Tensor {
+        Tensor::from_fn(rows, cols, |_, _| rng.uniform_range(-1.5, 1.5))
+    }
+
+    #[test]
+    fn affine_matches_unfused_reference() {
+        let _guard = TEST_KNOB_LOCK.lock().unwrap();
+        set_threads(1);
+        let mut rng = Pcg32::new(7, 1);
+        let x = rand_tensor(&mut rng, 5, 8);
+        let w = rand_tensor(&mut rng, 8, 3);
+        let b = rand_tensor(&mut rng, 1, 3);
+        for act in [FusedAct::Identity, FusedAct::Relu, FusedAct::Sigmoid] {
+            let mut out = Tensor::zeros(5, 3);
+            affine_act_into(&x, &w, Some(&b), act, &mut out);
+            let mut reference = crate::matmul(&x, &w).add_row_broadcast(&b);
+            match act {
+                FusedAct::Identity => {}
+                FusedAct::Relu => reference.relu_inplace(),
+                FusedAct::Sigmoid => reference.sigmoid_inplace(),
+            }
+            assert_eq!(out.as_slice(), reference.as_slice(), "{act:?}");
+        }
+    }
+
+    #[test]
+    fn affine_without_bias_or_act_is_plain_matmul() {
+        let _guard = TEST_KNOB_LOCK.lock().unwrap();
+        set_threads(1);
+        let mut rng = Pcg32::new(9, 1);
+        let x = rand_tensor(&mut rng, 4, 6);
+        let w = rand_tensor(&mut rng, 6, 2);
+        let mut out = Tensor::zeros(4, 2);
+        affine_act_into(&x, &w, None, FusedAct::Identity, &mut out);
+        assert_eq!(out.as_slice(), crate::matmul(&x, &w).as_slice());
+    }
+
+    #[test]
+    fn mix_matches_slice_then_accumulate_reference() {
+        let _guard = TEST_KNOB_LOCK.lock().unwrap();
+        set_threads(1);
+        let mut rng = Pcg32::new(11, 1);
+        let (rows, k, d) = (6, 4, 5);
+        let weights = rand_tensor(&mut rng, rows, k);
+        let bank = rand_tensor(&mut rng, rows, k * d);
+        let mut out = Tensor::from_fn(rows, d, |_, _| 99.0); // must be ignored
+        mix_col_blocks_into(&weights, &bank, &mut out);
+        // Reference replays the training path: slice each expert out of
+        // the bank, then accumulate k-outer into a zeroed buffer.
+        let mut reference = Tensor::zeros(rows, d);
+        for kk in 0..k {
+            let expert = bank.slice_cols(kk * d, d);
+            for r in 0..rows {
+                let wv = weights.get(r, kk);
+                for (o, &x) in reference.row_mut(r).iter_mut().zip(expert.row(r)) {
+                    *o += wv * x;
+                }
+            }
+        }
+        assert_eq!(out.as_slice(), reference.as_slice());
+    }
+
+    #[test]
+    fn kernels_are_bitwise_identical_across_thread_counts() {
+        let _guard = TEST_KNOB_LOCK.lock().unwrap();
+        let mut rng = Pcg32::new(13, 1);
+        // Big enough to clear PARALLEL_WORK_THRESHOLD.
+        let x = rand_tensor(&mut rng, 128, 96);
+        let w = rand_tensor(&mut rng, 96, 64);
+        let b = rand_tensor(&mut rng, 1, 64);
+        let weights = rand_tensor(&mut rng, 128, 8);
+        let bank = rand_tensor(&mut rng, 128, 8 * 64);
+        set_threads(1);
+        let mut base_aff = Tensor::zeros(128, 64);
+        affine_act_into(&x, &w, Some(&b), FusedAct::Sigmoid, &mut base_aff);
+        let mut base_mix = Tensor::zeros(128, 64);
+        mix_col_blocks_into(&weights, &bank, &mut base_mix);
+        for threads in [2usize, 4] {
+            set_threads(threads);
+            let mut aff = Tensor::zeros(128, 64);
+            affine_act_into(&x, &w, Some(&b), FusedAct::Sigmoid, &mut aff);
+            assert_eq!(
+                aff.as_slice(),
+                base_aff.as_slice(),
+                "affine threads={threads}"
+            );
+            let mut mix = Tensor::zeros(128, 64);
+            mix_col_blocks_into(&weights, &bank, &mut mix);
+            assert_eq!(mix.as_slice(), base_mix.as_slice(), "mix threads={threads}");
+        }
+        set_threads(1);
+    }
+}

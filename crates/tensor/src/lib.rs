@@ -16,6 +16,10 @@
 //!   (`MGBR_THREADS` env override) with a bitwise-determinism guarantee.
 //! * [`Workspace`] — a recycled buffer pool keyed by length, so steady-
 //!   state training performs no per-op heap allocation.
+//! * Tape-free serving kernels ([`affine_act_into`],
+//!   [`mix_col_blocks_into`]) and deterministic partial top-k selection
+//!   ([`top_k_rows`]) backing the frozen-model inference path, all with
+//!   the same bitwise any-thread-count guarantee.
 //! * A deterministic, dependency-free PCG32 RNG ([`Pcg32`]) with Gaussian
 //!   and Xavier initializers, so every experiment in the repo is exactly
 //!   reproducible from a seed.
@@ -25,6 +29,7 @@
 //! convention) rather than returning `Result`. Constructors that consume
 //! external data ([`Tensor::from_vec`]) return [`ShapeError`] instead.
 
+mod infer;
 mod matmul;
 mod ops;
 mod pool;
@@ -32,10 +37,13 @@ mod rng;
 mod shape;
 mod tensor;
 mod threads;
+mod topk;
 
+pub use infer::{affine_act_into, mix_col_blocks_into, FusedAct};
 pub use matmul::{matmul, matmul_into, matmul_nt, matmul_nt_into, matmul_tn, matmul_tn_into};
 pub use pool::{PoolStats, Workspace};
 pub use rng::{Pcg32, Pcg32State};
 pub use shape::{Shape, ShapeError};
 pub use tensor::Tensor;
 pub use threads::{configure_threads, for_row_bands, get_threads, set_threads};
+pub use topk::{top_k_rows, top_k_slice};

@@ -18,4 +18,9 @@ done
 # results/BENCH_engine.json itself.
 echo "=== running bench_engine ==="
 ./target/release/bench_engine | tee results/bench_engine.txt
+# Serving benchmark: freezes the trained model, verifies frozen-vs-
+# training score parity, and measures QPS/latency; emits
+# results/BENCH_serve.json itself.
+echo "=== running bench_serve ==="
+./target/release/bench_serve | tee results/bench_serve.txt
 echo "=== all experiments complete ==="
