@@ -38,6 +38,11 @@ echo "=== serving parity golden suite ==="
 # scorer; run explicitly so a dropped [[test]] entry fails CI.
 cargo test -q -p mgbr-bench --test serving_parity
 
+echo "=== observability / flight-recorder suite ==="
+# Tracing must be bitwise invisible and the journal complete; run
+# explicitly so a dropped [[test]] entry fails CI.
+cargo test -q -p mgbr-bench --test obs_trace
+
 echo "=== serving smoke: freeze -> serve -> parity + artifact ==="
 # End-to-end: train briefly, freeze to disk, reload, serve a synthetic
 # request stream. bench_serve exits non-zero on any frozen-vs-training
@@ -48,6 +53,31 @@ if ! [ -s results/BENCH_serve.json ]; then
   echo "ci.sh: FAILED — bench_serve did not produce results/BENCH_serve.json" >&2
   exit 1
 fi
+
+echo "=== trace smoke: traced run -> parseable JSONL + Chrome export ==="
+# bench_obs re-trains with the flight recorder on, exits non-zero if any
+# JSONL line fails to parse, the Chrome export is malformed, the span
+# taxonomy is incomplete, or tracing perturbed a single bit.
+rm -f results/BENCH_obs.json results/obs_trace.jsonl results/obs_trace.jsonl.chrome.json
+MGBR_SCALE=small MGBR_TRACE=results/obs_trace.jsonl ./target/release/bench_obs
+for f in results/BENCH_obs.json results/obs_trace.jsonl results/obs_trace.jsonl.chrome.json; do
+  if ! [ -s "$f" ]; then
+    echo "ci.sh: FAILED — bench_obs did not produce $f" >&2
+    exit 1
+  fi
+done
+
+echo "=== library code logs through mgbr-obs, not stdout ==="
+# println!/eprintln! in non-test library code bypasses the flight
+# recorder and pollutes binary output; bench/bin experiment binaries and
+# doc comments are exempt.
+for f in crates/*/src/*.rs; do
+  case "$f" in crates/bench/*) continue ;; esac
+  if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -vE '^\s*//' | grep -nE 'println!|eprintln!'; then
+    echo "ci.sh: FAILED — $f library code must record events via mgbr-obs, not print" >&2
+    exit 1
+  fi
+done
 
 echo "=== trainer is panic-free outside tests ==="
 # The training loop reports failures through TrainError; a panic! or

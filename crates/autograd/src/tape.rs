@@ -218,6 +218,15 @@ impl Tape {
             Rc::ptr_eq(&self.inner, &loss.tape.inner),
             "backward: loss var belongs to a different tape"
         );
+        // Forward/backward split: the tape length at this point counts
+        // every forward op recorded this step; the span covers the whole
+        // reverse sweep. Read-only, so traced runs stay bitwise identical.
+        let _obs = mgbr_obs::span("backward", "autograd").arg("tape_nodes", self.len() as u64);
+        if mgbr_obs::enabled() {
+            mgbr_obs::metrics()
+                .gauge("autograd.tape_nodes")
+                .raise_to(self.len() as i64);
+        }
         let inner = self.inner.borrow();
         let nodes = &inner.nodes;
         let shape = nodes[loss.id].value.shape();

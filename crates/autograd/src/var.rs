@@ -334,6 +334,7 @@ impl Var {
         let v = {
             let inner = self.tape.inner.borrow();
             let a = &inner.nodes[self.id].value;
+            let _obs = mgbr_tensor::hooks::gather_timer(indices.len(), a.cols());
             let mut out = self.tape.alloc(indices.len(), a.cols());
             for (r, &i) in indices.iter().enumerate() {
                 out.row_mut(r).copy_from_slice(a.row(i));

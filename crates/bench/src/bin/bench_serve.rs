@@ -11,7 +11,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mgbr_bench::{write_artifact, ExperimentEnv};
+use mgbr_bench::{build_meta, write_artifact, ExperimentEnv};
 use mgbr_core::{train, FrozenModel, Mgbr, TrainConfig};
 use mgbr_eval::GroupBuyScorer;
 use mgbr_json::{Json, ToJson};
@@ -47,6 +47,7 @@ struct ServeBench {
     cells: Vec<Cell>,
     batcher: mgbr_serve::ServeMetrics,
     batcher_qps: f64,
+    meta: Json,
 }
 
 impl ToJson for ServeBench {
@@ -71,6 +72,7 @@ impl ToJson for ServeBench {
             ),
             ("batcher", self.batcher.to_json()),
             ("batcher_qps", self.batcher_qps.to_json()),
+            ("meta", self.meta.to_json()),
         ])
     }
 }
@@ -282,6 +284,7 @@ fn main() {
             cells,
             batcher: metrics,
             batcher_qps,
+            meta: build_meta(&tc),
         },
     );
 }

@@ -415,6 +415,28 @@ pub fn print_result_header() {
     println!("|-----------|----------|-----------|-----------|------------|----------|-----------|-----------|------------|");
 }
 
+/// Build metadata stamped into benchmark artifacts so a number in
+/// `results/BENCH_*.json` can always be traced back to the revision,
+/// thread count, and training-config fingerprint that produced it.
+pub fn build_meta(tc: &TrainConfig) -> Json {
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into());
+    Json::obj([
+        ("git_rev", git_rev.to_json()),
+        ("threads", mgbr_tensor::get_threads().to_json()),
+        (
+            "config_fingerprint",
+            format!("{:016x}", tc.fingerprint()).to_json(),
+        ),
+    ])
+}
+
 /// Writes a JSON artifact under `results/`.
 ///
 /// # Panics
@@ -489,6 +511,23 @@ mod tests {
         assert_eq!(tc.checkpoint_every, 0);
         assert!(tc.checkpoint_path.is_none());
         assert!(!tc.resume);
+    }
+
+    #[test]
+    fn build_meta_stamps_rev_threads_and_fingerprint() {
+        let tc = TrainConfig::tiny();
+        let meta = build_meta(&tc);
+        let rev = meta.get("git_rev").and_then(Json::as_str).unwrap();
+        assert!(!rev.is_empty());
+        assert!(meta.get("threads").and_then(Json::as_usize).unwrap() >= 1);
+        let fp = meta
+            .get("config_fingerprint")
+            .and_then(Json::as_str)
+            .unwrap();
+        assert_eq!(fp.len(), 16, "fingerprint is 16 hex chars: {fp:?}");
+        assert_eq!(fp, format!("{:016x}", tc.fingerprint()));
+        // The fingerprint must be stable across calls (deterministic).
+        assert_eq!(meta.to_json(), build_meta(&tc).to_json());
     }
 
     #[test]

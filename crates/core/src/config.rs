@@ -239,6 +239,13 @@ pub struct TrainConfig {
     /// element or spike the loss at a chosen step). `None` in production.
     /// Excluded from the fingerprint for the same reason as `watchdog`.
     pub numeric_fault: Option<NumericFault>,
+    /// Record a flight-recorder trace to this JSONL path for the run
+    /// (`MGBR_TRACE_FORMAT` also writes `<path>.chrome.json` for
+    /// `chrome://tracing`). `None` defers to the `MGBR_TRACE` environment
+    /// variable; unset both ways, tracing costs one atomic load per hook.
+    /// Excluded from the fingerprint: recording is read-only and never
+    /// changes the trajectory (traced runs are bitwise identical).
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl TrainConfig {
@@ -259,6 +266,7 @@ impl TrainConfig {
             resume: false,
             watchdog: WatchdogConfig::default(),
             numeric_fault: None,
+            trace_path: None,
         }
     }
 
@@ -447,8 +455,9 @@ mod tests {
             assert_ne!(fp, tc.fingerprint(), "{label} must change the fingerprint");
         }
         // Thread count, epoch budget, checkpoint plumbing, and the
-        // watchdog/fault knobs must NOT: they are legitimate differences
-        // between a run and its resume (or its recovery retry).
+        // watchdog/fault/trace knobs must NOT: they are legitimate
+        // differences between a run and its resume (or its recovery
+        // retry, or a traced re-run of an untraced original).
         let same = TrainConfig {
             threads: 4,
             epochs: 99,
@@ -458,6 +467,7 @@ mod tests {
                 ..WatchdogConfig::disabled()
             },
             numeric_fault: Some(NumericFault::spike_loss(3, 100.0)),
+            trace_path: Some("/tmp/trace.jsonl".into()),
             ..base.clone()
         }
         .with_checkpointing("/tmp/y.ckpt", 1);

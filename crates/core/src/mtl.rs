@@ -237,7 +237,10 @@ impl MtlModule {
             g_b: g0.clone(),
             g_s: self.has_shared.then_some(g0),
         };
-        for layer in &self.layers {
+        for (li, layer) in self.layers.iter().enumerate() {
+            let _obs = mgbr_obs::span("mtl.layer", "model")
+                .arg("layer", li as u64)
+                .arg("shared", layer.experts_s.is_some());
             state = self.layer_forward(ctx, layer, &state, &pairs);
         }
         (state.g_a, state.g_b)

@@ -177,6 +177,14 @@ impl EmbeddingModule {
 
     /// Runs the GCNs and assembles `e_u, e_i, e_p` (Eq. 4-6).
     pub fn forward(&self, ctx: &StepCtx<'_>) -> ObjectEmbeddings {
+        let _obs = mgbr_obs::span("multiview.forward", "model").arg(
+            "views",
+            if matches!(self, EmbeddingModule::Hin { .. }) {
+                1u64
+            } else {
+                3
+            },
+        );
         match self {
             EmbeddingModule::MultiView {
                 ui,

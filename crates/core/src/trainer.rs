@@ -84,6 +84,98 @@ impl TrainReport {
     }
 }
 
+/// One validation epoch in the history returned by
+/// [`train_with_validation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValEntry {
+    /// Epoch index (0-based, cumulative across resumes).
+    pub epoch: usize,
+    /// Validation metric: mean of Task A / Task B MRR@10.
+    pub metric: f64,
+    /// Whether this entry was replayed from a checkpoint on resume rather
+    /// than evaluated by this process (provenance survives resumes).
+    pub replayed: bool,
+}
+
+/// The raw metric curve of a validation history (what checkpoints store
+/// and the early stopper consumes — provenance flags are process-local).
+fn raw_metrics(history: &[ValEntry]) -> Vec<f64> {
+    history.iter().map(|e| e.metric).collect()
+}
+
+/// Opens the flight recorder when configured. [`TrainConfig::trace_path`]
+/// takes precedence over the `MGBR_TRACE` environment variable; with
+/// neither set, returns `None` and training pays one atomic load per
+/// instrumentation hook.
+fn trace_session(tc: &TrainConfig) -> Result<Option<mgbr_obs::TraceSession>, TrainError> {
+    let path = match &tc.trace_path {
+        Some(p) => Some(p.clone()),
+        None => std::env::var_os("MGBR_TRACE")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from),
+    };
+    let Some(path) = path else {
+        return Ok(None);
+    };
+    Ok(Some(mgbr_obs::trace_to(
+        &path,
+        mgbr_obs::TraceFormat::from_env(),
+    )?))
+}
+
+/// Steps between journaled metrics snapshots while tracing
+/// (`MGBR_METRICS_EVERY`; 0 — the default — snapshots at epoch
+/// boundaries only).
+fn metrics_every() -> usize {
+    std::env::var("MGBR_METRICS_EVERY")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Journals a watchdog anomaly into the flight recorder (no-op when
+/// tracing is off).
+fn journal_anomaly(report: &AnomalyReport) {
+    if !mgbr_obs::enabled() {
+        return;
+    }
+    let mut e = mgbr_obs::event("watchdog.anomaly", "train")
+        .arg("kind", report.kind.to_string())
+        .arg("epoch", report.epoch as u64)
+        .arg("step", report.step as u64)
+        .arg("loss", report.loss)
+        .arg("recoveries", report.recoveries as u64);
+    if let Some(t) = &report.tensor {
+        e = e.arg("tensor", t.as_str());
+    }
+    if let Some(i) = report.first_index {
+        e = e.arg("first_index", i as u64);
+    }
+    drop(e);
+}
+
+/// Journals an epoch summary plus a metrics-registry snapshot (pool
+/// gauges refreshed first). No-op when tracing is off.
+fn journal_epoch(tape: &Tape, epoch: usize, loss: f32, epoch_steps: usize, recoveries: usize) {
+    if !mgbr_obs::enabled() {
+        return;
+    }
+    drop(
+        mgbr_obs::event("epoch.summary", "train")
+            .arg("epoch", epoch as u64)
+            .arg("loss", loss)
+            .arg("steps", epoch_steps as u64)
+            .arg("recoveries", recoveries as u64),
+    );
+    let ps = tape.pool_stats();
+    let reg = mgbr_obs::metrics();
+    reg.gauge("pool.live_floats").set(ps.live_floats as i64);
+    reg.gauge("pool.hwm_floats").raise_to(ps.hwm_floats as i64);
+    reg.gauge("pool.hits").set(ps.hits as i64);
+    reg.gauge("pool.misses").set(ps.misses as i64);
+    mgbr_obs::emit_metrics("epoch");
+}
+
 /// One epoch's sampled training material.
 struct EpochData {
     task_a: Vec<TaskAInstance>,
@@ -231,6 +323,12 @@ fn maybe_checkpoint(
         adam: Some(AdamState { t, m, v }),
     };
     save_checkpoint_atomic(&model.store, &state, path)?;
+    drop(
+        mgbr_obs::event("checkpoint.save", "train")
+            .arg("epoch", epoch_done as u64)
+            .arg("step", total_steps as u64)
+            .arg("path", path.display().to_string()),
+    );
     Ok(())
 }
 
@@ -377,6 +475,7 @@ pub fn train(
         ));
     }
     configure_threads(tc.threads);
+    let _trace = trace_session(tc)?;
     let mut adam = Adam::with_lr(tc.lr);
     let mut cur_lr = tc.lr;
     let mut rng = Pcg32::seed_from_u64(tc.seed);
@@ -389,6 +488,12 @@ pub fn train(
         start_epoch = rp.start_epoch;
         prior_steps = rp.steps;
     }
+    drop(
+        mgbr_obs::event("train.start", "train")
+            .arg("epochs", tc.epochs as u64)
+            .arg("start_epoch", start_epoch as u64)
+            .arg("fingerprint", format!("{:016x}", tc.fingerprint())),
+    );
     if start_epoch >= tc.epochs {
         return Ok(TrainReport::empty(model.param_count()));
     }
@@ -404,6 +509,7 @@ pub fn train(
 
     let mut epoch = start_epoch;
     while epoch < tc.epochs {
+        let _epoch_span = mgbr_obs::span("epoch", "train").arg("epoch", epoch as u64);
         let want_seed = epoch_data_seed(tc, epoch);
         if want_seed != data_seed {
             data = sample_epoch(model, full, split, tc, want_seed);
@@ -433,21 +539,22 @@ pub fn train(
                 // otherwise).
                 if !guard.enabled() {
                     if let Some((tensor, idx)) = first_non_finite_param(&model.store) {
-                        return Err(TrainError::Diverged {
-                            report: AnomalyReport {
-                                kind: AnomalyKind::NonFiniteParam,
-                                epoch,
-                                step: prior_steps + steps + epoch_steps,
-                                loss,
-                                tensor: Some(tensor),
-                                first_index: Some(idx),
-                                recoveries: guard.recoveries,
-                            },
-                        });
+                        let report = AnomalyReport {
+                            kind: AnomalyKind::NonFiniteParam,
+                            epoch,
+                            step: prior_steps + steps + epoch_steps,
+                            loss,
+                            tensor: Some(tensor),
+                            first_index: Some(idx),
+                            recoveries: guard.recoveries,
+                        };
+                        journal_anomaly(&report);
+                        return Err(TrainError::Diverged { report });
                     }
                 }
                 epoch_losses.push(loss);
                 steps += epoch_steps;
+                journal_epoch(&tape, epoch, loss, epoch_steps, guard.recoveries);
                 maybe_checkpoint(
                     model,
                     tc,
@@ -465,7 +572,13 @@ pub fn train(
                 // Anomaly mid-epoch: roll back to the boundary snapshot
                 // and retry this epoch at a reduced learning rate (the
                 // epoch's partial loss/steps are discarded with it).
+                journal_anomaly(&report);
                 guard.recover(model, &mut adam, &mut rng, &mut cur_lr, report)?;
+                drop(
+                    mgbr_obs::event("watchdog.recover", "train")
+                        .arg("recoveries", guard.recoveries as u64)
+                        .arg("lr", cur_lr),
+                );
             }
         }
     }
@@ -489,7 +602,8 @@ pub fn train(
 ///
 /// On resume, the early-stopping state is reconstructed by replaying the
 /// checkpointed validation history, and the returned history covers the
-/// full run (resumed prefix included); the report's losses cover only the
+/// full run — replayed entries are tagged [`ValEntry::replayed`] so their
+/// provenance survives the resume; the report's losses cover only the
 /// epochs this process executed.
 ///
 /// # Errors
@@ -503,7 +617,7 @@ pub fn train_with_validation(
     tc: &TrainConfig,
     patience: usize,
     min_delta: f64,
-) -> Result<(TrainReport, Vec<f64>), TrainError> {
+) -> Result<(TrainReport, Vec<ValEntry>), TrainError> {
     if split.train.is_empty() {
         return Err(TrainError::ConfigMismatch(
             "empty training partition".into(),
@@ -520,13 +634,14 @@ pub fn train_with_validation(
         ));
     }
     configure_threads(tc.threads);
+    let _trace = trace_session(tc)?;
     let mut adam = Adam::with_lr(tc.lr);
     let mut cur_lr = tc.lr;
     let mut rng = Pcg32::seed_from_u64(tc.seed);
     let mut timer = EpochTimer::new();
     let mut epoch_losses = Vec::with_capacity(tc.epochs);
     let mut steps = 0usize;
-    let mut history = Vec::with_capacity(tc.epochs);
+    let mut history: Vec<ValEntry> = Vec::with_capacity(tc.epochs);
     let mut stopper = mgbr_nn::EarlyStopping::new(patience, min_delta);
 
     let mut start_epoch = 0usize;
@@ -536,20 +651,45 @@ pub fn train_with_validation(
         start_epoch = rp.start_epoch;
         prior_steps = rp.steps;
         // Replay the checkpointed metrics so patience counting continues
-        // exactly where the interrupted run left off.
+        // exactly where the interrupted run left off. Replayed entries
+        // are tagged: this process did not evaluate them.
         for (epoch, &metric) in rp.val_history.iter().enumerate() {
-            history.push(metric);
+            history.push(ValEntry {
+                epoch,
+                metric,
+                replayed: true,
+            });
+            drop(
+                mgbr_obs::event("val.metric", "train")
+                    .arg("epoch", epoch as u64)
+                    .arg("metric", metric)
+                    .arg("replayed", true),
+            );
             if stopper.update(epoch, metric) {
                 already_stopped = true;
             }
         }
     }
+    drop(
+        mgbr_obs::event("train.start", "train")
+            .arg("epochs", tc.epochs as u64)
+            .arg("start_epoch", start_epoch as u64)
+            .arg("fingerprint", format!("{:016x}", tc.fingerprint())),
+    );
     if start_epoch >= tc.epochs || already_stopped {
         return Ok((TrainReport::empty(model.param_count()), history));
     }
     let mut fault = tc.numeric_fault.map(NumericFaultArm::new);
     let mut guard = RecoveryGuard::new(Watchdog::new(tc.watchdog.clone().from_env()));
-    guard.arm(model, tc, &adam, &rng, start_epoch, prior_steps, &history);
+    guard.arm(
+        model,
+        tc,
+        &adam,
+        &rng,
+        start_epoch,
+        prior_steps,
+        &raw_metrics(&history),
+    );
 
     // Fixed validation candidate lists across epochs.
     let mut val_sampler = Sampler::new(full, tc.seed ^ 0x5a11d);
@@ -561,6 +701,7 @@ pub fn train_with_validation(
     let tape = Tape::new();
     let mut epoch = start_epoch;
     while epoch < tc.epochs {
+        let _epoch_span = mgbr_obs::span("epoch", "train").arg("epoch", epoch as u64);
         let want_seed = epoch_data_seed(tc, epoch);
         if want_seed != data_seed {
             data = sample_epoch(model, full, split, tc, want_seed);
@@ -587,27 +728,38 @@ pub fn train_with_validation(
                 timer.end_epoch();
                 if !guard.enabled() {
                     if let Some((tensor, idx)) = first_non_finite_param(&model.store) {
-                        return Err(TrainError::Diverged {
-                            report: AnomalyReport {
-                                kind: AnomalyKind::NonFiniteParam,
-                                epoch,
-                                step: prior_steps + steps + epoch_steps,
-                                loss,
-                                tensor: Some(tensor),
-                                first_index: Some(idx),
-                                recoveries: guard.recoveries,
-                            },
-                        });
+                        let report = AnomalyReport {
+                            kind: AnomalyKind::NonFiniteParam,
+                            epoch,
+                            step: prior_steps + steps + epoch_steps,
+                            loss,
+                            tensor: Some(tensor),
+                            first_index: Some(idx),
+                            recoveries: guard.recoveries,
+                        };
+                        journal_anomaly(&report);
+                        return Err(TrainError::Diverged { report });
                     }
                 }
                 epoch_losses.push(loss);
                 steps += epoch_steps;
+                journal_epoch(&tape, epoch, loss, epoch_steps, guard.recoveries);
 
                 let scorer = model.scorer();
                 let ma = mgbr_eval::evaluate_task_a(&scorer, &val_a, 10);
                 let mb = mgbr_eval::evaluate_task_b(&scorer, &val_b, 10);
                 let metric = 0.5 * (ma.mrr + mb.mrr);
-                history.push(metric);
+                history.push(ValEntry {
+                    epoch,
+                    metric,
+                    replayed: false,
+                });
+                drop(
+                    mgbr_obs::event("val.metric", "train")
+                        .arg("epoch", epoch as u64)
+                        .arg("metric", metric)
+                        .arg("replayed", false),
+                );
                 let stop = stopper.update(epoch, metric);
                 maybe_checkpoint(
                     model,
@@ -616,17 +768,31 @@ pub fn train_with_validation(
                     &rng,
                     epoch + 1,
                     prior_steps + steps,
-                    &history,
+                    &raw_metrics(&history),
                     stop,
                 )?;
                 if stop {
                     break;
                 }
                 epoch += 1;
-                guard.arm(model, tc, &adam, &rng, epoch, prior_steps + steps, &history);
+                guard.arm(
+                    model,
+                    tc,
+                    &adam,
+                    &rng,
+                    epoch,
+                    prior_steps + steps,
+                    &raw_metrics(&history),
+                );
             }
             Err(report) => {
+                journal_anomaly(&report);
                 guard.recover(model, &mut adam, &mut rng, &mut cur_lr, report)?;
+                drop(
+                    mgbr_obs::event("watchdog.recover", "train")
+                        .arg("recoveries", guard.recoveries as u64)
+                        .arg("lr", cur_lr),
+                );
             }
         }
     }
@@ -685,9 +851,17 @@ fn run_epoch(
         recoveries,
     };
 
+    // Read the cadence knob once per epoch; zero (or tracing off) means
+    // metrics snapshots only at epoch boundaries.
+    let every = if mgbr_obs::enabled() {
+        metrics_every()
+    } else {
+        0
+    };
     let mut loss_sum = 0.0f64;
     for step in 0..n_steps {
         let abs_step = step_base + step;
+        let _step_span = mgbr_obs::span("step", "train").arg("step", abs_step as u64);
         let batch_a: Vec<&TaskAInstance> = a_batches[step % a_batches.len()]
             .iter()
             .map(|&j| &data.task_a[j])
@@ -709,6 +883,9 @@ fn run_epoch(
             Vec::new()
         };
 
+        let fwd = mgbr_obs::span("loss.forward", "train")
+            .arg("batch_a", batch_a.len() as u64)
+            .arg("batch_b", batch_b.len() as u64);
         let ctx = StepCtx::with_tape(tape, &model.store);
         let emb = model.embeddings(&ctx);
         let mean_p = emb.participants.mean_rows();
@@ -723,6 +900,7 @@ fn run_epoch(
             total = total.add(&aux_b_loss(model, &ctx, &emb, &batch_aux).scale(cfg.beta_b));
         }
         let mut loss_val = total.value().scalar();
+        drop(fwd);
         if let Some(arm) = fault.as_deref_mut() {
             loss_val = arm.tamper_loss(abs_step, loss_val);
         }
@@ -750,7 +928,10 @@ fn run_epoch(
             }
         }
         drop(ctx);
-        adam.step(&mut model.store, &grads);
+        {
+            let _opt = mgbr_obs::span("optimizer.step", "train").arg("step", abs_step as u64);
+            adam.step(&mut model.store, &grads);
+        }
         if let Some(arm) = fault.as_deref_mut() {
             arm.tamper_params(abs_step, &mut model.store);
         }
@@ -764,6 +945,9 @@ fn run_epoch(
                     Some(idx),
                 ));
             }
+        }
+        if every > 0 && (step + 1) % every == 0 {
+            mgbr_obs::emit_metrics("step");
         }
     }
     Ok(((loss_sum / n_steps as f64) as f32, n_steps))
@@ -1068,7 +1252,11 @@ mod validation_tests {
             "patience 2 with impossible min_delta must stop by epoch 3, ran {}",
             history.len()
         );
-        assert!(history.iter().all(|m| (0.0..=1.0).contains(m)));
+        assert!(history.iter().all(|e| (0.0..=1.0).contains(&e.metric)));
+        assert!(
+            history.iter().all(|e| !e.replayed),
+            "fresh run must not tag entries as replayed"
+        );
     }
 
     #[test]

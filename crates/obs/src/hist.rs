@@ -1,0 +1,191 @@
+//! A fixed-size geometric histogram: O(1) zero-allocation recording with
+//! power-of-two buckets, generalized from the serving latency histogram
+//! so every crate shares one implementation.
+
+use mgbr_json::{Json, ToJson};
+
+/// Number of geometric buckets: bucket `i` holds samples with
+/// `floor(log2(v)) == i - 1` (bucket 0 holds `0..=1`), so the top bucket
+/// covers ≥ 2^38 — for microsecond samples that is ≈ 76 h, far beyond any
+/// latency this system measures.
+pub const BUCKETS: usize = 40;
+
+/// A fixed-size geometric histogram over `u64` samples (power-of-two
+/// buckets).
+///
+/// Percentiles are reported as the upper bound of the bucket containing
+/// the requested quantile, i.e. with ≤ 2× relative resolution — ample for
+/// p50/p95/p99 dashboards while keeping `record` an O(1) increment with
+/// zero allocation. The bucket math is bit-identical to the original
+/// serving `LatencyHistogram` (now a thin wrapper over this type).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeoHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for GeoHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GeoHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        // floor(log2(v)) + 1, clamped; 0 and 1 share bucket 0.
+        let idx = (64 - v.leading_zeros()) as usize;
+        idx.saturating_sub(1).min(BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`): the upper bound of the bucket
+    /// containing that sample, capped at the recorded maximum. Returns 0
+    /// when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i covers [2^i, 2^(i+1)) (bucket 0 → [0, 2)).
+                let upper = 1u64 << (i + 1).min(63);
+                return upper.min(self.max.max(1));
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &GeoHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Zeroes every bucket and counter.
+    pub fn clear(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl ToJson for GeoHistogram {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", self.count.to_json()),
+            ("mean", self.mean().to_json()),
+            ("p50", self.percentile(0.50).to_json()),
+            ("p95", self.percentile(0.95).to_json()),
+            ("p99", self.percentile(0.99).to_json()),
+            ("max", self.max.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let mut h = GeoHistogram::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        assert_eq!(h.count(), 100);
+        // p50 lands in the 10-sample bucket: upper bound 16.
+        assert!(h.percentile(0.50) <= 16, "{}", h.percentile(0.50));
+        assert!(h.percentile(0.95) >= 10_000);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - (90.0 * 10.0 + 10.0 * 10_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = GeoHistogram::new();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_is_additive_and_clear_resets() {
+        let mut a = GeoHistogram::new();
+        let mut b = GeoHistogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 500);
+        a.clear();
+        assert_eq!(a, GeoHistogram::new());
+    }
+
+    #[test]
+    fn extreme_samples_stay_in_range() {
+        let mut h = GeoHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        // u64::MAX lands in the top bucket, whose upper bound is 2^40.
+        assert_eq!(h.percentile(1.0), 1u64 << 40);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut h = GeoHistogram::new();
+        h.record(100);
+        let j = h.to_json();
+        assert_eq!(j.get("count").and_then(Json::as_usize), Some(1));
+        assert!(j.get("p99").is_some());
+    }
+}

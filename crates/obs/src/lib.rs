@@ -1,0 +1,46 @@
+//! # mgbr-obs
+//!
+//! The observability substrate for the MGBR reproduction: a structured
+//! span/event **flight recorder** ([`trace`]) and a process-wide
+//! **metrics registry** ([`registry`]) of counters, gauges, and geometric
+//! histograms ([`hist`]).
+//!
+//! ## Design rules
+//!
+//! * **Zero overhead when off.** Every entry point is gated on one
+//!   relaxed atomic load ([`enabled`]); with no session active, spans and
+//!   events allocate nothing and read no clock. `bench_obs` enforces a
+//!   <1% training-throughput budget for the disabled path.
+//! * **Read-only.** Instrumentation never draws RNG, never touches the
+//!   numbers it observes: a traced run is bitwise identical to an
+//!   untraced one at any thread count (enforced by `tests/obs_trace.rs`).
+//! * **std-only.** Like the rest of the workspace, no external
+//!   dependencies; JSON goes through `mgbr-json`.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use mgbr_obs as obs;
+//!
+//! let _session = obs::trace_to(
+//!     std::path::Path::new("/tmp/run.jsonl"),
+//!     obs::TraceFormat::Both,
+//! ).expect("create trace");
+//! {
+//!     let _span = obs::span("epoch", "train").arg("epoch", 0u64);
+//!     obs::metrics().counter("train.steps").inc();
+//! } // span records here
+//! obs::emit_metrics("epoch"); // journal a registry snapshot
+//! // dropping the session flushes JSONL + writes the Chrome export
+//! ```
+
+pub mod hist;
+pub mod registry;
+pub mod trace;
+
+pub use hist::GeoHistogram;
+pub use registry::{metrics, Counter, Gauge, Histogram, MetricsRegistry};
+pub use trace::{
+    chrome_path_for, emit_metrics, enabled, event, span, trace_to, Event, Span, TraceFormat,
+    TraceSession,
+};

@@ -1,0 +1,245 @@
+//! A process-wide metrics registry: named counters, gauges, and geometric
+//! histograms, created on first use and snapshot-able as JSON.
+//!
+//! Handles are cheap `Arc` clones over atomics, so hot paths can cache a
+//! handle once (e.g. in a `OnceLock`) and update it lock-free; the
+//! registry's own map locks are touched only at handle-creation and
+//! snapshot time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use mgbr_json::{Json, ToJson};
+
+use crate::hist::GeoHistogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A settable instantaneous value (e.g. queue depth, pool high-water).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water tracking).
+    #[inline]
+    pub fn raise_to(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared geometric histogram (see [`GeoHistogram`]).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<Mutex<GeoHistogram>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        lock(&self.0).record(v);
+    }
+
+    /// A copy of the current distribution.
+    pub fn snapshot(&self) -> GeoHistogram {
+        lock(&self.0).clone()
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Metric state stays structurally valid across a panicking holder.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A registry of named metrics. See [`metrics`] for the global instance.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<GeoHistogram>>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (tests; production code uses [`metrics`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.counters);
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.gauges);
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+        Gauge(Arc::clone(cell))
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = lock(&self.histograms);
+        let cell = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Mutex::new(GeoHistogram::new())));
+        Histogram(Arc::clone(cell))
+    }
+
+    /// Zeroes every registered metric, keeping existing handles valid
+    /// (benchmarks reset between measured sections).
+    pub fn reset(&self) {
+        for cell in lock(&self.counters).values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for cell in lock(&self.gauges).values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+        for cell in lock(&self.histograms).values() {
+            lock(cell).clear();
+        }
+    }
+
+    /// A point-in-time JSON snapshot of every registered metric.
+    pub fn snapshot(&self) -> Json {
+        let counters: Vec<(String, Json)> = lock(&self.counters)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed).to_json()))
+            .collect();
+        let gauges: Vec<(String, Json)> = lock(&self.gauges)
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(v.load(Ordering::Relaxed) as f64)))
+            .collect();
+        let histograms: Vec<(String, Json)> = lock(&self.histograms)
+            .iter()
+            .map(|(k, v)| (k.clone(), lock(v).to_json()))
+            .collect();
+        Json::Obj(vec![
+            ("counters".to_string(), Json::Obj(counters)),
+            ("gauges".to_string(), Json::Obj(gauges)),
+            ("histograms".to_string(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+/// The process-wide registry every instrumented crate publishes into.
+pub fn metrics() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x.calls");
+        let b = reg.counter("x.calls");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.counter("x.calls").get(), 4);
+    }
+
+    #[test]
+    fn gauges_set_add_and_raise() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("q.depth");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.raise_to(10);
+        g.raise_to(7); // lower: no effect
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histograms_record_through_handles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        h.record(100);
+        h.record(200);
+        assert_eq!(reg.histogram("lat").snapshot().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_json_and_reset_zeroes() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b").add(2);
+        reg.counter("a").add(1);
+        reg.gauge("g").set(-4);
+        reg.histogram("h").record(9);
+        let snap = reg.snapshot();
+        let counters = snap.get("counters").expect("counters");
+        match counters {
+            Json::Obj(pairs) => {
+                let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, ["a", "b"], "BTreeMap keeps keys sorted");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(
+            snap.get("gauges")
+                .and_then(|g| g.get("g"))
+                .and_then(Json::as_f64),
+            Some(-4.0)
+        );
+        reg.reset();
+        assert_eq!(reg.counter("a").get(), 0);
+        assert_eq!(reg.histogram("h").snapshot().count(), 0);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        metrics().counter("test.obs.singleton").add(1);
+        assert!(metrics().counter("test.obs.singleton").get() >= 1);
+    }
+}

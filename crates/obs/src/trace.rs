@@ -1,0 +1,462 @@
+//! The flight recorder: structured spans and events, written as
+//! append-only JSONL and/or a Chrome `chrome://tracing` trace.
+//!
+//! ## Zero overhead when off
+//!
+//! The entire recorder is gated on one relaxed [`AtomicBool`] load:
+//! [`span`]/[`event`] return an inert handle without allocating, taking a
+//! lock, or reading a clock when no [`TraceSession`] is active. Recording
+//! is strictly read-only with respect to the computation it observes — no
+//! RNG draws, no numeric work — so a traced run is bitwise identical to an
+//! untraced one.
+//!
+//! ## Record shape
+//!
+//! Each JSONL line is one object:
+//!
+//! ```json
+//! {"type":"span","name":"mtl.layer","cat":"model","ts_us":12,"dur_us":340,"tid":0,"args":{"layer":0}}
+//! {"type":"event","name":"checkpoint.save","cat":"train","ts_us":9001,"tid":0,"args":{"epoch":1}}
+//! ```
+//!
+//! The Chrome export holds the same records as complete (`"ph":"X"`) and
+//! instant (`"ph":"i"`) trace events, loadable in `chrome://tracing` or
+//! Perfetto.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use mgbr_json::{Json, ToJson};
+
+use crate::registry::metrics;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether a trace session is currently recording. One relaxed atomic
+/// load — this is the *only* cost instrumentation pays when tracing is
+/// off, so call sites may guard arbitrary bookkeeping behind it.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Which export(s) a [`TraceSession`] writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Append-only JSONL at the session path.
+    Jsonl,
+    /// Chrome trace-event JSON at `<path>.chrome.json`.
+    Chrome,
+    /// Both exports (the default).
+    Both,
+}
+
+impl TraceFormat {
+    /// Parses `jsonl` / `chrome` / `both` (case-insensitive); anything
+    /// else falls back to [`TraceFormat::Both`].
+    pub fn parse(s: &str) -> Self {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "jsonl" => TraceFormat::Jsonl,
+            "chrome" => TraceFormat::Chrome,
+            _ => TraceFormat::Both,
+        }
+    }
+
+    /// Reads `MGBR_TRACE_FORMAT` (default: [`TraceFormat::Both`]).
+    pub fn from_env() -> Self {
+        match std::env::var("MGBR_TRACE_FORMAT") {
+            Ok(v) => Self::parse(&v),
+            Err(_) => TraceFormat::Both,
+        }
+    }
+
+    fn wants_jsonl(self) -> bool {
+        matches!(self, TraceFormat::Jsonl | TraceFormat::Both)
+    }
+
+    fn wants_chrome(self) -> bool {
+        matches!(self, TraceFormat::Chrome | TraceFormat::Both)
+    }
+}
+
+/// The Chrome-export path for a JSONL trace path: `<path>.chrome.json`.
+pub fn chrome_path_for(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".chrome.json");
+    PathBuf::from(os)
+}
+
+struct Active {
+    start: Instant,
+    format: TraceFormat,
+    jsonl: Option<BufWriter<File>>,
+    chrome_path: PathBuf,
+    chrome: Vec<Json>,
+}
+
+impl Active {
+    fn record(&mut self, kind: &str, ph: &str, rec: RecordInner) {
+        let ts_us = rec
+            .t0
+            .saturating_duration_since(self.start)
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        if let Some(out) = self.jsonl.as_mut() {
+            let mut pairs = vec![
+                ("type".to_string(), Json::Str(kind.to_string())),
+                ("name".to_string(), Json::Str(rec.name.to_string())),
+                ("cat".to_string(), Json::Str(rec.cat.to_string())),
+                ("ts_us".to_string(), ts_us.to_json()),
+            ];
+            if let Some(d) = rec.dur_us {
+                pairs.push(("dur_us".to_string(), d.to_json()));
+            }
+            pairs.push(("tid".to_string(), rec.tid.to_json()));
+            if !rec.args.is_empty() {
+                pairs.push(("args".to_string(), Json::Obj(rec.args.clone())));
+            }
+            // Best-effort: a full disk must not take training down.
+            let _ = writeln!(out, "{}", Json::Obj(pairs).to_string_compact());
+        }
+        if self.format.wants_chrome() {
+            let mut pairs = vec![
+                ("name".to_string(), Json::Str(rec.name.to_string())),
+                ("cat".to_string(), Json::Str(rec.cat.to_string())),
+                ("ph".to_string(), Json::Str(ph.to_string())),
+                ("ts".to_string(), ts_us.to_json()),
+            ];
+            if let Some(d) = rec.dur_us {
+                pairs.push(("dur".to_string(), d.to_json()));
+            }
+            pairs.push(("pid".to_string(), 1u64.to_json()));
+            pairs.push(("tid".to_string(), rec.tid.to_json()));
+            if ph == "i" {
+                // Instant events need a scope; thread scope renders best.
+                pairs.push(("s".to_string(), Json::Str("t".to_string())));
+            }
+            if !rec.args.is_empty() {
+                pairs.push(("args".to_string(), Json::Obj(rec.args)));
+            }
+            self.chrome.push(Json::Obj(pairs));
+        }
+    }
+
+    fn finish(mut self) {
+        if let Some(mut out) = self.jsonl.take() {
+            let _ = out.flush();
+        }
+        if self.format.wants_chrome() {
+            let doc = Json::Obj(vec![
+                (
+                    "traceEvents".to_string(),
+                    Json::Arr(std::mem::take(&mut self.chrome)),
+                ),
+                ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+            ]);
+            let _ = std::fs::write(&self.chrome_path, doc.to_string_pretty() + "\n");
+        }
+    }
+}
+
+struct RecordInner {
+    name: &'static str,
+    cat: &'static str,
+    t0: Instant,
+    dur_us: Option<u64>,
+    tid: u64,
+    args: Vec<(String, Json)>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn active() -> &'static Mutex<Option<Active>> {
+    static ACTIVE: OnceLock<Mutex<Option<Active>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| Mutex::new(None))
+}
+
+fn session_slot() -> &'static Mutex<()> {
+    static SLOT: OnceLock<Mutex<()>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(()))
+}
+
+/// A small, stable per-thread id for trace records (assigned in first-use
+/// order, starting at 0).
+fn tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// An exclusive recording session. Dropping it flushes the JSONL stream,
+/// writes the Chrome export, and disables recording.
+///
+/// Sessions are process-exclusive: starting one while another is live
+/// blocks until the first ends (this serializes concurrently running
+/// traced tests instead of interleaving their records).
+pub struct TraceSession {
+    _slot: MutexGuard<'static, ()>,
+}
+
+/// Starts recording to `path` (and/or `<path>.chrome.json`, per
+/// `format`). See [`TraceSession`] for lifecycle and exclusivity.
+///
+/// # Errors
+///
+/// Fails if the JSONL file (or, for [`TraceFormat::Chrome`], a probe of
+/// the Chrome path) cannot be created.
+pub fn trace_to(path: &Path, format: TraceFormat) -> std::io::Result<TraceSession> {
+    let slot = lock(session_slot());
+    let chrome_path = chrome_path_for(path);
+    let jsonl = if format.wants_jsonl() {
+        Some(BufWriter::new(File::create(path)?))
+    } else {
+        // Chrome-only: fail now, not silently at drop time.
+        File::create(&chrome_path)?;
+        None
+    };
+    *lock(active()) = Some(Active {
+        start: Instant::now(),
+        format,
+        jsonl,
+        chrome_path,
+        chrome: Vec::new(),
+    });
+    ENABLED.store(true, Ordering::SeqCst);
+    Ok(TraceSession { _slot: slot })
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::SeqCst);
+        if let Some(a) = lock(active()).take() {
+            a.finish();
+        }
+    }
+}
+
+/// A duration measurement in flight; records a complete span on drop.
+/// Inert (no clock read, no allocation) when tracing is off.
+#[must_use = "a span records the duration until it is dropped"]
+pub struct Span(Option<RecordInner>);
+
+/// Opens a span named `name` in category `cat`. The span covers from this
+/// call until the returned handle drops.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    Span(Some(RecordInner {
+        name,
+        cat,
+        t0: Instant::now(),
+        dur_us: None,
+        tid: tid(),
+        args: Vec::new(),
+    }))
+}
+
+impl Span {
+    /// Attaches a key/value argument (no-op when tracing is off).
+    pub fn arg(mut self, key: &str, value: impl ToJson) -> Self {
+        if let Some(inner) = self.0.as_mut() {
+            inner.args.push((key.to_string(), value.to_json()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(mut inner) = self.0.take() else {
+            return;
+        };
+        inner.dur_us = Some(inner.t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        if let Some(a) = lock(active()).as_mut() {
+            a.record("span", "X", inner);
+        }
+    }
+}
+
+/// A point-in-time event being assembled; records on drop. Inert when
+/// tracing is off.
+#[must_use = "an event records when it is dropped"]
+pub struct Event(Option<RecordInner>);
+
+/// Opens an instant event named `name` in category `cat`.
+#[inline]
+pub fn event(name: &'static str, cat: &'static str) -> Event {
+    if !enabled() {
+        return Event(None);
+    }
+    Event(Some(RecordInner {
+        name,
+        cat,
+        t0: Instant::now(),
+        dur_us: None,
+        tid: tid(),
+        args: Vec::new(),
+    }))
+}
+
+impl Event {
+    /// Attaches a key/value argument (no-op when tracing is off).
+    pub fn arg(mut self, key: &str, value: impl ToJson) -> Self {
+        if let Some(inner) = self.0.as_mut() {
+            inner.args.push((key.to_string(), value.to_json()));
+        }
+        self
+    }
+}
+
+impl Drop for Event {
+    fn drop(&mut self) {
+        let Some(inner) = self.0.take() else {
+            return;
+        };
+        if let Some(a) = lock(active()).as_mut() {
+            a.record("event", "i", inner);
+        }
+    }
+}
+
+/// Journals a snapshot of the global [`metrics`] registry as one
+/// `"type":"metrics"` record tagged with `label`. No-op when tracing is
+/// off.
+pub fn emit_metrics(label: &str) {
+    if !enabled() {
+        return;
+    }
+    let snap = metrics().snapshot();
+    let inner = RecordInner {
+        name: "metrics",
+        cat: "metrics",
+        t0: Instant::now(),
+        dur_us: None,
+        tid: tid(),
+        args: vec![
+            ("label".to_string(), Json::Str(label.to_string())),
+            ("metrics".to_string(), snap),
+        ],
+    };
+    if let Some(a) = lock(active()).as_mut() {
+        a.record("metrics", "i", inner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mgbr_obs_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        // No session: spans/events must not record or allocate args.
+        let s = span("noop", "test").arg("k", 1u64);
+        drop(s);
+        let e = event("noop", "test").arg("k", 2u64);
+        drop(e);
+        emit_metrics("noop");
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn session_records_spans_events_and_metrics() {
+        let path = tmp("session.jsonl");
+        {
+            let _t = trace_to(&path, TraceFormat::Both).expect("create trace");
+            assert!(enabled());
+            {
+                let _s = span("work", "test").arg("layer", 3u64);
+                let _e = event("tick", "test").arg("step", 7u64);
+            }
+            metrics().counter("test.trace.calls").inc();
+            emit_metrics("unit");
+        }
+        assert!(!enabled());
+        let text = std::fs::read_to_string(&path).expect("jsonl written");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 3, "span + event + metrics, got {lines:?}");
+        let mut kinds = Vec::new();
+        for line in &lines {
+            let j = Json::parse(line).expect("every line parses");
+            kinds.push(j.get("type").and_then(Json::as_str).unwrap().to_string());
+            assert!(j.get("ts_us").is_some());
+            assert!(j.get("tid").is_some());
+        }
+        assert!(kinds.iter().any(|k| k == "span"));
+        assert!(kinds.iter().any(|k| k == "event"));
+        assert!(kinds.iter().any(|k| k == "metrics"));
+        let span_line = lines
+            .iter()
+            .find(|l| l.contains("\"work\""))
+            .expect("span line");
+        let j = Json::parse(span_line).unwrap();
+        assert!(j.get("dur_us").is_some(), "spans carry a duration");
+        assert_eq!(
+            j.get("args")
+                .and_then(|a| a.get("layer"))
+                .and_then(Json::as_usize),
+            Some(3)
+        );
+
+        let chrome = std::fs::read_to_string(chrome_path_for(&path)).expect("chrome export");
+        let doc = Json::parse(&chrome).expect("chrome export parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(events.len() >= 3);
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Json::as_str) == Some("X") && e.get("dur").is_some()
+        }));
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(Json::as_str) == Some("i")));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(chrome_path_for(&path));
+    }
+
+    #[test]
+    fn jsonl_only_format_skips_chrome_export() {
+        let path = tmp("jsonl_only.jsonl");
+        let chrome = chrome_path_for(&path);
+        let _ = std::fs::remove_file(&chrome);
+        {
+            let _t = trace_to(&path, TraceFormat::Jsonl).expect("create trace");
+            let _s = span("only", "test");
+        }
+        assert!(path.exists());
+        assert!(!chrome.exists(), "jsonl format must not write chrome file");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(TraceFormat::parse("jsonl"), TraceFormat::Jsonl);
+        assert_eq!(TraceFormat::parse("CHROME"), TraceFormat::Chrome);
+        assert_eq!(TraceFormat::parse("both"), TraceFormat::Both);
+        assert_eq!(TraceFormat::parse("garbage"), TraceFormat::Both);
+    }
+
+    #[test]
+    fn chrome_path_appends_suffix() {
+        assert_eq!(
+            chrome_path_for(Path::new("/tmp/t.jsonl")),
+            PathBuf::from("/tmp/t.jsonl.chrome.json")
+        );
+    }
+}

@@ -139,6 +139,9 @@ impl MicroBatcher {
             if st.queue.len() >= self.shared.cfg.queue_cap {
                 drop(st);
                 lock(&self.shared.metrics).shed += 1;
+                if mgbr_obs::enabled() {
+                    mgbr_obs::metrics().counter("serve.shed").inc();
+                }
                 return Err(ServeError::Overloaded {
                     capacity: self.shared.cfg.queue_cap,
                 });
@@ -148,6 +151,11 @@ impl MicroBatcher {
                 enqueued: Instant::now(),
                 reply,
             });
+            if mgbr_obs::enabled() {
+                mgbr_obs::metrics()
+                    .gauge("serve.queue_depth")
+                    .raise_to(st.queue.len() as i64);
+            }
             self.shared.wake.notify_one();
         }
         rx.recv().map_err(|_| ServeError::Canceled)?
@@ -205,7 +213,13 @@ fn collect_batch(shared: &Arc<Shared>) -> Vec<Pending> {
         }
     }
     let take = st.queue.len().min(shared.cfg.max_batch);
-    st.queue.drain(..take).collect()
+    let batch: Vec<Pending> = st.queue.drain(..take).collect();
+    if mgbr_obs::enabled() {
+        let reg = mgbr_obs::metrics();
+        reg.gauge("serve.queue_depth").set(st.queue.len() as i64);
+        reg.histogram("serve.batch_size").record(batch.len() as u64);
+    }
+    batch
 }
 
 /// Scores one coalesced batch and answers every request in it.
@@ -266,6 +280,11 @@ fn run_batch(shared: &Arc<Shared>, scorer: &Scorer, batch: Vec<Pending>) {
             metrics.requests += 1;
             let us = p.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
             metrics.latency.record_us(us);
+            if mgbr_obs::enabled() {
+                let reg = mgbr_obs::metrics();
+                reg.counter("serve.requests").inc();
+                reg.histogram("serve.latency_us").record(us);
+            }
         }
     }
 }

@@ -1,11 +1,12 @@
 //! Streaming serving metrics: latency percentiles + throughput counters.
+//!
+//! The histogram math lives in [`mgbr_obs::GeoHistogram`] (the serving
+//! histogram predates the observability crate and was generalized into
+//! it); [`LatencyHistogram`] is a thin microsecond-flavored wrapper that
+//! keeps the serving-facing API and JSON schema (`*_us` keys) unchanged.
 
 use mgbr_json::{Json, ToJson};
-
-/// Number of geometric buckets: bucket `i` holds samples with
-/// `floor(log2(us)) == i - 1` (bucket 0 holds `0..=1 µs`), so the top
-/// bucket covers ≥ 2^38 µs ≈ 76 h — far beyond any request latency.
-const BUCKETS: usize = 40;
+use mgbr_obs::GeoHistogram;
 
 /// A fixed-size geometric latency histogram (microsecond samples,
 /// power-of-two buckets).
@@ -14,105 +15,59 @@ const BUCKETS: usize = 40;
 /// the requested quantile, i.e. with ≤ 2× relative resolution — ample
 /// for p50/p95/p99 dashboards while keeping `record` an O(1) increment
 /// with zero allocation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: GeoHistogram,
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Self {
-            buckets: [0; BUCKETS],
-            count: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
-    }
-
-    fn bucket_of(us: u64) -> usize {
-        // floor(log2(us)) + 1, clamped; 0 and 1 µs share bucket 0.
-        let idx = (64 - us.leading_zeros()) as usize;
-        idx.saturating_sub(1).min(BUCKETS - 1)
+        Self::default()
     }
 
     /// Records one sample, in microseconds.
     pub fn record_us(&mut self, us: u64) {
-        self.buckets[Self::bucket_of(us)] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
+        self.inner.record(us);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count
+        self.inner.count()
     }
 
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.count as f64
-        }
+        self.inner.mean()
     }
 
     /// Largest recorded sample in microseconds.
     pub fn max_us(&self) -> u64 {
-        self.max_us
+        self.inner.max()
     }
 
     /// The `q`-quantile (`0.0..=1.0`) in microseconds: the upper bound
     /// of the bucket containing that sample, capped at the recorded
     /// maximum. Returns 0 when empty.
     pub fn percentile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Bucket i covers [2^i, 2^(i+1)) µs (bucket 0 → [0, 2)).
-                let upper = 1u64 << (i + 1).min(63);
-                return upper.min(self.max_us.max(1));
-            }
-        }
-        self.max_us
+        self.inner.percentile(q)
     }
 
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_us = self.sum_us.saturating_add(other.sum_us);
-        self.max_us = self.max_us.max(other.max_us);
+        self.inner.merge(&other.inner);
     }
 }
 
 impl ToJson for LatencyHistogram {
     fn to_json(&self) -> Json {
         Json::obj([
-            ("count", self.count.to_json()),
+            ("count", self.count().to_json()),
             ("mean_us", self.mean_us().to_json()),
             ("p50_us", self.percentile_us(0.50).to_json()),
             ("p95_us", self.percentile_us(0.95).to_json()),
             ("p99_us", self.percentile_us(0.99).to_json()),
-            ("max_us", self.max_us.to_json()),
+            ("max_us", self.max_us().to_json()),
         ])
     }
 }
@@ -210,5 +165,38 @@ mod tests {
         assert_eq!(j.get("requests").and_then(Json::as_usize), Some(8));
         assert_eq!(j.get("mean_batch").and_then(Json::as_f64), Some(4.0));
         assert!(j.get("latency").and_then(|l| l.get("p99_us")).is_some());
+    }
+
+    /// The wrapper must report bit-identical statistics to the shared
+    /// [`GeoHistogram`] it delegates to, for any sample stream — the
+    /// refactor moved the math without changing a single bucket bound.
+    #[test]
+    fn wrapper_is_bit_identical_to_geo_histogram() {
+        let mut wrapped = LatencyHistogram::new();
+        let mut direct = GeoHistogram::new();
+        // A stream crossing many buckets: zeros, bucket edges, big spikes.
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            let us = match i % 7 {
+                0 => 0,
+                1 => 1,
+                2 => x % 1_000,
+                3 => (1 << (i % 30)) - 1,
+                4 => 1 << (i % 30),
+                5 => 123_456_789,
+                _ => x % 50,
+            };
+            wrapped.record_us(us);
+            direct.record(us);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        assert_eq!(wrapped.count(), direct.count());
+        assert_eq!(wrapped.mean_us().to_bits(), direct.mean().to_bits());
+        assert_eq!(wrapped.max_us(), direct.max());
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(wrapped.percentile_us(q), direct.percentile(q), "q={q}");
+        }
     }
 }

@@ -68,6 +68,11 @@ pub fn affine_act_into(
     act: FusedAct,
     out: &mut Tensor,
 ) {
+    let _obs = crate::hooks::kernel_timer(
+        crate::hooks::KernelKind::AffineAct,
+        crate::hooks::gemm_flops(x.rows(), w.cols(), x.cols()),
+        crate::hooks::gemm_bytes(x.rows(), w.cols(), x.cols()),
+    );
     matmul_into(x, w, out, 0.0);
     let n = out.cols();
     if let Some(b) = bias {

@@ -29,6 +29,7 @@
 //! convention) rather than returning `Result`. Constructors that consume
 //! external data ([`Tensor::from_vec`]) return [`ShapeError`] instead.
 
+pub mod hooks;
 mod infer;
 mod matmul;
 mod ops;

@@ -18,6 +18,7 @@
 //! `MGBR_THREADS` setting. Small products run inline to avoid spawn
 //! overhead.
 
+use crate::hooks::{gemm_bytes, gemm_flops, kernel_timer, KernelKind};
 use crate::threads::for_row_bands;
 use crate::Tensor;
 
@@ -52,6 +53,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor, beta: f32) {
         "matmul: output shape {} != [{m}x{n}]",
         c.shape()
     );
+    let _obs = kernel_timer(KernelKind::Matmul, gemm_flops(m, n, k), gemm_bytes(m, n, k));
     if beta == 0.0 {
         c.fill(0.0);
     } else if beta != 1.0 {
@@ -122,6 +124,11 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor, beta: f32) {
         c.rows() == m && c.cols() == n,
         "matmul_nt: output shape {} != [{m}x{n}]",
         c.shape()
+    );
+    let _obs = kernel_timer(
+        KernelKind::MatmulNt,
+        gemm_flops(m, n, k),
+        gemm_bytes(m, n, k),
     );
     if beta == 0.0 {
         c.fill(0.0);
@@ -195,6 +202,11 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor, beta: f32) {
         c.rows() == m && c.cols() == n,
         "matmul_tn: output shape {} != [{m}x{n}]",
         c.shape()
+    );
+    let _obs = kernel_timer(
+        KernelKind::MatmulTn,
+        gemm_flops(m, n, k),
+        gemm_bytes(m, n, k),
     );
     if beta == 0.0 {
         c.fill(0.0);

@@ -12,7 +12,7 @@
 //! it lives on the training thread; parallel kernels only ever *fill*
 //! buffers that were drawn before the fork.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use crate::Tensor;
@@ -26,6 +26,11 @@ pub struct PoolStats {
     pub misses: usize,
     /// Buffers currently parked in the pool.
     pub pooled: usize,
+    /// Floats currently drawn from the pool and not yet recycled.
+    pub live_floats: usize,
+    /// High-water mark of `live_floats` over the workspace's lifetime —
+    /// the peak working-set the pool has had to back.
+    pub hwm_floats: usize,
 }
 
 /// A recycled `Vec<f32>` pool keyed by buffer length.
@@ -34,6 +39,8 @@ pub struct Workspace {
     pools: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
     hits: RefCell<usize>,
     misses: RefCell<usize>,
+    live: Cell<usize>,
+    hwm: Cell<usize>,
 }
 
 impl Workspace {
@@ -44,6 +51,8 @@ impl Workspace {
 
     /// Draws a zero-filled buffer of exactly `len` floats.
     pub fn take(&self, len: usize) -> Vec<f32> {
+        self.live.set(self.live.get() + len);
+        self.hwm.set(self.hwm.get().max(self.live.get()));
         let recycled = self.pools.borrow_mut().get_mut(&len).and_then(Vec::pop);
         match recycled {
             Some(mut v) => {
@@ -70,6 +79,7 @@ impl Workspace {
         if v.capacity() == 0 {
             return;
         }
+        self.live.set(self.live.get().saturating_sub(v.capacity()));
         self.pools
             .borrow_mut()
             .entry(v.capacity())
@@ -88,6 +98,8 @@ impl Workspace {
             hits: *self.hits.borrow(),
             misses: *self.misses.borrow(),
             pooled: self.pools.borrow().values().map(Vec::len).sum(),
+            live_floats: self.live.get(),
+            hwm_floats: self.hwm.get(),
         }
     }
 
@@ -115,6 +127,21 @@ mod tests {
         );
         let s = ws.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn high_water_mark_tracks_peak_outstanding_floats() {
+        let ws = Workspace::new();
+        let a = ws.take(64);
+        let b = ws.take(32); // peak: 96 live
+        ws.recycle(a);
+        ws.recycle(b);
+        let c = ws.take(16);
+        let s = ws.stats();
+        assert_eq!(s.live_floats, 16);
+        assert_eq!(s.hwm_floats, 96, "hwm holds the peak, not the current");
+        ws.recycle(c);
+        assert_eq!(ws.stats().live_floats, 0);
     }
 
     #[test]

@@ -231,6 +231,8 @@ impl Tensor {
     #[track_caller]
     pub fn gather_rows(&self, indices: &[usize]) -> Self {
         let cols = self.cols();
+        let moved = 2 * (indices.len() * cols) as u64 * 4;
+        let _obs = crate::hooks::kernel_timer(crate::hooks::KernelKind::Gather, 0, moved);
         let mut out = Self::zeros(indices.len(), cols);
         for (k, &idx) in indices.iter().enumerate() {
             assert!(

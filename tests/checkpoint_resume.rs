@@ -175,7 +175,17 @@ fn validation_training_resumes_with_history() {
         train_with_validation(&mut resumed, &ds, &split, &tc_resume, 50, 0.0).unwrap();
 
     assert_eq!(report.epoch_losses.len(), 2, "only epochs 2..4 re-run");
-    assert_eq!(want_history, history, "full history must match bitwise");
+    let metrics = |h: &[mgbr_core::ValEntry]| h.iter().map(|e| e.metric).collect::<Vec<_>>();
+    assert_eq!(
+        metrics(&want_history),
+        metrics(&history),
+        "full metric curve must match bitwise"
+    );
+    // Provenance: the uninterrupted run evaluated everything itself; the
+    // resumed run replayed epochs 0..2 from the checkpoint.
+    assert!(want_history.iter().all(|e| !e.replayed));
+    let replayed: Vec<bool> = history.iter().map(|e| e.replayed).collect();
+    assert_eq!(replayed, vec![true, true, false, false]);
     assert_eq!(params_of(&reference), params_of(&resumed));
     let _ = std::fs::remove_dir_all(&dir);
 }

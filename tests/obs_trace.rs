@@ -1,0 +1,262 @@
+//! Flight-recorder integration suite.
+//!
+//! Proves the observability layer's headline guarantees end to end:
+//!
+//! 1. **Read-only** — a traced training run produces bitwise-identical
+//!    losses and final parameters to an untraced one, at any thread
+//!    count.
+//! 2. **Complete** — a traced run journals the whole span taxonomy:
+//!    multiview forward, every MTL layer, loss forward, backward,
+//!    optimizer step, checkpoint saves, and watchdog anomalies — as
+//!    parseable JSONL plus a well-formed Chrome trace.
+//! 3. **Provenance** — on resume, replayed validation metrics are tagged
+//!    `replayed` both in the returned history and in the journal.
+//!
+//! Tracing is process-global (one active session at a time, serialized
+//! by `mgbr-obs`), so tests in this binary that inspect journal contents
+//! assert *inclusion* — a concurrently running traced test's events may
+//! interleave — never exact file equality.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use mgbr_core::{train, train_with_validation, Mgbr, MgbrConfig, TrainConfig};
+use mgbr_data::{split_dataset, synthetic, DataSplit, Dataset, SyntheticConfig};
+use mgbr_json::Json;
+use mgbr_nn::NumericFault;
+
+fn fixture() -> (Dataset, DataSplit) {
+    let ds = synthetic::generate(&SyntheticConfig::tiny());
+    let split = split_dataset(&ds, (7.0, 3.0, 1.0), 11);
+    (ds, split)
+}
+
+fn params_of(model: &Mgbr) -> Vec<u32> {
+    model
+        .store
+        .iter()
+        .flat_map(|(_, _, t)| t.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        .collect()
+}
+
+/// A unique scratch dir per test so parallel tests never collide.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mgbr_obs_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Parses every JSONL line of a journal (panicking on malformed lines).
+fn read_journal(path: &Path) -> Vec<Json> {
+    let text = std::fs::read_to_string(path).expect("read journal");
+    text.lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line {l:?}: {e}")))
+        .collect()
+}
+
+#[test]
+fn tracing_is_bitwise_invisible_at_any_thread_count() {
+    if std::env::var("MGBR_THREADS").is_ok() {
+        return;
+    }
+    let (ds, split) = fixture();
+    let dir = scratch("invisible");
+    let run = |trace_path: Option<PathBuf>, threads: usize| {
+        let tc = TrainConfig {
+            epochs: 2,
+            threads,
+            trace_path,
+            ..TrainConfig::tiny()
+        };
+        let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
+        let report = train(&mut model, &ds, &split, &tc).unwrap();
+        (report.epoch_losses, params_of(&model))
+    };
+    for threads in [1usize, 2, 4] {
+        let (l_off, p_off) = run(None, threads);
+        let (l_on, p_on) = run(Some(dir.join(format!("t{threads}.jsonl"))), threads);
+        assert_eq!(
+            l_off, l_on,
+            "losses diverged under tracing at {threads} threads"
+        );
+        assert_eq!(
+            p_off, p_on,
+            "params diverged under tracing at {threads} threads"
+        );
+    }
+    mgbr_tensor::set_threads(1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn traced_run_covers_the_span_taxonomy() {
+    let (ds, split) = fixture();
+    let dir = scratch("taxonomy");
+    let trace = dir.join("train.jsonl");
+    let cfg = MgbrConfig::tiny();
+    let tc = TrainConfig {
+        epochs: 2,
+        trace_path: Some(trace.clone()),
+        // A poisoned parameter at step 1 provokes one watchdog
+        // rollback, so anomaly + recovery events appear too.
+        numeric_fault: Some(NumericFault::poison_param(1, 0, 0, f32::NAN)),
+        ..TrainConfig::tiny().with_checkpointing(dir.join("obs.ckpt"), 1)
+    };
+    let mut model = Mgbr::new(cfg.clone(), &ds);
+    let report = train(&mut model, &ds, &split, &tc).unwrap();
+    assert_eq!(report.recoveries, 1, "fault must have fired");
+
+    let records = read_journal(&trace);
+    assert!(!records.is_empty());
+    let mut names = BTreeSet::new();
+    let mut mtl_layers = BTreeSet::new();
+    for r in &records {
+        // Every record carries the common schema fields.
+        assert!(r.get("type").and_then(Json::as_str).is_some(), "{r:?}");
+        assert!(r.get("ts_us").and_then(Json::as_f64).is_some(), "{r:?}");
+        let name = r.get("name").and_then(Json::as_str).unwrap().to_string();
+        if name == "mtl.layer" {
+            let li = r
+                .get("args")
+                .and_then(|a| a.get("layer"))
+                .and_then(Json::as_usize)
+                .expect("mtl.layer carries its index");
+            mtl_layers.insert(li);
+        }
+        names.insert(name);
+    }
+    for required in [
+        "train.start",
+        "epoch",
+        "step",
+        "multiview.forward",
+        "mtl.layer",
+        "loss.forward",
+        "backward",
+        "optimizer.step",
+        "epoch.summary",
+        "checkpoint.save",
+        "watchdog.anomaly",
+        "watchdog.recover",
+        "metrics",
+    ] {
+        assert!(
+            names.contains(required),
+            "journal missing {required:?}: {names:?}"
+        );
+    }
+    assert_eq!(
+        mtl_layers,
+        (0..cfg.mtl_layers).collect::<BTreeSet<_>>(),
+        "every MTL layer must be journaled"
+    );
+
+    // The Chrome export is a well-formed trace-event document.
+    let chrome = mgbr_obs::chrome_path_for(&trace);
+    let doc = Json::parse(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("phase");
+        assert!(e.get("name").and_then(Json::as_str).is_some());
+        assert!(e.get("ts").and_then(Json::as_f64).is_some());
+        match ph {
+            "X" => assert!(e.get("dur").and_then(Json::as_f64).is_some()),
+            "i" => assert_eq!(e.get("s").and_then(Json::as_str), Some("t")),
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The journal records the watchdog anomaly exactly as the report does:
+/// kind, step, and epoch round-trip, and the anomaly precedes its
+/// recovery event.
+#[test]
+fn anomaly_report_round_trips_through_journal() {
+    let (ds, split) = fixture();
+    let dir = scratch("roundtrip");
+    let trace = dir.join("anomaly.jsonl");
+    let tc = TrainConfig {
+        epochs: 2,
+        trace_path: Some(trace.clone()),
+        numeric_fault: Some(NumericFault::poison_gradient(2, 0, 0, f32::NAN)),
+        ..TrainConfig::tiny()
+    };
+    let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
+    let report = train(&mut model, &ds, &split, &tc).unwrap();
+    assert_eq!(report.anomalies.len(), 1);
+    let want = &report.anomalies[0];
+
+    let records = read_journal(&trace);
+    let anomaly_at = records
+        .iter()
+        .position(|r| {
+            r.get("name").and_then(Json::as_str) == Some("watchdog.anomaly")
+                && r.get("args")
+                    .and_then(|a| a.get("step"))
+                    .and_then(Json::as_usize)
+                    == Some(want.step)
+        })
+        .expect("anomaly journaled");
+    let args = records[anomaly_at].get("args").unwrap();
+    assert_eq!(
+        args.get("kind").and_then(Json::as_str),
+        Some(want.kind.to_string().as_str())
+    );
+    assert_eq!(args.get("epoch").and_then(Json::as_usize), Some(want.epoch));
+    assert_eq!(
+        args.get("tensor").and_then(Json::as_str),
+        want.tensor.as_deref()
+    );
+    let recover_at = records
+        .iter()
+        .position(|r| r.get("name").and_then(Json::as_str) == Some("watchdog.recover"))
+        .expect("recovery journaled");
+    assert!(anomaly_at < recover_at, "anomaly must precede its recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_tags_replayed_validation_metrics_in_history_and_journal() {
+    let (ds, split) = fixture();
+    let dir = scratch("replayed");
+    let ckpt = dir.join("val.ckpt");
+    let trace = dir.join("resume.jsonl");
+
+    let tc_killed = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::tiny().with_checkpointing(&ckpt, 1)
+    };
+    let mut victim = Mgbr::new(MgbrConfig::tiny(), &ds);
+    train_with_validation(&mut victim, &ds, &split, &tc_killed, 50, 0.0).unwrap();
+
+    let tc_resume = TrainConfig {
+        epochs: 4,
+        trace_path: Some(trace.clone()),
+        ..TrainConfig::tiny().with_checkpointing(&ckpt, 1)
+    };
+    let mut resumed = Mgbr::new(MgbrConfig::tiny(), &ds);
+    let (_, history) =
+        train_with_validation(&mut resumed, &ds, &split, &tc_resume, 50, 0.0).unwrap();
+    let flags: Vec<(usize, bool)> = history.iter().map(|e| (e.epoch, e.replayed)).collect();
+    assert_eq!(flags, vec![(0, true), (1, true), (2, false), (3, false)]);
+
+    // The journal carries the same provenance on its val.metric events.
+    let journaled: Vec<(usize, bool)> = read_journal(&trace)
+        .iter()
+        .filter(|r| r.get("name").and_then(Json::as_str) == Some("val.metric"))
+        .map(|r| {
+            let a = r.get("args").unwrap();
+            (
+                a.get("epoch").and_then(Json::as_usize).unwrap(),
+                a.get("replayed").and_then(Json::as_bool).unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(flags, journaled, "journal provenance must match history");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -242,3 +242,65 @@ fn recovered_run_checkpoints_remain_usable() {
     assert_eq!(params_of(&model.store), params_of(&fresh.store));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Property 4: for a NaN injected at step `k`, the anomaly report
+/// round-trips through the flight-recorder journal — kind, step, epoch,
+/// and recovery count match the in-memory report, and the anomaly event
+/// precedes its recovery event. (Events from concurrently-running traced
+/// tests may interleave, so the check is subsequence inclusion, not file
+/// equality.)
+#[test]
+fn anomaly_events_round_trip_through_journal_in_order() {
+    let (ds, split) = fixture();
+    let dir = scratch("journal");
+    let base = TrainConfig::tiny();
+    let per_epoch = steps_per_epoch(&ds, &split, &base);
+    for k in [0usize, 1, per_epoch, per_epoch + 1] {
+        let trace = dir.join(format!("k{k}.jsonl"));
+        let tc = TrainConfig {
+            epochs: 2,
+            trace_path: Some(trace.clone()),
+            numeric_fault: Some(NumericFault::poison_gradient(k, 0, 0, f32::NAN)),
+            ..base.clone()
+        };
+        let mut model = Mgbr::new(MgbrConfig::tiny(), &ds);
+        let report = train(&mut model, &ds, &split, &tc)
+            .unwrap_or_else(|e| panic!("fault at step {k} did not recover: {e}"));
+        assert_eq!(report.anomalies.len(), 1, "fault at step {k}");
+        let want = &report.anomalies[0];
+
+        let records: Vec<mgbr_json::Json> = std::fs::read_to_string(&trace)
+            .unwrap()
+            .lines()
+            .map(|l| mgbr_json::Json::parse(l).expect("journal line parses"))
+            .collect();
+        let anomaly_at = records
+            .iter()
+            .position(|r| {
+                r.get("name").and_then(mgbr_json::Json::as_str) == Some("watchdog.anomaly")
+                    && r.get("args")
+                        .and_then(|a| a.get("step"))
+                        .and_then(mgbr_json::Json::as_usize)
+                        == Some(want.step)
+            })
+            .unwrap_or_else(|| panic!("anomaly at step {k} missing from journal"));
+        let args = records[anomaly_at].get("args").unwrap();
+        assert_eq!(
+            args.get("kind").and_then(mgbr_json::Json::as_str),
+            Some(want.kind.to_string().as_str()),
+            "fault at step {k}"
+        );
+        assert_eq!(
+            args.get("epoch").and_then(mgbr_json::Json::as_usize),
+            Some(want.epoch),
+            "fault at step {k}"
+        );
+        assert!(
+            records[anomaly_at + 1..].iter().any(|r| {
+                r.get("name").and_then(mgbr_json::Json::as_str) == Some("watchdog.recover")
+            }),
+            "recovery event must follow the anomaly for step {k}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
