@@ -43,6 +43,22 @@ echo "=== observability / flight-recorder suite ==="
 # explicitly so a dropped [[test]] entry fails CI.
 cargo test -q -p mgbr-bench --test obs_trace
 
+echo "=== plan round-trip / v1-compatibility suite ==="
+# Plan serialization must round-trip bit-identically, fail closed on
+# corruption, and keep loading MGBRFRZN v1 fixtures; run explicitly so
+# a dropped [[test]] entry fails CI.
+cargo test -q -p mgbr-bench --test plan_roundtrip
+
+echo "=== frozen scorer runs the shared plan, not a hand replay ==="
+# The whole point of the execution-plan IR is one forward shared by the
+# trainer and the frozen scorer. A hand-replayed forward regrowing in
+# freeze.rs would silently fork the two paths again.
+if grep -nE 'matmul_into|affine_act_into|mix_col_blocks_into|spmm_into|task_gate|mtl_forward|mlp_forward' \
+    crates/core/src/freeze.rs; then
+  echo "ci.sh: FAILED — freeze.rs must execute the stored plan via mgbr-plan, not hand-replay the forward" >&2
+  exit 1
+fi
+
 echo "=== serving smoke: freeze -> serve -> parity + artifact ==="
 # End-to-end: train briefly, freeze to disk, reload, serve a synthetic
 # request stream. bench_serve exits non-zero on any frozen-vs-training

@@ -44,6 +44,7 @@ struct ServeBench {
     parity_ok: bool,
     parity_thread_counts: Vec<usize>,
     artifact_bytes: usize,
+    plan: Json,
     cells: Vec<Cell>,
     batcher: mgbr_serve::ServeMetrics,
     batcher_qps: f64,
@@ -66,6 +67,7 @@ impl ToJson for ServeBench {
                 ),
             ),
             ("artifact_bytes", self.artifact_bytes.to_json()),
+            ("plan", self.plan.clone()),
             (
                 "cells",
                 Json::Arr(self.cells.iter().map(ToJson::to_json).collect()),
@@ -186,6 +188,38 @@ fn main() {
         loaded.variant()
     );
 
+    // Serving-plan footprint: how much the affine-fusion pass shrinks
+    // the per-request op list (scores are bit-identical either way —
+    // enforced by tests/serving_parity.rs).
+    let mut unfused = (*loaded).clone();
+    unfused.set_fused(false);
+    let plan_stats = Json::obj([
+        ("stored_ops", loaded.plan().ops.len().to_json()),
+        (
+            "serve_a_ops_fused",
+            loaded.serve_plan_a().ops.len().to_json(),
+        ),
+        (
+            "serve_a_ops_unfused",
+            unfused.serve_plan_a().ops.len().to_json(),
+        ),
+        (
+            "serve_b_ops_fused",
+            loaded.serve_plan_b().ops.len().to_json(),
+        ),
+        (
+            "serve_b_ops_unfused",
+            unfused.serve_plan_b().ops.len().to_json(),
+        ),
+    ]);
+    println!(
+        "serving plans: task A {} -> {} ops, task B {} -> {} ops after fusion",
+        unfused.serve_plan_a().ops.len(),
+        loaded.serve_plan_a().ops.len(),
+        unfused.serve_plan_b().ops.len(),
+        loaded.serve_plan_b().ops.len(),
+    );
+
     // Golden invariant: frozen path == training path, at 1/2/4 threads.
     let parity_thread_counts = vec![1usize, 2, 4];
     let parity_ok = check_parity(&model, &loaded, &parity_thread_counts);
@@ -281,6 +315,7 @@ fn main() {
             parity_ok,
             parity_thread_counts,
             artifact_bytes,
+            plan: plan_stats,
             cells,
             batcher: metrics,
             batcher_qps,

@@ -4,41 +4,42 @@
 //! [`Mgbr::freeze`] runs the three GCN views once and materializes the
 //! final per-object representations (initiator, item and participant
 //! embeddings, plus the precomputed Eq. 16 mean-participant row) next to
-//! the MTL gate-stack and prediction-MLP weights. The resulting
-//! [`FrozenModel`] scores requests with `mgbr-tensor`'s inference
-//! kernels on a caller-provided [`Workspace`] — no autograd tape, no
-//! parameter store, `Send + Sync`.
+//! the model's **execution plan** — the very `mgbr_plan::Plan` the
+//! trainer executes on the autograd tape — and the flat parameter list
+//! backing its slots. Scoring runs that plan through the shared
+//! interpreter on `mgbr-plan`'s pooled tensor backend with a
+//! caller-provided [`Workspace`] — no autograd tape, no parameter
+//! store, no hand-maintained replay of the forward, `Send + Sync`.
 //!
-//! **Parity guarantee.** Every frozen forward replays the exact
-//! floating-point operation sequence the training-path
-//! [`Mgbr::scorer`] performs: the same GEMM kernel, the same
-//! `mix_experts` accumulation order (k-ascending over [own ‖ shared]
-//! banks), the same gate-term addition order (ui, ip, up), and the same
-//! stable sigmoid/softmax formulas. Scores are therefore **bitwise
-//! identical** to the training path at any `MGBR_THREADS` setting —
-//! enforced by this module's tests and the `serving_parity` golden
-//! suite. Because the whole scoring pipeline is row-local (no op mixes
-//! information across batch rows), scoring requests one-by-one, in
-//! chunks, or micro-batched yields identical bits per request.
+//! **Parity guarantee.** Trainer and scorer execute the *same* op list
+//! through the *same* interpreter; each interpreter backend realizes
+//! each op with the same per-element arithmetic (same GEMM kernel, same
+//! k-ascending expert mixing, same stable sigmoid/softmax formulas).
+//! Scores are therefore **bitwise identical** to the training path at
+//! any `MGBR_THREADS` setting — enforced by this module's tests and the
+//! `serving_parity` golden suite. Because the whole scoring pipeline is
+//! row-local (no op mixes information across batch rows), scoring
+//! requests one-by-one, in chunks, or micro-batched yields identical
+//! bits per request.
 //!
-//! ## Artifact format v1 (little-endian)
+//! **Serving-plan optimization.** At construction the two single-head
+//! serving plans are derived from the stored plan: dead-slot pruning
+//! drops the other head's ops, and (by default) the affine-fusion pass
+//! folds `gemm → bias → activation` chains into single fused ops. Both
+//! passes are bit-neutral — see [`FrozenModel::set_fused`] and the
+//! fusion tests.
+//!
+//! ## Artifact format v2 (little-endian)
 //!
 //! ```text
 //! magic   "MGBRFRZN"          8 bytes
-//! version u32                 (1)
+//! version u32                 (2)
 //! d u32, k u32                MTL width / experts per bank
-//! alpha_a f32, alpha_b f32    adjusted-gate blend weights
-//! gate_softmax u8, has_shared u8
 //! variant_len u32, bytes      ablation label (UTF-8)
 //! n_users u64, n_items u64
 //! users / items / participants / mean_participant   shaped tensors
-//! n_layers u32; per layer:
-//!   dedup u8
-//!   experts_a, experts_b, [experts_s]   shaped tensors (u8 presence)
-//!   gate_a, gate_b, [gate_s]
-//!   adj_a?, adj_b?: u8 presence, then 3 × (u8 presence + tensor)
-//! mlp_a, mlp_b: hidden/output act (u8 tag + f32 param),
-//!   n_layers u32, per layer: w tensor, u8 bias presence + bias tensor
+//! plan                        embedded execution plan (mgbr-plan encoding)
+//! n_params u32; per param:    shaped tensor (canonical parameter order)
 //! crc32 u32                   IEEE CRC-32 over every preceding byte
 //! ```
 //!
@@ -46,79 +47,34 @@
 //! [`FrozenModel::save_atomic`] (tmp + fsync + rename, like checkpoint
 //! v2); loads parse and CRC-verify the whole artifact before returning,
 //! so truncated or bit-flipped files fail closed with a typed
-//! [`CheckpointError`].
+//! [`CheckpointError`]. Version-1 artifacts (per-module weight fields
+//! instead of an embedded plan) still load: the legacy fields are parsed,
+//! their structure is lowered to a plan spec, and the weights are
+//! flattened into the canonical parameter order — yielding bit-identical
+//! scores to the v1 replay.
 
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-use mgbr_nn::{Activation, CheckpointError, CrcReader, CrcWriter, Mlp, ParamId, StepCtx};
-use mgbr_tensor::{affine_act_into, matmul_into, mix_col_blocks_into, FusedAct, Tensor, Workspace};
+use mgbr_nn::{CheckpointError, CrcReader, CrcWriter, StepCtx};
+use mgbr_plan::{
+    build_score_plan, execute, ActKind, Bindings, LayerSpec, MlpSpec, MtlSpec, Plan, ScoreSpec,
+    ShapeEnv, TensorBackend,
+};
+use mgbr_tensor::{Tensor, Workspace};
 
 use crate::model::Mgbr;
 
 const FROZEN_MAGIC: &[u8; 8] = b"MGBRFRZN";
-const FROZEN_VERSION: u32 = 1;
+const FROZEN_VERSION: u32 = 2;
 
 /// Largest tensor side / element count accepted by the loader before
 /// CRC verification (guards against allocating garbage sizes from a
 /// corrupt header).
 const MAX_DIM: u32 = 1 << 24;
 const MAX_ELEMS: u64 = 1 << 28;
-
-/// One affine layer of a frozen prediction MLP.
-#[derive(Debug, Clone)]
-pub struct FrozenAffine {
-    /// Weight matrix (`in × out`).
-    pub w: Tensor,
-    /// Optional bias row (`1 × out`).
-    pub b: Option<Tensor>,
-}
-
-/// A frozen prediction MLP (weights plus activation schedule).
-#[derive(Debug, Clone)]
-pub struct FrozenMlp {
-    /// Affine layers, first to last.
-    pub layers: Vec<FrozenAffine>,
-    /// Activation after every non-final layer.
-    pub hidden: Activation,
-    /// Activation after the final layer.
-    pub output: Activation,
-}
-
-/// Frozen pair-projection weights of one adjusted gated unit.
-#[derive(Debug, Clone, Default)]
-pub struct FrozenAdjusted {
-    /// `e_u‖e_i` projection (`4d × K`), when present.
-    pub ui: Option<Tensor>,
-    /// `e_i‖e_p` projection.
-    pub ip: Option<Tensor>,
-    /// `e_u‖e_p` projection.
-    pub up: Option<Tensor>,
-}
-
-/// One frozen MTL layer: fused expert banks plus gate weights.
-#[derive(Debug, Clone)]
-pub struct FrozenMtlLayer {
-    /// Task A expert bank (`in × K·d`, experts as column blocks).
-    pub experts_a: Tensor,
-    /// Task B expert bank.
-    pub experts_b: Tensor,
-    /// Shared expert bank (absent in MGBR-M).
-    pub experts_s: Option<Tensor>,
-    /// Generic gate A weights (`in × K` or `in × 2K` with shared bank).
-    pub gate_a: Tensor,
-    /// Generic gate B weights.
-    pub gate_b: Tensor,
-    /// Gate S weights (`in_s × 3K`; absent on the final layer).
-    pub gate_s: Option<Tensor>,
-    /// Adjusted gated unit for gate A (absent in MGBR-G).
-    pub adj_a: Option<FrozenAdjusted>,
-    /// Adjusted gated unit for gate B.
-    pub adj_b: Option<FrozenAdjusted>,
-    /// First-layer dedup: feed gate states straight through instead of
-    /// concatenating identical copies.
-    pub dedup_inputs: bool,
-}
+/// Parameter-count cap for v2 loads (64 MTL layers can't exceed this).
+const MAX_PARAMS: u32 = 1 << 16;
 
 /// An immutable, tape-free snapshot of a trained MGBR.
 ///
@@ -129,10 +85,6 @@ pub struct FrozenMtlLayer {
 pub struct FrozenModel {
     d: usize,
     k: usize,
-    alpha_a: f32,
-    alpha_b: f32,
-    gate_softmax: bool,
-    has_shared: bool,
     variant: String,
     n_users: usize,
     n_items: usize,
@@ -140,15 +92,22 @@ pub struct FrozenModel {
     items: Tensor,
     participants: Tensor,
     mean_participant: Tensor,
-    layers: Vec<FrozenMtlLayer>,
-    mlp_a: FrozenMlp,
-    mlp_b: FrozenMlp,
+    /// The full scoring plan (inputs `[e_u, e_i, e_p]`, outputs
+    /// `[logit_a, logit_b]`) — what gets serialized.
+    plan: Plan,
+    /// Parameters backing `plan`'s slots, in canonical order.
+    params: Vec<Tensor>,
+    /// `plan` pruned to the Task-A head (optionally affine-fused).
+    plan_a: Plan,
+    /// `plan` pruned to the Task-B head (optionally affine-fused).
+    plan_b: Plan,
+    fused: bool,
 }
 
 impl Mgbr {
     /// Freezes the current parameters into a serving artifact: runs the
-    /// embedding module once over the full graphs and snapshots the MTL
-    /// and prediction-head weights.
+    /// embedding module once over the full graphs and snapshots the
+    /// scoring plan together with the weights backing it.
     pub fn freeze(&self) -> FrozenModel {
         let ctx = StepCtx::new(&self.store);
         let emb = self.embeddings(&ctx);
@@ -156,94 +115,31 @@ impl Mgbr {
         let items = emb.items.value();
         let participants = emb.participants.value();
         let mean_participant = participants.mean_rows();
-
-        let get = |id: ParamId| self.store.get(id).clone();
-        let freeze_adj = |adj: &crate::mtl::AdjustedGate| FrozenAdjusted {
-            ui: adj.ui.as_ref().map(|l| get(l.w)),
-            ip: adj.ip.as_ref().map(|l| get(l.w)),
-            up: adj.up.as_ref().map(|l| get(l.w)),
-        };
-        let layers = self
-            .mtl
-            .layers
+        let params = self
+            .score_param_ids
             .iter()
-            .map(|l| FrozenMtlLayer {
-                experts_a: get(l.experts_a.w),
-                experts_b: get(l.experts_b.w),
-                experts_s: l.experts_s.as_ref().map(|b| get(b.w)),
-                gate_a: get(l.gate_a.w),
-                gate_b: get(l.gate_b.w),
-                gate_s: l.gate_s.as_ref().map(|g| get(g.w)),
-                adj_a: l.adj_a.as_ref().map(freeze_adj),
-                adj_b: l.adj_b.as_ref().map(freeze_adj),
-                dedup_inputs: l.dedup_inputs,
-            })
+            .map(|&id| self.store.get(id).clone())
             .collect();
-        let freeze_mlp = |mlp: &Mlp| FrozenMlp {
-            layers: mlp
-                .layers()
-                .iter()
-                .map(|lin| FrozenAffine {
-                    w: get(lin.w),
-                    b: lin.b.map(get),
-                })
-                .collect(),
-            hidden: mlp.hidden_act(),
-            output: mlp.output_act(),
-        };
-
-        FrozenModel {
-            d: self.cfg.d,
-            k: self.cfg.n_experts,
-            alpha_a: self.mtl.alpha_a,
-            alpha_b: self.mtl.alpha_b,
-            gate_softmax: self.mtl.gate_softmax,
-            has_shared: self.mtl.has_shared,
-            variant: self.cfg.variant.label().to_string(),
-            n_users: self.n_users(),
-            n_items: self.n_items(),
+        FrozenModel::from_parts(
+            self.cfg.d,
+            self.cfg.n_experts,
+            self.cfg.variant.label().to_string(),
+            self.n_users(),
+            self.n_items(),
             users,
             items,
             participants,
             mean_participant,
-            layers,
-            mlp_a: freeze_mlp(&self.mlp_a),
-            mlp_b: freeze_mlp(&self.mlp_b),
-        }
+            self.score.plan.clone(),
+            params,
+        )
+        .expect("a just-trained model must freeze consistently")
     }
 }
 
 // ---------------------------------------------------------------------------
-// Workspace helpers (all pure copies or existing kernels — parity-safe)
+// Workspace helpers (pure copies — parity-safe)
 // ---------------------------------------------------------------------------
-
-fn gemm(ws: &Workspace, x: &Tensor, w: &Tensor) -> Tensor {
-    let mut out = ws.take_tensor(x.rows(), w.cols());
-    matmul_into(x, w, &mut out, 0.0);
-    out
-}
-
-fn copy_of(ws: &Workspace, t: &Tensor) -> Tensor {
-    let mut out = ws.take_tensor(t.rows(), t.cols());
-    out.as_mut_slice().copy_from_slice(t.as_slice());
-    out
-}
-
-fn concat(ws: &Workspace, parts: &[&Tensor]) -> Tensor {
-    let rows = parts[0].rows();
-    let cols = parts.iter().map(|p| p.cols()).sum();
-    let mut out = ws.take_tensor(rows, cols);
-    for r in 0..rows {
-        let orow = out.row_mut(r);
-        let mut off = 0;
-        for p in parts {
-            let prow = p.row(r);
-            orow[off..off + prow.len()].copy_from_slice(prow);
-            off += prow.len();
-        }
-    }
-    out
-}
 
 fn tile(ws: &Workspace, row: &[f32], n: usize) -> Tensor {
     let mut out = ws.take_tensor(n, row.len());
@@ -261,19 +157,89 @@ fn gather(ws: &Workspace, src: &Tensor, idx: &[usize]) -> Tensor {
     out
 }
 
-/// Batched pair embeddings (the frozen mirror of `mtl::PairEmbeds`).
-struct Pairs {
-    ui: Tensor,
-    ip: Tensor,
-    up: Tensor,
-}
-
-enum GateKind {
-    A,
-    B,
-}
-
 impl FrozenModel {
+    /// Assembles and validates a frozen model, deriving the per-head
+    /// serving plans (affine-fused by default).
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
+        d: usize,
+        k: usize,
+        variant: String,
+        n_users: usize,
+        n_items: usize,
+        users: Tensor,
+        items: Tensor,
+        participants: Tensor,
+        mean_participant: Tensor,
+        plan: Plan,
+        params: Vec<Tensor>,
+    ) -> Result<Self, CheckpointError> {
+        let mut model = Self {
+            d,
+            k,
+            variant,
+            n_users,
+            n_items,
+            users,
+            items,
+            participants,
+            mean_participant,
+            plan,
+            params,
+            plan_a: Plan::default(),
+            plan_b: Plan::default(),
+            fused: true,
+        };
+        model.validate()?;
+        model.derive_serve_plans();
+        Ok(model)
+    }
+
+    /// Rebuilds the per-head serving plans from the stored plan and the
+    /// current `fused` setting.
+    fn derive_serve_plans(&mut self) {
+        let logit_a = self.plan.outputs[0];
+        let logit_b = self.plan.outputs[1];
+        let mut plan_a = self.plan.pruned(&[logit_a]);
+        let mut plan_b = self.plan.pruned(&[logit_b]);
+        if self.fused {
+            plan_a = plan_a.fused_affine();
+            plan_b = plan_b.fused_affine();
+        }
+        self.plan_a = plan_a;
+        self.plan_b = plan_b;
+    }
+
+    /// Whether the serving plans run the affine-fusion pass (default
+    /// `true`). Fusion is bit-neutral; the switch exists so tests and
+    /// benchmarks can compare both modes.
+    pub fn fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Toggles affine fusion and re-derives the serving plans.
+    pub fn set_fused(&mut self, fused: bool) {
+        if self.fused != fused {
+            self.fused = fused;
+            self.derive_serve_plans();
+        }
+    }
+
+    /// The full stored scoring plan (both heads, unfused).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The derived Task-A serving plan.
+    pub fn serve_plan_a(&self) -> &Plan {
+        &self.plan_a
+    }
+
+    /// The derived Task-B serving plan.
+    pub fn serve_plan_b(&self) -> &Plan {
+        &self.plan_b
+    }
+
     /// MTL width `d`.
     pub fn d(&self) -> usize {
         self.d
@@ -299,6 +265,11 @@ impl FrozenModel {
         &self.variant
     }
 
+    /// The flat parameter tensors, in the plan's canonical order.
+    pub fn params(&self) -> &[Tensor] {
+        &self.params
+    }
+
     /// Task A logits `MLP_A(g_A^L)` for one initiator over a candidate
     /// item list (Eq. 16 pre-sigmoid; σ is monotone, ranking is
     /// identical). `e_p` is the precomputed mean participant embedding.
@@ -314,7 +285,7 @@ impl FrozenModel {
         let e_u = tile(ws, self.users.row(user), n);
         let e_i = gather(ws, &self.items, items);
         let e_p = tile(ws, self.mean_participant.row(0), n);
-        self.head(ws, e_u, e_i, e_p, GateKind::A)
+        self.run_head(ws, &self.plan_a, e_u, e_i, e_p)
     }
 
     /// Task B logits `MLP_B(g_B^L)` for one `(u, i)` context over a
@@ -335,7 +306,7 @@ impl FrozenModel {
         let e_u = tile(ws, self.users.row(user), n);
         let e_i = tile(ws, self.items.row(item), n);
         let e_p = gather(ws, &self.participants, participants);
-        self.head(ws, e_u, e_i, e_p, GateKind::B)
+        self.run_head(ws, &self.plan_b, e_u, e_i, e_p)
     }
 
     /// Task A logits for a batch of independent `(user, item)` pairs —
@@ -352,7 +323,7 @@ impl FrozenModel {
         let e_u = gather(ws, &self.users, &users);
         let e_i = gather(ws, &self.items, &items);
         let e_p = tile(ws, self.mean_participant.row(0), pairs.len());
-        self.head(ws, e_u, e_i, e_p, GateKind::A)
+        self.run_head(ws, &self.plan_a, e_u, e_i, e_p)
     }
 
     /// Task B logits for a batch of independent `(user, item,
@@ -369,264 +340,36 @@ impl FrozenModel {
         let e_u = gather(ws, &self.users, &users);
         let e_i = gather(ws, &self.items, &items);
         let e_p = gather(ws, &self.participants, &parts);
-        self.head(ws, e_u, e_i, e_p, GateKind::B)
+        self.run_head(ws, &self.plan_b, e_u, e_i, e_p)
     }
 
-    fn head(
+    /// Executes a serving plan on the pooled tensor backend and returns
+    /// the head logits. Input tiles are recycled here; intermediates are
+    /// recycled by the interpreter's retirement schedule.
+    fn run_head(
         &self,
         ws: &Workspace,
+        plan: &Plan,
         e_u: Tensor,
         e_i: Tensor,
         e_p: Tensor,
-        kind: GateKind,
     ) -> Vec<f32> {
-        let (g_a, g_b) = self.mtl_forward(ws, &e_u, &e_i, &e_p);
+        let params: Vec<&Tensor> = self.params.iter().collect();
+        let bindings = Bindings::default();
+        let outs = execute(
+            plan,
+            &[&e_u, &e_i, &e_p],
+            &params,
+            TensorBackend::new(ws, &bindings),
+        );
         ws.recycle_tensor(e_u);
         ws.recycle_tensor(e_i);
         ws.recycle_tensor(e_p);
-        let (used, dropped, mlp) = match kind {
-            GateKind::A => (g_a, g_b, &self.mlp_a),
-            GateKind::B => (g_b, g_a, &self.mlp_b),
-        };
-        ws.recycle_tensor(dropped);
-        let out = self.mlp_forward(ws, mlp, used);
-        let v = out.as_slice().to_vec();
-        ws.recycle_tensor(out);
+        let mut outs = outs.into_iter();
+        let logit = outs.next().expect("serving plan returns the head logit");
+        let v = logit.as_slice().to_vec();
+        ws.recycle_tensor(logit);
         v
-    }
-
-    fn normalize(&self, t: &mut Tensor) {
-        if self.gate_softmax {
-            t.softmax_rows_inplace();
-        }
-    }
-
-    fn mix(&self, ws: &Workspace, weights: &Tensor, bank: &Tensor) -> Tensor {
-        let mut out = ws.take_tensor(weights.rows(), self.d);
-        mix_col_blocks_into(weights, bank, &mut out);
-        out
-    }
-
-    fn task_input(
-        &self,
-        ws: &Workspace,
-        layer: &FrozenMtlLayer,
-        g_task: &Tensor,
-        g_s: Option<&Tensor>,
-    ) -> Tensor {
-        match g_s {
-            Some(gs) if !layer.dedup_inputs => concat(ws, &[g_task, gs]),
-            _ => copy_of(ws, g_task),
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn task_gate(
-        &self,
-        ws: &Workspace,
-        gate_w: &Tensor,
-        adj: Option<&FrozenAdjusted>,
-        input: &Tensor,
-        pairs: &Pairs,
-        own_bank: &Tensor,
-        shared_bank: Option<&Tensor>,
-        alpha: f32,
-        kind: GateKind,
-    ) -> Tensor {
-        // Generic unit: attention from the layer input over [own ‖ shared].
-        let mut weights = gemm(ws, input, gate_w);
-        self.normalize(&mut weights);
-        let g1 = match shared_bank {
-            Some(s) => {
-                let combined = concat(ws, &[own_bank, s]);
-                let g = self.mix(ws, &weights, &combined);
-                ws.recycle_tensor(combined);
-                g
-            }
-            None => self.mix(ws, &weights, own_bank),
-        };
-        ws.recycle_tensor(weights);
-
-        let Some(adj) = adj else {
-            return g1;
-        };
-        // Adjusted unit, terms in the training path's fixed order
-        // (ui, ip, up) with the Eq. 11 / Eq. 13 bank routing.
-        let terms: [(&Option<Tensor>, &Tensor, Option<&Tensor>); 3] = match kind {
-            GateKind::A => [
-                (&adj.ui, &pairs.ui, Some(own_bank)),
-                (&adj.ip, &pairs.ip, shared_bank),
-                (&adj.up, &pairs.up, shared_bank),
-            ],
-            GateKind::B => [
-                (&adj.ui, &pairs.ui, shared_bank),
-                (&adj.ip, &pairs.ip, Some(own_bank)),
-                (&adj.up, &pairs.up, Some(own_bank)),
-            ],
-        };
-        let mut g2: Option<Tensor> = None;
-        for (proj, pair, bank) in terms {
-            let (Some(w), Some(bank)) = (proj.as_ref(), bank) else {
-                continue;
-            };
-            let mut aw = gemm(ws, pair, w);
-            self.normalize(&mut aw);
-            let term = self.mix(ws, &aw, bank);
-            ws.recycle_tensor(aw);
-            match g2.as_mut() {
-                Some(acc) => {
-                    for (a, &t) in acc.as_mut_slice().iter_mut().zip(term.as_slice()) {
-                        *a += t;
-                    }
-                    ws.recycle_tensor(term);
-                }
-                None => g2 = Some(term),
-            }
-        }
-        match g2 {
-            Some(mut g2) => {
-                g2.scale_inplace(alpha);
-                let mut out = g1;
-                for (a, &t) in out.as_mut_slice().iter_mut().zip(g2.as_slice()) {
-                    *a += t;
-                }
-                ws.recycle_tensor(g2);
-                out
-            }
-            None => g1,
-        }
-    }
-
-    /// Runs all frozen MTL layers, returning `(g_A^L, g_B^L)` in
-    /// workspace buffers (caller recycles).
-    fn mtl_forward(
-        &self,
-        ws: &Workspace,
-        e_u: &Tensor,
-        e_i: &Tensor,
-        e_p: &Tensor,
-    ) -> (Tensor, Tensor) {
-        let g0 = concat(ws, &[e_u, e_i, e_p]);
-        let pairs = Pairs {
-            ui: concat(ws, &[e_u, e_i]),
-            ip: concat(ws, &[e_i, e_p]),
-            up: concat(ws, &[e_u, e_p]),
-        };
-        let mut g_a = copy_of(ws, &g0);
-        let mut g_b = copy_of(ws, &g0);
-        let mut g_s = self.has_shared.then(|| copy_of(ws, &g0));
-        ws.recycle_tensor(g0);
-
-        for layer in &self.layers {
-            let input_a = self.task_input(ws, layer, &g_a, g_s.as_ref());
-            let input_b = self.task_input(ws, layer, &g_b, g_s.as_ref());
-            let input_s = g_s.as_ref().map(|gs| {
-                if layer.dedup_inputs {
-                    copy_of(ws, gs)
-                } else {
-                    concat(ws, &[&g_a, gs, &g_b])
-                }
-            });
-
-            let bank_a = gemm(ws, &input_a, &layer.experts_a);
-            let bank_b = gemm(ws, &input_b, &layer.experts_b);
-            let bank_s = match (&layer.experts_s, &input_s) {
-                (Some(w), Some(input)) => Some(gemm(ws, input, w)),
-                _ => None,
-            };
-
-            let next_a = self.task_gate(
-                ws,
-                &layer.gate_a,
-                layer.adj_a.as_ref(),
-                &input_a,
-                &pairs,
-                &bank_a,
-                bank_s.as_ref(),
-                self.alpha_a,
-                GateKind::A,
-            );
-            let next_b = self.task_gate(
-                ws,
-                &layer.gate_b,
-                layer.adj_b.as_ref(),
-                &input_b,
-                &pairs,
-                &bank_b,
-                bank_s.as_ref(),
-                self.alpha_b,
-                GateKind::B,
-            );
-            // Gate S (Eq. 14): mix over [A ‖ S ‖ B]; absent on the final
-            // layer, where the shared state would feed nothing.
-            let next_s = match (&layer.gate_s, &input_s, &bank_s) {
-                (Some(gate), Some(input), Some(bs)) => {
-                    let mut w = gemm(ws, input, gate);
-                    self.normalize(&mut w);
-                    let all = concat(ws, &[&bank_a, bs, &bank_b]);
-                    let g = self.mix(ws, &w, &all);
-                    ws.recycle_tensor(w);
-                    ws.recycle_tensor(all);
-                    Some(g)
-                }
-                _ => None,
-            };
-
-            ws.recycle_tensor(input_a);
-            ws.recycle_tensor(input_b);
-            if let Some(t) = input_s {
-                ws.recycle_tensor(t);
-            }
-            ws.recycle_tensor(bank_a);
-            ws.recycle_tensor(bank_b);
-            if let Some(t) = bank_s {
-                ws.recycle_tensor(t);
-            }
-            ws.recycle_tensor(std::mem::replace(&mut g_a, next_a));
-            ws.recycle_tensor(std::mem::replace(&mut g_b, next_b));
-            if let Some(old) = g_s.take() {
-                ws.recycle_tensor(old);
-            }
-            g_s = next_s;
-        }
-        if let Some(t) = g_s {
-            ws.recycle_tensor(t);
-        }
-        ws.recycle_tensor(pairs.ui);
-        ws.recycle_tensor(pairs.ip);
-        ws.recycle_tensor(pairs.up);
-        (g_a, g_b)
-    }
-
-    fn mlp_forward(&self, ws: &Workspace, mlp: &FrozenMlp, x: Tensor) -> Tensor {
-        let last = mlp.layers.len() - 1;
-        let mut h = x;
-        for (i, aff) in mlp.layers.iter().enumerate() {
-            let act = if i == last { mlp.output } else { mlp.hidden };
-            let mut out = ws.take_tensor(h.rows(), aff.w.cols());
-            match act {
-                Activation::Identity => {
-                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Identity, &mut out)
-                }
-                Activation::Relu => {
-                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Relu, &mut out)
-                }
-                Activation::Sigmoid => {
-                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Sigmoid, &mut out)
-                }
-                Activation::Tanh => {
-                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Identity, &mut out);
-                    out.tanh_inplace();
-                }
-                Activation::LeakyRelu(slope) => {
-                    affine_act_into(&h, &aff.w, aff.b.as_ref(), FusedAct::Identity, &mut out);
-                    out.leaky_relu_inplace(slope);
-                }
-            }
-            ws.recycle_tensor(h);
-            h = out;
-        }
-        h
     }
 }
 
@@ -638,19 +381,6 @@ fn put_tensor<W: Write>(w: &mut CrcWriter<W>, t: &Tensor) -> Result<(), Checkpoi
     w.put_u32(t.rows() as u32)?;
     w.put_u32(t.cols() as u32)?;
     w.put_tensor_data(t)
-}
-
-fn put_opt_tensor<W: Write>(
-    w: &mut CrcWriter<W>,
-    t: Option<&Tensor>,
-) -> Result<(), CheckpointError> {
-    match t {
-        Some(t) => {
-            w.put_u8(1)?;
-            put_tensor(w, t)
-        }
-        None => w.put_u8(0),
-    }
 }
 
 fn take_tensor<R: Read>(r: &mut CrcReader<R>) -> Result<Tensor, CheckpointError> {
@@ -689,93 +419,17 @@ fn take_bool<R: Read>(r: &mut CrcReader<R>) -> Result<bool, CheckpointError> {
     }
 }
 
-fn act_code(a: Activation) -> (u8, f32) {
-    match a {
-        Activation::Identity => (0, 0.0),
-        Activation::Relu => (1, 0.0),
-        Activation::Sigmoid => (2, 0.0),
-        Activation::Tanh => (3, 0.0),
-        Activation::LeakyRelu(s) => (4, s),
-    }
-}
-
-fn act_from_code(tag: u8, param: f32) -> Result<Activation, CheckpointError> {
+fn act_from_code(tag: u8, param: f32) -> Result<ActKind, CheckpointError> {
     match tag {
-        0 => Ok(Activation::Identity),
-        1 => Ok(Activation::Relu),
-        2 => Ok(Activation::Sigmoid),
-        3 => Ok(Activation::Tanh),
-        4 => Ok(Activation::LeakyRelu(param)),
+        0 => Ok(ActKind::Identity),
+        1 => Ok(ActKind::Relu),
+        2 => Ok(ActKind::Sigmoid),
+        3 => Ok(ActKind::Tanh),
+        4 => Ok(ActKind::LeakyRelu(param)),
         t => Err(CheckpointError::Format(format!(
             "unknown activation tag {t}"
         ))),
     }
-}
-
-fn put_mlp<W: Write>(w: &mut CrcWriter<W>, mlp: &FrozenMlp) -> Result<(), CheckpointError> {
-    for act in [mlp.hidden, mlp.output] {
-        let (tag, param) = act_code(act);
-        w.put_u8(tag)?;
-        w.put_f32(param)?;
-    }
-    w.put_u32(mlp.layers.len() as u32)?;
-    for aff in &mlp.layers {
-        put_tensor(w, &aff.w)?;
-        put_opt_tensor(w, aff.b.as_ref())?;
-    }
-    Ok(())
-}
-
-fn take_mlp<R: Read>(r: &mut CrcReader<R>) -> Result<FrozenMlp, CheckpointError> {
-    let mut acts = [Activation::Identity; 2];
-    for slot in &mut acts {
-        let tag = r.take_u8()?;
-        let param = r.take_f32()?;
-        *slot = act_from_code(tag, param)?;
-    }
-    let n = r.take_u32()?;
-    if n == 0 || n > 64 {
-        return Err(CheckpointError::Format(format!(
-            "implausible MLP depth {n}"
-        )));
-    }
-    let mut layers = Vec::with_capacity(n as usize);
-    for _ in 0..n {
-        let w = take_tensor(r)?;
-        let b = take_opt_tensor(r)?;
-        layers.push(FrozenAffine { w, b });
-    }
-    Ok(FrozenMlp {
-        layers,
-        hidden: acts[0],
-        output: acts[1],
-    })
-}
-
-fn put_adjusted<W: Write>(
-    w: &mut CrcWriter<W>,
-    adj: Option<&FrozenAdjusted>,
-) -> Result<(), CheckpointError> {
-    match adj {
-        Some(a) => {
-            w.put_u8(1)?;
-            put_opt_tensor(w, a.ui.as_ref())?;
-            put_opt_tensor(w, a.ip.as_ref())?;
-            put_opt_tensor(w, a.up.as_ref())
-        }
-        None => w.put_u8(0),
-    }
-}
-
-fn take_adjusted<R: Read>(r: &mut CrcReader<R>) -> Result<Option<FrozenAdjusted>, CheckpointError> {
-    if !take_bool(r)? {
-        return Ok(None);
-    }
-    Ok(Some(FrozenAdjusted {
-        ui: take_opt_tensor(r)?,
-        ip: take_opt_tensor(r)?,
-        up: take_opt_tensor(r)?,
-    }))
 }
 
 impl FrozenModel {
@@ -786,10 +440,6 @@ impl FrozenModel {
         w.put_u32(FROZEN_VERSION)?;
         w.put_u32(self.d as u32)?;
         w.put_u32(self.k as u32)?;
-        w.put_f32(self.alpha_a)?;
-        w.put_f32(self.alpha_b)?;
-        w.put_u8(self.gate_softmax as u8)?;
-        w.put_u8(self.has_shared as u8)?;
         w.put_u32(self.variant.len() as u32)?;
         w.put(self.variant.as_bytes())?;
         w.put_u64(self.n_users as u64)?;
@@ -798,20 +448,11 @@ impl FrozenModel {
         put_tensor(&mut w, &self.items)?;
         put_tensor(&mut w, &self.participants)?;
         put_tensor(&mut w, &self.mean_participant)?;
-        w.put_u32(self.layers.len() as u32)?;
-        for layer in &self.layers {
-            w.put_u8(layer.dedup_inputs as u8)?;
-            put_tensor(&mut w, &layer.experts_a)?;
-            put_tensor(&mut w, &layer.experts_b)?;
-            put_opt_tensor(&mut w, layer.experts_s.as_ref())?;
-            put_tensor(&mut w, &layer.gate_a)?;
-            put_tensor(&mut w, &layer.gate_b)?;
-            put_opt_tensor(&mut w, layer.gate_s.as_ref())?;
-            put_adjusted(&mut w, layer.adj_a.as_ref())?;
-            put_adjusted(&mut w, layer.adj_b.as_ref())?;
+        mgbr_plan::put_plan(&mut w, &self.plan)?;
+        w.put_u32(self.params.len() as u32)?;
+        for p in &self.params {
+            put_tensor(&mut w, p)?;
         }
-        put_mlp(&mut w, &self.mlp_a)?;
-        put_mlp(&mut w, &self.mlp_b)?;
         w.finish()?;
         Ok(())
     }
@@ -850,9 +491,10 @@ impl FrozenModel {
         Ok(())
     }
 
-    /// Parses and CRC-verifies a frozen artifact. The whole file is
-    /// validated before anything is returned — corrupt or truncated
-    /// artifacts fail closed with a typed error.
+    /// Parses and CRC-verifies a frozen artifact (version 2, or a legacy
+    /// version-1 file upgraded on load). The whole file is validated
+    /// before anything is returned — corrupt or truncated artifacts fail
+    /// closed with a typed error.
     pub fn load<R: Read>(reader: R) -> Result<Self, CheckpointError> {
         let mut r = CrcReader::new(reader);
         let mut magic = [0u8; 8];
@@ -863,85 +505,13 @@ impl FrozenModel {
             ));
         }
         let version = r.take_u32()?;
-        if version != FROZEN_VERSION {
-            return Err(CheckpointError::Format(format!(
-                "unsupported frozen-artifact version {version}"
-            )));
+        match version {
+            1 => load_v1(r),
+            2 => load_v2(r),
+            v => Err(CheckpointError::Format(format!(
+                "unsupported frozen-artifact version {v}"
+            ))),
         }
-        let d = r.take_u32()? as usize;
-        let k = r.take_u32()? as usize;
-        if d == 0 || d > MAX_DIM as usize || k == 0 || k > 4096 {
-            return Err(CheckpointError::Format(format!(
-                "implausible model dims d={d} k={k}"
-            )));
-        }
-        let alpha_a = r.take_f32()?;
-        let alpha_b = r.take_f32()?;
-        let gate_softmax = take_bool(&mut r)?;
-        let has_shared = take_bool(&mut r)?;
-        let variant_len = r.take_u32()?;
-        if variant_len > 256 {
-            return Err(CheckpointError::Format(format!(
-                "implausible variant-label length {variant_len}"
-            )));
-        }
-        let mut variant_bytes = vec![0u8; variant_len as usize];
-        r.take(&mut variant_bytes)?;
-        let variant = String::from_utf8(variant_bytes)
-            .map_err(|_| CheckpointError::Format("variant label is not UTF-8".into()))?;
-        let n_users = usize::try_from(r.take_u64()?)
-            .map_err(|_| CheckpointError::Format("n_users overflows usize".into()))?;
-        let n_items = usize::try_from(r.take_u64()?)
-            .map_err(|_| CheckpointError::Format("n_items overflows usize".into()))?;
-        let users = take_tensor(&mut r)?;
-        let items = take_tensor(&mut r)?;
-        let participants = take_tensor(&mut r)?;
-        let mean_participant = take_tensor(&mut r)?;
-        let n_layers = r.take_u32()?;
-        if n_layers == 0 || n_layers > 64 {
-            return Err(CheckpointError::Format(format!(
-                "implausible MTL depth {n_layers}"
-            )));
-        }
-        let mut layers = Vec::with_capacity(n_layers as usize);
-        for _ in 0..n_layers {
-            let dedup_inputs = take_bool(&mut r)?;
-            layers.push(FrozenMtlLayer {
-                dedup_inputs,
-                experts_a: take_tensor(&mut r)?,
-                experts_b: take_tensor(&mut r)?,
-                experts_s: take_opt_tensor(&mut r)?,
-                gate_a: take_tensor(&mut r)?,
-                gate_b: take_tensor(&mut r)?,
-                gate_s: take_opt_tensor(&mut r)?,
-                adj_a: take_adjusted(&mut r)?,
-                adj_b: take_adjusted(&mut r)?,
-            });
-        }
-        let mlp_a = take_mlp(&mut r)?;
-        let mlp_b = take_mlp(&mut r)?;
-        r.verify_crc()?;
-
-        let model = Self {
-            d,
-            k,
-            alpha_a,
-            alpha_b,
-            gate_softmax,
-            has_shared,
-            variant,
-            n_users,
-            n_items,
-            users,
-            items,
-            participants,
-            mean_participant,
-            layers,
-            mlp_a,
-            mlp_b,
-        };
-        model.validate()?;
-        Ok(model)
     }
 
     /// Loads a frozen artifact from a file path.
@@ -952,7 +522,9 @@ impl FrozenModel {
 
     /// Cross-field consistency checks (CRC already guarantees the bytes
     /// are what was written; this guards against semantically broken
-    /// artifacts produced by a different writer).
+    /// artifacts produced by a different writer). The plan is
+    /// shape-checked end to end: executed on a one-row batch it must
+    /// produce scalar logits for both heads.
     fn validate(&self) -> Result<(), CheckpointError> {
         let obj = self.users.cols();
         let same_width = self.items.cols() == obj
@@ -972,39 +544,299 @@ impl FrozenModel {
                 "frozen embedding row counts disagree with declared id spaces".into(),
             ));
         }
-        for (i, layer) in self.layers.iter().enumerate() {
-            if layer.experts_a.cols() != self.k * self.d
-                || layer.experts_b.cols() != self.k * self.d
-            {
-                return Err(CheckpointError::Mismatch(format!(
-                    "layer {i}: expert bank width != K·d"
-                )));
-            }
-            if layer.experts_s.is_some() != self.has_shared {
-                return Err(CheckpointError::Mismatch(format!(
-                    "layer {i}: shared-bank presence disagrees with has_shared"
-                )));
-            }
+        if self.plan.inputs.len() != 3 || self.plan.outputs.len() != 2 {
+            return Err(CheckpointError::Mismatch(format!(
+                "frozen plan has {} inputs / {} outputs, expected 3 / 2",
+                self.plan.inputs.len(),
+                self.plan.outputs.len()
+            )));
         }
-        for (mlp, tag) in [(&self.mlp_a, "A"), (&self.mlp_b, "B")] {
-            let first = &mlp.layers[0];
-            if first.w.rows() != self.d {
-                return Err(CheckpointError::Mismatch(format!(
-                    "MLP {tag} input width {} != d {}",
-                    first.w.rows(),
-                    self.d
-                )));
-            }
-            let last = &mlp.layers[mlp.layers.len() - 1];
-            if last.w.cols() != 1 {
-                return Err(CheckpointError::Mismatch(format!(
-                    "MLP {tag} output width {} != 1",
-                    last.w.cols()
-                )));
+        if self.params.len() != self.plan.params.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "frozen plan declares {} parameter slots but {} tensors are stored",
+                self.plan.params.len(),
+                self.params.len()
+            )));
+        }
+        let env = ShapeEnv {
+            inputs: vec![(1, obj); 3],
+            params: self.params.iter().map(|p| (p.rows(), p.cols())).collect(),
+            ..ShapeEnv::default()
+        };
+        let shapes = self
+            .plan
+            .infer_shapes(&env)
+            .map_err(|e| CheckpointError::Mismatch(format!("frozen plan shape check: {e}")))?;
+        for (&out, head) in self.plan.outputs.iter().zip(["A", "B"]) {
+            match shapes[out.index()] {
+                Some((1, 1)) => {}
+                other => {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "head {head} logit has shape {other:?}, expected (1, 1)"
+                    )));
+                }
             }
         }
         Ok(())
     }
+}
+
+/// Reads the v2 body (after magic + version).
+fn load_v2<R: Read>(mut r: CrcReader<R>) -> Result<FrozenModel, CheckpointError> {
+    let d = r.take_u32()? as usize;
+    let k = r.take_u32()? as usize;
+    if d == 0 || d > MAX_DIM as usize || k == 0 || k > 4096 {
+        return Err(CheckpointError::Format(format!(
+            "implausible model dims d={d} k={k}"
+        )));
+    }
+    let variant = take_variant(&mut r)?;
+    let n_users = usize::try_from(r.take_u64()?)
+        .map_err(|_| CheckpointError::Format("n_users overflows usize".into()))?;
+    let n_items = usize::try_from(r.take_u64()?)
+        .map_err(|_| CheckpointError::Format("n_items overflows usize".into()))?;
+    let users = take_tensor(&mut r)?;
+    let items = take_tensor(&mut r)?;
+    let participants = take_tensor(&mut r)?;
+    let mean_participant = take_tensor(&mut r)?;
+    let plan = mgbr_plan::take_plan(&mut r)?;
+    let n_params = r.take_u32()?;
+    if n_params > MAX_PARAMS {
+        return Err(CheckpointError::Format(format!(
+            "implausible parameter count {n_params}"
+        )));
+    }
+    let params = (0..n_params)
+        .map(|_| take_tensor(&mut r))
+        .collect::<Result<Vec<_>, _>>()?;
+    r.verify_crc()?;
+    FrozenModel::from_parts(
+        d,
+        k,
+        variant,
+        n_users,
+        n_items,
+        users,
+        items,
+        participants,
+        mean_participant,
+        plan,
+        params,
+    )
+}
+
+fn take_variant<R: Read>(r: &mut CrcReader<R>) -> Result<String, CheckpointError> {
+    let variant_len = r.take_u32()?;
+    if variant_len > 256 {
+        return Err(CheckpointError::Format(format!(
+            "implausible variant-label length {variant_len}"
+        )));
+    }
+    let mut variant_bytes = vec![0u8; variant_len as usize];
+    r.take(&mut variant_bytes)?;
+    String::from_utf8(variant_bytes)
+        .map_err(|_| CheckpointError::Format("variant label is not UTF-8".into()))
+}
+
+// ---------------------------------------------------------------------------
+// Legacy v1 loader: parse the per-module weight fields, lower their
+// structure to a plan spec, flatten the weights canonically.
+// ---------------------------------------------------------------------------
+
+/// Frozen pair-projection weights of one legacy adjusted gated unit.
+struct LegacyAdjusted {
+    ui: Option<Tensor>,
+    ip: Option<Tensor>,
+    up: Option<Tensor>,
+}
+
+/// One legacy MTL layer: fused expert banks plus gate weights.
+struct LegacyLayer {
+    experts_a: Tensor,
+    experts_b: Tensor,
+    experts_s: Option<Tensor>,
+    gate_a: Tensor,
+    gate_b: Tensor,
+    gate_s: Option<Tensor>,
+    adj_a: Option<LegacyAdjusted>,
+    adj_b: Option<LegacyAdjusted>,
+    dedup_inputs: bool,
+}
+
+/// A legacy prediction MLP (weights plus activation schedule).
+struct LegacyMlp {
+    layers: Vec<(Tensor, Option<Tensor>)>,
+    hidden: ActKind,
+    output: ActKind,
+}
+
+fn take_legacy_adjusted<R: Read>(
+    r: &mut CrcReader<R>,
+) -> Result<Option<LegacyAdjusted>, CheckpointError> {
+    if !take_bool(r)? {
+        return Ok(None);
+    }
+    Ok(Some(LegacyAdjusted {
+        ui: take_opt_tensor(r)?,
+        ip: take_opt_tensor(r)?,
+        up: take_opt_tensor(r)?,
+    }))
+}
+
+fn take_legacy_mlp<R: Read>(r: &mut CrcReader<R>) -> Result<LegacyMlp, CheckpointError> {
+    let mut acts = [ActKind::Identity; 2];
+    for slot in &mut acts {
+        let tag = r.take_u8()?;
+        let param = r.take_f32()?;
+        *slot = act_from_code(tag, param)?;
+    }
+    let n = r.take_u32()?;
+    if n == 0 || n > 64 {
+        return Err(CheckpointError::Format(format!(
+            "implausible MLP depth {n}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let w = take_tensor(r)?;
+        let b = take_opt_tensor(r)?;
+        layers.push((w, b));
+    }
+    Ok(LegacyMlp {
+        layers,
+        hidden: acts[0],
+        output: acts[1],
+    })
+}
+
+fn adj_mask(adj: &Option<LegacyAdjusted>) -> Option<[bool; 3]> {
+    adj.as_ref()
+        .map(|a| [a.ui.is_some(), a.ip.is_some(), a.up.is_some()])
+}
+
+/// Reads the v1 body (after magic + version) and upgrades it: the legacy
+/// structure is lowered to a fresh plan and the weights flattened into
+/// the canonical parameter order, so scoring replays the same arithmetic
+/// the v1 code performed.
+fn load_v1<R: Read>(mut r: CrcReader<R>) -> Result<FrozenModel, CheckpointError> {
+    let d = r.take_u32()? as usize;
+    let k = r.take_u32()? as usize;
+    if d == 0 || d > MAX_DIM as usize || k == 0 || k > 4096 {
+        return Err(CheckpointError::Format(format!(
+            "implausible model dims d={d} k={k}"
+        )));
+    }
+    let alpha_a = r.take_f32()?;
+    let alpha_b = r.take_f32()?;
+    let gate_softmax = take_bool(&mut r)?;
+    let has_shared = take_bool(&mut r)?;
+    let variant = take_variant(&mut r)?;
+    let n_users = usize::try_from(r.take_u64()?)
+        .map_err(|_| CheckpointError::Format("n_users overflows usize".into()))?;
+    let n_items = usize::try_from(r.take_u64()?)
+        .map_err(|_| CheckpointError::Format("n_items overflows usize".into()))?;
+    let users = take_tensor(&mut r)?;
+    let items = take_tensor(&mut r)?;
+    let participants = take_tensor(&mut r)?;
+    let mean_participant = take_tensor(&mut r)?;
+    let n_layers = r.take_u32()?;
+    if n_layers == 0 || n_layers > 64 {
+        return Err(CheckpointError::Format(format!(
+            "implausible MTL depth {n_layers}"
+        )));
+    }
+    let mut layers = Vec::with_capacity(n_layers as usize);
+    for _ in 0..n_layers {
+        let dedup_inputs = take_bool(&mut r)?;
+        layers.push(LegacyLayer {
+            dedup_inputs,
+            experts_a: take_tensor(&mut r)?,
+            experts_b: take_tensor(&mut r)?,
+            experts_s: take_opt_tensor(&mut r)?,
+            gate_a: take_tensor(&mut r)?,
+            gate_b: take_tensor(&mut r)?,
+            gate_s: take_opt_tensor(&mut r)?,
+            adj_a: take_legacy_adjusted(&mut r)?,
+            adj_b: take_legacy_adjusted(&mut r)?,
+        });
+    }
+    let mlp_a = take_legacy_mlp(&mut r)?;
+    let mlp_b = take_legacy_mlp(&mut r)?;
+    r.verify_crc()?;
+
+    // Lower the legacy structure to a plan spec.
+    let mut layer_specs = Vec::with_capacity(layers.len());
+    for (i, layer) in layers.iter().enumerate() {
+        if layer.experts_s.is_some() != has_shared {
+            return Err(CheckpointError::Mismatch(format!(
+                "layer {i}: shared-bank presence disagrees with has_shared"
+            )));
+        }
+        layer_specs.push(LayerSpec {
+            dedup_inputs: layer.dedup_inputs,
+            has_gate_s: layer.gate_s.is_some(),
+            adj_a: adj_mask(&layer.adj_a),
+            adj_b: adj_mask(&layer.adj_b),
+        });
+    }
+    let spec = ScoreSpec {
+        mtl: MtlSpec {
+            has_shared,
+            gate_softmax,
+            alpha_a,
+            alpha_b,
+            layers: layer_specs,
+        },
+        mlp_a: MlpSpec {
+            layers: mlp_a.layers.iter().map(|(_, b)| b.is_some()).collect(),
+            hidden: mlp_a.hidden,
+            output: mlp_a.output,
+        },
+        mlp_b: MlpSpec {
+            layers: mlp_b.layers.iter().map(|(_, b)| b.is_some()).collect(),
+            hidden: mlp_b.hidden,
+            output: mlp_b.output,
+        },
+    };
+    let score = build_score_plan(&spec);
+
+    // Flatten the weights into the canonical parameter order the plan
+    // declares: per layer A/B/[S] banks, A/B/[S] gates, then the present
+    // adjusted projections (ui, ip, up; gate A then gate B); then the
+    // MLP layers (w, then bias when present).
+    let mut params = Vec::new();
+    for layer in layers {
+        params.push(layer.experts_a);
+        params.push(layer.experts_b);
+        params.extend(layer.experts_s);
+        params.push(layer.gate_a);
+        params.push(layer.gate_b);
+        params.extend(layer.gate_s);
+        for adj in [layer.adj_a, layer.adj_b].into_iter().flatten() {
+            params.extend(adj.ui);
+            params.extend(adj.ip);
+            params.extend(adj.up);
+        }
+    }
+    for mlp in [mlp_a, mlp_b] {
+        for (w, b) in mlp.layers {
+            params.push(w);
+            params.extend(b);
+        }
+    }
+    FrozenModel::from_parts(
+        d,
+        k,
+        variant,
+        n_users,
+        n_items,
+        users,
+        items,
+        participants,
+        mean_participant,
+        score.plan,
+        params,
+    )
 }
 
 #[cfg(test)]
@@ -1044,6 +876,35 @@ mod tests {
             assert_eq!(
                 bits(&frozen.logits_b(&ws, 2, 4, &pidx)),
                 bits(&scorer.score_participants(2, 4, &parts)),
+                "{variant:?} task B"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_and_unfused_serving_plans_agree_bitwise() {
+        for variant in MgbrVariant::all() {
+            let m = model(variant);
+            let fused = m.freeze();
+            assert!(fused.fused(), "serving plans fuse by default");
+            let mut unfused = fused.clone();
+            unfused.set_fused(false);
+            assert!(
+                unfused.serve_plan_a().ops.len() > fused.serve_plan_a().ops.len(),
+                "{variant:?}: fusion must shrink the op list"
+            );
+            let ws = Workspace::new();
+            let idx: Vec<usize> = (0..10).collect();
+            for user in [0usize, 5] {
+                assert_eq!(
+                    bits(&fused.logits_a(&ws, user, &idx)),
+                    bits(&unfused.logits_a(&ws, user, &idx)),
+                    "{variant:?} task A user {user}"
+                );
+            }
+            assert_eq!(
+                bits(&fused.logits_b(&ws, 1, 2, &idx[1..])),
+                bits(&unfused.logits_b(&ws, 1, 2, &idx[1..])),
                 "{variant:?} task B"
             );
         }
@@ -1095,6 +956,7 @@ mod tests {
         assert_eq!(loaded.variant(), frozen.variant());
         assert_eq!(loaded.n_users(), frozen.n_users());
         assert_eq!(loaded.n_items(), frozen.n_items());
+        assert_eq!(loaded.plan(), frozen.plan(), "the stored plan round-trips");
         let ws = Workspace::new();
         let idx: Vec<usize> = (0..8).collect();
         assert_eq!(

@@ -52,7 +52,7 @@ pub mod trainer;
 pub mod watchdog;
 
 pub use config::{MgbrConfig, MgbrVariant, TrainConfig};
-pub use freeze::{FrozenAdjusted, FrozenAffine, FrozenMlp, FrozenModel, FrozenMtlLayer};
+pub use freeze::FrozenModel;
 pub use model::{Mgbr, MgbrScorer};
 pub use trainer::{train, train_with_validation, TrainReport, ValEntry};
 pub use watchdog::{AnomalyKind, AnomalyReport, TrainError, Watchdog, WatchdogConfig};

@@ -1,18 +1,46 @@
 //! The assembled MGBR model: embedding module + MTL module + per-task
 //! prediction MLPs (Eq. 16-17), plus the frozen scorer used for
 //! evaluation.
+//!
+//! Since the execution-plan refactor the whole scoring forward (MTL
+//! stack and both heads) is lowered once, at construction, to a
+//! [`ScorePlan`]; every logit call executes that plan (or a pruned
+//! single-head derivative) on the autograd tape through the shared
+//! interpreter. [`Mgbr::freeze`] serializes the very same plan, so the
+//! online scorer replays bit-for-bit what the trainer computed.
 
 use std::rc::Rc;
 
 use mgbr_autograd::Var;
 use mgbr_data::Dataset;
 use mgbr_eval::GroupBuyScorer;
-use mgbr_nn::{Activation, Mlp, ParamStore, StepCtx};
+use mgbr_nn::{Activation, Mlp, ParamId, ParamStore, StepCtx};
+use mgbr_plan::{build_score_plan, ActKind, MlpSpec, Plan, ScorePlan, ScoreSpec};
 use mgbr_tensor::{Pcg32, Tensor};
 
-use crate::mtl::MtlModule;
+use crate::mtl::{run_taped, MtlModule};
 use crate::multiview::{EmbeddingModule, ObjectEmbeddings};
 use crate::MgbrConfig;
+
+/// Maps an `mgbr_nn` activation to its plan-IR equivalent.
+pub(crate) fn act_kind(act: Activation) -> ActKind {
+    match act {
+        Activation::Identity => ActKind::Identity,
+        Activation::Relu => ActKind::Relu,
+        Activation::Sigmoid => ActKind::Sigmoid,
+        Activation::Tanh => ActKind::Tanh,
+        Activation::LeakyRelu(slope) => ActKind::LeakyRelu(slope),
+    }
+}
+
+/// Lowers a registered prediction MLP to its structural spec.
+fn mlp_spec(mlp: &Mlp) -> MlpSpec {
+    MlpSpec {
+        layers: mlp.layers().iter().map(|l| l.b.is_some()).collect(),
+        hidden: act_kind(mlp.hidden_act()),
+        output: act_kind(mlp.output_act()),
+    }
+}
 
 /// The MGBR model (or one of its ablated variants, per
 /// [`MgbrConfig::variant`]).
@@ -22,9 +50,16 @@ pub struct Mgbr {
     /// All trainable parameters.
     pub store: ParamStore,
     embedding: EmbeddingModule,
-    pub(crate) mtl: MtlModule,
-    pub(crate) mlp_a: Mlp,
-    pub(crate) mlp_b: Mlp,
+    /// The full scoring plan (both heads) and its layer trace ranges.
+    pub(crate) score: ScorePlan,
+    /// Parameters backing the score plan's slots, in canonical order.
+    pub(crate) score_param_ids: Vec<ParamId>,
+    /// `score` pruned to `[logit_a, g_B]`: the Task-A head without the
+    /// Task-B MLP. Keeping `g_B` live preserves every MTL op, so the op
+    /// indices in `score.layers` remain valid.
+    plan_a: Plan,
+    /// `score` pruned to `[logit_b, g_A]`, symmetrically.
+    plan_b: Plan,
     n_users: usize,
     n_items: usize,
 }
@@ -61,13 +96,34 @@ impl Mgbr {
             Activation::Relu,
             Activation::Identity,
         );
+
+        let score = build_score_plan(&ScoreSpec {
+            mtl: mtl.spec.clone(),
+            mlp_a: mlp_spec(&mlp_a),
+            mlp_b: mlp_spec(&mlp_b),
+        });
+        let mut score_param_ids = mtl.param_ids.clone();
+        for mlp in [&mlp_a, &mlp_b] {
+            for layer in mlp.layers() {
+                score_param_ids.push(layer.w);
+                score_param_ids.extend(layer.b);
+            }
+        }
+        assert_eq!(
+            score.plan.params.len(),
+            score_param_ids.len(),
+            "score plan parameter slots must match the registered parameters"
+        );
+        let plan_a = score.plan.pruned(&[score.logit_a, score.g_b]);
+        let plan_b = score.plan.pruned(&[score.logit_b, score.g_a]);
         Self {
             cfg,
             store,
             embedding,
-            mtl,
-            mlp_a,
-            mlp_b,
+            score,
+            score_param_ids,
+            plan_a,
+            plan_b,
             n_users: train.n_users,
             n_items: train.n_items,
         }
@@ -93,6 +149,25 @@ impl Mgbr {
         self.embedding.forward(ctx)
     }
 
+    /// Executes one of the scoring plans on the tape; `plan` must share
+    /// `score`'s MTL-prefix op indices so the layer trace ranges apply.
+    fn run_score_plan(
+        &self,
+        ctx: &StepCtx<'_>,
+        plan: &Plan,
+        e_u: &Var,
+        e_i: &Var,
+        e_p: &Var,
+    ) -> Vec<Var> {
+        run_taped(
+            ctx,
+            plan,
+            &self.score.layers,
+            &self.score_param_ids,
+            &[e_u, e_i, e_p],
+        )
+    }
+
     /// Task A pre-sigmoid logit `MLP_A(g_A^L)` for batched triples. The
     /// caller chooses `e_p` (mean-user for ranking, a concrete
     /// participant for the auxiliary loss `s(u,i,p)`).
@@ -102,14 +177,14 @@ impl Mgbr {
     /// scores saturates `σ` to exact 0/1 in `f32` and permanently kills
     /// the gradient (observed in integration testing; see DESIGN.md §2).
     pub fn logit_a(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> Var {
-        let (g_a, _) = self.mtl.forward(ctx, e_u, e_i, e_p);
-        self.mlp_a.forward(ctx, &g_a)
+        self.run_score_plan(ctx, &self.plan_a, e_u, e_i, e_p)
+            .swap_remove(0)
     }
 
     /// Task B pre-sigmoid logit `MLP_B(g_B^L)` for batched triples.
     pub fn logit_b(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> Var {
-        let (_, g_b) = self.mtl.forward(ctx, e_u, e_i, e_p);
-        self.mlp_b.forward(ctx, &g_b)
+        self.run_score_plan(ctx, &self.plan_b, e_u, e_i, e_p)
+            .swap_remove(0)
     }
 
     /// Task A score `s(i|u) = σ(MLP_A(g_A^L))` (Eq. 16).
@@ -125,11 +200,12 @@ impl Mgbr {
     /// Both heads in one MTL pass (used when a batch needs A- and
     /// B-scores of the same triples).
     pub fn score_both(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> (Var, Var) {
-        let (g_a, g_b) = self.mtl.forward(ctx, e_u, e_i, e_p);
-        (
-            self.mlp_a.forward(ctx, &g_a).sigmoid(),
-            self.mlp_b.forward(ctx, &g_b).sigmoid(),
-        )
+        let mut outs = self
+            .run_score_plan(ctx, &self.score.plan, e_u, e_i, e_p)
+            .into_iter();
+        let logit_a = outs.next().expect("plan returns logit_a");
+        let logit_b = outs.next().expect("plan returns logit_b");
+        (logit_a.sigmoid(), logit_b.sigmoid())
     }
 
     /// Freezes the current parameters into an evaluation scorer,
@@ -383,5 +459,17 @@ mod tests {
         let sb2 = m.score_b(&ctx, &e_u, &e_i, &e_p);
         assert_eq!(sa.value(), sa2.value());
         assert_eq!(sb.value(), sb2.value());
+    }
+
+    #[test]
+    fn pruned_single_head_plans_keep_the_full_mtl_prefix() {
+        // The layer trace ranges computed for the full score plan must
+        // stay valid on the pruned per-head plans: identical ops through
+        // the last MTL op.
+        let (m, _) = model(MgbrVariant::Full);
+        let mtl_end = m.score.layers.last().unwrap().ops.end;
+        assert_eq!(&m.plan_a.ops[..mtl_end], &m.score.plan.ops[..mtl_end]);
+        assert_eq!(&m.plan_b.ops[..mtl_end], &m.score.plan.ops[..mtl_end]);
+        assert!(m.plan_a.ops.len() < m.score.plan.ops.len());
     }
 }

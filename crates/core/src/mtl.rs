@@ -2,139 +2,63 @@
 //! `K` expert networks per sub-module (A, B, and shared S) and one gate
 //! per sub-module combining a generic gated unit (Eq. 10/13/14) with an
 //! adjusted gated unit driven by the pair embeddings (Eq. 11-13).
+//!
+//! Since the execution-plan refactor this module owns no forward code:
+//! construction registers the parameters (in the canonical order) and
+//! lowers the layer structure to an [`MtlSpec`], and [`MtlModule::forward`]
+//! executes the built plan on the autograd tape through the shared
+//! interpreter — the same interpreter the frozen scorer runs.
 
 use mgbr_autograd::Var;
 use mgbr_nn::{Linear, ParamId, ParamStore, StepCtx};
+use mgbr_plan::{
+    build_mtl_plan, Bindings, Executor, LayerSpec, LayerTrace, MtlPlan, MtlSpec, Plan, TapedBackend,
+};
 use mgbr_tensor::{Pcg32, Tensor};
 
 use crate::MgbrConfig;
 
-/// Batched pair embeddings `e_u‖e_i`, `e_i‖e_p`, `e_u‖e_p` (each
-/// `B × 4d`), the inputs of the adjusted gated units.
-pub struct PairEmbeds {
-    /// `e_u ‖ e_i` — the pair Task A focuses on.
-    pub ui: Var,
-    /// `e_i ‖ e_p` — participant preference on the item.
-    pub ip: Var,
-    /// `e_u ‖ e_p` — initiator/participant preference similarity.
-    pub up: Var,
-}
-
-impl PairEmbeds {
-    /// Assembles the pair embeddings from batched object embeddings.
-    pub fn new(e_u: &Var, e_i: &Var, e_p: &Var) -> Self {
-        Self {
-            ui: Var::concat_cols(&[e_u, e_i]),
-            ip: Var::concat_cols(&[e_i, e_p]),
-            up: Var::concat_cols(&[e_u, e_p]),
-        }
-    }
-}
-
-/// Gate outputs flowing between layers.
-struct LayerState {
-    g_a: Var,
-    g_b: Var,
-    g_s: Option<Var>,
-}
-
-/// `K` expert networks sharing an input (Eq. 7-9: bias-free linear maps).
+/// Registers one fused expert bank (Eq. 7-9: `K` bias-free linear maps).
 ///
 /// The `K` per-expert weight matrices are stored as column blocks of one
 /// fused `in_dim × K·d` tensor and applied as a single GEMM (the wide
 /// product runs ~1.7× faster than `K` narrow ones on this engine's
 /// kernels). Because the GEMM accumulates the inner dimension in the same
 /// order regardless of output width, each sliced expert output is bitwise
-/// identical to what a separate per-expert product would produce.
-pub(crate) struct ExpertBank {
-    /// Fused weights; expert `e` occupies columns `[e·d, (e+1)·d)`.
-    pub(crate) w: ParamId,
+/// identical to what a separate per-expert product would produce. The K
+/// Xavier matrices are drawn individually (per-expert fan-out, in
+/// registration order) so initial values match K separate layers.
+fn expert_bank(
+    store: &mut ParamStore,
+    rng: &mut Pcg32,
+    name: &str,
     k: usize,
     in_dim: usize,
     out_dim: usize,
-}
-
-impl ExpertBank {
-    fn new(
-        store: &mut ParamStore,
-        rng: &mut Pcg32,
-        name: &str,
-        k: usize,
-        in_dim: usize,
-        out_dim: usize,
-    ) -> Self {
-        // Draw the K Xavier matrices individually (per-expert fan-out, in
-        // registration order) so initial values match K separate layers.
-        let mut fused = Tensor::zeros(in_dim, k * out_dim);
-        for e in 0..k {
-            let t = rng.xavier_tensor(in_dim, out_dim);
-            for r in 0..in_dim {
-                fused.row_mut(r)[e * out_dim..(e + 1) * out_dim].copy_from_slice(t.row(r));
-            }
-        }
-        let w = store.add(format!("{name}.experts.w"), fused);
-        Self {
-            w,
-            k,
-            in_dim,
-            out_dim,
+) -> ParamId {
+    let mut fused = Tensor::zeros(in_dim, k * out_dim);
+    for e in 0..k {
+        let t = rng.xavier_tensor(in_dim, out_dim);
+        for r in 0..in_dim {
+            fused.row_mut(r)[e * out_dim..(e + 1) * out_dim].copy_from_slice(t.row(r));
         }
     }
-
-    fn forward(&self, ctx: &StepCtx<'_>, input: &Var) -> Vec<Var> {
-        assert_eq!(
-            input.cols(),
-            self.in_dim,
-            "ExpertBank: input width {} != declared in_dim {}",
-            input.cols(),
-            self.in_dim
-        );
-        let all = input.matmul(&ctx.param(self.w));
-        (0..self.k)
-            .map(|e| all.slice_cols(e * self.out_dim, self.out_dim))
-            .collect()
-    }
+    store.add(format!("{name}.experts.w"), fused)
 }
 
-/// The adjusted gated unit's pair-projection weights for one task gate.
-///
-/// Each present projection maps a `B × 4d` pair embedding to `B × K`
-/// attention weights over one expert bank (Eq. 11 for A, Eq. 13 for B).
-/// Projections that would attend over the shared bank are absent in the
-/// MGBR-M variant.
-pub(crate) struct AdjustedGate {
-    pub(crate) ui: Option<Linear>,
-    pub(crate) ip: Option<Linear>,
-    pub(crate) up: Option<Linear>,
-}
-
-/// One MTL layer (Fig. 3).
-pub(crate) struct MtlLayer {
-    pub(crate) experts_a: ExpertBank,
-    pub(crate) experts_b: ExpertBank,
-    pub(crate) experts_s: Option<ExpertBank>,
-    pub(crate) gate_a: Linear,
-    pub(crate) gate_b: Linear,
-    pub(crate) gate_s: Option<Linear>,
-    pub(crate) adj_a: Option<AdjustedGate>,
-    pub(crate) adj_b: Option<AdjustedGate>,
-    /// Feed gate states straight through instead of concatenating
-    /// identical copies (first layer with `first_layer_dedup`).
-    pub(crate) dedup_inputs: bool,
-}
-
-/// The full multi-task learning module.
+/// The full multi-task learning module: the lowered spec, the canonical
+/// parameter list, and the executable plan.
 pub struct MtlModule {
-    pub(crate) layers: Vec<MtlLayer>,
-    pub(crate) has_shared: bool,
-    pub(crate) alpha_a: f32,
-    pub(crate) alpha_b: f32,
-    pub(crate) gate_softmax: bool,
+    /// Layer structure, reused by the model to assemble its score spec.
+    pub(crate) spec: MtlSpec,
+    /// Parameter handles in the plan's (canonical) declaration order.
+    pub(crate) param_ids: Vec<ParamId>,
+    plan: MtlPlan,
     out_dim: usize,
 }
 
 impl MtlModule {
-    /// Registers all expert and gate parameters.
+    /// Registers all expert and gate parameters and builds the plan.
     pub fn new(store: &mut ParamStore, rng: &mut Pcg32, cfg: &MgbrConfig) -> Self {
         cfg.validate();
         let has_shared = cfg.variant.has_shared();
@@ -144,7 +68,8 @@ impl MtlModule {
         let g0 = cfg.g0_dim();
         let pair_dim = 2 * cfg.obj_dim();
 
-        let mut layers = Vec::with_capacity(cfg.mtl_layers);
+        let mut param_ids = Vec::new();
+        let mut layer_specs = Vec::with_capacity(cfg.mtl_layers);
         for l in 0..cfg.mtl_layers {
             let first = l == 0;
             let dedup = first && cfg.first_layer_dedup;
@@ -158,66 +83,61 @@ impl MtlModule {
             let in_s = if dedup { state_w } else { 3 * state_w };
 
             let name = |part: &str| format!("mtl.l{l}.{part}");
-            let experts_a = ExpertBank::new(store, rng, &name("A"), k, in_ab, d);
-            let experts_b = ExpertBank::new(store, rng, &name("B"), k, in_ab, d);
-            let experts_s = has_shared.then(|| ExpertBank::new(store, rng, &name("S"), k, in_s, d));
+            param_ids.push(expert_bank(store, rng, &name("A"), k, in_ab, d));
+            param_ids.push(expert_bank(store, rng, &name("B"), k, in_ab, d));
+            if has_shared {
+                param_ids.push(expert_bank(store, rng, &name("S"), k, in_s, d));
+            }
 
             let gate_out_ab = if has_shared { 2 * k } else { k };
-            let gate_a = Linear::new(store, rng, &name("gateA"), in_ab, gate_out_ab, false);
-            let gate_b = Linear::new(store, rng, &name("gateB"), in_ab, gate_out_ab, false);
+            param_ids.push(Linear::new(store, rng, &name("gateA"), in_ab, gate_out_ab, false).w);
+            param_ids.push(Linear::new(store, rng, &name("gateB"), in_ab, gate_out_ab, false).w);
             // Gate S on the final layer would feed nothing (only g_A^L and
             // g_B^L reach the prediction module), so it is not built.
-            let gate_s = (has_shared && l + 1 < cfg.mtl_layers)
-                .then(|| Linear::new(store, rng, &name("gateS"), in_s, 3 * k, false));
+            let has_gate_s = has_shared && l + 1 < cfg.mtl_layers;
+            if has_gate_s {
+                param_ids.push(Linear::new(store, rng, &name("gateS"), in_s, 3 * k, false).w);
+            }
 
-            let (adj_a, adj_b) = if has_adjusted {
-                let adj = |store: &mut ParamStore, rng: &mut Pcg32, tag: &str, mask: [bool; 3]| {
-                    let mk = |store: &mut ParamStore, rng: &mut Pcg32, on: bool, p: &str| {
-                        on.then(|| {
-                            Linear::new(
-                                store,
-                                rng,
-                                &name(&format!("{tag}.{p}")),
-                                pair_dim,
-                                k,
-                                false,
-                            )
-                        })
-                    };
-                    AdjustedGate {
-                        ui: mk(store, rng, mask[0], "ui"),
-                        ip: mk(store, rng, mask[1], "ip"),
-                        up: mk(store, rng, mask[2], "up"),
+            // Gate A: ui→E_A always; ip,up→E_S only when S exists.
+            // Gate B: ip,up→E_B always; ui→E_S only when S exists.
+            let masks: Option<[[bool; 3]; 2]> =
+                has_adjusted.then_some([[true, has_shared, has_shared], [has_shared, true, true]]);
+            if let Some([mask_a, mask_b]) = masks {
+                for (tag, mask) in [("adjA", mask_a), ("adjB", mask_b)] {
+                    for (&on, pair) in mask.iter().zip(["ui", "ip", "up"]) {
+                        if on {
+                            let pname = name(&format!("{tag}.{pair}"));
+                            param_ids.push(Linear::new(store, rng, &pname, pair_dim, k, false).w);
+                        }
                     }
-                };
-                // Gate A: ui→E_A always; ip,up→E_S only when S exists.
-                // Gate B: ip,up→E_B always; ui→E_S only when S exists.
-                (
-                    Some(adj(store, rng, "adjA", [true, has_shared, has_shared])),
-                    Some(adj(store, rng, "adjB", [has_shared, true, true])),
-                )
-            } else {
-                (None, None)
-            };
+                }
+            }
 
-            layers.push(MtlLayer {
-                experts_a,
-                experts_b,
-                experts_s,
-                gate_a,
-                gate_b,
-                gate_s,
-                adj_a,
-                adj_b,
+            layer_specs.push(LayerSpec {
                 dedup_inputs: dedup,
+                has_gate_s,
+                adj_a: masks.map(|[m, _]| m),
+                adj_b: masks.map(|[_, m]| m),
             });
         }
-        Self {
-            layers,
+        let spec = MtlSpec {
             has_shared,
+            gate_softmax: cfg.gate_softmax,
             alpha_a: cfg.alpha_a,
             alpha_b: cfg.alpha_b,
-            gate_softmax: cfg.gate_softmax,
+            layers: layer_specs,
+        };
+        let plan = build_mtl_plan(&spec);
+        assert_eq!(
+            plan.plan.params.len(),
+            param_ids.len(),
+            "plan parameter slots must match the registered parameters"
+        );
+        Self {
+            spec,
+            param_ids,
+            plan,
             out_dim: d,
         }
     }
@@ -230,162 +150,43 @@ impl MtlModule {
     /// Runs all layers on batched object embeddings, returning
     /// `(g_A^L, g_B^L)` (Eq. 15 initialization, Eq. 7-14 per layer).
     pub fn forward(&self, ctx: &StepCtx<'_>, e_u: &Var, e_i: &Var, e_p: &Var) -> (Var, Var) {
-        let g0 = Var::concat_cols(&[e_u, e_i, e_p]);
-        let pairs = PairEmbeds::new(e_u, e_i, e_p);
-        let mut state = LayerState {
-            g_a: g0.clone(),
-            g_b: g0.clone(),
-            g_s: self.has_shared.then_some(g0),
-        };
-        for (li, layer) in self.layers.iter().enumerate() {
-            let _obs = mgbr_obs::span("mtl.layer", "model")
-                .arg("layer", li as u64)
-                .arg("shared", layer.experts_s.is_some());
-            state = self.layer_forward(ctx, layer, &state, &pairs);
-        }
-        (state.g_a, state.g_b)
-    }
-
-    fn layer_forward(
-        &self,
-        ctx: &StepCtx<'_>,
-        layer: &MtlLayer,
-        state: &LayerState,
-        pairs: &PairEmbeds,
-    ) -> LayerState {
-        // Expert inputs (Eq. 7-9, with the first-layer dedup resolution).
-        let input_a = self.task_input(layer, &state.g_a, state.g_s.as_ref());
-        let input_b = self.task_input(layer, &state.g_b, state.g_s.as_ref());
-        let input_s = state.g_s.as_ref().map(|g_s| {
-            if layer.dedup_inputs {
-                g_s.clone()
-            } else {
-                Var::concat_cols(&[&state.g_a, g_s, &state.g_b])
-            }
-        });
-
-        let e_a = layer.experts_a.forward(ctx, &input_a);
-        let e_b = layer.experts_b.forward(ctx, &input_b);
-        let e_s = layer
-            .experts_s
-            .as_ref()
-            .map(|bank| bank.forward(ctx, input_s.as_ref().expect("shared input present")));
-
-        // Gate A (Eq. 10-12).
-        let g_a = self.task_gate(
+        let mut outs = run_taped(
             ctx,
-            &layer.gate_a,
-            layer.adj_a.as_ref(),
-            &input_a,
-            pairs,
-            &e_a,
-            e_s.as_deref(),
-            self.alpha_a,
-            GateKind::A,
-        );
-        // Gate B (Eq. 13).
-        let g_b = self.task_gate(
-            ctx,
-            &layer.gate_b,
-            layer.adj_b.as_ref(),
-            &input_b,
-            pairs,
-            &e_b,
-            e_s.as_deref(),
-            self.alpha_b,
-            GateKind::B,
-        );
-        // Gate S (Eq. 14).
-        let g_s = layer.gate_s.as_ref().map(|gate| {
-            let input = input_s.as_ref().expect("shared input present");
-            let weights = self.normalize(gate.forward(ctx, input));
-            let all: Vec<&Var> = e_a
-                .iter()
-                .chain(e_s.as_ref().expect("shared experts present"))
-                .chain(&e_b)
-                .collect();
-            Var::mix_experts(&weights, &all)
-        });
-
-        LayerState { g_a, g_b, g_s }
-    }
-
-    fn task_input(&self, layer: &MtlLayer, g_task: &Var, g_s: Option<&Var>) -> Var {
-        match g_s {
-            Some(g_s) if !layer.dedup_inputs => Var::concat_cols(&[g_task, g_s]),
-            _ => g_task.clone(),
-        }
-    }
-
-    fn normalize(&self, weights: Var) -> Var {
-        if self.gate_softmax {
-            weights.softmax_rows()
-        } else {
-            weights
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn task_gate(
-        &self,
-        ctx: &StepCtx<'_>,
-        gate_w: &Linear,
-        adj: Option<&AdjustedGate>,
-        input: &Var,
-        pairs: &PairEmbeds,
-        own: &[Var],
-        shared: Option<&[Var]>,
-        alpha: f32,
-        kind: GateKind,
-    ) -> Var {
-        // Generic unit: attention from the layer input over [own ‖ shared].
-        let weights = self.normalize(gate_w.forward(ctx, input));
-        let mut banks: Vec<&Var> = own.iter().collect();
-        if let Some(s) = shared {
-            banks.extend(s);
-        }
-        let g1 = Var::mix_experts(&weights, &banks);
-
-        let Some(adj) = adj else {
-            return g1;
-        };
-        // Adjusted unit: pair-driven attention. Which pair attends over
-        // which bank follows Eq. 11 (gate A) / Eq. 13 (gate B).
-        let own_refs: Vec<&Var> = own.iter().collect();
-        let shared_refs: Vec<&Var> = shared.map(|s| s.iter().collect()).unwrap_or_default();
-        let mut g2: Option<Var> = None;
-        let mut add_term = |proj: &Option<Linear>, pair: &Var, bank: &[&Var]| {
-            if let Some(w) = proj {
-                let aw = self.normalize(w.forward(ctx, pair));
-                let term = Var::mix_experts(&aw, bank);
-                g2 = Some(match g2.take() {
-                    Some(acc) => acc.add(&term),
-                    None => term,
-                });
-            }
-        };
-        match kind {
-            GateKind::A => {
-                add_term(&adj.ui, &pairs.ui, &own_refs);
-                add_term(&adj.ip, &pairs.ip, &shared_refs);
-                add_term(&adj.up, &pairs.up, &shared_refs);
-            }
-            GateKind::B => {
-                add_term(&adj.ui, &pairs.ui, &shared_refs);
-                add_term(&adj.ip, &pairs.ip, &own_refs);
-                add_term(&adj.up, &pairs.up, &own_refs);
-            }
-        }
-        match g2 {
-            Some(g2) => g1.add(&g2.scale(alpha)),
-            None => g1,
-        }
+            &self.plan.plan,
+            &self.plan.layers,
+            &self.param_ids,
+            &[e_u, e_i, e_p],
+        )
+        .into_iter();
+        let g_a = outs.next().expect("plan returns g_A");
+        let g_b = outs.next().expect("plan returns g_B");
+        (g_a, g_b)
     }
 }
 
-enum GateKind {
-    A,
-    B,
+/// Executes a score/MTL plan on the autograd tape, wrapping each MTL
+/// layer's op range in its `mtl.layer` trace span. Parameters are bound
+/// through [`StepCtx::param`] in the plan's canonical order, so gradients
+/// flow to the store exactly as with the hand-written forward.
+pub(crate) fn run_taped(
+    ctx: &StepCtx<'_>,
+    plan: &Plan,
+    layers: &[LayerTrace],
+    param_ids: &[ParamId],
+    inputs: &[&Var],
+) -> Vec<Var> {
+    let params: Vec<Var> = param_ids.iter().map(|&id| ctx.param(id)).collect();
+    let prefs: Vec<&Var> = params.iter().collect();
+    let bindings = Bindings::default();
+    let mut exec = Executor::new(plan, inputs, &prefs, TapedBackend::new(&bindings));
+    for (li, trace) in layers.iter().enumerate() {
+        exec.run_to(trace.ops.start);
+        let _obs = mgbr_obs::span("mtl.layer", "model")
+            .arg("layer", li as u64)
+            .arg("shared", trace.shared);
+        exec.run_to(trace.ops.end);
+    }
+    exec.finish()
 }
 
 #[cfg(test)]

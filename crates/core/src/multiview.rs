@@ -1,12 +1,19 @@
 //! Multi-view embedding learning with GCNs (§II-C, Eq. 1-6), plus the
 //! single-HIN variant used by the MGBR-D ablation.
+//!
+//! Since the execution-plan refactor the forward lives in
+//! [`mgbr_plan::build_embed_plan`]: construction registers the GCN
+//! parameters (in the canonical order), builds the graphs once into a
+//! [`Bindings`] table, and [`EmbeddingModule::forward`] executes the plan
+//! on the autograd tape.
 
 use std::rc::Rc;
 
 use mgbr_autograd::Var;
 use mgbr_data::Dataset;
-use mgbr_graph::{Csr, GraphViews, HinGraph};
-use mgbr_nn::{Linear, ParamStore, StepCtx};
+use mgbr_graph::{GraphViews, HinGraph};
+use mgbr_nn::{Linear, ParamId, ParamStore, StepCtx};
+use mgbr_plan::{build_embed_plan, execute, Bindings, EmbedSpec, Plan, TapedBackend};
 use mgbr_tensor::Pcg32;
 
 use crate::MgbrConfig;
@@ -25,83 +32,40 @@ pub struct ObjectEmbeddings {
     pub participants: Var,
 }
 
-/// One GCN: the propagation matrix plus per-layer weight handles.
-struct Gcn {
-    adj: Rc<Csr>,
-    /// Trainable input features `X⁰` (Gaussian-initialized, per §II-C2).
-    x0: mgbr_nn::ParamId,
-    /// Per-layer weights `W^{l-1} ∈ R^{d×d}`.
-    weights: Vec<Linear>,
-}
-
-impl Gcn {
-    fn new(
-        store: &mut ParamStore,
-        rng: &mut Pcg32,
-        name: &str,
-        adj: Csr,
-        n_nodes: usize,
-        dim: usize,
-        layers: usize,
-    ) -> Self {
-        assert_eq!(adj.n_rows(), n_nodes, "{name}: adjacency size mismatch");
-        let x0 = store.add(
-            format!("{name}.x0"),
-            rng.normal_tensor(n_nodes, dim, 0.0, 1.0),
-        );
-        let weights = (0..layers)
-            .map(|l| Linear::new(store, rng, &format!("{name}.w{l}"), dim, dim, false))
-            .collect();
-        Self {
-            adj: Rc::new(adj),
-            x0,
-            weights,
-        }
-    }
-
-    /// `X^l = σ(Â · X^{l-1} · W^{l-1})` for every layer (Eq. 1-3).
-    fn forward(&self, ctx: &StepCtx<'_>) -> Var {
-        let mut x = ctx.param(self.x0);
-        for w in &self.weights {
-            x = w.forward(ctx, &x.spmm_sym(&self.adj)).sigmoid();
-        }
-        x
+/// Registers one GCN's parameters in the canonical order: trainable
+/// input features `X⁰` (Gaussian-initialized, per §II-C2), then the
+/// per-layer weights `W^{l-1} ∈ R^{d×d}`.
+fn register_gcn(
+    store: &mut ParamStore,
+    rng: &mut Pcg32,
+    name: &str,
+    n_nodes: usize,
+    dim: usize,
+    layers: usize,
+    ids: &mut Vec<ParamId>,
+) {
+    ids.push(store.add(
+        format!("{name}.x0"),
+        rng.normal_tensor(n_nodes, dim, 0.0, 1.0),
+    ));
+    for l in 0..layers {
+        ids.push(Linear::new(store, rng, &format!("{name}.w{l}"), dim, dim, false).w);
     }
 }
 
 /// The embedding module: either the paper's three views or (MGBR-D) one
-/// heterogeneous information network.
+/// heterogeneous information network, lowered to an execution plan.
 ///
-/// The user/item gather-index vectors are invariant across training (the
-/// node layout never changes), so they are built once here and shared by
-/// every forward pass instead of being reallocated per step.
-pub enum EmbeddingModule {
-    /// Three per-view GCNs (the paper's design).
-    MultiView {
-        /// GCN over `G_UI` (users then items).
-        ui: Gcn2,
-        /// GCN over `G_PI` (users then items).
-        pi: Gcn2,
-        /// GCN over `G_UP` (users only).
-        up: Gcn2,
-        /// Cached row indices `0..|U|` of the bipartite node layout.
-        user_rows: Rc<Vec<usize>>,
-        /// Cached row indices `|U|..|U|+|I|`.
-        item_rows: Rc<Vec<usize>>,
-    },
-    /// One GCN over the folded HIN at width `2d` (MGBR-D, §III-B).
-    Hin {
-        /// The single GCN over all `|U| + |I|` nodes.
-        gcn: Gcn2,
-        /// Cached row indices `0..|U|`.
-        user_rows: Rc<Vec<usize>>,
-        /// Cached row indices `|U|..|U|+|I|`.
-        item_rows: Rc<Vec<usize>>,
-    },
+/// The user/item gather-index vectors and normalized adjacencies are
+/// invariant across training (the node layout never changes), so they
+/// are built once into the bindings table and shared by every forward
+/// pass instead of being reallocated per step.
+pub struct EmbeddingModule {
+    plan: Plan,
+    bindings: Bindings,
+    param_ids: Vec<ParamId>,
+    hin: bool,
 }
-
-/// Public wrapper around [`Gcn`] (kept private to control the API).
-pub struct Gcn2(Gcn);
 
 impl EmbeddingModule {
     /// Builds the module (and its graphs) from the training partition.
@@ -113,8 +77,10 @@ impl EmbeddingModule {
         } else {
             train.up_edges()
         };
-        if cfg.variant.uses_hin() {
-            let hin = HinGraph::build(
+        let mut param_ids = Vec::new();
+        let hin = cfg.variant.uses_hin();
+        let (spec, bindings) = if hin {
+            let graph = HinGraph::build(
                 train.n_users,
                 train.n_items,
                 &ui_edges,
@@ -122,13 +88,30 @@ impl EmbeddingModule {
                 &up_edges,
             );
             let n = train.n_users + train.n_items;
+            assert_eq!(graph.adj.n_rows(), n, "hin: adjacency size mismatch");
             // Width 2d so downstream dims match the multi-view build.
-            let gcn = Gcn::new(store, rng, "hin", hin.adj, n, cfg.obj_dim(), cfg.gcn_layers);
-            EmbeddingModule::Hin {
-                gcn: Gcn2(gcn),
-                user_rows: Rc::new((0..train.n_users).collect()),
-                item_rows: Rc::new((train.n_users..n).collect()),
-            }
+            register_gcn(
+                store,
+                rng,
+                "hin",
+                n,
+                cfg.obj_dim(),
+                cfg.gcn_layers,
+                &mut param_ids,
+            );
+            let bindings = Bindings {
+                indices: vec![
+                    Rc::new((0..train.n_users).collect()),
+                    Rc::new((train.n_users..n).collect()),
+                ],
+                adjs: vec![Rc::new(graph.adj)],
+            };
+            (
+                EmbedSpec::Hin {
+                    gcn_layers: cfg.gcn_layers,
+                },
+                bindings,
+            )
         } else {
             let views = GraphViews::build(
                 train.n_users,
@@ -138,92 +121,74 @@ impl EmbeddingModule {
                 &up_edges,
             );
             let n_bip = views.n_bipartite();
-            let ui = Gcn::new(
-                store,
-                rng,
-                "gcn_ui",
-                views.a_ui,
-                n_bip,
-                cfg.d,
-                cfg.gcn_layers,
-            );
-            let pi = Gcn::new(
-                store,
-                rng,
-                "gcn_pi",
-                views.a_pi,
-                n_bip,
-                cfg.d,
-                cfg.gcn_layers,
-            );
-            let up = Gcn::new(
-                store,
-                rng,
-                "gcn_up",
-                views.a_up,
-                views.n_users,
-                cfg.d,
-                cfg.gcn_layers,
-            );
-            EmbeddingModule::MultiView {
-                ui: Gcn2(ui),
-                pi: Gcn2(pi),
-                up: Gcn2(up),
-                user_rows: Rc::new((0..views.n_users).collect()),
-                item_rows: Rc::new((views.n_users..n_bip).collect()),
+            for (name, adj, n_nodes) in [
+                ("gcn_ui", &views.a_ui, n_bip),
+                ("gcn_pi", &views.a_pi, n_bip),
+                ("gcn_up", &views.a_up, views.n_users),
+            ] {
+                assert_eq!(adj.n_rows(), n_nodes, "{name}: adjacency size mismatch");
+                register_gcn(
+                    store,
+                    rng,
+                    name,
+                    n_nodes,
+                    cfg.d,
+                    cfg.gcn_layers,
+                    &mut param_ids,
+                );
             }
+            let bindings = Bindings {
+                indices: vec![
+                    Rc::new((0..views.n_users).collect()),
+                    Rc::new((views.n_users..n_bip).collect()),
+                ],
+                adjs: vec![
+                    Rc::new(views.a_ui),
+                    Rc::new(views.a_pi),
+                    Rc::new(views.a_up),
+                ],
+            };
+            (
+                EmbedSpec::MultiView {
+                    gcn_layers: cfg.gcn_layers,
+                },
+                bindings,
+            )
+        };
+        let plan = build_embed_plan(&spec);
+        assert_eq!(
+            plan.params.len(),
+            param_ids.len(),
+            "embed plan parameter slots must match the registered parameters"
+        );
+        Self {
+            plan,
+            bindings,
+            param_ids,
+            hin,
         }
     }
 
     /// Runs the GCNs and assembles `e_u, e_i, e_p` (Eq. 4-6).
+    ///
+    /// For the HIN variant the plan outputs the users slot twice; the
+    /// executor clones the `Var` (sharing the tape node), so users get a
+    /// single role-free representation — exactly the capability MGBR-D
+    /// removes.
     pub fn forward(&self, ctx: &StepCtx<'_>) -> ObjectEmbeddings {
-        let _obs = mgbr_obs::span("multiview.forward", "model").arg(
-            "views",
-            if matches!(self, EmbeddingModule::Hin { .. }) {
-                1u64
-            } else {
-                3
-            },
-        );
-        match self {
-            EmbeddingModule::MultiView {
-                ui,
-                pi,
-                up,
-                user_rows,
-                item_rows,
-            } => {
-                let x_ui = ui.0.forward(ctx);
-                let x_pi = pi.0.forward(ctx);
-                let x_up = up.0.forward(ctx);
-
-                let e_u_ui = x_ui.gather_rows(Rc::clone(user_rows));
-                let e_i_ui = x_ui.gather_rows(Rc::clone(item_rows));
-                let e_p_pi = x_pi.gather_rows(Rc::clone(user_rows));
-                let e_i_pi = x_pi.gather_rows(Rc::clone(item_rows));
-
-                ObjectEmbeddings {
-                    users: Var::concat_cols(&[&e_u_ui, &x_up]),
-                    items: Var::concat_cols(&[&e_i_ui, &e_i_pi]),
-                    participants: Var::concat_cols(&[&e_p_pi, &x_up]),
-                }
-            }
-            EmbeddingModule::Hin {
-                gcn,
-                user_rows,
-                item_rows,
-            } => {
-                let x = gcn.0.forward(ctx);
-                let users = x.gather_rows(Rc::clone(user_rows));
-                let items = x.gather_rows(Rc::clone(item_rows));
-                // One HIN gives users a single role-free representation —
-                // exactly the capability MGBR-D removes.
-                ObjectEmbeddings {
-                    participants: users.clone(),
-                    users,
-                    items,
-                }
-            }
+        let _obs = mgbr_obs::span("multiview.forward", "model")
+            .arg("views", if self.hin { 1u64 } else { 3 });
+        let params: Vec<Var> = self.param_ids.iter().map(|&id| ctx.param(id)).collect();
+        let prefs: Vec<&Var> = params.iter().collect();
+        let mut outs =
+            execute(&self.plan, &[], &prefs, TapedBackend::new(&self.bindings)).into_iter();
+        let users = outs.next().expect("plan returns e_u");
+        let items = outs.next().expect("plan returns e_i");
+        let participants = outs.next().expect("plan returns e_p");
+        ObjectEmbeddings {
+            users,
+            items,
+            participants,
         }
     }
 }

@@ -1,0 +1,602 @@
+//! Plan builders: shape-polymorphic specs describing an MGBR forward's
+//! *structure* (which sub-modules exist, never their dimensions) and the
+//! emitters that lower a spec to a [`Plan`].
+//!
+//! The emitters are the single source of truth for the forward's op
+//! order. The trainer lowers its module structure to a spec at
+//! construction time and executes the resulting plan on the tape; the
+//! frozen artifact stores the very same plan; and a v1 artifact is
+//! upgraded by deriving its spec from the legacy fields and re-lowering.
+//! Parameter slots are declared in the **canonical parameter order**
+//! (the `ParamStore` registration order, which is also the `MGBRFRZN`
+//! v1 field order), so a flat parameter list binds identically
+//! everywhere.
+
+use std::ops::Range;
+
+use crate::{ActKind, Plan, PlanOp, Slot, SlotId};
+
+/// Structure of one prediction MLP: per-layer bias presence plus the
+/// hidden/output activations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpSpec {
+    /// One entry per affine layer: does it carry a bias row?
+    pub layers: Vec<bool>,
+    /// Activation after every non-final layer.
+    pub hidden: ActKind,
+    /// Activation after the final layer.
+    pub output: ActKind,
+}
+
+/// Structure of one MTL layer (Fig. 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerSpec {
+    /// First-layer dedup: gate states feed experts directly instead of
+    /// concatenating identical copies of `g⁰`.
+    pub dedup_inputs: bool,
+    /// Whether this layer has a shared gate (absent on the final layer).
+    pub has_gate_s: bool,
+    /// Adjusted gate A: per-pair (ui, ip, up) projection presence, or
+    /// `None` when the variant drops adjusted gates entirely.
+    pub adj_a: Option<[bool; 3]>,
+    /// Adjusted gate B, as above.
+    pub adj_b: Option<[bool; 3]>,
+}
+
+/// Structure of the MTL stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtlSpec {
+    /// Whether the shared expert bank S exists.
+    pub has_shared: bool,
+    /// Softmax-normalize gate attention weights (the MMoE-style option).
+    pub gate_softmax: bool,
+    /// Adjusted-gate blend weight for task A (Eq. 12).
+    pub alpha_a: f32,
+    /// Adjusted-gate blend weight for task B.
+    pub alpha_b: f32,
+    /// Per-layer structure.
+    pub layers: Vec<LayerSpec>,
+}
+
+/// Structure of the full scoring forward: MTL stack plus both heads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreSpec {
+    /// The MTL stack.
+    pub mtl: MtlSpec,
+    /// Task A prediction MLP.
+    pub mlp_a: MlpSpec,
+    /// Task B prediction MLP.
+    pub mlp_b: MlpSpec,
+}
+
+/// Structure of the embedding module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbedSpec {
+    /// The paper's three per-view GCNs (`G_UI`, `G_PI`, `G_UP`).
+    MultiView {
+        /// Propagation layers per GCN.
+        gcn_layers: usize,
+    },
+    /// One folded-HIN GCN at width `2d` (MGBR-D).
+    Hin {
+        /// Propagation layers.
+        gcn_layers: usize,
+    },
+}
+
+/// One MTL layer's op range in a built plan, for per-layer trace spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTrace {
+    /// Ops `[start, end)` belonging to this layer.
+    pub ops: Range<usize>,
+    /// Whether the layer has shared experts (the span's `shared` arg).
+    pub shared: bool,
+}
+
+/// A built MTL-only plan: inputs `[e_u, e_i, e_p]`, outputs
+/// `[g_A^L, g_B^L]`.
+#[derive(Debug, Clone)]
+pub struct MtlPlan {
+    /// The executable plan.
+    pub plan: Plan,
+    /// Per-layer op ranges.
+    pub layers: Vec<LayerTrace>,
+    /// The `g_A^L` slot.
+    pub g_a: SlotId,
+    /// The `g_B^L` slot.
+    pub g_b: SlotId,
+}
+
+/// A built scoring plan: inputs `[e_u, e_i, e_p]`, outputs
+/// `[logit_a, logit_b]`.
+#[derive(Debug, Clone)]
+pub struct ScorePlan {
+    /// The executable plan.
+    pub plan: Plan,
+    /// Per-layer op ranges (all inside the MTL prefix of `ops`).
+    pub layers: Vec<LayerTrace>,
+    /// The `g_A^L` slot (kept alongside `logit_a` so the trainer can
+    /// prune one head without dropping the other task's gate work).
+    pub g_a: SlotId,
+    /// The `g_B^L` slot.
+    pub g_b: SlotId,
+    /// Task A pre-sigmoid logit slot (plan output 0).
+    pub logit_a: SlotId,
+    /// Task B pre-sigmoid logit slot (plan output 1).
+    pub logit_b: SlotId,
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Incremental plan constructor: allocates slots, appends ops, and
+/// collapses `Identity` activations into aliases.
+struct Builder {
+    slots: Vec<Slot>,
+    inputs: Vec<SlotId>,
+    params: Vec<SlotId>,
+    ops: Vec<PlanOp>,
+}
+
+impl Builder {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            inputs: Vec::new(),
+            params: Vec::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, name: impl Into<String>) -> SlotId {
+        let id = SlotId(self.slots.len() as u32);
+        self.slots.push(Slot { name: name.into() });
+        id
+    }
+
+    fn input(&mut self, name: &str) -> SlotId {
+        let id = self.slot(name);
+        self.inputs.push(id);
+        id
+    }
+
+    fn param(&mut self, name: impl Into<String>) -> SlotId {
+        let id = self.slot(name);
+        self.params.push(id);
+        id
+    }
+
+    fn gather(&mut self, src: SlotId, idx: u32, name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::Gather { src, idx, out });
+        out
+    }
+
+    fn spmm(&mut self, adj: u32, x: SlotId, name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::Spmm { adj, x, out });
+        out
+    }
+
+    fn gemm(&mut self, x: SlotId, w: SlotId, name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::Gemm { x, w, out });
+        out
+    }
+
+    fn act(&mut self, x: SlotId, act: ActKind, name: impl Into<String>) -> SlotId {
+        if matches!(act, ActKind::Identity) {
+            return x;
+        }
+        let out = self.slot(name);
+        self.ops.push(PlanOp::Act { x, act, out });
+        out
+    }
+
+    fn add_row_broadcast(&mut self, x: SlotId, b: SlotId, name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::AddRowBroadcast { x, b, out });
+        out
+    }
+
+    fn softmax_rows(&mut self, x: SlotId, name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::SoftmaxRows { x, out });
+        out
+    }
+
+    fn mix(&mut self, weights: SlotId, bank: SlotId, name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::MixColBlocks { weights, bank, out });
+        out
+    }
+
+    fn concat(&mut self, parts: &[SlotId], name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::ConcatCols {
+            parts: parts.to_vec(),
+            out,
+        });
+        out
+    }
+
+    fn add(&mut self, a: SlotId, b: SlotId, name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::Add { a, b, out });
+        out
+    }
+
+    fn scale(&mut self, x: SlotId, alpha: f32, name: impl Into<String>) -> SlotId {
+        let out = self.slot(name);
+        self.ops.push(PlanOp::Scale { x, alpha, out });
+        out
+    }
+
+    fn finish(self, outputs: Vec<SlotId>) -> Plan {
+        let plan = Plan {
+            slots: self.slots,
+            inputs: self.inputs,
+            params: self.params,
+            outputs,
+            ops: self.ops,
+        };
+        plan.validate().expect("builder produced an invalid plan");
+        plan
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MTL emission
+// ---------------------------------------------------------------------------
+
+/// Per-layer parameter slots, in canonical order.
+struct LayerParams {
+    experts_a: SlotId,
+    experts_b: SlotId,
+    experts_s: Option<SlotId>,
+    gate_a: SlotId,
+    gate_b: SlotId,
+    gate_s: Option<SlotId>,
+    adj_a: Option<[Option<SlotId>; 3]>,
+    adj_b: Option<[Option<SlotId>; 3]>,
+}
+
+fn declare_mtl_params(b: &mut Builder, spec: &MtlSpec) -> Vec<LayerParams> {
+    spec.layers
+        .iter()
+        .enumerate()
+        .map(|(l, ls)| {
+            let name = |part: &str| format!("mtl.l{l}.{part}");
+            let adj = |b: &mut Builder, tag: &str, mask: &[bool; 3]| {
+                let mut slots = [None, None, None];
+                for (s, (&on, pair)) in slots.iter_mut().zip(mask.iter().zip(["ui", "ip", "up"])) {
+                    if on {
+                        *s = Some(b.param(name(&format!("{tag}.{pair}.w"))));
+                    }
+                }
+                slots
+            };
+            LayerParams {
+                experts_a: b.param(name("A.experts.w")),
+                experts_b: b.param(name("B.experts.w")),
+                experts_s: spec.has_shared.then(|| b.param(name("S.experts.w"))),
+                gate_a: b.param(name("gateA.w")),
+                gate_b: b.param(name("gateB.w")),
+                gate_s: ls.has_gate_s.then(|| b.param(name("gateS.w"))),
+                adj_a: ls.adj_a.as_ref().map(|m| adj(b, "adjA", m)),
+                adj_b: ls.adj_b.as_ref().map(|m| adj(b, "adjB", m)),
+            }
+        })
+        .collect()
+}
+
+struct PairSlots {
+    ui: SlotId,
+    ip: SlotId,
+    up: SlotId,
+}
+
+fn normalize(b: &mut Builder, spec: &MtlSpec, w: SlotId, name: &str) -> SlotId {
+    if spec.gate_softmax {
+        b.softmax_rows(w, format!("{name}.sm"))
+    } else {
+        w
+    }
+}
+
+enum GateKind {
+    A,
+    B,
+}
+
+/// One task gate (Eq. 10-13): generic attention over `[own ‖ shared]`
+/// plus the optional pair-driven adjusted unit, blended by `alpha`.
+#[allow(clippy::too_many_arguments)]
+fn task_gate(
+    b: &mut Builder,
+    spec: &MtlSpec,
+    gate_w: SlotId,
+    adj: Option<&[Option<SlotId>; 3]>,
+    input: SlotId,
+    pairs: Option<&PairSlots>,
+    own: SlotId,
+    shared: Option<SlotId>,
+    alpha: f32,
+    kind: GateKind,
+    name: &str,
+) -> SlotId {
+    let w = b.gemm(input, gate_w, format!("{name}.w"));
+    let w = normalize(b, spec, w, name);
+    let bank = match shared {
+        Some(s) => b.concat(&[own, s], format!("{name}.bank")),
+        None => own,
+    };
+    let g1 = b.mix(w, bank, format!("{name}.g1"));
+
+    let Some(adj) = adj else {
+        return g1;
+    };
+    let pairs = pairs.expect("adjusted gates require pair embeddings");
+    // Which pair attends over which bank follows Eq. 11 (A) / Eq. 13 (B).
+    let route = match kind {
+        GateKind::A => [
+            (adj[0], pairs.ui, Some(own)),
+            (adj[1], pairs.ip, shared),
+            (adj[2], pairs.up, shared),
+        ],
+        GateKind::B => [
+            (adj[0], pairs.ui, shared),
+            (adj[1], pairs.ip, Some(own)),
+            (adj[2], pairs.up, Some(own)),
+        ],
+    };
+    let mut g2: Option<SlotId> = None;
+    for (i, (proj, pair, bank)) in route.into_iter().enumerate() {
+        let (Some(proj), Some(bank)) = (proj, bank) else {
+            continue;
+        };
+        let aw = b.gemm(pair, proj, format!("{name}.adj{i}.w"));
+        let aw = normalize(b, spec, aw, &format!("{name}.adj{i}"));
+        let term = b.mix(aw, bank, format!("{name}.adj{i}.term"));
+        g2 = Some(match g2 {
+            Some(acc) => b.add(acc, term, format!("{name}.adj{i}.acc")),
+            None => term,
+        });
+    }
+    match g2 {
+        Some(g2) => {
+            let scaled = b.scale(g2, alpha, format!("{name}.g2"));
+            b.add(g1, scaled, name.to_string())
+        }
+        None => g1,
+    }
+}
+
+/// Emits the full MTL stack; returns `(g_A^L, g_B^L, layer op ranges)`.
+fn emit_mtl(
+    b: &mut Builder,
+    spec: &MtlSpec,
+    lps: &[LayerParams],
+    e_u: SlotId,
+    e_i: SlotId,
+    e_p: SlotId,
+) -> (SlotId, SlotId, Vec<LayerTrace>) {
+    let g0 = b.concat(&[e_u, e_i, e_p], "g0");
+    let has_adj = spec
+        .layers
+        .iter()
+        .any(|l| l.adj_a.is_some() || l.adj_b.is_some());
+    let pairs = has_adj.then(|| PairSlots {
+        ui: b.concat(&[e_u, e_i], "pair.ui"),
+        ip: b.concat(&[e_i, e_p], "pair.ip"),
+        up: b.concat(&[e_u, e_p], "pair.up"),
+    });
+
+    let (mut g_a, mut g_b) = (g0, g0);
+    let mut g_s = spec.has_shared.then_some(g0);
+    let mut traces = Vec::with_capacity(spec.layers.len());
+    for (l, (ls, lp)) in spec.layers.iter().zip(lps).enumerate() {
+        let start = b.ops.len();
+        let name = |part: &str| format!("mtl.l{l}.{part}");
+
+        // Expert inputs (Eq. 7-9, with the first-layer dedup resolution).
+        let task_input = |b: &mut Builder, g_task: SlotId, tag: &str| match g_s {
+            Some(gs) if !ls.dedup_inputs => b.concat(&[g_task, gs], name(tag)),
+            _ => g_task,
+        };
+        let input_a = task_input(b, g_a, "in_a");
+        let input_b = task_input(b, g_b, "in_b");
+        let input_s = g_s.map(|gs| {
+            if ls.dedup_inputs {
+                gs
+            } else {
+                b.concat(&[g_a, gs, g_b], name("in_s"))
+            }
+        });
+
+        let bank_a = b.gemm(input_a, lp.experts_a, name("bank_a"));
+        let bank_b = b.gemm(input_b, lp.experts_b, name("bank_b"));
+        let bank_s = lp
+            .experts_s
+            .map(|w| b.gemm(input_s.expect("shared input present"), w, name("bank_s")));
+
+        let next_a = task_gate(
+            b,
+            spec,
+            lp.gate_a,
+            lp.adj_a.as_ref(),
+            input_a,
+            pairs.as_ref(),
+            bank_a,
+            bank_s,
+            spec.alpha_a,
+            GateKind::A,
+            &name("g_a"),
+        );
+        let next_b = task_gate(
+            b,
+            spec,
+            lp.gate_b,
+            lp.adj_b.as_ref(),
+            input_b,
+            pairs.as_ref(),
+            bank_b,
+            bank_s,
+            spec.alpha_b,
+            GateKind::B,
+            &name("g_b"),
+        );
+        let next_s = lp.gate_s.map(|gw| {
+            let input = input_s.expect("shared input present");
+            let w = b.gemm(input, gw, name("g_s.w"));
+            let w = normalize(b, spec, w, &name("g_s"));
+            let all = b.concat(
+                &[bank_a, bank_s.expect("shared bank present"), bank_b],
+                name("g_s.bank"),
+            );
+            b.mix(w, all, name("g_s"))
+        });
+
+        g_a = next_a;
+        g_b = next_b;
+        g_s = next_s;
+        traces.push(LayerTrace {
+            ops: start..b.ops.len(),
+            shared: spec.has_shared,
+        });
+    }
+    (g_a, g_b, traces)
+}
+
+fn declare_mlp_params(
+    b: &mut Builder,
+    spec: &MlpSpec,
+    name: &str,
+) -> Vec<(SlotId, Option<SlotId>)> {
+    spec.layers
+        .iter()
+        .enumerate()
+        .map(|(i, &bias)| {
+            let w = b.param(format!("{name}.l{i}.w"));
+            let bb = bias.then(|| b.param(format!("{name}.l{i}.b")));
+            (w, bb)
+        })
+        .collect()
+}
+
+fn emit_mlp(
+    b: &mut Builder,
+    spec: &MlpSpec,
+    slots: &[(SlotId, Option<SlotId>)],
+    x: SlotId,
+    name: &str,
+) -> SlotId {
+    let last = slots.len() - 1;
+    let mut h = x;
+    for (i, &(w, bias)) in slots.iter().enumerate() {
+        h = b.gemm(h, w, format!("{name}.l{i}"));
+        if let Some(bias) = bias {
+            h = b.add_row_broadcast(h, bias, format!("{name}.l{i}.biased"));
+        }
+        let act = if i == last { spec.output } else { spec.hidden };
+        h = b.act(h, act, format!("{name}.l{i}.act"));
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Public builders
+// ---------------------------------------------------------------------------
+
+/// Lowers an MTL spec to a plan with inputs `[e_u, e_i, e_p]` and
+/// outputs `[g_A^L, g_B^L]`.
+pub fn build_mtl_plan(spec: &MtlSpec) -> MtlPlan {
+    assert!(!spec.layers.is_empty(), "MTL spec needs at least one layer");
+    let mut b = Builder::new();
+    let e_u = b.input("e_u");
+    let e_i = b.input("e_i");
+    let e_p = b.input("e_p");
+    let lps = declare_mtl_params(&mut b, spec);
+    let (g_a, g_b, layers) = emit_mtl(&mut b, spec, &lps, e_u, e_i, e_p);
+    MtlPlan {
+        plan: b.finish(vec![g_a, g_b]),
+        layers,
+        g_a,
+        g_b,
+    }
+}
+
+/// Lowers a full scoring spec to a plan with inputs `[e_u, e_i, e_p]`
+/// and outputs `[logit_a, logit_b]`.
+pub fn build_score_plan(spec: &ScoreSpec) -> ScorePlan {
+    assert!(
+        !spec.mtl.layers.is_empty(),
+        "MTL spec needs at least one layer"
+    );
+    assert!(
+        !spec.mlp_a.layers.is_empty() && !spec.mlp_b.layers.is_empty(),
+        "MLP specs need at least one layer"
+    );
+    let mut b = Builder::new();
+    let e_u = b.input("e_u");
+    let e_i = b.input("e_i");
+    let e_p = b.input("e_p");
+    let lps = declare_mtl_params(&mut b, &spec.mtl);
+    let mlp_a = declare_mlp_params(&mut b, &spec.mlp_a, "mlpA");
+    let mlp_b = declare_mlp_params(&mut b, &spec.mlp_b, "mlpB");
+    let (g_a, g_b, layers) = emit_mtl(&mut b, &spec.mtl, &lps, e_u, e_i, e_p);
+    let logit_a = emit_mlp(&mut b, &spec.mlp_a, &mlp_a, g_a, "mlpA");
+    let logit_b = emit_mlp(&mut b, &spec.mlp_b, &mlp_b, g_b, "mlpB");
+    ScorePlan {
+        plan: b.finish(vec![logit_a, logit_b]),
+        layers,
+        g_a,
+        g_b,
+        logit_a,
+        logit_b,
+    }
+}
+
+/// Lowers an embedding spec to a plan with no inputs and outputs
+/// `[users, items, participants]` (the HIN variant returns the user
+/// slot twice: one role-free representation).
+///
+/// Bindings: index 0 = user rows, index 1 = item rows; adjacencies
+/// 0/1/2 = `G_UI`/`G_PI`/`G_UP` (multi-view) or 0 = the folded HIN.
+pub fn build_embed_plan(spec: &EmbedSpec) -> Plan {
+    let mut b = Builder::new();
+    let gcn = |b: &mut Builder, name: &str, adj: u32, layers: usize| {
+        let mut x = b.param(format!("{name}.x0"));
+        for l in 0..layers {
+            let s = b.spmm(adj, x, format!("{name}.prop{l}"));
+            let w = b.param(format!("{name}.w{l}.w"));
+            let m = b.gemm(s, w, format!("{name}.pre{l}"));
+            x = b.act(m, ActKind::Sigmoid, format!("{name}.x{}", l + 1));
+        }
+        x
+    };
+    match *spec {
+        EmbedSpec::MultiView { gcn_layers } => {
+            // Parameter declaration is interleaved with emission so the
+            // canonical order (ui.x0, ui.w*, pi.*, up.*) is preserved.
+            let x_ui = gcn(&mut b, "gcn_ui", 0, gcn_layers);
+            let x_pi = gcn(&mut b, "gcn_pi", 1, gcn_layers);
+            let x_up = gcn(&mut b, "gcn_up", 2, gcn_layers);
+            let e_u_ui = b.gather(x_ui, 0, "e_u_ui");
+            let e_i_ui = b.gather(x_ui, 1, "e_i_ui");
+            let e_p_pi = b.gather(x_pi, 0, "e_p_pi");
+            let e_i_pi = b.gather(x_pi, 1, "e_i_pi");
+            let users = b.concat(&[e_u_ui, x_up], "users");
+            let items = b.concat(&[e_i_ui, e_i_pi], "items");
+            let participants = b.concat(&[e_p_pi, x_up], "participants");
+            b.finish(vec![users, items, participants])
+        }
+        EmbedSpec::Hin { gcn_layers } => {
+            let x = gcn(&mut b, "hin", 0, gcn_layers);
+            let users = b.gather(x, 0, "users");
+            let items = b.gather(x, 1, "items");
+            b.finish(vec![users, items, users])
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Human-readable plan rendering: the debugging story for the IR.
+
+use crate::{Plan, PlanOp, ShapeEnv, SlotId};
+
+fn fmt_flops(f: u64) -> String {
+    if f >= 1_000_000 {
+        format!("{:.2} MFLOP", f as f64 / 1e6)
+    } else if f >= 1_000 {
+        format!("{:.2} kFLOP", f as f64 / 1e3)
+    } else {
+        format!("{f} FLOP")
+    }
+}
+
+/// Pretty-prints a plan as indented text. With a [`ShapeEnv`], every op
+/// line carries its output shape and a FLOP estimate (shape inference
+/// failures degrade to a note rather than an error — dumps must always
+/// render).
+pub fn render(plan: &Plan, env: Option<&ShapeEnv>) -> String {
+    let shapes = env.map(|e| plan.infer_shapes(e));
+    let shape_of = |id: SlotId| -> String {
+        match &shapes {
+            Some(Ok(s)) => match s[id.index()] {
+                Some((r, c)) => format!("{r}x{c}"),
+                None => "?".into(),
+            },
+            Some(Err(_)) => "?!".into(),
+            None => String::new(),
+        }
+    };
+    let ref_of = |id: SlotId| format!("{id}:{}", plan.slot_name(id));
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "plan: {} slots, {} inputs, {} params, {} ops\n",
+        plan.slots.len(),
+        plan.inputs.len(),
+        plan.params.len(),
+        plan.ops.len()
+    ));
+    if let Some(Err(e)) = &shapes {
+        out.push_str(&format!("  (shape inference failed: {e})\n"));
+    }
+    out.push_str("  inputs:\n");
+    for &id in &plan.inputs {
+        out.push_str(&format!("    {} {}\n", ref_of(id), shape_of(id)));
+    }
+    out.push_str("  params:\n");
+    for &id in &plan.params {
+        out.push_str(&format!("    {} {}\n", ref_of(id), shape_of(id)));
+    }
+    out.push_str("  ops:\n");
+    let mut total_flops = 0u64;
+    for op in &plan.ops {
+        let mut operands = Vec::new();
+        op.for_each_read(|id| operands.push(ref_of(id)));
+        let extra = match op {
+            PlanOp::Gather { idx, .. } => format!(" idx#{idx}"),
+            PlanOp::Spmm { adj, .. } => format!(" adj#{adj}"),
+            PlanOp::Act { act, .. } => format!(" {act}"),
+            PlanOp::AffineAct { act, .. } => format!(" {act}"),
+            PlanOp::Scale { alpha, .. } => format!(" x{alpha}"),
+            _ => String::new(),
+        };
+        let cost = match &shapes {
+            Some(Ok(s)) => {
+                let f = plan.op_flops(op, s, env.expect("shapes imply env"));
+                total_flops += f;
+                format!("  [{} | {}]", shape_of(op.out()), fmt_flops(f))
+            }
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "    {} = {}({}){}{}\n",
+            ref_of(op.out()),
+            op.kind(),
+            operands.join(", "),
+            extra,
+            cost
+        ));
+    }
+    out.push_str(&format!(
+        "  outputs: {}\n",
+        plan.outputs
+            .iter()
+            .map(|&id| ref_of(id))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    if matches!(&shapes, Some(Ok(_))) {
+        out.push_str(&format!("  total: {}\n", fmt_flops(total_flops)));
+    }
+    out
+}

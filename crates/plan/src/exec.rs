@@ -1,0 +1,547 @@
+//! The deterministic plan interpreter and its two backends.
+//!
+//! [`Executor`] walks a validated [`Plan`] op by op against a slot
+//! store. The *same* walk serves both consumers of the IR:
+//!
+//! * [`TapedBackend`] maps every op onto the corresponding
+//!   [`mgbr_autograd::Var`] method, so executing a plan under a live
+//!   tape records exactly the nodes the hand-written training forward
+//!   used to record — gradients flow with no interpreter-specific code.
+//! * [`TensorBackend`] maps every op onto the pooled `mgbr-tensor`
+//!   `_into` kernels (`matmul_into`, `affine_act_into`,
+//!   `mix_col_blocks_into`, `spmm_into`), allocating from a caller
+//!   [`Workspace`] and recycling intermediates as soon as their last
+//!   reader has run — the tape-free serving forward.
+//!
+//! Because each backend's per-op arithmetic is the exact per-element
+//! operation sequence of the other's (see the kernel contracts in
+//! `mgbr-tensor`), the two backends produce **bitwise identical**
+//! values for the same plan, params, and inputs — the structural form
+//! of the serving-parity guarantee.
+//!
+//! When tracing is enabled, the interpreter charges one `plan.<kind>`
+//! span (category `plan`) and one `plan.<kind>.calls` counter per op,
+//! so traces name IR ops rather than raw kernels.
+
+use std::rc::Rc;
+
+use mgbr_autograd::Var;
+use mgbr_graph::{spmm_into, Csr};
+use mgbr_tensor::{affine_act_into, matmul_into, mix_col_blocks_into, FusedAct, Tensor, Workspace};
+
+use crate::{ActKind, Plan, PlanOp, SlotId};
+
+/// Index vectors and adjacency matrices a plan's `Gather`/`Spmm` ops
+/// resolve against at execution time, in binding order.
+#[derive(Debug, Default, Clone)]
+pub struct Bindings {
+    /// Gather-index vectors, addressed by `Gather::idx`.
+    pub indices: Vec<Rc<Vec<usize>>>,
+    /// Symmetric adjacency matrices, addressed by `Spmm::adj`.
+    pub adjs: Vec<Rc<Csr>>,
+}
+
+/// How a backend realizes each plan op on its value type.
+///
+/// Implementations must preserve the per-element arithmetic of the
+/// corresponding `mgbr_autograd::Var` op — that is the determinism
+/// contract that makes plans backend-interchangeable bitwise.
+pub trait PlanBackend {
+    /// The runtime tensor value ([`Var`] or [`Tensor`]).
+    type Value: Clone;
+
+    /// Row gather by the bound index vector `idx`.
+    fn gather(&mut self, src: &Self::Value, idx: u32) -> Self::Value;
+    /// Sparse propagation by the bound adjacency `adj`.
+    fn spmm(&mut self, adj: u32, x: &Self::Value) -> Self::Value;
+    /// Dense GEMM `x · w`.
+    fn gemm(&mut self, x: &Self::Value, w: &Self::Value) -> Self::Value;
+    /// Fused affine + activation `act(x · w (+ b))`.
+    fn affine_act(
+        &mut self,
+        x: &Self::Value,
+        w: &Self::Value,
+        b: Option<&Self::Value>,
+        act: ActKind,
+    ) -> Self::Value;
+    /// Bias broadcast `x + b` for a `1×cols` row `b`.
+    fn add_row_broadcast(&mut self, x: &Self::Value, b: &Self::Value) -> Self::Value;
+    /// Element-wise activation.
+    fn act(&mut self, x: &Self::Value, act: ActKind) -> Self::Value;
+    /// Row-wise softmax.
+    fn softmax_rows(&mut self, x: &Self::Value) -> Self::Value;
+    /// Gated mixture over the column blocks of a fused expert bank.
+    fn mix_col_blocks(&mut self, weights: &Self::Value, bank: &Self::Value) -> Self::Value;
+    /// Horizontal concatenation.
+    fn concat_cols(&mut self, parts: &[&Self::Value]) -> Self::Value;
+    /// Element-wise sum.
+    fn add(&mut self, a: &Self::Value, b: &Self::Value) -> Self::Value;
+    /// Scalar multiple.
+    fn scale(&mut self, x: &Self::Value, alpha: f32) -> Self::Value;
+    /// Column means as a `1×cols` row.
+    fn mean_rows(&mut self, x: &Self::Value) -> Self::Value;
+    /// Reclaims an intermediate after its last reader has run.
+    fn retire(&mut self, _v: Self::Value) {}
+}
+
+/// Stable counter name for an op kind (`plan.<kind>.calls`).
+fn counter_name(op: &PlanOp) -> &'static str {
+    match op {
+        PlanOp::Gather { .. } => "plan.gather.calls",
+        PlanOp::Spmm { .. } => "plan.spmm.calls",
+        PlanOp::Gemm { .. } => "plan.gemm.calls",
+        PlanOp::AffineAct { .. } => "plan.affine_act.calls",
+        PlanOp::AddRowBroadcast { .. } => "plan.add_row_broadcast.calls",
+        PlanOp::Act { .. } => "plan.act.calls",
+        PlanOp::SoftmaxRows { .. } => "plan.softmax_rows.calls",
+        PlanOp::MixColBlocks { .. } => "plan.mix.calls",
+        PlanOp::ConcatCols { .. } => "plan.concat.calls",
+        PlanOp::Add { .. } => "plan.add.calls",
+        PlanOp::Scale { .. } => "plan.scale.calls",
+        PlanOp::MeanRows { .. } => "plan.mean_rows.calls",
+    }
+}
+
+/// One slot of the executor's store. Inputs and params are borrowed
+/// (`Ext`), op outputs are owned until their last reader retires them.
+enum Cell<'v, V> {
+    Empty,
+    Ext(&'v V),
+    Owned(V),
+    Retired,
+}
+
+impl<'v, V> Cell<'v, V> {
+    fn value(&self) -> &V {
+        match self {
+            Cell::Ext(v) => v,
+            Cell::Owned(v) => v,
+            Cell::Empty => panic!("plan executor read an unwritten slot"),
+            Cell::Retired => panic!("plan executor read a retired slot"),
+        }
+    }
+}
+
+/// An in-progress execution of a [`Plan`] against a backend.
+///
+/// Created by [`Executor::new`]; driven either in one shot through
+/// [`Executor::finish`] (or the [`execute`] convenience) or
+/// incrementally through [`Executor::run_to`] so callers can wrap op
+/// ranges in their own trace spans (the trainer's per-layer
+/// `mtl.layer` spans).
+pub struct Executor<'p, 'v, B: PlanBackend> {
+    plan: &'p Plan,
+    backend: B,
+    cells: Vec<Cell<'v, B::Value>>,
+    /// For each op index, the slots whose last reader is that op.
+    retire_after: Vec<Vec<SlotId>>,
+    cursor: usize,
+}
+
+impl<'p, 'v, B: PlanBackend> Executor<'p, 'v, B> {
+    /// Binds `inputs` and `params` (in plan order) and prepares the
+    /// retirement schedule. The plan must be [valid](Plan::validate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binding counts do not match the plan.
+    pub fn new(
+        plan: &'p Plan,
+        inputs: &[&'v B::Value],
+        params: &[&'v B::Value],
+        backend: B,
+    ) -> Self {
+        assert_eq!(
+            inputs.len(),
+            plan.inputs.len(),
+            "plan expects {} inputs, got {}",
+            plan.inputs.len(),
+            inputs.len()
+        );
+        assert_eq!(
+            params.len(),
+            plan.params.len(),
+            "plan expects {} params, got {}",
+            plan.params.len(),
+            params.len()
+        );
+        let mut cells: Vec<Cell<'v, B::Value>> =
+            (0..plan.slots.len()).map(|_| Cell::Empty).collect();
+        for (&id, &v) in plan.inputs.iter().zip(inputs) {
+            cells[id.index()] = Cell::Ext(v);
+        }
+        for (&id, &v) in plan.params.iter().zip(params) {
+            cells[id.index()] = Cell::Ext(v);
+        }
+
+        // Last-use schedule: an op-produced slot is retired right after
+        // the op that reads it last; plan outputs and dead slots wait
+        // for `finish`. Borrowed inputs/params are never retired.
+        let mut last_read = vec![usize::MAX; plan.slots.len()];
+        for (i, op) in plan.ops.iter().enumerate() {
+            op.for_each_read(|id| last_read[id.index()] = i);
+        }
+        let is_output = |id: SlotId| plan.outputs.contains(&id);
+        let mut retire_after = vec![Vec::new(); plan.ops.len()];
+        for op in &plan.ops {
+            let out = op.out();
+            let last = last_read[out.index()];
+            if last != usize::MAX && !is_output(out) {
+                retire_after[last].push(out);
+            }
+        }
+        Self {
+            plan,
+            backend,
+            cells,
+            retire_after,
+            cursor: 0,
+        }
+    }
+
+    /// The index of the next op to execute.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Executes ops `[cursor, op_end)` in order.
+    pub fn run_to(&mut self, op_end: usize) {
+        let traced = mgbr_obs::enabled();
+        while self.cursor < op_end.min(self.plan.ops.len()) {
+            let op = &self.plan.ops[self.cursor];
+            let _span = traced.then(|| mgbr_obs::span(op.span_name(), "plan"));
+            if traced {
+                mgbr_obs::metrics().counter(counter_name(op)).inc();
+            }
+            let get = |id: SlotId| self.cells[id.index()].value();
+            let backend = &mut self.backend;
+            let v = match op {
+                PlanOp::Gather { src, idx, .. } => backend.gather(get(*src), *idx),
+                PlanOp::Spmm { adj, x, .. } => backend.spmm(*adj, get(*x)),
+                PlanOp::Gemm { x, w, .. } => backend.gemm(get(*x), get(*w)),
+                PlanOp::AffineAct { x, w, b, act, .. } => {
+                    backend.affine_act(get(*x), get(*w), b.map(&get), *act)
+                }
+                PlanOp::AddRowBroadcast { x, b, .. } => backend.add_row_broadcast(get(*x), get(*b)),
+                PlanOp::Act { x, act, .. } => backend.act(get(*x), *act),
+                PlanOp::SoftmaxRows { x, .. } => backend.softmax_rows(get(*x)),
+                PlanOp::MixColBlocks { weights, bank, .. } => {
+                    backend.mix_col_blocks(get(*weights), get(*bank))
+                }
+                PlanOp::ConcatCols { parts, .. } => {
+                    let refs: Vec<&B::Value> = parts.iter().map(|&p| get(p)).collect();
+                    backend.concat_cols(&refs)
+                }
+                PlanOp::Add { a, b, .. } => backend.add(get(*a), get(*b)),
+                PlanOp::Scale { x, alpha, .. } => backend.scale(get(*x), *alpha),
+                PlanOp::MeanRows { x, .. } => backend.mean_rows(get(*x)),
+            };
+            self.cells[op.out().index()] = Cell::Owned(v);
+            for &id in &self.retire_after[self.cursor] {
+                if let Cell::Owned(v) =
+                    std::mem::replace(&mut self.cells[id.index()], Cell::Retired)
+                {
+                    self.backend.retire(v);
+                }
+            }
+            self.cursor += 1;
+        }
+    }
+
+    /// Runs any remaining ops and returns the plan outputs in order.
+    /// Owned outputs are moved out (cloned only when an output slot is
+    /// returned more than once or is a borrowed binding); every other
+    /// surviving intermediate is retired to the backend.
+    pub fn finish(mut self) -> Vec<B::Value> {
+        self.run_to(self.plan.ops.len());
+        let outputs = &self.plan.outputs;
+        let mut results = Vec::with_capacity(outputs.len());
+        for (k, &id) in outputs.iter().enumerate() {
+            let again_later = outputs[k + 1..].contains(&id);
+            let cell = &mut self.cells[id.index()];
+            let v = match cell {
+                Cell::Ext(v) => (*v).clone(),
+                Cell::Owned(v) if again_later => v.clone(),
+                Cell::Owned(_) => match std::mem::replace(cell, Cell::Retired) {
+                    Cell::Owned(v) => v,
+                    _ => unreachable!(),
+                },
+                Cell::Empty | Cell::Retired => {
+                    panic!("plan output {id} unavailable at finish")
+                }
+            };
+            results.push(v);
+        }
+        for cell in &mut self.cells {
+            if let Cell::Owned(v) = std::mem::replace(cell, Cell::Retired) {
+                self.backend.retire(v);
+            }
+        }
+        results
+    }
+}
+
+/// Runs a whole plan in one shot. See [`Executor`].
+pub fn execute<B: PlanBackend>(
+    plan: &Plan,
+    inputs: &[&B::Value],
+    params: &[&B::Value],
+    backend: B,
+) -> Vec<B::Value> {
+    Executor::new(plan, inputs, params, backend).finish()
+}
+
+// ---------------------------------------------------------------------------
+// Taped backend: ops record onto the autograd tape via `Var` methods.
+// ---------------------------------------------------------------------------
+
+/// Executes plan ops as [`Var`] operations, recording them on the live
+/// tape of the operand vars — the training-side backend. `retire` is a
+/// no-op: the tape owns every intermediate until the step ends.
+pub struct TapedBackend<'b> {
+    bindings: &'b Bindings,
+}
+
+impl<'b> TapedBackend<'b> {
+    /// A taped backend resolving `Gather`/`Spmm` against `bindings`.
+    pub fn new(bindings: &'b Bindings) -> Self {
+        Self { bindings }
+    }
+}
+
+fn apply_act(x: &Var, act: ActKind) -> Var {
+    match act {
+        ActKind::Identity => x.clone(),
+        ActKind::Relu => x.relu(),
+        ActKind::Sigmoid => x.sigmoid(),
+        ActKind::Tanh => x.tanh(),
+        ActKind::LeakyRelu(slope) => x.leaky_relu(slope),
+    }
+}
+
+impl PlanBackend for TapedBackend<'_> {
+    type Value = Var;
+
+    fn gather(&mut self, src: &Var, idx: u32) -> Var {
+        src.gather_rows(Rc::clone(&self.bindings.indices[idx as usize]))
+    }
+
+    fn spmm(&mut self, adj: u32, x: &Var) -> Var {
+        x.spmm_sym(&self.bindings.adjs[adj as usize])
+    }
+
+    fn gemm(&mut self, x: &Var, w: &Var) -> Var {
+        x.matmul(w)
+    }
+
+    fn affine_act(&mut self, x: &Var, w: &Var, b: Option<&Var>, act: ActKind) -> Var {
+        let mut y = x.matmul(w);
+        if let Some(b) = b {
+            y = y.add_row_broadcast(b);
+        }
+        apply_act(&y, act)
+    }
+
+    fn add_row_broadcast(&mut self, x: &Var, b: &Var) -> Var {
+        x.add_row_broadcast(b)
+    }
+
+    fn act(&mut self, x: &Var, act: ActKind) -> Var {
+        apply_act(x, act)
+    }
+
+    fn softmax_rows(&mut self, x: &Var) -> Var {
+        x.softmax_rows()
+    }
+
+    fn mix_col_blocks(&mut self, weights: &Var, bank: &Var) -> Var {
+        // The taped mirror of `mix_col_blocks_into`: slice the fused
+        // bank into its K column blocks and mix k-ascending — the exact
+        // op sequence (and accumulation order) of the paper's Eq. 10.
+        let k = weights.cols();
+        let d = bank.cols() / k;
+        let experts: Vec<Var> = (0..k).map(|j| bank.slice_cols(j * d, d)).collect();
+        let refs: Vec<&Var> = experts.iter().collect();
+        Var::mix_experts(weights, &refs)
+    }
+
+    fn concat_cols(&mut self, parts: &[&Var]) -> Var {
+        Var::concat_cols(parts)
+    }
+
+    fn add(&mut self, a: &Var, b: &Var) -> Var {
+        a.add(b)
+    }
+
+    fn scale(&mut self, x: &Var, alpha: f32) -> Var {
+        x.scale(alpha)
+    }
+
+    fn mean_rows(&mut self, x: &Var) -> Var {
+        x.mean_rows()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor backend: tape-free execution on pooled `_into` kernels.
+// ---------------------------------------------------------------------------
+
+/// Executes plan ops with `mgbr-tensor`'s inference kernels on a
+/// caller-provided [`Workspace`] — the serving-side backend. Retired
+/// intermediates are recycled into the pool, so steady-state execution
+/// is allocation-free.
+pub struct TensorBackend<'w, 'b> {
+    ws: &'w Workspace,
+    bindings: &'b Bindings,
+}
+
+impl<'w, 'b> TensorBackend<'w, 'b> {
+    /// A tensor backend allocating from `ws` and resolving
+    /// `Gather`/`Spmm` against `bindings`.
+    pub fn new(ws: &'w Workspace, bindings: &'b Bindings) -> Self {
+        Self { ws, bindings }
+    }
+
+    fn copy_of(&self, t: &Tensor) -> Tensor {
+        let mut out = self.ws.take_tensor(t.rows(), t.cols());
+        out.as_mut_slice().copy_from_slice(t.as_slice());
+        out
+    }
+}
+
+impl PlanBackend for TensorBackend<'_, '_> {
+    type Value = Tensor;
+
+    fn gather(&mut self, src: &Tensor, idx: u32) -> Tensor {
+        let idx = &self.bindings.indices[idx as usize];
+        let mut out = self.ws.take_tensor(idx.len(), src.cols());
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(src.row(i));
+        }
+        out
+    }
+
+    fn spmm(&mut self, adj: u32, x: &Tensor) -> Tensor {
+        let adj = &self.bindings.adjs[adj as usize];
+        let mut out = self.ws.take_tensor(adj.n_rows(), x.cols());
+        spmm_into(adj, x, &mut out);
+        out
+    }
+
+    fn gemm(&mut self, x: &Tensor, w: &Tensor) -> Tensor {
+        let mut out = self.ws.take_tensor(x.rows(), w.cols());
+        matmul_into(x, w, &mut out, 0.0);
+        out
+    }
+
+    fn affine_act(&mut self, x: &Tensor, w: &Tensor, b: Option<&Tensor>, act: ActKind) -> Tensor {
+        let mut out = self.ws.take_tensor(x.rows(), w.cols());
+        // Tanh/LeakyRelu have no fused epilogue; run them in place after
+        // an identity-fused affine — the same split the training path's
+        // separate activation op performs, so bits are unchanged.
+        match act {
+            ActKind::Identity => affine_act_into(x, w, b, FusedAct::Identity, &mut out),
+            ActKind::Relu => affine_act_into(x, w, b, FusedAct::Relu, &mut out),
+            ActKind::Sigmoid => affine_act_into(x, w, b, FusedAct::Sigmoid, &mut out),
+            ActKind::Tanh => {
+                affine_act_into(x, w, b, FusedAct::Identity, &mut out);
+                out.tanh_inplace();
+            }
+            ActKind::LeakyRelu(slope) => {
+                affine_act_into(x, w, b, FusedAct::Identity, &mut out);
+                out.leaky_relu_inplace(slope);
+            }
+        }
+        out
+    }
+
+    fn add_row_broadcast(&mut self, x: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(b.rows(), 1, "broadcast row must be 1×cols");
+        let mut out = self.copy_of(x);
+        let brow = b.row(0);
+        for r in 0..out.rows() {
+            for (o, &v) in out.row_mut(r).iter_mut().zip(brow) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    fn act(&mut self, x: &Tensor, act: ActKind) -> Tensor {
+        let mut out = self.copy_of(x);
+        match act {
+            ActKind::Identity => {}
+            ActKind::Relu => out.relu_inplace(),
+            ActKind::Sigmoid => out.sigmoid_inplace(),
+            ActKind::Tanh => out.tanh_inplace(),
+            ActKind::LeakyRelu(slope) => out.leaky_relu_inplace(slope),
+        }
+        out
+    }
+
+    fn softmax_rows(&mut self, x: &Tensor) -> Tensor {
+        let mut out = self.copy_of(x);
+        out.softmax_rows_inplace();
+        out
+    }
+
+    fn mix_col_blocks(&mut self, weights: &Tensor, bank: &Tensor) -> Tensor {
+        let d = bank.cols() / weights.cols();
+        let mut out = self.ws.take_tensor(weights.rows(), d);
+        mix_col_blocks_into(weights, bank, &mut out);
+        out
+    }
+
+    fn concat_cols(&mut self, parts: &[&Tensor]) -> Tensor {
+        let rows = parts[0].rows();
+        let cols = parts.iter().map(|p| p.cols()).sum();
+        let mut out = self.ws.take_tensor(rows, cols);
+        for r in 0..rows {
+            let orow = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                let prow = p.row(r);
+                orow[off..off + prow.len()].copy_from_slice(prow);
+                off += prow.len();
+            }
+        }
+        out
+    }
+
+    fn add(&mut self, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+        let mut out = self.ws.take_tensor(a.rows(), a.cols());
+        for ((o, &x), &y) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(a.as_slice())
+            .zip(b.as_slice())
+        {
+            *o = x + y;
+        }
+        out
+    }
+
+    fn scale(&mut self, x: &Tensor, alpha: f32) -> Tensor {
+        let mut out = self.copy_of(x);
+        out.scale_inplace(alpha);
+        out
+    }
+
+    fn mean_rows(&mut self, x: &Tensor) -> Tensor {
+        // Pooled mirror of `Tensor::mean_rows`: accumulate rows in
+        // ascending order, then scale — identical bits.
+        let mut out = self.ws.take_tensor(1, x.cols());
+        for r in 0..x.rows() {
+            for (o, &v) in out.row_mut(0).iter_mut().zip(x.row(r)) {
+                *o += v;
+            }
+        }
+        out.scale_inplace(1.0 / x.rows().max(1) as f32);
+        out
+    }
+
+    fn retire(&mut self, v: Tensor) {
+        self.ws.recycle_tensor(v);
+    }
+}

@@ -1,0 +1,671 @@
+//! The execution-plan IR: named tensor slots, a typed op enum, and the
+//! structural passes (validation, dead-slot pruning, affine fusion,
+//! shape/FLOP inference) that operate on plans as plain data.
+//!
+//! A [`Plan`] is a straight-line SSA program: every slot is written at
+//! most once (inputs and parameters are written by the caller, every
+//! other slot by exactly one op), and ops appear in execution order.
+//! That gives the two guarantees the serving stack builds on:
+//!
+//! * **Determinism** — executing a plan is a fixed sequence of kernel
+//!   calls on fixed operands; there is no scheduler and no reordering,
+//!   so results are bitwise reproducible (and, because every kernel is
+//!   row-banded with a fixed per-element accumulation order, identical
+//!   at any `MGBR_THREADS` setting).
+//! * **Pass safety** — removing an op can never change the value of a
+//!   surviving slot (nothing is mutated in place), so dead-slot pruning
+//!   is bitwise-neutral by construction, and affine fusion is
+//!   bitwise-neutral by the `affine_act_into` kernel contract.
+
+use std::fmt;
+
+/// Index of a named tensor slot inside a [`Plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u32);
+
+impl SlotId {
+    /// The slot index as a `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A named tensor slot. Names exist for debugging and plan dumps; the
+/// interpreter addresses slots by id only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot {
+    /// Human-readable slot name (e.g. `mtl.l0.bank_a`).
+    pub name: String,
+}
+
+/// Element-wise activation kind used by [`PlanOp::Act`] and
+/// [`PlanOp::AffineAct`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActKind {
+    /// No-op.
+    Identity,
+    /// `max(0, x)`.
+    Relu,
+    /// Numerically stable logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// `x` for `x > 0`, else `slope · x`.
+    LeakyRelu(f32),
+}
+
+impl fmt::Display for ActKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActKind::Identity => write!(f, "identity"),
+            ActKind::Relu => write!(f, "relu"),
+            ActKind::Sigmoid => write!(f, "sigmoid"),
+            ActKind::Tanh => write!(f, "tanh"),
+            ActKind::LeakyRelu(s) => write!(f, "leaky_relu({s})"),
+        }
+    }
+}
+
+/// One typed operation over slots. Every variant names its output slot
+/// explicitly (`out`); operands are read-only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Row gather: `out[r] = src[indices[idx][r]]` (embedding lookup).
+    /// `idx` indexes the execution [`Bindings`](crate::Bindings).
+    Gather {
+        /// Source matrix slot.
+        src: SlotId,
+        /// Index-vector binding slot.
+        idx: u32,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Sparse propagation `out = Â · x` by the symmetric adjacency
+    /// bound at `adj`.
+    Spmm {
+        /// Adjacency binding index.
+        adj: u32,
+        /// Dense operand slot.
+        x: SlotId,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Dense GEMM `out = x · w`.
+    Gemm {
+        /// Left operand slot.
+        x: SlotId,
+        /// Right operand (weight) slot.
+        w: SlotId,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Fused affine + activation: `out = act(x · w (+ b))` — the
+    /// serving-side fusion of a `Gemm` → `AddRowBroadcast` → `Act`
+    /// chain, bitwise identical by the `affine_act_into` contract.
+    AffineAct {
+        /// Left operand slot.
+        x: SlotId,
+        /// Weight slot.
+        w: SlotId,
+        /// Optional `1×out` bias slot.
+        b: Option<SlotId>,
+        /// Fused activation.
+        act: ActKind,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Bias broadcast: `out[r] = x[r] + b` for a `1×cols` row `b`.
+    AddRowBroadcast {
+        /// Input slot.
+        x: SlotId,
+        /// Row-vector slot.
+        b: SlotId,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Element-wise activation `out = act(x)`.
+    Act {
+        /// Input slot.
+        x: SlotId,
+        /// Activation kind.
+        act: ActKind,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Row-wise softmax (the MMoE-style gate normalization option).
+    SoftmaxRows {
+        /// Input slot.
+        x: SlotId,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Gated expert mixture over the column blocks of a fused bank:
+    /// `out[r][c] = Σ_k weights[r][k] · bank[r][k·d + c]` with
+    /// `d = bank.cols / weights.cols`, accumulated k-ascending.
+    MixColBlocks {
+        /// `B × K` mixture weights slot.
+        weights: SlotId,
+        /// `B × K·d` expert-bank slot.
+        bank: SlotId,
+        /// Output slot (`B × d`).
+        out: SlotId,
+    },
+    /// Horizontal concatenation — the paper's `‖` operator.
+    ConcatCols {
+        /// Parts, left to right.
+        parts: Vec<SlotId>,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Element-wise sum `out = a + b`.
+    Add {
+        /// Left operand slot.
+        a: SlotId,
+        /// Right operand slot.
+        b: SlotId,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Scalar multiple `out = alpha · x`.
+    Scale {
+        /// Input slot.
+        x: SlotId,
+        /// Scalar factor.
+        alpha: f32,
+        /// Output slot.
+        out: SlotId,
+    },
+    /// Column means as a `1×cols` row (`e_p` averaging, Eq. 16).
+    MeanRows {
+        /// Input slot.
+        x: SlotId,
+        /// Output slot.
+        out: SlotId,
+    },
+}
+
+impl PlanOp {
+    /// The slot this op writes.
+    pub fn out(&self) -> SlotId {
+        match *self {
+            PlanOp::Gather { out, .. }
+            | PlanOp::Spmm { out, .. }
+            | PlanOp::Gemm { out, .. }
+            | PlanOp::AffineAct { out, .. }
+            | PlanOp::AddRowBroadcast { out, .. }
+            | PlanOp::Act { out, .. }
+            | PlanOp::SoftmaxRows { out, .. }
+            | PlanOp::MixColBlocks { out, .. }
+            | PlanOp::ConcatCols { out, .. }
+            | PlanOp::Add { out, .. }
+            | PlanOp::Scale { out, .. }
+            | PlanOp::MeanRows { out, .. } => out,
+        }
+    }
+
+    /// Calls `f` for every slot this op reads.
+    pub fn for_each_read(&self, mut f: impl FnMut(SlotId)) {
+        match self {
+            PlanOp::Gather { src, .. } => f(*src),
+            PlanOp::Spmm { x, .. } => f(*x),
+            PlanOp::Gemm { x, w, .. } => {
+                f(*x);
+                f(*w);
+            }
+            PlanOp::AffineAct { x, w, b, .. } => {
+                f(*x);
+                f(*w);
+                if let Some(b) = b {
+                    f(*b);
+                }
+            }
+            PlanOp::AddRowBroadcast { x, b, .. } => {
+                f(*x);
+                f(*b);
+            }
+            PlanOp::Act { x, .. }
+            | PlanOp::SoftmaxRows { x, .. }
+            | PlanOp::Scale { x, .. }
+            | PlanOp::MeanRows { x, .. } => f(*x),
+            PlanOp::MixColBlocks { weights, bank, .. } => {
+                f(*weights);
+                f(*bank);
+            }
+            PlanOp::ConcatCols { parts, .. } => {
+                for p in parts {
+                    f(*p);
+                }
+            }
+            PlanOp::Add { a, b, .. } => {
+                f(*a);
+                f(*b);
+            }
+        }
+    }
+
+    /// Stable kind label (trace-span and metrics key: `plan.<kind>`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlanOp::Gather { .. } => "gather",
+            PlanOp::Spmm { .. } => "spmm",
+            PlanOp::Gemm { .. } => "gemm",
+            PlanOp::AffineAct { .. } => "affine_act",
+            PlanOp::AddRowBroadcast { .. } => "add_row_broadcast",
+            PlanOp::Act { .. } => "act",
+            PlanOp::SoftmaxRows { .. } => "softmax_rows",
+            PlanOp::MixColBlocks { .. } => "mix",
+            PlanOp::ConcatCols { .. } => "concat",
+            PlanOp::Add { .. } => "add",
+            PlanOp::Scale { .. } => "scale",
+            PlanOp::MeanRows { .. } => "mean_rows",
+        }
+    }
+
+    /// The `plan.<kind>` trace-span name for this op.
+    pub fn span_name(&self) -> &'static str {
+        match self {
+            PlanOp::Gather { .. } => "plan.gather",
+            PlanOp::Spmm { .. } => "plan.spmm",
+            PlanOp::Gemm { .. } => "plan.gemm",
+            PlanOp::AffineAct { .. } => "plan.affine_act",
+            PlanOp::AddRowBroadcast { .. } => "plan.add_row_broadcast",
+            PlanOp::Act { .. } => "plan.act",
+            PlanOp::SoftmaxRows { .. } => "plan.softmax_rows",
+            PlanOp::MixColBlocks { .. } => "plan.mix",
+            PlanOp::ConcatCols { .. } => "plan.concat",
+            PlanOp::Add { .. } => "plan.add",
+            PlanOp::Scale { .. } => "plan.scale",
+            PlanOp::MeanRows { .. } => "plan.mean_rows",
+        }
+    }
+}
+
+/// A structural defect in a plan (malformed ids, broken SSA, shape
+/// mismatch). Loads treat this as fail-closed corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Dense shapes of everything a plan binds at execution time, for shape
+/// inference and FLOP estimation.
+#[derive(Debug, Clone, Default)]
+pub struct ShapeEnv {
+    /// `(rows, cols)` of each plan input, in input order.
+    pub inputs: Vec<(usize, usize)>,
+    /// `(rows, cols)` of each parameter, in parameter order.
+    pub params: Vec<(usize, usize)>,
+    /// Length of each bound gather-index vector.
+    pub idx_lens: Vec<usize>,
+    /// Row count of each bound adjacency.
+    pub adj_rows: Vec<usize>,
+    /// Non-zero count of each bound adjacency (for FLOP estimates).
+    pub adj_nnz: Vec<usize>,
+}
+
+/// An executable straight-line program over named tensor slots.
+///
+/// `inputs`, `params`, and `outputs` index into `slots`; `ops` execute
+/// in order. See the module docs for the SSA/determinism contract.
+/// The `Default` plan is empty — a placeholder, not an executable plan.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Plan {
+    /// All slots, indexed by [`SlotId`].
+    pub slots: Vec<Slot>,
+    /// Caller-provided request tensors, in binding order.
+    pub inputs: Vec<SlotId>,
+    /// Model parameters, in the canonical parameter order.
+    pub params: Vec<SlotId>,
+    /// Result slots, in return order (may repeat a slot).
+    pub outputs: Vec<SlotId>,
+    /// Ops in execution order.
+    pub ops: Vec<PlanOp>,
+}
+
+impl Plan {
+    /// The name of a slot (for dumps and error messages).
+    pub fn slot_name(&self, id: SlotId) -> &str {
+        &self.slots[id.index()].name
+    }
+
+    /// Checks the structural contract: ids in range, inputs/params
+    /// distinct, every op reads only defined slots and writes a fresh
+    /// one (SSA), and every output is defined.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let n = self.slots.len();
+        let check = |id: SlotId, what: &str| {
+            if id.index() >= n {
+                Err(PlanError(format!(
+                    "{what} slot {id} out of range ({n} slots)"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        let mut defined = vec![false; n];
+        for &id in self.inputs.iter().chain(&self.params) {
+            check(id, "input/param")?;
+            if defined[id.index()] {
+                return Err(PlanError(format!("slot {id} bound more than once")));
+            }
+            defined[id.index()] = true;
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            let mut read_err = None;
+            op.for_each_read(|id| {
+                if read_err.is_some() {
+                    return;
+                }
+                if id.index() >= n {
+                    read_err = Some(PlanError(format!("op {i} reads slot {id} out of range")));
+                } else if !defined[id.index()] {
+                    read_err = Some(PlanError(format!("op {i} reads undefined slot {id}")));
+                }
+            });
+            if let Some(e) = read_err {
+                return Err(e);
+            }
+            if let PlanOp::ConcatCols { parts, .. } = op {
+                if parts.is_empty() {
+                    return Err(PlanError(format!("op {i}: empty concat")));
+                }
+            }
+            let out = op.out();
+            check(out, "output")?;
+            if defined[out.index()] {
+                return Err(PlanError(format!(
+                    "op {i} rewrites slot {out} (SSA violation)"
+                )));
+            }
+            defined[out.index()] = true;
+        }
+        for &id in &self.outputs {
+            check(id, "plan output")?;
+            if !defined[id.index()] {
+                return Err(PlanError(format!("plan output {id} is never computed")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Dead-slot pruning: keeps only the ops reachable (backwards) from
+    /// `keep`, which becomes the new output list. The input and
+    /// parameter lists are preserved verbatim so bindings stay aligned
+    /// with the unpruned plan. Bitwise-neutral for surviving slots: ops
+    /// never mutate their operands, so removing an unreachable op
+    /// cannot change any kept value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `keep` slot is not defined by the plan (programming
+    /// error — callers prune over their own plans).
+    pub fn pruned(&self, keep: &[SlotId]) -> Plan {
+        let mut live = vec![false; self.slots.len()];
+        for &id in keep {
+            live[id.index()] = true;
+        }
+        let mut kept = vec![false; self.ops.len()];
+        for (i, op) in self.ops.iter().enumerate().rev() {
+            if live[op.out().index()] {
+                kept[i] = true;
+                op.for_each_read(|id| live[id.index()] = true);
+            }
+        }
+        for &id in keep {
+            let from_op = self.ops.iter().any(|op| op.out() == id);
+            let from_binding = self.inputs.contains(&id) || self.params.contains(&id);
+            assert!(
+                from_op || from_binding,
+                "pruned: kept slot {id} is undefined"
+            );
+        }
+        Plan {
+            slots: self.slots.clone(),
+            inputs: self.inputs.clone(),
+            params: self.params.clone(),
+            outputs: keep.to_vec(),
+            ops: self
+                .ops
+                .iter()
+                .zip(&kept)
+                .filter(|(_, &k)| k)
+                .map(|(op, _)| op.clone())
+                .collect(),
+        }
+    }
+
+    /// Serving-side affine fusion: folds `Gemm` → (`AddRowBroadcast`) →
+    /// (`Act`) chains into one [`PlanOp::AffineAct`] wherever the
+    /// intermediate slots are single-use and not plan outputs.
+    ///
+    /// Bitwise-neutral: `affine_act_into` documents (and tests) that the
+    /// fused kernel replays the exact per-element operation sequence of
+    /// the unfused chain — the GEMM accumulates identically and the
+    /// bias/activation epilogue is a pure per-element post-op.
+    pub fn fused_affine(&self) -> Plan {
+        let mut uses = vec![0usize; self.slots.len()];
+        for op in &self.ops {
+            op.for_each_read(|id| uses[id.index()] += 1);
+        }
+        for &id in &self.outputs {
+            uses[id.index()] += 1;
+        }
+        let fusable = |id: SlotId| uses[id.index()] == 1 && !self.outputs.contains(&id);
+
+        let mut ops = Vec::with_capacity(self.ops.len());
+        let mut i = 0;
+        while i < self.ops.len() {
+            let PlanOp::Gemm { x, w, out } = self.ops[i] else {
+                ops.push(self.ops[i].clone());
+                i += 1;
+                continue;
+            };
+            let (mut b, mut act, mut last_out, mut consumed) = (None, ActKind::Identity, out, 0);
+            // Optional bias directly downstream of a single-use GEMM.
+            if let Some(PlanOp::AddRowBroadcast {
+                x: bx,
+                b: bias,
+                out: bout,
+            }) = self.ops.get(i + 1)
+            {
+                if *bx == last_out && fusable(last_out) {
+                    b = Some(*bias);
+                    last_out = *bout;
+                    consumed += 1;
+                }
+            }
+            // Optional activation directly downstream of that.
+            if let Some(PlanOp::Act {
+                x: ax,
+                act: a,
+                out: aout,
+            }) = self.ops.get(i + 1 + consumed)
+            {
+                if *ax == last_out && fusable(last_out) {
+                    act = *a;
+                    last_out = *aout;
+                    consumed += 1;
+                }
+            }
+            if consumed == 0 {
+                ops.push(self.ops[i].clone());
+            } else {
+                ops.push(PlanOp::AffineAct {
+                    x,
+                    w,
+                    b,
+                    act,
+                    out: last_out,
+                });
+            }
+            i += 1 + consumed;
+        }
+        Plan {
+            slots: self.slots.clone(),
+            inputs: self.inputs.clone(),
+            params: self.params.clone(),
+            outputs: self.outputs.clone(),
+            ops,
+        }
+    }
+
+    /// Infers the `(rows, cols)` shape of every slot from the shapes of
+    /// the bound inputs/params, failing on any inconsistency. Returns
+    /// one entry per slot (`None` for slots no op or binding defines —
+    /// e.g. slots orphaned by pruning).
+    pub fn infer_shapes(&self, env: &ShapeEnv) -> Result<Vec<Option<(usize, usize)>>, PlanError> {
+        if env.inputs.len() != self.inputs.len() || env.params.len() != self.params.len() {
+            return Err(PlanError(format!(
+                "shape env has {} inputs / {} params, plan expects {} / {}",
+                env.inputs.len(),
+                env.params.len(),
+                self.inputs.len(),
+                self.params.len()
+            )));
+        }
+        let mut shapes: Vec<Option<(usize, usize)>> = vec![None; self.slots.len()];
+        for (&id, &s) in self.inputs.iter().zip(&env.inputs) {
+            shapes[id.index()] = Some(s);
+        }
+        for (&id, &s) in self.params.iter().zip(&env.params) {
+            shapes[id.index()] = Some(s);
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            let get = |id: SlotId| {
+                shapes[id.index()]
+                    .ok_or_else(|| PlanError(format!("op {i} reads unshaped slot {id}")))
+            };
+            let err = |msg: String| Err(PlanError(format!("op {i} ({}): {msg}", op.kind())));
+            let out_shape = match op {
+                PlanOp::Gather { src, idx, .. } => {
+                    let (_, c) = get(*src)?;
+                    let Some(&len) = env.idx_lens.get(*idx as usize) else {
+                        return err(format!("index binding {idx} missing from shape env"));
+                    };
+                    (len, c)
+                }
+                PlanOp::Spmm { adj, x, .. } => {
+                    let (r, c) = get(*x)?;
+                    let Some(&rows) = env.adj_rows.get(*adj as usize) else {
+                        return err(format!("adjacency binding {adj} missing from shape env"));
+                    };
+                    if r != rows {
+                        return err(format!("operand rows {r} != adjacency rows {rows}"));
+                    }
+                    (rows, c)
+                }
+                PlanOp::Gemm { x, w, .. } => {
+                    let ((m, k), (k2, n)) = (get(*x)?, get(*w)?);
+                    if k != k2 {
+                        return err(format!("inner dims {k} vs {k2}"));
+                    }
+                    (m, n)
+                }
+                PlanOp::AffineAct { x, w, b, .. } => {
+                    let ((m, k), (k2, n)) = (get(*x)?, get(*w)?);
+                    if k != k2 {
+                        return err(format!("inner dims {k} vs {k2}"));
+                    }
+                    if let Some(b) = b {
+                        let (br, bc) = get(*b)?;
+                        if br != 1 || bc != n {
+                            return err(format!("bias [{br}x{bc}] != [1x{n}]"));
+                        }
+                    }
+                    (m, n)
+                }
+                PlanOp::AddRowBroadcast { x, b, .. } => {
+                    let ((m, n), (br, bc)) = (get(*x)?, get(*b)?);
+                    if br != 1 || bc != n {
+                        return err(format!("row [{br}x{bc}] != [1x{n}]"));
+                    }
+                    (m, n)
+                }
+                PlanOp::Act { x, .. } | PlanOp::SoftmaxRows { x, .. } | PlanOp::Scale { x, .. } => {
+                    get(*x)?
+                }
+                PlanOp::MixColBlocks { weights, bank, .. } => {
+                    let ((m, k), (m2, kd)) = (get(*weights)?, get(*bank)?);
+                    if m != m2 {
+                        return err(format!("weight rows {m} != bank rows {m2}"));
+                    }
+                    if k == 0 || kd % k != 0 {
+                        return err(format!("bank width {kd} not divisible by {k} experts"));
+                    }
+                    (m, kd / k)
+                }
+                PlanOp::ConcatCols { parts, .. } => {
+                    let (m, mut cols) = get(parts[0])?;
+                    for &p in &parts[1..] {
+                        let (r, c) = get(p)?;
+                        if r != m {
+                            return err(format!("concat row mismatch {r} vs {m}"));
+                        }
+                        cols += c;
+                    }
+                    (m, cols)
+                }
+                PlanOp::Add { a, b, .. } => {
+                    let (sa, sb) = (get(*a)?, get(*b)?);
+                    if sa != sb {
+                        return err(format!("shape mismatch {sa:?} vs {sb:?}"));
+                    }
+                    sa
+                }
+                PlanOp::MeanRows { x, .. } => {
+                    let (_, c) = get(*x)?;
+                    (1, c)
+                }
+            };
+            shapes[op.out().index()] = Some(out_shape);
+        }
+        Ok(shapes)
+    }
+
+    /// Rough FLOP cost of one op given inferred `shapes` (a
+    /// dump/metrics aid, not a performance model).
+    pub fn op_flops(&self, op: &PlanOp, shapes: &[Option<(usize, usize)>], env: &ShapeEnv) -> u64 {
+        let dims = |id: SlotId| shapes[id.index()].unwrap_or((0, 0));
+        let elems = |id: SlotId| {
+            let (r, c) = dims(id);
+            (r * c) as u64
+        };
+        match op {
+            PlanOp::Gather { .. } | PlanOp::ConcatCols { .. } => 0,
+            PlanOp::Spmm { adj, x, .. } => {
+                let nnz = env.adj_nnz.get(*adj as usize).copied().unwrap_or(0) as u64;
+                2 * nnz * dims(*x).1 as u64
+            }
+            PlanOp::Gemm { x, w, .. } => {
+                let ((m, k), (_, n)) = (dims(*x), dims(*w));
+                2 * (m * n * k) as u64
+            }
+            PlanOp::AffineAct { x, w, b, out, .. } => {
+                let ((m, k), (_, n)) = (dims(*x), dims(*w));
+                2 * (m * n * k) as u64 + if b.is_some() { elems(*out) } else { 0 } + elems(*out)
+            }
+            PlanOp::MixColBlocks { weights, bank, .. } => {
+                let (_, k) = dims(*weights);
+                2 * k as u64 * elems(*bank) / k.max(1) as u64
+            }
+            PlanOp::SoftmaxRows { x, .. } => 4 * elems(*x),
+            PlanOp::AddRowBroadcast { x, .. }
+            | PlanOp::Act { x, .. }
+            | PlanOp::Add { a: x, .. }
+            | PlanOp::Scale { x, .. }
+            | PlanOp::MeanRows { x, .. } => elems(*x),
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! `mgbr-plan`: the execution-plan IR — one ops-as-data MGBR forward
+//! shared by the trainer and the frozen scorer.
+//!
+//! The crate has four parts:
+//!
+//! * [`ir`](crate::Plan) — the plan data model: named tensor slots, a
+//!   typed op enum, SSA validation, dead-slot pruning, affine fusion,
+//!   and shape/FLOP inference.
+//! * [`exec`](crate::Executor) — the deterministic interpreter plus its
+//!   two backends: [`TapedBackend`] records ops on the autograd tape
+//!   (training), [`TensorBackend`] runs the pooled `_into` kernels
+//!   (serving). Same plan, same walk, bitwise-identical values.
+//! * [`build`](crate::build_score_plan) — shape-polymorphic specs and
+//!   the emitters that lower MGBR module structure to plans, in the
+//!   canonical parameter order.
+//! * [`serde`](crate::put_plan) — the fail-closed byte encoding
+//!   embedded in `MGBRFRZN` v2 artifacts.
+
+mod build;
+mod dump;
+mod exec;
+mod ir;
+mod serde;
+
+pub use build::{
+    build_embed_plan, build_mtl_plan, build_score_plan, EmbedSpec, LayerSpec, LayerTrace, MlpSpec,
+    MtlPlan, MtlSpec, ScorePlan, ScoreSpec,
+};
+pub use dump::render;
+pub use exec::{execute, Bindings, Executor, PlanBackend, TapedBackend, TensorBackend};
+pub use ir::{ActKind, Plan, PlanError, PlanOp, ShapeEnv, Slot, SlotId};
+pub use serde::{plan_from_bytes, plan_to_bytes, put_plan, take_plan};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_nn::{ParamStore, StepCtx};
+    use mgbr_tensor::{Pcg32, Tensor, Workspace};
+
+    fn sid(i: u32) -> SlotId {
+        SlotId(i)
+    }
+
+    fn named(names: &[&str]) -> Vec<Slot> {
+        names
+            .iter()
+            .map(|n| Slot {
+                name: n.to_string(),
+            })
+            .collect()
+    }
+
+    /// A small MLP-shaped plan: x·w0 (+b0) relu, then ·w1 (+b1), with a
+    /// dead scale op hanging off the hidden activation.
+    fn mlp_plan() -> Plan {
+        Plan {
+            slots: named(&[
+                "x", "w0", "b0", "w1", "b1", "h", "hb", "ha", "y", "yb", "dead",
+            ]),
+            inputs: vec![sid(0)],
+            params: vec![sid(1), sid(2), sid(3), sid(4)],
+            outputs: vec![sid(9)],
+            ops: vec![
+                PlanOp::Gemm {
+                    x: sid(0),
+                    w: sid(1),
+                    out: sid(5),
+                },
+                PlanOp::AddRowBroadcast {
+                    x: sid(5),
+                    b: sid(2),
+                    out: sid(6),
+                },
+                PlanOp::Act {
+                    x: sid(6),
+                    act: ActKind::Relu,
+                    out: sid(7),
+                },
+                PlanOp::Gemm {
+                    x: sid(7),
+                    w: sid(3),
+                    out: sid(8),
+                },
+                PlanOp::AddRowBroadcast {
+                    x: sid(8),
+                    b: sid(4),
+                    out: sid(9),
+                },
+                PlanOp::Scale {
+                    x: sid(7),
+                    alpha: 2.0,
+                    out: sid(10),
+                },
+            ],
+        }
+    }
+
+    fn mlp_tensors(rng: &mut Pcg32) -> (Tensor, Vec<Tensor>) {
+        let x = rng.normal_tensor(5, 8, 0.0, 1.0);
+        let params = vec![
+            rng.normal_tensor(8, 6, 0.0, 0.5),
+            rng.normal_tensor(1, 6, 0.0, 0.5),
+            rng.normal_tensor(6, 3, 0.0, 0.5),
+            rng.normal_tensor(1, 3, 0.0, 0.5),
+        ];
+        (x, params)
+    }
+
+    fn run_tensor(plan: &Plan, x: &Tensor, params: &[Tensor]) -> Vec<Tensor> {
+        let ws = Workspace::new();
+        let bindings = Bindings::default();
+        let prefs: Vec<&Tensor> = params.iter().collect();
+        execute(plan, &[x], &prefs, TensorBackend::new(&ws, &bindings))
+    }
+
+    #[test]
+    fn validate_accepts_the_mlp_plan_and_rejects_ssa_breaks() {
+        let plan = mlp_plan();
+        plan.validate().expect("well-formed");
+
+        let mut rewrite = plan.clone();
+        rewrite.ops.push(PlanOp::Scale {
+            x: sid(0),
+            alpha: 1.0,
+            out: sid(5),
+        });
+        assert!(rewrite.validate().is_err(), "rewriting a slot must fail");
+
+        let mut undefined = plan.clone();
+        undefined.ops[0] = PlanOp::Gemm {
+            x: sid(10),
+            w: sid(1),
+            out: sid(5),
+        };
+        assert!(undefined.validate().is_err(), "reading ahead must fail");
+
+        let mut out_of_range = plan;
+        out_of_range.outputs = vec![sid(99)];
+        assert!(out_of_range.validate().is_err());
+    }
+
+    #[test]
+    fn pruning_drops_dead_ops_and_keeps_bits() {
+        let plan = mlp_plan();
+        let pruned = plan.pruned(&[sid(9)]);
+        assert_eq!(pruned.ops.len(), plan.ops.len() - 1, "dead scale dropped");
+        assert_eq!(pruned.params, plan.params, "bindings stay aligned");
+
+        let mut rng = Pcg32::seed_from_u64(7);
+        let (x, params) = mlp_tensors(&mut rng);
+        let full = run_tensor(&plan, &x, &params);
+        let cut = run_tensor(&pruned, &x, &params);
+        assert_eq!(full[0], cut[0], "pruning must be bitwise-neutral");
+    }
+
+    #[test]
+    fn affine_fusion_folds_chains_and_keeps_bits() {
+        let plan = mlp_plan().pruned(&[sid(9)]);
+        let fused = plan.fused_affine();
+        let n_affine = fused
+            .ops
+            .iter()
+            .filter(|op| matches!(op, PlanOp::AffineAct { .. }))
+            .count();
+        assert_eq!(n_affine, 2, "both gemm+bias(+act) chains fold");
+        assert!(fused.ops.len() < plan.ops.len());
+        fused.validate().expect("fusion preserves validity");
+
+        let mut rng = Pcg32::seed_from_u64(8);
+        let (x, params) = mlp_tensors(&mut rng);
+        let a = run_tensor(&plan, &x, &params);
+        let b = run_tensor(&fused, &x, &params);
+        assert_eq!(
+            a[0].as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            b[0].as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "fusion must be bitwise-neutral"
+        );
+    }
+
+    #[test]
+    fn fusion_skips_multi_use_intermediates() {
+        let mut plan = mlp_plan();
+        // The hidden pre-activation now also feeds the scale op, so the
+        // relu cannot be folded into the affine chain (slot %6 must stay
+        // observable), while the bias itself still folds.
+        plan.ops[5] = PlanOp::Scale {
+            x: sid(6),
+            alpha: 2.0,
+            out: sid(10),
+        };
+        plan.outputs = vec![sid(9), sid(10)];
+        let fused = plan.fused_affine();
+        fused.validate().unwrap();
+        assert!(
+            fused
+                .ops
+                .iter()
+                .any(|op| matches!(op, PlanOp::Act { x, .. } if *x == sid(6))),
+            "activation on a multi-use slot must not be folded"
+        );
+        assert!(
+            fused.ops.iter().any(
+                |op| matches!(op, PlanOp::AffineAct { act: ActKind::Identity, out, .. } if *out == sid(6))
+            ),
+            "the single-use bias still folds, keeping %6 defined"
+        );
+
+        let mut rng = Pcg32::seed_from_u64(11);
+        let (x, params) = mlp_tensors(&mut rng);
+        let a = run_tensor(&plan, &x, &params);
+        let b = run_tensor(&fused, &x, &params);
+        assert_eq!(a, b, "partial fusion must be bitwise-neutral");
+    }
+
+    #[test]
+    fn taped_and_tensor_backends_agree_bitwise() {
+        let plan = mlp_plan();
+        let mut rng = Pcg32::seed_from_u64(9);
+        let (x, params) = mlp_tensors(&mut rng);
+        let frozen = run_tensor(&plan, &x, &params);
+
+        let mut store = ParamStore::new();
+        let ids: Vec<_> = params
+            .iter()
+            .enumerate()
+            .map(|(i, t)| store.add(format!("p{i}"), t.clone()))
+            .collect();
+        let ctx = StepCtx::new(&store);
+        let xv = ctx.constant(x);
+        let pvars: Vec<_> = ids.iter().map(|&id| ctx.param(id)).collect();
+        let prefs: Vec<_> = pvars.iter().collect();
+        let bindings = Bindings::default();
+        let taped = execute(&plan, &[&xv], &prefs, TapedBackend::new(&bindings));
+        assert_eq!(frozen[0], taped[0].value(), "backends must agree bitwise");
+    }
+
+    #[test]
+    fn executor_run_to_is_equivalent_to_one_shot() {
+        let plan = mlp_plan();
+        let mut rng = Pcg32::seed_from_u64(10);
+        let (x, params) = mlp_tensors(&mut rng);
+        let one_shot = run_tensor(&plan, &x, &params);
+
+        let ws = Workspace::new();
+        let bindings = Bindings::default();
+        let prefs: Vec<&Tensor> = params.iter().collect();
+        let mut exec = Executor::new(&plan, &[&x], &prefs, TensorBackend::new(&ws, &bindings));
+        exec.run_to(2);
+        assert_eq!(exec.cursor(), 2);
+        exec.run_to(4);
+        let stepped = exec.finish();
+        assert_eq!(one_shot[0], stepped[0]);
+    }
+
+    #[test]
+    fn repeated_outputs_are_cloned() {
+        let plan = Plan {
+            slots: named(&["x", "y"]),
+            inputs: vec![sid(0)],
+            params: vec![],
+            outputs: vec![sid(1), sid(1), sid(0)],
+            ops: vec![PlanOp::Scale {
+                x: sid(0),
+                alpha: 3.0,
+                out: sid(1),
+            }],
+        };
+        plan.validate().unwrap();
+        let x = Tensor::from_fn(2, 2, |r, c| (r + c) as f32);
+        let outs = run_tensor(&plan, &x, &[]);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[2], x, "borrowed input output is cloned out");
+    }
+
+    fn full_spec() -> ScoreSpec {
+        let layer = |dedup: bool, gate_s: bool| LayerSpec {
+            dedup_inputs: dedup,
+            has_gate_s: gate_s,
+            adj_a: Some([true, true, true]),
+            adj_b: Some([true, true, true]),
+        };
+        ScoreSpec {
+            mtl: MtlSpec {
+                has_shared: true,
+                gate_softmax: false,
+                alpha_a: 0.3,
+                alpha_b: 0.2,
+                layers: vec![layer(true, true), layer(false, false)],
+            },
+            mlp_a: MlpSpec {
+                layers: vec![true, true],
+                hidden: ActKind::Relu,
+                output: ActKind::Identity,
+            },
+            mlp_b: MlpSpec {
+                layers: vec![true, true],
+                hidden: ActKind::Relu,
+                output: ActKind::Identity,
+            },
+        }
+    }
+
+    #[test]
+    fn built_score_plan_is_valid_and_layer_ranges_cover_mtl_ops() {
+        let sp = build_score_plan(&full_spec());
+        sp.plan.validate().expect("builder output valid");
+        assert_eq!(sp.plan.outputs, vec![sp.logit_a, sp.logit_b]);
+        assert_eq!(sp.layers.len(), 2);
+        // Layer ranges are contiguous and start after the g0/pair prologue.
+        assert_eq!(sp.layers[0].ops.start, 4);
+        assert_eq!(sp.layers[0].ops.end, sp.layers[1].ops.start);
+        assert!(sp.layers[1].ops.end <= sp.plan.ops.len());
+        // Pruning one head only drops ops after the MTL section, so the
+        // layer ranges stay valid for the pruned plans the trainer runs.
+        let pruned = sp.plan.pruned(&[sp.logit_a, sp.g_b]);
+        assert!(pruned.ops.len() >= sp.layers[1].ops.end);
+        assert_eq!(
+            &pruned.ops[..sp.layers[1].ops.end],
+            &sp.plan.ops[..sp.layers[1].ops.end],
+            "MTL prefix unchanged by head pruning"
+        );
+    }
+
+    #[test]
+    fn built_plans_roundtrip_through_bytes() {
+        for spec in [
+            full_spec(),
+            ScoreSpec {
+                mtl: MtlSpec {
+                    has_shared: false,
+                    gate_softmax: true,
+                    alpha_a: 0.0,
+                    alpha_b: 0.0,
+                    layers: vec![LayerSpec {
+                        dedup_inputs: true,
+                        has_gate_s: false,
+                        adj_a: None,
+                        adj_b: None,
+                    }],
+                },
+                mlp_a: MlpSpec {
+                    layers: vec![false],
+                    hidden: ActKind::LeakyRelu(0.1),
+                    output: ActKind::Tanh,
+                },
+                mlp_b: MlpSpec {
+                    layers: vec![true],
+                    hidden: ActKind::Sigmoid,
+                    output: ActKind::Identity,
+                },
+            },
+        ] {
+            let plan = build_score_plan(&spec).plan;
+            let bytes = plan_to_bytes(&plan);
+            let back = plan_from_bytes(&bytes).expect("roundtrip");
+            assert_eq!(plan, back, "byte roundtrip must be lossless");
+        }
+    }
+
+    #[test]
+    fn corrupted_and_truncated_plans_fail_closed() {
+        let plan = build_score_plan(&full_spec()).plan;
+        let bytes = plan_to_bytes(&plan);
+
+        for cut in [0, 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                plan_from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        for pos in [8, 16, bytes.len() / 3, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                plan_from_bytes(&bad).is_err(),
+                "bit flip at {pos} must fail (CRC or validation)"
+            );
+        }
+        let mut wrong_magic = bytes;
+        wrong_magic[0] ^= 0xFF;
+        assert!(plan_from_bytes(&wrong_magic).is_err());
+    }
+
+    #[test]
+    fn embed_plans_are_valid() {
+        let mv = build_embed_plan(&EmbedSpec::MultiView { gcn_layers: 2 });
+        mv.validate().unwrap();
+        assert_eq!(mv.outputs.len(), 3);
+        assert_eq!(
+            mv.params.len(),
+            3 * (1 + 2),
+            "x0 + per-layer weights × 3 GCNs"
+        );
+        let hin = build_embed_plan(&EmbedSpec::Hin { gcn_layers: 2 });
+        hin.validate().unwrap();
+        assert_eq!(
+            hin.outputs[0], hin.outputs[2],
+            "HIN users double as participants"
+        );
+    }
+
+    #[test]
+    fn shape_inference_and_dump_render() {
+        let plan = mlp_plan().pruned(&[sid(9)]);
+        let env = ShapeEnv {
+            inputs: vec![(5, 8)],
+            params: vec![(8, 6), (1, 6), (6, 3), (1, 3)],
+            ..ShapeEnv::default()
+        };
+        let shapes = plan.infer_shapes(&env).expect("consistent");
+        assert_eq!(shapes[sid(9).index()], Some((5, 3)));
+
+        let text = render(&plan, Some(&env));
+        assert!(text.contains("gemm"), "{text}");
+        assert!(text.contains("5x3"), "{text}");
+        assert!(text.contains("FLOP"), "{text}");
+
+        let bad = ShapeEnv {
+            inputs: vec![(5, 7)],
+            ..env
+        };
+        assert!(plan.infer_shapes(&bad).is_err(), "inner-dim mismatch");
+    }
+}

@@ -1,0 +1,346 @@
+//! Plan (de)serialization: the byte encoding embedded in `MGBRFRZN` v2
+//! artifacts, plus a standalone CRC-framed container for fixtures and
+//! round-trip tests.
+//!
+//! Everything is little-endian and fails closed: loads enforce hard
+//! caps before allocating, and every decoded plan must pass
+//! [`Plan::validate`] before it is returned, so a corrupted or
+//! adversarial byte stream yields a typed [`CheckpointError`] — never a
+//! malformed plan reaching the interpreter.
+
+use mgbr_nn::{CheckpointError, CrcReader, CrcWriter};
+use std::io::{Read, Write};
+
+use crate::{ActKind, Plan, PlanOp, Slot, SlotId};
+
+/// Standalone container magic.
+const PLAN_MAGIC: &[u8; 8] = b"MGBRPLAN";
+/// Standalone container version.
+const PLAN_VERSION: u32 = 1;
+
+/// Hard caps, far above any real MGBR plan, bounding allocation on load.
+const MAX_SLOTS: u32 = 1 << 20;
+const MAX_OPS: u32 = 1 << 20;
+const MAX_NAME: u32 = 256;
+const MAX_CONCAT: u32 = 4096;
+
+fn put_act<W: Write>(w: &mut CrcWriter<W>, act: ActKind) -> Result<(), CheckpointError> {
+    match act {
+        ActKind::Identity => w.put_u8(0),
+        ActKind::Relu => w.put_u8(1),
+        ActKind::Sigmoid => w.put_u8(2),
+        ActKind::Tanh => w.put_u8(3),
+        ActKind::LeakyRelu(slope) => {
+            w.put_u8(4)?;
+            w.put_f32(slope)
+        }
+    }
+}
+
+fn take_act<R: Read>(r: &mut CrcReader<R>) -> Result<ActKind, CheckpointError> {
+    Ok(match r.take_u8()? {
+        0 => ActKind::Identity,
+        1 => ActKind::Relu,
+        2 => ActKind::Sigmoid,
+        3 => ActKind::Tanh,
+        4 => ActKind::LeakyRelu(r.take_f32()?),
+        t => {
+            return Err(CheckpointError::Format(format!(
+                "unknown activation tag {t}"
+            )))
+        }
+    })
+}
+
+fn put_slot_id<W: Write>(w: &mut CrcWriter<W>, id: SlotId) -> Result<(), CheckpointError> {
+    w.put_u32(id.0)
+}
+
+fn take_slot_id<R: Read>(r: &mut CrcReader<R>) -> Result<SlotId, CheckpointError> {
+    Ok(SlotId(r.take_u32()?))
+}
+
+fn put_id_list<W: Write>(w: &mut CrcWriter<W>, ids: &[SlotId]) -> Result<(), CheckpointError> {
+    w.put_u32(ids.len() as u32)?;
+    for &id in ids {
+        put_slot_id(w, id)?;
+    }
+    Ok(())
+}
+
+fn take_id_list<R: Read>(r: &mut CrcReader<R>, what: &str) -> Result<Vec<SlotId>, CheckpointError> {
+    let n = r.take_u32()?;
+    if n > MAX_SLOTS {
+        return Err(CheckpointError::Format(format!(
+            "{what} list length {n} exceeds cap {MAX_SLOTS}"
+        )));
+    }
+    (0..n).map(|_| take_slot_id(r)).collect()
+}
+
+fn put_op<W: Write>(w: &mut CrcWriter<W>, op: &PlanOp) -> Result<(), CheckpointError> {
+    match op {
+        PlanOp::Gather { src, idx, out } => {
+            w.put_u8(0)?;
+            put_slot_id(w, *src)?;
+            w.put_u32(*idx)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::Spmm { adj, x, out } => {
+            w.put_u8(1)?;
+            w.put_u32(*adj)?;
+            put_slot_id(w, *x)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::Gemm { x, w: ww, out } => {
+            w.put_u8(2)?;
+            put_slot_id(w, *x)?;
+            put_slot_id(w, *ww)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::AffineAct {
+            x,
+            w: ww,
+            b,
+            act,
+            out,
+        } => {
+            w.put_u8(3)?;
+            put_slot_id(w, *x)?;
+            put_slot_id(w, *ww)?;
+            w.put_u8(b.is_some() as u8)?;
+            if let Some(b) = b {
+                put_slot_id(w, *b)?;
+            }
+            put_act(w, *act)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::AddRowBroadcast { x, b, out } => {
+            w.put_u8(4)?;
+            put_slot_id(w, *x)?;
+            put_slot_id(w, *b)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::Act { x, act, out } => {
+            w.put_u8(5)?;
+            put_slot_id(w, *x)?;
+            put_act(w, *act)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::SoftmaxRows { x, out } => {
+            w.put_u8(6)?;
+            put_slot_id(w, *x)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::MixColBlocks { weights, bank, out } => {
+            w.put_u8(7)?;
+            put_slot_id(w, *weights)?;
+            put_slot_id(w, *bank)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::ConcatCols { parts, out } => {
+            w.put_u8(8)?;
+            w.put_u32(parts.len() as u32)?;
+            for &p in parts {
+                put_slot_id(w, p)?;
+            }
+            put_slot_id(w, *out)
+        }
+        PlanOp::Add { a, b, out } => {
+            w.put_u8(9)?;
+            put_slot_id(w, *a)?;
+            put_slot_id(w, *b)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::Scale { x, alpha, out } => {
+            w.put_u8(10)?;
+            put_slot_id(w, *x)?;
+            w.put_f32(*alpha)?;
+            put_slot_id(w, *out)
+        }
+        PlanOp::MeanRows { x, out } => {
+            w.put_u8(11)?;
+            put_slot_id(w, *x)?;
+            put_slot_id(w, *out)
+        }
+    }
+}
+
+fn take_op<R: Read>(r: &mut CrcReader<R>) -> Result<PlanOp, CheckpointError> {
+    Ok(match r.take_u8()? {
+        0 => PlanOp::Gather {
+            src: take_slot_id(r)?,
+            idx: r.take_u32()?,
+            out: take_slot_id(r)?,
+        },
+        1 => PlanOp::Spmm {
+            adj: r.take_u32()?,
+            x: take_slot_id(r)?,
+            out: take_slot_id(r)?,
+        },
+        2 => PlanOp::Gemm {
+            x: take_slot_id(r)?,
+            w: take_slot_id(r)?,
+            out: take_slot_id(r)?,
+        },
+        3 => {
+            let x = take_slot_id(r)?;
+            let w = take_slot_id(r)?;
+            let b = if r.take_u8()? != 0 {
+                Some(take_slot_id(r)?)
+            } else {
+                None
+            };
+            PlanOp::AffineAct {
+                x,
+                w,
+                b,
+                act: take_act(r)?,
+                out: take_slot_id(r)?,
+            }
+        }
+        4 => PlanOp::AddRowBroadcast {
+            x: take_slot_id(r)?,
+            b: take_slot_id(r)?,
+            out: take_slot_id(r)?,
+        },
+        5 => PlanOp::Act {
+            x: take_slot_id(r)?,
+            act: take_act(r)?,
+            out: take_slot_id(r)?,
+        },
+        6 => PlanOp::SoftmaxRows {
+            x: take_slot_id(r)?,
+            out: take_slot_id(r)?,
+        },
+        7 => PlanOp::MixColBlocks {
+            weights: take_slot_id(r)?,
+            bank: take_slot_id(r)?,
+            out: take_slot_id(r)?,
+        },
+        8 => {
+            let n = r.take_u32()?;
+            if n > MAX_CONCAT {
+                return Err(CheckpointError::Format(format!(
+                    "concat arity {n} exceeds cap {MAX_CONCAT}"
+                )));
+            }
+            let parts = (0..n)
+                .map(|_| take_slot_id(r))
+                .collect::<Result<Vec<_>, _>>()?;
+            PlanOp::ConcatCols {
+                parts,
+                out: take_slot_id(r)?,
+            }
+        }
+        9 => PlanOp::Add {
+            a: take_slot_id(r)?,
+            b: take_slot_id(r)?,
+            out: take_slot_id(r)?,
+        },
+        10 => PlanOp::Scale {
+            x: take_slot_id(r)?,
+            alpha: r.take_f32()?,
+            out: take_slot_id(r)?,
+        },
+        11 => PlanOp::MeanRows {
+            x: take_slot_id(r)?,
+            out: take_slot_id(r)?,
+        },
+        t => return Err(CheckpointError::Format(format!("unknown plan op tag {t}"))),
+    })
+}
+
+/// Writes a plan into an open CRC stream (the `MGBRFRZN` v2 embedding).
+pub fn put_plan<W: Write>(w: &mut CrcWriter<W>, plan: &Plan) -> Result<(), CheckpointError> {
+    w.put_u32(plan.slots.len() as u32)?;
+    for slot in &plan.slots {
+        let name = slot.name.as_bytes();
+        w.put_u32(name.len() as u32)?;
+        w.put(name)?;
+    }
+    put_id_list(w, &plan.inputs)?;
+    put_id_list(w, &plan.params)?;
+    put_id_list(w, &plan.outputs)?;
+    w.put_u32(plan.ops.len() as u32)?;
+    for op in &plan.ops {
+        put_op(w, op)?;
+    }
+    Ok(())
+}
+
+/// Reads a plan from an open CRC stream, enforcing caps and structural
+/// validity (fail-closed).
+pub fn take_plan<R: Read>(r: &mut CrcReader<R>) -> Result<Plan, CheckpointError> {
+    let n_slots = r.take_u32()?;
+    if n_slots > MAX_SLOTS {
+        return Err(CheckpointError::Format(format!(
+            "plan slot count {n_slots} exceeds cap {MAX_SLOTS}"
+        )));
+    }
+    let mut slots = Vec::with_capacity(n_slots as usize);
+    for _ in 0..n_slots {
+        let len = r.take_u32()?;
+        if len > MAX_NAME {
+            return Err(CheckpointError::Format(format!(
+                "slot name length {len} exceeds cap {MAX_NAME}"
+            )));
+        }
+        let mut buf = vec![0u8; len as usize];
+        r.take(&mut buf)?;
+        let name = String::from_utf8(buf)
+            .map_err(|_| CheckpointError::Format("slot name is not UTF-8".into()))?;
+        slots.push(Slot { name });
+    }
+    let inputs = take_id_list(r, "input")?;
+    let params = take_id_list(r, "param")?;
+    let outputs = take_id_list(r, "output")?;
+    let n_ops = r.take_u32()?;
+    if n_ops > MAX_OPS {
+        return Err(CheckpointError::Format(format!(
+            "plan op count {n_ops} exceeds cap {MAX_OPS}"
+        )));
+    }
+    let ops = (0..n_ops)
+        .map(|_| take_op(r))
+        .collect::<Result<Vec<_>, _>>()?;
+    let plan = Plan {
+        slots,
+        inputs,
+        params,
+        outputs,
+        ops,
+    };
+    plan.validate()
+        .map_err(|e| CheckpointError::Format(e.to_string()))?;
+    Ok(plan)
+}
+
+/// Serializes a plan as a standalone CRC-framed artifact
+/// (`MGBRPLAN` magic + version + body + CRC-32).
+pub fn plan_to_bytes(plan: &Plan) -> Vec<u8> {
+    let mut w = CrcWriter::new(Vec::new());
+    w.put(PLAN_MAGIC).expect("vec write");
+    w.put_u32(PLAN_VERSION).expect("vec write");
+    put_plan(&mut w, plan).expect("vec write");
+    w.finish().expect("vec write")
+}
+
+/// Parses a standalone plan artifact, CRC-verifying the whole stream.
+pub fn plan_from_bytes(bytes: &[u8]) -> Result<Plan, CheckpointError> {
+    let mut r = CrcReader::new(bytes);
+    let mut magic = [0u8; 8];
+    r.take(&mut magic)?;
+    if &magic != PLAN_MAGIC {
+        return Err(CheckpointError::Format(format!("bad plan magic {magic:?}")));
+    }
+    let version = r.take_u32()?;
+    if version != PLAN_VERSION {
+        return Err(CheckpointError::Format(format!(
+            "unsupported plan version {version}"
+        )));
+    }
+    let plan = take_plan(&mut r)?;
+    r.verify_crc()?;
+    Ok(plan)
+}

@@ -1,0 +1,84 @@
+//! Plan dump: render the execution-plan IR that both the trainer and
+//! the frozen scorer run — per-op output shapes, FLOP estimates, and
+//! the effect of the serving-side affine-fusion pass.
+//!
+//! ```sh
+//! cargo run --release --example plan_dump
+//! ```
+
+use mgbr_core::{Mgbr, MgbrConfig};
+use mgbr_data::{synthetic, SyntheticConfig};
+use mgbr_plan::{build_embed_plan, render, EmbedSpec, ShapeEnv};
+
+fn main() {
+    let ds = synthetic::generate(&SyntheticConfig::tiny());
+    let cfg = MgbrConfig::tiny();
+    let model = Mgbr::new(cfg.clone(), &ds);
+    let frozen = model.freeze();
+
+    // Shape environment for the scoring plans: one candidate row per
+    // input (serving batches just scale the row count), parameter
+    // shapes straight from the frozen artifact.
+    let obj = 2 * frozen.d();
+    let env = ShapeEnv {
+        inputs: vec![(1, obj); 3],
+        params: frozen
+            .params()
+            .iter()
+            .map(|t| (t.rows(), t.cols()))
+            .collect(),
+        ..ShapeEnv::default()
+    };
+
+    println!("=== stored scoring plan (both heads, unfused) ===");
+    print!("{}", render(frozen.plan(), Some(&env)));
+
+    println!("\n=== Task A serving plan (pruned to logit_a, affine-fused) ===");
+    print!("{}", render(frozen.serve_plan_a(), Some(&env)));
+
+    let mut unfused = frozen.clone();
+    unfused.set_fused(false);
+    println!(
+        "\nfusion: Task A {} ops -> {} ops, Task B {} ops -> {} ops \
+         (bit-identical scores; see tests/serving_parity.rs)",
+        unfused.serve_plan_a().ops.len(),
+        frozen.serve_plan_a().ops.len(),
+        unfused.serve_plan_b().ops.len(),
+        frozen.serve_plan_b().ops.len(),
+    );
+
+    // The embedding plan reads no inputs: its leaves are the GCN
+    // parameters, and gathers/spmms bind to the dataset's graphs. The
+    // env below mirrors the synthetic-tiny graph the model was built on.
+    let n_users = ds.n_users;
+    let n_items = ds.n_items;
+    let n_bip = n_users + n_items;
+    let spec = EmbedSpec::MultiView {
+        gcn_layers: cfg.gcn_layers,
+    };
+    let embed = build_embed_plan(&spec);
+    let embed_env = ShapeEnv {
+        inputs: vec![],
+        params: embed_param_shapes(cfg.d, cfg.gcn_layers, &[n_bip, n_bip, n_users]),
+        idx_lens: vec![n_users, n_items],
+        adj_rows: vec![n_bip, n_bip, n_users],
+        // Self-loops only — a lower bound; real graphs add one nnz per
+        // edge, scaling the spmm FLOP lines linearly.
+        adj_nnz: vec![n_bip, n_bip, n_users],
+    };
+    println!("\n=== multi-view embedding plan ===");
+    print!("{}", render(&embed, Some(&embed_env)));
+}
+
+/// Parameter shapes of `build_embed_plan`'s MultiView lowering: per
+/// GCN, `x0 (n, d)` then `gcn_layers` weight matrices `(d, d)`.
+fn embed_param_shapes(d: usize, gcn_layers: usize, rows: &[usize]) -> Vec<(usize, usize)> {
+    let mut shapes = Vec::new();
+    for &n in rows {
+        shapes.push((n, d));
+        for _ in 0..gcn_layers {
+            shapes.push((d, d));
+        }
+    }
+    shapes
+}

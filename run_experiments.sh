@@ -20,7 +20,14 @@ echo "=== running bench_engine ==="
 ./target/release/bench_engine | tee results/bench_engine.txt
 # Serving benchmark: freezes the trained model, verifies frozen-vs-
 # training score parity, and measures QPS/latency; emits
-# results/BENCH_serve.json itself.
+# results/BENCH_serve.json itself. bench_serve exits non-zero on a
+# parity mismatch; under `set -e` a pipeline into tee would swallow
+# that status, so capture to the file first and fail explicitly.
 echo "=== running bench_serve ==="
-./target/release/bench_serve | tee results/bench_serve.txt
+if ! ./target/release/bench_serve > results/bench_serve.txt 2>&1; then
+  cat results/bench_serve.txt
+  echo "run_experiments.sh: FAILED — bench_serve reported a serving-parity mismatch" >&2
+  exit 1
+fi
+cat results/bench_serve.txt
 echo "=== all experiments complete ==="

@@ -139,6 +139,17 @@ fn traced_run_covers_the_span_taxonomy() {
         "watchdog.anomaly",
         "watchdog.recover",
         "metrics",
+        // Per-op spans charged by the execution-plan interpreter: the
+        // Full-variant forward exercises this op taxonomy every step.
+        "plan.spmm",
+        "plan.gemm",
+        "plan.act",
+        "plan.gather",
+        "plan.concat",
+        "plan.mix",
+        "plan.add",
+        "plan.scale",
+        "plan.add_row_broadcast",
     ] {
         assert!(
             names.contains(required),

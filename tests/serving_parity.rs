@@ -81,6 +81,45 @@ fn parity_survives_the_on_disk_artifact() {
 }
 
 #[test]
+fn fused_serving_plans_match_unfused_through_the_artifact() {
+    // The affine-fusion pass is a pure plan rewrite, so it must be
+    // bitwise invisible — for every variant, at several thread counts,
+    // for both tasks, and on a model loaded back from disk.
+    for variant in MgbrVariant::all() {
+        let mut buf = Vec::new();
+        build(variant).freeze().save(&mut buf).expect("save");
+        let fused = FrozenModel::load(buf.as_slice()).expect("load");
+        assert!(fused.fused(), "loaded artifacts fuse by default");
+        let mut unfused = FrozenModel::load(buf.as_slice()).expect("load");
+        unfused.set_fused(false);
+        assert!(
+            fused.serve_plan_a().ops.len() < unfused.serve_plan_a().ops.len(),
+            "{variant:?}: fusion must shrink the Task A plan"
+        );
+
+        let ws = Workspace::new();
+        let idx: Vec<usize> = (0..15).collect();
+        let pidx: Vec<usize> = (0..12).collect();
+        for t in [1usize, 2, 4] {
+            set_threads(t);
+            for user in [0usize, 3, 7] {
+                assert_eq!(
+                    bits(&fused.logits_a(&ws, user, &idx)),
+                    bits(&unfused.logits_a(&ws, user, &idx)),
+                    "{variant:?} task A user {user} at {t} threads"
+                );
+            }
+            assert_eq!(
+                bits(&fused.logits_b(&ws, 3, 1, &pidx)),
+                bits(&unfused.logits_b(&ws, 3, 1, &pidx)),
+                "{variant:?} task B at {t} threads"
+            );
+        }
+        set_threads(1);
+    }
+}
+
+#[test]
 fn every_serving_front_end_agrees() {
     // Direct scorer, chunked retriever, and the micro-batcher all sit on
     // the same row-local forward, so all must agree bitwise.
