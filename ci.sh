@@ -38,6 +38,19 @@ echo "=== serving parity golden suite ==="
 # scorer; run explicitly so a dropped [[test]] entry fails CI.
 cargo test -q -p mgbr-bench --test serving_parity
 
+echo "=== serving concurrency stress suite ==="
+# M producers x N workers under both admission policies: exactly one
+# reply per request, typed shed under overload, drain-on-drop, bitwise
+# parity with the single-threaded scorer; run explicitly so a dropped
+# [[test]] entry fails CI.
+cargo test -q -p mgbr-bench --test serving_stress
+
+echo "=== pruned-index property suite ==="
+# Full-probe retrieval must stay bitwise identical to the exhaustive
+# scan across every ablation variant, and recall@K must be monotone in
+# nprobe; run explicitly so a dropped [[test]] entry fails CI.
+cargo test -q -p mgbr-bench --test index_properties
+
 echo "=== observability / flight-recorder suite ==="
 # Tracing must be bitwise invisible and the journal complete; run
 # explicitly so a dropped [[test]] entry fails CI.
@@ -106,9 +119,10 @@ fi
 
 echo "=== mgbr-serve is panic-free outside tests ==="
 # Serving handles untrusted request data; failures must surface as
-# ServeError, never as a panic taking the worker down.
+# ServeError, never as a panic taking a worker down (.expect() included:
+# a poisoned lock or closed channel must degrade, not crash the pool).
 for f in crates/serve/src/*.rs; do
-  if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -nE 'panic!|\.unwrap\(\)'; then
+  if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -nE 'panic!|\.unwrap\(\)|\.expect\('; then
     echo "ci.sh: FAILED — $f non-test code must use ServeError, not panics" >&2
     exit 1
   fi

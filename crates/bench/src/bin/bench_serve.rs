@@ -2,11 +2,16 @@
 //! freezes it, round-trips the artifact through disk, verifies
 //! frozen-vs-training-path score parity at several thread counts, then
 //! replays a Beibei-shaped synthetic request stream at several batch
-//! sizes (plus one micro-batched cell) and writes QPS and latency
-//! percentiles to `results/BENCH_serve.json`.
+//! sizes (plus one micro-batched cell), drives the multi-worker
+//! [`WorkerPool`] with an **open-loop** (fixed-arrival-rate) load
+//! generator against a p99 latency SLO, sweeps the pruned
+//! [`ItemIndex`] for a recall@K-vs-speedup curve, and writes everything
+//! to `results/BENCH_serve.json`.
 //!
 //! Knobs: `MGBR_SCALE` (small/default/large), `MGBR_SERVE_REQUESTS`
-//! (requests per cell, default 2000), `MGBR_THREADS`.
+//! (requests per closed-loop cell, default 2000), `MGBR_SERVE_WORKERS`
+//! (pool workers, default 4), `MGBR_SERVE_SLO_US` (open-loop p99 SLO in
+//! microseconds, default 5000), `MGBR_THREADS`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -15,7 +20,10 @@ use mgbr_bench::{build_meta, write_artifact, ExperimentEnv};
 use mgbr_core::{train, FrozenModel, Mgbr, TrainConfig};
 use mgbr_eval::GroupBuyScorer;
 use mgbr_json::{Json, ToJson};
-use mgbr_serve::{BatcherConfig, LatencyHistogram, MicroBatcher, Scorer};
+use mgbr_serve::{
+    recall_at_k, BatcherConfig, IndexConfig, ItemIndex, LatencyHistogram, MicroBatcher, PoolConfig,
+    Retriever, Scorer, ServeError, WorkerPool,
+};
 use mgbr_tensor::{configure_threads, set_threads, Pcg32};
 
 struct Cell {
@@ -38,6 +46,54 @@ impl ToJson for Cell {
     }
 }
 
+/// One open-loop cell: requests admitted at a fixed arrival rate
+/// (non-blocking), latency measured enqueue-to-reply per request.
+struct PoolCell {
+    offered_qps: f64,
+    requests: usize,
+    served: u64,
+    shed: u64,
+    achieved_qps: f64,
+    latency: LatencyHistogram,
+    within_slo: bool,
+}
+
+impl ToJson for PoolCell {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("offered_qps", self.offered_qps.to_json()),
+            ("requests", self.requests.to_json()),
+            ("served", self.served.to_json()),
+            ("shed", self.shed.to_json()),
+            ("achieved_qps", self.achieved_qps.to_json()),
+            ("latency", self.latency.to_json()),
+            ("within_slo", Json::Bool(self.within_slo)),
+        ])
+    }
+}
+
+/// One row of the recall@K-vs-speedup curve for the pruned index.
+struct IndexRow {
+    nprobe: usize,
+    recall_at_10: f64,
+    qps: f64,
+    speedup_vs_exhaustive: f64,
+}
+
+impl ToJson for IndexRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("nprobe", self.nprobe.to_json()),
+            ("recall_at_10", self.recall_at_10.to_json()),
+            ("qps", self.qps.to_json()),
+            (
+                "speedup_vs_exhaustive",
+                self.speedup_vs_exhaustive.to_json(),
+            ),
+        ])
+    }
+}
+
 struct ServeBench {
     scale: String,
     threads: usize,
@@ -48,6 +104,12 @@ struct ServeBench {
     cells: Vec<Cell>,
     batcher: mgbr_serve::ServeMetrics,
     batcher_qps: f64,
+    pool_workers: usize,
+    slo_us: u64,
+    pool_cells: Vec<PoolCell>,
+    slo_qps: f64,
+    pool_speedup_vs_microbatcher: f64,
+    index: Json,
     meta: Json,
 }
 
@@ -74,8 +136,89 @@ impl ToJson for ServeBench {
             ),
             ("batcher", self.batcher.to_json()),
             ("batcher_qps", self.batcher_qps.to_json()),
+            ("pool_workers", self.pool_workers.to_json()),
+            ("slo_us", self.slo_us.to_json()),
+            (
+                "pool_cells",
+                Json::Arr(self.pool_cells.iter().map(ToJson::to_json).collect()),
+            ),
+            ("slo_qps", self.slo_qps.to_json()),
+            (
+                "pool_speedup_vs_microbatcher",
+                self.pool_speedup_vs_microbatcher.to_json(),
+            ),
+            ("index", self.index.clone()),
             ("meta", self.meta.to_json()),
         ])
+    }
+}
+
+/// Drives a fresh [`WorkerPool`] open-loop: requests are admitted at
+/// their scheduled arrival times `t_i = i / rate` (non-blocking
+/// [`WorkerPool::submit_item`]), so a slow server cannot throttle the
+/// generator (no coordinated omission). Latency is enqueue-to-reply
+/// from the pool's own histogram.
+fn run_open_loop(
+    model: &Arc<FrozenModel>,
+    cfg: &PoolConfig,
+    stream: &[(usize, usize)],
+    rate: f64,
+    n_cell: usize,
+    slo_us: u64,
+) -> PoolCell {
+    let pool = WorkerPool::new(Arc::clone(model), cfg.clone());
+    // Warm every worker's scorer workspace before the clock starts (the
+    // handful of warmup samples lands in the same histogram; they are
+    // noise at the cell's request count).
+    for &(u, i) in &stream[..stream.len().min(16)] {
+        let _ = pool.score_item(u, i);
+    }
+    let warm = pool.metrics().requests;
+
+    let mut handles = Vec::with_capacity(n_cell);
+    let mut shed = 0u64;
+    let t0 = Instant::now();
+    for j in 0..n_cell {
+        let due = Duration::from_secs_f64(j as f64 / rate);
+        // Pace with sleep/yield, not a spin: on small machines a spinning
+        // generator would starve the very workers it is load-testing.
+        loop {
+            let now = t0.elapsed();
+            let Some(ahead) = due.checked_sub(now) else {
+                break;
+            };
+            if ahead > Duration::from_micros(200) {
+                std::thread::sleep(ahead - Duration::from_micros(100));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let (u, i) = stream[j % stream.len()];
+        match pool.submit_item(u, i) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("open-loop submit failed unexpectedly: {e}"),
+        }
+    }
+    let mut served = 0u64;
+    for h in handles {
+        if h.wait().is_ok() {
+            served += 1;
+        }
+    }
+    let total_secs = t0.elapsed().as_secs_f64();
+    let m = pool.metrics();
+    debug_assert_eq!(m.requests, warm + served);
+    let latency = m.latency;
+    let within_slo = shed == 0 && latency.percentile_us(0.99) <= slo_us;
+    PoolCell {
+        offered_qps: rate,
+        requests: n_cell,
+        served,
+        shed,
+        achieved_qps: served as f64 / total_secs.max(1e-12),
+        latency,
+        within_slo,
     }
 }
 
@@ -307,6 +450,101 @@ fn main() {
         metrics.latency.percentile_us(0.99),
     );
 
+    // Open-loop multi-worker sweep: offered rate in multiples of the
+    // closed-loop micro-batcher's throughput. The pool wins by coalescing
+    // the standing queue into large batches instead of the tiny batches
+    // four blocking submitters can form.
+    let pool_cfg = PoolConfig::from_env();
+    let slo_us: u64 = std::env::var("MGBR_SERVE_SLO_US")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5000);
+    println!(
+        "\n# Open-loop worker pool ({} workers, {:?} admission, p99 SLO {slo_us} us)\n",
+        pool_cfg.workers, pool_cfg.admission
+    );
+    println!(
+        "{:>12} {:>12} {:>8} {:>9} {:>9} {:>9}  slo",
+        "offered_qps", "achieved", "shed", "p50_us", "p95_us", "p99_us"
+    );
+    let mut pool_cells = Vec::new();
+    for mult in [1.0f64, 2.0, 3.0, 4.0, 6.0, 8.0] {
+        let rate = batcher_qps * mult;
+        // Run each cell long enough to be measurable (>= 250 ms of
+        // offered load), bounded so the sweep stays quick.
+        let n_cell = ((rate * 0.25) as usize).clamp(n_requests, 200_000);
+        let cell = run_open_loop(&loaded, &pool_cfg, &stream, rate, n_cell, slo_us);
+        println!(
+            "{:>12.0} {:>12.0} {:>8} {:>9} {:>9} {:>9}  {}",
+            cell.offered_qps,
+            cell.achieved_qps,
+            cell.shed,
+            cell.latency.percentile_us(0.50),
+            cell.latency.percentile_us(0.95),
+            cell.latency.percentile_us(0.99),
+            if cell.within_slo { "ok" } else { "MISS" },
+        );
+        pool_cells.push(cell);
+    }
+    let slo_qps = pool_cells
+        .iter()
+        .filter(|c| c.within_slo)
+        .map(|c| c.achieved_qps)
+        .fold(0.0f64, f64::max);
+    let pool_speedup = slo_qps / batcher_qps.max(1e-12);
+    println!(
+        "\nslo_qps: {slo_qps:.0} ({pool_speedup:.1}x the micro-batcher at p99 <= {slo_us} us)"
+    );
+
+    // Pruned-index sweep: recall@10 vs speedup over the exhaustive scan,
+    // one row per nprobe. Full probe is exact by construction (pinned
+    // bitwise by tests/index_properties.rs).
+    let retriever = Retriever::new(Arc::clone(&loaded));
+    let index = ItemIndex::build(Arc::clone(&loaded), IndexConfig::default());
+    let q_users: Vec<usize> = stream.iter().take(256).map(|&(u, _)| u).collect();
+    let t0 = Instant::now();
+    let exact: Vec<Vec<mgbr_serve::Hit>> = q_users
+        .iter()
+        .map(|&u| retriever.top_items(u, 10, None).expect("exhaustive top-k"))
+        .collect();
+    let exhaustive_secs = t0.elapsed().as_secs_f64();
+    let exhaustive_qps = q_users.len() as f64 / exhaustive_secs.max(1e-12);
+    println!(
+        "\n# Pruned index ({} clusters over {} items; exhaustive scan {exhaustive_qps:.0} qps)\n",
+        index.n_clusters(),
+        loaded.n_items()
+    );
+    println!(
+        "{:>7} {:>11} {:>10} {:>8}",
+        "nprobe", "recall@10", "qps", "speedup"
+    );
+    let mut index_rows = Vec::new();
+    for nprobe in 1..=index.n_clusters() {
+        let t0 = Instant::now();
+        let pruned: Vec<Vec<mgbr_serve::Hit>> = q_users
+            .iter()
+            .map(|&u| index.top_items(u, 10, nprobe).expect("pruned top-k"))
+            .collect();
+        let secs = t0.elapsed().as_secs_f64();
+        let recall = pruned
+            .iter()
+            .zip(&exact)
+            .map(|(p, e)| recall_at_k(p, e))
+            .sum::<f64>()
+            / q_users.len() as f64;
+        let row = IndexRow {
+            nprobe,
+            recall_at_10: recall,
+            qps: q_users.len() as f64 / secs.max(1e-12),
+            speedup_vs_exhaustive: exhaustive_secs / secs.max(1e-12),
+        };
+        println!(
+            "{:>7} {:>11.4} {:>10.0} {:>7.2}x",
+            row.nprobe, row.recall_at_10, row.qps, row.speedup_vs_exhaustive
+        );
+        index_rows.push(row);
+    }
+
     write_artifact(
         "BENCH_serve.json",
         &ServeBench {
@@ -319,6 +557,21 @@ fn main() {
             cells,
             batcher: metrics,
             batcher_qps,
+            pool_workers: pool_cfg.workers,
+            slo_us,
+            pool_cells,
+            slo_qps,
+            pool_speedup_vs_microbatcher: pool_speedup,
+            index: Json::obj([
+                ("n_clusters", index.n_clusters().to_json()),
+                ("k", 10usize.to_json()),
+                ("queries", q_users.len().to_json()),
+                ("exhaustive_qps", exhaustive_qps.to_json()),
+                (
+                    "rows",
+                    Json::Arr(index_rows.iter().map(ToJson::to_json).collect()),
+                ),
+            ]),
             meta: build_meta(&tc),
         },
     );

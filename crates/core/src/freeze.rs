@@ -270,6 +270,23 @@ impl FrozenModel {
         &self.params
     }
 
+    /// The frozen per-item representations (`|I| × 2d`): row `i` is
+    /// item `i`'s serving embedding — the coarse-quantizer input for
+    /// `mgbr-serve`'s pruned retrieval index.
+    pub fn item_embeddings(&self) -> &Tensor {
+        &self.items
+    }
+
+    /// The frozen per-user (initiator) representations (`|U| × 2d`).
+    pub fn user_embeddings(&self) -> &Tensor {
+        &self.users
+    }
+
+    /// The frozen per-participant representations (`|U| × 2d`).
+    pub fn participant_embeddings(&self) -> &Tensor {
+        &self.participants
+    }
+
     /// Task A logits `MLP_A(g_A^L)` for one initiator over a candidate
     /// item list (Eq. 16 pre-sigmoid; σ is monotone, ranking is
     /// identical). `e_p` is the precomputed mean participant embedding.

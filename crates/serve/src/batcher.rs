@@ -1,5 +1,13 @@
-//! Micro-batching: a bounded request queue + one scoring worker that
-//! coalesces concurrent requests into batched forwards.
+//! Micro-batching: bounded request queues + scoring workers that
+//! coalesce concurrent requests into batched forwards.
+//!
+//! The building blocks here ([`WorkQueue`], [`BatchScorer`], the worker
+//! loop) are shared between the single-worker [`MicroBatcher`] and the
+//! multi-worker [`crate::WorkerPool`]. The locking discipline is strict:
+//! **no lock is ever held while calling into the model or delivering
+//! replies** — the queue lock covers only enqueue/drain, and the metrics
+//! lock is taken once per batch after every reply has been sent, so
+//! producers can enqueue (and shed) concurrently with scoring.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -11,8 +19,9 @@ use mgbr_core::FrozenModel;
 
 use crate::{Scorer, ServeError, ServeMetrics};
 
-/// Knobs for [`MicroBatcher`]. Defaults: batch up to 64 requests,
-/// wait at most 200 µs for stragglers, shed beyond 1024 queued.
+/// Knobs for [`MicroBatcher`] (and, per worker, [`crate::WorkerPool`]).
+/// Defaults: batch up to 64 requests, wait at most 200 µs for
+/// stragglers, shed beyond 1024 queued.
 #[derive(Debug, Clone)]
 pub struct BatcherConfig {
     /// Largest coalesced batch handed to one forward pass.
@@ -35,35 +44,272 @@ impl Default for BatcherConfig {
     }
 }
 
-enum Request {
+pub(crate) enum Request {
     /// Task A: `(user, item)`.
     Item(usize, usize),
     /// Task B: `(user, item, participant)`.
     Participant(usize, usize, usize),
 }
 
-struct Pending {
-    req: Request,
-    enqueued: Instant,
-    reply: mpsc::Sender<Result<f32, ServeError>>,
+pub(crate) struct Pending {
+    pub(crate) req: Request,
+    pub(crate) enqueued: Instant,
+    pub(crate) reply: mpsc::Sender<Result<f32, ServeError>>,
 }
 
-struct State {
+struct QueueState {
     queue: VecDeque<Pending>,
     shutdown: bool,
 }
 
-struct Shared {
-    state: Mutex<State>,
-    wake: Condvar,
-    metrics: Mutex<ServeMetrics>,
-    cfg: BatcherConfig,
-}
-
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // A poisoned lock means a worker panicked mid-batch; the queue/metric
     // data is still structurally valid, so serving continues.
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A bounded MPMC request queue with condvar wakeups. One queue feeds
+/// one worker in [`MicroBatcher`] and hash-partitioned pools; in
+/// shared-admission pools several workers drain the same queue.
+pub(crate) struct WorkQueue {
+    state: Mutex<QueueState>,
+    wake: Condvar,
+    cap: usize,
+    /// Observability gauge name for the queue depth (e.g.
+    /// `serve.queue_depth` or `serve.pool.q0.queue_depth`).
+    depth_gauge: String,
+}
+
+impl WorkQueue {
+    pub(crate) fn new(cap: usize, depth_gauge: String) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            cap,
+            depth_gauge,
+        }
+    }
+
+    /// Enqueues one request, failing fast with [`ServeError::Overloaded`]
+    /// when the queue is at capacity and [`ServeError::ShutDown`] after
+    /// shutdown. Never blocks beyond the (short) queue lock.
+    pub(crate) fn push(&self, p: Pending) -> Result<(), ServeError> {
+        let mut st = lock(&self.state);
+        if st.shutdown {
+            return Err(ServeError::ShutDown);
+        }
+        if st.queue.len() >= self.cap {
+            return Err(ServeError::Overloaded { capacity: self.cap });
+        }
+        st.queue.push_back(p);
+        if mgbr_obs::enabled() {
+            mgbr_obs::metrics()
+                .gauge(&self.depth_gauge)
+                .raise_to(st.queue.len() as i64);
+        }
+        self.wake.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one request is queued, then coalesces up to
+    /// `max_batch` requests, waiting at most `max_wait` for stragglers.
+    /// Returns empty only when shut down with nothing left to drain. The
+    /// queue lock is released before this returns — scoring the batch
+    /// never blocks producers.
+    pub(crate) fn collect(&self, max_batch: usize, max_wait: Duration) -> Vec<Pending> {
+        let mut st = lock(&self.state);
+        while st.queue.is_empty() {
+            if st.shutdown {
+                return Vec::new();
+            }
+            st = self.wake.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        let deadline = Instant::now() + max_wait;
+        while st.queue.len() < max_batch && !st.shutdown {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .wake
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = st.queue.len().min(max_batch);
+        let batch: Vec<Pending> = st.queue.drain(..take).collect();
+        if !batch.is_empty() {
+            // Other workers on the same queue may still have work.
+            self.wake.notify_one();
+        }
+        if mgbr_obs::enabled() {
+            mgbr_obs::metrics()
+                .gauge(&self.depth_gauge)
+                .set(st.queue.len() as i64);
+        }
+        batch
+    }
+
+    /// Marks the queue shut down and wakes every waiting worker. Queued
+    /// requests remain drainable (graceful drain-on-drop).
+    pub(crate) fn shutdown(&self) {
+        let mut st = lock(&self.state);
+        st.shutdown = true;
+        self.wake.notify_all();
+    }
+}
+
+/// The scoring backend a batching worker drives. Production workers use
+/// [`Scorer`]; tests inject slow or gated shims to pin down the locking
+/// discipline (producers must be able to enqueue while a batch scores).
+pub(crate) trait BatchScorer: Send + 'static {
+    fn pairs(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ServeError>;
+    fn pair(&self, user: usize, item: usize) -> Result<f32, ServeError>;
+    fn triples(&self, triples: &[(usize, usize, usize)]) -> Result<Vec<f32>, ServeError>;
+    fn triple(&self, user: usize, item: usize, participant: usize) -> Result<f32, ServeError>;
+}
+
+impl BatchScorer for Scorer {
+    fn pairs(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ServeError> {
+        self.score_item_batch(pairs)
+    }
+    fn pair(&self, user: usize, item: usize) -> Result<f32, ServeError> {
+        self.score_item(user, item)
+    }
+    fn triples(&self, triples: &[(usize, usize, usize)]) -> Result<Vec<f32>, ServeError> {
+        self.score_participant_batch(triples)
+    }
+    fn triple(&self, user: usize, item: usize, participant: usize) -> Result<f32, ServeError> {
+        self.score_participant(user, item, participant)
+    }
+}
+
+/// Observability labels for one worker's instruments.
+#[derive(Clone)]
+pub(crate) struct WorkerObs {
+    pub(crate) batch_size_hist: String,
+    pub(crate) requests_counter: String,
+    pub(crate) latency_hist: String,
+}
+
+/// The single-worker [`MicroBatcher`] instrument names (PR 5 taxonomy).
+pub(crate) fn micro_obs() -> WorkerObs {
+    WorkerObs {
+        batch_size_hist: "serve.batch_size".to_string(),
+        requests_counter: "serve.requests".to_string(),
+        latency_hist: "serve.latency_us".to_string(),
+    }
+}
+
+/// One batching worker: drains `queue` until shutdown-and-empty, scoring
+/// coalesced batches through `scorer` and folding latency/throughput
+/// into `metrics`.
+pub(crate) fn worker_loop<S: BatchScorer>(
+    queue: Arc<WorkQueue>,
+    scorer: S,
+    metrics: Arc<Mutex<ServeMetrics>>,
+    cfg: BatcherConfig,
+    obs: WorkerObs,
+) {
+    loop {
+        let batch = queue.collect(cfg.max_batch, cfg.max_wait);
+        if batch.is_empty() {
+            // Only returned empty on shutdown with a drained queue.
+            return;
+        }
+        run_batch(&scorer, &metrics, batch, &obs);
+    }
+}
+
+/// Scores one coalesced batch and answers every request in it — exactly
+/// one reply per request, no lock held while scoring or replying.
+fn run_batch<S: BatchScorer>(
+    scorer: &S,
+    metrics: &Mutex<ServeMetrics>,
+    batch: Vec<Pending>,
+    obs: &WorkerObs,
+) {
+    let mut pairs = Vec::new();
+    let mut pair_slots = Vec::new();
+    let mut triples = Vec::new();
+    let mut triple_slots = Vec::new();
+    for (slot, p) in batch.iter().enumerate() {
+        match p.req {
+            Request::Item(u, i) => {
+                pairs.push((u, i));
+                pair_slots.push(slot);
+            }
+            Request::Participant(u, i, q) => {
+                triples.push((u, i, q));
+                triple_slots.push(slot);
+            }
+        }
+    }
+    let mut answers: Vec<Option<Result<f32, ServeError>>> = Vec::new();
+    answers.resize_with(batch.len(), || None);
+    match scorer.pairs(&pairs) {
+        Ok(scores) => {
+            for (&slot, &s) in pair_slots.iter().zip(scores.iter()) {
+                answers[slot] = Some(Ok(s));
+            }
+        }
+        Err(_) => {
+            // A bad id anywhere rejects the whole sub-batch; fall back to
+            // per-request scoring so only the offender pays.
+            for (&slot, &(u, i)) in pair_slots.iter().zip(pairs.iter()) {
+                answers[slot] = Some(scorer.pair(u, i));
+            }
+        }
+    }
+    match scorer.triples(&triples) {
+        Ok(scores) => {
+            for (&slot, &s) in triple_slots.iter().zip(scores.iter()) {
+                answers[slot] = Some(Ok(s));
+            }
+        }
+        Err(_) => {
+            for (&slot, &(u, i, q)) in triple_slots.iter().zip(triples.iter()) {
+                answers[slot] = Some(scorer.triple(u, i, q));
+            }
+        }
+    }
+
+    // Record first (short, uncontended locks — never held across the
+    // model call above or the reply sends below), then deliver replies,
+    // so a caller who has its answer always sees it reflected in the
+    // metrics snapshot.
+    let batch_len = batch.len();
+    let served: Vec<u64> = batch
+        .iter()
+        .zip(answers.iter())
+        .filter(|(_, a)| matches!(a, Some(Ok(_))))
+        .map(|(p, _)| p.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64)
+        .collect();
+    if mgbr_obs::enabled() {
+        let reg = mgbr_obs::metrics();
+        reg.histogram(&obs.batch_size_hist).record(batch_len as u64);
+        for &us in &served {
+            reg.counter(&obs.requests_counter).inc();
+            reg.histogram(&obs.latency_hist).record(us);
+        }
+    }
+    {
+        let mut m = lock(metrics);
+        m.batches += 1;
+        for &us in &served {
+            m.requests += 1;
+            m.latency.record_us(us);
+        }
+    }
+    for (p, ans) in batch.into_iter().zip(answers) {
+        let _ = p.reply.send(ans.unwrap_or(Err(ServeError::Canceled)));
+    }
 }
 
 /// A bounded micro-batching front-end over one scoring worker thread.
@@ -78,31 +324,43 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// When the queue is full, submissions fail fast with
 /// [`ServeError::Overloaded`] (shed-on-overflow). Dropping the batcher
 /// drains the queue gracefully, answers everything, and joins the
-/// worker.
+/// worker. For N workers over one model, see [`crate::WorkerPool`].
 pub struct MicroBatcher {
-    shared: Arc<Shared>,
+    queue: Arc<WorkQueue>,
+    metrics: Arc<Mutex<ServeMetrics>>,
     worker: Option<thread::JoinHandle<()>>,
 }
 
 impl MicroBatcher {
     /// Spawns the scoring worker over a shared frozen model.
     pub fn new(model: Arc<FrozenModel>, cfg: BatcherConfig) -> Self {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                shutdown: false,
-            }),
-            wake: Condvar::new(),
-            metrics: Mutex::new(ServeMetrics::new()),
-            cfg: BatcherConfig {
-                max_batch: cfg.max_batch.max(1),
-                ..cfg
-            },
-        });
-        let worker_shared = Arc::clone(&shared);
-        let worker = thread::spawn(move || worker_loop(worker_shared, Scorer::new(model)));
+        Self::with_backend(Scorer::new(model), cfg, micro_obs())
+    }
+
+    /// Spawns a worker over an arbitrary scoring backend (test seam for
+    /// slow/gated model shims; production code uses [`Self::new`]).
+    pub(crate) fn with_backend<S: BatchScorer>(
+        scorer: S,
+        cfg: BatcherConfig,
+        obs: WorkerObs,
+    ) -> Self {
+        let cfg = BatcherConfig {
+            max_batch: cfg.max_batch.max(1),
+            ..cfg
+        };
+        let queue = Arc::new(WorkQueue::new(
+            cfg.queue_cap,
+            "serve.queue_depth".to_string(),
+        ));
+        let metrics = Arc::new(Mutex::new(ServeMetrics::new()));
+        let worker = {
+            let q = Arc::clone(&queue);
+            let m = Arc::clone(&metrics);
+            thread::spawn(move || worker_loop(q, scorer, m, cfg, obs))
+        };
         Self {
-            shared,
+            queue,
+            metrics,
             worker: Some(worker),
         }
     }
@@ -126,37 +384,24 @@ impl MicroBatcher {
 
     /// A snapshot of the serving metrics so far.
     pub fn metrics(&self) -> ServeMetrics {
-        lock(&self.shared.metrics).clone()
+        lock(&self.metrics).clone()
     }
 
     fn submit(&self, req: Request) -> Result<f32, ServeError> {
         let (reply, rx) = mpsc::channel();
-        {
-            let mut st = lock(&self.shared.state);
-            if st.shutdown {
-                return Err(ServeError::ShutDown);
-            }
-            if st.queue.len() >= self.shared.cfg.queue_cap {
-                drop(st);
-                lock(&self.shared.metrics).shed += 1;
+        let pending = Pending {
+            req,
+            enqueued: Instant::now(),
+            reply,
+        };
+        if let Err(e) = self.queue.push(pending) {
+            if matches!(e, ServeError::Overloaded { .. }) {
+                lock(&self.metrics).shed += 1;
                 if mgbr_obs::enabled() {
                     mgbr_obs::metrics().counter("serve.shed").inc();
                 }
-                return Err(ServeError::Overloaded {
-                    capacity: self.shared.cfg.queue_cap,
-                });
             }
-            st.queue.push_back(Pending {
-                req,
-                enqueued: Instant::now(),
-                reply,
-            });
-            if mgbr_obs::enabled() {
-                mgbr_obs::metrics()
-                    .gauge("serve.queue_depth")
-                    .raise_to(st.queue.len() as i64);
-            }
-            self.shared.wake.notify_one();
+            return Err(e);
         }
         rx.recv().map_err(|_| ServeError::Canceled)?
     }
@@ -164,127 +409,9 @@ impl MicroBatcher {
 
 impl Drop for MicroBatcher {
     fn drop(&mut self) {
-        {
-            let mut st = lock(&self.shared.state);
-            st.shutdown = true;
-            self.shared.wake.notify_all();
-        }
+        self.queue.shutdown();
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
-        }
-    }
-}
-
-fn worker_loop(shared: Arc<Shared>, scorer: Scorer) {
-    loop {
-        let batch = collect_batch(&shared);
-        if batch.is_empty() {
-            // Only returned empty on shutdown with a drained queue.
-            return;
-        }
-        run_batch(&shared, &scorer, batch);
-    }
-}
-
-/// Blocks until at least one request is queued, then coalesces up to
-/// `max_batch` requests, waiting at most `max_wait` for stragglers.
-/// Returns empty only when shut down with nothing left to drain.
-fn collect_batch(shared: &Arc<Shared>) -> Vec<Pending> {
-    let mut st = lock(&shared.state);
-    while st.queue.is_empty() {
-        if st.shutdown {
-            return Vec::new();
-        }
-        st = shared.wake.wait(st).unwrap_or_else(|p| p.into_inner());
-    }
-    let deadline = Instant::now() + shared.cfg.max_wait;
-    while st.queue.len() < shared.cfg.max_batch && !st.shutdown {
-        let now = Instant::now();
-        if now >= deadline {
-            break;
-        }
-        let (guard, timeout) = shared
-            .wake
-            .wait_timeout(st, deadline - now)
-            .unwrap_or_else(|p| p.into_inner());
-        st = guard;
-        if timeout.timed_out() {
-            break;
-        }
-    }
-    let take = st.queue.len().min(shared.cfg.max_batch);
-    let batch: Vec<Pending> = st.queue.drain(..take).collect();
-    if mgbr_obs::enabled() {
-        let reg = mgbr_obs::metrics();
-        reg.gauge("serve.queue_depth").set(st.queue.len() as i64);
-        reg.histogram("serve.batch_size").record(batch.len() as u64);
-    }
-    batch
-}
-
-/// Scores one coalesced batch and answers every request in it.
-fn run_batch(shared: &Arc<Shared>, scorer: &Scorer, batch: Vec<Pending>) {
-    let mut pairs = Vec::new();
-    let mut pair_slots = Vec::new();
-    let mut triples = Vec::new();
-    let mut triple_slots = Vec::new();
-    for (slot, p) in batch.iter().enumerate() {
-        match p.req {
-            Request::Item(u, i) => {
-                pairs.push((u, i));
-                pair_slots.push(slot);
-            }
-            Request::Participant(u, i, q) => {
-                triples.push((u, i, q));
-                triple_slots.push(slot);
-            }
-        }
-    }
-    let mut answers: Vec<Option<Result<f32, ServeError>>> = Vec::new();
-    answers.resize_with(batch.len(), || None);
-    match scorer.score_item_batch(&pairs) {
-        Ok(scores) => {
-            for (&slot, &s) in pair_slots.iter().zip(scores.iter()) {
-                answers[slot] = Some(Ok(s));
-            }
-        }
-        Err(e) => {
-            // A bad id anywhere rejects the whole sub-batch; fall back to
-            // per-request scoring so only the offender pays.
-            for (&slot, &(u, i)) in pair_slots.iter().zip(pairs.iter()) {
-                answers[slot] = Some(scorer.score_item(u, i));
-            }
-            let _ = e;
-        }
-    }
-    match scorer.score_participant_batch(&triples) {
-        Ok(scores) => {
-            for (&slot, &s) in triple_slots.iter().zip(scores.iter()) {
-                answers[slot] = Some(Ok(s));
-            }
-        }
-        Err(_) => {
-            for (&slot, &(u, i, q)) in triple_slots.iter().zip(triples.iter()) {
-                answers[slot] = Some(scorer.score_participant(u, i, q));
-            }
-        }
-    }
-
-    let mut metrics = lock(&shared.metrics);
-    metrics.batches += 1;
-    for (p, ans) in batch.into_iter().zip(answers) {
-        let ans = ans.unwrap_or(Err(ServeError::Canceled));
-        let ok = ans.is_ok();
-        let _ = p.reply.send(ans);
-        if ok {
-            metrics.requests += 1;
-            let us = p.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
-            metrics.latency.record_us(us);
-            if mgbr_obs::enabled() {
-                let reg = mgbr_obs::metrics();
-                reg.counter("serve.requests").inc();
-                reg.histogram("serve.latency_us").record(us);
-            }
         }
     }
 }
@@ -401,5 +528,93 @@ mod tests {
         let batcher = MicroBatcher::new(frozen(), BatcherConfig::default());
         let _ = batcher.score_item(0, 0).unwrap();
         drop(batcher); // must not hang or panic
+    }
+
+    /// A scoring backend that announces when it enters a batched forward
+    /// and then blocks until released — the shim behind the lock-
+    /// discipline regression test.
+    struct GatedScorer {
+        entered: mpsc::Sender<()>,
+        release: Mutex<mpsc::Receiver<()>>,
+    }
+
+    impl BatchScorer for GatedScorer {
+        fn pairs(&self, pairs: &[(usize, usize)]) -> Result<Vec<f32>, ServeError> {
+            let _ = self.entered.send(());
+            let _ = lock(&self.release).recv();
+            Ok(pairs.iter().map(|&(u, i)| (u + i) as f32).collect())
+        }
+        fn pair(&self, user: usize, item: usize) -> Result<f32, ServeError> {
+            Ok((user + item) as f32)
+        }
+        fn triples(&self, t: &[(usize, usize, usize)]) -> Result<Vec<f32>, ServeError> {
+            Ok(t.iter().map(|&(u, i, p)| (u + i + p) as f32).collect())
+        }
+        fn triple(&self, u: usize, i: usize, p: usize) -> Result<f32, ServeError> {
+            Ok((u + i + p) as f32)
+        }
+    }
+
+    /// Regression (ISSUE 7 satellite): the worker must not hold the
+    /// queue lock while scoring a coalesced batch. With a gated scorer
+    /// pinned *inside* the model call, producers must still be able to
+    /// enqueue — if the lock were held across scoring, every push below
+    /// would deadlock against the blocked worker.
+    #[test]
+    fn producers_enqueue_while_worker_is_scoring() {
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let batcher = MicroBatcher::with_backend(
+            GatedScorer {
+                entered: entered_tx,
+                release: Mutex::new(release_rx),
+            },
+            BatcherConfig {
+                max_batch: 1, // batch 1: the gate traps exactly one request
+                max_wait: Duration::from_micros(1),
+                queue_cap: 16,
+            },
+            micro_obs(),
+        );
+        let b = Arc::new(batcher);
+        let first = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || b.score_item(1, 2))
+        };
+        // Wait until the worker is provably inside the model call.
+        entered_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("worker entered scoring");
+        // Producers must be able to enqueue concurrently, fast.
+        let t0 = Instant::now();
+        let mut waiters = Vec::new();
+        for j in 0..8usize {
+            let (reply, rx) = mpsc::channel();
+            b.queue
+                .push(Pending {
+                    req: Request::Item(j, j),
+                    enqueued: Instant::now(),
+                    reply,
+                })
+                .expect("enqueue while scoring");
+            waiters.push((j, rx));
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "enqueue blocked behind a scoring batch: the worker is \
+             holding the queue lock across the model call"
+        );
+        // Release the gate for the first batch and all subsequent ones.
+        for _ in 0..16 {
+            let _ = release_tx.send(());
+        }
+        assert_eq!(first.join().unwrap().unwrap(), 3.0);
+        for (j, rx) in waiters {
+            let got = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("queued request answered")
+                .expect("scored");
+            assert_eq!(got, (2 * j) as f32);
+        }
     }
 }

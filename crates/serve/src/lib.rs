@@ -17,6 +17,15 @@
 //!   `max_batch`, waiting at most `max_wait` for stragglers. A full
 //!   queue sheds load with [`ServeError::Overloaded`] instead of
 //!   blocking the caller.
+//! * [`WorkerPool`] — N batcher workers over one shared model with
+//!   shared-queue or hash-partitioned admission ([`Admission`]),
+//!   bounded queues with typed shed, non-blocking submission
+//!   ([`ScoreHandle`]), and graceful drain-on-drop across all workers.
+//! * [`ItemIndex`] — pruned top-K retrieval: k-means coarse clustering
+//!   over the frozen item embeddings for candidate generation, exact-
+//!   score rerank; `nprobe == n_clusters` reproduces the exhaustive
+//!   [`Retriever`] bit-for-bit, smaller `nprobe` trades measured
+//!   recall@K ([`recall_at_k`]) for speedup.
 //! * [`ServeMetrics`] / [`LatencyHistogram`] — p50/p95/p99 latency and
 //!   throughput counters, exportable as JSON via `mgbr-json`.
 //!
@@ -42,14 +51,18 @@
 //! [`FrozenModel`]: mgbr_core::FrozenModel
 
 mod batcher;
+mod index;
 mod metrics;
+mod pool;
 mod retriever;
 mod scorer;
 
 use std::fmt;
 
 pub use batcher::{BatcherConfig, MicroBatcher};
+pub use index::{recall_at_k, IndexConfig, ItemIndex};
 pub use metrics::{LatencyHistogram, ServeMetrics};
+pub use pool::{Admission, PoolConfig, ScoreHandle, WorkerPool};
 pub use retriever::{Hit, Retriever};
 pub use scorer::Scorer;
 

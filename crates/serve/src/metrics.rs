@@ -93,6 +93,16 @@ impl ServeMetrics {
         Self::default()
     }
 
+    /// Folds another metrics block into this one (counters add,
+    /// histograms merge bucket-wise) — how [`crate::WorkerPool`]
+    /// aggregates its per-worker snapshots.
+    pub fn merge(&mut self, other: &ServeMetrics) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.shed += other.shed;
+        self.latency.merge(&other.latency);
+    }
+
     /// Mean coalesced batch size (0 when no batch has run).
     pub fn mean_batch(&self) -> f64 {
         if self.batches == 0 {

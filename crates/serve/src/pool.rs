@@ -1,0 +1,410 @@
+//! Multi-worker serving front-end: N batcher workers over one shared
+//! `Arc<FrozenModel>`, with pluggable admission.
+//!
+//! Two admission policies (see [`Admission`]):
+//!
+//! * **Shared** — one bounded MPMC queue drained by every worker. Idle
+//!   workers steal whatever is queued, so load balances itself; the
+//!   queue bound applies to the pool as a whole.
+//! * **HashPartitioned** — one bounded queue per worker; a request is
+//!   routed by an FNV-1a hash of its user id, so a given user always
+//!   lands on the same worker (warm per-worker workspace, no cross-
+//!   worker reordering for one user). The queue bound applies per
+//!   partition, and overload on one partition never blocks another.
+//!
+//! Either way each worker owns a private [`Scorer`] (workspace) over the
+//! shared frozen model, coalesces up to `max_batch` requests per
+//! forward, and answers every admitted request exactly once. Scores are
+//! bitwise identical to single-threaded scoring — worker count, like
+//! thread count, is a pure wall-clock knob. A full queue sheds new
+//! submissions with [`ServeError::Overloaded`]; dropping the pool drains
+//! every queue, answers everything admitted, and joins all workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use mgbr_core::FrozenModel;
+
+use crate::batcher::{lock, worker_loop, Pending, Request, WorkQueue, WorkerObs};
+use crate::{BatcherConfig, Scorer, ServeError, ServeMetrics};
+
+/// How submissions are routed to the pool's workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// One shared queue; every worker drains it (work-stealing-style
+    /// self-balancing). `queue_cap` bounds the whole pool.
+    Shared,
+    /// One queue per worker, routed by FNV-1a hash of the user id.
+    /// `queue_cap` bounds each partition independently.
+    HashPartitioned,
+}
+
+/// Knobs for [`WorkerPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of scoring workers (clamped to at least 1).
+    pub workers: usize,
+    /// Admission policy routing submissions to workers.
+    pub admission: Admission,
+    /// Per-worker coalescing knobs (`queue_cap` is per queue: pool-wide
+    /// under [`Admission::Shared`], per partition under
+    /// [`Admission::HashPartitioned`]).
+    pub batcher: BatcherConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            admission: Admission::Shared,
+            batcher: BatcherConfig::default(),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Defaults with the worker count overridden by the
+    /// `MGBR_SERVE_WORKERS` environment variable (when set and valid).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("MGBR_SERVE_WORKERS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                cfg.workers = n.max(1);
+            }
+        }
+        cfg
+    }
+}
+
+/// FNV-1a over the little-endian bytes of `x` — the partition hash.
+fn fnv1a(x: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in x.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An in-flight request admitted to a [`WorkerPool`]: admission was
+/// non-blocking; [`ScoreHandle::wait`] blocks until the worker answers.
+pub struct ScoreHandle {
+    rx: mpsc::Receiver<Result<f32, ServeError>>,
+}
+
+impl ScoreHandle {
+    /// Blocks until the scoring worker answers (exactly once per
+    /// admitted request). [`ServeError::Canceled`] only if the worker
+    /// disappeared without replying.
+    pub fn wait(self) -> Result<f32, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Canceled)?
+    }
+}
+
+/// N micro-batching workers over one shared frozen model.
+///
+/// See the module docs for the admission policies and guarantees. The
+/// blocking [`Self::score_item`] / [`Self::score_participant`] mirror
+/// [`crate::MicroBatcher`]; the non-blocking [`Self::submit_item`] /
+/// [`Self::submit_participant`] admit a request and return a
+/// [`ScoreHandle`] — the seam an open-loop load generator needs.
+pub struct WorkerPool {
+    queues: Vec<Arc<WorkQueue>>,
+    /// Requests shed per queue (same indexing as `queues`).
+    queue_shed: Vec<Arc<AtomicU64>>,
+    worker_metrics: Vec<Arc<Mutex<ServeMetrics>>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    n_workers: usize,
+    admission: Admission,
+}
+
+impl WorkerPool {
+    /// Spawns `cfg.workers` scoring workers over a shared frozen model.
+    pub fn new(model: Arc<FrozenModel>, cfg: PoolConfig) -> Self {
+        let n_workers = cfg.workers.max(1);
+        let batcher = BatcherConfig {
+            max_batch: cfg.batcher.max_batch.max(1),
+            ..cfg.batcher
+        };
+        let n_queues = match cfg.admission {
+            Admission::Shared => 1,
+            Admission::HashPartitioned => n_workers,
+        };
+        let queues: Vec<Arc<WorkQueue>> = (0..n_queues)
+            .map(|q| {
+                Arc::new(WorkQueue::new(
+                    batcher.queue_cap,
+                    format!("serve.pool.q{q}.queue_depth"),
+                ))
+            })
+            .collect();
+        let queue_shed: Vec<Arc<AtomicU64>> =
+            (0..n_queues).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut worker_metrics = Vec::with_capacity(n_workers);
+        let mut workers = Vec::with_capacity(n_workers);
+        for w in 0..n_workers {
+            let queue = match cfg.admission {
+                Admission::Shared => Arc::clone(&queues[0]),
+                Admission::HashPartitioned => Arc::clone(&queues[w]),
+            };
+            let metrics = Arc::new(Mutex::new(ServeMetrics::new()));
+            worker_metrics.push(Arc::clone(&metrics));
+            let scorer = Scorer::new(Arc::clone(&model));
+            let obs = WorkerObs {
+                batch_size_hist: format!("serve.pool.w{w}.batch_size"),
+                requests_counter: format!("serve.pool.w{w}.requests"),
+                latency_hist: "serve.pool.latency_us".to_string(),
+            };
+            let wcfg = batcher.clone();
+            workers.push(thread::spawn(move || {
+                worker_loop(queue, scorer, metrics, wcfg, obs)
+            }));
+        }
+        Self {
+            queues,
+            queue_shed,
+            worker_metrics,
+            workers,
+            n_workers,
+            admission: cfg.admission,
+        }
+    }
+
+    /// Number of scoring workers.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// The admission policy this pool routes with.
+    pub fn admission(&self) -> Admission {
+        self.admission
+    }
+
+    /// The queue index a request keyed by `user` is routed to: 0 under
+    /// [`Admission::Shared`], `fnv1a(user) % workers` under
+    /// [`Admission::HashPartitioned`].
+    pub fn partition_of(&self, user: usize) -> usize {
+        match self.admission {
+            Admission::Shared => 0,
+            Admission::HashPartitioned => (fnv1a(user as u64) % self.n_workers as u64) as usize,
+        }
+    }
+
+    fn submit(&self, user: usize, req: Request) -> Result<ScoreHandle, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        let q = self.partition_of(user);
+        let pending = Pending {
+            req,
+            enqueued: Instant::now(),
+            reply,
+        };
+        if let Err(e) = self.queues[q].push(pending) {
+            if matches!(e, ServeError::Overloaded { .. }) {
+                self.queue_shed[q].fetch_add(1, Ordering::Relaxed);
+                if mgbr_obs::enabled() {
+                    mgbr_obs::metrics().counter("serve.pool.shed").inc();
+                }
+            }
+            return Err(e);
+        }
+        Ok(ScoreHandle { rx })
+    }
+
+    /// Admits a Task A `(user, item)` request without blocking on the
+    /// answer. Fails fast with [`ServeError::Overloaded`] on a full
+    /// queue (the request was *not* admitted).
+    pub fn submit_item(&self, user: usize, item: usize) -> Result<ScoreHandle, ServeError> {
+        self.submit(user, Request::Item(user, item))
+    }
+
+    /// Admits a Task B `(user, item, participant)` request without
+    /// blocking on the answer.
+    pub fn submit_participant(
+        &self,
+        user: usize,
+        item: usize,
+        participant: usize,
+    ) -> Result<ScoreHandle, ServeError> {
+        self.submit(user, Request::Participant(user, item, participant))
+    }
+
+    /// Task A logit for `(user, item)` through the pool; blocks until a
+    /// worker answers.
+    pub fn score_item(&self, user: usize, item: usize) -> Result<f32, ServeError> {
+        self.submit_item(user, item)?.wait()
+    }
+
+    /// Task B logit for `(user, item, participant)` through the pool.
+    pub fn score_participant(
+        &self,
+        user: usize,
+        item: usize,
+        participant: usize,
+    ) -> Result<f32, ServeError> {
+        self.submit_participant(user, item, participant)?.wait()
+    }
+
+    /// Merged pool metrics: every worker's throughput/latency folded
+    /// together, `shed` summed over all queues.
+    pub fn metrics(&self) -> ServeMetrics {
+        let mut merged = ServeMetrics::new();
+        for m in &self.worker_metrics {
+            merged.merge(&lock(m));
+        }
+        merged.shed = self
+            .queue_shed
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum();
+        merged
+    }
+
+    /// Per-worker metric snapshots (same indexing as worker ids). Under
+    /// [`Admission::HashPartitioned`] each entry's `shed` is its own
+    /// partition's count; under [`Admission::Shared`] the single queue's
+    /// shed count is attributed to worker 0.
+    pub fn per_worker(&self) -> Vec<ServeMetrics> {
+        self.worker_metrics
+            .iter()
+            .enumerate()
+            .map(|(w, m)| {
+                let mut snap = lock(m).clone();
+                snap.shed = match self.admission {
+                    Admission::Shared if w == 0 => self.queue_shed[0].load(Ordering::Relaxed),
+                    Admission::Shared => 0,
+                    Admission::HashPartitioned => self.queue_shed[w].load(Ordering::Relaxed),
+                };
+                snap
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for q in &self.queues {
+            q.shutdown();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_core::{Mgbr, MgbrConfig};
+    use mgbr_data::{synthetic, SyntheticConfig};
+    use std::time::Duration;
+
+    fn frozen() -> Arc<FrozenModel> {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        Arc::new(Mgbr::new(MgbrConfig::tiny(), &ds).freeze())
+    }
+
+    #[test]
+    fn pool_scores_match_direct_scorer_bitwise_under_both_admissions() {
+        let model = frozen();
+        let direct = Scorer::new(model.clone());
+        for admission in [Admission::Shared, Admission::HashPartitioned] {
+            let pool = WorkerPool::new(
+                Arc::clone(&model),
+                PoolConfig {
+                    workers: 3,
+                    admission,
+                    batcher: BatcherConfig::default(),
+                },
+            );
+            for (u, i) in [(0usize, 0usize), (1, 3), (5, 7), (9, 2)] {
+                assert_eq!(
+                    pool.score_item(u, i).unwrap().to_bits(),
+                    direct.score_item(u, i).unwrap().to_bits(),
+                    "{admission:?} ({u}, {i})"
+                );
+            }
+            assert_eq!(
+                pool.score_participant(2, 1, 4).unwrap().to_bits(),
+                direct.score_participant(2, 1, 4).unwrap().to_bits()
+            );
+            let m = pool.metrics();
+            assert_eq!(m.requests, 5);
+            assert_eq!(m.shed, 0);
+        }
+    }
+
+    #[test]
+    fn partitioned_routing_is_stable_and_in_range() {
+        let pool = WorkerPool::new(
+            frozen(),
+            PoolConfig {
+                workers: 4,
+                admission: Admission::HashPartitioned,
+                batcher: BatcherConfig::default(),
+            },
+        );
+        for u in 0..64usize {
+            let p = pool.partition_of(u);
+            assert!(p < 4);
+            assert_eq!(p, pool.partition_of(u), "routing must be deterministic");
+        }
+        // The hash must actually spread users (not constant).
+        let hit: std::collections::HashSet<usize> =
+            (0..64usize).map(|u| pool.partition_of(u)).collect();
+        assert!(hit.len() > 1, "all users landed on one partition");
+    }
+
+    #[test]
+    fn zero_cap_pool_sheds_everything_and_counts_it() {
+        for admission in [Admission::Shared, Admission::HashPartitioned] {
+            let pool = WorkerPool::new(
+                frozen(),
+                PoolConfig {
+                    workers: 2,
+                    admission,
+                    batcher: BatcherConfig {
+                        queue_cap: 0,
+                        ..BatcherConfig::default()
+                    },
+                },
+            );
+            for u in 0..6usize {
+                assert!(matches!(
+                    pool.score_item(u, 0),
+                    Err(ServeError::Overloaded { capacity: 0 })
+                ));
+            }
+            assert_eq!(pool.metrics().shed, 6, "{admission:?}");
+            let per_worker_shed: u64 = pool.per_worker().iter().map(|m| m.shed).sum();
+            assert_eq!(per_worker_shed, 6, "{admission:?}");
+        }
+    }
+
+    #[test]
+    fn drop_with_queued_work_answers_everything() {
+        let model = frozen();
+        let pool = Arc::new(WorkerPool::new(
+            model,
+            PoolConfig {
+                workers: 2,
+                admission: Admission::Shared,
+                batcher: BatcherConfig {
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(1),
+                    queue_cap: 1024,
+                },
+            },
+        ));
+        let mut handles = Vec::new();
+        for u in 0..32usize {
+            handles.push(pool.submit_item(u % 8, u % 4).unwrap());
+        }
+        drop(pool); // drains: every admitted request must still be answered
+        for h in handles {
+            assert!(h.wait().is_ok());
+        }
+    }
+}

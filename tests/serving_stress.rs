@@ -1,0 +1,282 @@
+//! Concurrency stress suite for the multi-worker serving front-end
+//! (ISSUE 7): M producer threads × N workers under both admission
+//! policies must deliver **exactly one reply per request** (scored or
+//! typed shed), never deadlock — including drop mid-flight — and keep
+//! scores bitwise equal to a single-threaded [`Scorer`]; overload above
+//! capacity must shed with [`ServeError::Overloaded`] (never panic,
+//! never starve a partition) with shed counts reconciling against
+//! [`mgbr_serve::ServeMetrics`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mgbr_core::{FrozenModel, Mgbr, MgbrConfig};
+use mgbr_data::{synthetic, SyntheticConfig};
+use mgbr_serve::{Admission, BatcherConfig, PoolConfig, Scorer, ServeError, WorkerPool};
+use mgbr_tensor::set_threads;
+
+fn frozen() -> Arc<FrozenModel> {
+    let ds = synthetic::generate(&SyntheticConfig::tiny());
+    Arc::new(Mgbr::new(MgbrConfig::tiny(), &ds).freeze())
+}
+
+/// M producers × N workers × both admissions: every request (including
+/// deliberately bad ids) gets exactly one reply, Ok scores are bitwise
+/// equal to the single-threaded scorer, and the counters reconcile.
+#[test]
+fn m_producers_n_workers_exactly_one_reply_bitwise() {
+    let model = frozen();
+    let nu = model.n_users();
+    let reference = Scorer::new(Arc::clone(&model));
+    for workers in [1usize, 2, 4] {
+        for admission in [Admission::Shared, Admission::HashPartitioned] {
+            let pool = Arc::new(WorkerPool::new(
+                Arc::clone(&model),
+                PoolConfig {
+                    workers,
+                    admission,
+                    batcher: BatcherConfig {
+                        max_batch: 8,
+                        max_wait: Duration::from_micros(200),
+                        queue_cap: 4096,
+                    },
+                },
+            ));
+            const PRODUCERS: usize = 6;
+            const PER_PRODUCER: usize = 40;
+            let mut handles = Vec::new();
+            for t in 0..PRODUCERS {
+                let pool = Arc::clone(&pool);
+                handles.push(thread::spawn(move || {
+                    let mut replies = Vec::new();
+                    for j in 0..PER_PRODUCER {
+                        let u = (t * 7 + j) % 12;
+                        let i = (t + j * 3) % 9;
+                        let reply = match j % 4 {
+                            0 | 1 => (u, i, 0, pool.score_item(u, i)),
+                            // Task B interleaved with Task A.
+                            2 => (u, i, 1, pool.score_participant(u, i, (u + 1) % 12)),
+                            // Adversarial: out-of-range user must come
+                            // back as BadRequest, not poison neighbors.
+                            _ => (usize::MAX, i, 0, pool.score_item(usize::MAX, i)),
+                        };
+                        replies.push(reply);
+                    }
+                    replies
+                }));
+            }
+            let mut ok = 0u64;
+            let mut bad = 0u64;
+            for h in handles {
+                let replies = h.join().expect("producer thread");
+                assert_eq!(replies.len(), PER_PRODUCER, "exactly one reply each");
+                for (u, i, task, r) in replies {
+                    match r {
+                        Ok(score) => {
+                            ok += 1;
+                            let want = if task == 0 {
+                                reference.score_item(u, i).expect("reference")
+                            } else {
+                                reference
+                                    .score_participant(u, i, (u + 1) % 12)
+                                    .expect("reference")
+                            };
+                            assert_eq!(
+                                score.to_bits(),
+                                want.to_bits(),
+                                "workers={workers} {admission:?} ({u},{i}) task {task}"
+                            );
+                        }
+                        Err(ServeError::BadRequest(_)) => {
+                            bad += 1;
+                            assert!(u >= nu, "only bad ids may be rejected");
+                        }
+                        Err(e) => panic!("unexpected error under {admission:?}: {e}"),
+                    }
+                }
+            }
+            assert_eq!(ok + bad, (PRODUCERS * PER_PRODUCER) as u64);
+            assert_eq!(bad, (PRODUCERS * (PER_PRODUCER / 4)) as u64);
+            let m = pool.metrics();
+            assert_eq!(m.requests, ok, "served counter reconciles");
+            assert_eq!(m.shed, 0, "nothing shed under a roomy queue");
+            assert_eq!(m.latency.count(), ok);
+            // Every worker's snapshot folds into the merged view.
+            let per_worker = pool.per_worker();
+            assert_eq!(per_worker.len(), workers);
+            assert_eq!(per_worker.iter().map(|w| w.requests).sum::<u64>(), ok);
+        }
+    }
+}
+
+/// Kernel thread count (MGBR_THREADS) is a pure wall-clock knob: pool
+/// scores are bitwise identical at threads 1/2/4.
+#[test]
+fn pool_scores_bitwise_stable_across_kernel_threads() {
+    let model = frozen();
+    let reference = Scorer::new(Arc::clone(&model));
+    let expect: Vec<u32> = (0..10usize)
+        .map(|j| {
+            reference
+                .score_item(j % 5, j % 7)
+                .expect("reference")
+                .to_bits()
+        })
+        .collect();
+    for t in [1usize, 2, 4] {
+        set_threads(t);
+        let pool = WorkerPool::new(
+            Arc::clone(&model),
+            PoolConfig {
+                workers: 2,
+                admission: Admission::HashPartitioned,
+                batcher: BatcherConfig::default(),
+            },
+        );
+        for (j, &want) in expect.iter().enumerate() {
+            let got = pool.score_item(j % 5, j % 7).expect("pool score");
+            assert_eq!(got.to_bits(), want, "threads {t}, request {j}");
+        }
+    }
+    set_threads(1);
+}
+
+/// Dropping the pool mid-flight must deadlock nothing: requests admitted
+/// before shutdown are still answered (graceful drain), later
+/// submissions fail with the typed `ShutDown`, and every producer joins.
+#[test]
+fn drop_mid_flight_answers_admitted_and_rejects_late() {
+    let model = frozen();
+    let pool = Arc::new(WorkerPool::new(
+        Arc::clone(&model),
+        PoolConfig {
+            workers: 3,
+            admission: Admission::Shared,
+            batcher: BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                queue_cap: 4096,
+            },
+        },
+    ));
+    let answered = Arc::new(AtomicU64::new(0));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let mut producers = Vec::new();
+    for t in 0..4usize {
+        // Producers hold only a Weak handle, so the main thread's drop
+        // genuinely tears the pool down while they are mid-request; the
+        // last transient upgrade runs Drop (drain + join) on a producer
+        // thread, concurrent with other producers blocked on replies.
+        let weak = Arc::downgrade(&pool);
+        let answered = Arc::clone(&answered);
+        let rejected = Arc::clone(&rejected);
+        producers.push(thread::spawn(move || {
+            for j in 0..400usize {
+                let Some(p) = weak.upgrade() else {
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                    break;
+                };
+                match p.score_item((t + j) % 8, j % 6) {
+                    Ok(_) => {
+                        answered.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(ServeError::ShutDown) | Err(ServeError::Canceled) => {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("unexpected error mid-drop: {e}"),
+                }
+            }
+        }));
+    }
+    // Let the producers get in flight, then tear the pool down under
+    // them. Drain + join must not deadlock (the test would hang here or
+    // in the producer joins otherwise).
+    thread::sleep(Duration::from_millis(5));
+    drop(pool);
+    for p in producers {
+        p.join().expect("producer survived the drop");
+    }
+    assert!(
+        answered.load(Ordering::Relaxed) > 0,
+        "some requests were served before the drop"
+    );
+}
+
+/// Open-loop arrival far above capacity: a long coalescing window plus a
+/// tiny queue makes shedding deterministic. Every rejection is the typed
+/// `Overloaded`, the shed count reconciles with `ServeMetrics`, and —
+/// under hash partitioning — flooding one partition never starves
+/// another (its worker keeps answering).
+#[test]
+fn overload_sheds_typed_reconciled_and_no_partition_starves() {
+    let model = frozen();
+    let pool = Arc::new(WorkerPool::new(
+        Arc::clone(&model),
+        PoolConfig {
+            workers: 2,
+            admission: Admission::HashPartitioned,
+            batcher: BatcherConfig {
+                // The worker coalesces for up to 50 ms, so a burst far
+                // beyond queue_cap must shed while it waits.
+                max_batch: 4096,
+                max_wait: Duration::from_millis(50),
+                queue_cap: 8,
+            },
+        },
+    ));
+    // Find users routed to each of the two partitions.
+    let user_a = (0..64usize)
+        .find(|&u| pool.partition_of(u) == 0)
+        .expect("a user on partition 0");
+    let user_b = (0..64usize)
+        .find(|&u| pool.partition_of(u) == 1)
+        .expect("a user on partition 1");
+
+    // Flood partition A with a burst of non-blocking submissions.
+    const FLOOD: usize = 1000;
+    let mut admitted = Vec::new();
+    let mut shed = 0u64;
+    for j in 0..FLOOD {
+        match pool.submit_item(user_a, j % 5) {
+            Ok(h) => admitted.push(h),
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, 8, "shed reports the configured bound");
+                shed += 1;
+            }
+            Err(e) => panic!("overload must shed with Overloaded, got {e}"),
+        }
+    }
+    assert!(
+        shed > 0,
+        "a {FLOOD}-burst against an 8-deep queue must shed"
+    );
+
+    // The other partition keeps serving while A is saturated.
+    let b = {
+        let pool = Arc::clone(&pool);
+        thread::spawn(move || pool.score_item(user_b, 0))
+    };
+    assert!(
+        b.join().expect("partition-B producer").is_ok(),
+        "partition B starved while partition A was overloaded"
+    );
+
+    // Every admitted request still resolves to a score.
+    let served = admitted.len() as u64;
+    for h in admitted {
+        h.wait().expect("admitted request must be answered");
+    }
+    let m = pool.metrics();
+    assert_eq!(m.shed, shed, "metrics shed reconciles with typed errors");
+    assert_eq!(served + shed, FLOOD as u64, "admitted + shed == offered");
+    assert_eq!(m.requests, served + 1, "flood + the partition-B probe");
+    let per_worker = pool.per_worker();
+    assert_eq!(per_worker[0].shed, shed, "shed attributed to partition 0");
+    assert_eq!(per_worker[1].shed, 0);
+    assert!(
+        per_worker[1].requests >= 1,
+        "partition B's worker made progress"
+    );
+}
