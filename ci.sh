@@ -45,6 +45,12 @@ echo "=== serving concurrency stress suite ==="
 # [[test]] entry fails CI.
 cargo test -q -p mgbr-bench --test serving_stress
 
+echo "=== serving resilience / chaos suite ==="
+# Deadlines, SLO-aware shedding, hot-swap without dropped requests,
+# worker-death containment, clock jumps, fail-closed env knobs; run
+# explicitly so a dropped [[test]] entry fails CI.
+cargo test -q -p mgbr-bench --test serving_resilience
+
 echo "=== pruned-index property suite ==="
 # Full-probe retrieval must stay bitwise identical to the exhaustive
 # scan across every ablation variant, and recall@K must be monotone in
@@ -121,11 +127,52 @@ echo "=== mgbr-serve is panic-free outside tests ==="
 # Serving handles untrusted request data; failures must surface as
 # ServeError, never as a panic taking a worker down (.expect() included:
 # a poisoned lock or closed channel must degrade, not crash the pool).
+# chaos.rs is exempt — its injected panic IS the fault under test, and
+# the module is cfg-gated out of release builds (checked below).
 for f in crates/serve/src/*.rs; do
+  case "$f" in crates/serve/src/chaos.rs) continue ;; esac
   if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -nE 'panic!|\.unwrap\(\)|\.expect\('; then
     echo "ci.sh: FAILED — $f non-test code must use ServeError, not panics" >&2
     exit 1
   fi
 done
+
+echo "=== chaos harness stays out of release builds ==="
+# The chaos module may only compile under cfg(test) or the explicit
+# "chaos" feature: the module declaration must carry the gate, the
+# feature must never be a default, and only dev-dependencies may enable
+# it — so the release build above is provably chaos-free.
+if ! grep -B1 'pub mod chaos' crates/serve/src/lib.rs \
+    | grep -q 'cfg(any(test, feature = "chaos"))'; then
+  echo "ci.sh: FAILED — mod chaos in crates/serve/src/lib.rs must be gated on cfg(any(test, feature = \"chaos\"))" >&2
+  exit 1
+fi
+if grep -nE '^default *=.*chaos' crates/serve/Cargo.toml; then
+  echo "ci.sh: FAILED — the chaos feature must never be a default feature of mgbr-serve" >&2
+  exit 1
+fi
+for t in crates/*/Cargo.toml; do
+  if awk '/^\[/{in_dep = ($0 == "[dependencies]")} in_dep' "$t" | grep -n 'chaos'; then
+    echo "ci.sh: FAILED — $t enables the chaos feature from [dependencies]; only [dev-dependencies] may (release binaries must stay chaos-free)" >&2
+    exit 1
+  fi
+done
+
+echo "=== one clock read decides each batch (hot-loop gate) ==="
+# run_batch must read the clock at most twice per batch (one pre-score
+# timestamp deciding every deadline expiry and queue delay, one
+# post-score timestamp stamping every latency). Per-request Instant
+# reads in the hot loop are a regression: they cost syscalls at high QPS
+# and let requests in one batch disagree about "now".
+clock_reads=$(sed -n '/^pub(crate) fn run_batch/,/^}/p' crates/serve/src/batcher.rs \
+  | grep -cE 'Instant::now\(\)|\.elapsed\(\)' || true)
+if [ "$clock_reads" -gt 2 ]; then
+  echo "ci.sh: FAILED — run_batch reads the clock $clock_reads times; the batch hot loop allows at most 2 (pre-score + post-score)" >&2
+  exit 1
+fi
+if [ "$clock_reads" -lt 2 ]; then
+  echo "ci.sh: FAILED — run_batch clock-read gate found $clock_reads reads; expected exactly 2 (did run_batch move or get renamed?)" >&2
+  exit 1
+fi
 
 echo "=== ci.sh: all checks passed ==="

@@ -4,14 +4,19 @@
 //! replays a Beibei-shaped synthetic request stream at several batch
 //! sizes (plus one micro-batched cell), drives the multi-worker
 //! [`WorkerPool`] with an **open-loop** (fixed-arrival-rate) load
-//! generator against a p99 latency SLO, sweeps the pruned
-//! [`ItemIndex`] for a recall@K-vs-speedup curve, and writes everything
-//! to `results/BENCH_serve.json`.
+//! generator against a p99 latency SLO, measures p99/shed-rate through
+//! ten artifact hot-swaps under that load (`swap_under_load`), sweeps
+//! the pruned [`ItemIndex`] for a recall@K-vs-speedup curve, and writes
+//! everything to `results/BENCH_serve.json`.
 //!
 //! Knobs: `MGBR_SCALE` (small/default/large), `MGBR_SERVE_REQUESTS`
 //! (requests per closed-loop cell, default 2000), `MGBR_SERVE_WORKERS`
 //! (pool workers, default 4), `MGBR_SERVE_SLO_US` (open-loop p99 SLO in
-//! microseconds, default 5000), `MGBR_THREADS`.
+//! microseconds, default 5000; when set it also arms the pool's
+//! SLO-aware early shedding), `MGBR_SERVE_DEADLINE_US` (default
+//! per-request deadline budget; unset = no deadline), `MGBR_THREADS`.
+//! Malformed knob values abort the bench (fail closed) instead of
+//! silently measuring defaults.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -109,6 +114,7 @@ struct ServeBench {
     pool_cells: Vec<PoolCell>,
     slo_qps: f64,
     pool_speedup_vs_microbatcher: f64,
+    swap_under_load: Json,
     index: Json,
     meta: Json,
 }
@@ -147,6 +153,7 @@ impl ToJson for ServeBench {
                 "pool_speedup_vs_microbatcher",
                 self.pool_speedup_vs_microbatcher.to_json(),
             ),
+            ("swap_under_load", self.swap_under_load.clone()),
             ("index", self.index.clone()),
             ("meta", self.meta.to_json()),
         ])
@@ -220,6 +227,98 @@ fn run_open_loop(
         latency,
         within_slo,
     }
+}
+
+/// Resilience cell: the open-loop generator keeps offering load while
+/// the pool hot-swaps its artifact `n_swaps` times mid-stream
+/// (republishing the same model isolates swap cost from model content:
+/// full validation + publish + per-worker scorer rebuild). Reported:
+/// p99 latency and shed rate through the swap storm — the "hot-swap
+/// without dropped requests" contract, measured.
+fn run_swap_under_load(
+    model: &Arc<FrozenModel>,
+    cfg: &PoolConfig,
+    stream: &[(usize, usize)],
+    rate: f64,
+    n_cell: usize,
+    n_swaps: usize,
+) -> Json {
+    let pool = WorkerPool::new(Arc::clone(model), cfg.clone());
+    for &(u, i) in &stream[..stream.len().min(16)] {
+        let _ = pool.score_item(u, i);
+    }
+    // n_swaps + 1 segments so every swap point lands strictly inside
+    // the stream (j == n_cell is never reached by the loop below).
+    let swap_every = (n_cell / n_swaps.max(1).saturating_add(1)).max(1);
+    let mut swaps_done = 0usize;
+    let mut handles = Vec::with_capacity(n_cell);
+    let mut shed = 0u64;
+    let t0 = Instant::now();
+    for j in 0..n_cell {
+        if j > 0 && j % swap_every == 0 && swaps_done < n_swaps {
+            let _ = pool.swap_model(Arc::clone(model)).expect("hot swap");
+            swaps_done += 1;
+        }
+        let due = Duration::from_secs_f64(j as f64 / rate);
+        loop {
+            let now = t0.elapsed();
+            let Some(ahead) = due.checked_sub(now) else {
+                break;
+            };
+            if ahead > Duration::from_micros(200) {
+                std::thread::sleep(ahead - Duration::from_micros(100));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        let (u, i) = stream[j % stream.len()];
+        match pool.submit_item(u, i) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::Overloaded { .. }) => shed += 1,
+            Err(e) => panic!("swap-under-load submit failed unexpectedly: {e}"),
+        }
+    }
+    let admitted = handles.len() as u64;
+    let mut answered_ok = 0u64;
+    let mut dropped = 0u64;
+    for h in handles {
+        match h.wait_reply().result {
+            Ok(_) => answered_ok += 1,
+            Err(ServeError::Canceled) => dropped += 1,
+            Err(_) => {}
+        }
+    }
+    assert_eq!(
+        dropped, 0,
+        "hot-swap dropped admitted requests (contract violation)"
+    );
+    let total_secs = t0.elapsed().as_secs_f64();
+    let m = pool.metrics();
+    let shed_rate = shed as f64 / n_cell.max(1) as f64;
+    println!(
+        "\nswap_under_load: {n_cell} requests at {rate:.0} qps through {} swaps: \
+         p99 {} us, shed rate {shed_rate:.4}, final generation {}",
+        m.swaps,
+        m.latency.percentile_us(0.99),
+        m.generation,
+    );
+    Json::obj([
+        ("offered_qps", rate.to_json()),
+        ("requests", n_cell.to_json()),
+        ("swaps", m.swaps.to_json()),
+        ("generation", m.generation.to_json()),
+        ("admitted", admitted.to_json()),
+        ("answered_ok", answered_ok.to_json()),
+        ("shed", shed.to_json()),
+        ("shed_rate", shed_rate.to_json()),
+        ("shed_slo", m.shed_slo.to_json()),
+        ("deadline_expired", m.deadline_expired.to_json()),
+        (
+            "achieved_qps",
+            (answered_ok as f64 / total_secs.max(1e-12)).to_json(),
+        ),
+        ("latency", m.latency.to_json()),
+    ])
 }
 
 /// Frozen scores must be bitwise identical to the training-path scorer
@@ -423,6 +522,7 @@ fn main() {
             max_batch: 64,
             max_wait: Duration::from_micros(200),
             queue_cap: 4096,
+            default_deadline: None,
         },
     ));
     let per_thread = n_requests / 4;
@@ -454,11 +554,10 @@ fn main() {
     // closed-loop micro-batcher's throughput. The pool wins by coalescing
     // the standing queue into large batches instead of the tiny batches
     // four blocking submitters can form.
-    let pool_cfg = PoolConfig::from_env();
-    let slo_us: u64 = std::env::var("MGBR_SERVE_SLO_US")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5000);
+    // Fail closed on malformed env knobs: a typo'd MGBR_SERVE_* aborts
+    // the bench instead of silently measuring a default configuration.
+    let pool_cfg = PoolConfig::from_env().expect("serving env knobs");
+    let slo_us: u64 = pool_cfg.slo_us.unwrap_or(5000);
     println!(
         "\n# Open-loop worker pool ({} workers, {:?} admission, p99 SLO {slo_us} us)\n",
         pool_cfg.workers, pool_cfg.admission
@@ -495,6 +594,15 @@ fn main() {
     println!(
         "\nslo_qps: {slo_qps:.0} ({pool_speedup:.1}x the micro-batcher at p99 <= {slo_us} us)"
     );
+
+    // Resilience: ten hot-swaps while the generator offers the best
+    // SLO-sustainable rate found above. The contract under test: no
+    // admitted request is dropped, and p99/shed stay bounded through
+    // the swap storm.
+    let swap_rate = if slo_qps > 0.0 { slo_qps } else { batcher_qps };
+    let n_swap_cell = ((swap_rate * 0.5) as usize).clamp(n_requests, 200_000);
+    let swap_under_load =
+        run_swap_under_load(&loaded, &pool_cfg, &stream, swap_rate, n_swap_cell, 10);
 
     // Pruned-index sweep: recall@10 vs speedup over the exhaustive scan,
     // one row per nprobe. Full probe is exact by construction (pinned
@@ -562,6 +670,7 @@ fn main() {
             pool_cells,
             slo_qps,
             pool_speedup_vs_microbatcher: pool_speedup,
+            swap_under_load,
             index: Json::obj([
                 ("n_clusters", index.n_clusters().to_json()),
                 ("k", 10usize.to_json()),

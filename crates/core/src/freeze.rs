@@ -542,7 +542,11 @@ impl FrozenModel {
     /// artifacts produced by a different writer). The plan is
     /// shape-checked end to end: executed on a one-row batch it must
     /// produce scalar logits for both heads.
-    fn validate(&self) -> Result<(), CheckpointError> {
+    ///
+    /// Runs automatically on [`FrozenModel::load`]; public so serving
+    /// hot-swap can re-validate a candidate artifact (whatever its
+    /// origin) before publishing it to workers.
+    pub fn validate(&self) -> Result<(), CheckpointError> {
         let obj = self.users.cols();
         let same_width = self.items.cols() == obj
             && self.participants.cols() == obj

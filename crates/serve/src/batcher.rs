@@ -8,8 +8,26 @@
 //! replies** — the queue lock covers only enqueue/drain, and the metrics
 //! lock is taken once per batch after every reply has been sent, so
 //! producers can enqueue (and shed) concurrently with scoring.
+//!
+//! Resilience contracts layered on top (ISSUE 8):
+//!
+//! * **Deadlines.** A request may carry a deadline from admission; batch
+//!   assembly never waits past the earliest queued deadline, and at
+//!   drain time expired requests are answered
+//!   [`ServeError::DeadlineExceeded`] instead of scored. Expiry is
+//!   decided against **one timestamp per batch** — the hot loop reads no
+//!   clocks per request (grep-gated in `ci.sh`).
+//! * **Containment.** The scoring section runs under `catch_unwind`: a
+//!   worker dying mid-batch (chaos-injected or real) falls back to
+//!   contained per-request scoring, so every admitted request is still
+//!   answered exactly once and the worker thread survives.
+//! * **Generations.** Every reply is stamped with the model generation
+//!   that produced it ([`Reply::generation`]); a batch is scored
+//!   entirely on one model snapshot, so replies are never mixed across
+//!   hot-swap generations mid-batch.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
@@ -17,21 +35,27 @@ use std::time::{Duration, Instant};
 
 use mgbr_core::FrozenModel;
 
+use crate::slo::DelayTracker;
 use crate::{Scorer, ServeError, ServeMetrics};
 
 /// Knobs for [`MicroBatcher`] (and, per worker, [`crate::WorkerPool`]).
 /// Defaults: batch up to 64 requests, wait at most 200 µs for
-/// stragglers, shed beyond 1024 queued.
+/// stragglers, shed beyond 1024 queued, no default deadline.
 #[derive(Debug, Clone)]
 pub struct BatcherConfig {
     /// Largest coalesced batch handed to one forward pass.
     pub max_batch: usize,
     /// How long the worker waits for more requests once it has at least
-    /// one (latency ceiling added by coalescing).
+    /// one (latency ceiling added by coalescing). Capped per batch by
+    /// the earliest queued request deadline.
     pub max_wait: Duration,
     /// Queue bound; submissions beyond it are shed with
     /// [`ServeError::Overloaded`] instead of blocking.
     pub queue_cap: usize,
+    /// Deadline budget stamped on every admission that does not carry
+    /// its own (`None` = requests never expire). Settable via
+    /// `MGBR_SERVE_DEADLINE_US` through [`crate::PoolConfig::from_env`].
+    pub default_deadline: Option<Duration>,
 }
 
 impl Default for BatcherConfig {
@@ -40,8 +64,22 @@ impl Default for BatcherConfig {
             max_batch: 64,
             max_wait: Duration::from_micros(200),
             queue_cap: 1024,
+            default_deadline: None,
         }
     }
+}
+
+/// One answer to one admitted request, stamped with the model
+/// generation that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// The score, or the typed reason no score was produced.
+    pub result: Result<f32, ServeError>,
+    /// Generation of the frozen artifact published when the answering
+    /// batch ran (see [`crate::WorkerPool::swap_model`]); 0 means the
+    /// reply came from a front-end that does not track generations
+    /// ([`MicroBatcher`]) or the worker vanished before answering.
+    pub generation: u64,
 }
 
 pub(crate) enum Request {
@@ -54,7 +92,9 @@ pub(crate) enum Request {
 pub(crate) struct Pending {
     pub(crate) req: Request,
     pub(crate) enqueued: Instant,
-    pub(crate) reply: mpsc::Sender<Result<f32, ServeError>>,
+    /// Absolute expiry; `None` never expires.
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) reply: mpsc::Sender<Reply>,
 }
 
 struct QueueState {
@@ -66,6 +106,38 @@ pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // A poisoned lock means a worker panicked mid-batch; the queue/metric
     // data is still structurally valid, so serving continues.
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Per-pool chaos hook threaded into each worker: a no-op unless a
+/// test/`chaos`-feature injector is attached (release builds without the
+/// feature compile the hook down to nothing).
+#[derive(Clone, Default)]
+pub(crate) struct ChaosHook {
+    #[cfg(any(test, feature = "chaos"))]
+    pub(crate) injector: Option<Arc<crate::chaos::ChaosInjector>>,
+}
+
+impl ChaosHook {
+    /// Stall / worker-death injection at the top of a scoring section.
+    #[inline]
+    fn pre_score(&self) {
+        #[cfg(any(test, feature = "chaos"))]
+        if let Some(c) = &self.injector {
+            c.pre_score();
+        }
+    }
+
+    /// The deadline-expiry clock, as the (possibly chaos-jumped) wall
+    /// clock would report it. Latency accounting always uses the real
+    /// monotonic clock.
+    #[inline]
+    fn deadline_now(&self, now: Instant) -> Instant {
+        #[cfg(any(test, feature = "chaos"))]
+        if let Some(c) = &self.injector {
+            return c.skewed(now);
+        }
+        now
+    }
 }
 
 /// A bounded MPMC request queue with condvar wakeups. One queue feeds
@@ -102,7 +174,10 @@ impl WorkQueue {
             return Err(ServeError::ShutDown);
         }
         if st.queue.len() >= self.cap {
-            return Err(ServeError::Overloaded { capacity: self.cap });
+            return Err(ServeError::Overloaded {
+                capacity: self.cap,
+                retry_after_hint_us: 0,
+            });
         }
         st.queue.push_back(p);
         if mgbr_obs::enabled() {
@@ -115,10 +190,13 @@ impl WorkQueue {
     }
 
     /// Blocks until at least one request is queued, then coalesces up to
-    /// `max_batch` requests, waiting at most `max_wait` for stragglers.
-    /// Returns empty only when shut down with nothing left to drain. The
-    /// queue lock is released before this returns — scoring the batch
-    /// never blocks producers.
+    /// `max_batch` requests, waiting at most `max_wait` for stragglers —
+    /// or less, if an already-queued request's deadline would expire
+    /// first (deadline-aware assembly: holding a dying request hostage
+    /// to the coalescing window would guarantee its expiry). Returns
+    /// empty only when shut down with nothing left to drain. The queue
+    /// lock is released before this returns — scoring the batch never
+    /// blocks producers.
     pub(crate) fn collect(&self, max_batch: usize, max_wait: Duration) -> Vec<Pending> {
         let mut st = lock(&self.state);
         while st.queue.is_empty() {
@@ -127,15 +205,19 @@ impl WorkQueue {
             }
             st = self.wake.wait(st).unwrap_or_else(|p| p.into_inner());
         }
-        let deadline = Instant::now() + max_wait;
+        let now = Instant::now();
+        let mut wait_until = now.checked_add(max_wait).unwrap_or(now);
+        if let Some(d) = st.queue.iter().filter_map(|p| p.deadline).min() {
+            wait_until = wait_until.min(d);
+        }
         while st.queue.len() < max_batch && !st.shutdown {
             let now = Instant::now();
-            if now >= deadline {
+            if now >= wait_until {
                 break;
             }
             let (guard, timeout) = self
                 .wake
-                .wait_timeout(st, deadline - now)
+                .wait_timeout(st, wait_until - now)
                 .unwrap_or_else(|p| p.into_inner());
             st = guard;
             if timeout.timed_out() {
@@ -196,6 +278,7 @@ pub(crate) struct WorkerObs {
     pub(crate) batch_size_hist: String,
     pub(crate) requests_counter: String,
     pub(crate) latency_hist: String,
+    pub(crate) deadline_counter: String,
 }
 
 /// The single-worker [`MicroBatcher`] instrument names (PR 5 taxonomy).
@@ -204,18 +287,29 @@ pub(crate) fn micro_obs() -> WorkerObs {
         batch_size_hist: "serve.batch_size".to_string(),
         requests_counter: "serve.requests".to_string(),
         latency_hist: "serve.latency_us".to_string(),
+        deadline_counter: "serve.deadline_exceeded".to_string(),
     }
+}
+
+/// Everything a batching worker needs besides its queue and scorer:
+/// metrics sink, instrument names, the chaos hook, and (pool workers
+/// only) the SLO queue-delay tracker.
+pub(crate) struct WorkerCtx {
+    pub(crate) metrics: Arc<Mutex<ServeMetrics>>,
+    pub(crate) obs: WorkerObs,
+    pub(crate) chaos: ChaosHook,
+    pub(crate) delays: Option<Arc<DelayTracker>>,
 }
 
 /// One batching worker: drains `queue` until shutdown-and-empty, scoring
 /// coalesced batches through `scorer` and folding latency/throughput
-/// into `metrics`.
+/// into the context's metrics. Generation-agnostic (stamps 0); the
+/// pool's hot-swapping loop lives in `pool.rs`.
 pub(crate) fn worker_loop<S: BatchScorer>(
     queue: Arc<WorkQueue>,
     scorer: S,
-    metrics: Arc<Mutex<ServeMetrics>>,
+    ctx: WorkerCtx,
     cfg: BatcherConfig,
-    obs: WorkerObs,
 ) {
     loop {
         let batch = queue.collect(cfg.max_batch, cfg.max_wait);
@@ -223,23 +317,48 @@ pub(crate) fn worker_loop<S: BatchScorer>(
             // Only returned empty on shutdown with a drained queue.
             return;
         }
-        run_batch(&scorer, &metrics, batch, &obs);
+        run_batch(&scorer, &ctx, batch, 0);
     }
 }
 
 /// Scores one coalesced batch and answers every request in it — exactly
-/// one reply per request, no lock held while scoring or replying.
-fn run_batch<S: BatchScorer>(
+/// one reply per request, no lock held while scoring or replying, no
+/// per-request clock reads (one timestamp decides every expiry, one
+/// more stamps every latency), and panics contained so a dying scorer
+/// can never swallow a batch.
+pub(crate) fn run_batch<S: BatchScorer>(
     scorer: &S,
-    metrics: &Mutex<ServeMetrics>,
+    ctx: &WorkerCtx,
     batch: Vec<Pending>,
-    obs: &WorkerObs,
+    generation: u64,
 ) {
+    // The single batch-assembly timestamp: queue delays and deadline
+    // expiry for the whole batch are decided against it (the chaos hook
+    // may skew the expiry view of it, never the accounting view).
+    let now = Instant::now();
+    let expiry_now = ctx.chaos.deadline_now(now);
+    if let Some(tracker) = &ctx.delays {
+        tracker.record_batch(batch.iter().map(|p| {
+            now.saturating_duration_since(p.enqueued)
+                .as_micros()
+                .min(u64::MAX as u128) as u64
+        }));
+    }
+
     let mut pairs = Vec::new();
     let mut pair_slots = Vec::new();
     let mut triples = Vec::new();
     let mut triple_slots = Vec::new();
+    let mut answers: Vec<Option<Result<f32, ServeError>>> = Vec::new();
+    answers.resize_with(batch.len(), || None);
+    let mut expired = 0u64;
     for (slot, p) in batch.iter().enumerate() {
+        if p.deadline.is_some_and(|d| d <= expiry_now) {
+            // Expired in the queue: answered, never scored.
+            answers[slot] = Some(Err(ServeError::DeadlineExceeded));
+            expired += 1;
+            continue;
+        }
         match p.req {
             Request::Item(u, i) => {
                 pairs.push((u, i));
@@ -251,31 +370,59 @@ fn run_batch<S: BatchScorer>(
             }
         }
     }
-    let mut answers: Vec<Option<Result<f32, ServeError>>> = Vec::new();
-    answers.resize_with(batch.len(), || None);
-    match scorer.pairs(&pairs) {
-        Ok(scores) => {
-            for (&slot, &s) in pair_slots.iter().zip(scores.iter()) {
-                answers[slot] = Some(Ok(s));
+
+    // The scoring section is containment-wrapped: an injected (or real)
+    // worker death mid-batch must not leak the batch — fall back to
+    // contained per-request scoring so every request is still answered
+    // and the worker thread survives to drain the next batch.
+    let contained_pair = |u: usize, i: usize| {
+        catch_unwind(AssertUnwindSafe(|| scorer.pair(u, i))).unwrap_or(Err(ServeError::Canceled))
+    };
+    let contained_triple = |u: usize, i: usize, q: usize| {
+        catch_unwind(AssertUnwindSafe(|| scorer.triple(u, i, q)))
+            .unwrap_or(Err(ServeError::Canceled))
+    };
+    match catch_unwind(AssertUnwindSafe(|| {
+        ctx.chaos.pre_score();
+        (scorer.pairs(&pairs), scorer.triples(&triples))
+    })) {
+        Ok((pair_res, triple_res)) => {
+            match pair_res {
+                Ok(scores) => {
+                    for (&slot, &s) in pair_slots.iter().zip(scores.iter()) {
+                        answers[slot] = Some(Ok(s));
+                    }
+                }
+                Err(_) => {
+                    // A bad id anywhere rejects the whole sub-batch; fall
+                    // back to per-request scoring so only the offender
+                    // pays.
+                    for (&slot, &(u, i)) in pair_slots.iter().zip(pairs.iter()) {
+                        answers[slot] = Some(contained_pair(u, i));
+                    }
+                }
+            }
+            match triple_res {
+                Ok(scores) => {
+                    for (&slot, &s) in triple_slots.iter().zip(scores.iter()) {
+                        answers[slot] = Some(Ok(s));
+                    }
+                }
+                Err(_) => {
+                    for (&slot, &(u, i, q)) in triple_slots.iter().zip(triples.iter()) {
+                        answers[slot] = Some(contained_triple(u, i, q));
+                    }
+                }
             }
         }
         Err(_) => {
-            // A bad id anywhere rejects the whole sub-batch; fall back to
-            // per-request scoring so only the offender pays.
+            // Worker death mid-batch: the batched forward never
+            // finished. Rescore every live request individually.
             for (&slot, &(u, i)) in pair_slots.iter().zip(pairs.iter()) {
-                answers[slot] = Some(scorer.pair(u, i));
+                answers[slot] = Some(contained_pair(u, i));
             }
-        }
-    }
-    match scorer.triples(&triples) {
-        Ok(scores) => {
-            for (&slot, &s) in triple_slots.iter().zip(scores.iter()) {
-                answers[slot] = Some(Ok(s));
-            }
-        }
-        Err(_) => {
             for (&slot, &(u, i, q)) in triple_slots.iter().zip(triples.iter()) {
-                answers[slot] = Some(scorer.triple(u, i, q));
+                answers[slot] = Some(contained_triple(u, i, q));
             }
         }
     }
@@ -283,32 +430,46 @@ fn run_batch<S: BatchScorer>(
     // Record first (short, uncontended locks — never held across the
     // model call above or the reply sends below), then deliver replies,
     // so a caller who has its answer always sees it reflected in the
-    // metrics snapshot.
+    // metrics snapshot. One post-scoring timestamp stamps every latency.
+    let done = Instant::now();
     let batch_len = batch.len();
     let served: Vec<u64> = batch
         .iter()
         .zip(answers.iter())
         .filter(|(_, a)| matches!(a, Some(Ok(_))))
-        .map(|(p, _)| p.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64)
+        .map(|(p, _)| {
+            done.saturating_duration_since(p.enqueued)
+                .as_micros()
+                .min(u64::MAX as u128) as u64
+        })
         .collect();
     if mgbr_obs::enabled() {
         let reg = mgbr_obs::metrics();
-        reg.histogram(&obs.batch_size_hist).record(batch_len as u64);
+        reg.histogram(&ctx.obs.batch_size_hist)
+            .record(batch_len as u64);
+        if expired > 0 {
+            reg.counter(&ctx.obs.deadline_counter).add(expired);
+        }
         for &us in &served {
-            reg.counter(&obs.requests_counter).inc();
-            reg.histogram(&obs.latency_hist).record(us);
+            reg.counter(&ctx.obs.requests_counter).inc();
+            reg.histogram(&ctx.obs.latency_hist).record(us);
         }
     }
     {
-        let mut m = lock(metrics);
+        let mut m = lock(&ctx.metrics);
         m.batches += 1;
+        m.deadline_expired += expired;
+        m.generation = m.generation.max(generation);
         for &us in &served {
             m.requests += 1;
             m.latency.record_us(us);
         }
     }
     for (p, ans) in batch.into_iter().zip(answers) {
-        let _ = p.reply.send(ans.unwrap_or(Err(ServeError::Canceled)));
+        let _ = p.reply.send(Reply {
+            result: ans.unwrap_or(Err(ServeError::Canceled)),
+            generation,
+        });
     }
 }
 
@@ -322,12 +483,16 @@ fn run_batch<S: BatchScorer>(
 /// throughput optimization, never a numerics change.
 ///
 /// When the queue is full, submissions fail fast with
-/// [`ServeError::Overloaded`] (shed-on-overflow). Dropping the batcher
-/// drains the queue gracefully, answers everything, and joins the
-/// worker. For N workers over one model, see [`crate::WorkerPool`].
+/// [`ServeError::Overloaded`] (shed-on-overflow). A configured
+/// `default_deadline` bounds how long a request may wait before being
+/// answered [`ServeError::DeadlineExceeded`] unscored. Dropping the
+/// batcher drains the queue gracefully, answers everything, and joins
+/// the worker. For N workers over one model — plus SLO-aware shedding
+/// and artifact hot-swap — see [`crate::WorkerPool`].
 pub struct MicroBatcher {
     queue: Arc<WorkQueue>,
     metrics: Arc<Mutex<ServeMetrics>>,
+    default_deadline: Option<Duration>,
     worker: Option<thread::JoinHandle<()>>,
 }
 
@@ -353,14 +518,21 @@ impl MicroBatcher {
             "serve.queue_depth".to_string(),
         ));
         let metrics = Arc::new(Mutex::new(ServeMetrics::new()));
+        let default_deadline = cfg.default_deadline;
         let worker = {
             let q = Arc::clone(&queue);
-            let m = Arc::clone(&metrics);
-            thread::spawn(move || worker_loop(q, scorer, m, cfg, obs))
+            let ctx = WorkerCtx {
+                metrics: Arc::clone(&metrics),
+                obs,
+                chaos: ChaosHook::default(),
+                delays: None,
+            };
+            thread::spawn(move || worker_loop(q, scorer, ctx, cfg))
         };
         Self {
             queue,
             metrics,
+            default_deadline,
             worker: Some(worker),
         }
     }
@@ -389,9 +561,11 @@ impl MicroBatcher {
 
     fn submit(&self, req: Request) -> Result<f32, ServeError> {
         let (reply, rx) = mpsc::channel();
+        let enqueued = Instant::now();
         let pending = Pending {
             req,
-            enqueued: Instant::now(),
+            enqueued,
+            deadline: self.default_deadline.and_then(|b| enqueued.checked_add(b)),
             reply,
         };
         if let Err(e) = self.queue.push(pending) {
@@ -403,7 +577,7 @@ impl MicroBatcher {
             }
             return Err(e);
         }
-        rx.recv().map_err(|_| ServeError::Canceled)?
+        rx.recv().map_err(|_| ServeError::Canceled)?.result
     }
 }
 
@@ -454,6 +628,7 @@ mod tests {
                 max_batch: 8,
                 max_wait: Duration::from_millis(2),
                 queue_cap: 256,
+                default_deadline: None,
             },
         ));
         let mut handles = Vec::new();
@@ -489,6 +664,7 @@ mod tests {
                 max_batch: 4,
                 max_wait: Duration::from_millis(5),
                 queue_cap: 64,
+                default_deadline: None,
             },
         ));
         let good = {
@@ -518,7 +694,7 @@ mod tests {
         );
         assert!(matches!(
             batcher.score_item(0, 0),
-            Err(ServeError::Overloaded { capacity: 0 })
+            Err(ServeError::Overloaded { capacity: 0, .. })
         ));
         assert_eq!(batcher.metrics().shed, 1);
     }
@@ -528,6 +704,30 @@ mod tests {
         let batcher = MicroBatcher::new(frozen(), BatcherConfig::default());
         let _ = batcher.score_item(0, 0).unwrap();
         drop(batcher); // must not hang or panic
+    }
+
+    /// A zero default deadline expires every request before scoring: the
+    /// typed `DeadlineExceeded` comes back (exactly one reply), nothing
+    /// is scored, and the expiry is counted.
+    #[test]
+    fn zero_deadline_expires_typed_not_scored() {
+        let batcher = MicroBatcher::new(
+            frozen(),
+            BatcherConfig {
+                default_deadline: Some(Duration::ZERO),
+                ..BatcherConfig::default()
+            },
+        );
+        for _ in 0..4 {
+            assert!(matches!(
+                batcher.score_item(0, 0),
+                Err(ServeError::DeadlineExceeded)
+            ));
+        }
+        let m = batcher.metrics();
+        assert_eq!(m.deadline_expired, 4);
+        assert_eq!(m.requests, 0, "expired requests are never scored");
+        assert_eq!(m.latency.count(), 0);
     }
 
     /// A scoring backend that announces when it enters a batched forward
@@ -573,6 +773,7 @@ mod tests {
                 max_batch: 1, // batch 1: the gate traps exactly one request
                 max_wait: Duration::from_micros(1),
                 queue_cap: 16,
+                default_deadline: None,
             },
             micro_obs(),
         );
@@ -594,6 +795,7 @@ mod tests {
                 .push(Pending {
                     req: Request::Item(j, j),
                     enqueued: Instant::now(),
+                    deadline: None,
                     reply,
                 })
                 .expect("enqueue while scoring");
@@ -613,6 +815,7 @@ mod tests {
             let got = rx
                 .recv_timeout(Duration::from_secs(5))
                 .expect("queued request answered")
+                .result
                 .expect("scored");
             assert_eq!(got, (2 * j) as f32);
         }

@@ -17,10 +17,16 @@
 //!   `max_batch`, waiting at most `max_wait` for stragglers. A full
 //!   queue sheds load with [`ServeError::Overloaded`] instead of
 //!   blocking the caller.
-//! * [`WorkerPool`] — N batcher workers over one shared model with
-//!   shared-queue or hash-partitioned admission ([`Admission`]),
+//! * [`WorkerPool`] — N batcher workers over one hot-swappable model
+//!   with shared-queue or hash-partitioned admission ([`Admission`]),
 //!   bounded queues with typed shed, non-blocking submission
 //!   ([`ScoreHandle`]), and graceful drain-on-drop across all workers.
+//! * **Resilience** — per-request deadlines (expired requests answered
+//!   [`ServeError::DeadlineExceeded`], never scored), SLO-aware early
+//!   shedding from queue-delay percentiles, artifact hot-swap through
+//!   [`ArtifactSlot`] with generation-stamped replies ([`Reply`]), and a
+//!   chaos harness (`chaos` module, test/feature-gated) driving the
+//!   `serving_resilience` suite.
 //! * [`ItemIndex`] — pruned top-K retrieval: k-means coarse clustering
 //!   over the frozen item embeddings for candidate generation, exact-
 //!   score rerank; `nprobe == n_clusters` reproduces the exhaustive
@@ -51,34 +57,61 @@
 //! [`FrozenModel`]: mgbr_core::FrozenModel
 
 mod batcher;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
 mod index;
 mod metrics;
 mod pool;
 mod retriever;
 mod scorer;
+mod slo;
+mod swap;
 
 use std::fmt;
 
-pub use batcher::{BatcherConfig, MicroBatcher};
+pub use batcher::{BatcherConfig, MicroBatcher, Reply};
 pub use index::{recall_at_k, IndexConfig, ItemIndex};
 pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use pool::{Admission, PoolConfig, ScoreHandle, WorkerPool};
 pub use retriever::{Hit, Retriever};
 pub use scorer::Scorer;
+pub use swap::{ArtifactSlot, SwapReceipt, INITIAL_GENERATION};
 
 /// Typed serving failures. Scoring never panics on untrusted request
-/// data — malformed requests and overload surface here.
+/// data — malformed requests, overload, expired deadlines, and rejected
+/// artifact swaps all surface here.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The request references ids outside the model's id spaces, or is
     /// structurally invalid (e.g. `k > 0` with an empty candidate set).
     BadRequest(String),
-    /// The micro-batcher queue is full; the request was shed without
-    /// being enqueued. `capacity` is the configured queue bound.
+    /// A serving knob (e.g. `MGBR_SERVE_WORKERS`, `MGBR_SERVE_SLO_US`)
+    /// was set to a value that does not parse or is out of range. The
+    /// configuration is rejected outright — never silently defaulted —
+    /// so a typo'd deployment fails closed at startup instead of
+    /// serving with surprise settings.
+    BadConfig(String),
+    /// The request was shed without being enqueued: either the queue hit
+    /// `capacity`, or the SLO admission controller decided the queue's
+    /// recent p99 delay already exceeds the configured SLO (early shed).
+    /// `retry_after_hint_us` is the controller's estimate of the current
+    /// queue delay (0 = no estimate) — a reasonable client back-off.
     Overloaded {
-        /// Configured queue capacity that was exceeded.
+        /// Configured queue capacity (the bound that applies whether the
+        /// shed was at-cap or SLO-early).
         capacity: usize,
+        /// Suggested back-off before retrying, in microseconds
+        /// (the recent p99 queue delay; 0 when no estimate exists).
+        retry_after_hint_us: u64,
     },
+    /// The request's deadline expired before a worker could score it;
+    /// it was answered without being scored.
+    DeadlineExceeded,
+    /// An artifact offered to [`WorkerPool::swap_model`] failed
+    /// validation (corrupt file, failed cross-field checks, or an id
+    /// space incompatible with the serving pool). The previous
+    /// generation keeps serving untouched.
+    SwapRejected(String),
     /// The batcher has been shut down; no further requests are accepted.
     ShutDown,
     /// The worker disappeared before answering (reply channel closed).
@@ -89,8 +122,22 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
-            ServeError::Overloaded { capacity } => {
-                write!(f, "overloaded: queue at capacity {capacity}, request shed")
+            ServeError::BadConfig(msg) => write!(f, "bad serving config: {msg}"),
+            ServeError::Overloaded {
+                capacity,
+                retry_after_hint_us,
+            } => {
+                write!(
+                    f,
+                    "overloaded: queue at capacity {capacity}, request shed \
+                     (retry after ~{retry_after_hint_us} us)"
+                )
+            }
+            ServeError::DeadlineExceeded => {
+                write!(f, "deadline exceeded before the request was scored")
+            }
+            ServeError::SwapRejected(msg) => {
+                write!(f, "artifact swap rejected: {msg}")
             }
             ServeError::ShutDown => write!(f, "serving is shut down"),
             ServeError::Canceled => write!(f, "request canceled before completion"),

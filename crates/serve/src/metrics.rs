@@ -81,8 +81,22 @@ pub struct ServeMetrics {
     /// Batches executed (so `requests / batches` is the mean coalesced
     /// batch size).
     pub batches: u64,
-    /// Requests shed with [`crate::ServeError::Overloaded`].
+    /// Requests shed with [`crate::ServeError::Overloaded`] — at-cap
+    /// and SLO-early sheds combined.
     pub shed: u64,
+    /// The subset of `shed` decided by the SLO admission controller
+    /// *before* the queue cap (early sheds).
+    pub shed_slo: u64,
+    /// Requests whose deadline expired in the queue; answered
+    /// [`crate::ServeError::DeadlineExceeded`] without being scored.
+    pub deadline_expired: u64,
+    /// Model generation stamped by the most recent batch (0 until a
+    /// generation-tracked worker has scored; see
+    /// [`crate::WorkerPool::swap_model`]).
+    pub generation: u64,
+    /// Successful artifact hot-swaps (pool-wide; 0 in per-worker
+    /// snapshots).
+    pub swaps: u64,
     /// Enqueue-to-reply latency of answered requests.
     pub latency: LatencyHistogram,
 }
@@ -94,12 +108,18 @@ impl ServeMetrics {
     }
 
     /// Folds another metrics block into this one (counters add,
-    /// histograms merge bucket-wise) — how [`crate::WorkerPool`]
-    /// aggregates its per-worker snapshots.
+    /// histograms merge bucket-wise, `generation` takes the max — a
+    /// worker that has not scored since a swap must not roll the merged
+    /// view backwards) — how [`crate::WorkerPool`] aggregates its
+    /// per-worker snapshots.
     pub fn merge(&mut self, other: &ServeMetrics) {
         self.requests += other.requests;
         self.batches += other.batches;
         self.shed += other.shed;
+        self.shed_slo += other.shed_slo;
+        self.deadline_expired += other.deadline_expired;
+        self.generation = self.generation.max(other.generation);
+        self.swaps += other.swaps;
         self.latency.merge(&other.latency);
     }
 
@@ -119,6 +139,10 @@ impl ToJson for ServeMetrics {
             ("requests", self.requests.to_json()),
             ("batches", self.batches.to_json()),
             ("shed", self.shed.to_json()),
+            ("shed_slo", self.shed_slo.to_json()),
+            ("deadline_expired", self.deadline_expired.to_json()),
+            ("generation", self.generation.to_json()),
+            ("swaps", self.swaps.to_json()),
             ("mean_batch", self.mean_batch().to_json()),
             ("latency", self.latency.to_json()),
         ])
@@ -175,6 +199,33 @@ mod tests {
         assert_eq!(j.get("requests").and_then(Json::as_usize), Some(8));
         assert_eq!(j.get("mean_batch").and_then(Json::as_f64), Some(4.0));
         assert!(j.get("latency").and_then(|l| l.get("p99_us")).is_some());
+    }
+
+    /// Counters add under merge, but `generation` is a high-water mark:
+    /// folding in a worker that has not scored since a hot-swap (still
+    /// stamping the old generation) must never roll the merged view
+    /// backwards.
+    #[test]
+    fn merge_adds_counters_and_maxes_generation() {
+        let mut a = ServeMetrics::new();
+        a.requests = 3;
+        a.shed = 2;
+        a.shed_slo = 1;
+        a.deadline_expired = 4;
+        a.generation = 7;
+        let mut b = ServeMetrics::new();
+        b.requests = 5;
+        b.shed = 1;
+        b.deadline_expired = 1;
+        b.generation = 2; // stale worker: pre-swap stamp
+        b.swaps = 1;
+        a.merge(&b);
+        assert_eq!(a.requests, 8);
+        assert_eq!(a.shed, 3);
+        assert_eq!(a.shed_slo, 1);
+        assert_eq!(a.deadline_expired, 5);
+        assert_eq!(a.generation, 7, "generation merges as max, not sum");
+        assert_eq!(a.swaps, 1);
     }
 
     /// The wrapper must report bit-identical statistics to the shared

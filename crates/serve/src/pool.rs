@@ -1,5 +1,5 @@
-//! Multi-worker serving front-end: N batcher workers over one shared
-//! `Arc<FrozenModel>`, with pluggable admission.
+//! Multi-worker serving front-end: N batcher workers over a hot-swappable
+//! `Arc<FrozenModel>`, with pluggable admission and SLO-aware shedding.
 //!
 //! Two admission policies (see [`Admission`]):
 //!
@@ -13,23 +13,43 @@
 //!   partition, and overload on one partition never blocks another.
 //!
 //! Either way each worker owns a private [`Scorer`] (workspace) over the
-//! shared frozen model, coalesces up to `max_batch` requests per
-//! forward, and answers every admitted request exactly once. Scores are
-//! bitwise identical to single-threaded scoring — worker count, like
-//! thread count, is a pure wall-clock knob. A full queue sheds new
-//! submissions with [`ServeError::Overloaded`]; dropping the pool drains
-//! every queue, answers everything admitted, and joins all workers.
+//! published frozen model, coalesces up to `max_batch` requests per
+//! forward, and answers every admitted request exactly once — with a
+//! score, [`ServeError::DeadlineExceeded`], or (unadmitted)
+//! [`ServeError::Overloaded`]. Scores are bitwise identical to
+//! single-threaded scoring — worker count, like thread count, is a pure
+//! wall-clock knob.
+//!
+//! Resilience (ISSUE 8):
+//!
+//! * **Deadlines** — a per-request (or pool-default) budget rides from
+//!   admission through batching; expired requests are answered typed,
+//!   never scored (see `batcher.rs`).
+//! * **SLO-aware shedding** — with `slo_us` set, admission consults the
+//!   per-queue [`DelayTracker`] and sheds *before* the hard cap when the
+//!   recent p99 queue delay already exceeds the SLO, returning
+//!   [`ServeError::Overloaded`] with a `retry_after_hint_us` back-off.
+//! * **Hot-swap** — [`WorkerPool::swap_model`] validates a candidate
+//!   artifact and publishes it through the pool's [`ArtifactSlot`];
+//!   workers pick it up at their next batch boundary, in-flight batches
+//!   finish on the old model, and every reply carries the generation
+//!   that scored it.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mgbr_core::FrozenModel;
 
-use crate::batcher::{lock, worker_loop, Pending, Request, WorkQueue, WorkerObs};
-use crate::{BatcherConfig, Scorer, ServeError, ServeMetrics};
+use crate::batcher::{
+    lock, run_batch, ChaosHook, Pending, Reply, Request, WorkQueue, WorkerCtx, WorkerObs,
+};
+use crate::slo::DelayTracker;
+use crate::swap::ArtifactSlot;
+use crate::{BatcherConfig, Scorer, ServeError, ServeMetrics, SwapReceipt};
 
 /// How submissions are routed to the pool's workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,8 +71,14 @@ pub struct PoolConfig {
     pub admission: Admission,
     /// Per-worker coalescing knobs (`queue_cap` is per queue: pool-wide
     /// under [`Admission::Shared`], per partition under
-    /// [`Admission::HashPartitioned`]).
+    /// [`Admission::HashPartitioned`]; `default_deadline` is stamped on
+    /// every admission that has no explicit budget).
     pub batcher: BatcherConfig,
+    /// Queue-delay SLO in microseconds. When set, admission sheds early
+    /// — before the queue cap — whenever the recent p99 queue delay on
+    /// the target queue exceeds this bound. `None` disables SLO-aware
+    /// shedding (the hard cap still applies).
+    pub slo_us: Option<u64>,
 }
 
 impl Default for PoolConfig {
@@ -61,21 +87,57 @@ impl Default for PoolConfig {
             workers: 4,
             admission: Admission::Shared,
             batcher: BatcherConfig::default(),
+            slo_us: None,
         }
     }
 }
 
+/// Parses env knob `name` as a positive integer. Absent is `Ok(None)`;
+/// anything present-but-malformed (non-numeric, negative, zero, empty)
+/// is a typed [`ServeError::BadConfig`] — **never** a silent default, so
+/// a typo'd deployment fails closed instead of serving misconfigured.
+fn env_knob_u64(name: &str) -> Result<Option<u64>, ServeError> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(ServeError::BadConfig(format!(
+            "{name} is not valid unicode"
+        ))),
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            Ok(_) => Err(ServeError::BadConfig(format!(
+                "{name} must be >= 1, got {:?}",
+                v.trim()
+            ))),
+            Err(_) => Err(ServeError::BadConfig(format!(
+                "{name} must be a positive integer, got {:?}",
+                v.trim()
+            ))),
+        },
+    }
+}
+
 impl PoolConfig {
-    /// Defaults with the worker count overridden by the
-    /// `MGBR_SERVE_WORKERS` environment variable (when set and valid).
-    pub fn from_env() -> Self {
+    /// Defaults overridden by environment knobs:
+    ///
+    /// * `MGBR_SERVE_WORKERS` — worker count,
+    /// * `MGBR_SERVE_SLO_US` — queue-delay SLO (enables early shedding),
+    /// * `MGBR_SERVE_DEADLINE_US` — default per-request deadline budget.
+    ///
+    /// Fails closed: a knob that is set but malformed (empty, zero,
+    /// negative, non-numeric) is [`ServeError::BadConfig`], not a
+    /// silently applied default.
+    pub fn from_env() -> Result<Self, ServeError> {
         let mut cfg = Self::default();
-        if let Ok(v) = std::env::var("MGBR_SERVE_WORKERS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                cfg.workers = n.max(1);
-            }
+        if let Some(n) = env_knob_u64("MGBR_SERVE_WORKERS")? {
+            cfg.workers = n as usize;
         }
-        cfg
+        if let Some(us) = env_knob_u64("MGBR_SERVE_SLO_US")? {
+            cfg.slo_us = Some(us);
+        }
+        if let Some(us) = env_knob_u64("MGBR_SERVE_DEADLINE_US")? {
+            cfg.batcher.default_deadline = Some(Duration::from_micros(us));
+        }
+        Ok(cfg)
     }
 }
 
@@ -91,8 +153,14 @@ fn fnv1a(x: u64) -> u64 {
 
 /// An in-flight request admitted to a [`WorkerPool`]: admission was
 /// non-blocking; [`ScoreHandle::wait`] blocks until the worker answers.
+///
+/// Dropping the handle without waiting does **not** cancel the request —
+/// it is still scored (and counted) but its answer is discarded, so
+/// dropping is only appropriate for fire-and-forget warmup traffic.
+#[must_use = "dropping a ScoreHandle discards the reply; every admitted \
+              request is still scored — call wait() or wait_reply()"]
 pub struct ScoreHandle {
-    rx: mpsc::Receiver<Result<f32, ServeError>>,
+    rx: mpsc::Receiver<Reply>,
 }
 
 impl ScoreHandle {
@@ -100,30 +168,100 @@ impl ScoreHandle {
     /// admitted request). [`ServeError::Canceled`] only if the worker
     /// disappeared without replying.
     pub fn wait(self) -> Result<f32, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Canceled)?
+        self.wait_reply().result
+    }
+
+    /// Blocks for the full [`Reply`], including the model generation
+    /// that produced it — the seam generation-fencing tests and swap
+    /// observability need.
+    pub fn wait_reply(self) -> Reply {
+        self.rx.recv().unwrap_or(Reply {
+            result: Err(ServeError::Canceled),
+            generation: 0,
+        })
     }
 }
 
-/// N micro-batching workers over one shared frozen model.
+/// N micro-batching workers over one hot-swappable frozen model.
 ///
-/// See the module docs for the admission policies and guarantees. The
-/// blocking [`Self::score_item`] / [`Self::score_participant`] mirror
-/// [`crate::MicroBatcher`]; the non-blocking [`Self::submit_item`] /
-/// [`Self::submit_participant`] admit a request and return a
-/// [`ScoreHandle`] — the seam an open-loop load generator needs.
+/// See the module docs for the admission policies and resilience
+/// guarantees. The blocking [`Self::score_item`] /
+/// [`Self::score_participant`] mirror [`crate::MicroBatcher`]; the
+/// non-blocking [`Self::submit_item`] / [`Self::submit_participant`]
+/// admit a request and return a [`ScoreHandle`] — the seam an open-loop
+/// load generator needs.
 pub struct WorkerPool {
     queues: Vec<Arc<WorkQueue>>,
-    /// Requests shed per queue (same indexing as `queues`).
+    /// Requests shed per queue, all causes (same indexing as `queues`).
     queue_shed: Vec<Arc<AtomicU64>>,
+    /// The subset of `queue_shed` decided by the SLO controller.
+    queue_shed_slo: Vec<Arc<AtomicU64>>,
+    /// Queue-delay trackers feeding SLO admission (same indexing).
+    delays: Vec<Arc<DelayTracker>>,
+    slot: Arc<ArtifactSlot>,
+    swaps: AtomicU64,
     worker_metrics: Vec<Arc<Mutex<ServeMetrics>>>,
     workers: Vec<thread::JoinHandle<()>>,
     n_workers: usize,
     admission: Admission,
+    queue_cap: usize,
+    slo_us: Option<u64>,
+    default_deadline: Option<Duration>,
+}
+
+/// The pool's generation-aware worker loop: drains `queue` until
+/// shutdown-and-empty, checking the slot's generation hint once per
+/// batch (one uncontended atomic load) and rebuilding the private
+/// [`Scorer`] only when a swap was published. The batch in hand then
+/// scores entirely on one model snapshot — never a mix of generations.
+fn pool_worker_loop(
+    queue: Arc<WorkQueue>,
+    slot: Arc<ArtifactSlot>,
+    ctx: WorkerCtx,
+    cfg: BatcherConfig,
+) {
+    let (model, mut generation) = slot.load();
+    let mut scorer = Scorer::new(model);
+    loop {
+        let batch = queue.collect(cfg.max_batch, cfg.max_wait);
+        if batch.is_empty() {
+            // Only returned empty on shutdown with a drained queue.
+            return;
+        }
+        if slot.generation() != generation {
+            let (m, g) = slot.load();
+            scorer = Scorer::new(m);
+            generation = g;
+        }
+        run_batch(&scorer, &ctx, batch, generation);
+    }
 }
 
 impl WorkerPool {
     /// Spawns `cfg.workers` scoring workers over a shared frozen model.
     pub fn new(model: Arc<FrozenModel>, cfg: PoolConfig) -> Self {
+        Self::build(model, cfg, ChaosHook::default())
+    }
+
+    /// A pool with a chaos injector wired into every worker's scoring
+    /// section — the entry point of the resilience test harness. Only
+    /// compiled under `cfg(test)` or the `chaos` feature.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn new_chaotic(
+        model: Arc<FrozenModel>,
+        cfg: PoolConfig,
+        injector: Arc<crate::chaos::ChaosInjector>,
+    ) -> Self {
+        Self::build(
+            model,
+            cfg,
+            ChaosHook {
+                injector: Some(injector),
+            },
+        )
+    }
+
+    fn build(model: Arc<FrozenModel>, cfg: PoolConfig, chaos: ChaosHook) -> Self {
         let n_workers = cfg.workers.max(1);
         let batcher = BatcherConfig {
             max_batch: cfg.batcher.max_batch.max(1),
@@ -143,33 +281,53 @@ impl WorkerPool {
             .collect();
         let queue_shed: Vec<Arc<AtomicU64>> =
             (0..n_queues).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let queue_shed_slo: Vec<Arc<AtomicU64>> =
+            (0..n_queues).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let delays: Vec<Arc<DelayTracker>> = (0..n_queues)
+            .map(|_| Arc::new(DelayTracker::new()))
+            .collect();
+        let slot = Arc::new(ArtifactSlot::new(model));
         let mut worker_metrics = Vec::with_capacity(n_workers);
         let mut workers = Vec::with_capacity(n_workers);
         for w in 0..n_workers {
-            let queue = match cfg.admission {
-                Admission::Shared => Arc::clone(&queues[0]),
-                Admission::HashPartitioned => Arc::clone(&queues[w]),
+            let q = match cfg.admission {
+                Admission::Shared => 0,
+                Admission::HashPartitioned => w,
             };
+            let queue = Arc::clone(&queues[q]);
             let metrics = Arc::new(Mutex::new(ServeMetrics::new()));
             worker_metrics.push(Arc::clone(&metrics));
-            let scorer = Scorer::new(Arc::clone(&model));
-            let obs = WorkerObs {
-                batch_size_hist: format!("serve.pool.w{w}.batch_size"),
-                requests_counter: format!("serve.pool.w{w}.requests"),
-                latency_hist: "serve.pool.latency_us".to_string(),
+            let ctx = WorkerCtx {
+                metrics,
+                obs: WorkerObs {
+                    batch_size_hist: format!("serve.pool.w{w}.batch_size"),
+                    requests_counter: format!("serve.pool.w{w}.requests"),
+                    latency_hist: "serve.pool.latency_us".to_string(),
+                    deadline_counter: "serve.pool.deadline_exceeded".to_string(),
+                },
+                chaos: chaos.clone(),
+                delays: Some(Arc::clone(&delays[q])),
             };
+            let slot_w = Arc::clone(&slot);
             let wcfg = batcher.clone();
             workers.push(thread::spawn(move || {
-                worker_loop(queue, scorer, metrics, wcfg, obs)
+                pool_worker_loop(queue, slot_w, ctx, wcfg)
             }));
         }
         Self {
             queues,
             queue_shed,
+            queue_shed_slo,
+            delays,
+            slot,
+            swaps: AtomicU64::new(0),
             worker_metrics,
             workers,
             n_workers,
             admission: cfg.admission,
+            queue_cap: batcher.queue_cap,
+            slo_us: cfg.slo_us,
+            default_deadline: batcher.default_deadline,
         }
     }
 
@@ -183,6 +341,13 @@ impl WorkerPool {
         self.admission
     }
 
+    /// The currently published model generation (starts at
+    /// [`crate::INITIAL_GENERATION`], bumps on every successful
+    /// [`Self::swap_model`]).
+    pub fn generation(&self) -> u64 {
+        self.slot.generation()
+    }
+
     /// The queue index a request keyed by `user` is routed to: 0 under
     /// [`Admission::Shared`], `fnv1a(user) % workers` under
     /// [`Admission::HashPartitioned`].
@@ -193,20 +358,84 @@ impl WorkerPool {
         }
     }
 
-    fn submit(&self, user: usize, req: Request) -> Result<ScoreHandle, ServeError> {
-        let (reply, rx) = mpsc::channel();
+    /// Validates `new` and, only if it passes, publishes it as the next
+    /// generation (see [`ArtifactSlot::swap`] for the protocol). Workers
+    /// pick the new model up at their next batch boundary; in-flight
+    /// batches finish — and reply — on the generation they loaded, so no
+    /// admitted request is dropped or mixed across generations by a
+    /// swap. Rejection ([`ServeError::SwapRejected`]) leaves the old
+    /// model serving untouched.
+    pub fn swap_model(&self, new: Arc<FrozenModel>) -> Result<SwapReceipt, ServeError> {
+        let receipt = self.slot.swap(new)?;
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        if mgbr_obs::enabled() {
+            mgbr_obs::metrics().counter("serve.pool.swaps").inc();
+            let _ = mgbr_obs::event("serve.swap", "serve")
+                .arg("old_generation", receipt.old_generation)
+                .arg("new_generation", receipt.new_generation);
+        }
+        Ok(receipt)
+    }
+
+    /// Loads a frozen artifact from disk (CRC-checked, fail-closed) and
+    /// hot-swaps it in via [`Self::swap_model`]. A corrupt or
+    /// semantically invalid artifact is [`ServeError::SwapRejected`] and
+    /// never becomes the published generation.
+    pub fn swap_model_from_file(&self, path: &Path) -> Result<SwapReceipt, ServeError> {
+        let model = FrozenModel::load_from_file(path)
+            .map_err(|e| ServeError::SwapRejected(format!("artifact load failed: {e}")))?;
+        self.swap_model(Arc::new(model))
+    }
+
+    fn shed(&self, q: usize, slo: bool) {
+        self.queue_shed[q].fetch_add(1, Ordering::Relaxed);
+        if slo {
+            self.queue_shed_slo[q].fetch_add(1, Ordering::Relaxed);
+        }
+        if mgbr_obs::enabled() {
+            let reg = mgbr_obs::metrics();
+            reg.counter("serve.pool.shed").inc();
+            if slo {
+                reg.counter("serve.pool.slo_shed").inc();
+            }
+        }
+    }
+
+    fn submit(
+        &self,
+        user: usize,
+        req: Request,
+        budget: Option<Duration>,
+    ) -> Result<ScoreHandle, ServeError> {
         let q = self.partition_of(user);
+        // SLO-aware early shed: if the target queue's recent p99 delay
+        // already blows the SLO, admitting one more request only makes
+        // it later — reject now with a back-off hint instead of scoring
+        // it after its usefulness expired. Checked before the hard cap.
+        if let Some(slo) = self.slo_us {
+            if let Some(p99) = self.delays[q].p99_us() {
+                if p99 > slo {
+                    self.shed(q, true);
+                    return Err(ServeError::Overloaded {
+                        capacity: self.queue_cap,
+                        retry_after_hint_us: p99.saturating_sub(slo).max(1),
+                    });
+                }
+            }
+        }
+        let (reply, rx) = mpsc::channel();
+        let enqueued = Instant::now();
         let pending = Pending {
             req,
-            enqueued: Instant::now(),
+            enqueued,
+            deadline: budget
+                .or(self.default_deadline)
+                .and_then(|b| enqueued.checked_add(b)),
             reply,
         };
         if let Err(e) = self.queues[q].push(pending) {
             if matches!(e, ServeError::Overloaded { .. }) {
-                self.queue_shed[q].fetch_add(1, Ordering::Relaxed);
-                if mgbr_obs::enabled() {
-                    mgbr_obs::metrics().counter("serve.pool.shed").inc();
-                }
+                self.shed(q, false);
             }
             return Err(e);
         }
@@ -214,10 +443,24 @@ impl WorkerPool {
     }
 
     /// Admits a Task A `(user, item)` request without blocking on the
-    /// answer. Fails fast with [`ServeError::Overloaded`] on a full
-    /// queue (the request was *not* admitted).
+    /// answer, stamped with the pool's default deadline (if any). Fails
+    /// fast with [`ServeError::Overloaded`] on a full queue or an
+    /// SLO-breaching backlog (the request was *not* admitted).
     pub fn submit_item(&self, user: usize, item: usize) -> Result<ScoreHandle, ServeError> {
-        self.submit(user, Request::Item(user, item))
+        self.submit(user, Request::Item(user, item), None)
+    }
+
+    /// [`Self::submit_item`] with an explicit per-request deadline
+    /// budget (overrides the pool default). If the request is still
+    /// queued when the budget elapses it is answered
+    /// [`ServeError::DeadlineExceeded`] instead of scored.
+    pub fn submit_item_with_deadline(
+        &self,
+        user: usize,
+        item: usize,
+        budget: Duration,
+    ) -> Result<ScoreHandle, ServeError> {
+        self.submit(user, Request::Item(user, item), Some(budget))
     }
 
     /// Admits a Task B `(user, item, participant)` request without
@@ -228,7 +471,23 @@ impl WorkerPool {
         item: usize,
         participant: usize,
     ) -> Result<ScoreHandle, ServeError> {
-        self.submit(user, Request::Participant(user, item, participant))
+        self.submit(user, Request::Participant(user, item, participant), None)
+    }
+
+    /// [`Self::submit_participant`] with an explicit per-request
+    /// deadline budget (overrides the pool default).
+    pub fn submit_participant_with_deadline(
+        &self,
+        user: usize,
+        item: usize,
+        participant: usize,
+        budget: Duration,
+    ) -> Result<ScoreHandle, ServeError> {
+        self.submit(
+            user,
+            Request::Participant(user, item, participant),
+            Some(budget),
+        )
     }
 
     /// Task A logit for `(user, item)` through the pool; blocks until a
@@ -248,7 +507,8 @@ impl WorkerPool {
     }
 
     /// Merged pool metrics: every worker's throughput/latency folded
-    /// together, `shed` summed over all queues.
+    /// together; `shed` / `shed_slo` summed over all queues; `swaps` and
+    /// the published `generation` from the pool itself.
     pub fn metrics(&self) -> ServeMetrics {
         let mut merged = ServeMetrics::new();
         for m in &self.worker_metrics {
@@ -259,24 +519,32 @@ impl WorkerPool {
             .iter()
             .map(|s| s.load(Ordering::Relaxed))
             .sum();
+        merged.shed_slo = self
+            .queue_shed_slo
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum();
+        merged.swaps = self.swaps.load(Ordering::Relaxed);
         merged
     }
 
     /// Per-worker metric snapshots (same indexing as worker ids). Under
-    /// [`Admission::HashPartitioned`] each entry's `shed` is its own
-    /// partition's count; under [`Admission::Shared`] the single queue's
-    /// shed count is attributed to worker 0.
+    /// [`Admission::HashPartitioned`] each entry's shed counts are its
+    /// own partition's; under [`Admission::Shared`] the single queue's
+    /// counts are attributed to worker 0.
     pub fn per_worker(&self) -> Vec<ServeMetrics> {
         self.worker_metrics
             .iter()
             .enumerate()
             .map(|(w, m)| {
                 let mut snap = lock(m).clone();
-                snap.shed = match self.admission {
-                    Admission::Shared if w == 0 => self.queue_shed[0].load(Ordering::Relaxed),
-                    Admission::Shared => 0,
-                    Admission::HashPartitioned => self.queue_shed[w].load(Ordering::Relaxed),
+                let q = match self.admission {
+                    Admission::Shared if w == 0 => Some(0),
+                    Admission::Shared => None,
+                    Admission::HashPartitioned => Some(w),
                 };
+                snap.shed = q.map_or(0, |q| self.queue_shed[q].load(Ordering::Relaxed));
+                snap.shed_slo = q.map_or(0, |q| self.queue_shed_slo[q].load(Ordering::Relaxed));
                 snap
             })
             .collect()
@@ -299,7 +567,6 @@ mod tests {
     use super::*;
     use mgbr_core::{Mgbr, MgbrConfig};
     use mgbr_data::{synthetic, SyntheticConfig};
-    use std::time::Duration;
 
     fn frozen() -> Arc<FrozenModel> {
         let ds = synthetic::generate(&SyntheticConfig::tiny());
@@ -316,7 +583,7 @@ mod tests {
                 PoolConfig {
                     workers: 3,
                     admission,
-                    batcher: BatcherConfig::default(),
+                    ..PoolConfig::default()
                 },
             );
             for (u, i) in [(0usize, 0usize), (1, 3), (5, 7), (9, 2)] {
@@ -333,6 +600,7 @@ mod tests {
             let m = pool.metrics();
             assert_eq!(m.requests, 5);
             assert_eq!(m.shed, 0);
+            assert_eq!(m.generation, crate::swap::INITIAL_GENERATION);
         }
     }
 
@@ -343,7 +611,7 @@ mod tests {
             PoolConfig {
                 workers: 4,
                 admission: Admission::HashPartitioned,
-                batcher: BatcherConfig::default(),
+                ..PoolConfig::default()
             },
         );
         for u in 0..64usize {
@@ -369,15 +637,18 @@ mod tests {
                         queue_cap: 0,
                         ..BatcherConfig::default()
                     },
+                    ..PoolConfig::default()
                 },
             );
             for u in 0..6usize {
                 assert!(matches!(
                     pool.score_item(u, 0),
-                    Err(ServeError::Overloaded { capacity: 0 })
+                    Err(ServeError::Overloaded { capacity: 0, .. })
                 ));
             }
-            assert_eq!(pool.metrics().shed, 6, "{admission:?}");
+            let m = pool.metrics();
+            assert_eq!(m.shed, 6, "{admission:?}");
+            assert_eq!(m.shed_slo, 0, "cap sheds are not SLO sheds");
             let per_worker_shed: u64 = pool.per_worker().iter().map(|m| m.shed).sum();
             assert_eq!(per_worker_shed, 6, "{admission:?}");
         }
@@ -395,7 +666,9 @@ mod tests {
                     max_batch: 4,
                     max_wait: Duration::from_millis(1),
                     queue_cap: 1024,
+                    default_deadline: None,
                 },
+                ..PoolConfig::default()
             },
         ));
         let mut handles = Vec::new();
@@ -406,5 +679,20 @@ mod tests {
         for h in handles {
             assert!(h.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn swap_is_visible_in_generation_and_metrics() {
+        let pool = WorkerPool::new(frozen(), PoolConfig::default());
+        assert_eq!(pool.generation(), crate::swap::INITIAL_GENERATION);
+        let receipt = pool.swap_model(frozen()).unwrap();
+        assert_eq!(receipt.new_generation, crate::swap::INITIAL_GENERATION + 1);
+        assert_eq!(pool.generation(), receipt.new_generation);
+        let m = pool.metrics();
+        assert_eq!(m.swaps, 1);
+        // A request scored after the swap carries the new generation.
+        let reply = pool.submit_item(0, 0).unwrap().wait_reply();
+        assert!(reply.result.is_ok());
+        assert_eq!(reply.generation, receipt.new_generation);
     }
 }

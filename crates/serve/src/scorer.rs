@@ -20,6 +20,12 @@ pub struct Scorer {
 
 impl Scorer {
     /// Wraps a shared frozen model with a fresh scratch workspace.
+    ///
+    /// Construction is O(1) and allocation-free: the workspace starts
+    /// empty and grows lazily on first use. Hot-swap relies on this —
+    /// pool workers rebuild their private `Scorer` around the new
+    /// `Arc<FrozenModel>` at a generation boundary without a
+    /// measurable stall.
     pub fn new(model: Arc<FrozenModel>) -> Self {
         Self {
             model,

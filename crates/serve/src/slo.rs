@@ -1,0 +1,111 @@
+//! SLO-aware admission: a windowed queue-delay tracker per queue.
+//!
+//! The pool's workers record each drained request's **queue delay**
+//! (enqueue → drain, i.e. the latency the request accumulated before any
+//! scoring happened) into a [`mgbr_obs::GeoHistogram`]. At admission
+//! time the controller compares the recent window's **deepest tracked
+//! percentile** (p99) against the configured SLO and sheds *before* the
+//! hard queue cap when the backlog is already hopeless — a request that
+//! would sit past its SLO in the queue is cheaper to reject now, with a
+//! back-off hint, than to score late.
+//!
+//! The window rotates every [`WINDOW_BATCHES`] drained batches so a
+//! transient overload stops shedding once the backlog clears; a minimum
+//! sample count keeps a cold tracker from shedding on noise.
+
+use std::sync::Mutex;
+
+use mgbr_obs::GeoHistogram;
+
+use crate::batcher::lock;
+
+/// Batches per observation window; the histogram resets on rotation so
+/// shedding decisions track *recent* queue health, not all-time history.
+const WINDOW_BATCHES: u64 = 64;
+
+/// Minimum samples in the current window before the controller is
+/// allowed to shed — a cold or freshly rotated tracker admits everything.
+const MIN_SAMPLES: u64 = 32;
+
+struct DelayWindow {
+    hist: GeoHistogram,
+    batches: u64,
+}
+
+/// Windowed queue-delay percentile tracker feeding SLO-aware early
+/// shedding. One per queue (pool-wide under shared admission, per
+/// partition under hash partitioning, matching the shed-count indexing).
+pub(crate) struct DelayTracker {
+    inner: Mutex<DelayWindow>,
+}
+
+impl DelayTracker {
+    pub(crate) fn new() -> Self {
+        Self {
+            inner: Mutex::new(DelayWindow {
+                hist: GeoHistogram::new(),
+                batches: 0,
+            }),
+        }
+    }
+
+    /// Worker-side: folds one drained batch's queue delays (µs) into the
+    /// current window, rotating (clearing) the window every
+    /// [`WINDOW_BATCHES`] batches.
+    pub(crate) fn record_batch<I: IntoIterator<Item = u64>>(&self, delays_us: I) {
+        let mut w = lock(&self.inner);
+        for d in delays_us {
+            w.hist.record(d);
+        }
+        w.batches += 1;
+        if w.batches >= WINDOW_BATCHES {
+            w.hist.clear();
+            w.batches = 0;
+        }
+    }
+
+    /// Admission-side: the current window's p99 queue delay in µs, or
+    /// `None` while the window holds fewer than [`MIN_SAMPLES`] samples
+    /// (never shed on a cold tracker).
+    pub(crate) fn p99_us(&self) -> Option<u64> {
+        let w = lock(&self.inner);
+        if w.hist.count() >= MIN_SAMPLES {
+            Some(w.hist.percentile(0.99))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_tracker_never_sheds() {
+        let t = DelayTracker::new();
+        assert_eq!(t.p99_us(), None);
+        t.record_batch((0..MIN_SAMPLES - 1).map(|_| 1_000_000));
+        assert_eq!(t.p99_us(), None, "below the sample floor");
+        t.record_batch([1_000_000]);
+        assert!(t.p99_us().unwrap() >= 1_000_000);
+    }
+
+    #[test]
+    fn window_rotation_forgets_old_overload() {
+        let t = DelayTracker::new();
+        t.record_batch((0..MIN_SAMPLES).map(|_| 50_000));
+        assert!(t.p99_us().is_some());
+        // Drain enough healthy batches to rotate the window: the old
+        // spike must be forgotten and the tracker goes cold again.
+        for _ in 0..WINDOW_BATCHES {
+            t.record_batch([10]);
+        }
+        // After rotation the window restarted; with fewer than
+        // MIN_SAMPLES fresh samples the tracker abstains.
+        for _ in 0..WINDOW_BATCHES {
+            t.record_batch(std::iter::empty());
+        }
+        assert_eq!(t.p99_us(), None, "rotation cleared the window");
+    }
+}

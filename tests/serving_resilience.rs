@@ -1,0 +1,566 @@
+//! Serving resilience suite (ISSUE 8), driven by the chaos harness
+//! (`mgbr_serve::chaos`): deadlines, SLO-aware shedding, artifact
+//! hot-swap, and fault containment. The contracts under test:
+//!
+//! * **Exactly one reply** per admitted request — a score,
+//!   [`ServeError::DeadlineExceeded`], or nothing was admitted
+//!   ([`ServeError::Overloaded`]) — through stalls, worker death
+//!   mid-batch, clock jumps, and hot-swaps.
+//! * **Bitwise determinism** — Ok scores equal the single-threaded
+//!   [`Scorer`] for the generation that produced them, at any worker
+//!   count, before/during/after swaps.
+//! * **Fail closed** — poisoned or incompatible artifacts are never
+//!   published; malformed env knobs are typed errors, never silent
+//!   defaults.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use mgbr_core::{FrozenModel, Mgbr, MgbrConfig};
+use mgbr_data::{synthetic, SyntheticConfig};
+use mgbr_serve::chaos::{poison_artifact, ChaosInjector};
+use mgbr_serve::{
+    Admission, BatcherConfig, PoolConfig, Scorer, ServeError, WorkerPool, INITIAL_GENERATION,
+};
+
+/// A tiny frozen model; distinct `seed`s give distinct weights over the
+/// same id space (the ingredient for generation-fencing tests).
+fn frozen(seed: u64) -> Arc<FrozenModel> {
+    let ds = synthetic::generate(&SyntheticConfig::tiny());
+    let cfg = MgbrConfig {
+        seed,
+        ..MgbrConfig::tiny()
+    };
+    Arc::new(Mgbr::new(cfg, &ds).freeze())
+}
+
+fn pool_cfg(workers: usize, batcher: BatcherConfig) -> PoolConfig {
+    PoolConfig {
+        workers,
+        admission: Admission::Shared,
+        batcher,
+        slo_us: None,
+    }
+}
+
+/// A slow scorer (chaos stall) makes queued requests outlive a short
+/// deadline budget: they must come back typed `DeadlineExceeded` —
+/// exactly one reply each, never scored, never dropped — while requests
+/// drained before expiry still score. Counters reconcile.
+#[test]
+fn deadline_expiry_under_stall_is_typed_and_complete() {
+    let model = frozen(1);
+    let chaos = ChaosInjector::new();
+    let pool = WorkerPool::new_chaotic(
+        Arc::clone(&model),
+        pool_cfg(
+            1,
+            BatcherConfig {
+                max_batch: 16,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 4096,
+                default_deadline: None,
+            },
+        ),
+        Arc::clone(&chaos),
+    );
+    chaos.stall(Duration::from_millis(5));
+    const N: usize = 64;
+    let mut handles = Vec::new();
+    for j in 0..N {
+        handles.push(
+            pool.submit_item_with_deadline(j % 8, j % 4, Duration::from_millis(1))
+                .expect("queue far below cap"),
+        );
+    }
+    let mut ok = 0u64;
+    let mut expired = 0u64;
+    for h in handles {
+        match h.wait() {
+            Ok(_) => ok += 1,
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Err(e) => panic!("unexpected reply under stall: {e}"),
+        }
+    }
+    assert_eq!(ok + expired, N as u64, "exactly one reply per request");
+    assert!(
+        expired > 0,
+        "a 5 ms stall against a 1 ms budget must expire queued requests"
+    );
+    let m = pool.metrics();
+    assert_eq!(m.deadline_expired, expired);
+    assert_eq!(m.requests, ok, "expired requests are never scored");
+    assert_eq!(m.latency.count(), ok);
+}
+
+/// With an SLO configured, admission sheds from the tracked queue-delay
+/// p99 *before* the hard cap: a burst against a backlogged queue comes
+/// back `Overloaded` with a nonzero `retry_after_hint_us` while the
+/// queue is nowhere near `queue_cap`, and the sheds are attributed to
+/// `shed_slo` (no double count).
+#[test]
+fn slo_shed_fires_before_cap_with_retry_hint() {
+    let model = frozen(1);
+    let chaos = ChaosInjector::new();
+    let pool = WorkerPool::new_chaotic(
+        Arc::clone(&model),
+        PoolConfig {
+            workers: 1,
+            admission: Admission::Shared,
+            batcher: BatcherConfig {
+                max_batch: 16,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 4096,
+                default_deadline: None,
+            },
+            slo_us: Some(1_000), // 1 ms queue-delay SLO
+        },
+        Arc::clone(&chaos),
+    );
+    // Phase 1 — build a provably backlogged window: with a 2 ms stall
+    // per batch and batches of <= 16, most of these 64 requests wait
+    // multiple milliseconds in the queue, so the window's p99 delay
+    // lands far above the 1 ms SLO (and 64 samples clear the tracker's
+    // cold-start floor).
+    chaos.stall(Duration::from_millis(2));
+    let warm: Vec<_> = (0..64usize)
+        .map(|j| pool.submit_item(j % 8, j % 4).expect("below cap"))
+        .collect();
+    for h in warm {
+        h.wait().expect("warm phase scores everything");
+    }
+    // Phase 2 — burst. The queue is drained and capacity is 4096, so
+    // any shed here is the SLO controller acting early, not the cap.
+    let mut slo_shed = 0u64;
+    let mut hints = Vec::new();
+    for j in 0..600usize {
+        match pool.submit_item(j % 8, j % 4) {
+            Ok(h) => drop(h.wait()),
+            Err(ServeError::Overloaded {
+                capacity,
+                retry_after_hint_us,
+            }) => {
+                assert_eq!(capacity, 4096, "cap was never reached");
+                slo_shed += 1;
+                hints.push(retry_after_hint_us);
+            }
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    assert!(
+        slo_shed > 0,
+        "a backlogged p99 above the SLO must shed early"
+    );
+    assert!(
+        hints.iter().all(|&h| h > 0),
+        "SLO sheds carry a nonzero back-off hint"
+    );
+    let m = pool.metrics();
+    assert_eq!(m.shed_slo, slo_shed, "every early shed attributed to SLO");
+    assert_eq!(m.shed, slo_shed, "no double count: shed == shed_slo here");
+}
+
+/// An injected worker death mid-batch must be contained: every request
+/// in the dying batch is still answered (per-request fallback), scores
+/// stay bitwise correct, nothing is dropped, and the pool keeps serving
+/// afterwards.
+#[test]
+fn worker_death_mid_batch_is_contained() {
+    let model = frozen(1);
+    let reference = Scorer::new(Arc::clone(&model));
+    let chaos = ChaosInjector::new();
+    let pool = WorkerPool::new_chaotic(
+        Arc::clone(&model),
+        pool_cfg(
+            2,
+            BatcherConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                queue_cap: 4096,
+                default_deadline: None,
+            },
+        ),
+        Arc::clone(&chaos),
+    );
+    chaos.arm_death(1);
+    let handles: Vec<_> = (0..32usize)
+        .map(|j| (j % 8, j % 4, pool.submit_item(j % 8, j % 4).expect("admit")))
+        .collect();
+    for (u, i, h) in handles {
+        let got = h.wait().expect("answered despite the mid-batch death");
+        assert_eq!(
+            got.to_bits(),
+            reference.score_item(u, i).expect("reference").to_bits(),
+            "containment fallback must stay bitwise correct ({u}, {i})"
+        );
+    }
+    // The pool survives the fault and keeps serving.
+    chaos.clear();
+    for j in 0..16usize {
+        pool.score_item(j % 8, 0).expect("pool serves after death");
+    }
+}
+
+/// A corrupt artifact on disk (one flipped byte mid-file) must be
+/// rejected by the CRC'd loader at swap time and never published: the
+/// generation does not move and the old model keeps serving bitwise
+/// identically. A pristine copy of the same artifact then swaps fine.
+#[test]
+fn poisoned_artifact_swap_is_rejected_never_published() {
+    let model = frozen(1);
+    let reference = Scorer::new(Arc::clone(&model));
+    let dir = std::env::temp_dir().join(format!("mgbr_resilience_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let good = dir.join("good.frozen");
+    let bad = dir.join("bad.frozen");
+    model.save_atomic(&good).expect("save artifact");
+    std::fs::copy(&good, &bad).expect("copy artifact");
+    poison_artifact(&bad).expect("poison artifact");
+
+    let pool = WorkerPool::new(Arc::clone(&model), pool_cfg(2, BatcherConfig::default()));
+    let err = pool.swap_model_from_file(&bad).unwrap_err();
+    assert!(matches!(err, ServeError::SwapRejected(_)), "{err}");
+    assert_eq!(
+        pool.generation(),
+        INITIAL_GENERATION,
+        "a rejected artifact must not move the generation"
+    );
+    assert_eq!(pool.metrics().swaps, 0);
+    for (u, i) in [(0usize, 0usize), (3, 2), (7, 1)] {
+        assert_eq!(
+            pool.score_item(u, i).expect("old model serves").to_bits(),
+            reference.score_item(u, i).expect("reference").to_bits(),
+            "old model keeps serving bitwise identically"
+        );
+    }
+    // The pristine artifact passes the same gate.
+    let receipt = pool.swap_model_from_file(&good).expect("valid swap");
+    assert_eq!(receipt.new_generation, INITIAL_GENERATION + 1);
+    assert_eq!(pool.generation(), receipt.new_generation);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hot-swapping in a bit-identical artifact is invisible to scores:
+/// through repeated swaps under load, at 1/2/4 workers, every reply is
+/// bitwise equal to the single-threaded scorer and every admitted
+/// request is answered. Only the generation stamp moves.
+#[test]
+fn identical_swap_is_bitwise_invisible_at_any_worker_count() {
+    let model = frozen(1);
+    let reference = Scorer::new(Arc::clone(&model));
+    for workers in [1usize, 2, 4] {
+        let pool = WorkerPool::new(
+            Arc::clone(&model),
+            pool_cfg(
+                workers,
+                BatcherConfig {
+                    max_batch: 8,
+                    max_wait: Duration::from_micros(200),
+                    queue_cap: 4096,
+                    default_deadline: None,
+                },
+            ),
+        );
+        let mut swaps = 0u64;
+        for round in 0..10usize {
+            let handles: Vec<_> = (0..24usize)
+                .map(|j| {
+                    let (u, i) = ((round + j) % 8, j % 4);
+                    (u, i, pool.submit_item(u, i).expect("admit"))
+                })
+                .collect();
+            // Republish an identical artifact mid-stream.
+            let clone = Arc::new((*model).clone());
+            let receipt = pool.swap_model(clone).expect("identical artifact swaps");
+            swaps += 1;
+            assert_eq!(receipt.new_generation, INITIAL_GENERATION + swaps);
+            for (u, i, h) in handles {
+                let reply = h.wait_reply();
+                let got = reply.result.expect("scored");
+                assert_eq!(
+                    got.to_bits(),
+                    reference.score_item(u, i).expect("reference").to_bits(),
+                    "workers={workers} round={round} ({u}, {i})"
+                );
+                assert!(
+                    reply.generation >= INITIAL_GENERATION && reply.generation <= swaps + 1,
+                    "generation stamp {} outside the published range",
+                    reply.generation
+                );
+            }
+        }
+        let m = pool.metrics();
+        assert_eq!(m.swaps, swaps);
+        assert_eq!(m.requests, 240, "every admitted request was scored");
+    }
+}
+
+/// Generation fencing with a *changed* artifact: while a producer
+/// streams requests and the main thread swaps from model A (seed 1) to
+/// model B (seed 2), every reply's score must match the model of the
+/// generation stamped on it — old-generation replies score like A,
+/// new-generation replies like B, and no reply is mixed or dropped.
+#[test]
+fn changed_artifact_replies_match_their_stamped_generation() {
+    let model_a = frozen(1);
+    let model_b = frozen(2);
+    let ref_a = Scorer::new(Arc::clone(&model_a));
+    let ref_b = Scorer::new(Arc::clone(&model_b));
+    // Weights differ, so at least one probe pair must differ in score —
+    // the pair that makes generation mixing detectable.
+    let probes: Vec<(usize, usize)> = (0..8usize)
+        .flat_map(|u| (0..4).map(move |i| (u, i)))
+        .collect();
+    assert!(
+        probes
+            .iter()
+            .any(|&(u, i)| ref_a.score_item(u, i).expect("a").to_bits()
+                != ref_b.score_item(u, i).expect("b").to_bits()),
+        "seeds 1 and 2 must produce distinguishable models"
+    );
+
+    let pool = Arc::new(WorkerPool::new(
+        Arc::clone(&model_a),
+        pool_cfg(
+            2,
+            BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(200),
+                queue_cap: 4096,
+                default_deadline: None,
+            },
+        ),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let producer = {
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        let probes = probes.clone();
+        thread::spawn(move || {
+            let mut replies = Vec::new();
+            let mut j = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let (u, i) = probes[j % probes.len()];
+                let reply = pool.submit_item(u, i).expect("admit").wait_reply();
+                replies.push((u, i, reply));
+                j += 1;
+            }
+            replies
+        })
+    };
+    // Let generation 1 serve some traffic, then swap to model B.
+    thread::sleep(Duration::from_millis(20));
+    let receipt = pool.swap_model(Arc::clone(&model_b)).expect("swap to B");
+    thread::sleep(Duration::from_millis(20));
+    stop.store(true, Ordering::Relaxed);
+    let replies = producer.join().expect("producer");
+
+    let mut old_gen = 0u64;
+    let mut new_gen = 0u64;
+    for (u, i, reply) in replies {
+        let got = reply.result.expect("every admitted request answered");
+        let want = if reply.generation <= receipt.old_generation {
+            old_gen += 1;
+            ref_a.score_item(u, i).expect("ref a")
+        } else {
+            new_gen += 1;
+            ref_b.score_item(u, i).expect("ref b")
+        };
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "reply stamped generation {} must score like that generation ({u}, {i})",
+            reply.generation
+        );
+    }
+    assert!(old_gen > 0, "some traffic served before the swap");
+    assert!(new_gen > 0, "some traffic served after the swap");
+}
+
+/// Clock jumps around the deadline comparison: a forward jump larger
+/// than every budget expires all queued requests (typed, exactly one
+/// reply each); a backward jump must never panic, double-score, or
+/// wedge the pool — requests simply stop expiring and score normally.
+#[test]
+fn clock_jumps_expire_forward_and_never_wedge_backward() {
+    let model = frozen(1);
+    let chaos = ChaosInjector::new();
+    let pool = WorkerPool::new_chaotic(
+        Arc::clone(&model),
+        pool_cfg(
+            1,
+            BatcherConfig {
+                max_batch: 16,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 4096,
+                // Generous budget: only the injected jump can expire it.
+                default_deadline: Some(Duration::from_secs(10)),
+            },
+        ),
+        Arc::clone(&chaos),
+    );
+    // Forward jump past every queued budget: all expire, typed.
+    chaos.jump_clock(20_000_000); // +20 s in µs
+    for j in 0..8usize {
+        assert!(
+            matches!(pool.score_item(j % 8, 0), Err(ServeError::DeadlineExceeded)),
+            "a +20 s clock jump must expire a 10 s budget"
+        );
+    }
+    let expired = pool.metrics().deadline_expired;
+    assert_eq!(expired, 8);
+    // Backward jump with a tight budget: nothing expires, everything
+    // scores, exactly once, no panic.
+    chaos.jump_clock(-20_000_000);
+    for j in 0..8usize {
+        pool.submit_item_with_deadline(j % 8, 0, Duration::from_micros(1))
+            .expect("admit")
+            .wait()
+            .expect("a backward-jumped clock must not expire or wedge");
+    }
+    let m = pool.metrics();
+    assert_eq!(
+        m.deadline_expired, expired,
+        "no new expiries after the backward jump"
+    );
+    assert_eq!(m.requests, 8);
+}
+
+/// Env knobs fail closed: malformed `MGBR_SERVE_WORKERS` /
+/// `MGBR_SERVE_SLO_US` / `MGBR_SERVE_DEADLINE_US` are typed
+/// `BadConfig` errors, never silent defaults. One test fn on purpose:
+/// the process environment is global and tests run concurrently.
+#[test]
+fn env_knobs_fail_closed_on_malformed_values() {
+    let clear = || {
+        std::env::remove_var("MGBR_SERVE_WORKERS");
+        std::env::remove_var("MGBR_SERVE_SLO_US");
+        std::env::remove_var("MGBR_SERVE_DEADLINE_US");
+    };
+    clear();
+    for (var, bad) in [
+        ("MGBR_SERVE_WORKERS", "four"),
+        ("MGBR_SERVE_WORKERS", "0"),
+        ("MGBR_SERVE_WORKERS", ""),
+        ("MGBR_SERVE_WORKERS", "-2"),
+        ("MGBR_SERVE_SLO_US", "5ms"),
+        ("MGBR_SERVE_SLO_US", "0"),
+        ("MGBR_SERVE_DEADLINE_US", "soon"),
+        ("MGBR_SERVE_DEADLINE_US", "1.5"),
+    ] {
+        clear();
+        std::env::set_var(var, bad);
+        let err = PoolConfig::from_env().expect_err("malformed knob must fail closed");
+        assert!(
+            matches!(err, ServeError::BadConfig(_)),
+            "{var}={bad:?} gave {err}"
+        );
+        assert!(
+            err.to_string().contains(var),
+            "the error names the offending knob: {err}"
+        );
+    }
+    // Well-formed knobs apply exactly.
+    clear();
+    std::env::set_var("MGBR_SERVE_WORKERS", "3");
+    std::env::set_var("MGBR_SERVE_SLO_US", "2500");
+    std::env::set_var("MGBR_SERVE_DEADLINE_US", "800");
+    let cfg = PoolConfig::from_env().expect("valid knobs parse");
+    assert_eq!(cfg.workers, 3);
+    assert_eq!(cfg.slo_us, Some(2500));
+    assert_eq!(
+        cfg.batcher.default_deadline,
+        Some(Duration::from_micros(800))
+    );
+    // Absent knobs mean defaults (not errors).
+    clear();
+    let cfg = PoolConfig::from_env().expect("absent knobs are fine");
+    assert_eq!(cfg.slo_us, None);
+    assert_eq!(cfg.batcher.default_deadline, None);
+}
+
+/// Snapshot-while-merging: `WorkerPool::metrics()` merges per-worker
+/// blocks while workers are actively recording and admission is actively
+/// shedding. Every successive snapshot must be monotone in all counters
+/// (no tearing backwards, no double-counted sheds) and the final
+/// snapshot must reconcile exactly with what the producers observed.
+#[test]
+fn concurrent_metrics_snapshots_are_monotone_and_reconcile() {
+    let model = frozen(1);
+    let pool = Arc::new(WorkerPool::new(
+        Arc::clone(&model),
+        pool_cfg(
+            2,
+            BatcherConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 16, // small cap: force real sheds
+                default_deadline: None,
+            },
+        ),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let snapshotter = {
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut prev = pool.metrics();
+            let mut snaps = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                let cur = pool.metrics();
+                assert!(cur.requests >= prev.requests, "requests went backwards");
+                assert!(cur.batches >= prev.batches, "batches went backwards");
+                assert!(cur.shed >= prev.shed, "shed went backwards");
+                assert!(cur.shed_slo >= prev.shed_slo, "shed_slo went backwards");
+                assert!(
+                    cur.deadline_expired >= prev.deadline_expired,
+                    "deadline_expired went backwards"
+                );
+                assert!(cur.swaps >= prev.swaps, "swaps went backwards");
+                assert!(
+                    cur.latency.count() >= prev.latency.count(),
+                    "latency count went backwards"
+                );
+                prev = cur;
+                snaps += 1;
+            }
+            snaps
+        })
+    };
+    let mut producers = Vec::new();
+    for t in 0..4usize {
+        let pool = Arc::clone(&pool);
+        producers.push(thread::spawn(move || {
+            let mut ok = 0u64;
+            let mut shed = 0u64;
+            for j in 0..400usize {
+                match pool.submit_item((t + j) % 8, j % 4) {
+                    Ok(h) => {
+                        h.wait().expect("admitted requests score");
+                        ok += 1;
+                    }
+                    Err(ServeError::Overloaded { .. }) => shed += 1,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            (ok, shed)
+        }));
+    }
+    let mut total_ok = 0u64;
+    let mut total_shed = 0u64;
+    for p in producers {
+        let (ok, shed) = p.join().expect("producer");
+        total_ok += ok;
+        total_shed += shed;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snaps = snapshotter.join().expect("snapshotter");
+    assert!(snaps > 1, "the snapshotter actually raced the merge");
+    let m = pool.metrics();
+    assert_eq!(m.requests, total_ok, "scored exactly the admitted requests");
+    assert_eq!(m.shed, total_shed, "sheds counted exactly once");
+    assert_eq!(m.shed_slo, 0, "no SLO configured: every shed was at-cap");
+    assert_eq!(m.latency.count(), total_ok);
+}

@@ -41,7 +41,9 @@ fn m_producers_n_workers_exactly_one_reply_bitwise() {
                         max_batch: 8,
                         max_wait: Duration::from_micros(200),
                         queue_cap: 4096,
+                        default_deadline: None,
                     },
+                    slo_us: None,
                 },
             ));
             const PRODUCERS: usize = 6;
@@ -133,6 +135,7 @@ fn pool_scores_bitwise_stable_across_kernel_threads() {
                 workers: 2,
                 admission: Admission::HashPartitioned,
                 batcher: BatcherConfig::default(),
+                slo_us: None,
             },
         );
         for (j, &want) in expect.iter().enumerate() {
@@ -158,7 +161,9 @@ fn drop_mid_flight_answers_admitted_and_rejects_late() {
                 max_batch: 4,
                 max_wait: Duration::from_millis(1),
                 queue_cap: 4096,
+                default_deadline: None,
             },
+            slo_us: None,
         },
     ));
     let answered = Arc::new(AtomicU64::new(0));
@@ -223,7 +228,9 @@ fn overload_sheds_typed_reconciled_and_no_partition_starves() {
                 max_batch: 4096,
                 max_wait: Duration::from_millis(50),
                 queue_cap: 8,
+                default_deadline: None,
             },
+            slo_us: None,
         },
     ));
     // Find users routed to each of the two partitions.
@@ -241,7 +248,7 @@ fn overload_sheds_typed_reconciled_and_no_partition_starves() {
     for j in 0..FLOOD {
         match pool.submit_item(user_a, j % 5) {
             Ok(h) => admitted.push(h),
-            Err(ServeError::Overloaded { capacity }) => {
+            Err(ServeError::Overloaded { capacity, .. }) => {
                 assert_eq!(capacity, 8, "shed reports the configured bound");
                 shed += 1;
             }
