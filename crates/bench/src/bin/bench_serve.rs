@@ -570,8 +570,10 @@ fn main() {
     for mult in [1.0f64, 2.0, 3.0, 4.0, 6.0, 8.0] {
         let rate = batcher_qps * mult;
         // Run each cell long enough to be measurable (>= 250 ms of
-        // offered load), bounded so the sweep stays quick.
-        let n_cell = ((rate * 0.25) as usize).clamp(n_requests, 200_000);
+        // offered load), bounded so the sweep stays quick. The floor is
+        // itself capped at the ceiling so an oversized MGBR_SERVE_REQUESTS
+        // degrades to 200k instead of panicking on clamp(min > max).
+        let n_cell = ((rate * 0.25) as usize).clamp(n_requests.min(200_000), 200_000);
         let cell = run_open_loop(&loaded, &pool_cfg, &stream, rate, n_cell, slo_us);
         println!(
             "{:>12.0} {:>12.0} {:>8} {:>9} {:>9} {:>9}  {}",
@@ -600,7 +602,7 @@ fn main() {
     // admitted request is dropped, and p99/shed stay bounded through
     // the swap storm.
     let swap_rate = if slo_qps > 0.0 { slo_qps } else { batcher_qps };
-    let n_swap_cell = ((swap_rate * 0.5) as usize).clamp(n_requests, 200_000);
+    let n_swap_cell = ((swap_rate * 0.5) as usize).clamp(n_requests.min(200_000), 200_000);
     let swap_under_load =
         run_swap_under_load(&loaded, &pool_cfg, &stream, swap_rate, n_swap_cell, 10);
 

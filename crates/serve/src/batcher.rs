@@ -191,9 +191,11 @@ impl WorkQueue {
 
     /// Blocks until at least one request is queued, then coalesces up to
     /// `max_batch` requests, waiting at most `max_wait` for stragglers —
-    /// or less, if an already-queued request's deadline would expire
-    /// first (deadline-aware assembly: holding a dying request hostage
-    /// to the coalescing window would guarantee its expiry). Returns
+    /// or less, if any queued request's deadline would expire first
+    /// (deadline-aware assembly: holding a dying request hostage to the
+    /// coalescing window would guarantee its expiry). The bound is
+    /// re-derived after every wakeup, so a request *arriving during* the
+    /// wait with an earlier deadline shortens it too. Returns
     /// empty only when shut down with nothing left to drain. The queue
     /// lock is released before this returns — scoring the batch never
     /// blocks producers.
@@ -205,12 +207,18 @@ impl WorkQueue {
             }
             st = self.wake.wait(st).unwrap_or_else(|p| p.into_inner());
         }
-        let now = Instant::now();
-        let mut wait_until = now.checked_add(max_wait).unwrap_or(now);
-        if let Some(d) = st.queue.iter().filter_map(|p| p.deadline).min() {
-            wait_until = wait_until.min(d);
-        }
+        let start = Instant::now();
+        let straggler_until = start.checked_add(max_wait).unwrap_or(start);
         while st.queue.len() < max_batch && !st.shutdown {
+            // Re-derive the wait bound every iteration: a request that
+            // arrives *during* the straggler wait may carry an earlier
+            // deadline than anything queued at assembly start, and the
+            // wait must shorten to it or the worker idles while the
+            // newcomer expires. Cheap — the queue lock is already held.
+            let mut wait_until = straggler_until;
+            if let Some(d) = st.queue.iter().filter_map(|p| p.deadline).min() {
+                wait_until = wait_until.min(d);
+            }
             let now = Instant::now();
             if now >= wait_until {
                 break;
@@ -338,11 +346,14 @@ pub(crate) fn run_batch<S: BatchScorer>(
     let now = Instant::now();
     let expiry_now = ctx.chaos.deadline_now(now);
     if let Some(tracker) = &ctx.delays {
-        tracker.record_batch(batch.iter().map(|p| {
-            now.saturating_duration_since(p.enqueued)
-                .as_micros()
-                .min(u64::MAX as u128) as u64
-        }));
+        tracker.record_batch(
+            now,
+            batch.iter().map(|p| {
+                now.saturating_duration_since(p.enqueued)
+                    .as_micros()
+                    .min(u64::MAX as u128) as u64
+            }),
+        );
     }
 
     let mut pairs = Vec::new();

@@ -94,14 +94,17 @@ pub enum ServeError {
     /// The request was shed without being enqueued: either the queue hit
     /// `capacity`, or the SLO admission controller decided the queue's
     /// recent p99 delay already exceeds the configured SLO (early shed).
-    /// `retry_after_hint_us` is the controller's estimate of the current
-    /// queue delay (0 = no estimate) — a reasonable client back-off.
+    /// `retry_after_hint_us` is the controller's estimate of how far the
+    /// queue is past its SLO — the p99 queue delay's overshoot beyond
+    /// the SLO, floored at 1 µs, for SLO sheds; 0 (no estimate) for
+    /// at-cap sheds — a reasonable client back-off.
     Overloaded {
         /// Configured queue capacity (the bound that applies whether the
         /// shed was at-cap or SLO-early).
         capacity: usize,
-        /// Suggested back-off before retrying, in microseconds
-        /// (the recent p99 queue delay; 0 when no estimate exists).
+        /// Suggested back-off before retrying, in microseconds: the
+        /// recent p99 queue delay minus the SLO (min 1) on an SLO shed,
+        /// 0 when no estimate exists (at-cap shed).
         retry_after_hint_us: u64,
     },
     /// The request's deadline expired before a worker could score it;

@@ -408,12 +408,16 @@ impl WorkerPool {
         budget: Option<Duration>,
     ) -> Result<ScoreHandle, ServeError> {
         let q = self.partition_of(user);
+        // One admission timestamp serves both the SLO check (where it
+        // also retires a stale tracker window — the liveness path while
+        // everything is being shed) and the enqueue stamp.
+        let enqueued = Instant::now();
         // SLO-aware early shed: if the target queue's recent p99 delay
         // already blows the SLO, admitting one more request only makes
         // it later — reject now with a back-off hint instead of scoring
         // it after its usefulness expired. Checked before the hard cap.
         if let Some(slo) = self.slo_us {
-            if let Some(p99) = self.delays[q].p99_us() {
+            if let Some(p99) = self.delays[q].p99_us(enqueued) {
                 if p99 > slo {
                     self.shed(q, true);
                     return Err(ServeError::Overloaded {
@@ -424,7 +428,6 @@ impl WorkerPool {
             }
         }
         let (reply, rx) = mpsc::channel();
-        let enqueued = Instant::now();
         let pending = Pending {
             req,
             enqueued,

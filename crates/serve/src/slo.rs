@@ -9,11 +9,17 @@
 //! would sit past its SLO in the queue is cheaper to reject now, with a
 //! back-off hint, than to score late.
 //!
-//! The window rotates every [`WINDOW_BATCHES`] drained batches so a
-//! transient overload stops shedding once the backlog clears; a minimum
-//! sample count keeps a cold tracker from shedding on noise.
+//! The window rotates every [`WINDOW_BATCHES`] drained batches **or**
+//! once it is older than [`WINDOW_MAX_AGE`], whichever comes first, so a
+//! transient overload stops shedding once the backlog clears. The age
+//! bound matters for liveness: while the controller sheds everything,
+//! nothing is admitted, so nothing drains and the batch counter never
+//! advances — without a wall-clock rotation the stale high p99 would
+//! pin the pool in the shed state forever. A minimum sample count keeps
+//! a cold (or freshly rotated) tracker from shedding on noise.
 
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use mgbr_obs::GeoHistogram;
 
@@ -27,48 +33,93 @@ const WINDOW_BATCHES: u64 = 64;
 /// allowed to shed — a cold or freshly rotated tracker admits everything.
 const MIN_SAMPLES: u64 = 32;
 
+/// Upper bound on a window's wall-clock age. A window that has seen no
+/// rotation for this long is stale — most importantly the full-shed
+/// state, where zero admissions mean zero drained batches — and is
+/// cleared so admission resumes and the tracker can re-observe real
+/// queue delay. Bounds the worst-case shed-everything episode after a
+/// transient overload to roughly this duration.
+const WINDOW_MAX_AGE: Duration = Duration::from_millis(250);
+
 struct DelayWindow {
     hist: GeoHistogram,
     batches: u64,
+    /// When this window started (last rotation), against the same
+    /// monotonic clock the callers pass in.
+    started: Instant,
+}
+
+impl DelayWindow {
+    fn rotate(&mut self, now: Instant) {
+        self.hist.clear();
+        self.batches = 0;
+        self.started = now;
+    }
+
+    fn rotate_if_stale(&mut self, now: Instant, max_age: Duration) {
+        if now.saturating_duration_since(self.started) >= max_age {
+            self.rotate(now);
+        }
+    }
 }
 
 /// Windowed queue-delay percentile tracker feeding SLO-aware early
 /// shedding. One per queue (pool-wide under shared admission, per
 /// partition under hash partitioning, matching the shed-count indexing).
+///
+/// Callers pass in `now` (the admission / batch timestamp they already
+/// took) so the tracker itself never reads the clock — the batch hot
+/// loop keeps its one-timestamp-per-batch discipline.
 pub(crate) struct DelayTracker {
     inner: Mutex<DelayWindow>,
+    max_age: Duration,
 }
 
 impl DelayTracker {
     pub(crate) fn new() -> Self {
+        Self::with_max_age(WINDOW_MAX_AGE)
+    }
+
+    /// Tracker with a custom staleness bound (tests shrink it so stale
+    /// rotation is observable without sleeping for the production bound).
+    pub(crate) fn with_max_age(max_age: Duration) -> Self {
         Self {
             inner: Mutex::new(DelayWindow {
                 hist: GeoHistogram::new(),
                 batches: 0,
+                started: Instant::now(),
             }),
+            max_age,
         }
     }
 
     /// Worker-side: folds one drained batch's queue delays (µs) into the
     /// current window, rotating (clearing) the window every
-    /// [`WINDOW_BATCHES`] batches.
-    pub(crate) fn record_batch<I: IntoIterator<Item = u64>>(&self, delays_us: I) {
+    /// [`WINDOW_BATCHES`] batches. A window stale past the age bound is
+    /// rotated *first* so ancient samples never mix with fresh ones.
+    /// `now` is the batch timestamp the worker already took.
+    pub(crate) fn record_batch<I: IntoIterator<Item = u64>>(&self, now: Instant, delays_us: I) {
         let mut w = lock(&self.inner);
+        w.rotate_if_stale(now, self.max_age);
         for d in delays_us {
             w.hist.record(d);
         }
         w.batches += 1;
         if w.batches >= WINDOW_BATCHES {
-            w.hist.clear();
-            w.batches = 0;
+            w.rotate(now);
         }
     }
 
     /// Admission-side: the current window's p99 queue delay in µs, or
     /// `None` while the window holds fewer than [`MIN_SAMPLES`] samples
-    /// (never shed on a cold tracker).
-    pub(crate) fn p99_us(&self) -> Option<u64> {
-        let w = lock(&self.inner);
+    /// (never shed on a cold tracker). A window stale past the age bound
+    /// is rotated to cold here — this is the liveness path: while the
+    /// controller sheds 100%, no batches drain, so *this* call is the
+    /// only place the stale window can be retired. `now` is the
+    /// admission timestamp the pool already took.
+    pub(crate) fn p99_us(&self, now: Instant) -> Option<u64> {
+        let mut w = lock(&self.inner);
+        w.rotate_if_stale(now, self.max_age);
         if w.hist.count() >= MIN_SAMPLES {
             Some(w.hist.percentile(0.99))
         } else {
@@ -84,28 +135,74 @@ mod tests {
     #[test]
     fn cold_tracker_never_sheds() {
         let t = DelayTracker::new();
-        assert_eq!(t.p99_us(), None);
-        t.record_batch((0..MIN_SAMPLES - 1).map(|_| 1_000_000));
-        assert_eq!(t.p99_us(), None, "below the sample floor");
-        t.record_batch([1_000_000]);
-        assert!(t.p99_us().unwrap() >= 1_000_000);
+        let now = Instant::now();
+        assert_eq!(t.p99_us(now), None);
+        t.record_batch(now, (0..MIN_SAMPLES - 1).map(|_| 1_000_000));
+        assert_eq!(t.p99_us(now), None, "below the sample floor");
+        t.record_batch(now, [1_000_000]);
+        assert!(t.p99_us(now).unwrap() >= 1_000_000);
     }
 
     #[test]
     fn window_rotation_forgets_old_overload() {
         let t = DelayTracker::new();
-        t.record_batch((0..MIN_SAMPLES).map(|_| 50_000));
-        assert!(t.p99_us().is_some());
+        let now = Instant::now();
+        t.record_batch(now, (0..MIN_SAMPLES).map(|_| 50_000));
+        assert!(t.p99_us(now).is_some());
         // Drain enough healthy batches to rotate the window: the old
         // spike must be forgotten and the tracker goes cold again.
         for _ in 0..WINDOW_BATCHES {
-            t.record_batch([10]);
+            t.record_batch(now, [10]);
         }
         // After rotation the window restarted; with fewer than
         // MIN_SAMPLES fresh samples the tracker abstains.
         for _ in 0..WINDOW_BATCHES {
-            t.record_batch(std::iter::empty());
+            t.record_batch(now, std::iter::empty());
         }
-        assert_eq!(t.p99_us(), None, "rotation cleared the window");
+        assert_eq!(t.p99_us(now), None, "rotation cleared the window");
+    }
+
+    /// Liveness regression: in the full-shed state no batches drain, so
+    /// batch-count rotation never fires. The wall-clock bound must retire
+    /// the stale window from the *admission* path alone, with zero
+    /// intervening `record_batch` calls, or a transient overload becomes
+    /// a permanent outage.
+    #[test]
+    fn stale_window_goes_cold_without_drained_batches() {
+        let max_age = Duration::from_millis(10);
+        let t = DelayTracker::with_max_age(max_age);
+        let t0 = Instant::now();
+        t.record_batch(t0, (0..MIN_SAMPLES).map(|_| 1_000_000));
+        assert!(
+            t.p99_us(t0).is_some(),
+            "fresh overloaded window sheds as before"
+        );
+        // No drains happen (everything is being shed). Once the window
+        // ages past the bound, admission-side reads must rotate it cold.
+        let later = t0 + max_age;
+        assert_eq!(
+            t.p99_us(later),
+            None,
+            "stale window must rotate cold from p99_us alone"
+        );
+        // And it stays cold on re-read (rotation reset the clock too).
+        assert_eq!(t.p99_us(later), None);
+    }
+
+    /// A worker draining into a stale window rotates it first, so
+    /// ancient overload samples never mix with the fresh batch.
+    #[test]
+    fn record_into_stale_window_drops_ancient_samples() {
+        let max_age = Duration::from_millis(10);
+        let t = DelayTracker::with_max_age(max_age);
+        let t0 = Instant::now();
+        t.record_batch(t0, (0..MIN_SAMPLES).map(|_| 1_000_000));
+        let later = t0 + max_age;
+        t.record_batch(later, (0..4u64).map(|_| 10));
+        assert_eq!(
+            t.p99_us(later),
+            None,
+            "only the 4 fresh samples remain — below the shed floor"
+        );
     }
 }

@@ -16,7 +16,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mgbr_core::{FrozenModel, Mgbr, MgbrConfig};
 use mgbr_data::{synthetic, SyntheticConfig};
@@ -160,6 +160,76 @@ fn slo_shed_fires_before_cap_with_retry_hint() {
     let m = pool.metrics();
     assert_eq!(m.shed_slo, slo_shed, "every early shed attributed to SLO");
     assert_eq!(m.shed, slo_shed, "no double count: shed == shed_slo here");
+}
+
+/// Liveness regression for the SLO controller: once the tracked p99
+/// exceeds the SLO, admission sheds 100%, so no batches drain and the
+/// tracker's batch-count rotation can never fire — only its wall-clock
+/// window bound can retire the stale p99. After the stall is lifted and
+/// the backlog drains, the pool must resume admitting and scoring; a
+/// transient overload must never become a permanent outage.
+#[test]
+fn slo_shed_recovers_after_backlog_clears() {
+    let model = frozen(1);
+    let chaos = ChaosInjector::new();
+    let pool = WorkerPool::new_chaotic(
+        Arc::clone(&model),
+        PoolConfig {
+            workers: 1,
+            admission: Admission::Shared,
+            batcher: BatcherConfig {
+                max_batch: 16,
+                max_wait: Duration::from_micros(100),
+                queue_cap: 4096,
+                default_deadline: None,
+            },
+            slo_us: Some(1_000), // 1 ms queue-delay SLO
+        },
+        Arc::clone(&chaos),
+    );
+    // Overload: a 2 ms stall per batch drives the tracked p99 far past
+    // the 1 ms SLO (and past the tracker's cold-start sample floor).
+    chaos.stall(Duration::from_millis(2));
+    let warm: Vec<_> = (0..64usize)
+        .map(|j| pool.submit_item(j % 8, j % 4).expect("below cap"))
+        .collect();
+    for h in warm {
+        h.wait().expect("warm phase scores everything");
+    }
+    // The controller is now shedding (queue drained, cap untouched —
+    // any Overloaded here is the SLO path).
+    assert!(
+        matches!(pool.submit_item(0, 0), Err(ServeError::Overloaded { .. })),
+        "overloaded window must shed"
+    );
+    // Lift the stall; the backlog is already drained. From here the
+    // pool admits nothing, so recovery can only come from the tracker's
+    // wall-clock window rotation (~250 ms production bound).
+    chaos.clear();
+    let recovery_deadline = Instant::now() + Duration::from_secs(5);
+    let recovered = loop {
+        match pool.submit_item(0, 0) {
+            Ok(h) => {
+                h.wait().expect("recovered pool scores normally");
+                break true;
+            }
+            Err(ServeError::Overloaded { .. }) => {
+                if Instant::now() >= recovery_deadline {
+                    break false;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => panic!("unexpected admission error during recovery: {e}"),
+        }
+    };
+    assert!(
+        recovered,
+        "SLO shed state persisted with an empty queue: the stale delay \
+         window was never retired, a transient overload became a \
+         permanent outage"
+    );
+    let m = pool.metrics();
+    assert!(m.shed_slo >= 1, "the overload phase shed at least once");
 }
 
 /// An injected worker death mid-batch must be contained: every request
