@@ -68,6 +68,13 @@ echo "=== plan round-trip / v1-compatibility suite ==="
 # a dropped [[test]] entry fails CI.
 cargo test -q -p mgbr-bench --test plan_roundtrip
 
+echo "=== online-loop unit + property suites ==="
+# Temporal-split determinism, fold-in bitwise neutrality, interrupted
+# fine-tune resume, whole-loop determinism at threads 1/2/4; run
+# explicitly so a dropped [[test]] entry fails CI.
+cargo test -q -p mgbr-online
+cargo test -q -p mgbr-bench --test online_loop
+
 echo "=== frozen scorer runs the shared plan, not a hand replay ==="
 # The whole point of the execution-plan IR is one forward shared by the
 # trainer and the frozen scorer. A hand-replayed forward regrowing in
@@ -86,6 +93,17 @@ rm -f results/BENCH_serve.json
 MGBR_SCALE=small MGBR_SERVE_REQUESTS=1000 ./target/release/bench_serve
 if ! [ -s results/BENCH_serve.json ]; then
   echo "ci.sh: FAILED — bench_serve did not produce results/BENCH_serve.json" >&2
+  exit 1
+fi
+
+echo "=== online-loop smoke: prequential bench, updated must beat static ==="
+# bench_online replays the temporal tail prequentially and exits
+# non-zero when the updated arm fails to beat the static baseline on
+# tail recall@10; the JSON artifact must be non-empty.
+rm -f results/BENCH_online.json
+MGBR_SCALE=small ./target/release/bench_online
+if ! [ -s results/BENCH_online.json ]; then
+  echo "ci.sh: FAILED — bench_online did not produce results/BENCH_online.json" >&2
   exit 1
 fi
 
@@ -133,6 +151,17 @@ for f in crates/serve/src/*.rs; do
   case "$f" in crates/serve/src/chaos.rs) continue ;; esac
   if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -nE 'panic!|\.unwrap\(\)|\.expect\('; then
     echo "ci.sh: FAILED — $f non-test code must use ServeError, not panics" >&2
+    exit 1
+  fi
+done
+
+echo "=== mgbr-online is panic-free outside tests ==="
+# The online loop runs unattended against live traffic; failures must
+# surface as OnlineError (rollback, typed config errors), never as a
+# panic killing the learning loop mid-stream.
+for f in crates/online/src/*.rs; do
+  if sed -n '1,/#\[cfg(test)\]/p' "$f" | grep -nE 'panic!|\.unwrap\(\)|\.expect\('; then
+    echo "ci.sh: FAILED — $f non-test code must use OnlineError, not panics" >&2
     exit 1
   fi
 done

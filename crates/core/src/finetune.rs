@@ -1,0 +1,276 @@
+//! Incremental fine-tuning: short training rounds on fresh deal groups.
+//!
+//! The online loop's model-update half. A fine-tune round is one epoch
+//! of the ordinary joint objective (Eq. 25) restricted to a mini-batch
+//! of *fresh* groups — the deal groups that arrived after the temporal
+//! boundary — with the cumulative dataset as the negativity reference.
+//! Everything rides on [`crate::train`], so a fine-tune run inherits
+//! the full training contract for free:
+//!
+//! * **deterministic** — bitwise-identical losses and parameters at any
+//!   thread count;
+//! * **resumable** — with [`FineTuneConfig::checkpoint_path`] set, an
+//!   interrupted run restarts from its v2 checkpoint and reaches
+//!   bitwise-identical parameters (pinned by `tests/online_loop.rs`);
+//! * **recoverable** — the watchdog screens every step, and an anomaly
+//!   rolls back to the last round boundary (`MemorySnapshot`) with LR
+//!   backoff before failing closed with [`TrainError::Diverged`].
+//!
+//! [`warm_start`] seeds the trainer from the *offline* run's checkpoint
+//! (parameters only — the offline `TrainConfig` fingerprint does not
+//! gate it, since a fine-tune config is legitimately different).
+//!
+//! The trainer's graphs and id spaces are fixed at construction, so
+//! fresh groups must stay inside the base model's id space; groups that
+//! reference cold entities are served through the frozen artifact's
+//! fold-in path instead ([`crate::FrozenModel::fold_in_user`]) until a
+//! full retrain absorbs them.
+
+use std::path::PathBuf;
+
+use mgbr_data::{DataSplit, Dataset, DealGroup};
+use mgbr_nn::checkpoint::load_checkpoint_from_file;
+
+use crate::watchdog::{TrainError, WatchdogConfig};
+use crate::{train, Mgbr, TrainConfig, TrainReport};
+
+/// Configuration of one incremental fine-tune run.
+///
+/// The fields that feed the checkpoint fingerprint (`lr`, `batch_size`,
+/// `n_neg`, `grad_clip`, `seed`) must stay fixed across interrupted
+/// segments of the same run — exactly the [`TrainConfig`] contract.
+/// `rounds` (like `epochs`) is excluded, so a resumed run may extend
+/// the budget.
+#[derive(Debug, Clone)]
+pub struct FineTuneConfig {
+    /// Fine-tune rounds (epochs over the fresh-group mini-batch).
+    pub rounds: usize,
+    /// Learning rate — typically well below the offline rate, since the
+    /// starting point is already converged.
+    pub lr: f32,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Negatives per positive.
+    pub n_neg: usize,
+    /// Global gradient-norm clip.
+    pub grad_clip: Option<f32>,
+    /// Sampling/shuffle seed. Drivers should derive a fresh seed per
+    /// update cycle (e.g. `base ^ cycle`) so negatives vary.
+    pub seed: u64,
+    /// Kernel threads (0 = auto; `MGBR_THREADS` still overrides).
+    pub threads: usize,
+    /// Checkpoint cadence in rounds (0 = no checkpointing).
+    pub checkpoint_every: usize,
+    /// Checkpoint file for this fine-tune run.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Resume from `checkpoint_path` when it exists.
+    pub resume: bool,
+    /// Anomaly monitoring (rollback + LR backoff on spikes).
+    pub watchdog: WatchdogConfig,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        Self {
+            rounds: 2,
+            lr: 1e-3,
+            batch_size: 64,
+            n_neg: 4,
+            grad_clip: Some(5.0),
+            seed: 0x0417e,
+            threads: 0,
+            checkpoint_every: 0,
+            checkpoint_path: None,
+            resume: false,
+            watchdog: WatchdogConfig::default(),
+        }
+    }
+}
+
+impl FineTuneConfig {
+    /// Lowers to the [`TrainConfig`] the round loop runs under.
+    /// Per-round resampling is always on: each round re-draws negatives
+    /// (seed offset by round index), which matters when the fresh set
+    /// is small.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            lr: self.lr,
+            batch_size: self.batch_size,
+            epochs: self.rounds,
+            n_neg: self.n_neg,
+            grad_clip: self.grad_clip,
+            seed: self.seed,
+            resample_per_epoch: true,
+            adam_warm_restarts: false,
+            threads: self.threads,
+            checkpoint_every: self.checkpoint_every,
+            checkpoint_path: self.checkpoint_path.clone(),
+            resume: self.resume,
+            watchdog: self.watchdog.clone(),
+            numeric_fault: None,
+            trace_path: None,
+        }
+    }
+}
+
+/// Loads **parameters** from a v2 checkpoint into the model — the warm
+/// start for incremental fine-tuning from an offline training run. The
+/// checkpoint's training state (optimizer moments, RNG, epoch counters)
+/// is deliberately ignored: a fine-tune run is a new optimization under
+/// its own config, not a continuation of the offline one.
+///
+/// # Errors
+///
+/// [`TrainError::Checkpoint`] when the file is missing, corrupt, or
+/// shaped for a different model (transactional: the model is never
+/// partially mutated).
+pub fn warm_start(model: &mut Mgbr, path: impl AsRef<std::path::Path>) -> Result<(), TrainError> {
+    let _loaded = load_checkpoint_from_file(&mut model.store, path.as_ref())?;
+    Ok(())
+}
+
+/// Runs `cfg.rounds` fine-tune rounds on `fresh` deal groups.
+///
+/// `full` is the cumulative dataset (base + stream so far) used only as
+/// the negativity reference; its id spaces must match the model's.
+///
+/// # Errors
+///
+/// [`TrainError::ConfigMismatch`] when `fresh` is empty, references
+/// entities outside the model's id space, or `full`'s id spaces
+/// disagree with the model; otherwise as [`train`].
+pub fn fine_tune(
+    model: &mut Mgbr,
+    full: &Dataset,
+    fresh: &[DealGroup],
+    cfg: &FineTuneConfig,
+) -> Result<TrainReport, TrainError> {
+    if fresh.is_empty() {
+        return Err(TrainError::ConfigMismatch(
+            "fine-tune requires at least one fresh group".into(),
+        ));
+    }
+    if full.n_users != model.n_users() || full.n_items != model.n_items() {
+        return Err(TrainError::ConfigMismatch(format!(
+            "negativity reference is {}x{} (users x items) but the model was built for {}x{} — \
+             fine-tuning cannot grow the trainer's id space (fold cold entities into the frozen \
+             artifact instead)",
+            full.n_users,
+            full.n_items,
+            model.n_users(),
+            model.n_items()
+        )));
+    }
+    for (i, g) in fresh.iter().enumerate() {
+        let in_space = (g.initiator as usize) < model.n_users()
+            && (g.item as usize) < model.n_items()
+            && g.participants
+                .iter()
+                .all(|&p| (p as usize) < model.n_users());
+        if !in_space {
+            return Err(TrainError::ConfigMismatch(format!(
+                "fresh group {i} references entities outside the model's id space \
+                 ({}x{}) — fold them into the frozen artifact instead",
+                model.n_users(),
+                model.n_items()
+            )));
+        }
+    }
+    let split = DataSplit {
+        n_users: full.n_users,
+        n_items: full.n_items,
+        train: fresh.to_vec(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
+    train(model, full, &split, &cfg.train_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MgbrConfig, TrainError};
+    use mgbr_data::{synthetic, temporal_split, SyntheticConfig};
+
+    fn fixture() -> (Dataset, Vec<DealGroup>, Mgbr) {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        // Keep everything in one id space: split temporally but train
+        // the base model on the full id space so all tail groups are
+        // fine-tunable.
+        let split = temporal_split(&ds, 0.7);
+        let base = Dataset::new(ds.n_users, ds.n_items, split.train.clone());
+        let model = Mgbr::new(MgbrConfig::tiny(), &base);
+        (ds, split.tail, model)
+    }
+
+    #[test]
+    fn fine_tune_improves_loss_and_is_deterministic() {
+        let (ds, tail, mut model) = fixture();
+        let cfg = FineTuneConfig {
+            rounds: 3,
+            ..FineTuneConfig::default()
+        };
+        let (_, _, mut twin) = fixture(); // identical seed/config/graphs
+        let report = fine_tune(&mut model, &ds, &tail, &cfg).unwrap();
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(
+            report.epoch_losses.last().unwrap() < report.epoch_losses.first().unwrap(),
+            "fine-tune loss should fall: {:?}",
+            report.epoch_losses
+        );
+        let r2 = fine_tune(&mut twin, &ds, &tail, &cfg).unwrap();
+        assert_eq!(report.epoch_losses, r2.epoch_losses);
+    }
+
+    #[test]
+    fn empty_fresh_set_is_rejected() {
+        let (ds, _tail, mut model) = fixture();
+        let err = fine_tune(&mut model, &ds, &[], &FineTuneConfig::default()).unwrap_err();
+        assert!(matches!(err, TrainError::ConfigMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_space_groups_are_rejected() {
+        let (ds, _tail, mut model) = fixture();
+        let alien = vec![DealGroup::new(0, model.n_items() as u32, vec![1])];
+        let wide = Dataset::new(ds.n_users, ds.n_items + 1, alien.clone());
+        let err = fine_tune(&mut model, &wide, &alien, &FineTuneConfig::default()).unwrap_err();
+        assert!(err.to_string().contains("id space"), "{err}");
+        // Even with matching reference dims, an out-of-space group fails.
+        let err2 = fine_tune(&mut model, &ds, &alien, &FineTuneConfig::default()).unwrap_err();
+        assert!(matches!(err2, TrainError::ConfigMismatch(_)), "{err2}");
+    }
+
+    #[test]
+    fn warm_start_restores_checkpoint_parameters() {
+        let (ds, tail, mut model) = fixture();
+        let dir = std::env::temp_dir().join(format!("mgbr_warm_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("offline.ckpt");
+        let cfg = FineTuneConfig {
+            rounds: 1,
+            checkpoint_every: 1,
+            checkpoint_path: Some(ckpt.clone()),
+            ..FineTuneConfig::default()
+        };
+        fine_tune(&mut model, &ds, &tail, &cfg).unwrap();
+        let tuned: Vec<f32> = model
+            .store
+            .iter()
+            .flat_map(|(_, _, t)| t.as_slice().to_vec())
+            .collect();
+        let mut fresh = Mgbr::new(MgbrConfig::tiny(), &ds);
+        warm_start(&mut fresh, &ckpt).unwrap();
+        let restored: Vec<f32> = fresh
+            .store
+            .iter()
+            .flat_map(|(_, _, t)| t.as_slice().to_vec())
+            .collect();
+        assert_eq!(
+            tuned, restored,
+            "warm start must restore parameters bitwise"
+        );
+        assert!(warm_start(&mut fresh, dir.join("missing.ckpt")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -157,6 +157,58 @@ fn gather(ws: &Workspace, src: &Tensor, idx: &[usize]) -> Tensor {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Fold-in helpers (single-threaded scalar math — trivially bitwise
+// deterministic at any thread count)
+// ---------------------------------------------------------------------------
+
+/// Deduplicates and ascending-sorts a fold-in anchor set, rejecting ids
+/// outside the current row space.
+fn normalize_neighbors(
+    neighbors: &[usize],
+    bound: usize,
+    role: &str,
+) -> Result<Vec<usize>, CheckpointError> {
+    for &n in neighbors {
+        if n >= bound {
+            return Err(CheckpointError::Mismatch(format!(
+                "fold-in anchor {role} {n} outside the current id space of {bound}"
+            )));
+        }
+    }
+    let mut sorted = neighbors.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    Ok(sorted)
+}
+
+/// The closed-form solve `argmin_x Σ_{j∈anchors} ‖x − rows_j‖²`: the
+/// mean of the anchor rows, accumulated in ascending-id order (f64
+/// accumulator). Empty anchor set → global prior (mean over all rows).
+fn solve_row(table: &Tensor, anchors: &[usize]) -> Vec<f32> {
+    if anchors.is_empty() {
+        return table.mean_rows().as_slice().to_vec();
+    }
+    let mut acc = vec![0.0f64; table.cols()];
+    for &j in anchors {
+        for (a, &x) in acc.iter_mut().zip(table.row(j)) {
+            *a += f64::from(x);
+        }
+    }
+    let inv = 1.0 / anchors.len() as f64;
+    acc.into_iter().map(|a| (a * inv) as f32).collect()
+}
+
+/// Returns a copy of `table` with one extra row appended. Existing rows
+/// are copied byte-for-byte — gathers over old ids read identical bits.
+fn append_row(table: &Tensor, row: &[f32]) -> Tensor {
+    let rows = table.rows();
+    let mut out = Tensor::zeros(rows + 1, table.cols());
+    out.as_mut_slice()[..rows * table.cols()].copy_from_slice(table.as_slice());
+    out.row_mut(rows).copy_from_slice(row);
+    out
+}
+
 impl FrozenModel {
     /// Assembles and validates a frozen model, deriving the per-head
     /// serving plans (affine-fused by default).
@@ -358,6 +410,68 @@ impl FrozenModel {
         let e_i = gather(ws, &self.items, &items);
         let e_p = gather(ws, &self.participants, &parts);
         self.run_head(ws, &self.plan_b, e_u, e_i, e_p)
+    }
+
+    // -----------------------------------------------------------------
+    // Cold-start fold-in: id-space growth with frozen parameters
+    // -----------------------------------------------------------------
+
+    /// Folds a cold user into the artifact and returns its new id
+    /// (`= n_users` before the call; the id spaces grow densely).
+    ///
+    /// The fold-in is a fixed-graph embedding solve: every model
+    /// parameter and every existing row is frozen, and the new row `x`
+    /// minimizes the Laplacian-smoothing objective over the entity's
+    /// observed edges, `min_x Σ_{j∈N} ‖x − E_j‖²`, whose unique
+    /// minimizer is the arithmetic mean of the anchor rows `E_j`
+    /// (`N` = same-role neighbors observed co-grouping with the cold
+    /// user). With no observed edges yet, the solve degenerates to the
+    /// global prior — the mean over all existing rows.
+    ///
+    /// Users live in two role tensors (initiator and participant); both
+    /// get a row, each solved against the same neighbor set in its own
+    /// role space. The stored `mean_participant` row is **not**
+    /// recomputed: it is part of the frozen Task-A forward, and leaving
+    /// its bytes untouched is what keeps every pre-existing entity's
+    /// scores bitwise unchanged (pinned by `tests/online_loop.rs`).
+    ///
+    /// Deterministic: neighbors are deduplicated and accumulated in
+    /// ascending-id order, single-threaded — identical bits at any
+    /// `MGBR_THREADS` setting.
+    pub fn fold_in_user(&mut self, neighbors: &[usize]) -> Result<usize, CheckpointError> {
+        let anchors = normalize_neighbors(neighbors, self.n_users, "user")?;
+        let user_row = solve_row(&self.users, &anchors);
+        let part_row = solve_row(&self.participants, &anchors);
+        self.users = append_row(&self.users, &user_row);
+        self.participants = append_row(&self.participants, &part_row);
+        self.n_users += 1;
+        Ok(self.n_users - 1)
+    }
+
+    /// Folds a cold item into the artifact and returns its new id
+    /// (`= n_items` before the call). Same solve as
+    /// [`Self::fold_in_user`] with item-space anchors (items
+    /// co-interacted by the cold item's observed buyers).
+    pub fn fold_in_item(&mut self, neighbors: &[usize]) -> Result<usize, CheckpointError> {
+        let anchors = normalize_neighbors(neighbors, self.n_items, "item")?;
+        let item_row = solve_row(&self.items, &anchors);
+        self.items = append_row(&self.items, &item_row);
+        self.n_items += 1;
+        Ok(self.n_items - 1)
+    }
+
+    /// Batch fold-in: applies [`Self::fold_in_user`] sequentially, so a
+    /// later request may anchor on an id folded in earlier in the same
+    /// batch. Fails atomically per request: on error, requests before
+    /// the offender are already applied (ids in the returned error are
+    /// unchanged by the failed request).
+    pub fn fold_in_users(&mut self, batch: &[Vec<usize>]) -> Result<Vec<usize>, CheckpointError> {
+        batch.iter().map(|n| self.fold_in_user(n)).collect()
+    }
+
+    /// Batch fold-in for items; see [`Self::fold_in_users`].
+    pub fn fold_in_items(&mut self, batch: &[Vec<usize>]) -> Result<Vec<usize>, CheckpointError> {
+        batch.iter().map(|n| self.fold_in_item(n)).collect()
     }
 
     /// Executes a serving plan on the pooled tensor backend and returns
@@ -1034,6 +1148,113 @@ mod tests {
             FrozenModel::load(bad.as_slice()),
             Err(CheckpointError::Format(_))
         ));
+    }
+
+    #[test]
+    fn fold_in_grows_id_spaces_and_leaves_existing_scores_bitwise() {
+        let m = model(MgbrVariant::Full);
+        let base = m.freeze();
+        let mut grown = base.clone();
+        let (nu, ni) = (base.n_users(), base.n_items());
+        let new_user = grown.fold_in_user(&[0, 3, 7]).unwrap();
+        let new_item = grown.fold_in_item(&[1, 4]).unwrap();
+        assert_eq!(new_user, nu);
+        assert_eq!(new_item, ni);
+        assert_eq!(grown.n_users(), nu + 1);
+        assert_eq!(grown.n_items(), ni + 1);
+        grown.validate().expect("grown artifact stays consistent");
+
+        // Every pre-existing score is bitwise untouched.
+        let ws = Workspace::new();
+        let idx: Vec<usize> = (0..ni.min(10)).collect();
+        for user in [0usize, 3, nu - 1] {
+            assert_eq!(
+                bits(&grown.logits_a(&ws, user, &idx)),
+                bits(&base.logits_a(&ws, user, &idx)),
+                "task A user {user}"
+            );
+        }
+        assert_eq!(
+            bits(&grown.logits_b(&ws, 2, 4, &idx[1..])),
+            bits(&base.logits_b(&ws, 2, 4, &idx[1..]))
+        );
+
+        // The folded-in entities are servable.
+        assert_eq!(grown.logits_a(&ws, new_user, &idx).len(), idx.len());
+        assert_eq!(grown.logits_a(&ws, 0, &[new_item]).len(), 1);
+        assert_eq!(grown.logits_b(&ws, 0, 0, &[new_user]).len(), 1);
+    }
+
+    #[test]
+    fn fold_in_solve_is_the_anchor_mean_and_deterministic() {
+        let m = model(MgbrVariant::Full);
+        let mut a = m.freeze();
+        let mut b = a.clone();
+        // Anchor order and duplicates must not matter.
+        let ua = a.fold_in_user(&[7, 0, 3, 3]).unwrap();
+        let ub = b.fold_in_user(&[0, 3, 7]).unwrap();
+        assert_eq!(ua, ub);
+        assert_eq!(
+            a.user_embeddings().row(ua),
+            b.user_embeddings().row(ub),
+            "solve must be order/duplicate invariant"
+        );
+        // And it is the arithmetic mean of the anchor rows.
+        let anchors = [0usize, 3, 7];
+        let expect: Vec<f32> = (0..a.user_embeddings().cols())
+            .map(|c| {
+                let s: f64 = anchors
+                    .iter()
+                    .map(|&j| f64::from(m.freeze().user_embeddings().row(j)[c]))
+                    .sum();
+                (s / anchors.len() as f64) as f32
+            })
+            .collect();
+        assert_eq!(a.user_embeddings().row(ua), expect.as_slice());
+    }
+
+    #[test]
+    fn fold_in_with_no_edges_uses_the_global_prior() {
+        let m = model(MgbrVariant::Full);
+        let mut frozen = m.freeze();
+        let prior = frozen.item_embeddings().mean_rows();
+        let id = frozen.fold_in_item(&[]).unwrap();
+        assert_eq!(frozen.item_embeddings().row(id), prior.as_slice());
+    }
+
+    #[test]
+    fn fold_in_rejects_out_of_space_anchors_and_batches_apply_in_order() {
+        let m = model(MgbrVariant::Full);
+        let mut frozen = m.freeze();
+        let nu = frozen.n_users();
+        assert!(frozen.fold_in_user(&[nu]).is_err());
+        assert_eq!(frozen.n_users(), nu, "failed fold-in must not grow");
+        // A later batch entry may anchor on an earlier one's new id.
+        let ids = frozen.fold_in_users(&[vec![0, 1], vec![nu]]).unwrap();
+        assert_eq!(ids, vec![nu, nu + 1]);
+        assert_eq!(
+            frozen.user_embeddings().row(nu + 1),
+            frozen.user_embeddings().row(nu),
+            "single-anchor solve copies its anchor"
+        );
+    }
+
+    #[test]
+    fn grown_artifact_roundtrips_through_disk() {
+        let m = model(MgbrVariant::Full);
+        let mut frozen = m.freeze();
+        let u = frozen.fold_in_user(&[0, 2]).unwrap();
+        let _ = frozen.fold_in_item(&[5]).unwrap();
+        let mut buf = Vec::new();
+        frozen.save(&mut buf).unwrap();
+        let loaded = FrozenModel::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded.n_users(), frozen.n_users());
+        assert_eq!(loaded.n_items(), frozen.n_items());
+        let ws = Workspace::new();
+        assert_eq!(
+            bits(&loaded.logits_a(&ws, u, &[0, 1, 2])),
+            bits(&frozen.logits_a(&ws, u, &[0, 1, 2]))
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! panics, so sweeps can record a failed cell and move on.
 
 pub mod config;
+pub mod finetune;
 pub mod freeze;
 pub mod loss;
 pub mod model;
@@ -52,6 +53,7 @@ pub mod trainer;
 pub mod watchdog;
 
 pub use config::{MgbrConfig, MgbrVariant, TrainConfig};
+pub use finetune::{fine_tune, warm_start, FineTuneConfig};
 pub use freeze::FrozenModel;
 pub use model::{Mgbr, MgbrScorer};
 pub use trainer::{train, train_with_validation, TrainReport, ValEntry};

@@ -30,6 +30,7 @@ mod sampling;
 mod schema;
 mod split;
 pub mod synthetic;
+pub mod temporal;
 
 pub use batch::BatchIter;
 pub use io::{
@@ -40,3 +41,4 @@ pub use sampling::{Sampler, TaskAInstance, TaskBInstance};
 pub use schema::{Dataset, DatasetStats, DealGroup};
 pub use split::{split_dataset, DataSplit};
 pub use synthetic::SyntheticConfig;
+pub use temporal::{temporal_split, TemporalSplit, UpdateEvent};

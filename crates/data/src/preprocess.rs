@@ -62,6 +62,7 @@ pub fn filter_min_interactions(ds: &Dataset, min_interactions: usize) -> (Datase
                 .iter()
                 .map(|&p| user_map[p as usize].expect("kept participant is active"))
                 .collect(),
+            timestamp: g.timestamp,
         })
         .collect();
 

@@ -13,17 +13,30 @@ pub struct DealGroup {
     /// The participants `G = {p_1, …, p_|G|}` (never contains the
     /// initiator).
     pub participants: Vec<u32>,
+    /// When the group was formed (abstract ticks; `0` = unknown). The
+    /// temporal split protocol orders groups by this field, ties broken
+    /// by position in [`Dataset::groups`], so datasets without
+    /// timestamps degrade to insertion order instead of breaking.
+    pub timestamp: u64,
 }
 
 impl DealGroup {
     /// Creates a deal group, dropping any accidental self-participation.
+    /// The timestamp defaults to `0` (unknown); see [`Self::at`].
     pub fn new(initiator: u32, item: u32, mut participants: Vec<u32>) -> Self {
         participants.retain(|&p| p != initiator);
         Self {
             initiator,
             item,
             participants,
+            timestamp: 0,
         }
+    }
+
+    /// Returns the group stamped with a formation time.
+    pub fn at(mut self, timestamp: u64) -> Self {
+        self.timestamp = timestamp;
+        self
     }
 
     /// Group size `|G|` (participants only).
@@ -38,6 +51,7 @@ impl ToJson for DealGroup {
             ("initiator", self.initiator.to_json()),
             ("item", self.item.to_json()),
             ("participants", self.participants.to_json()),
+            ("timestamp", self.timestamp.to_json()),
         ])
     }
 }
@@ -48,6 +62,13 @@ impl FromJson for DealGroup {
             initiator: field(json, "initiator")?,
             item: field(json, "item")?,
             participants: field(json, "participants")?,
+            // Absent in pre-temporal files: default to 0 (unknown) so
+            // old datasets keep loading; a *present* but malformed
+            // value still fails closed through `field`.
+            timestamp: match json.get("timestamp") {
+                Some(_) => field(json, "timestamp")?,
+                None => 0,
+            },
         })
     }
 }
@@ -305,5 +326,30 @@ mod tests {
         let back = Dataset::from_json(&Json::parse(&json).unwrap()).unwrap();
         assert_eq!(back.groups, ds.groups);
         assert_eq!(back.n_users, ds.n_users);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_timestamps() {
+        let g = DealGroup::new(0, 1, vec![2]).at(917);
+        let json = g.to_json().to_string_compact();
+        let back = DealGroup::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back.timestamp, 917);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn json_without_timestamp_defaults_to_zero() {
+        // Files written before the temporal protocol have no timestamp.
+        let json = Json::parse(r#"{"initiator":3,"item":1,"participants":[0,2]}"#).unwrap();
+        let g = DealGroup::from_json(&json).unwrap();
+        assert_eq!(g.timestamp, 0);
+        assert_eq!(g.participants, vec![0, 2]);
+    }
+
+    #[test]
+    fn json_with_malformed_timestamp_fails_closed() {
+        let json = Json::parse(r#"{"initiator":3,"item":1,"participants":[],"timestamp":"soon"}"#)
+            .unwrap();
+        assert!(DealGroup::from_json(&json).is_err());
     }
 }

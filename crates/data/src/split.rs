@@ -42,6 +42,11 @@ impl DataSplit {
 /// 7:3:1" (§III-A2); we take that as proportional weights — pass
 /// `(7.0, 3.0, 1.0)` to match.
 ///
+/// This is the *random* protocol: the shuffle is explicit (never an
+/// assumption about input order), and timestamps are ignored — training
+/// groups may postdate test groups. For the online loop use
+/// [`crate::temporal_split`], which never trains on the future.
+///
 /// # Panics
 ///
 /// Panics if any weight is negative or all are zero.

@@ -152,6 +152,15 @@ pub fn generate(cfg: &SyntheticConfig) -> Dataset {
     let mut social = SocialTies::new(cfg.n_users);
     let mut groups = Vec::with_capacity(cfg.n_groups);
 
+    // Formation times advance strictly monotonically with irregular
+    // seeded gaps, drawn from a *forked* stream so the group-content
+    // draws above stay byte-identical to pre-temporal datasets.
+    // Generation order is the natural arrow of time here: social ties
+    // accumulate from earlier groups, so the synthetic world already
+    // evolves in emission order.
+    let mut clock_rng = Pcg32::new(cfg.seed, 0x71c7_0c55);
+    let mut clock = 0u64;
+
     for _ in 0..cfg.n_groups {
         let initiator = rng.weighted_index(&world.user_activity);
         let item = world.choose_item(cfg, initiator, &social, &mut rng);
@@ -160,7 +169,8 @@ pub fn generate(cfg: &SyntheticConfig) -> Dataset {
         for &p in &participants {
             social.tie(initiator as u32, p);
         }
-        groups.push(DealGroup::new(initiator as u32, item as u32, participants));
+        clock += 1 + clock_rng.below(4) as u64;
+        groups.push(DealGroup::new(initiator as u32, item as u32, participants).at(clock));
     }
     Dataset::new(cfg.n_users, cfg.n_items, groups)
 }
@@ -380,6 +390,30 @@ mod tests {
             let set: HashSet<_> = g.participants.iter().collect();
             assert_eq!(set.len(), g.participants.len(), "duplicate participants");
         }
+    }
+
+    #[test]
+    fn timestamps_are_strictly_monotone_and_seeded() {
+        let cfg = SyntheticConfig::tiny();
+        let ds = generate(&cfg);
+        assert!(ds.groups[0].timestamp > 0, "clock starts after t=0");
+        for w in ds.groups.windows(2) {
+            assert!(
+                w[0].timestamp < w[1].timestamp,
+                "timestamps must strictly increase: {} then {}",
+                w[0].timestamp,
+                w[1].timestamp
+            );
+        }
+        // Same seed → same clock; different seed → different gaps.
+        let again = generate(&cfg);
+        let ts = |d: &Dataset| d.groups.iter().map(|g| g.timestamp).collect::<Vec<_>>();
+        assert_eq!(ts(&ds), ts(&again));
+        let other = generate(&SyntheticConfig {
+            seed: 7,
+            ..cfg.clone()
+        });
+        assert_ne!(ts(&ds), ts(&other), "clock gaps must depend on the seed");
     }
 
     #[test]

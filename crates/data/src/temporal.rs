@@ -1,0 +1,354 @@
+//! Temporal split protocol and the update-event stream.
+//!
+//! The offline protocol ([`crate::split_dataset`]) shuffles groups —
+//! correct for the paper's §III-A2 evaluation, wrong for the online
+//! loop, where a model must never train on the future. This module
+//! orders deal groups by [`DealGroup::timestamp`] (ties broken by
+//! position, so timestamp-free datasets degrade to insertion order),
+//! trains on the earliest fraction, and replays the remainder as a
+//! bounded stream of [`UpdateEvent`]s: cold users and items surface as
+//! explicit `NewUser` / `NewItem` events immediately before the first
+//! group that references them, so a consumer can fold them in before
+//! it ever has to score them.
+//!
+//! Everything here is a pure function of the dataset — no RNG, no
+//! threading — so the split is trivially identical across seeds and
+//! thread counts; the property suite in `tests/online_loop.rs` pins
+//! that down.
+
+use crate::{Dataset, DealGroup};
+
+/// A dataset split at a point in time: groups at or before the boundary
+/// train the base model, groups after it arrive as a stream.
+#[derive(Debug, Clone)]
+pub struct TemporalSplit {
+    /// `|U|` of the parent dataset (the full, end-of-stream id space).
+    pub n_users: usize,
+    /// `|I|` of the parent dataset.
+    pub n_items: usize,
+    /// The earliest `train_frac` of groups, ascending by
+    /// `(timestamp, original index)`.
+    pub train: Vec<DealGroup>,
+    /// The remaining groups in the same ascending order — the stream.
+    pub tail: Vec<DealGroup>,
+}
+
+impl TemporalSplit {
+    /// The training prefix as a standalone [`Dataset`] whose id spaces
+    /// cover **only entities observed in the prefix** — cold users and
+    /// items do not exist yet as far as the base model is concerned.
+    /// Ids are shared with the parent (dense remapping would break the
+    /// stream), so the prefix id space is the smallest dense space
+    /// containing every referenced id.
+    pub fn train_dataset(&self) -> Dataset {
+        let (users, items) = id_space_of(&self.train);
+        Dataset::new(users, items, self.train.clone())
+    }
+
+    /// The whole dataset (prefix + tail) with the parent id spaces —
+    /// the negativity reference for sampling during fine-tuning.
+    pub fn full_dataset(&self) -> Dataset {
+        let mut groups = self.train.clone();
+        groups.extend(self.tail.iter().cloned());
+        Dataset::new(self.n_users, self.n_items, groups)
+    }
+
+    /// The timestamp of the last training group (`0` for an empty
+    /// prefix): every tail group's timestamp is `>=` this.
+    pub fn boundary(&self) -> u64 {
+        self.train.last().map_or(0, |g| g.timestamp)
+    }
+
+    /// Replays the tail as an ordered event stream. For each tail
+    /// group, any user or item it references that the consumer has not
+    /// seen before (neither in the training prefix nor earlier in the
+    /// tail) is announced first — initiator, then participants in
+    /// ascending id order, then the item — followed by the group
+    /// itself.
+    pub fn update_events(&self) -> Vec<UpdateEvent> {
+        let (mut users_seen, mut items_seen) = seen_sets(&self.train, self.n_users, self.n_items);
+        let mut events = Vec::with_capacity(self.tail.len());
+        for g in &self.tail {
+            push_group_events(g, &mut users_seen, &mut items_seen, &mut events);
+        }
+        events
+    }
+
+    /// [`Self::update_events`] chunked into batches of at most `cap`
+    /// events. A group's announcement run (`NewUser*`/`NewItem*`
+    /// followed by its `NewGroup`) is never split across batches, so a
+    /// single oversized run occupies a batch alone; every other batch
+    /// holds at most `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn event_batches(&self, cap: usize) -> Vec<Vec<UpdateEvent>> {
+        assert!(cap > 0, "event batch capacity must be positive");
+        let (mut users_seen, mut items_seen) = seen_sets(&self.train, self.n_users, self.n_items);
+        let mut batches = Vec::new();
+        let mut current: Vec<UpdateEvent> = Vec::new();
+        for g in &self.tail {
+            let mut run = Vec::new();
+            push_group_events(g, &mut users_seen, &mut items_seen, &mut run);
+            if !current.is_empty() && current.len() + run.len() > cap {
+                batches.push(std::mem::take(&mut current));
+            }
+            current.extend(run);
+        }
+        if !current.is_empty() {
+            batches.push(current);
+        }
+        batches
+    }
+}
+
+/// One observation arriving after the temporal boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateEvent {
+    /// A user id appears for the first time; `timestamp` is the
+    /// formation time of the group that introduced them.
+    NewUser {
+        /// The cold user id.
+        user: u32,
+        /// Formation time of the introducing group.
+        timestamp: u64,
+    },
+    /// An item id appears for the first time.
+    NewItem {
+        /// The cold item id.
+        item: u32,
+        /// Formation time of the introducing group.
+        timestamp: u64,
+    },
+    /// A fresh deal group (all referenced entities already announced).
+    NewGroup(DealGroup),
+}
+
+/// Splits `ds` at the `train_frac` quantile of its temporal order.
+///
+/// Groups are ordered by `(timestamp, original index)` — a total order,
+/// so the result is a pure function of the dataset: no RNG, identical
+/// across seeds and thread counts.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= train_frac <= 1.0`.
+pub fn temporal_split(ds: &Dataset, train_frac: f64) -> TemporalSplit {
+    assert!(
+        (0.0..=1.0).contains(&train_frac),
+        "train_frac {train_frac} outside [0, 1]"
+    );
+    let mut order: Vec<usize> = (0..ds.groups.len()).collect();
+    order.sort_by_key(|&i| (ds.groups[i].timestamp, i));
+    let n_train = ((train_frac * ds.groups.len() as f64).round() as usize).min(ds.groups.len());
+    let pick =
+        |idxs: &[usize]| -> Vec<DealGroup> { idxs.iter().map(|&i| ds.groups[i].clone()).collect() };
+    TemporalSplit {
+        n_users: ds.n_users,
+        n_items: ds.n_items,
+        train: pick(&order[..n_train]),
+        tail: pick(&order[n_train..]),
+    }
+}
+
+/// Smallest dense id spaces covering every entity the groups reference.
+fn id_space_of(groups: &[DealGroup]) -> (usize, usize) {
+    let mut users = 0usize;
+    let mut items = 0usize;
+    for g in groups {
+        users = users.max(g.initiator as usize + 1);
+        items = items.max(g.item as usize + 1);
+        for &p in &g.participants {
+            users = users.max(p as usize + 1);
+        }
+    }
+    (users, items)
+}
+
+/// Membership bitmaps for entities referenced by `groups`.
+fn seen_sets(groups: &[DealGroup], n_users: usize, n_items: usize) -> (Vec<bool>, Vec<bool>) {
+    let mut users = vec![false; n_users];
+    let mut items = vec![false; n_items];
+    for g in groups {
+        users[g.initiator as usize] = true;
+        items[g.item as usize] = true;
+        for &p in &g.participants {
+            users[p as usize] = true;
+        }
+    }
+    (users, items)
+}
+
+/// Appends the announcement run for `g` (cold entities first, then the
+/// group), updating the seen bitmaps.
+fn push_group_events(
+    g: &DealGroup,
+    users_seen: &mut [bool],
+    items_seen: &mut [bool],
+    events: &mut Vec<UpdateEvent>,
+) {
+    let mut members: Vec<u32> = Vec::with_capacity(1 + g.participants.len());
+    members.push(g.initiator);
+    // Participants are stored ascending (schema invariant), so the run
+    // order is initiator first, then ascending participant ids.
+    members.extend(g.participants.iter().copied());
+    for &u in &members {
+        if !users_seen[u as usize] {
+            users_seen[u as usize] = true;
+            events.push(UpdateEvent::NewUser {
+                user: u,
+                timestamp: g.timestamp,
+            });
+        }
+    }
+    if !items_seen[g.item as usize] {
+        items_seen[g.item as usize] = true;
+        events.push(UpdateEvent::NewItem {
+            item: g.item,
+            timestamp: g.timestamp,
+        });
+    }
+    events.push(UpdateEvent::NewGroup(g.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{self, SyntheticConfig};
+
+    fn tiny() -> Dataset {
+        synthetic::generate(&SyntheticConfig::tiny())
+    }
+
+    #[test]
+    fn split_orders_by_time_and_partitions_everything() {
+        let ds = tiny();
+        let split = temporal_split(&ds, 0.7);
+        assert_eq!(split.train.len() + split.tail.len(), ds.groups.len());
+        let boundary = split.boundary();
+        assert!(split.train.iter().all(|g| g.timestamp <= boundary));
+        assert!(split.tail.iter().all(|g| g.timestamp >= boundary));
+        for part in [&split.train, &split.tail] {
+            for w in part.windows(2) {
+                assert!(w[0].timestamp <= w[1].timestamp);
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_a_pure_function_of_the_dataset() {
+        let ds = tiny();
+        let a = temporal_split(&ds, 0.7);
+        let b = temporal_split(&ds, 0.7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.tail, b.tail);
+    }
+
+    #[test]
+    fn untimestamped_datasets_degrade_to_insertion_order() {
+        let groups = vec![
+            DealGroup::new(0, 0, vec![1]),
+            DealGroup::new(1, 1, vec![0]),
+            DealGroup::new(2, 0, vec![1]),
+            DealGroup::new(0, 1, vec![2]),
+        ];
+        let ds = Dataset::new(3, 2, groups.clone());
+        let split = temporal_split(&ds, 0.5);
+        assert_eq!(split.train, groups[..2]);
+        assert_eq!(split.tail, groups[2..]);
+    }
+
+    #[test]
+    fn train_dataset_shrinks_to_observed_id_space() {
+        let groups = vec![
+            DealGroup::new(0, 0, vec![1]).at(1),
+            DealGroup::new(1, 1, vec![0]).at(2),
+            DealGroup::new(5, 3, vec![0]).at(3), // cold user 5, cold item 3
+        ];
+        let ds = Dataset::new(6, 4, groups);
+        let split = temporal_split(&ds, 0.67);
+        let train = split.train_dataset();
+        assert_eq!(train.n_users, 2);
+        assert_eq!(train.n_items, 2);
+        assert_eq!(split.full_dataset().n_users, 6);
+        assert_eq!(split.full_dataset().groups.len(), 3);
+    }
+
+    #[test]
+    fn events_announce_cold_entities_before_first_use() {
+        let ds = tiny();
+        let split = temporal_split(&ds, 0.6);
+        let events = split.update_events();
+        let (mut users_seen, mut items_seen) =
+            seen_sets(&split.train, split.n_users, split.n_items);
+        let mut groups_replayed = Vec::new();
+        for e in &events {
+            match e {
+                UpdateEvent::NewUser { user, .. } => {
+                    assert!(!users_seen[*user as usize], "user {user} announced twice");
+                    users_seen[*user as usize] = true;
+                }
+                UpdateEvent::NewItem { item, .. } => {
+                    assert!(!items_seen[*item as usize], "item {item} announced twice");
+                    items_seen[*item as usize] = true;
+                }
+                UpdateEvent::NewGroup(g) => {
+                    assert!(users_seen[g.initiator as usize]);
+                    assert!(items_seen[g.item as usize]);
+                    for &p in &g.participants {
+                        assert!(users_seen[p as usize]);
+                    }
+                    groups_replayed.push(g.clone());
+                }
+            }
+        }
+        assert_eq!(
+            groups_replayed, split.tail,
+            "tail replayed exactly, in order"
+        );
+    }
+
+    #[test]
+    fn event_batches_respect_cap_and_concatenate_to_the_stream() {
+        let ds = tiny();
+        let split = temporal_split(&ds, 0.6);
+        let events = split.update_events();
+        for cap in [1usize, 3, 16, 10_000] {
+            let batches = split.event_batches(cap);
+            let flat: Vec<UpdateEvent> = batches.iter().flatten().cloned().collect();
+            assert_eq!(flat, events, "cap {cap} must not reorder or drop events");
+            for b in &batches {
+                // A batch may exceed the cap only when one group's
+                // announcement run alone is larger than the cap.
+                let n_groups = b
+                    .iter()
+                    .filter(|e| matches!(e, UpdateEvent::NewGroup(_)))
+                    .count();
+                assert!(
+                    b.len() <= cap || n_groups == 1,
+                    "batch of {} events at cap {cap} holds {n_groups} groups",
+                    b.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let ds = tiny();
+        let all = temporal_split(&ds, 1.0);
+        assert!(all.tail.is_empty());
+        assert!(all.update_events().is_empty());
+        assert!(all.event_batches(8).is_empty());
+        let none = temporal_split(&ds, 0.0);
+        assert!(none.train.is_empty());
+        assert_eq!(
+            none.update_events()
+                .iter()
+                .filter(|e| matches!(e, UpdateEvent::NewGroup(_)))
+                .count(),
+            ds.groups.len()
+        );
+    }
+}

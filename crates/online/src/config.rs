@@ -1,0 +1,272 @@
+//! Online-loop configuration and the `MGBR_ONLINE_*` environment knobs.
+//!
+//! Knob parsing fails closed, matching the serving layer's contract: a
+//! knob that is set but malformed (empty, zero where positive is
+//! required, non-numeric) is a typed [`OnlineError::Config`] — never a
+//! silently applied default — so a typo'd deployment stops at startup
+//! instead of running with surprise settings.
+
+use std::path::PathBuf;
+
+use mgbr_core::FineTuneConfig;
+
+use crate::OnlineError;
+
+/// Drift-detection knobs (see [`crate::DriftDetector`]). These lower
+/// onto the training watchdog's rolling-median machinery, with a spike
+/// factor tuned for bounded serving metrics instead of step losses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftConfig {
+    /// Master switch. Disabled, every observation reads as stable
+    /// (non-finite metrics still surface as anomalies).
+    pub enabled: bool,
+    /// Metric degradation above `spike_factor ×` its rolling median is
+    /// drift. Serving metrics are bounded in `[0, 1]`, so this is much
+    /// smaller than the loss watchdog's default (1.5 vs 25).
+    pub spike_factor: f32,
+    /// Rolling-median window length, in metric observations.
+    pub window: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            spike_factor: 1.5,
+            window: 8,
+        }
+    }
+}
+
+/// Full configuration of an [`crate::OnlineLoop`].
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Per-cycle fine-tune knobs. The loop derives the actual per-cycle
+    /// seed (`seed + cycle`) and checkpoint file from these, so
+    /// successive cycles draw fresh negatives while any single
+    /// interrupted cycle resumes bitwise-identically.
+    pub fine_tune: FineTuneConfig,
+    /// Drift-detection knobs.
+    pub drift: DriftConfig,
+    /// Directory for per-cycle fine-tune checkpoints. `None` disables
+    /// mid-cycle resumability (cycles still run deterministically).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Maximum update events per ingested batch — the bound the stream
+    /// replay honours ([`mgbr_data::TemporalSplit::event_batches`]).
+    pub event_batch: usize,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            fine_tune: FineTuneConfig::default(),
+            drift: DriftConfig::default(),
+            checkpoint_dir: None,
+            event_batch: 64,
+        }
+    }
+}
+
+/// Parses env knob `name` as a positive integer; absent is `Ok(None)`.
+fn knob_u64(name: &str) -> Result<Option<u64>, OnlineError> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(OnlineError::Config(format!("{name} is not valid unicode")))
+        }
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            Ok(_) => Err(OnlineError::Config(format!(
+                "{name} must be >= 1, got {:?}",
+                v.trim()
+            ))),
+            Err(_) => Err(OnlineError::Config(format!(
+                "{name} must be a positive integer, got {:?}",
+                v.trim()
+            ))),
+        },
+    }
+}
+
+/// Parses env knob `name` as a finite float in `(lo, hi)`.
+fn knob_f32(name: &str, lo: f32, hi: f32) -> Result<Option<f32>, OnlineError> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(OnlineError::Config(format!("{name} is not valid unicode")))
+        }
+        Ok(v) => match v.trim().parse::<f32>() {
+            Ok(x) if x.is_finite() && x > lo && x < hi => Ok(Some(x)),
+            _ => Err(OnlineError::Config(format!(
+                "{name} must be a number in ({lo}, {hi}), got {:?}",
+                v.trim()
+            ))),
+        },
+    }
+}
+
+/// Parses env knob `name` as a boolean switch; absent is `Ok(None)`.
+fn knob_switch(name: &str) -> Result<Option<bool>, OnlineError> {
+    match std::env::var(name) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err(OnlineError::Config(format!("{name} is not valid unicode")))
+        }
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "on" | "true" => Ok(Some(true)),
+            "0" | "off" | "false" => Ok(Some(false)),
+            other => Err(OnlineError::Config(format!(
+                "{name} must be one of 1/on/true/0/off/false, got {other:?}"
+            ))),
+        },
+    }
+}
+
+impl OnlineConfig {
+    /// Defaults overridden by environment knobs:
+    ///
+    /// * `MGBR_ONLINE_ROUNDS` — fine-tune rounds per update cycle,
+    /// * `MGBR_ONLINE_LR` — fine-tune learning rate,
+    /// * `MGBR_ONLINE_EVENT_BATCH` — max events per ingested batch,
+    /// * `MGBR_ONLINE_DRIFT` — drift detection on/off,
+    /// * `MGBR_ONLINE_DRIFT_SPIKE` — drift spike factor (> 1),
+    /// * `MGBR_ONLINE_DRIFT_WINDOW` — rolling-median window (>= 2).
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Config`] on any knob that is set but malformed.
+    pub fn from_env() -> Result<Self, OnlineError> {
+        let mut cfg = Self::default();
+        if let Some(n) = knob_u64("MGBR_ONLINE_ROUNDS")? {
+            cfg.fine_tune.rounds = n as usize;
+        }
+        if let Some(lr) = knob_f32("MGBR_ONLINE_LR", 0.0, 1.0)? {
+            cfg.fine_tune.lr = lr;
+        }
+        if let Some(n) = knob_u64("MGBR_ONLINE_EVENT_BATCH")? {
+            cfg.event_batch = n as usize;
+        }
+        if let Some(on) = knob_switch("MGBR_ONLINE_DRIFT")? {
+            cfg.drift.enabled = on;
+        }
+        if let Some(s) = knob_f32("MGBR_ONLINE_DRIFT_SPIKE", 1.0, f32::MAX)? {
+            cfg.drift.spike_factor = s;
+        }
+        if let Some(w) = knob_u64("MGBR_ONLINE_DRIFT_WINDOW")? {
+            if w < 2 {
+                return Err(OnlineError::Config(format!(
+                    "MGBR_ONLINE_DRIFT_WINDOW must be >= 2, got {w}"
+                )));
+            }
+            cfg.drift.window = w as usize;
+        }
+        Ok(cfg)
+    }
+
+    /// Validates the knob ranges that constructors accept directly.
+    pub fn validate(&self) -> Result<(), OnlineError> {
+        if self.fine_tune.rounds == 0 {
+            return Err(OnlineError::Config("fine_tune.rounds must be >= 1".into()));
+        }
+        if !(self.fine_tune.lr.is_finite() && self.fine_tune.lr > 0.0) {
+            return Err(OnlineError::Config(format!(
+                "fine_tune.lr must be a positive number, got {}",
+                self.fine_tune.lr
+            )));
+        }
+        if self.event_batch == 0 {
+            return Err(OnlineError::Config("event_batch must be >= 1".into()));
+        }
+        if self.drift.spike_factor <= 1.0 || !self.drift.spike_factor.is_finite() {
+            return Err(OnlineError::Config(format!(
+                "drift.spike_factor must be > 1, got {}",
+                self.drift.spike_factor
+            )));
+        }
+        if self.drift.window < 2 {
+            return Err(OnlineError::Config(format!(
+                "drift.window must be >= 2, got {}",
+                self.drift.window
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env-var tests mutate process state; run them under one test to
+    // avoid interleaving with each other.
+    #[test]
+    fn env_knobs_apply_and_fail_closed() {
+        let keys = [
+            "MGBR_ONLINE_ROUNDS",
+            "MGBR_ONLINE_LR",
+            "MGBR_ONLINE_EVENT_BATCH",
+            "MGBR_ONLINE_DRIFT",
+            "MGBR_ONLINE_DRIFT_SPIKE",
+            "MGBR_ONLINE_DRIFT_WINDOW",
+        ];
+        for k in keys {
+            std::env::remove_var(k);
+        }
+        let cfg = OnlineConfig::from_env().unwrap();
+        assert_eq!(cfg.event_batch, OnlineConfig::default().event_batch);
+        cfg.validate().unwrap();
+
+        std::env::set_var("MGBR_ONLINE_ROUNDS", "5");
+        std::env::set_var("MGBR_ONLINE_LR", "0.005");
+        std::env::set_var("MGBR_ONLINE_EVENT_BATCH", "16");
+        std::env::set_var("MGBR_ONLINE_DRIFT", "off");
+        std::env::set_var("MGBR_ONLINE_DRIFT_SPIKE", "2.5");
+        std::env::set_var("MGBR_ONLINE_DRIFT_WINDOW", "4");
+        let cfg = OnlineConfig::from_env().unwrap();
+        assert_eq!(cfg.fine_tune.rounds, 5);
+        assert!((cfg.fine_tune.lr - 0.005).abs() < 1e-9);
+        assert_eq!(cfg.event_batch, 16);
+        assert!(!cfg.drift.enabled);
+        assert!((cfg.drift.spike_factor - 2.5).abs() < 1e-9);
+        assert_eq!(cfg.drift.window, 4);
+
+        // Malformed values are errors, never silent defaults.
+        std::env::set_var("MGBR_ONLINE_ROUNDS", "zero");
+        assert!(matches!(
+            OnlineConfig::from_env(),
+            Err(OnlineError::Config(_))
+        ));
+        std::env::set_var("MGBR_ONLINE_ROUNDS", "0");
+        assert!(OnlineConfig::from_env().is_err());
+        std::env::set_var("MGBR_ONLINE_ROUNDS", "3");
+        std::env::set_var("MGBR_ONLINE_DRIFT", "maybe");
+        assert!(OnlineConfig::from_env().is_err());
+        std::env::set_var("MGBR_ONLINE_DRIFT", "on");
+        std::env::set_var("MGBR_ONLINE_DRIFT_SPIKE", "1.0");
+        assert!(OnlineConfig::from_env().is_err());
+        std::env::set_var("MGBR_ONLINE_DRIFT_SPIKE", "1.5");
+        std::env::set_var("MGBR_ONLINE_DRIFT_WINDOW", "1");
+        assert!(OnlineConfig::from_env().is_err());
+        for k in keys {
+            std::env::remove_var(k);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let mut cfg = OnlineConfig::default();
+        cfg.fine_tune.rounds = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = OnlineConfig::default();
+        cfg.fine_tune.lr = f32::NAN;
+        assert!(cfg.validate().is_err());
+        let cfg = OnlineConfig {
+            event_batch: 0,
+            ..OnlineConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let mut cfg = OnlineConfig::default();
+        cfg.drift.window = 1;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Metric drift detection on the training watchdog's rolling-median
+//! machinery.
+//!
+//! The trainer's [`mgbr_core::Watchdog`] flags a step loss that spikes
+//! above its rolling median. Drift detection is the same statistic
+//! pointed at a **serving metric** (recall@K, hit rate — anything in
+//! `[0, 1]` where higher is better): each observation is converted to a
+//! *degradation* (`1 − metric`) and screened by the spike rule. A
+//! degradation spiking above `spike_factor ×` its rolling median means
+//! the live traffic has drifted away from what the published model was
+//! trained on — time to fine-tune. A non-finite metric is not drift but
+//! an anomaly (broken evaluation, poisoned traffic): the loop responds
+//! by rolling back, not by training on it.
+//!
+//! Degradations are floored at [`MIN_DEGRADATION`] before entering the
+//! window. Without the floor a perfectly-scoring stretch would pin the
+//! rolling median at zero and the spike rule (which compares against a
+//! *multiple* of the median) could never fire again.
+
+use mgbr_core::{AnomalyKind, Watchdog, WatchdogConfig};
+
+use crate::DriftConfig;
+
+/// Floor applied to `1 − metric` before it enters the rolling window,
+/// so a run of perfect metrics cannot disarm the spike rule.
+pub const MIN_DEGRADATION: f32 = 1e-3;
+
+/// What one metric observation meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftSignal {
+    /// Metric consistent with the rolling window; nothing to do.
+    Stable,
+    /// Metric degradation spiked above the rolling median — the
+    /// distribution moved; trigger a fine-tune cycle.
+    Drift,
+    /// The metric itself is broken (NaN/±Inf) — roll back, do not
+    /// train.
+    Anomaly,
+}
+
+/// Rolling-median drift monitor over a bounded serving metric.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    watchdog: Watchdog,
+    observations: usize,
+    drifts: usize,
+}
+
+impl DriftDetector {
+    /// A detector over `cfg` (see [`DriftConfig`] for the knobs).
+    pub fn new(cfg: &DriftConfig) -> Self {
+        let watchdog = Watchdog::new(WatchdogConfig {
+            enabled: cfg.enabled,
+            spike_factor: cfg.spike_factor,
+            window: cfg.window,
+            // Recovery knobs are the trainer's side of the machinery;
+            // detection only reads `enabled`/`spike_factor`/`window`.
+            ..WatchdogConfig::default()
+        });
+        Self {
+            watchdog,
+            observations: 0,
+            drifts: 0,
+        }
+    }
+
+    /// Screens one metric observation (higher is better, expected in
+    /// `[0, 1]`; values outside are clamped). On [`DriftSignal::Drift`]
+    /// the rolling window is reset, so the post-update regime is judged
+    /// on its own observations rather than against pre-drift history.
+    pub fn observe(&mut self, metric: f64) -> DriftSignal {
+        self.observations += 1;
+        if !metric.is_finite() {
+            return DriftSignal::Anomaly;
+        }
+        let degradation = (1.0 - metric.clamp(0.0, 1.0)) as f32;
+        match self.watchdog.check_loss(degradation.max(MIN_DEGRADATION)) {
+            None => DriftSignal::Stable,
+            Some(AnomalyKind::LossSpike) => {
+                self.drifts += 1;
+                self.watchdog.reset();
+                DriftSignal::Drift
+            }
+            // `check_loss` classifies non-finite input here; clamping
+            // makes it unreachable, but stay conservative if the
+            // underlying rule grows new classes.
+            Some(_) => DriftSignal::Anomaly,
+        }
+    }
+
+    /// Clears the rolling window (e.g. after an external model swap).
+    pub fn reset(&mut self) {
+        self.watchdog.reset();
+    }
+
+    /// Total observations screened.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Total drift signals raised.
+    pub fn drifts(&self) -> usize {
+        self.drifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> DriftDetector {
+        DriftDetector::new(&DriftConfig {
+            enabled: true,
+            spike_factor: 1.5,
+            window: 4,
+        })
+    }
+
+    #[test]
+    fn stable_metrics_never_signal() {
+        let mut d = detector();
+        for _ in 0..32 {
+            assert_eq!(d.observe(0.80), DriftSignal::Stable);
+        }
+        assert_eq!(d.drifts(), 0);
+        assert_eq!(d.observations(), 32);
+    }
+
+    #[test]
+    fn degradation_spike_is_drift_and_resets_the_window() {
+        let mut d = detector();
+        for _ in 0..8 {
+            assert_eq!(d.observe(0.80), DriftSignal::Stable);
+        }
+        // Degradation jumps 0.2 -> 0.6 (3x the median): drift.
+        assert_eq!(d.observe(0.40), DriftSignal::Drift);
+        // Window was reset: the new regime re-fills it before the rule
+        // re-arms, so the same value now reads stable.
+        assert_eq!(d.observe(0.40), DriftSignal::Stable);
+    }
+
+    #[test]
+    fn perfect_stretch_does_not_disarm_the_rule() {
+        let mut d = detector();
+        for _ in 0..8 {
+            assert_eq!(d.observe(1.0), DriftSignal::Stable);
+        }
+        // Median degradation is floored at MIN_DEGRADATION, so a real
+        // drop still reads as a spike.
+        assert_eq!(d.observe(0.50), DriftSignal::Drift);
+    }
+
+    #[test]
+    fn non_finite_metric_is_an_anomaly_not_drift() {
+        let mut d = detector();
+        for _ in 0..8 {
+            let _ = d.observe(0.8);
+        }
+        assert_eq!(d.observe(f64::NAN), DriftSignal::Anomaly);
+        assert_eq!(d.observe(f64::INFINITY), DriftSignal::Anomaly);
+        assert_eq!(d.drifts(), 0);
+        // The window is untouched by anomalies: healthy traffic resumes
+        // as stable.
+        assert_eq!(d.observe(0.8), DriftSignal::Stable);
+    }
+
+    #[test]
+    fn disabled_detector_still_flags_anomalies() {
+        let mut d = DriftDetector::new(&DriftConfig {
+            enabled: false,
+            ..DriftConfig::default()
+        });
+        for _ in 0..16 {
+            assert_eq!(d.observe(0.9), DriftSignal::Stable);
+        }
+        assert_eq!(d.observe(0.01), DriftSignal::Stable, "detection is off");
+        assert_eq!(d.observe(f64::NAN), DriftSignal::Anomaly);
+    }
+
+    #[test]
+    fn out_of_range_metrics_are_clamped() {
+        let mut d = detector();
+        assert_eq!(d.observe(7.5), DriftSignal::Stable);
+        assert_eq!(d.observe(-3.0), DriftSignal::Stable);
+    }
+}

@@ -1,0 +1,432 @@
+//! The online loop driver: event routing, drift-triggered fine-tune
+//! cycles, rollback, and freeze-with-folds.
+//!
+//! [`OnlineLoop`] owns the live trainer (a warm [`Mgbr`]), the
+//! cumulative in-space dataset it samples negatives from, the
+//! [`FoldInLedger`] for everything outside the trainer's id space, and
+//! a [`DriftDetector`] watching the serving metric. The division of
+//! labour per [`mgbr_data::UpdateEvent`]:
+//!
+//! * `NewUser` / `NewItem` — announced to the ledger (cold entities
+//!   never enter the trainer; its graphs are fixed at the boundary);
+//! * `NewGroup` fully inside the trainer's id space — appended to the
+//!   fresh buffer (next fine-tune cycle's positives) and to the
+//!   cumulative dataset (negativity reference);
+//! * `NewGroup` referencing a cold entity — observed by the ledger
+//!   only: its edges anchor the cold rows on the next freeze.
+//!
+//! A fine-tune cycle runs when the detector signals drift (or on
+//! [`OnlineLoop::update`] directly). Each cycle is itself deterministic
+//! and resumable; a cycle that diverges past the watchdog's recovery
+//! budget is **rolled back whole** — parameters restored from the last
+//! good snapshot, fresh buffer retained for the next attempt — and the
+//! loop keeps serving.
+
+use mgbr_core::{fine_tune, FrozenModel, Mgbr, TrainError};
+use mgbr_data::{Dataset, DealGroup, UpdateEvent};
+use mgbr_nn::{MemorySnapshot, TrainState};
+
+use crate::{DriftDetector, DriftSignal, FoldInLedger, OnlineConfig, OnlineError};
+
+/// Counters the loop keeps (all monotone; feeds `BENCH_online.json`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Update events ingested.
+    pub events: usize,
+    /// Fresh groups routed into the fine-tune buffer.
+    pub groups_in_space: usize,
+    /// Groups routed to the ledger because they reference cold
+    /// entities.
+    pub groups_cold: usize,
+    /// Fine-tune cycles completed.
+    pub fine_tunes: usize,
+    /// Whole-cycle rollbacks (divergence or metric anomaly).
+    pub rollbacks: usize,
+}
+
+/// What one completed (or rolled-back) fine-tune cycle did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateSummary {
+    /// Rounds that ran (0 when the fresh buffer was empty).
+    pub rounds: usize,
+    /// Mean loss of the final round, if any ran.
+    pub final_loss: Option<f32>,
+    /// Optimizer steps taken.
+    pub steps: usize,
+    /// Whether the cycle diverged and was rolled back whole.
+    pub rolled_back: bool,
+}
+
+/// How the loop responded to one ingested batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutcome {
+    /// Metric consistent with recent history; no model change.
+    Stable,
+    /// Drift triggered a fine-tune cycle (which may itself have rolled
+    /// back — see [`UpdateSummary::rolled_back`]).
+    FineTuned(UpdateSummary),
+    /// The metric was anomalous (non-finite): parameters restored from
+    /// the last good snapshot, nothing trained.
+    RolledBack,
+}
+
+/// The serve-while-learning driver. See the module docs.
+pub struct OnlineLoop {
+    model: Mgbr,
+    cumulative: Dataset,
+    fresh: Vec<DealGroup>,
+    ledger: FoldInLedger,
+    drift: DriftDetector,
+    cfg: OnlineConfig,
+    cycles: u64,
+    last_good: MemorySnapshot,
+    stats: OnlineStats,
+}
+
+impl OnlineLoop {
+    /// A loop over a warm model and the dataset it was trained on
+    /// (`base` is typically [`mgbr_data::TemporalSplit::train_dataset`];
+    /// the model may come fresh from [`mgbr_core::train`] or via
+    /// [`mgbr_core::warm_start`] from an offline checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Config`] when `cfg` fails validation or `base`'s
+    /// id spaces disagree with the model's.
+    pub fn new(model: Mgbr, base: Dataset, cfg: OnlineConfig) -> Result<Self, OnlineError> {
+        cfg.validate()?;
+        if base.n_users != model.n_users() || base.n_items != model.n_items() {
+            return Err(OnlineError::Config(format!(
+                "base dataset is {}x{} (users x items) but the model was built for {}x{}",
+                base.n_users,
+                base.n_items,
+                model.n_users(),
+                model.n_items()
+            )));
+        }
+        let ledger = FoldInLedger::new(base.n_users, base.n_items, &base.groups);
+        let drift = DriftDetector::new(&cfg.drift);
+        let last_good = MemorySnapshot::capture(&model.store, TrainState::new(0));
+        Ok(Self {
+            model,
+            cumulative: base,
+            fresh: Vec::new(),
+            ledger,
+            drift,
+            cfg,
+            cycles: 0,
+            last_good,
+            stats: OnlineStats::default(),
+        })
+    }
+
+    /// Routes a batch of update events (no metric, no training).
+    pub fn ingest(&mut self, events: &[UpdateEvent]) {
+        for event in events {
+            self.stats.events += 1;
+            match event {
+                UpdateEvent::NewUser { user, .. } => self.ledger.announce_user(*user),
+                UpdateEvent::NewItem { item, .. } => self.ledger.announce_item(*item),
+                UpdateEvent::NewGroup(g) => {
+                    if self.in_trainer_space(g) {
+                        self.stats.groups_in_space += 1;
+                        self.fresh.push(g.clone());
+                        self.cumulative.groups.push(g.clone());
+                        // The ledger still records purchase history so
+                        // future cold items can anchor on warm ones.
+                        self.ledger.observe_group(g);
+                    } else {
+                        self.stats.groups_cold += 1;
+                        self.ledger.observe_group(g);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ingests a batch and reacts to the serving metric observed over
+    /// it: drift triggers a fine-tune cycle, an anomalous metric rolls
+    /// parameters back to the last good snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates non-divergence fine-tune failures (config mismatch,
+    /// checkpoint corruption) after rolling back. Divergence is a
+    /// *handled* outcome, reported via [`UpdateSummary::rolled_back`].
+    pub fn ingest_batch(
+        &mut self,
+        events: &[UpdateEvent],
+        metric: f64,
+    ) -> Result<BatchOutcome, OnlineError> {
+        self.ingest(events);
+        match self.drift.observe(metric) {
+            DriftSignal::Stable => Ok(BatchOutcome::Stable),
+            DriftSignal::Drift => self.update().map(BatchOutcome::FineTuned),
+            DriftSignal::Anomaly => {
+                self.rollback()?;
+                Ok(BatchOutcome::RolledBack)
+            }
+        }
+    }
+
+    /// Runs one fine-tune cycle on the fresh buffer now (the manual
+    /// trigger; drift calls this internally). No-op when the buffer is
+    /// empty. On success the buffer drains and the result becomes the
+    /// new rollback point; on divergence the whole cycle rolls back and
+    /// the buffer is retained for the next attempt.
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineLoop::ingest_batch`].
+    pub fn update(&mut self) -> Result<UpdateSummary, OnlineError> {
+        if self.fresh.is_empty() {
+            return Ok(UpdateSummary {
+                rounds: 0,
+                final_loss: None,
+                steps: 0,
+                rolled_back: false,
+            });
+        }
+        let mut ftc = self.cfg.fine_tune.clone();
+        // Per-cycle seed: fresh negatives each cycle, still
+        // deterministic, and stable *within* a cycle so an interrupted
+        // cycle resumes under the same fingerprint.
+        ftc.seed = ftc.seed.wrapping_add(self.cycles);
+        if let Some(dir) = &self.cfg.checkpoint_dir {
+            ftc.checkpoint_path = Some(dir.join(format!("cycle-{}.ckpt", self.cycles)));
+            if ftc.checkpoint_every == 0 {
+                ftc.checkpoint_every = 1;
+            }
+            ftc.resume = true;
+        }
+        match fine_tune(&mut self.model, &self.cumulative, &self.fresh, &ftc) {
+            Ok(report) => {
+                self.last_good = MemorySnapshot::capture(&self.model.store, TrainState::new(0));
+                self.fresh.clear();
+                self.cycles += 1;
+                self.stats.fine_tunes += 1;
+                Ok(UpdateSummary {
+                    rounds: report.epoch_losses.len(),
+                    final_loss: report.epoch_losses.last().copied(),
+                    steps: report.steps,
+                    rolled_back: false,
+                })
+            }
+            Err(TrainError::Diverged { .. }) => {
+                self.rollback()?;
+                // Skip this cycle's seed so the retry (with more data
+                // accumulated) draws different negatives.
+                self.cycles += 1;
+                Ok(UpdateSummary {
+                    rounds: 0,
+                    final_loss: None,
+                    steps: 0,
+                    rolled_back: true,
+                })
+            }
+            Err(other) => {
+                self.rollback()?;
+                Err(OnlineError::Train(other))
+            }
+        }
+    }
+
+    fn rollback(&mut self) -> Result<(), OnlineError> {
+        self.last_good.restore(&mut self.model.store)?;
+        self.stats.rollbacks += 1;
+        self.drift.reset();
+        Ok(())
+    }
+
+    /// Freezes the current parameters and replays every recorded
+    /// fold-in, yielding the servable artifact for this point in the
+    /// stream (cold entities included, pre-existing rows bitwise
+    /// untouched).
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Checkpoint`] if the fold replay fails.
+    pub fn frozen(&self) -> Result<FrozenModel, OnlineError> {
+        let mut frozen = self.model.freeze();
+        self.ledger.apply(&mut frozen)?;
+        Ok(frozen)
+    }
+
+    fn in_trainer_space(&self, g: &DealGroup) -> bool {
+        (g.initiator as usize) < self.model.n_users()
+            && (g.item as usize) < self.model.n_items()
+            && g.participants
+                .iter()
+                .all(|&p| (p as usize) < self.model.n_users())
+    }
+
+    /// The loop's counters so far.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// The drift detector (observation/drift counts).
+    pub fn drift_detector(&self) -> &DriftDetector {
+        &self.drift
+    }
+
+    /// The fold-in ledger (cold-entity counts, target id spaces).
+    pub fn ledger(&self) -> &FoldInLedger {
+        &self.ledger
+    }
+
+    /// Groups waiting in the fresh buffer for the next cycle.
+    pub fn pending_fresh(&self) -> usize {
+        self.fresh.len()
+    }
+
+    /// Fine-tune cycles started (completed + rolled back).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_core::{train, MgbrConfig, TrainConfig};
+    use mgbr_data::{synthetic, temporal_split, DataSplit, SyntheticConfig, TemporalSplit};
+
+    fn warm_loop() -> (TemporalSplit, OnlineLoop) {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let split = temporal_split(&ds, 0.7);
+        let base = split.train_dataset();
+        let mut model = Mgbr::new(MgbrConfig::tiny(), &base);
+        let tc = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::tiny()
+        };
+        let offline = DataSplit {
+            n_users: base.n_users,
+            n_items: base.n_items,
+            train: base.groups.clone(),
+            val: Vec::new(),
+            test: Vec::new(),
+        };
+        train(&mut model, &base, &offline, &tc).unwrap();
+        let cfg = OnlineConfig {
+            fine_tune: mgbr_core::FineTuneConfig {
+                rounds: 1,
+                ..mgbr_core::FineTuneConfig::default()
+            },
+            ..OnlineConfig::default()
+        };
+        let driver = OnlineLoop::new(model, base, cfg).unwrap();
+        (split, driver)
+    }
+
+    #[test]
+    fn events_route_by_id_space_and_update_drains_the_buffer() {
+        let (split, mut driver) = warm_loop();
+        let events = split.update_events();
+        driver.ingest(&events);
+        let stats = driver.stats().clone();
+        assert_eq!(stats.events, events.len());
+        assert_eq!(
+            stats.groups_in_space + stats.groups_cold,
+            split.tail.len(),
+            "every tail group routed exactly once"
+        );
+        assert_eq!(driver.pending_fresh(), stats.groups_in_space);
+        let summary = driver.update().unwrap();
+        if stats.groups_in_space > 0 {
+            assert_eq!(summary.rounds, 1);
+            assert!(!summary.rolled_back);
+            assert_eq!(driver.pending_fresh(), 0);
+        }
+        assert_eq!(
+            driver.stats().fine_tunes,
+            usize::from(stats.groups_in_space > 0)
+        );
+        // Cold entities all reached the ledger.
+        let frozen = driver.frozen().unwrap();
+        assert_eq!(frozen.n_users(), driver.ledger().target_users());
+        assert_eq!(frozen.n_items(), driver.ledger().target_items());
+    }
+
+    #[test]
+    fn update_on_empty_buffer_is_a_noop() {
+        let (_, mut driver) = warm_loop();
+        let summary = driver.update().unwrap();
+        assert_eq!(summary.rounds, 0);
+        assert_eq!(summary.steps, 0);
+        assert_eq!(driver.stats().fine_tunes, 0);
+    }
+
+    #[test]
+    fn anomalous_metric_rolls_back_to_last_good_parameters() {
+        let (split, mut driver) = warm_loop();
+        let before: Vec<u32> = driver
+            .model
+            .store
+            .iter()
+            .flat_map(|(_, _, t)| t.as_slice().iter().map(|x| x.to_bits()))
+            .collect();
+        let outcome = driver
+            .ingest_batch(&split.update_events(), f64::NAN)
+            .unwrap();
+        assert_eq!(outcome, BatchOutcome::RolledBack);
+        assert_eq!(driver.stats().rollbacks, 1);
+        let after: Vec<u32> = driver
+            .model
+            .store
+            .iter()
+            .flat_map(|(_, _, t)| t.as_slice().iter().map(|x| x.to_bits()))
+            .collect();
+        assert_eq!(before, after, "rollback must be bitwise");
+    }
+
+    #[test]
+    fn drift_triggers_a_fine_tune_cycle() {
+        let (split, mut driver) = warm_loop();
+        // Stream everything in, filling the drift window with healthy
+        // metrics, then crater the metric on an empty batch.
+        let batches = split.event_batches(16);
+        for b in &batches {
+            assert_eq!(
+                driver.ingest_batch(b, 0.9).unwrap(),
+                BatchOutcome::Stable,
+                "healthy metrics must not trigger updates"
+            );
+        }
+        for _ in batches.len()..8 {
+            assert_eq!(driver.ingest_batch(&[], 0.9).unwrap(), BatchOutcome::Stable);
+        }
+        assert!(
+            driver.pending_fresh() > 0,
+            "tail must contain in-space groups"
+        );
+        match driver.ingest_batch(&[], 0.2).unwrap() {
+            BatchOutcome::FineTuned(s) => {
+                assert!(!s.rolled_back);
+                assert_eq!(s.rounds, 1);
+            }
+            other => panic!("cratered metric must drift, got {other:?}"),
+        }
+        assert_eq!(driver.stats().fine_tunes, 1);
+        assert_eq!(driver.pending_fresh(), 0);
+    }
+
+    #[test]
+    fn mismatched_base_and_bad_config_are_rejected() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let model = Mgbr::new(MgbrConfig::tiny(), &ds);
+        let narrow = Dataset::new(ds.n_users - 1, ds.n_items, Vec::new());
+        assert!(matches!(
+            OnlineLoop::new(model, narrow, OnlineConfig::default()),
+            Err(OnlineError::Config(_))
+        ));
+        let model = Mgbr::new(MgbrConfig::tiny(), &ds);
+        let mut cfg = OnlineConfig::default();
+        cfg.fine_tune.rounds = 0;
+        assert!(matches!(
+            OnlineLoop::new(model, ds.clone(), cfg),
+            Err(OnlineError::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,286 @@
+//! The fold-in ledger: observed edges of cold entities, replayable onto
+//! any freeze of the base model.
+//!
+//! The trainer's graphs and id spaces are fixed at the temporal
+//! boundary, so entities that first appear in the stream can never
+//! enter fine-tuning — but they must still be servable. The ledger
+//! accumulates each cold entity's **observed edges** as the stream
+//! replays, and [`FoldInLedger::apply`] re-derives every cold row on a
+//! fresh freeze with the frozen-model fold-in solve
+//! ([`FrozenModel::fold_in_users`]): frozen parameters, each new row the
+//! closed-form optimum against its anchors.
+//!
+//! **Id assignment.** Stream ids live in the full end-of-stream id
+//! space, while a freeze of the base model covers only the prefix
+//! space. `apply` grows the artifact *densely* up to the highest
+//! announced id: every id from the base space to the frontier gets a
+//! row (entities never announced get the global-prior row). External
+//! stream ids therefore equal artifact row ids — no translation table
+//! between the stream and serving requests — at the cost of a few prior
+//! rows for gap ids, which is the right trade at recommendation-scale
+//! row widths.
+//!
+//! **Anchor semantics.** A cold user's anchors are their co-members
+//! (initiator + participants) across every group the stream has shown
+//! them in. A cold item's anchors are the items its group members were
+//! seen buying before — a two-hop edge, since the fold-in solve needs
+//! same-role rows. When `apply` folds row `r`, anchors with id `>= r`
+//! are deferred to the *next* freeze (their rows do not exist yet in
+//! ascending fold order); anchors accumulate monotonically, so each
+//! republish refines cold rows as evidence arrives.
+//!
+//! `apply` mutates only appended rows — every pre-existing row and
+//! `mean_participant` stay bitwise identical, the invariant the fold-in
+//! API itself guarantees and `tests/online_loop.rs` pins end to end.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use mgbr_core::FrozenModel;
+use mgbr_data::DealGroup;
+use mgbr_nn::CheckpointError;
+
+/// Accumulated cold-entity evidence over one base id space.
+#[derive(Debug, Clone)]
+pub struct FoldInLedger {
+    base_users: usize,
+    base_items: usize,
+    /// Cold user -> co-member user ids observed so far.
+    user_anchors: BTreeMap<u32, BTreeSet<u32>>,
+    /// Cold item -> same-role anchor items (two-hop via purchasers).
+    item_anchors: BTreeMap<u32, BTreeSet<u32>>,
+    /// Every user's observed item history (base + stream), feeding the
+    /// two-hop item anchors.
+    user_history: BTreeMap<u32, BTreeSet<u32>>,
+}
+
+impl FoldInLedger {
+    /// A ledger over a base model's id spaces. `base` groups seed the
+    /// purchase histories that anchor future cold items; they reference
+    /// only warm entities, so they create no fold-in entries.
+    pub fn new(base_users: usize, base_items: usize, base: &[DealGroup]) -> Self {
+        let mut ledger = Self {
+            base_users,
+            base_items,
+            user_anchors: BTreeMap::new(),
+            item_anchors: BTreeMap::new(),
+            user_history: BTreeMap::new(),
+        };
+        for g in base {
+            ledger.record_history(g);
+        }
+        ledger
+    }
+
+    /// Registers a cold user announcement (no-op for warm ids — their
+    /// rows already exist in every freeze).
+    pub fn announce_user(&mut self, user: u32) {
+        if (user as usize) >= self.base_users {
+            self.user_anchors.entry(user).or_default();
+        }
+    }
+
+    /// Registers a cold item announcement.
+    pub fn announce_item(&mut self, item: u32) {
+        if (item as usize) >= self.base_items {
+            self.item_anchors.entry(item).or_default();
+        }
+    }
+
+    /// Folds one observed group's edges into the ledger: co-member
+    /// anchors for its cold users, two-hop item anchors for its cold
+    /// item, and purchase history for everyone in it.
+    pub fn observe_group(&mut self, g: &DealGroup) {
+        let members: Vec<u32> = std::iter::once(g.initiator)
+            .chain(g.participants.iter().copied())
+            .collect();
+        for &u in &members {
+            if (u as usize) >= self.base_users {
+                let anchors = self.user_anchors.entry(u).or_default();
+                anchors.extend(members.iter().copied().filter(|&m| m != u));
+            }
+        }
+        if (g.item as usize) >= self.base_items {
+            let anchors: BTreeSet<u32> = members
+                .iter()
+                .filter_map(|m| self.user_history.get(m))
+                .flatten()
+                .copied()
+                .filter(|&i| i != g.item)
+                .collect();
+            self.item_anchors.entry(g.item).or_default().extend(anchors);
+        }
+        self.record_history(g);
+    }
+
+    fn record_history(&mut self, g: &DealGroup) {
+        for u in std::iter::once(g.initiator).chain(g.participants.iter().copied()) {
+            self.user_history.entry(u).or_default().insert(g.item);
+        }
+    }
+
+    /// Number of cold users announced so far.
+    pub fn cold_users(&self) -> usize {
+        self.user_anchors.len()
+    }
+
+    /// Number of cold items announced so far.
+    pub fn cold_items(&self) -> usize {
+        self.item_anchors.len()
+    }
+
+    /// The user id space `apply` will grow an artifact to (base space
+    /// when nothing cold was announced).
+    pub fn target_users(&self) -> usize {
+        self.user_anchors
+            .keys()
+            .next_back()
+            .map_or(self.base_users, |&u| self.base_users.max(u as usize + 1))
+    }
+
+    /// The item id space `apply` will grow an artifact to.
+    pub fn target_items(&self) -> usize {
+        self.item_anchors
+            .keys()
+            .next_back()
+            .map_or(self.base_items, |&i| self.base_items.max(i as usize + 1))
+    }
+
+    /// Replays every recorded fold onto a fresh freeze of the base
+    /// model, growing its id spaces densely to the announced frontier
+    /// (see the module docs for id assignment and anchor deferral).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Mismatch`] when `frozen` is not a freeze of
+    /// the ledger's base id space; fold-in errors pass through.
+    pub fn apply(&self, frozen: &mut FrozenModel) -> Result<(), CheckpointError> {
+        if frozen.n_users() != self.base_users || frozen.n_items() != self.base_items {
+            return Err(CheckpointError::Mismatch(format!(
+                "ledger covers a {}x{} base (users x items) but the artifact is {}x{} — \
+                 apply() expects a fresh freeze of the base model",
+                self.base_users,
+                self.base_items,
+                frozen.n_users(),
+                frozen.n_items()
+            )));
+        }
+        // Ascending dense fold: row id == external id. An anchor at or
+        // above the row being folded has no row yet — defer it (it
+        // participates on the next freeze, when it folds earlier in
+        // id order than nothing: anchors below still apply).
+        let user_batch: Vec<Vec<usize>> = (self.base_users..self.target_users())
+            .map(|uid| self.anchors_below(&self.user_anchors, uid))
+            .collect();
+        let item_batch: Vec<Vec<usize>> = (self.base_items..self.target_items())
+            .map(|iid| self.anchors_below(&self.item_anchors, iid))
+            .collect();
+        if !user_batch.is_empty() {
+            let _ = frozen.fold_in_users(&user_batch)?;
+        }
+        if !item_batch.is_empty() {
+            let _ = frozen.fold_in_items(&item_batch)?;
+        }
+        Ok(())
+    }
+
+    /// The recorded anchors of `id` restricted to rows that exist when
+    /// `id` folds (strictly smaller ids), ascending.
+    fn anchors_below(&self, anchors: &BTreeMap<u32, BTreeSet<u32>>, id: usize) -> Vec<usize> {
+        anchors
+            .get(&(id as u32))
+            .map(|set| {
+                set.iter()
+                    .map(|&a| a as usize)
+                    .filter(|&a| a < id)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mgbr_core::{Mgbr, MgbrConfig};
+    use mgbr_data::{synthetic, Dataset, SyntheticConfig};
+
+    fn base() -> (Dataset, FrozenModel) {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let frozen = Mgbr::new(MgbrConfig::tiny(), &ds).freeze();
+        (ds, frozen)
+    }
+
+    #[test]
+    fn warm_entities_never_enter_the_ledger() {
+        let (ds, _) = base();
+        let mut ledger = FoldInLedger::new(ds.n_users, ds.n_items, &ds.groups);
+        ledger.announce_user(0);
+        ledger.announce_item(0);
+        ledger.observe_group(&DealGroup::new(0, 0, vec![1]));
+        assert_eq!(ledger.cold_users(), 0);
+        assert_eq!(ledger.cold_items(), 0);
+        assert_eq!(ledger.target_users(), ds.n_users);
+        assert_eq!(ledger.target_items(), ds.n_items);
+    }
+
+    #[test]
+    fn apply_grows_to_the_announced_frontier_with_dense_gap_rows() {
+        let (ds, mut frozen) = base();
+        let nu = ds.n_users as u32;
+        let ni = ds.n_items as u32;
+        let mut ledger = FoldInLedger::new(ds.n_users, ds.n_items, &ds.groups);
+        // Announce sparse ids: base..frontier must still be dense.
+        ledger.announce_user(nu + 2);
+        ledger.announce_item(ni);
+        ledger.observe_group(&DealGroup::new(nu + 2, ni, vec![0, 1]).at(10));
+        assert_eq!(ledger.cold_users(), 1);
+        assert_eq!(ledger.cold_items(), 1);
+        assert_eq!(ledger.target_users(), ds.n_users + 3);
+        ledger.apply(&mut frozen).unwrap();
+        assert_eq!(frozen.n_users(), ds.n_users + 3);
+        assert_eq!(frozen.n_items(), ds.n_items + 1);
+        frozen.validate().unwrap();
+    }
+
+    #[test]
+    fn apply_is_deterministic_and_rejects_wrong_base() {
+        let (ds, frozen) = base();
+        let mut ledger = FoldInLedger::new(ds.n_users, ds.n_items, &ds.groups);
+        let nu = ds.n_users as u32;
+        ledger.announce_user(nu);
+        ledger.observe_group(&DealGroup::new(nu, 0, vec![1, 3]).at(5));
+        ledger.observe_group(&DealGroup::new(nu, 1, vec![5]).at(6));
+
+        let mut a = frozen.clone();
+        let mut b = frozen.clone();
+        ledger.apply(&mut a).unwrap();
+        ledger.apply(&mut b).unwrap();
+        let ws = mgbr_tensor::Workspace::new();
+        let wa = a.logits_a(&ws, nu as usize, &[0]);
+        let wb = b.logits_a(&ws, nu as usize, &[0]);
+        assert_eq!(wa[0].to_bits(), wb[0].to_bits());
+
+        // Applying onto an already-grown artifact is a typed mismatch.
+        let err = ledger.apply(&mut a).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn anchors_at_or_above_the_folding_row_are_deferred() {
+        let (ds, frozen) = base();
+        let nu = ds.n_users as u32;
+        let mut ledger = FoldInLedger::new(ds.n_users, ds.n_items, &ds.groups);
+        // Two cold users who only know each other plus one warm user:
+        // when nu folds, nu+1 has no row yet, so nu anchors only on the
+        // warm co-member; nu+1 anchors on both.
+        ledger.observe_group(&DealGroup::new(nu, 0, vec![2, nu + 1]).at(9));
+        let mut grown = frozen.clone();
+        ledger.apply(&mut grown).unwrap();
+        // nu's row = mean of {2} = row 2 of the user table; verify via
+        // the scoring head: same embedding rows, same score.
+        let ws = mgbr_tensor::Workspace::new();
+        let cold = grown.logits_a(&ws, nu as usize, &[0]);
+        let warm = grown.logits_a(&ws, 2, &[0]);
+        assert_eq!(cold[0].to_bits(), warm[0].to_bits());
+    }
+}

@@ -1,0 +1,111 @@
+//! # mgbr-online
+//!
+//! The online learning loop: the layer that keeps a deployed MGBR model
+//! current as deal groups keep forming after the training cutoff.
+//!
+//! The offline pipeline ends at a frozen `MGBRFRZN` artifact serving a
+//! fixed id space. This crate closes the loop (DESIGN.md §"Online
+//! learning loop"):
+//!
+//! 1. **Stream protocol** — [`mgbr_data::temporal_split`] orders deal
+//!    groups by formation time, trains on the earliest prefix, and
+//!    replays the rest as [`mgbr_data::UpdateEvent`] batches (cold
+//!    entities announced before first use).
+//! 2. **Incremental fine-tuning** ([`OnlineLoop::update`]) — short,
+//!    deterministic [`mgbr_core::fine_tune`] rounds on the fresh groups
+//!    that fall inside the trainer's id space, resumable through the v2
+//!    checkpoint machinery.
+//! 3. **Drift detection** ([`DriftDetector`]) — the training watchdog's
+//!    rolling-median spike rule pointed at a *serving metric* instead of
+//!    a step loss: metric degradation spiking above its rolling median
+//!    triggers a fine-tune cycle; a non-finite metric triggers rollback
+//!    to the last good parameters.
+//! 4. **Cold-start fold-in** ([`FoldInLedger`]) — entities outside the
+//!    trainer's id space never block serving: the ledger accumulates
+//!    their observed edges and re-derives their embedding rows
+//!    ([`mgbr_core::freeze`] fold-in solve) on every freeze, leaving all
+//!    pre-existing rows bitwise untouched.
+//! 5. **Publishing** ([`ArtifactPublisher`]) — each accepted update is
+//!    frozen into an `MGBRFRZN` v2 artifact (optionally persisted) and
+//!    hot-swapped into a live [`mgbr_serve::WorkerPool`] without
+//!    dropping admitted requests.
+//!
+//! Every stage is deterministic: the same dataset, config, and event
+//! stream produce bitwise-identical artifacts at any thread count.
+//! Non-test code in this crate never panics on untrusted input — all
+//! failures surface as [`OnlineError`].
+
+mod config;
+mod drift;
+mod driver;
+mod ledger;
+mod publisher;
+
+use std::fmt;
+
+pub use config::{DriftConfig, OnlineConfig};
+pub use drift::{DriftDetector, DriftSignal};
+pub use driver::{BatchOutcome, OnlineLoop, OnlineStats, UpdateSummary};
+pub use ledger::FoldInLedger;
+pub use publisher::ArtifactPublisher;
+
+use mgbr_core::TrainError;
+use mgbr_nn::CheckpointError;
+use mgbr_serve::ServeError;
+
+/// Typed failures of the online loop. Wraps the layers it orchestrates;
+/// `Config` covers this crate's own `MGBR_ONLINE_*` knobs (fail-closed:
+/// a malformed knob is an error, never a silent default).
+#[derive(Debug)]
+pub enum OnlineError {
+    /// An `MGBR_ONLINE_*` knob or an [`OnlineConfig`] field is invalid.
+    Config(String),
+    /// Fine-tuning failed (divergence past the recovery budget, config
+    /// mismatch, checkpoint trouble). The loop has already rolled the
+    /// model back to its last good parameters.
+    Train(TrainError),
+    /// Artifact publishing failed (validation, swap rejection).
+    Serve(ServeError),
+    /// Freezing, fold-in, or snapshot restore failed.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::Config(msg) => write!(f, "bad online config: {msg}"),
+            OnlineError::Train(e) => write!(f, "online fine-tune failed: {e}"),
+            OnlineError::Serve(e) => write!(f, "online publish failed: {e}"),
+            OnlineError::Checkpoint(e) => write!(f, "online artifact error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnlineError::Config(_) => None,
+            OnlineError::Train(e) => Some(e),
+            OnlineError::Serve(e) => Some(e),
+            OnlineError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<TrainError> for OnlineError {
+    fn from(e: TrainError) -> Self {
+        OnlineError::Train(e)
+    }
+}
+
+impl From<ServeError> for OnlineError {
+    fn from(e: ServeError) -> Self {
+        OnlineError::Serve(e)
+    }
+}
+
+impl From<CheckpointError> for OnlineError {
+    fn from(e: CheckpointError) -> Self {
+        OnlineError::Checkpoint(e)
+    }
+}

@@ -1,0 +1,126 @@
+//! Artifact publishing: freeze-with-folds → optional `MGBRFRZN` v2 file
+//! → hot-swap into a live worker pool.
+//!
+//! [`ArtifactPublisher`] is the last hop of the online loop. Each
+//! accepted update is materialized by [`crate::OnlineLoop::frozen`]
+//! (current parameters + every ledger fold), optionally persisted as a
+//! generation-named `MGBRFRZN` v2 artifact (atomic tmp+rename, same as
+//! the offline pipeline), and offered to
+//! [`mgbr_serve::WorkerPool::swap_model`]. The pool's swap protocol
+//! validates before publishing and never drops admitted requests; a
+//! rejected candidate leaves the old generation serving and surfaces as
+//! a typed [`OnlineError::Serve`].
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use mgbr_serve::{SwapReceipt, WorkerPool};
+
+use crate::{OnlineError, OnlineLoop};
+
+/// Publishes online-loop artifacts into a serving pool.
+pub struct ArtifactPublisher {
+    dir: Option<PathBuf>,
+    swaps: u64,
+    last_generation: Option<u64>,
+}
+
+impl ArtifactPublisher {
+    /// A publisher that optionally persists each artifact under `dir`
+    /// (as `online-gen-<generation>.frzn`) before swapping it in.
+    pub fn new(dir: Option<PathBuf>) -> Self {
+        Self {
+            dir,
+            swaps: 0,
+            last_generation: None,
+        }
+    }
+
+    /// Freezes the loop's current state and hot-swaps it into `pool`.
+    /// The returned receipt's `new_generation` stamps every reply scored
+    /// by the new artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`OnlineError::Checkpoint`] if freezing/folding or persisting
+    /// fails (nothing is swapped), [`OnlineError::Serve`] if the pool
+    /// rejects the candidate (the old generation keeps serving).
+    pub fn publish(
+        &mut self,
+        driver: &OnlineLoop,
+        pool: &WorkerPool,
+    ) -> Result<SwapReceipt, OnlineError> {
+        let frozen = driver.frozen()?;
+        let receipt = pool.swap_model(Arc::new(frozen.clone()))?;
+        if let Some(dir) = &self.dir {
+            let path = dir.join(format!("online-gen-{}.frzn", receipt.new_generation));
+            frozen.save_atomic(&path)?;
+        }
+        self.swaps += 1;
+        self.last_generation = Some(receipt.new_generation);
+        Ok(receipt)
+    }
+
+    /// Successful swaps so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Generation of the most recently published artifact.
+    pub fn last_generation(&self) -> Option<u64> {
+        self.last_generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OnlineConfig;
+    use mgbr_core::{FrozenModel, Mgbr, MgbrConfig};
+    use mgbr_data::{synthetic, temporal_split, SyntheticConfig, UpdateEvent};
+    use mgbr_serve::PoolConfig;
+
+    #[test]
+    fn publish_persists_and_swaps_with_grown_id_space() {
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let split = temporal_split(&ds, 0.7);
+        let base = split.train_dataset();
+        let model = Mgbr::new(MgbrConfig::tiny(), &base);
+        let served = Arc::new(model.freeze());
+        let mut driver = OnlineLoop::new(model, base, OnlineConfig::default()).unwrap();
+        driver.ingest(&split.update_events());
+
+        let pool = WorkerPool::new(
+            Arc::clone(&served),
+            PoolConfig {
+                workers: 1,
+                ..PoolConfig::default()
+            },
+        );
+        let dir = std::env::temp_dir().join(format!("mgbr_pub_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut publisher = ArtifactPublisher::new(Some(dir.clone()));
+        let receipt = publisher.publish(&driver, &pool).unwrap();
+        assert_eq!(publisher.swaps(), 1);
+        assert_eq!(publisher.last_generation(), Some(receipt.new_generation));
+
+        // The persisted artifact roundtrips and matches the grown space.
+        let path = dir.join(format!("online-gen-{}.frzn", receipt.new_generation));
+        let reloaded = FrozenModel::load_from_file(&path).unwrap();
+        assert_eq!(reloaded.n_users(), driver.ledger().target_users());
+        assert_eq!(reloaded.n_items(), driver.ledger().target_items());
+
+        // A folded-in cold entity is servable through the pool, reply
+        // stamped with the new generation.
+        let cold_user = split.update_events().iter().find_map(|e| match e {
+            UpdateEvent::NewUser { user, .. } => Some(*user as usize),
+            _ => None,
+        });
+        if let Some(u) = cold_user {
+            let reply = pool.submit_item(u, 0).unwrap().wait_reply();
+            assert!(reply.result.is_ok(), "{:?}", reply.result);
+            assert_eq!(reply.generation, receipt.new_generation);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

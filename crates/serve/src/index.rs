@@ -256,6 +256,108 @@ impl ItemIndex {
     }
 }
 
+/// What a [`SyncedItemIndex`] does when a query observes that the slot's
+/// published generation moved past the one the index was built against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StalePolicy {
+    /// Rebuild the index against the new generation before answering.
+    /// The query pays the rebuild (k-means over the new item table);
+    /// subsequent queries are fast again.
+    Rebuild,
+    /// Refuse with [`ServeError::StaleIndex`] and leave the index as
+    /// built. The caller decides when to [`SyncedItemIndex::refresh`] —
+    /// the right policy when rebuild latency must not land on a
+    /// request's critical path.
+    FailClosed,
+}
+
+/// A caller-owned [`ItemIndex`] subscribed to an [`crate::ArtifactSlot`]'s
+/// generation counter.
+///
+/// The pruned index is built against one frozen artifact; once the slot
+/// hot-swaps, cluster assignments, medoids, and rerank scores all refer
+/// to a retired model. Instead of silently serving from it, every query
+/// first compares the slot's (lock-free) generation hint against the
+/// generation this index was built on, and either rebuilds in place or
+/// fails closed with a typed [`ServeError::StaleIndex`], per
+/// [`StalePolicy`]. Queries are never answered by a stale index.
+pub struct SyncedItemIndex {
+    slot: Arc<crate::ArtifactSlot>,
+    cfg: IndexConfig,
+    policy: StalePolicy,
+    index: ItemIndex,
+    built_generation: u64,
+}
+
+impl SyncedItemIndex {
+    /// Builds the index against the slot's currently published artifact.
+    pub fn build(slot: Arc<crate::ArtifactSlot>, cfg: IndexConfig, policy: StalePolicy) -> Self {
+        let (model, generation) = slot.load();
+        let index = ItemIndex::build(model, cfg.clone());
+        Self {
+            slot,
+            cfg,
+            policy,
+            index,
+            built_generation: generation,
+        }
+    }
+
+    /// Generation the current index was built against.
+    pub fn built_generation(&self) -> u64 {
+        self.built_generation
+    }
+
+    /// Whether the slot has published a newer generation than the one
+    /// this index was built against (lock-free check).
+    pub fn is_stale(&self) -> bool {
+        self.slot.generation() != self.built_generation
+    }
+
+    /// Rebuilds against the currently published artifact if the index is
+    /// stale. Returns `true` when a rebuild happened.
+    pub fn refresh(&mut self) -> bool {
+        let (model, generation) = self.slot.load();
+        if generation == self.built_generation {
+            return false;
+        }
+        self.index = ItemIndex::build(model, self.cfg.clone());
+        self.built_generation = generation;
+        true
+    }
+
+    /// Top-`k` items for one initiator (see [`ItemIndex::top_items`]),
+    /// guaranteed to be answered by an index in sync with the slot's
+    /// published generation.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::StaleIndex`] when the generation moved and the
+    /// policy is [`StalePolicy::FailClosed`]; otherwise as
+    /// [`ItemIndex::top_items`].
+    pub fn top_items(
+        &mut self,
+        user: usize,
+        k: usize,
+        nprobe: usize,
+    ) -> Result<Vec<Hit>, ServeError> {
+        if self.is_stale() {
+            match self.policy {
+                StalePolicy::Rebuild => {
+                    self.refresh();
+                }
+                StalePolicy::FailClosed => {
+                    return Err(ServeError::StaleIndex {
+                        built: self.built_generation,
+                        current: self.slot.generation(),
+                    });
+                }
+            }
+        }
+        self.index.top_items(user, k, nprobe)
+    }
+}
+
 /// Fraction of `exact`'s ids that `pruned` recovered (recall@K against
 /// the exhaustive ranking; 1.0 when `exact` is empty).
 pub fn recall_at_k(pruned: &[Hit], exact: &[Hit]) -> f64 {
@@ -343,6 +445,68 @@ mod tests {
             Err(ServeError::BadRequest(_))
         ));
         assert!(index.top_items(0, 0, 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn synced_index_fails_closed_on_stale_generation() {
+        let slot = Arc::new(crate::ArtifactSlot::new(frozen()));
+        let mut synced = SyncedItemIndex::build(
+            Arc::clone(&slot),
+            IndexConfig::default(),
+            StalePolicy::FailClosed,
+        );
+        assert!(!synced.is_stale());
+        assert!(!synced.top_items(0, 5, 2).unwrap().is_empty());
+
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let other = MgbrConfig {
+            seed: 99,
+            ..MgbrConfig::tiny()
+        };
+        let _ = slot.swap(Arc::new(Mgbr::new(other, &ds).freeze())).unwrap();
+        assert!(synced.is_stale());
+        let err = synced.top_items(0, 5, 2).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::StaleIndex {
+                    built: 1,
+                    current: 2
+                }
+            ),
+            "{err}"
+        );
+        assert!(synced.refresh(), "refresh must rebuild");
+        assert!(!synced.refresh(), "second refresh is a no-op");
+        assert_eq!(synced.built_generation(), 2);
+        assert!(!synced.top_items(0, 5, 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn synced_index_rebuild_policy_tracks_the_new_model() {
+        let slot = Arc::new(crate::ArtifactSlot::new(frozen()));
+        let mut synced = SyncedItemIndex::build(
+            Arc::clone(&slot),
+            IndexConfig::default(),
+            StalePolicy::Rebuild,
+        );
+        let ds = synthetic::generate(&SyntheticConfig::tiny());
+        let other = MgbrConfig {
+            seed: 7,
+            ..MgbrConfig::tiny()
+        };
+        let next = Arc::new(Mgbr::new(other, &ds).freeze());
+        let _ = slot.swap(Arc::clone(&next)).unwrap();
+        // The query transparently rebuilds and answers with the new
+        // model: full probe must match the new model's exhaustive top-K.
+        let pruned = synced.top_items(3, 8, usize::MAX).unwrap();
+        assert_eq!(synced.built_generation(), 2);
+        let exact = Retriever::new(next).top_items(3, 8, None).unwrap();
+        assert_eq!(exact.len(), pruned.len());
+        for (e, p) in exact.iter().zip(&pruned) {
+            assert_eq!(e.id, p.id);
+            assert_eq!(e.score.to_bits(), p.score.to_bits());
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ mod swap;
 use std::fmt;
 
 pub use batcher::{BatcherConfig, MicroBatcher, Reply};
-pub use index::{recall_at_k, IndexConfig, ItemIndex};
+pub use index::{recall_at_k, IndexConfig, ItemIndex, StalePolicy, SyncedItemIndex};
 pub use metrics::{LatencyHistogram, ServeMetrics};
 pub use pool::{Admission, PoolConfig, ScoreHandle, WorkerPool};
 pub use retriever::{Hit, Retriever};
@@ -115,6 +115,16 @@ pub enum ServeError {
     /// space incompatible with the serving pool). The previous
     /// generation keeps serving untouched.
     SwapRejected(String),
+    /// A [`SyncedItemIndex`] query observed that the published artifact
+    /// generation moved past the one its index was built against, and
+    /// the index is configured to fail closed instead of auto-rebuild.
+    /// Carries the stale (built-against) and current generations.
+    StaleIndex {
+        /// Generation the index was built against.
+        built: u64,
+        /// Generation currently published by the slot.
+        current: u64,
+    },
     /// The batcher has been shut down; no further requests are accepted.
     ShutDown,
     /// The worker disappeared before answering (reply channel closed).
@@ -141,6 +151,13 @@ impl fmt::Display for ServeError {
             }
             ServeError::SwapRejected(msg) => {
                 write!(f, "artifact swap rejected: {msg}")
+            }
+            ServeError::StaleIndex { built, current } => {
+                write!(
+                    f,
+                    "retrieval index is stale: built against generation {built}, \
+                     slot now publishes generation {current} (rebuild required)"
+                )
             }
             ServeError::ShutDown => write!(f, "serving is shut down"),
             ServeError::Canceled => write!(f, "request canceled before completion"),

@@ -348,6 +348,14 @@ impl WorkerPool {
         self.slot.generation()
     }
 
+    /// The pool's artifact slot — the subscription point for
+    /// generation-aware sidecars (e.g. [`crate::SyncedItemIndex`],
+    /// which rebuilds or fails closed when a swap retires the model its
+    /// index was built against).
+    pub fn artifact_slot(&self) -> Arc<ArtifactSlot> {
+        Arc::clone(&self.slot)
+    }
+
     /// The queue index a request keyed by `user` is routed to: 0 under
     /// [`Admission::Shared`], `fnv1a(user) % workers` under
     /// [`Admission::HashPartitioned`].

@@ -84,18 +84,20 @@ impl ArtifactSlot {
     ///
     /// Validation is two-layered: the artifact's own cross-field checks
     /// (embedding/plan/parameter consistency — the same gate the CRC'd
-    /// loader runs), then id-space compatibility with the live model
-    /// (`n_users` / `n_items` must match: a pool serves a fixed request
-    /// id space, and silently shrinking it would turn valid requests
-    /// into `BadRequest`).
+    /// loader runs), then id-space compatibility with the live model.
+    /// Candidates may **grow** either id space (the online loop folds in
+    /// cold users/items, so successive generations extend coverage) but
+    /// never shrink one: a pool serves every id it has ever admitted,
+    /// and silently shrinking the space would turn valid requests into
+    /// `BadRequest`.
     pub fn swap(&self, new: Arc<FrozenModel>) -> Result<SwapReceipt, ServeError> {
         new.validate()
             .map_err(|e| ServeError::SwapRejected(format!("artifact failed validation: {e}")))?;
         let mut guard = lock(&self.current);
-        if guard.n_users() != new.n_users() || guard.n_items() != new.n_items() {
+        if guard.n_users() > new.n_users() || guard.n_items() > new.n_items() {
             return Err(ServeError::SwapRejected(format!(
-                "incompatible id spaces: serving {}x{} (users x items), \
-                 candidate is {}x{}",
+                "shrinking id spaces: serving {}x{} (users x items), \
+                 candidate is {}x{} — already-admitted ids would dangle",
                 guard.n_users(),
                 guard.n_items(),
                 new.n_users(),
@@ -153,5 +155,24 @@ mod tests {
         let (after, generation) = slot.load();
         assert_eq!(generation, INITIAL_GENERATION, "generation unchanged");
         assert!(Arc::ptr_eq(&before, &after), "old model still published");
+    }
+
+    #[test]
+    fn grown_id_space_is_accepted() {
+        // The online loop publishes artifacts whose id spaces have grown
+        // through fold-in; a swap to a superset space must go through.
+        let slot = ArtifactSlot::new(frozen(1));
+        let (base, _) = slot.load();
+        let mut grown = (*frozen(1)).clone();
+        grown.fold_in_user(&[0, 1]).unwrap();
+        grown.fold_in_item(&[0]).unwrap();
+        let receipt = slot.swap(Arc::new(grown)).unwrap();
+        assert_eq!(receipt.new_generation, INITIAL_GENERATION + 1);
+        let (now, _) = slot.load();
+        assert_eq!(now.n_users(), base.n_users() + 1);
+        assert_eq!(now.n_items(), base.n_items() + 1);
+        // And the reverse direction (shrink back) is refused.
+        let err = slot.swap(frozen(1)).unwrap_err();
+        assert!(matches!(err, ServeError::SwapRejected(_)), "{err}");
     }
 }

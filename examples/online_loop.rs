@@ -1,0 +1,203 @@
+//! Serve-while-learning, end to end: temporal split → offline train →
+//! serve the frozen artifact → replay the post-boundary stream while
+//! serving — drift triggers incremental fine-tuning, cold entities fold
+//! in, each accepted update hot-swaps into the pool — with every reply
+//! generation-stamped and zero admitted requests dropped.
+//!
+//! ```sh
+//! cargo run --release --example online_loop
+//! ```
+
+use std::sync::Arc;
+
+use mgbr_core::{train, Mgbr, MgbrConfig, TrainConfig};
+use mgbr_data::{synthetic, temporal_split, DataSplit, SyntheticConfig, UpdateEvent};
+use mgbr_online::{ArtifactPublisher, BatchOutcome, OnlineConfig, OnlineLoop};
+use mgbr_serve::{PoolConfig, StalePolicy, SyncedItemIndex, WorkerPool};
+
+fn main() {
+    // 1. Temporal split: train on the earliest 70% of deal groups, hold
+    //    the rest back as the live stream. No training on the future.
+    //    A few late groups reference users/items beyond the generated
+    //    id space — genuinely cold entities only the stream knows.
+    let ds = {
+        let gen = synthetic::generate(&SyntheticConfig {
+            n_users: 200,
+            n_items: 80,
+            n_groups: 900,
+            ..SyntheticConfig::default()
+        });
+        let last = gen.groups.iter().map(|g| g.timestamp).max().unwrap_or(0);
+        let (nu, ni) = (gen.n_users as u32, gen.n_items as u32);
+        let mut groups = gen.groups.clone();
+        groups.push(mgbr_data::DealGroup::new(nu, ni, vec![3, 11]).at(last + 1));
+        groups.push(mgbr_data::DealGroup::new(7, 2, vec![nu, nu + 1]).at(last + 2));
+        groups.push(mgbr_data::DealGroup::new(nu + 1, ni + 1, vec![nu, 5]).at(last + 3));
+        mgbr_data::Dataset::new(gen.n_users + 2, gen.n_items + 2, groups)
+    };
+    let split = temporal_split(&ds, 0.7);
+    let base = split.train_dataset();
+    println!(
+        "temporal split: {} train groups (boundary t={}), {} streaming; \
+         base id space {}x{} of {}x{}",
+        split.train.len(),
+        split.boundary(),
+        split.tail.len(),
+        base.n_users,
+        base.n_items,
+        ds.n_users,
+        ds.n_items,
+    );
+
+    // 2. Offline train on the prefix only.
+    let cfg = MgbrConfig {
+        d: 8,
+        t_size: 4,
+        ..MgbrConfig::repro_scale()
+    };
+    let mut model = Mgbr::new(cfg, &base);
+    let offline = DataSplit {
+        n_users: base.n_users,
+        n_items: base.n_items,
+        train: base.groups.clone(),
+        val: Vec::new(),
+        test: Vec::new(),
+    };
+    let tc = TrainConfig {
+        epochs: 3,
+        ..TrainConfig::repro_scale()
+    };
+    train(&mut model, &base, &offline, &tc).expect("offline training failed");
+
+    // 3. Serve the frozen prefix model from a worker pool, with a
+    //    pruned retrieval index subscribed to the pool's artifact slot.
+    let pool = WorkerPool::new(
+        Arc::new(model.freeze()),
+        PoolConfig {
+            workers: 2,
+            ..PoolConfig::default()
+        },
+    );
+    let mut index = SyncedItemIndex::build(
+        pool.artifact_slot(),
+        Default::default(),
+        StalePolicy::Rebuild,
+    );
+
+    // 4. The online loop: drift detection over a simulated serving
+    //    metric, incremental fine-tuning, fold-in ledger, publisher.
+    let mut online_cfg = OnlineConfig::from_env().expect("MGBR_ONLINE_* knobs");
+    // Demo-friendly defaults for the knobs the environment leaves
+    // unset: short rounds, gentle lr, and batches small enough that the
+    // drift window warms up before the simulated metric craters.
+    if std::env::var("MGBR_ONLINE_ROUNDS").is_err() {
+        online_cfg.fine_tune.rounds = 1;
+    }
+    if std::env::var("MGBR_ONLINE_LR").is_err() {
+        online_cfg.fine_tune.lr = 5e-4;
+    }
+    if std::env::var("MGBR_ONLINE_EVENT_BATCH").is_err() {
+        online_cfg.event_batch = 16;
+    }
+    let event_batch = online_cfg.event_batch;
+    let base_users = base.n_users;
+    let mut driver = OnlineLoop::new(model, base, online_cfg).expect("online loop");
+    let mut publisher = ArtifactPublisher::new(None);
+
+    // 5. Replay the stream. Each batch: serve a few requests against
+    //    the live pool (generation-stamped replies, zero drops), then
+    //    hand the events plus a serving metric to the loop. The metric
+    //    is simulated as healthy until mid-stream, then cratered —
+    //    standing in for the recall probes a production loop would run.
+    let batches = split.event_batches(event_batch);
+    let drift_at = batches.len() / 2;
+    let mut admitted = 0u64;
+    let mut dropped = 0u64;
+    let mut last_generation = 0u64;
+    for (i, batch) in batches.iter().enumerate() {
+        // Serve while learning: a burst of warm-user requests per event
+        // batch, plus a retrieval query through the synced index.
+        for j in 0..16usize {
+            let user = (i * 7 + j * 3) % 20;
+            match pool.submit_item(user, (i + j) % 10) {
+                Ok(handle) => {
+                    let reply = handle.wait_reply();
+                    admitted += 1;
+                    if reply.result.is_err() {
+                        dropped += 1;
+                    }
+                    last_generation = reply.generation;
+                }
+                Err(e) => println!("  shed before admission: {e}"),
+            }
+        }
+        let _hits = index
+            .top_items((i * 7) % 20, 5, 2)
+            .expect("index query (auto-rebuild on swap)");
+
+        let metric = if i < drift_at { 0.9 } else { 0.45 };
+        match driver
+            .ingest_batch(batch, metric)
+            .expect("online loop batch")
+        {
+            BatchOutcome::Stable => {}
+            BatchOutcome::RolledBack => println!("batch {i}: metric anomaly — rolled back"),
+            BatchOutcome::FineTuned(s) => {
+                println!(
+                    "batch {i}: drift → fine-tuned {} round(s), {} steps, final loss {:.4}{}",
+                    s.rounds,
+                    s.steps,
+                    s.final_loss.unwrap_or(f32::NAN),
+                    if s.rolled_back { " [rolled back]" } else { "" },
+                );
+                let receipt = publisher.publish(&driver, &pool).expect("publish");
+                println!(
+                    "  published generation {} (was {}): id space now {}x{}",
+                    receipt.new_generation,
+                    receipt.old_generation,
+                    driver.ledger().target_users(),
+                    driver.ledger().target_items(),
+                );
+            }
+        }
+    }
+
+    // 6. Final update + publish so the artifact reflects the whole
+    //    stream, then serve a cold (folded-in) user through the pool.
+    driver.update().expect("final fine-tune");
+    let receipt = publisher.publish(&driver, &pool).expect("final publish");
+    let cold_user = split.update_events().iter().find_map(|e| match e {
+        UpdateEvent::NewUser { user, .. } if (*user as usize) >= base_users => Some(*user as usize),
+        _ => None,
+    });
+    if let Some(u) = cold_user {
+        let reply = pool
+            .submit_item(u, 0)
+            .expect("cold user admission")
+            .wait_reply();
+        println!(
+            "cold user {u}: score {:?} from generation {} (folded in, never trained)",
+            reply.result, reply.generation,
+        );
+        assert_eq!(reply.generation, receipt.new_generation);
+    }
+
+    let stats = driver.stats();
+    println!(
+        "\nstream done: {} events ({} fresh groups, {} cold-routed), \
+         {} fine-tune cycle(s), {} rollback(s), {} swap(s), last served generation {}",
+        stats.events,
+        stats.groups_in_space,
+        stats.groups_cold,
+        stats.fine_tunes,
+        stats.rollbacks,
+        publisher.swaps(),
+        last_generation,
+    );
+    let metrics = pool.metrics();
+    println!(
+        "serving: {admitted} admitted, {dropped} dropped ({} answered across all generations)",
+        metrics.requests,
+    );
+    assert_eq!(dropped, 0, "admitted requests must never be dropped");
+}

@@ -30,4 +30,16 @@ if ! ./target/release/bench_serve > results/bench_serve.txt 2>&1; then
   exit 1
 fi
 cat results/bench_serve.txt
+# Online-learning benchmark: prequential static/fold-in/updated arms
+# over the temporal tail; emits results/BENCH_online.json itself and
+# exits non-zero when updated serving fails to beat the static
+# baseline. Same capture-then-fail pattern: a pipeline into tee would
+# swallow the exit status under `set -e`.
+echo "=== running bench_online ==="
+if ! ./target/release/bench_online > results/bench_online.txt 2>&1; then
+  cat results/bench_online.txt
+  echo "run_experiments.sh: FAILED — bench_online: updated serving did not beat the static baseline" >&2
+  exit 1
+fi
+cat results/bench_online.txt
 echo "=== all experiments complete ==="

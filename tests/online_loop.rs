@@ -1,0 +1,323 @@
+//! Online-loop property suite.
+//!
+//! Pins the contracts the serve-while-learning path stands on:
+//!
+//! 1. **Split determinism** — the temporal split and its event stream
+//!    are pure functions of the dataset: identical across repeated
+//!    calls, kernel thread counts, and unrelated RNG seeds; the stream
+//!    replays exactly the tail, announcing cold entities before first
+//!    use.
+//! 2. **Fold-in neutrality** — growing a frozen artifact's id spaces
+//!    through the fold-in ledger leaves every pre-existing entity's
+//!    scores bitwise unchanged, while folded entities become servable.
+//! 3. **Resumable fine-tuning** — a fine-tune cycle killed at a round
+//!    boundary and resumed from its checkpoint reaches bitwise-equal
+//!    parameters, at any thread count.
+//! 4. **Whole-loop determinism** — the full loop (ingest → drift →
+//!    fine-tune → freeze-with-folds) publishes bitwise-identical
+//!    artifacts at threads 1, 2, and 4.
+
+use mgbr_core::{fine_tune, train, FineTuneConfig, Mgbr, MgbrConfig, TrainConfig};
+use mgbr_data::{synthetic, temporal_split, DataSplit, Dataset, SyntheticConfig, UpdateEvent};
+use mgbr_online::{OnlineConfig, OnlineLoop};
+use mgbr_tensor::Workspace;
+
+fn dataset(seed: u64) -> Dataset {
+    synthetic::generate(&SyntheticConfig {
+        seed,
+        ..SyntheticConfig::tiny()
+    })
+}
+
+fn params_of(model: &Mgbr) -> Vec<u32> {
+    model
+        .store
+        .iter()
+        .flat_map(|(_, _, t)| t.as_slice().iter().map(|x| x.to_bits()))
+        .collect()
+}
+
+fn frozen_bits(fz: &mgbr_core::FrozenModel) -> Vec<u32> {
+    let tensors = [
+        fz.user_embeddings(),
+        fz.item_embeddings(),
+        fz.participant_embeddings(),
+    ];
+    tensors
+        .iter()
+        .flat_map(|t| t.as_slice().iter().map(|x| x.to_bits()))
+        .chain(
+            fz.params()
+                .iter()
+                .flat_map(|t| t.as_slice().iter().map(|x| x.to_bits())),
+        )
+        .collect()
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mgbr_online_{}_{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Property 1: the split protocol is a pure function of the dataset —
+/// stable across repeated calls and kernel thread counts, ordered by
+/// time, partitioning every group exactly once.
+#[test]
+fn temporal_split_is_deterministic_across_seeds_and_thread_counts() {
+    let pinned = std::env::var("MGBR_THREADS").is_ok();
+    for seed in [1u64, 7, 42] {
+        let ds = dataset(seed);
+        let reference = temporal_split(&ds, 0.7);
+        assert_eq!(
+            reference.train.len() + reference.tail.len(),
+            ds.groups.len()
+        );
+        let boundary = reference.boundary();
+        assert!(reference.train.iter().all(|g| g.timestamp <= boundary));
+        assert!(reference.tail.iter().all(|g| g.timestamp >= boundary));
+
+        for threads in [1usize, 2, 4] {
+            if !pinned {
+                mgbr_tensor::set_threads(threads);
+            }
+            let again = temporal_split(&ds, 0.7);
+            assert_eq!(
+                again.train, reference.train,
+                "seed {seed} threads {threads}"
+            );
+            assert_eq!(again.tail, reference.tail, "seed {seed} threads {threads}");
+            assert_eq!(again.update_events(), reference.update_events());
+            assert_eq!(again.event_batches(16), reference.event_batches(16));
+        }
+        if !pinned {
+            mgbr_tensor::set_threads(1);
+        }
+
+        // The stream replays exactly the tail, cold entities first.
+        let replayed: Vec<_> = reference
+            .update_events()
+            .into_iter()
+            .filter_map(|e| match e {
+                UpdateEvent::NewGroup(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(replayed, reference.tail);
+    }
+}
+
+/// Property 2: folding cold entities into a frozen artifact (via the
+/// ledger, as the loop does) leaves every pre-existing score bitwise
+/// unchanged — task A and task B heads both — while the folded
+/// entities become servable.
+#[test]
+fn fold_in_leaves_all_preexisting_scores_bitwise_unchanged() {
+    // Guarantee cold entities: extend the id spaces and add late groups
+    // that reference users/items no prefix group can have seen.
+    let ds = {
+        let base = dataset(3);
+        let last = base.groups.iter().map(|g| g.timestamp).max().unwrap_or(0);
+        let nu = base.n_users as u32;
+        let ni = base.n_items as u32;
+        let mut groups = base.groups.clone();
+        groups.push(mgbr_data::DealGroup::new(nu, ni, vec![0, 1]).at(last + 1));
+        groups.push(mgbr_data::DealGroup::new(2, 0, vec![3, nu + 1]).at(last + 2));
+        groups.push(mgbr_data::DealGroup::new(nu + 1, ni + 1, vec![nu]).at(last + 3));
+        Dataset::new(base.n_users + 2, base.n_items + 2, groups)
+    };
+    let split = temporal_split(&ds, 0.7);
+    let base = split.train_dataset();
+    let model = Mgbr::new(MgbrConfig::tiny(), &base);
+    let before = model.freeze();
+
+    let driver = {
+        let mut d = OnlineLoop::new(model, base.clone(), OnlineConfig::default()).unwrap();
+        d.ingest(&split.update_events());
+        d
+    };
+    let after = driver.frozen().unwrap();
+    assert!(
+        after.n_users() > before.n_users() || after.n_items() > before.n_items(),
+        "temporal tail of a fresh seed should contain cold entities"
+    );
+
+    let ws = Workspace::new();
+    let items: Vec<usize> = (0..before.n_items()).collect();
+    for user in 0..before.n_users() {
+        let a = before.logits_a(&ws, user, &items);
+        let b = after.logits_a(&ws, user, &items);
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "task A score changed for user {user}, item {i}"
+            );
+        }
+    }
+    let triples: Vec<(usize, usize, usize)> = (0..before.n_users().min(16))
+        .map(|u| (u, u % before.n_items(), (u + 1) % before.n_users()))
+        .collect();
+    let tb_before = before.logits_b_triples(&ws, &triples);
+    let tb_after = after.logits_b_triples(&ws, &triples);
+    for (x, y) in tb_before.iter().zip(&tb_after) {
+        assert_eq!(x.to_bits(), y.to_bits(), "task B score changed");
+    }
+
+    // Folded entities are servable and finite.
+    for user in before.n_users()..after.n_users() {
+        let s = after.logits_a(&ws, user, &items[..1.min(items.len())]);
+        assert!(
+            s.iter().all(|x| x.is_finite()),
+            "cold user {user} unservable"
+        );
+    }
+    for item in before.n_items()..after.n_items() {
+        let s = after.logits_a(&ws, 0, &[item]);
+        assert!(s[0].is_finite(), "cold item {item} unservable");
+    }
+    after.validate().unwrap();
+}
+
+/// Property 3: a fine-tune cycle killed at a round boundary resumes
+/// from its v2 checkpoint to bitwise-equal parameters, at any thread
+/// count.
+#[test]
+fn interrupted_fine_tune_resumes_bitwise_identically() {
+    if std::env::var("MGBR_THREADS").is_ok() {
+        return;
+    }
+    let ds = dataset(5);
+    let split = temporal_split(&ds, 0.7);
+    let full = split.full_dataset();
+    let dir = scratch("ft_resume");
+
+    let warm = |threads: usize| -> Mgbr {
+        let mut m = Mgbr::new(MgbrConfig::tiny(), &ds);
+        let offline = DataSplit {
+            n_users: ds.n_users,
+            n_items: ds.n_items,
+            train: split.train.clone(),
+            val: Vec::new(),
+            test: Vec::new(),
+        };
+        let tc = TrainConfig {
+            epochs: 2,
+            threads,
+            ..TrainConfig::tiny()
+        };
+        train(&mut m, &ds, &offline, &tc).unwrap();
+        m
+    };
+    let ftc = |threads: usize| FineTuneConfig {
+        rounds: 3,
+        threads,
+        ..FineTuneConfig::default()
+    };
+
+    for threads in [1usize, 2, 4] {
+        // Reference: uninterrupted 3-round cycle.
+        let mut reference = warm(threads);
+        fine_tune(&mut reference, &full, &split.tail, &ftc(threads)).unwrap();
+        let want = params_of(&reference);
+
+        for kill_at in 1..3usize {
+            let path = dir.join(format!("t{threads}_k{kill_at}.ckpt"));
+            let _ = std::fs::remove_file(&path);
+            let killed_cfg = FineTuneConfig {
+                rounds: kill_at,
+                checkpoint_every: 1,
+                checkpoint_path: Some(path.clone()),
+                resume: true,
+                ..ftc(threads)
+            };
+            let mut victim = warm(threads);
+            fine_tune(&mut victim, &full, &split.tail, &killed_cfg).unwrap();
+            assert!(path.exists(), "killed cycle must leave a checkpoint");
+
+            let resume_cfg = FineTuneConfig {
+                checkpoint_every: 1,
+                checkpoint_path: Some(path.clone()),
+                resume: true,
+                ..ftc(threads)
+            };
+            let mut resumed = warm(threads);
+            let report = fine_tune(&mut resumed, &full, &split.tail, &resume_cfg).unwrap();
+            assert_eq!(
+                report.epoch_losses.len(),
+                3 - kill_at,
+                "resume must continue, not restart (threads={threads}, kill={kill_at})"
+            );
+            assert_eq!(
+                want,
+                params_of(&resumed),
+                "resumed fine-tune diverged (threads={threads}, kill={kill_at})"
+            );
+        }
+    }
+    mgbr_tensor::set_threads(1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Property 4 (the acceptance bar): the whole loop — offline train,
+/// stream ingest, drift-triggered fine-tuning, freeze with folds — is
+/// bitwise deterministic at threads 1, 2, and 4.
+#[test]
+fn whole_loop_is_bitwise_deterministic_across_thread_counts() {
+    if std::env::var("MGBR_THREADS").is_ok() {
+        return;
+    }
+    let ds = dataset(9);
+    let split = temporal_split(&ds, 0.7);
+
+    let run = |threads: usize| -> Vec<u32> {
+        let base = split.train_dataset();
+        let mut model = Mgbr::new(MgbrConfig::tiny(), &base);
+        let offline = DataSplit {
+            n_users: base.n_users,
+            n_items: base.n_items,
+            train: base.groups.clone(),
+            val: Vec::new(),
+            test: Vec::new(),
+        };
+        let tc = TrainConfig {
+            epochs: 2,
+            threads,
+            ..TrainConfig::tiny()
+        };
+        train(&mut model, &base, &offline, &tc).unwrap();
+
+        let cfg = OnlineConfig {
+            fine_tune: FineTuneConfig {
+                rounds: 1,
+                threads,
+                ..FineTuneConfig::default()
+            },
+            ..OnlineConfig::default()
+        };
+        let mut driver = OnlineLoop::new(model, base, cfg).unwrap();
+        // Replay the stream in bounded batches, fine-tuning mid-stream
+        // and at the end (manual triggers: metric-independent, so the
+        // property isolates the learning path).
+        let batches = split.event_batches(24);
+        let half = batches.len() / 2;
+        for (i, b) in batches.iter().enumerate() {
+            driver.ingest(b);
+            if i + 1 == half {
+                driver.update().unwrap();
+            }
+        }
+        driver.update().unwrap();
+        frozen_bits(&driver.frozen().unwrap())
+    };
+
+    let want = run(1);
+    for threads in [2usize, 4] {
+        assert_eq!(
+            want,
+            run(threads),
+            "published artifact diverged at threads {threads}"
+        );
+    }
+    mgbr_tensor::set_threads(1);
+}
